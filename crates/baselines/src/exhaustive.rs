@@ -1,0 +1,125 @@
+//! Exhaustive linear scan: the "Exhaustive search" row of Table 2.
+
+use plsh_core::sparse::{CrsMatrix, SparseVector};
+use plsh_parallel::ThreadPool;
+
+use crate::BaselineAnswer;
+
+/// A linear-scan `R`-near-neighbor searcher over a CRS corpus.
+///
+/// Every query computes its distance to every point — the `O(N)` reference
+/// algorithm PLSH is measured against.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveSearch {
+    data: CrsMatrix,
+    radius: f32,
+}
+
+impl ExhaustiveSearch {
+    /// Builds the searcher over `data` with query radius `radius`.
+    pub fn new(dim: u32, data: &[SparseVector], radius: f32) -> Self {
+        let mut m = CrsMatrix::with_capacity(dim, data.len(), 8);
+        for v in data {
+            m.push(v).expect("corpus vectors must fit the declared dim");
+        }
+        Self { data: m, radius }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.data.num_rows()
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured radius.
+    pub fn radius(&self) -> f32 {
+        self.radius
+    }
+
+    /// Answers one query by scanning all points.
+    pub fn query(&self, q: &SparseVector) -> BaselineAnswer {
+        let n = self.data.num_rows() as u32;
+        let mut matches = Vec::new();
+        for id in 0..n {
+            let dot = self.data.dot_row(id, q);
+            let dist = plsh_core::sparse::angular_from_dot(dot);
+            if dist <= self.radius {
+                matches.push((id, dist));
+            }
+        }
+        BaselineAnswer {
+            matches,
+            distance_computations: n as u64,
+        }
+    }
+
+    /// Answers a batch of queries in parallel (one task per query).
+    pub fn query_batch(&self, qs: &[SparseVector], pool: &ThreadPool) -> Vec<BaselineAnswer> {
+        pool.parallel_map(qs.iter(), |q| self.query(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<SparseVector> {
+        vec![
+            SparseVector::unit(vec![(0, 1.0), (1, 1.0)]).unwrap(),
+            SparseVector::unit(vec![(0, 1.0), (1, 0.9)]).unwrap(),
+            SparseVector::unit(vec![(5, 1.0), (6, 1.0)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn finds_exactly_the_in_radius_points() {
+        let data = corpus();
+        let s = ExhaustiveSearch::new(10, &data, 0.9);
+        let ans = s.query(&data[0]);
+        let ids: Vec<u32> = ans.matches.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(ans.distance_computations, 3);
+        // Distances are correct and within radius.
+        for &(id, d) in &ans.matches {
+            assert!((data[0].angular_distance(&data[id as usize]) - d).abs() < 1e-6);
+            assert!(d <= 0.9);
+        }
+    }
+
+    #[test]
+    fn distance_count_is_always_n() {
+        let data = corpus();
+        let s = ExhaustiveSearch::new(10, &data, 0.1);
+        let far = SparseVector::unit(vec![(9, 1.0)]).unwrap();
+        let ans = s.query(&far);
+        assert!(ans.matches.is_empty());
+        assert_eq!(ans.distance_computations, 3);
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let data = corpus();
+        let s = ExhaustiveSearch::new(10, &data, 0.9);
+        let pool = ThreadPool::new(2);
+        let answers = s.query_batch(&data, &pool);
+        assert_eq!(answers.len(), 3);
+        for (q, got) in data.iter().zip(&answers) {
+            let expect = s.query(q);
+            assert_eq!(got.matches, expect.matches);
+        }
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let s = ExhaustiveSearch::new(10, &[], 0.9);
+        assert!(s.is_empty());
+        let q = SparseVector::unit(vec![(0, 1.0)]).unwrap();
+        let ans = s.query(&q);
+        assert!(ans.matches.is_empty());
+        assert_eq!(ans.distance_computations, 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # plsh-baselines — deterministic nearest-neighbor baselines
+//!
+//! The paper's Table 2 compares PLSH against two deterministic algorithms
+//! on the same workload:
+//!
+//! * [`ExhaustiveSearch`] — computes the distance from the query to every
+//!   point (the `N` distance computations / 115 ms row).
+//! * [`InvertedIndex`] — uses a term → documents index to gather candidate
+//!   documents sharing at least one word with the query, then filters by
+//!   distance (the 847 K distance computations / ≥ 21.8 ms row; the paper
+//!   charges it only for the distance computations, not the postings
+//!   lookups, and so do we — see [`InvertedIndex::query`]).
+//!
+//! Both are parallelized over queries like PLSH itself ("all algorithms
+//! have been parallelized to use multiple cores to execute queries").
+
+mod exhaustive;
+mod inverted;
+
+pub use exhaustive::ExhaustiveSearch;
+pub use inverted::InvertedIndex;
+
+/// A baseline query answer: matching point ids with distances, plus the
+/// number of distance computations performed (the Table 2 metric).
+#[derive(Debug, Clone, Default)]
+pub struct BaselineAnswer {
+    /// Matches within the radius, as `(id, distance)`.
+    pub matches: Vec<(u32, f32)>,
+    /// Distance computations performed for this query.
+    pub distance_computations: u64,
+}

@@ -1,0 +1,92 @@
+//! Ablation benches for this implementation's own design choices (beyond
+//! the paper's figures): delta-table bin layout (dense array vs hash map)
+//! and hyperplane storage (materialized dense matrix vs on-the-fly
+//! recomputation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsh_bench::setup::{Fixture, Scale};
+use plsh_core::engine::{Engine, EngineConfig};
+use plsh_core::hash::{Hyperplanes, SketchMatrix};
+use plsh_core::sparse::CrsMatrix;
+use plsh_core::table::DeltaLayout;
+
+fn bench_delta_layouts(c: &mut Criterion) {
+    let f = Fixture::build(Scale::Quick, 1);
+    let n = f.corpus.len();
+    let queries = &f.query_vecs()[..f.query_vecs().len().min(50)];
+
+    let mut g = c.benchmark_group("ablation_delta_layout");
+    g.sample_size(10);
+    for (name, layout) in [
+        ("direct_bins", DeltaLayout::Direct),
+        ("sparse_bins", DeltaLayout::Sparse),
+    ] {
+        // Insert cost into an empty delta.
+        g.bench_function(format!("{name}_insert_10pct"), |b| {
+            b.iter_with_setup(
+                || {
+                    Engine::new(
+                        EngineConfig::new(f.params.clone(), n)
+                            .manual_merge()
+                            .with_delta_layout(layout),
+                        &f.pool,
+                    )
+                    .unwrap()
+                },
+                |mut e| {
+                    e.insert_batch(&f.corpus.vectors()[..n / 10], &f.pool).unwrap();
+                    e.delta_len()
+                },
+            )
+        });
+        // Query cost against a delta-only engine.
+        let mut engine = Engine::new(
+            EngineConfig::new(f.params.clone(), n)
+                .manual_merge()
+                .with_delta_layout(layout),
+            &f.pool,
+        )
+        .unwrap();
+        engine.insert_batch(&f.corpus.vectors()[..n / 10], &f.pool).unwrap();
+        g.bench_function(format!("{name}_query"), |b| {
+            b.iter(|| engine.query_batch(queries, &f.pool).1.totals.matches)
+        });
+    }
+    g.finish();
+}
+
+fn bench_hyperplane_storage(c: &mut Criterion) {
+    let f = Fixture::build(Scale::Quick, 1);
+    let mut corpus = CrsMatrix::with_capacity(f.corpus.dim(), 2_000, 8);
+    for v in &f.corpus.vectors()[..2_000] {
+        corpus.push(v).unwrap();
+    }
+    let dense = Hyperplanes::new_dense(
+        f.params.dim(),
+        f.params.num_hashes(),
+        f.params.seed(),
+        &f.pool,
+    );
+    let lazy = Hyperplanes::new_on_the_fly(f.params.dim(), f.params.num_hashes(), f.params.seed());
+
+    let mut g = c.benchmark_group("ablation_hyperplanes");
+    g.sample_size(10);
+    g.bench_function("dense_sketch_2k_docs", |b| {
+        b.iter(|| {
+            let mut sk = SketchMatrix::new(f.params.m(), f.params.half_bits());
+            sk.append_from(&corpus, &dense, 0, &f.pool, true);
+            sk.num_points()
+        })
+    });
+    g.bench_function("on_the_fly_sketch_2k_docs", |b| {
+        b.iter(|| {
+            let mut sk = SketchMatrix::new(f.params.m(), f.params.half_bits());
+            sk.append_from(&corpus, &lazy, 0, &f.pool, true);
+            sk.num_points()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_delta_layouts, bench_hyperplane_storage);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion micro-benchmark behind Figure 10: batch size vs batch time
+//! (latency); throughput is batch/size over the measured time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use plsh_bench::setup::{Fixture, Scale};
+
+fn bench_latency(c: &mut Criterion) {
+    let f = Fixture::build(Scale::Quick, 1);
+    let engine = f.static_engine();
+    let queries = f.query_vecs();
+
+    let mut g = c.benchmark_group("fig10_latency");
+    g.sample_size(10);
+    for batch in [10usize, 30, 100, 200] {
+        let batch = batch.min(queries.len());
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| engine.query_batch(&queries[..batch], &f.pool).1.totals.matches)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

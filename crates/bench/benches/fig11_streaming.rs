@@ -1,0 +1,82 @@
+//! Criterion micro-benchmark behind Figure 11 / Section 8.6: delta-table
+//! insert chunks, merges, and queries against a mixed static+delta node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsh_bench::setup::{Fixture, Scale};
+use plsh_core::engine::{Engine, EngineConfig};
+
+fn bench_streaming(c: &mut Criterion) {
+    let f = Fixture::build(Scale::Quick, 1);
+    let n = f.corpus.len();
+    let static_part = n * 9 / 10;
+    let queries = &f.query_vecs()[..f.query_vecs().len().min(50)];
+
+    let mut g = c.benchmark_group("fig11_streaming");
+    g.sample_size(10);
+
+    g.bench_function("insert_chunk_1pct", |b| {
+        b.iter_with_setup(
+            || {
+                let mut e = Engine::new(
+                    EngineConfig::new(f.params.clone(), n).manual_merge(),
+                    &f.pool,
+                )
+                .unwrap();
+                e.insert_batch(&f.corpus.vectors()[..static_part], &f.pool).unwrap();
+                e.merge_delta(&f.pool);
+                e
+            },
+            |mut e| {
+                let chunk = n / 100;
+                e.insert_batch(
+                    &f.corpus.vectors()[static_part..static_part + chunk],
+                    &f.pool,
+                )
+                .unwrap();
+                e.delta_len()
+            },
+        )
+    });
+
+    g.bench_function("merge_full_delta", |b| {
+        b.iter_with_setup(
+            || {
+                let mut e = Engine::new(
+                    EngineConfig::new(f.params.clone(), n).manual_merge(),
+                    &f.pool,
+                )
+                .unwrap();
+                e.insert_batch(&f.corpus.vectors()[..static_part], &f.pool).unwrap();
+                e.merge_delta(&f.pool);
+                e.insert_batch(&f.corpus.vectors()[static_part..], &f.pool).unwrap();
+                e
+            },
+            |mut e| {
+                e.merge_delta(&f.pool);
+                e.static_len()
+            },
+        )
+    });
+
+    // Query against a node with a full delta (worst case of Figure 11).
+    let mut mixed = Engine::new(
+        EngineConfig::new(f.params.clone(), n).manual_merge(),
+        &f.pool,
+    )
+    .unwrap();
+    mixed.insert_batch(&f.corpus.vectors()[..static_part], &f.pool).unwrap();
+    mixed.merge_delta(&f.pool);
+    mixed.insert_batch(&f.corpus.vectors()[static_part..], &f.pool).unwrap();
+    let all_static = f.static_engine();
+
+    g.bench_function("query_90pct_static_full_delta", |b| {
+        b.iter(|| mixed.query_batch(queries, &f.pool).1.totals.matches)
+    });
+    g.bench_function("query_100pct_static", |b| {
+        b.iter(|| all_static.query_batch(queries, &f.pool).1.totals.matches)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmark behind Figure 4: static-table construction
+//! under the four creation ablation levels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsh_bench::setup::{Fixture, Scale};
+use plsh_core::hash::{Hyperplanes, SketchMatrix};
+use plsh_core::sparse::CrsMatrix;
+use plsh_core::table::{BuildStrategy, StaticTables};
+
+fn bench_creation(c: &mut Criterion) {
+    let f = Fixture::build(Scale::Quick, 1);
+    let mut corpus = CrsMatrix::with_capacity(f.corpus.dim(), f.corpus.len(), 8);
+    for v in f.corpus.vectors() {
+        corpus.push(v).unwrap();
+    }
+    let planes = Hyperplanes::new_dense(
+        f.params.dim(),
+        f.params.num_hashes(),
+        f.params.seed(),
+        &f.pool,
+    );
+    let mut sk = SketchMatrix::new(f.params.m(), f.params.half_bits());
+    sk.append_from(&corpus, &planes, 0, &f.pool, true);
+
+    let mut g = c.benchmark_group("fig4_creation");
+    g.sample_size(10);
+    g.bench_function("hashing_vectorized", |b| {
+        b.iter(|| {
+            let mut s = SketchMatrix::new(f.params.m(), f.params.half_bits());
+            s.append_from(&corpus, &planes, 0, &f.pool, true);
+            s.num_points()
+        })
+    });
+    g.bench_function("hashing_naive", |b| {
+        b.iter(|| {
+            let mut s = SketchMatrix::new(f.params.m(), f.params.half_bits());
+            s.append_from(&corpus, &planes, 0, &f.pool, false);
+            s.num_points()
+        })
+    });
+    for (name, strategy) in [
+        ("build_one_level", BuildStrategy::OneLevel),
+        ("build_two_level", BuildStrategy::TwoLevel),
+        ("build_two_level_shared", BuildStrategy::TwoLevelShared),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| StaticTables::build(&sk, strategy, &f.pool).memory_bytes())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_creation);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark behind Figure 5: the query batch under each
+//! cumulative optimization level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use plsh_bench::setup::{Fixture, Scale};
+use plsh_core::query::QueryStrategy;
+
+fn bench_query_levels(c: &mut Criterion) {
+    let f = Fixture::build(Scale::Quick, 1);
+    let engine = f.static_engine();
+    let queries = &f.query_vecs()[..f.query_vecs().len().min(100)];
+
+    let mut g = c.benchmark_group("fig5_query");
+    g.sample_size(10);
+    for (name, strategy) in QueryStrategy::ablation_levels() {
+        let label = name.replace([' ', '+'], "_");
+        g.bench_function(&label, |b| {
+            b.iter(|| {
+                let (answers, stats) =
+                    engine.query_batch_with_strategy(queries, strategy, &f.pool);
+                (answers.len(), stats.totals.matches)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_levels);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark behind Figure 8: construction and query batch
+//! across pool sizes. (On a single-core host the curve is flat; the bench
+//! still exercises every parallel code path.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use plsh_bench::setup::{Fixture, Scale};
+use plsh_core::table::{BuildStrategy, StaticTables};
+use plsh_core::hash::{Hyperplanes, SketchMatrix};
+use plsh_core::sparse::CrsMatrix;
+use plsh_parallel::ThreadPool;
+
+fn bench_threads(c: &mut Criterion) {
+    let f = Fixture::build(Scale::Quick, 1);
+    let mut corpus = CrsMatrix::with_capacity(f.corpus.dim(), f.corpus.len(), 8);
+    for v in f.corpus.vectors() {
+        corpus.push(v).unwrap();
+    }
+    let planes = Hyperplanes::new_dense(
+        f.params.dim(),
+        f.params.num_hashes(),
+        f.params.seed(),
+        &f.pool,
+    );
+    let mut sk = SketchMatrix::new(f.params.m(), f.params.half_bits());
+    sk.append_from(&corpus, &planes, 0, &f.pool, true);
+    let engine = f.static_engine();
+    let queries = &f.query_vecs()[..f.query_vecs().len().min(100)];
+
+    let mut g = c.benchmark_group("fig8_threads");
+    g.sample_size(10);
+    for t in [1usize, 2, 4] {
+        let pool = ThreadPool::new(t);
+        g.bench_with_input(BenchmarkId::new("build", t), &pool, |b, pool| {
+            b.iter(|| StaticTables::build(&sk, BuildStrategy::TwoLevelShared, pool).memory_bytes())
+        });
+        g.bench_with_input(BenchmarkId::new("query_batch", t), &pool, |b, pool| {
+            b.iter(|| engine.query_batch(queries, pool).1.totals.matches)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

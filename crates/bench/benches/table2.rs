@@ -1,0 +1,52 @@
+//! Criterion micro-benchmark behind Table 2: per-query latency of PLSH vs
+//! the exhaustive and inverted-index baselines on the quick fixture.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use plsh_baselines::{ExhaustiveSearch, InvertedIndex};
+use plsh_bench::setup::{Fixture, Scale};
+
+fn bench_table2(c: &mut Criterion) {
+    let f = Fixture::build(Scale::Quick, 1);
+    let engine = f.static_engine();
+    let exhaustive = ExhaustiveSearch::new(f.corpus.dim(), f.corpus.vectors(), 0.9);
+    let inverted = InvertedIndex::new(f.corpus.dim(), f.corpus.vectors(), 0.9);
+    let queries = f.query_vecs();
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    let mut qi = 0usize;
+    g.bench_function("plsh_per_query", |b| {
+        b.iter_batched(
+            || {
+                qi = (qi + 1) % queries.len();
+                &queries[qi]
+            },
+            |q| engine.query_with_stats(q),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("inverted_per_query", |b| {
+        b.iter_batched(
+            || {
+                qi = (qi + 1) % queries.len();
+                &queries[qi]
+            },
+            |q| inverted.query(q),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("exhaustive_per_query", |b| {
+        b.iter_batched(
+            || {
+                qi = (qi + 1) % queries.len();
+                &queries[qi]
+            },
+            |q| exhaustive.query(q),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

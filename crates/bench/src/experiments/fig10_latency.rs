@@ -1,0 +1,89 @@
+//! Figure 10: latency vs throughput as the query batch size grows.
+//!
+//! Paper: batch sizes 10 → 1000 in steps of 10; throughput climbs and then
+//! saturates around 700 queries/s once ~30 queries are buffered (at a
+//! ~45 ms latency), after which extra batching only adds latency.
+
+use std::time::Duration;
+
+use crate::setup::{ms, Fixture, Scale};
+
+/// One batch-size measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Queries processed together.
+    pub batch: usize,
+    /// Wall time for the batch (the latency of its last query).
+    pub latency: Duration,
+    /// Queries per second.
+    pub throughput: f64,
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Points in batch-size order.
+    pub points: Vec<Point>,
+}
+
+/// Sweeps batch sizes against a fully static engine.
+pub fn run(f: &Fixture) -> Fig10 {
+    let engine = f.static_engine();
+    let max = f.query_vecs().len();
+    let sizes: Vec<usize> = match f.scale {
+        Scale::Quick => vec![10, 20, 50, 100, 200],
+        Scale::Full => vec![10, 20, 30, 50, 100, 200, 300, 500, 700, 1000],
+    }
+    .into_iter()
+    .filter(|&s| s <= max)
+    .collect();
+
+    let _ = engine.query_batch(&f.query_vecs()[..max.min(32)], &f.pool);
+    let points = sizes
+        .into_iter()
+        .map(|batch| {
+            // Repeat small batches so each point gets comparable total work.
+            let reps = (max / batch).max(1);
+            let mut total = Duration::ZERO;
+            for r in 0..reps {
+                let start = (r * batch) % (max - batch + 1);
+                let (_, stats) =
+                    engine.query_batch(&f.query_vecs()[start..start + batch], &f.pool);
+                total += stats.elapsed;
+            }
+            let latency = total / reps as u32;
+            Point {
+                batch,
+                latency,
+                throughput: batch as f64 / latency.as_secs_f64().max(1e-12),
+            }
+        })
+        .collect();
+    Fig10 { points }
+}
+
+impl Fig10 {
+    /// Peak throughput across the sweep.
+    pub fn peak_throughput(&self) -> f64 {
+        self.points.iter().map(|p| p.throughput).fold(0.0, f64::max)
+    }
+
+    /// Prints the sweep.
+    pub fn print(&self) {
+        println!("## Figure 10 — latency vs throughput (batch-size sweep)\n");
+        println!("| Batch size | Latency | Throughput |");
+        println!("|---:|---:|---:|");
+        for p in &self.points {
+            println!(
+                "| {} | {:.1} ms | {:.0} q/s |",
+                p.batch,
+                ms(p.latency),
+                p.throughput
+            );
+        }
+        println!(
+            "\nPeak throughput: {:.0} q/s (paper: ~700 q/s saturating at ~30 buffered queries on 10.5M points)\n",
+            self.peak_throughput()
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Figure 7: estimated vs actual query runtimes across `(k, m)` settings.
+//!
+//! The paper sweeps (12,21), (14,29), (16,40), (18,55) at R = 0.9, δ = 0.1
+//! on 10.5 M tweets and shows the model tracks both relative and absolute
+//! changes. The sweep here uses the same `k` ladder with `m` rescaled to
+//! the scaled-down corpus, and estimates `E[#collisions]` / `E[#unique]`
+//! by distance sampling exactly as Section 7.3 prescribes.
+
+use std::time::Duration;
+
+use plsh_core::engine::EngineConfig;
+use plsh_core::model::{MachineProfile, PerformanceModel};
+use plsh_core::params::{estimate_candidates, PlshParams};
+use plsh_core::rng::SplitMix64;
+
+use crate::setup::{ms, Fixture, Scale};
+
+/// One `(k, m)` point of the sweep.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Bits per table index.
+    pub k: u32,
+    /// Half-key function count.
+    pub m: u32,
+    /// Modeled batch query time.
+    pub estimated: Duration,
+    /// Measured batch query time.
+    pub actual: Duration,
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Sweep points in `k` order.
+    pub points: Vec<Point>,
+    /// Queries per batch.
+    pub queries: usize,
+}
+
+/// Scaled `(k, m)` ladder mirroring the paper's Figure 7 x-axis.
+pub fn sweep_pairs(scale: Scale) -> Vec<(u32, u32)> {
+    match scale {
+        Scale::Quick => vec![(8, 9), (10, 12), (12, 16)],
+        Scale::Full => vec![(10, 9), (12, 12), (14, 16), (16, 24)],
+    }
+}
+
+/// Runs the sweep: for each pair, build a static engine and compare the
+/// model estimate with the measured batch time.
+pub fn run(f: &Fixture) -> Fig7 {
+    // Distance sample for Eq. 7.1/7.2 (paper: 1000 queries × 1000 points).
+    let mut rng = SplitMix64::new(777);
+    let samples = 1000usize.min(f.corpus.len());
+    let mut dists = Vec::with_capacity(samples * 16);
+    for _ in 0..samples {
+        let q = f.corpus.vector(rng.next_below(f.corpus.len() as u64) as u32);
+        for _ in 0..16 {
+            let v = f.corpus.vector(rng.next_below(f.corpus.len() as u64) as u32);
+            dists.push(q.angular_distance(v));
+        }
+    }
+
+    let machine = MachineProfile::calibrate(&f.pool, 2.6e9);
+    let mut seq = machine;
+    seq.threads = f.pool.num_threads();
+    let model = PerformanceModel::new(seq);
+
+    let nq = f.query_vecs().len();
+    let points = sweep_pairs(f.scale)
+        .into_iter()
+        .map(|(k, m)| {
+            let params = PlshParams::builder(f.corpus.dim())
+                .k(k)
+                .m(m)
+                .radius(f.params.radius())
+                .delta(f.params.delta())
+                .seed(f.params.seed())
+                .build()
+                .expect("sweep parameters are valid");
+            let (e_coll, e_uniq) = estimate_candidates(&dists, f.corpus.len(), k, m);
+            let estimated = model
+                .predict_query_batch(nq, f.corpus.len(), f.corpus.avg_nnz(), e_coll, e_uniq)
+                .total();
+
+            let engine =
+                f.engine_with(EngineConfig::new(params, f.corpus.len()).manual_merge());
+            let _ = engine.query_batch(&f.query_vecs()[..nq.min(32)], &f.pool);
+            let (_, stats) = engine.query_batch(f.query_vecs(), &f.pool);
+            Point {
+                k,
+                m,
+                estimated,
+                actual: stats.elapsed,
+            }
+        })
+        .collect();
+    Fig7 {
+        points,
+        queries: nq,
+    }
+}
+
+impl Fig7 {
+    /// Whether the model orders the sweep points the same way reality does
+    /// (the "relative performance changes" claim).
+    pub fn rank_agreement(&self) -> bool {
+        let mut est: Vec<usize> = (0..self.points.len()).collect();
+        est.sort_by(|&a, &b| self.points[a].estimated.cmp(&self.points[b].estimated));
+        let mut act: Vec<usize> = (0..self.points.len()).collect();
+        act.sort_by(|&a, &b| self.points[a].actual.cmp(&self.points[b].actual));
+        est == act
+    }
+
+    /// Prints the sweep.
+    pub fn print(&self) {
+        println!(
+            "## Figure 7 — estimated vs actual query time across (k, m) ({} queries)\n",
+            self.queries
+        );
+        println!("| (k, m) | L | Estimated | Actual | Error |");
+        println!("|---|---:|---:|---:|---:|");
+        for p in &self.points {
+            let err = (p.estimated.as_secs_f64() - p.actual.as_secs_f64()).abs()
+                / p.actual.as_secs_f64().max(1e-12);
+            println!(
+                "| ({}, {}) | {} | {:.0} ms | {:.0} ms | {:.0}% |",
+                p.k,
+                p.m,
+                p.m * (p.m - 1) / 2,
+                ms(p.estimated),
+                ms(p.actual),
+                err * 100.0
+            );
+        }
+        println!(
+            "\nModel ranks the settings {} (paper: relative changes tracked correctly)\n",
+            if self.rank_agreement() {
+                "in the same order as measurements"
+            } else {
+                "in a different order than measurements"
+            }
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 8: single-node scaling with thread count.
+//!
+//! Paper: 1 → 16 threads (8 cores × SMT) gives 7.2× on initialization and
+//! 7.8× on querying. This container exposes a single core, so absolute
+//! scaling cannot reproduce; the experiment still sweeps pool sizes to
+//! exercise every parallel code path and reports the (flat, on one core)
+//! curve, which EXPERIMENTS.md discusses.
+
+use std::time::Duration;
+
+use plsh_core::engine::EngineConfig;
+use plsh_parallel::ThreadPool;
+
+use crate::setup::{ms, Fixture, Scale};
+
+/// One thread-count measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Pool size.
+    pub threads: usize,
+    /// Full index construction time (hashing + insertion).
+    pub init: Duration,
+    /// Query batch time.
+    pub query: Duration,
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Points in thread order.
+    pub points: Vec<Point>,
+    /// Queries per batch.
+    pub queries: usize,
+}
+
+/// Sweeps pool sizes, rebuilding the index with each.
+pub fn run(f: &Fixture) -> Fig8 {
+    let threads: &[usize] = match f.scale {
+        Scale::Quick => &[1, 2, 4],
+        Scale::Full => &[1, 2, 4, 8],
+    };
+    let points = threads
+        .iter()
+        .map(|&t| {
+            let pool = ThreadPool::new(t);
+            let config =
+                EngineConfig::new(f.params.clone(), f.corpus.len()).manual_merge();
+            let t0 = std::time::Instant::now();
+            let mut engine =
+                plsh_core::engine::Engine::new(config, &pool).expect("valid config");
+            engine
+                .insert_batch(f.corpus.vectors(), &pool)
+                .expect("corpus fits");
+            engine.merge_delta(&pool);
+            let init = t0.elapsed();
+            let _ = engine.query_batch(&f.query_vecs()[..f.query_vecs().len().min(32)], &pool);
+            let (_, stats) = engine.query_batch(f.query_vecs(), &pool);
+            Point {
+                threads: t,
+                init,
+                query: stats.elapsed,
+            }
+        })
+        .collect();
+    Fig8 {
+        points,
+        queries: f.query_vecs().len(),
+    }
+}
+
+impl Fig8 {
+    /// Speedups of the last point over the first `(init, query)`.
+    pub fn speedups(&self) -> (f64, f64) {
+        let first = &self.points[0];
+        let last = self.points.last().unwrap();
+        (
+            first.init.as_secs_f64() / last.init.as_secs_f64().max(1e-12),
+            first.query.as_secs_f64() / last.query.as_secs_f64().max(1e-12),
+        )
+    }
+
+    /// Prints the sweep.
+    pub fn print(&self) {
+        println!("## Figure 8 — thread scaling on a single node\n");
+        println!("| Threads | Initialization | Query batch ({}) |", self.queries);
+        println!("|---:|---:|---:|");
+        for p in &self.points {
+            println!(
+                "| {} | {:.0} ms | {:.0} ms |",
+                p.threads,
+                ms(p.init),
+                ms(p.query)
+            );
+        }
+        let (si, sq) = self.speedups();
+        println!(
+            "\nSpeedup {}→{} threads: init {:.2}x, query {:.2}x (paper on 8 physical cores: 7.2x / 7.8x; this host exposes {} core(s))\n",
+            self.points[0].threads,
+            self.points.last().unwrap().threads,
+            si,
+            sq,
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 9: multi-node scaling with fixed data per node.
+//!
+//! Paper: 1 → 100 nodes at 10.5 M tweets/node; flat max/avg/min lines mean
+//! perfect scaling; load imbalance (max/avg) stays below 1.3 and query
+//! broadcast costs < 1% of runtime. The simulation keeps data per node
+//! fixed and grows node count, measuring each node's compute time.
+
+use std::time::Duration;
+
+use plsh_cluster::{Cluster, ClusterConfig};
+use plsh_core::engine::EngineConfig;
+use plsh_workload::{CorpusConfig, SyntheticCorpus};
+
+use crate::setup::{ms, Fixture, Scale};
+
+/// One node-count measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Per-node initialization time (max / avg / min).
+    pub init: (Duration, Duration, Duration),
+    /// Per-node query compute time (max / avg / min).
+    pub query: (Duration, Duration, Duration),
+    /// Query load imbalance max/avg.
+    pub imbalance: f64,
+    /// Coordinator overhead fraction.
+    pub coordination: f64,
+}
+
+/// The sweep results.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// Points in node-count order.
+    pub points: Vec<Point>,
+    /// Documents per node.
+    pub docs_per_node: usize,
+}
+
+/// Sweeps node counts with fixed per-node data.
+pub fn run(f: &Fixture) -> Fig9 {
+    let (node_counts, docs_per_node): (&[usize], usize) = match f.scale {
+        Scale::Quick => (&[1, 2, 4], 5_000),
+        Scale::Full => (&[1, 2, 4, 8], 12_500),
+    };
+    let points = node_counts
+        .iter()
+        .map(|&nodes| {
+            // Fresh corpus sized for this node count, same distribution.
+            let corpus = SyntheticCorpus::generate(CorpusConfig {
+                num_docs: docs_per_node * nodes,
+                vocab_size: f.corpus.dim(),
+                mean_words: 7.2,
+                zipf_exponent: 1.0,
+                duplicate_fraction: 0.2,
+                seed: 0xC0FFEE ^ nodes as u64,
+            });
+            let config = ClusterConfig::new(
+                EngineConfig::new(f.params.clone(), docs_per_node).manual_merge(),
+                nodes,
+                nodes, // insert window spanning the cluster spreads data evenly
+            );
+            let mut cluster = Cluster::new(config, &f.pool).expect("valid cluster");
+            cluster
+                .insert_batch(corpus.vectors(), &f.pool)
+                .expect("cluster capacity matches corpus");
+            let t0 = std::time::Instant::now();
+            cluster.merge_all(&f.pool);
+            let merge_total = t0.elapsed();
+            // merge_all is sequential over nodes; approximate per-node time
+            // by the mean (nodes are statistically identical).
+            let per_node_init = merge_total / nodes as u32;
+            let init = (per_node_init, per_node_init, per_node_init);
+
+            let queries = f.query_vecs();
+            let _ = cluster.query_batch(&queries[..queries.len().min(16)], &f.pool);
+            let report = cluster.query_batch(queries, &f.pool);
+            Point {
+                nodes,
+                init,
+                query: (
+                    report.max_node_time(),
+                    report.avg_node_time(),
+                    report.min_node_time(),
+                ),
+                imbalance: report.load_imbalance(),
+                coordination: report.coordination_overhead(f.pool.num_threads()),
+            }
+        })
+        .collect();
+    Fig9 {
+        points,
+        docs_per_node,
+    }
+}
+
+impl Fig9 {
+    /// Prints the sweep.
+    pub fn print(&self) {
+        println!(
+            "## Figure 9 — multi-node scaling ({} docs per node; flat lines = perfect scaling)\n",
+            self.docs_per_node
+        );
+        println!("| Nodes | Init/node | Query max | Query avg | Query min | Imbalance | Coord. overhead |");
+        println!("|---:|---:|---:|---:|---:|---:|---:|");
+        for p in &self.points {
+            println!(
+                "| {} | {:.0} ms | {:.0} ms | {:.0} ms | {:.0} ms | {:.2} | {:.1}% |",
+                p.nodes,
+                ms(p.init.1),
+                ms(p.query.0),
+                ms(p.query.1),
+                ms(p.query.2),
+                p.imbalance,
+                p.coordination * 100.0
+            );
+        }
+        let worst = self
+            .points
+            .iter()
+            .map(|p| p.imbalance)
+            .fold(f64::NAN, f64::max);
+        println!(
+            "\nWorst query load imbalance: {:.2} (paper: < 1.3, ideal 1.0). Note: nodes share one physical core here, so per-node times are compute times, not wall-clock parallel times.\n",
+            worst
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Accuracy: measured recall against exact ground truth.
+//!
+//! The paper reports 92% of exact `R`-near neighbors found at δ = 0.1
+//! ("a conservative estimate — in reality the algorithm reports 92%").
+//! Note the theoretical `P'(R, k, m)` evaluated at the radius is lower;
+//! empirical recall is higher because most true neighbors sit far inside
+//! the radius, where `P'` approaches 1 (see EXPERIMENTS.md).
+
+use plsh_workload::GroundTruth;
+
+use crate::setup::Fixture;
+
+/// The measured accuracy report.
+#[derive(Debug, Clone)]
+pub struct RecallReport {
+    /// Micro-averaged recall over all queries.
+    pub recall: f64,
+    /// Theoretical `P'` at the radius for the fixture parameters.
+    pub recall_bound_at_radius: f64,
+    /// Total exact neighbors across queries.
+    pub total_neighbors: usize,
+    /// False positives are impossible (every candidate is distance-checked);
+    /// recorded to assert precision = 1.
+    pub precision: f64,
+}
+
+/// Measures recall of the fully optimized engine against exhaustive truth.
+pub fn run(f: &Fixture) -> RecallReport {
+    let engine = f.static_engine();
+    let queries = f.query_vecs();
+    let truth = GroundTruth::compute(
+        f.corpus.vectors(),
+        queries,
+        f.params.radius() as f32,
+        &f.pool,
+    );
+    let (answers, _) = engine.query_batch(queries, &f.pool);
+    let reported: Vec<Vec<u32>> = answers
+        .iter()
+        .map(|hits| hits.iter().map(|h| h.index).collect())
+        .collect();
+    let recall = truth.recall_of(&reported);
+
+    // Precision: every reported neighbor must be a true neighbor.
+    let mut reported_total = 0usize;
+    let mut correct = 0usize;
+    for (i, rep) in reported.iter().enumerate() {
+        reported_total += rep.len();
+        for id in rep {
+            if truth.neighbors(i).contains(id) {
+                correct += 1;
+            }
+        }
+    }
+    RecallReport {
+        recall,
+        recall_bound_at_radius: f.params.recall_at_radius(),
+        total_neighbors: truth.total_neighbors(),
+        precision: if reported_total == 0 {
+            1.0
+        } else {
+            correct as f64 / reported_total as f64
+        },
+    }
+}
+
+impl RecallReport {
+    /// Prints the report.
+    pub fn print(&self) {
+        println!("## Accuracy — recall vs exact ground truth\n");
+        println!("| Quantity | Value |");
+        println!("|---|---:|");
+        println!("| Exact neighbors across queries | {} |", self.total_neighbors);
+        println!("| Measured recall | {:.1}% (paper: 92%) |", self.recall * 100.0);
+        println!(
+            "| P'(R) at the radius (worst-case point) | {:.1}% |",
+            self.recall_bound_at_radius * 100.0
+        );
+        println!("| Precision | {:.1}% (exact filtering ⇒ 100%) |", self.precision * 100.0);
+        println!();
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared experiment fixtures: corpus, queries, engines, and scale presets.
+
+use plsh_core::engine::{Engine, EngineConfig};
+use plsh_core::params::PlshParams;
+use plsh_core::sparse::SparseVector;
+use plsh_parallel::ThreadPool;
+use plsh_workload::{CorpusConfig, QuerySet, SyntheticCorpus};
+
+/// Experiment scale. The paper's single-node workload is 10.5 M tweets
+/// over a 500 K vocabulary with 1000 queries; these presets scale it to
+/// what one container core can turn around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast preset for CI and criterion benches (N = 20 K, D = 20 K).
+    Quick,
+    /// The default experiment scale (N = 100 K, D = 50 K, 1000 queries).
+    Full,
+}
+
+impl Scale {
+    /// Reads `PLSH_SCALE=quick|full` from the environment (default full).
+    pub fn from_env() -> Self {
+        match std::env::var("PLSH_SCALE").as_deref() {
+            Ok("quick") => Scale::Quick,
+            _ => Scale::Full,
+        }
+    }
+
+    /// Number of documents `N`.
+    pub fn num_docs(self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    /// Vocabulary size `D`.
+    pub fn vocab(self) -> u32 {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 50_000,
+        }
+    }
+
+    /// Query count (paper: 1000).
+    pub fn num_queries(self) -> usize {
+        match self {
+            Scale::Quick => 200,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Scaled `(k, m)` (the paper's 10.5 M-point node uses k=16, m=40;
+    /// these keep expected bucket occupancy `N/2^k` in the same regime).
+    pub fn k_m(self) -> (u32, u32) {
+        match self {
+            Scale::Quick => (12, 16),
+            Scale::Full => (14, 16),
+        }
+    }
+}
+
+/// A ready-to-run experiment fixture.
+pub struct Fixture {
+    /// The synthetic corpus.
+    pub corpus: SyntheticCorpus,
+    /// The query set (random database subset, paper protocol).
+    pub queries: QuerySet,
+    /// The LSH parameters.
+    pub params: PlshParams,
+    /// The worker pool.
+    pub pool: ThreadPool,
+    /// The scale preset used.
+    pub scale: Scale,
+}
+
+impl Fixture {
+    /// Builds the standard fixture for `scale` with `threads` workers.
+    pub fn build(scale: Scale, threads: usize) -> Self {
+        let corpus = SyntheticCorpus::generate(CorpusConfig {
+            num_docs: scale.num_docs(),
+            vocab_size: scale.vocab(),
+            mean_words: 7.2,
+            zipf_exponent: 1.0,
+            duplicate_fraction: 0.2,
+            seed: 0xC0FFEE,
+        });
+        let queries = QuerySet::sample_from_corpus(&corpus, scale.num_queries(), 0xBEEF);
+        let (k, m) = scale.k_m();
+        let params = PlshParams::builder(corpus.dim())
+            .k(k)
+            .m(m)
+            .radius(0.9)
+            .delta(0.1)
+            .seed(0x5EED)
+            .build()
+            .expect("preset parameters are valid");
+        Self {
+            corpus,
+            queries,
+            params,
+            pool: ThreadPool::new(threads),
+            scale,
+        }
+    }
+
+    /// Query vectors as a slice.
+    pub fn query_vecs(&self) -> &[SparseVector] {
+        self.queries.queries()
+    }
+
+    /// Builds a fully-merged (all-static) engine over the whole corpus.
+    pub fn static_engine(&self) -> Engine {
+        self.engine_with(EngineConfig::new(self.params.clone(), self.corpus.len()).manual_merge())
+    }
+
+    /// Builds an engine with a custom config, loading the whole corpus and
+    /// merging once.
+    pub fn engine_with(&self, config: EngineConfig) -> Engine {
+        let mut e = Engine::new(config, &self.pool).expect("fixture config is valid");
+        e.insert_batch(self.corpus.vectors(), &self.pool)
+            .expect("corpus fits engine capacity");
+        e.merge_delta(&self.pool);
+        e
+    }
+}
+
+/// Formats a `Duration` as fractional milliseconds.
+pub fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_fixture_builds_and_answers() {
+        let mut f = Fixture::build(Scale::Quick, 1);
+        // Shrink further for a unit test.
+        f.corpus = SyntheticCorpus::generate(CorpusConfig::tiny(500, 1));
+        f.queries = QuerySet::sample_from_corpus(&f.corpus, 10, 2);
+        f.params = PlshParams::builder(f.corpus.dim())
+            .k(8)
+            .m(8)
+            .radius(0.9)
+            .seed(3)
+            .build()
+            .unwrap();
+        let e = f.static_engine();
+        assert_eq!(e.static_len(), 500);
+        for (i, q) in f.query_vecs().iter().enumerate() {
+            let src = f.queries.source_id(i).unwrap();
+            let hits = e.query(q, &f.pool);
+            assert!(hits.iter().any(|h| h.index == src), "query {i}");
+        }
+    }
+
+    #[test]
+    fn scale_presets_are_consistent() {
+        assert!(Scale::Quick.num_docs() < Scale::Full.num_docs());
+        let (k, m) = Scale::Full.k_m();
+        assert!(k % 2 == 0 && m >= 2);
+    }
+}

@@ -1,0 +1,500 @@
+//! The coordinator and its simulated nodes.
+
+use std::time::{Duration, Instant};
+
+use plsh_core::engine::{Engine, EngineConfig};
+use plsh_core::error::{PlshError, Result};
+use plsh_core::query::Neighbor;
+use plsh_core::sparse::SparseVector;
+use plsh_parallel::ThreadPool;
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-node engine template (its `capacity` is the per-node `C`).
+    pub node: EngineConfig,
+    /// Number of nodes (paper: 100).
+    pub num_nodes: usize,
+    /// Rolling insert-window size `M` (paper: 4). Must divide `num_nodes`.
+    pub insert_window: usize,
+}
+
+impl ClusterConfig {
+    /// Creates a cluster configuration; `insert_window` must divide
+    /// `num_nodes` so windows tile the cluster exactly.
+    pub fn new(node: EngineConfig, num_nodes: usize, insert_window: usize) -> Self {
+        Self {
+            node,
+            num_nodes,
+            insert_window,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_nodes == 0 {
+            return Err(PlshError::InvalidParams("num_nodes must be > 0".into()));
+        }
+        if self.insert_window == 0 || self.insert_window > self.num_nodes {
+            return Err(PlshError::InvalidParams(
+                "insert_window must lie in 1..=num_nodes".into(),
+            ));
+        }
+        if !self.num_nodes.is_multiple_of(self.insert_window) {
+            return Err(PlshError::InvalidParams(format!(
+                "insert_window {} must divide num_nodes {} so retirement windows tile",
+                self.insert_window, self.num_nodes
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A neighbor found somewhere in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GlobalNeighbor {
+    /// Node that holds the point.
+    pub node: u32,
+    /// Node-local point id.
+    pub index: u32,
+    /// Angular distance to the query.
+    pub distance: f32,
+}
+
+/// Per-batch coordinator report: answers plus per-node compute times.
+#[derive(Debug, Clone)]
+pub struct ClusterQueryReport {
+    /// Per query, the concatenated answers of every node.
+    pub answers: Vec<Vec<GlobalNeighbor>>,
+    /// Wall time each node spent on its partial batch.
+    pub node_times: Vec<Duration>,
+    /// End-to-end wall time including the broadcast and concatenation.
+    pub elapsed: Duration,
+}
+
+impl ClusterQueryReport {
+    /// Slowest node time (the "max" series of Figure 9).
+    pub fn max_node_time(&self) -> Duration {
+        self.node_times.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Fastest node time (the "min" series of Figure 9).
+    pub fn min_node_time(&self) -> Duration {
+        self.node_times.iter().copied().min().unwrap_or_default()
+    }
+
+    /// Mean node time (the "avg" series of Figure 9).
+    pub fn avg_node_time(&self) -> Duration {
+        if self.node_times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.node_times.iter().sum::<Duration>() / self.node_times.len() as u32
+    }
+
+    /// Load imbalance `max / avg` (paper: < 1.3 at 100 nodes, ideal 1.0).
+    pub fn load_imbalance(&self) -> f64 {
+        let avg = self.avg_node_time().as_secs_f64();
+        if avg == 0.0 {
+            return 1.0;
+        }
+        self.max_node_time().as_secs_f64() / avg
+    }
+
+    /// Coordinator overhead: end-to-end time not accounted for by node
+    /// compute, as a fraction of end-to-end time (the paper's "< 1%
+    /// communication").
+    ///
+    /// Node tasks share the coordinator's pool, so the compute baseline is
+    /// the total node time divided by the parallelism actually available
+    /// (`workers` = the pool size used for the broadcast); on a dedicated
+    /// node-per-machine deployment that baseline degenerates to the
+    /// slowest node, as in the paper.
+    pub fn coordination_overhead(&self, workers: usize) -> f64 {
+        let e = self.elapsed.as_secs_f64();
+        if e == 0.0 {
+            return 0.0;
+        }
+        let total: f64 = self.node_times.iter().map(Duration::as_secs_f64).sum();
+        let lanes = workers.clamp(1, self.node_times.len().max(1)) as f64;
+        let busy = (total / lanes).max(self.max_node_time().as_secs_f64());
+        ((e - busy) / e).max(0.0)
+    }
+}
+
+/// Aggregate cluster occupancy.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterStats {
+    /// Points across all nodes.
+    pub total_points: usize,
+    /// Sum of node capacities.
+    pub total_capacity: usize,
+    /// Nodes currently holding at least one point.
+    pub occupied_nodes: usize,
+    /// Index of the window currently receiving inserts.
+    pub active_window: usize,
+    /// Number of wholesale retirements performed.
+    pub retirements: u64,
+}
+
+/// The coordinator plus its simulated nodes (Figure 1).
+pub struct Cluster {
+    config: ClusterConfig,
+    nodes: Vec<Engine>,
+    /// Window currently receiving inserts (`window * M .. (window+1) * M`).
+    window: usize,
+    /// Round-robin cursor within the window.
+    cursor: usize,
+    retirements: u64,
+}
+
+impl Cluster {
+    /// Builds all nodes (each gets the same parameters but its own engine).
+    pub fn new(config: ClusterConfig, pool: &ThreadPool) -> Result<Self> {
+        config.validate()?;
+        let nodes = (0..config.num_nodes)
+            .map(|_| Engine::new(config.node.clone(), pool))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            config,
+            nodes,
+            window: 0,
+            cursor: 0,
+            retirements: 0,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Window size `M`.
+    pub fn insert_window(&self) -> usize {
+        self.config.insert_window
+    }
+
+    /// Borrow a node (tests and experiments).
+    pub fn node(&self, i: usize) -> &Engine {
+        &self.nodes[i]
+    }
+
+    /// Total points stored across nodes.
+    pub fn total_points(&self) -> usize {
+        self.nodes.iter().map(Engine::len).sum()
+    }
+
+    /// Occupancy and window accounting.
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            total_points: self.total_points(),
+            total_capacity: self.nodes.len() * self.config.node.capacity,
+            occupied_nodes: self.nodes.iter().filter(|n| !n.is_empty()).count(),
+            active_window: self.window,
+            retirements: self.retirements,
+        }
+    }
+
+    fn window_range(&self) -> std::ops::Range<usize> {
+        let m = self.config.insert_window;
+        let start = self.window * m;
+        start..start + m
+    }
+
+    fn window_remaining(&self) -> usize {
+        self.window_range()
+            .map(|i| self.nodes[i].remaining_capacity())
+            .sum()
+    }
+
+    /// Advances to the next window, retiring its contents if it holds old
+    /// data (the wrap-around case of Section 6).
+    fn advance_window(&mut self) {
+        let windows = self.nodes.len() / self.config.insert_window;
+        self.window = (self.window + 1) % windows;
+        self.cursor = 0;
+        let range = self.window_range();
+        if self.nodes[range.clone()].iter().any(|n| !n.is_empty()) {
+            for i in range {
+                self.nodes[i].clear();
+            }
+            self.retirements += 1;
+        }
+    }
+
+    /// Streams a batch of points into the cluster.
+    ///
+    /// Points go to the current window's nodes in round-robin order; full
+    /// windows advance (retiring the oldest window when the cluster has
+    /// wrapped). Returns the `(node, local id)` of every inserted point in
+    /// order.
+    pub fn insert_batch(
+        &mut self,
+        vs: &[SparseVector],
+        pool: &ThreadPool,
+    ) -> Result<Vec<(u32, u32)>> {
+        let mut placed: Vec<(u32, u32)> = Vec::with_capacity(vs.len());
+        let mut next = 0usize;
+        while next < vs.len() {
+            if self.window_remaining() == 0 {
+                self.advance_window();
+            }
+            // Assign the rest of the batch round-robin across the window's
+            // non-full nodes, then apply one insert_batch per node.
+            let range = self.window_range();
+            let m = range.len();
+            let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); m];
+            let mut remaining: Vec<usize> = range
+                .clone()
+                .map(|i| self.nodes[i].remaining_capacity())
+                .collect();
+            while next < vs.len() {
+                // Find the next window slot with headroom.
+                let mut tried = 0;
+                while tried < m && remaining[self.cursor] == 0 {
+                    self.cursor = (self.cursor + 1) % m;
+                    tried += 1;
+                }
+                if tried == m {
+                    break; // window exhausted; outer loop advances it
+                }
+                per_node[self.cursor].push(next);
+                remaining[self.cursor] -= 1;
+                self.cursor = (self.cursor + 1) % m;
+                next += 1;
+            }
+            let mut assignments: Vec<(usize, Vec<usize>)> = Vec::new();
+            for (slot, items) in per_node.into_iter().enumerate() {
+                if !items.is_empty() {
+                    assignments.push((range.start + slot, items));
+                }
+            }
+            for (node_idx, items) in assignments {
+                let batch: Vec<SparseVector> =
+                    items.iter().map(|&i| vs[i].clone()).collect();
+                let ids = self.nodes[node_idx].insert_batch(&batch, pool)?;
+                for (&item, id) in items.iter().zip(ids) {
+                    // `placed` is filled in item order; extend as needed.
+                    if placed.len() <= item {
+                        placed.resize(item + 1, (u32::MAX, u32::MAX));
+                    }
+                    placed[item] = (node_idx as u32, id);
+                }
+            }
+        }
+        debug_assert!(placed.iter().all(|&(n, _)| n != u32::MAX));
+        Ok(placed)
+    }
+
+    /// Forces a delta merge on every node.
+    pub fn merge_all(&mut self, pool: &ThreadPool) {
+        for n in &mut self.nodes {
+            n.merge_delta(pool);
+        }
+    }
+
+    /// Broadcasts a query batch to every node (one work-stealing task per
+    /// node, Section 5.3), concatenates the partial answers per query, and
+    /// reports per-node compute times.
+    pub fn query_batch(&self, qs: &[SparseVector], pool: &ThreadPool) -> ClusterQueryReport {
+        let start = Instant::now();
+        // Each node processes the whole batch locally on the task's thread;
+        // cross-node parallelism comes from the pool.
+        let node_pool = ThreadPool::new(1);
+        let partials: Vec<(Vec<Vec<Neighbor>>, Duration)> =
+            pool.parallel_map(self.nodes.iter(), |node| {
+                let t0 = Instant::now();
+                let (answers, _) = node.query_batch(qs, &node_pool);
+                (answers, t0.elapsed())
+            });
+        let mut answers: Vec<Vec<GlobalNeighbor>> = vec![Vec::new(); qs.len()];
+        let mut node_times = Vec::with_capacity(self.nodes.len());
+        for (node_id, (partial, t)) in partials.into_iter().enumerate() {
+            node_times.push(t);
+            for (q, hits) in partial.into_iter().enumerate() {
+                answers[q].extend(hits.into_iter().map(|h| GlobalNeighbor {
+                    node: node_id as u32,
+                    index: h.index,
+                    distance: h.distance,
+                }));
+            }
+        }
+        ClusterQueryReport {
+            answers,
+            node_times,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Answers a single query (broadcast + concatenate).
+    pub fn query(&self, q: &SparseVector, pool: &ThreadPool) -> Vec<GlobalNeighbor> {
+        self.query_batch(std::slice::from_ref(q), pool)
+            .answers
+            .remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsh_core::params::PlshParams;
+    use plsh_core::rng::SplitMix64;
+
+    fn small_config(capacity: usize, nodes: usize, window: usize) -> ClusterConfig {
+        let params = PlshParams::builder(64)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .seed(5)
+            .build()
+            .unwrap();
+        ClusterConfig::new(EngineConfig::new(params, capacity), nodes, window)
+    }
+
+    fn random_vecs(n: usize, seed: u64) -> Vec<SparseVector> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let a = rng.next_below(64) as u32;
+                let b = (a + 1 + rng.next_below(63) as u32) % 64;
+                SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)]).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        let pool = ThreadPool::new(1);
+        assert!(Cluster::new(small_config(10, 0, 1), &pool).is_err());
+        assert!(Cluster::new(small_config(10, 4, 0), &pool).is_err());
+        assert!(Cluster::new(small_config(10, 4, 3), &pool).is_err());
+        assert!(Cluster::new(small_config(10, 4, 8), &pool).is_err());
+        assert!(Cluster::new(small_config(10, 4, 2), &pool).is_ok());
+    }
+
+    #[test]
+    fn inserts_fill_window_before_moving_on() {
+        let pool = ThreadPool::new(1);
+        let mut c = Cluster::new(small_config(10, 4, 2), &pool).unwrap();
+        let vs = random_vecs(20, 1);
+        let placed = c.insert_batch(&vs, &pool).unwrap();
+        assert_eq!(placed.len(), 20);
+        // First 20 points exactly fill window 0 (nodes 0 and 1).
+        assert_eq!(c.node(0).len(), 10);
+        assert_eq!(c.node(1).len(), 10);
+        assert_eq!(c.node(2).len(), 0);
+        assert!(placed.iter().all(|&(n, _)| n <= 1));
+        // Round-robin: points alternate between the two nodes.
+        assert_eq!(placed[0].0, 0);
+        assert_eq!(placed[1].0, 1);
+        assert_eq!(placed[2].0, 0);
+    }
+
+    #[test]
+    fn window_advances_when_full() {
+        let pool = ThreadPool::new(1);
+        let mut c = Cluster::new(small_config(5, 4, 2), &pool).unwrap();
+        c.insert_batch(&random_vecs(15, 2), &pool).unwrap();
+        // 10 fill window 0; 5 spill into window 1.
+        assert_eq!(c.node(0).len() + c.node(1).len(), 10);
+        assert_eq!(c.node(2).len() + c.node(3).len(), 5);
+        assert_eq!(c.stats().active_window, 1);
+        assert_eq!(c.stats().retirements, 0);
+    }
+
+    #[test]
+    fn retirement_erases_oldest_window() {
+        let pool = ThreadPool::new(1);
+        let mut c = Cluster::new(small_config(5, 4, 2), &pool).unwrap();
+        // Fill the whole cluster (20 points), then push 3 more.
+        c.insert_batch(&random_vecs(20, 3), &pool).unwrap();
+        assert_eq!(c.total_points(), 20);
+        c.insert_batch(&random_vecs(3, 4), &pool).unwrap();
+        let stats = c.stats();
+        assert_eq!(stats.retirements, 1);
+        assert_eq!(stats.active_window, 0);
+        // Window 0 was erased and now holds only the 3 new points.
+        assert_eq!(c.node(0).len() + c.node(1).len(), 3);
+        assert_eq!(c.node(2).len() + c.node(3).len(), 10);
+        assert_eq!(c.total_points(), 13);
+    }
+
+    #[test]
+    fn broadcast_query_finds_points_on_every_node() {
+        let pool = ThreadPool::new(2);
+        let mut c = Cluster::new(small_config(10, 4, 4), &pool).unwrap();
+        let vs = random_vecs(40, 5);
+        let placed = c.insert_batch(&vs, &pool).unwrap();
+        // With window = num_nodes, points spread over all 4 nodes.
+        assert!(c.stats().occupied_nodes == 4);
+        for (v, &(node, local)) in vs.iter().zip(&placed) {
+            let hits = c.query(v, &pool);
+            assert!(
+                hits.iter()
+                    .any(|h| h.node == node && h.index == local && h.distance < 1e-3),
+                "point on node {node} not found"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_answers_match_single_engine() {
+        let pool = ThreadPool::new(1);
+        let vs = random_vecs(60, 6);
+        // One big engine vs a 3-node cluster over the same data.
+        let params = PlshParams::builder(64).k(6).m(6).radius(0.9).seed(5).build().unwrap();
+        let mut single = Engine::new(EngineConfig::new(params, 100), &pool).unwrap();
+        single.insert_batch(&vs, &pool).unwrap();
+        let mut c = Cluster::new(small_config(20, 3, 3), &pool).unwrap();
+        let placed = c.insert_batch(&vs, &pool).unwrap();
+        // Map cluster hits back to batch positions for comparison.
+        for v in &vs {
+            let mut single_hits: Vec<u32> =
+                single.query(v, &pool).iter().map(|h| h.index).collect();
+            single_hits.sort_unstable();
+            let mut cluster_hits: Vec<u32> = c
+                .query(v, &pool)
+                .iter()
+                .map(|h| {
+                    placed
+                        .iter()
+                        .position(|&(n, l)| n == h.node && l == h.index)
+                        .unwrap() as u32
+                })
+                .collect();
+            cluster_hits.sort_unstable();
+            assert_eq!(cluster_hits, single_hits);
+        }
+    }
+
+    #[test]
+    fn report_metrics_are_consistent() {
+        let pool = ThreadPool::new(2);
+        let mut c = Cluster::new(small_config(20, 4, 4), &pool).unwrap();
+        let vs = random_vecs(80, 7);
+        c.insert_batch(&vs, &pool).unwrap();
+        c.merge_all(&pool);
+        let report = c.query_batch(&vs[..10], &pool);
+        assert_eq!(report.answers.len(), 10);
+        assert_eq!(report.node_times.len(), 4);
+        assert!(report.max_node_time() >= report.avg_node_time());
+        assert!(report.avg_node_time() >= report.min_node_time());
+        assert!(report.load_imbalance() >= 1.0);
+        let overhead = report.coordination_overhead(pool.num_threads());
+        assert!((0.0..=1.0).contains(&overhead));
+    }
+
+    #[test]
+    fn merge_all_moves_deltas_to_static() {
+        let pool = ThreadPool::new(1);
+        let mut cfg = small_config(50, 2, 2);
+        cfg.node = cfg.node.manual_merge();
+        let mut c = Cluster::new(cfg, &pool).unwrap();
+        let vs = random_vecs(30, 8);
+        c.insert_batch(&vs, &pool).unwrap();
+        assert!(c.node(0).delta_len() + c.node(1).delta_len() > 0);
+        c.merge_all(&pool);
+        assert_eq!(c.node(0).delta_len() + c.node(1).delta_len(), 0);
+        for v in &vs {
+            assert!(!c.query(v, &pool).is_empty());
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # plsh-cluster — multi-node PLSH simulation
+//!
+//! The paper runs PLSH on 100 nodes (Section 4, Figure 1): every node holds
+//! a disjoint slice of the data, queries are broadcast to all nodes and the
+//! partial answers concatenated by a coordinator, and **inserts are
+//! restricted to a rolling window of `M` nodes** so that when the cluster
+//! fills up, the window containing the oldest data can be retired (erased)
+//! wholesale — exact expiration without per-point timestamps.
+//!
+//! The real system used MPI over Infiniband; the paper measures
+//! communication at well under 1% of query time (Section 8.4), so the
+//! interesting behaviour is per-node. This crate therefore simulates nodes
+//! **in-process**: each node is a full [`plsh_core::Engine`], the
+//! coordinator broadcasts query batches with one work-stealing task per
+//! node, and per-node compute times are measured directly — the max/avg/min
+//! series of Figure 9 and the load-imbalance ratio come straight from
+//! those measurements.
+//!
+//! [`firehose`] adds a producer/consumer harness (a bounded channel fed by
+//! a generator thread) used by the streaming examples to mimic the Twitter
+//! firehose's arrival pattern.
+
+mod cluster;
+pub mod firehose;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterQueryReport, ClusterStats, GlobalNeighbor};

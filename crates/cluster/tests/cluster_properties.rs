@@ -1,0 +1,104 @@
+//! Property-based tests of cluster insert-routing invariants.
+
+use proptest::prelude::*;
+
+use plsh_cluster::{Cluster, ClusterConfig};
+use plsh_core::engine::EngineConfig;
+use plsh_core::params::PlshParams;
+use plsh_core::rng::SplitMix64;
+use plsh_core::sparse::SparseVector;
+use plsh_parallel::ThreadPool;
+
+fn params() -> PlshParams {
+    PlshParams::builder(32).k(4).m(4).radius(0.9).seed(2).build().unwrap()
+}
+
+fn vectors(n: usize, seed: u64) -> Vec<SparseVector> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let a = rng.next_below(32) as u32;
+            let b = (a + 1 + rng.next_below(31) as u32) % 32;
+            SparseVector::unit(vec![(a, 1.0), (b, 0.5)]).unwrap()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn routing_invariants_hold(
+        capacity in 5usize..40,
+        windows in 1usize..4,
+        window_size in 1usize..4,
+        stream_len in 1usize..300,
+        seed in 0u64..1000,
+    ) {
+        let nodes = windows * window_size;
+        let pool = ThreadPool::new(1);
+        let config = ClusterConfig::new(
+            EngineConfig::new(params(), capacity),
+            nodes,
+            window_size,
+        );
+        let mut cluster = Cluster::new(config, &pool).unwrap();
+        let vs = vectors(stream_len, seed);
+        let placed = cluster.insert_batch(&vs, &pool).unwrap();
+
+        // Every point got a valid placement.
+        prop_assert_eq!(placed.len(), stream_len);
+        for &(node, local) in &placed {
+            prop_assert!((node as usize) < nodes);
+            prop_assert!((local as usize) < capacity);
+        }
+
+        let stats = cluster.stats();
+        let total_capacity = nodes * capacity;
+        // Stored points never exceed capacity, and without wrap-around
+        // nothing is lost.
+        prop_assert!(stats.total_points <= total_capacity);
+        if stream_len <= total_capacity {
+            prop_assert_eq!(stats.retirements, 0);
+            prop_assert_eq!(stats.total_points, stream_len);
+        } else {
+            prop_assert!(stats.retirements >= 1);
+        }
+        // No node over capacity.
+        for i in 0..nodes {
+            prop_assert!(cluster.node(i).len() <= capacity);
+        }
+        // The most recently inserted point always survives (a retirement
+        // can never erase the point that triggered it).
+        let &(node, local) = placed.last().unwrap();
+        prop_assert!((local as usize) < cluster.node(node as usize).len());
+    }
+
+    #[test]
+    fn full_window_queries_agree_with_per_node_queries(
+        stream_len in 1usize..60,
+        seed in 0u64..100,
+    ) {
+        let pool = ThreadPool::new(2);
+        let config = ClusterConfig::new(EngineConfig::new(params(), 30), 3, 3);
+        let mut cluster = Cluster::new(config, &pool).unwrap();
+        let vs = vectors(stream_len, seed);
+        cluster.insert_batch(&vs, &pool).unwrap();
+        // Coordinator answers = union of per-node answers.
+        let q = &vs[0];
+        let mut from_cluster: Vec<(u32, u32)> = cluster
+            .query(q, &pool)
+            .iter()
+            .map(|h| (h.node, h.index))
+            .collect();
+        from_cluster.sort_unstable();
+        let mut manual = Vec::new();
+        for node in 0..cluster.num_nodes() {
+            for h in cluster.node(node).query(q, &pool) {
+                manual.push((node as u32, h.index));
+            }
+        }
+        manual.sort_unstable();
+        prop_assert_eq!(from_cluster, manual);
+    }
+}

@@ -1,0 +1,227 @@
+//! Bitvector duplicate elimination (paper Section 5.2.1).
+//!
+//! Step Q2 of the query pipeline merges the buckets of all `L` tables; a
+//! point colliding with the query in several tables appears several times,
+//! and computing its distance repeatedly is wasted work. The paper compares
+//! sorting, tree sets, and a histogram, and picks the histogram realized as
+//! a **bitvector over the point-id space** `0..N` — `O(1)` per collision
+//! with a tiny constant, and small enough (1.25 MB for N = 10 M) to stay in
+//! cache.
+//!
+//! [`CandidateSet`] is that bitvector plus the discovered-candidate list
+//! used to (a) clear only the touched words after a query, keeping the
+//! per-query cost proportional to the candidates rather than to `N`, and
+//! (b) optionally extract a **sorted** unique-candidate array by scanning
+//! the bitvector — the array that makes the Step Q3 data accesses
+//! predictable and prefetchable (Section 5.2.2).
+
+/// A reusable bitvector over point ids with candidate tracking.
+///
+/// ```
+/// use plsh_core::dedup::CandidateSet;
+///
+/// let mut set = CandidateSet::new(1000);
+/// assert!(set.insert(42));
+/// assert!(!set.insert(42), "duplicates are filtered in O(1)");
+/// set.insert(7);
+/// let mut sorted = Vec::new();
+/// set.extract_sorted(&mut sorted);
+/// assert_eq!(sorted, vec![7, 42]);
+/// set.clear(); // O(candidates), not O(capacity)
+/// assert!(set.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    words: Vec<u64>,
+    /// Unique ids in discovery order (also the clear list).
+    candidates: Vec<u32>,
+}
+
+impl CandidateSet {
+    /// Creates a set able to hold ids `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0u64; capacity.div_ceil(64)],
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Capacity in ids.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 64
+    }
+
+    /// Grows the set to hold ids `0..capacity` (never shrinks).
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        let need = capacity.div_ceil(64);
+        if need > self.words.len() {
+            self.words.resize(need, 0);
+        }
+    }
+
+    /// Inserts `id`; returns `true` iff it was not yet present.
+    ///
+    /// This is the paper's 11-operation kernel: locate the word, test the
+    /// bit, set it if clear.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let word = (id >> 6) as usize;
+        let bit = 1u64 << (id & 63);
+        debug_assert!(word < self.words.len(), "id {id} beyond capacity");
+        let w = self.words[word];
+        if w & bit != 0 {
+            return false;
+        }
+        self.words[word] = w | bit;
+        self.candidates.push(id);
+        true
+    }
+
+    /// True iff `id` has been inserted since the last clear.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        let word = (id >> 6) as usize;
+        self.words[word] & (1u64 << (id & 63)) != 0
+    }
+
+    /// Number of unique ids inserted.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True when no ids are present.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Unique ids in discovery order.
+    pub fn candidates(&self) -> &[u32] {
+        &self.candidates
+    }
+
+    /// Scans the bitvector and writes the unique ids **in sorted order**
+    /// into `out` (cleared first); returns how many were written.
+    ///
+    /// This is the Section 5.2.2 extraction pass: a linear scan of the
+    /// words whose output is inherently sorted and duplicate-free, enabling
+    /// software prefetch of the succeeding data items during Step Q3.
+    pub fn extract_sorted(&self, out: &mut Vec<u32>) -> usize {
+        out.clear();
+        out.reserve(self.candidates.len());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((wi * 64) as u32 + b);
+                bits &= bits - 1;
+            }
+        }
+        debug_assert_eq!(out.len(), self.candidates.len());
+        out.len()
+    }
+
+    /// Clears the set in `O(candidates)` by zeroing only touched words.
+    pub fn clear(&mut self) {
+        for &id in &self.candidates {
+            self.words[(id >> 6) as usize] = 0;
+        }
+        self.candidates.clear();
+    }
+
+    /// Bytes held by the bitvector (the paper's 1.25 MB for N = 10 M).
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_dedups() {
+        let mut s = CandidateSet::new(100);
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.insert(64));
+        assert!(s.insert(63));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(5) && s.contains(63) && s.contains(64));
+        assert!(!s.contains(6));
+        assert_eq!(s.candidates(), &[5, 64, 63]);
+    }
+
+    #[test]
+    fn extract_sorted_is_sorted_unique() {
+        let mut s = CandidateSet::new(256);
+        for id in [200u32, 3, 64, 3, 199, 0, 255] {
+            s.insert(id);
+        }
+        let mut out = Vec::new();
+        let n = s.extract_sorted(&mut out);
+        assert_eq!(n, 6);
+        assert_eq!(out, vec![0, 3, 64, 199, 200, 255]);
+    }
+
+    #[test]
+    fn clear_only_touches_candidates_but_fully_resets() {
+        let mut s = CandidateSet::new(1024);
+        for id in 0..100u32 {
+            s.insert(id * 7 % 1024);
+        }
+        s.clear();
+        assert!(s.is_empty());
+        for id in 0..1024u32 {
+            assert!(!s.contains(id), "id {id} survived clear");
+        }
+        // Reusable.
+        assert!(s.insert(42));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn capacity_boundary_ids() {
+        let mut s = CandidateSet::new(65); // rounds up to 128 bits
+        assert!(s.capacity() >= 65);
+        assert!(s.insert(64));
+        assert!(s.contains(64));
+        s.clear();
+        assert!(!s.contains(64));
+    }
+
+    #[test]
+    fn ensure_capacity_grows() {
+        let mut s = CandidateSet::new(64);
+        s.insert(10);
+        s.ensure_capacity(1000);
+        assert!(s.capacity() >= 1000);
+        assert!(s.contains(10), "growth must preserve contents");
+        s.insert(999);
+        assert!(s.contains(999));
+    }
+
+    #[test]
+    fn agrees_with_reference_set() {
+        let mut s = CandidateSet::new(4096);
+        let mut reference = BTreeSet::new();
+        let mut x = 12345u64;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let id = (x >> 33) as u32 % 4096;
+            assert_eq!(s.insert(id), reference.insert(id));
+        }
+        let mut out = Vec::new();
+        s.extract_sorted(&mut out);
+        let expect: Vec<u32> = reference.into_iter().collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn memory_matches_paper_scale() {
+        // N = 10M -> about 1.25 MB of bitvector (paper Section 5.2.1).
+        let s = CandidateSet::new(10_000_000);
+        let mb = s.memory_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((1.1..1.3).contains(&mb), "{mb} MB");
+    }
+}

@@ -1,0 +1,762 @@
+//! The single-node PLSH engine: static tables + delta tables + deletions.
+//!
+//! This is the per-node composite of Section 4/6: inserts are hashed once,
+//! buffered in the insert-optimized [`DeltaTables`], and periodically merged
+//! into the read-optimized [`StaticTables`] when the delta reaches a
+//! fraction `η` of node capacity. Queries consult both structures and a
+//! deletion bitvector, so answers always reflect every live point.
+//!
+//! The merge rebuilds the static structure from the stored sketches — the
+//! paper shows (Section 6.2) that any merge algorithm is at most ~2.7×
+//! cheaper than this rebuild, because both are bound by the memory traffic
+//! of writing the combined tables.
+
+use plsh_parallel::ThreadPool;
+
+use crate::error::{PlshError, Result};
+use crate::hash::{Hyperplanes, HyperplanesKind, SketchMatrix};
+use crate::params::PlshParams;
+use crate::query::{
+    self, BatchStats, Neighbor, QueryContext, QueryScratch, QueryStats, QueryStrategy,
+    ScratchPool,
+};
+use crate::sparse::{CrsMatrix, SparseVector};
+use crate::table::{BuildStrategy, DeltaLayout, DeltaTables, StaticTables};
+
+/// Configuration of a single PLSH node engine.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Validated LSH parameters.
+    pub params: PlshParams,
+    /// Node capacity `C` in points; inserts beyond this fail (Section 6).
+    pub capacity: usize,
+    /// Delta fraction `η` of capacity that triggers an automatic merge
+    /// (paper: 0.1, chosen so worst-case queries stay within 1.5× static).
+    pub eta: f64,
+    /// Whether inserts trigger merges automatically at `η·C`.
+    pub auto_merge: bool,
+    /// Static construction algorithm (Figure 4 ablation).
+    pub build_strategy: BuildStrategy,
+    /// Query pipeline switches (Figure 5 ablation).
+    pub query_strategy: QueryStrategy,
+    /// Delta bin layout.
+    pub delta_layout: DeltaLayout,
+    /// Hyperplane storage (dense or on-the-fly).
+    pub hyperplanes: HyperplanesKind,
+    /// Vectorization-friendly hashing kernel (Figure 4 "+vectorization").
+    pub vectorized_hashing: bool,
+}
+
+impl EngineConfig {
+    /// Default configuration: all optimizations on, `η = 0.1`, auto-merge.
+    pub fn new(params: PlshParams, capacity: usize) -> Self {
+        Self {
+            params,
+            capacity,
+            eta: 0.1,
+            auto_merge: true,
+            build_strategy: BuildStrategy::TwoLevelShared,
+            query_strategy: QueryStrategy::optimized(),
+            delta_layout: DeltaLayout::Direct,
+            hyperplanes: HyperplanesKind::Dense,
+            vectorized_hashing: true,
+        }
+    }
+
+    /// Sets the delta fraction `η`.
+    pub fn with_eta(mut self, eta: f64) -> Self {
+        self.eta = eta;
+        self
+    }
+
+    /// Disables automatic merging (callers merge explicitly).
+    pub fn manual_merge(mut self) -> Self {
+        self.auto_merge = false;
+        self
+    }
+
+    /// Overrides the build strategy.
+    pub fn with_build_strategy(mut self, s: BuildStrategy) -> Self {
+        self.build_strategy = s;
+        self
+    }
+
+    /// Overrides the query strategy.
+    pub fn with_query_strategy(mut self, s: QueryStrategy) -> Self {
+        self.query_strategy = s;
+        self
+    }
+
+    /// Overrides the delta layout.
+    pub fn with_delta_layout(mut self, l: DeltaLayout) -> Self {
+        self.delta_layout = l;
+        self
+    }
+
+    /// Uses on-the-fly hyperplanes (no dense matrix).
+    pub fn with_on_the_fly_hyperplanes(mut self) -> Self {
+        self.hyperplanes = HyperplanesKind::OnTheFly;
+        self
+    }
+
+    /// Selects the naive hashing kernel (ablation).
+    pub fn with_naive_hashing(mut self) -> Self {
+        self.vectorized_hashing = false;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.capacity == 0 {
+            return Err(PlshError::InvalidParams("capacity must be > 0".into()));
+        }
+        if !(self.eta > 0.0 && self.eta <= 1.0) {
+            return Err(PlshError::InvalidParams(format!(
+                "eta must lie in (0, 1], got {}",
+                self.eta
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Deletion tombstones: one bit per point id (Section 6.2).
+#[derive(Debug, Clone)]
+struct DeletionBitmap {
+    words: Vec<u64>,
+    count: usize,
+}
+
+impl DeletionBitmap {
+    fn new(capacity: usize) -> Self {
+        Self {
+            words: vec![0u64; capacity.div_ceil(64)],
+            count: 0,
+        }
+    }
+
+    fn set(&mut self, id: u32) -> bool {
+        let w = (id >> 6) as usize;
+        let bit = 1u64 << (id & 63);
+        if self.words[w] & bit != 0 {
+            return false;
+        }
+        self.words[w] |= bit;
+        self.count += 1;
+        true
+    }
+
+    fn is_set(&self, id: u32) -> bool {
+        self.words[(id >> 6) as usize] & (1u64 << (id & 63)) != 0
+    }
+
+    fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.count = 0;
+    }
+}
+
+/// Point and memory accounting for one engine.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct EngineStats {
+    /// Total live + deleted points stored.
+    pub total_points: usize,
+    /// Points in the static tables.
+    pub static_points: usize,
+    /// Points buffered in the delta tables.
+    pub delta_points: usize,
+    /// Tombstoned points.
+    pub deleted_points: usize,
+    /// Merges performed so far.
+    pub merges: u64,
+    /// Bytes in static tables.
+    pub static_table_bytes: usize,
+    /// Bytes in delta bins.
+    pub delta_table_bytes: usize,
+    /// Bytes of stored sketches.
+    pub sketch_bytes: usize,
+    /// Bytes of the dense hyperplane matrix (0 when on-the-fly).
+    pub hyperplane_bytes: usize,
+}
+
+/// A single-node PLSH engine.
+pub struct Engine {
+    config: EngineConfig,
+    planes: Hyperplanes,
+    data: CrsMatrix,
+    sketches: SketchMatrix,
+    static_len: usize,
+    statics: Option<StaticTables>,
+    delta: DeltaTables,
+    deleted: DeletionBitmap,
+    scratches: ScratchPool,
+    merges: u64,
+}
+
+impl Engine {
+    /// Creates an empty engine (hyperplanes are generated here).
+    pub fn new(config: EngineConfig, pool: &ThreadPool) -> Result<Self> {
+        config.validate()?;
+        let p = &config.params;
+        let planes = match config.hyperplanes {
+            HyperplanesKind::Dense => {
+                Hyperplanes::new_dense(p.dim(), p.num_hashes(), p.seed(), pool)
+            }
+            HyperplanesKind::OnTheFly => {
+                Hyperplanes::new_on_the_fly(p.dim(), p.num_hashes(), p.seed())
+            }
+        };
+        let scratches = ScratchPool::new(p.m(), p.half_bits(), p.dim());
+        Ok(Self {
+            data: CrsMatrix::with_capacity(p.dim(), config.capacity.min(1 << 20), 8),
+            sketches: SketchMatrix::new(p.m(), p.half_bits()),
+            static_len: 0,
+            statics: None,
+            delta: DeltaTables::new(p.m(), p.half_bits(), config.delta_layout),
+            deleted: DeletionBitmap::new(config.capacity),
+            scratches,
+            merges: 0,
+            planes,
+            config,
+        })
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &PlshParams {
+        &self.config.params
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Total stored points (live + deleted).
+    pub fn len(&self) -> usize {
+        self.data.num_rows()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Points currently in the static structure.
+    pub fn static_len(&self) -> usize {
+        self.static_len
+    }
+
+    /// Points currently buffered in the delta structure.
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Node capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.config.capacity
+    }
+
+    /// Remaining insert headroom.
+    pub fn remaining_capacity(&self) -> usize {
+        self.config.capacity - self.len()
+    }
+
+    /// The stored vector for point `id`.
+    pub fn vector(&self, id: u32) -> SparseVector {
+        self.data.row_vector(id)
+    }
+
+    /// Inserts one vector; returns its node-local id.
+    pub fn insert(&mut self, v: SparseVector, pool: &ThreadPool) -> Result<u32> {
+        Ok(self.insert_batch(std::slice::from_ref(&v), pool)?[0])
+    }
+
+    /// Inserts a batch of vectors (paper: streaming arrives in ~100 K-point
+    /// chunks, Section 6.2); returns their ids.
+    ///
+    /// The batch is all-or-nothing with respect to capacity; dimension
+    /// errors abort before any vector of the batch is applied.
+    pub fn insert_batch(&mut self, vs: &[SparseVector], pool: &ThreadPool) -> Result<Vec<u32>> {
+        if self.len() + vs.len() > self.config.capacity {
+            return Err(PlshError::CapacityExceeded {
+                capacity: self.config.capacity,
+            });
+        }
+        for v in vs {
+            if let Some(max) = v.max_index() {
+                if max >= self.config.params.dim() {
+                    return Err(PlshError::DimensionOutOfRange {
+                        index: max,
+                        dim: self.config.params.dim(),
+                    });
+                }
+            }
+        }
+        let from = self.len();
+        for v in vs {
+            self.data.push(v).expect("dimensions validated above");
+        }
+        self.sketches.append_from(
+            &self.data,
+            &self.planes,
+            from,
+            pool,
+            self.config.vectorized_hashing,
+        );
+        let ids: Vec<u32> = (from as u32..(from + vs.len()) as u32).collect();
+        self.delta.insert_batch(&self.sketches, &ids, pool);
+        if self.config.auto_merge && self.delta.len() as f64 >= self.config.eta * self.config.capacity as f64
+        {
+            self.merge_delta(pool);
+        }
+        Ok(ids)
+    }
+
+    /// Inserts everything from an iterator.
+    pub fn extend<I>(&mut self, vs: I, pool: &ThreadPool) -> Result<Vec<u32>>
+    where
+        I: IntoIterator<Item = SparseVector>,
+    {
+        let vs: Vec<SparseVector> = vs.into_iter().collect();
+        self.insert_batch(&vs, pool)
+    }
+
+    /// Merges the delta into the static structure by rebuilding the static
+    /// tables over every stored point (Section 6.2).
+    pub fn merge_delta(&mut self, pool: &ThreadPool) {
+        let n = self.len();
+        let statics =
+            StaticTables::build_prefix(&self.sketches, n, self.config.build_strategy, pool);
+        if self.config.query_strategy.huge_pages {
+            statics.advise_huge_pages();
+        }
+        self.statics = Some(statics);
+        self.static_len = n;
+        self.delta.clear();
+        self.merges += 1;
+    }
+
+    /// Tombstones a point; returns `false` if it was already deleted or out
+    /// of range.
+    pub fn delete(&mut self, id: u32) -> bool {
+        if (id as usize) >= self.len() {
+            return false;
+        }
+        self.deleted.set(id)
+    }
+
+    /// True iff `id` is tombstoned.
+    pub fn is_deleted(&self, id: u32) -> bool {
+        (id as usize) < self.len() && self.deleted.is_set(id)
+    }
+
+    /// Retires the node's entire contents (Section 6: the rolling window
+    /// erases the oldest `M` nodes wholesale). Storage is retained.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.sketches.clear();
+        self.statics = None;
+        self.static_len = 0;
+        self.delta.clear();
+        self.deleted.clear();
+    }
+
+    fn ctx(&self) -> QueryContext<'_> {
+        QueryContext {
+            data: &self.data,
+            planes: &self.planes,
+            static_tables: self.statics.as_ref(),
+            delta: if self.delta.is_empty() {
+                None
+            } else {
+                Some(&self.delta)
+            },
+            deleted: if self.deleted.count == 0 {
+                None
+            } else {
+                Some(&self.deleted.words)
+            },
+            m: self.config.params.m(),
+            half_bits: self.config.params.half_bits(),
+            radius: self.config.params.radius() as f32,
+            strategy: self.config.query_strategy,
+        }
+    }
+
+    /// Answers one query (single-threaded; `pool` reserved for signature
+    /// symmetry with [`query_batch`](Self::query_batch)).
+    pub fn query(&self, q: &SparseVector, _pool: &ThreadPool) -> Vec<Neighbor> {
+        self.query_with_stats(q).0
+    }
+
+    /// Answers one query and returns its pipeline counters.
+    pub fn query_with_stats(&self, q: &SparseVector) -> (Vec<Neighbor>, QueryStats) {
+        let mut scratch = self.scratches.take(self.len());
+        let r = query::execute_query(&self.ctx(), q, &mut scratch);
+        self.scratches.put(scratch);
+        r
+    }
+
+    /// Answers a batch of queries with one work-stealing task per query.
+    pub fn query_batch(
+        &self,
+        qs: &[SparseVector],
+        pool: &ThreadPool,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        query::execute_batch(&self.ctx(), qs, pool, &self.scratches)
+    }
+
+    /// Runs one query with an explicit strategy override (ablations).
+    pub fn query_with_strategy(
+        &self,
+        q: &SparseVector,
+        strategy: QueryStrategy,
+    ) -> (Vec<Neighbor>, QueryStats) {
+        let mut ctx = self.ctx();
+        ctx.strategy = strategy;
+        let mut scratch = self.scratches.take(self.len());
+        let r = query::execute_query(&ctx, q, &mut scratch);
+        self.scratches.put(scratch);
+        r
+    }
+
+    /// Runs a query batch with an explicit strategy override (ablations).
+    pub fn query_batch_with_strategy(
+        &self,
+        qs: &[SparseVector],
+        strategy: QueryStrategy,
+        pool: &ThreadPool,
+    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        let mut ctx = self.ctx();
+        ctx.strategy = strategy;
+        query::execute_batch(&ctx, qs, pool, &self.scratches)
+    }
+
+    /// Answers an approximate k-nearest-neighbor query: the `k` closest
+    /// points among everything the hash tables surface for `q`, ascending
+    /// by distance (see [`query::execute_knn`]).
+    pub fn query_knn(&self, q: &SparseVector, k: usize) -> (Vec<Neighbor>, QueryStats) {
+        let mut scratch = self.scratches.take(self.len());
+        let r = query::execute_knn(&self.ctx(), q, k, &mut scratch);
+        self.scratches.put(scratch);
+        r
+    }
+
+    /// Runs a query batch sequentially with per-phase timers (Figure 6).
+    pub fn profile_query_batch(
+        &self,
+        qs: &[SparseVector],
+    ) -> (query::QueryPhaseTimings, QueryStats) {
+        let mut scratch = self.scratches.take(self.len());
+        let r = query::profile_batch(&self.ctx(), qs, &mut scratch);
+        self.scratches.put(scratch);
+        r
+    }
+
+    /// Point/memory accounting.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            total_points: self.len(),
+            static_points: self.static_len,
+            delta_points: self.delta.len(),
+            deleted_points: self.deleted.count,
+            merges: self.merges,
+            static_table_bytes: self.statics.as_ref().map_or(0, StaticTables::memory_bytes),
+            delta_table_bytes: self.delta.memory_bytes(),
+            sketch_bytes: self.sketches.memory_bytes(),
+            hyperplane_bytes: self.planes.memory_bytes(),
+        }
+    }
+
+    /// A scratch suitable for external query drivers (tests, benches).
+    pub fn make_scratch(&self) -> QueryScratch {
+        self.scratches.take(self.len())
+    }
+}
+
+/// Derives the largest delta fraction `η` keeping worst-case query time
+/// within `slowdown` × the static query time (Section 6.3).
+///
+/// With static time `t_s` (all data static) and streaming time `t_d` (all
+/// data in delta bins), the worst-case mixed time is
+/// `(1−η)·t_s + η·t_d ≤ slowdown·t_s`, hence
+/// `η ≤ (slowdown − 1)·t_s / (t_d − t_s)`. The paper plugs in 1.4 ms and
+/// 6 ms with slowdown 1.5 to get η ≤ 0.15 and chooses 0.1.
+pub fn eta_bound(static_time: f64, delta_time: f64, slowdown: f64) -> f64 {
+    assert!(static_time > 0.0 && slowdown >= 1.0);
+    if delta_time <= static_time {
+        return 1.0; // delta is no slower; any fraction is fine
+    }
+    ((slowdown - 1.0) * static_time / (delta_time - static_time)).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn params(dim: u32) -> PlshParams {
+        PlshParams::builder(dim)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .delta(0.1)
+            .seed(99)
+            .build()
+            .unwrap()
+    }
+
+    fn random_vec(rng: &mut SplitMix64, dim: u32) -> SparseVector {
+        let a = rng.next_below(dim as u64) as u32;
+        let b = (a + 1 + rng.next_below(dim as u64 - 1) as u32) % dim;
+        SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)]).unwrap()
+    }
+
+    #[test]
+    fn insert_query_roundtrip_without_merge() {
+        let pool = ThreadPool::new(1);
+        let mut e = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(1);
+        let vs: Vec<SparseVector> = (0..50).map(|_| random_vec(&mut rng, 64)).collect();
+        let ids = e.insert_batch(&vs, &pool).unwrap();
+        assert_eq!(ids, (0..50).collect::<Vec<u32>>());
+        assert_eq!(e.static_len(), 0);
+        assert_eq!(e.delta_len(), 50);
+        // Every point must find itself purely through the delta tables.
+        for (i, v) in vs.iter().enumerate() {
+            let hits = e.query(v, &pool);
+            assert!(
+                hits.iter().any(|h| h.index == i as u32 && h.distance < 1e-3),
+                "point {i} not found pre-merge"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_preserves_query_answers() {
+        let pool = ThreadPool::new(2);
+        let mut e = Engine::new(EngineConfig::new(params(64), 200).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(2);
+        let vs: Vec<SparseVector> = (0..120).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs, &pool).unwrap();
+
+        let pre: Vec<Vec<u32>> = vs
+            .iter()
+            .map(|v| {
+                let mut hits: Vec<u32> = e.query(v, &pool).iter().map(|h| h.index).collect();
+                hits.sort_unstable();
+                hits
+            })
+            .collect();
+        e.merge_delta(&pool);
+        assert_eq!(e.static_len(), 120);
+        assert_eq!(e.delta_len(), 0);
+        for (v, expect) in vs.iter().zip(&pre) {
+            let mut hits: Vec<u32> = e.query(v, &pool).iter().map(|h| h.index).collect();
+            hits.sort_unstable();
+            assert_eq!(&hits, expect, "merge must not change answers");
+        }
+    }
+
+    #[test]
+    fn mixed_static_and_delta_queries() {
+        let pool = ThreadPool::new(1);
+        let mut e = Engine::new(EngineConfig::new(params(64), 300).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(3);
+        let first: Vec<SparseVector> = (0..80).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&first, &pool).unwrap();
+        e.merge_delta(&pool);
+        let second: Vec<SparseVector> = (0..40).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&second, &pool).unwrap();
+        assert_eq!(e.static_len(), 80);
+        assert_eq!(e.delta_len(), 40);
+        // Old and new points are both findable.
+        for (i, v) in first.iter().enumerate() {
+            assert!(e.query(v, &pool).iter().any(|h| h.index == i as u32));
+        }
+        for (i, v) in second.iter().enumerate() {
+            let id = 80 + i as u32;
+            assert!(e.query(v, &pool).iter().any(|h| h.index == id));
+        }
+    }
+
+    #[test]
+    fn auto_merge_fires_at_eta() {
+        let pool = ThreadPool::new(1);
+        let config = EngineConfig::new(params(64), 100).with_eta(0.1);
+        let mut e = Engine::new(config, &pool).unwrap();
+        let mut rng = SplitMix64::new(4);
+        for i in 0..10 {
+            e.insert(random_vec(&mut rng, 64), &pool).unwrap();
+            let _ = i;
+        }
+        // 10 points = eta * capacity, so a merge must have fired.
+        assert!(e.stats().merges >= 1);
+        assert_eq!(e.delta_len(), 0);
+        assert_eq!(e.static_len(), 10);
+    }
+
+    #[test]
+    fn capacity_is_enforced_atomically() {
+        let pool = ThreadPool::new(1);
+        let mut e = Engine::new(EngineConfig::new(params(64), 10), &pool).unwrap();
+        let mut rng = SplitMix64::new(5);
+        let vs: Vec<SparseVector> = (0..11).map(|_| random_vec(&mut rng, 64)).collect();
+        assert_eq!(
+            e.insert_batch(&vs, &pool).unwrap_err(),
+            PlshError::CapacityExceeded { capacity: 10 }
+        );
+        assert_eq!(e.len(), 0, "failed batch must not be partially applied");
+        e.insert_batch(&vs[..10], &pool).unwrap();
+        assert_eq!(e.remaining_capacity(), 0);
+        assert!(e.insert(vs[10].clone(), &pool).is_err());
+    }
+
+    #[test]
+    fn dimension_errors_abort_batch() {
+        let pool = ThreadPool::new(1);
+        let mut e = Engine::new(EngineConfig::new(params(64), 10), &pool).unwrap();
+        let good = SparseVector::unit(vec![(0, 1.0)]).unwrap();
+        let bad = SparseVector::unit(vec![(64, 1.0)]).unwrap();
+        let err = e.insert_batch(&[good, bad], &pool).unwrap_err();
+        assert_eq!(err, PlshError::DimensionOutOfRange { index: 64, dim: 64 });
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn delete_hides_points_from_queries() {
+        let pool = ThreadPool::new(1);
+        let mut e = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
+        let v = SparseVector::unit(vec![(3, 1.0), (9, 0.5)]).unwrap();
+        let id = e.insert(v.clone(), &pool).unwrap();
+        assert!(e.query(&v, &pool).iter().any(|h| h.index == id));
+        assert!(e.delete(id));
+        assert!(!e.delete(id), "double delete returns false");
+        assert!(e.is_deleted(id));
+        assert!(!e.query(&v, &pool).iter().any(|h| h.index == id));
+        // Deletion also filters static-path answers after a merge.
+        e.merge_delta(&pool);
+        assert!(!e.query(&v, &pool).iter().any(|h| h.index == id));
+        assert!(!e.delete(55), "out of range delete is rejected");
+    }
+
+    #[test]
+    fn clear_retires_everything() {
+        let pool = ThreadPool::new(1);
+        let mut e = Engine::new(EngineConfig::new(params(64), 50), &pool).unwrap();
+        let mut rng = SplitMix64::new(6);
+        let vs: Vec<SparseVector> = (0..20).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs, &pool).unwrap();
+        e.delete(3);
+        e.clear();
+        assert!(e.is_empty());
+        assert_eq!(e.delta_len(), 0);
+        assert_eq!(e.static_len(), 0);
+        assert_eq!(e.stats().deleted_points, 0);
+        assert!(e.query(&vs[0], &pool).is_empty());
+        // Node is reusable after retirement.
+        let id = e.insert(vs[0].clone(), &pool).unwrap();
+        assert_eq!(id, 0);
+        assert!(e.query(&vs[0], &pool).iter().any(|h| h.index == 0));
+    }
+
+    #[test]
+    fn batch_query_agrees_with_singles() {
+        let pool = ThreadPool::new(2);
+        let mut e = Engine::new(EngineConfig::new(params(64), 200), &pool).unwrap();
+        let mut rng = SplitMix64::new(7);
+        let vs: Vec<SparseVector> = (0..100).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs, &pool).unwrap();
+        let queries = &vs[..25];
+        let (batch, stats) = e.query_batch(queries, &pool);
+        assert_eq!(stats.queries, 25);
+        for (q, got) in queries.iter().zip(&batch) {
+            let mut got: Vec<u32> = got.iter().map(|h| h.index).collect();
+            got.sort_unstable();
+            let mut single: Vec<u32> = e.query(q, &pool).iter().map(|h| h.index).collect();
+            single.sort_unstable();
+            assert_eq!(got, single);
+        }
+    }
+
+    #[test]
+    fn on_the_fly_hyperplanes_match_dense() {
+        let pool = ThreadPool::new(1);
+        let mut rng = SplitMix64::new(8);
+        let vs: Vec<SparseVector> = (0..60).map(|_| random_vec(&mut rng, 64)).collect();
+        let mut dense =
+            Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
+        let mut lazy = Engine::new(
+            EngineConfig::new(params(64), 100)
+                .manual_merge()
+                .with_on_the_fly_hyperplanes(),
+            &pool,
+        )
+        .unwrap();
+        dense.insert_batch(&vs, &pool).unwrap();
+        lazy.insert_batch(&vs, &pool).unwrap();
+        dense.merge_delta(&pool);
+        lazy.merge_delta(&pool);
+        for v in &vs {
+            let mut a: Vec<u32> = dense.query(v, &pool).iter().map(|h| h.index).collect();
+            let mut b: Vec<u32> = lazy.query(v, &pool).iter().map(|h| h.index).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn eta_bound_matches_paper_example() {
+        // Static 1.4 ms, streaming 6 ms, slowdown 1.5 → η ≤ ~0.152.
+        let eta = eta_bound(1.4, 6.0, 1.5);
+        assert!((0.14..0.17).contains(&eta), "{eta}");
+        // Delta faster than static → unbounded (clamped to 1).
+        assert_eq!(eta_bound(2.0, 1.0, 1.5), 1.0);
+    }
+
+    #[test]
+    fn knn_returns_sorted_top_k() {
+        let pool = ThreadPool::new(1);
+        let mut e = Engine::new(EngineConfig::new(params(64), 200).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(12);
+        let vs: Vec<SparseVector> = (0..120).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs, &pool).unwrap();
+        e.merge_delta(&pool);
+        for qid in [0u32, 33, 119] {
+            let q = &vs[qid as usize];
+            let (hits, stats) = e.query_knn(q, 5);
+            assert!(hits.len() <= 5);
+            assert!(!hits.is_empty());
+            // Ascending by distance; self first (distance ~0).
+            assert!(hits.windows(2).all(|w| w[0].distance <= w[1].distance));
+            assert_eq!(hits[0].index, qid);
+            assert!(hits[0].distance < 1e-3);
+            // The k-NN answer is a prefix of the full candidate ranking.
+            let (full, _) = e.query_knn(q, usize::MAX);
+            assert_eq!(&full[..hits.len()], &hits[..]);
+            assert!(stats.unique_candidates >= hits.len() as u64);
+        }
+    }
+
+    #[test]
+    fn knn_skips_deleted_points() {
+        let pool = ThreadPool::new(1);
+        let mut e = Engine::new(EngineConfig::new(params(64), 50).manual_merge(), &pool).unwrap();
+        let v = SparseVector::unit(vec![(1, 1.0), (2, 1.0)]).unwrap();
+        let w = SparseVector::unit(vec![(1, 1.0), (2, 0.9)]).unwrap();
+        let a = e.insert(v.clone(), &pool).unwrap();
+        let b = e.insert(w, &pool).unwrap();
+        e.delete(a);
+        let (hits, _) = e.query_knn(&v, 2);
+        assert!(hits.iter().all(|h| h.index != a));
+        assert!(hits.iter().any(|h| h.index == b));
+    }
+
+    #[test]
+    fn config_validation() {
+        let pool = ThreadPool::new(1);
+        assert!(Engine::new(EngineConfig::new(params(64), 0), &pool).is_err());
+        assert!(Engine::new(EngineConfig::new(params(64), 10).with_eta(0.0), &pool).is_err());
+        assert!(Engine::new(EngineConfig::new(params(64), 10).with_eta(1.5), &pool).is_err());
+    }
+}

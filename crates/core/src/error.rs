@@ -1,0 +1,86 @@
+//! Error type shared by every fallible PLSH operation.
+
+use std::fmt;
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, PlshError>;
+
+/// Errors produced by PLSH configuration and data-path operations.
+///
+/// The hot query/insert paths are infallible by construction (inputs are
+/// validated when vectors and parameters are created), so this type shows up
+/// only at configuration boundaries and capacity limits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlshError {
+    /// Parameter combination rejected by [`crate::PlshParamsBuilder::build`].
+    InvalidParams(String),
+    /// A vector used a dimension index `>= dim` of the index it was given to.
+    DimensionOutOfRange {
+        /// Offending dimension index.
+        index: u32,
+        /// Dimensionality `D` of the index.
+        dim: u32,
+    },
+    /// A vector had no non-zero components (the paper drops "0-length
+    /// queries" — tweets made entirely of out-of-vocabulary tokens).
+    EmptyVector,
+    /// A vector contained a non-finite or non-positive norm contribution.
+    NotNormalizable,
+    /// Dimension indices were not strictly increasing.
+    UnsortedIndices,
+    /// Insert rejected because the node is at capacity `C`; the caller
+    /// (coordinator) must retire old data first (paper Section 6).
+    CapacityExceeded {
+        /// Configured node capacity.
+        capacity: usize,
+    },
+    /// Parameter selection found no `(k, m)` pair meeting the recall and
+    /// memory constraints (Equations 7.3 / 7.4).
+    NoFeasibleParams(String),
+}
+
+impl fmt::Display for PlshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlshError::InvalidParams(msg) => write!(f, "invalid PLSH parameters: {msg}"),
+            PlshError::DimensionOutOfRange { index, dim } => {
+                write!(f, "dimension index {index} out of range for D={dim}")
+            }
+            PlshError::EmptyVector => write!(f, "vector has no non-zero components"),
+            PlshError::NotNormalizable => {
+                write!(f, "vector cannot be normalized to a unit vector")
+            }
+            PlshError::UnsortedIndices => {
+                write!(f, "sparse indices must be strictly increasing")
+            }
+            PlshError::CapacityExceeded { capacity } => {
+                write!(f, "node capacity of {capacity} points exceeded; retire data first")
+            }
+            PlshError::NoFeasibleParams(msg) => {
+                write!(f, "no feasible (k, m) parameters: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PlshError::DimensionOutOfRange { index: 9, dim: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        let e = PlshError::CapacityExceeded { capacity: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PlshError::EmptyVector);
+    }
+}

@@ -1,0 +1,245 @@
+//! Random hyperplane storage and the hashing kernel.
+//!
+//! Evaluating all hash functions over the corpus is a sparse × dense matrix
+//! product (paper Section 5.1.1): the sparse side is the CRS corpus, the
+//! dense side is the `D × (m·k/2)` hyperplane matrix. We store the dense
+//! matrix **dimension-major** (`planes[d * n_hashes + j]`) so that for each
+//! non-zero `(d, value)` of a document the inner loop reads one contiguous
+//! row of `n_hashes` floats — the access pattern the paper chooses so "at
+//! least one row of the dense matrix is read consecutively", which LLVM
+//! auto-vectorizes.
+//!
+//! For very large vocabularies the dense matrix may not be worth its
+//! memory (`D · m·k/2 · 4` bytes); [`HyperplanesKind::OnTheFly`] recomputes
+//! components from the counter-based generator instead. Both stores yield
+//! bit-identical sketches for the same seed.
+
+use plsh_parallel::ThreadPool;
+
+use crate::rng::gaussian_at;
+
+/// How hyperplane components are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HyperplanesKind {
+    /// Materialized dense `D × n_hashes` matrix (fast, memory-hungry).
+    Dense,
+    /// Recompute every component from the seed on demand (slow, zero
+    /// memory) — an extension for vocabularies where the dense matrix
+    /// would not fit.
+    OnTheFly,
+}
+
+/// The `m·k/2` random Gaussian hyperplanes of the hash family.
+#[derive(Debug, Clone)]
+pub struct Hyperplanes {
+    dim: u32,
+    n_hashes: u32,
+    seed: u64,
+    /// Dimension-major dense storage, `None` for on-the-fly.
+    dense: Option<Vec<f32>>,
+}
+
+impl Hyperplanes {
+    /// Materializes the dense hyperplane matrix in parallel.
+    pub fn new_dense(dim: u32, n_hashes: u32, seed: u64, pool: &ThreadPool) -> Self {
+        let mut data = vec![0.0f32; dim as usize * n_hashes as usize];
+        {
+            let shared = crate::util::SharedSliceMut::new(&mut data);
+            let shared = &shared;
+            pool.parallel_for(0, dim as usize, 256, |range| {
+                for d in range {
+                    let base = d * n_hashes as usize;
+                    for j in 0..n_hashes {
+                        // SAFETY: every (d, j) slot is owned by exactly one
+                        // chunk of the parallel_for.
+                        unsafe {
+                            shared.write(base + j as usize, gaussian_at(seed, d as u32, j));
+                        }
+                    }
+                }
+            });
+        }
+        Self {
+            dim,
+            n_hashes,
+            seed,
+            dense: Some(data),
+        }
+    }
+
+    /// Creates a memory-free store that recomputes components on demand.
+    pub fn new_on_the_fly(dim: u32, n_hashes: u32, seed: u64) -> Self {
+        Self {
+            dim,
+            n_hashes,
+            seed,
+            dense: None,
+        }
+    }
+
+    /// Which storage strategy this instance uses.
+    pub fn kind(&self) -> HyperplanesKind {
+        if self.dense.is_some() {
+            HyperplanesKind::Dense
+        } else {
+            HyperplanesKind::OnTheFly
+        }
+    }
+
+    /// Dimensionality `D`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of individual hash functions (`m·k/2`).
+    pub fn n_hashes(&self) -> u32 {
+        self.n_hashes
+    }
+
+    /// Bytes held by the dense matrix (0 for on-the-fly).
+    pub fn memory_bytes(&self) -> usize {
+        self.dense.as_ref().map_or(0, |d| d.len() * 4)
+    }
+
+    /// Component of hyperplane `j` along dimension `d`.
+    #[inline]
+    pub fn component(&self, d: u32, j: u32) -> f32 {
+        debug_assert!(d < self.dim && j < self.n_hashes);
+        match &self.dense {
+            Some(data) => data[d as usize * self.n_hashes as usize + j as usize],
+            None => gaussian_at(self.seed, d, j),
+        }
+    }
+
+    /// Accumulates `acc[j] += value · plane_j[d]` for all `j`, for each
+    /// non-zero `(d, value)` of a sparse vector.
+    ///
+    /// This is the vectorization-friendly kernel: the inner loop walks a
+    /// contiguous row of the dimension-major dense matrix.
+    #[inline]
+    pub fn accumulate(&self, indices: &[u32], values: &[f32], acc: &mut [f32]) {
+        debug_assert_eq!(acc.len(), self.n_hashes as usize);
+        match &self.dense {
+            Some(data) => {
+                let nh = self.n_hashes as usize;
+                for (&d, &v) in indices.iter().zip(values) {
+                    let row = &data[d as usize * nh..d as usize * nh + nh];
+                    for (a, &p) in acc.iter_mut().zip(row) {
+                        *a += v * p;
+                    }
+                }
+            }
+            None => {
+                for (&d, &v) in indices.iter().zip(values) {
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        *a += v * gaussian_at(self.seed, d, j as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The deliberately unvectorized variant of [`accumulate`](Self::accumulate): hash
+    /// functions on the outer loop, sparse vector re-walked per function.
+    ///
+    /// This is the "before vectorization" baseline of Figure 4 — it
+    /// produces identical results but strides through the dense matrix
+    /// column-wise (stride `n_hashes`), defeating both SIMD and the
+    /// hardware prefetcher.
+    pub fn accumulate_naive(&self, indices: &[u32], values: &[f32], acc: &mut [f32]) {
+        debug_assert_eq!(acc.len(), self.n_hashes as usize);
+        for (j, a) in acc.iter_mut().enumerate() {
+            let mut sum = 0.0f32;
+            for (&d, &v) in indices.iter().zip(values) {
+                sum += v * self.component(d, j as u32);
+            }
+            *a += sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(2)
+    }
+
+    #[test]
+    fn dense_and_on_the_fly_agree() {
+        let dense = Hyperplanes::new_dense(50, 12, 99, &pool());
+        let lazy = Hyperplanes::new_on_the_fly(50, 12, 99);
+        for d in 0..50 {
+            for j in 0..12 {
+                assert_eq!(dense.component(d, j), lazy.component(d, j));
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_and_memory() {
+        let dense = Hyperplanes::new_dense(10, 4, 1, &pool());
+        assert_eq!(dense.kind(), HyperplanesKind::Dense);
+        assert_eq!(dense.memory_bytes(), 10 * 4 * 4);
+        let lazy = Hyperplanes::new_on_the_fly(10, 4, 1);
+        assert_eq!(lazy.kind(), HyperplanesKind::OnTheFly);
+        assert_eq!(lazy.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn accumulate_matches_component_sum() {
+        let planes = Hyperplanes::new_dense(20, 8, 7, &pool());
+        let indices = vec![1u32, 5, 19];
+        let values = vec![0.5f32, -1.0, 2.0];
+        let mut acc = vec![0.0f32; 8];
+        planes.accumulate(&indices, &values, &mut acc);
+        for j in 0..8u32 {
+            let expect: f32 = indices
+                .iter()
+                .zip(&values)
+                .map(|(&d, &v)| v * planes.component(d, j))
+                .sum();
+            assert!((acc[j as usize] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn naive_and_vectorized_kernels_agree() {
+        let planes = Hyperplanes::new_dense(40, 16, 3, &pool());
+        let indices = vec![0u32, 7, 13, 39];
+        let values = vec![1.0f32, 0.25, -0.75, 0.125];
+        let mut fast = vec![0.0f32; 16];
+        let mut slow = vec![0.0f32; 16];
+        planes.accumulate(&indices, &values, &mut fast);
+        planes.accumulate_naive(&indices, &values, &mut slow);
+        for (f, s) in fast.iter().zip(&slow) {
+            assert!((f - s).abs() < 1e-4, "{f} vs {s}");
+        }
+    }
+
+    #[test]
+    fn accumulate_adds_into_existing_values() {
+        let planes = Hyperplanes::new_dense(5, 2, 11, &pool());
+        let mut acc = vec![10.0f32, -10.0];
+        planes.accumulate(&[0], &[0.0], &mut acc);
+        assert_eq!(acc, vec![10.0, -10.0]);
+    }
+
+    #[test]
+    fn dense_generation_is_seed_deterministic() {
+        let a = Hyperplanes::new_dense(30, 6, 5, &pool());
+        let b = Hyperplanes::new_dense(30, 6, 5, &ThreadPool::new(1));
+        for d in 0..30 {
+            for j in 0..6 {
+                assert_eq!(a.component(d, j), b.component(d, j));
+            }
+        }
+        let c = Hyperplanes::new_dense(30, 6, 6, &pool());
+        let diffs = (0..30)
+            .flat_map(|d| (0..6).map(move |j| (d, j)))
+            .filter(|&(d, j)| a.component(d, j) != c.component(d, j))
+            .count();
+        assert!(diffs > 100, "different seeds must give different planes");
+    }
+}

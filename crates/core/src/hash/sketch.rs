@@ -1,0 +1,297 @@
+//! Packed half-key sketches for every indexed point.
+//!
+//! A point's sketch is its `m` half-keys `u_1(v)…u_m(v)`, each `k/2` sign
+//! bits packed into a `u32`. The [`SketchMatrix`] stores sketches row-major
+//! (`m` consecutive `u32` per point) and supports appending — streaming
+//! inserts hash their points once here, and both delta insertion and every
+//! later static rebuild (merge) reuse the stored sketches instead of
+//! re-hashing, which is what makes the paper's periodic merges affordable.
+
+use plsh_parallel::ThreadPool;
+
+use crate::hash::hyperplanes::Hyperplanes;
+use crate::sparse::CrsMatrix;
+use crate::util::SharedSliceMut;
+
+/// Packed `k/2`-bit half-keys for `n` points × `m` functions.
+#[derive(Debug, Clone)]
+pub struct SketchMatrix {
+    m: u32,
+    half_bits: u32,
+    /// Row-major `n × m` half-keys.
+    data: Vec<u32>,
+}
+
+impl SketchMatrix {
+    /// Creates an empty sketch matrix for `m` functions of `half_bits` bits.
+    pub fn new(m: u32, half_bits: u32) -> Self {
+        assert!((1..=16).contains(&half_bits), "half-keys are u32-packed");
+        assert!(m >= 2);
+        Self {
+            m,
+            half_bits,
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of half-key functions `m`.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Bits per half-key (`k/2`).
+    pub fn half_bits(&self) -> u32 {
+        self.half_bits
+    }
+
+    /// Number of sketched points.
+    pub fn num_points(&self) -> usize {
+        self.data.len() / self.m as usize
+    }
+
+    /// Bytes of sketch storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Half-key `u_a` of point `i`.
+    #[inline]
+    pub fn half_key(&self, i: u32, a: u32) -> u32 {
+        debug_assert!(a < self.m);
+        self.data[i as usize * self.m as usize + a as usize]
+    }
+
+    /// All `m` half-keys of point `i`.
+    #[inline]
+    pub fn row(&self, i: u32) -> &[u32] {
+        let base = i as usize * self.m as usize;
+        &self.data[base..base + self.m as usize]
+    }
+
+    /// Sketches rows `[from, corpus.num_rows())` of `corpus` and appends
+    /// them, parallelized over points (Section 5.1.1).
+    ///
+    /// `vectorized` selects between the contiguous-row kernel and the naive
+    /// per-function kernel (the Figure 4 "+vectorization" ablation); both
+    /// produce identical sketches.
+    pub fn append_from(
+        &mut self,
+        corpus: &CrsMatrix,
+        planes: &Hyperplanes,
+        from: usize,
+        pool: &ThreadPool,
+        vectorized: bool,
+    ) {
+        let n = corpus.num_rows();
+        assert!(from <= n);
+        assert_eq!(self.num_points(), from, "append must continue at the next row");
+        let new_points = n - from;
+        if new_points == 0 {
+            return;
+        }
+        let m = self.m as usize;
+        let old_len = self.data.len();
+        self.data.resize(old_len + new_points * m, 0);
+        let out = &mut self.data[old_len..];
+        let n_hashes = planes.n_hashes() as usize;
+        debug_assert_eq!(n_hashes, m * self.half_bits as usize);
+
+        let shared = SharedSliceMut::new(out);
+        let shared = &shared;
+        let half_bits = self.half_bits;
+        pool.parallel_for(0, new_points, 64, |range| {
+            let mut acc = vec![0.0f32; n_hashes];
+            for local in range {
+                let (idx, val) = corpus.row((from + local) as u32);
+                acc.iter_mut().for_each(|a| *a = 0.0);
+                if vectorized {
+                    planes.accumulate(idx, val, &mut acc);
+                } else {
+                    planes.accumulate_naive(idx, val, &mut acc);
+                }
+                for a in 0..m {
+                    let key = pack_half_key(&acc[a * half_bits as usize..], half_bits);
+                    // SAFETY: each point's m slots are owned by exactly one
+                    // parallel_for chunk.
+                    unsafe { shared.write(local * m + a, key) };
+                }
+            }
+        });
+    }
+
+    /// Sketches one vector without storing it (query-side Step Q1).
+    ///
+    /// `acc` is caller-provided scratch of length `n_hashes`; `out` receives
+    /// the `m` half-keys.
+    pub fn sketch_one(
+        planes: &Hyperplanes,
+        half_bits: u32,
+        indices: &[u32],
+        values: &[f32],
+        acc: &mut [f32],
+        out: &mut [u32],
+    ) {
+        debug_assert_eq!(acc.len(), planes.n_hashes() as usize);
+        acc.iter_mut().for_each(|a| *a = 0.0);
+        planes.accumulate(indices, values, acc);
+        for (a, slot) in out.iter_mut().enumerate() {
+            *slot = pack_half_key(&acc[a * half_bits as usize..], half_bits);
+        }
+    }
+
+    /// Drops sketches of points `>= keep` (paired with corpus truncation).
+    pub fn truncate(&mut self, keep: usize) {
+        let len = keep * self.m as usize;
+        if len < self.data.len() {
+            self.data.truncate(len);
+        }
+    }
+
+    /// Removes all sketches, retaining storage.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+}
+
+/// Packs the first `half_bits` accumulator signs into a half-key:
+/// bit `b` of the key is `1` iff `acc[b] >= 0` (`sign(a·v)`).
+#[inline]
+fn pack_half_key(acc: &[f32], half_bits: u32) -> u32 {
+    let mut key = 0u32;
+    for b in 0..half_bits {
+        // Treat +0.0 as positive sign; the measure-zero event of an exact
+        // zero dot product only needs a consistent tie-break.
+        key |= u32::from(acc[b as usize] >= 0.0) << b;
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseVector;
+
+    fn tiny_corpus(dim: u32, rows: &[&[(u32, f32)]]) -> CrsMatrix {
+        let mut m = CrsMatrix::new(dim);
+        for r in rows {
+            m.push(&SparseVector::unit(r.to_vec()).unwrap()).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn pack_half_key_signs() {
+        assert_eq!(pack_half_key(&[1.0, -1.0, 0.5, -0.5], 4), 0b0101);
+        assert_eq!(pack_half_key(&[-1.0, -1.0], 2), 0b00);
+        assert_eq!(pack_half_key(&[0.0, 1.0], 2), 0b11); // +0 counts as set
+    }
+
+    #[test]
+    fn append_then_query_sketches_agree() {
+        let pool = ThreadPool::new(2);
+        let corpus = tiny_corpus(
+            32,
+            &[
+                &[(0, 1.0), (5, 2.0)],
+                &[(1, 1.0), (31, -1.0)],
+                &[(16, 3.0)],
+            ],
+        );
+        let m = 4u32;
+        let half_bits = 3u32;
+        let planes = Hyperplanes::new_dense(32, m * half_bits, 21, &pool);
+        let mut sk = SketchMatrix::new(m, half_bits);
+        sk.append_from(&corpus, &planes, 0, &pool, true);
+        assert_eq!(sk.num_points(), 3);
+
+        // sketch_one must reproduce the stored sketch for each row.
+        let mut acc = vec![0.0f32; planes.n_hashes() as usize];
+        let mut out = vec![0u32; m as usize];
+        for i in 0..3u32 {
+            let (idx, val) = corpus.row(i);
+            SketchMatrix::sketch_one(&planes, half_bits, idx, val, &mut acc, &mut out);
+            assert_eq!(sk.row(i), &out[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn vectorized_and_naive_sketches_identical() {
+        let pool = ThreadPool::new(2);
+        let rows: Vec<Vec<(u32, f32)>> = (0..40)
+            .map(|i| vec![(i % 16, 1.0 + i as f32 * 0.1), ((i * 7 + 1) % 16, -0.5)])
+            .collect();
+        let row_refs: Vec<&[(u32, f32)]> = rows.iter().map(|r| r.as_slice()).collect();
+        let corpus = tiny_corpus(16, &row_refs);
+        let planes = Hyperplanes::new_dense(16, 4 * 4, 5, &pool);
+        let mut fast = SketchMatrix::new(4, 4);
+        let mut slow = SketchMatrix::new(4, 4);
+        fast.append_from(&corpus, &planes, 0, &pool, true);
+        slow.append_from(&corpus, &planes, 0, &pool, false);
+        for i in 0..corpus.num_rows() as u32 {
+            assert_eq!(fast.row(i), slow.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn incremental_append_matches_bulk() {
+        let pool = ThreadPool::new(1);
+        let rows: Vec<Vec<(u32, f32)>> =
+            (0..10).map(|i| vec![(i as u32, 1.0), ((i + 3) as u32 % 20, 2.0)]).collect();
+        let row_refs: Vec<&[(u32, f32)]> = rows.iter().map(|r| r.as_slice()).collect();
+        let corpus = tiny_corpus(20, &row_refs);
+        let planes = Hyperplanes::new_dense(20, 3 * 2, 8, &pool);
+
+        let mut bulk = SketchMatrix::new(3, 2);
+        bulk.append_from(&corpus, &planes, 0, &pool, true);
+
+        // Rebuild the same corpus in two increments.
+        let mut inc = SketchMatrix::new(3, 2);
+        let mut partial = CrsMatrix::new(20);
+        for r in &rows[..4] {
+            partial.push(&SparseVector::unit(r.clone()).unwrap()).unwrap();
+        }
+        inc.append_from(&partial, &planes, 0, &pool, true);
+        for r in &rows[4..] {
+            partial.push(&SparseVector::unit(r.clone()).unwrap()).unwrap();
+        }
+        inc.append_from(&partial, &planes, 4, &pool, true);
+
+        assert_eq!(bulk.num_points(), inc.num_points());
+        for i in 0..10u32 {
+            assert_eq!(bulk.row(i), inc.row(i));
+        }
+    }
+
+    #[test]
+    fn half_keys_fit_in_half_bits() {
+        let pool = ThreadPool::new(1);
+        let rows: Vec<Vec<(u32, f32)>> = (0..25).map(|i| vec![(i as u32, 1.0)]).collect();
+        let row_refs: Vec<&[(u32, f32)]> = rows.iter().map(|r| r.as_slice()).collect();
+        let corpus = tiny_corpus(25, &row_refs);
+        for half_bits in [1u32, 2, 5, 8] {
+            let planes = Hyperplanes::new_dense(25, 2 * half_bits, 77, &pool);
+            let mut sk = SketchMatrix::new(2, half_bits);
+            sk.append_from(&corpus, &planes, 0, &pool, true);
+            for i in 0..25u32 {
+                for a in 0..2 {
+                    assert!(sk.half_key(i, a) < (1 << half_bits));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_and_clear() {
+        let pool = ThreadPool::new(1);
+        let corpus = tiny_corpus(8, &[&[(0, 1.0)], &[(1, 1.0)], &[(2, 1.0)]]);
+        let planes = Hyperplanes::new_dense(8, 4, 1, &pool);
+        let mut sk = SketchMatrix::new(2, 2);
+        sk.append_from(&corpus, &planes, 0, &pool, true);
+        let row0 = sk.row(0).to_vec();
+        sk.truncate(1);
+        assert_eq!(sk.num_points(), 1);
+        assert_eq!(sk.row(0), &row0[..]);
+        sk.clear();
+        assert_eq!(sk.num_points(), 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! The hardware-centric analytic performance model (paper Section 7.1).
+//!
+//! The model prices the two dominant query steps and the four construction
+//! steps in CPU cycles, from first principles:
+//!
+//! * **Q2** (dedup) is compute-bound: ~11 ops per duplicated index
+//!   (word address, load, test, set, loop) spread over `T` threads, plus a
+//!   bitvector scan of ~14 ops per 32 bits of `N`.
+//! * **Q3** (filtering) is bandwidth-bound: each candidate's CRS row pulls
+//!   ~4 cache lines (two ~30-byte unaligned arrays ⇒ 1.5 lines each, plus
+//!   one offsets line) = 256 bytes of traffic.
+//! * **Hashing** is compute-bound: ~11 ops per (non-zero × hash function),
+//!   over `T` threads and SIMD width `S`.
+//! * **Insertion** (I1–I3) is bandwidth-bound: 24 bytes per point per
+//!   first-level partition and 16 bytes per point per table for each of
+//!   steps I2 and I3.
+//!
+//! On the paper's Xeon E5-2670 (2.6 GHz, 32 GB/s ⇒ 12.3 bytes/cycle,
+//! T = 16, S = 8) these constants reproduce the numbers quoted in
+//! Section 7.1 (e.g. `T_Q3` ≈ 21 cycles/candidate, construction ≈ 2 520
+//! cycles/tweet); the same formulas evaluated with a calibrated
+//! [`MachineProfile`] predict this implementation on this machine, which
+//! is what Figures 6 and 7 compare.
+
+use std::time::{Duration, Instant};
+
+use plsh_parallel::ThreadPool;
+
+use crate::params::{CostWeights, PlshParams};
+
+/// Description of the executing machine.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct MachineProfile {
+    /// Core clock in Hz (used to convert modeled cycles to seconds).
+    pub freq_hz: f64,
+    /// Achieved memory bandwidth in bytes per cycle (paper: 12.3).
+    pub bytes_per_cycle: f64,
+    /// Hardware threads used (`T`).
+    pub threads: usize,
+    /// SIMD lanes for f32 (`S`; AVX = 8).
+    pub simd_width: usize,
+}
+
+impl MachineProfile {
+    /// The paper's evaluation machine: Intel Xeon E5-2670, 2.6 GHz,
+    /// 32 GB/s, 8 cores × 2 SMT, AVX.
+    pub fn paper() -> Self {
+        Self {
+            freq_hz: 2.6e9,
+            bytes_per_cycle: 12.3,
+            threads: 16,
+            simd_width: 8,
+        }
+    }
+
+    /// Measures this machine: times a dependent integer-add chain to
+    /// estimate the *effective* clock (1 add retires per cycle on every
+    /// relevant microarchitecture, and the dependency chain defeats
+    /// superscalar overlap), then streams over a large buffer to estimate
+    /// achieved bandwidth in bytes per effective cycle.
+    ///
+    /// Hardware cycle counters are not portably readable from user space,
+    /// and on shared/throttled vCPUs the nameplate clock (`fallback_hz`,
+    /// used only if the measurement is implausible) can be far from what a
+    /// cycle of work actually costs — which is what the model needs.
+    pub fn calibrate(pool: &ThreadPool, fallback_hz: f64) -> Self {
+        let freq_hz = {
+            let f = measure_effective_frequency();
+            if (5e8..1e10).contains(&f) {
+                f
+            } else {
+                fallback_hz
+            }
+        };
+        let bytes_per_sec = measure_bandwidth();
+        Self {
+            freq_hz,
+            bytes_per_cycle: (bytes_per_sec / freq_hz).max(0.5),
+            threads: pool.num_threads(),
+            simd_width: 8,
+        }
+    }
+
+    /// Converts modeled cycles to wall time.
+    pub fn cycles_to_duration(&self, cycles: f64) -> Duration {
+        Duration::from_secs_f64((cycles / self.freq_hz).max(0.0))
+    }
+}
+
+/// Times a dependency chain of integer adds; the add throughput in ops/s
+/// approximates the effective core clock in Hz (1 cycle per dependent add).
+fn measure_effective_frequency() -> f64 {
+    const CHAIN: u64 = 200_000_000;
+    let mut best = 0.0f64;
+    for trial in 0..3u64 {
+        let start = Instant::now();
+        let mut x = 0x9E3779B97F4A7C15u64.wrapping_add(trial);
+        let mut i = 0u64;
+        while i < CHAIN {
+            // Eight dependent adds per iteration amortize the loop branch.
+            x = x.wrapping_add(1);
+            x = x.wrapping_add(3);
+            x = x.wrapping_add(5);
+            x = x.wrapping_add(7);
+            x = x.wrapping_add(11);
+            x = x.wrapping_add(13);
+            x = x.wrapping_add(17);
+            x = x.wrapping_add(19);
+            i += 8;
+        }
+        std::hint::black_box(x);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.max(CHAIN as f64 / secs);
+    }
+    best
+}
+
+/// Streams a 64 MB buffer and returns achieved read bandwidth in bytes/s.
+fn measure_bandwidth() -> f64 {
+    const WORDS: usize = 8 << 20; // 64 MB of u64
+    let buf: Vec<u64> = (0..WORDS as u64).collect();
+    let mut best = 0.0f64;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut acc = 0u64;
+        for &w in &buf {
+            acc = acc.wrapping_add(w);
+        }
+        std::hint::black_box(acc);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.max((WORDS * 8) as f64 / secs);
+    }
+    best
+}
+
+/// Modeled creation-time breakdown (the left panel of Figure 6).
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct CreationEstimate {
+    /// Hashing all points (Section 5.1.1).
+    pub hashing: Duration,
+    /// Step I1: first-level partitions (m passes).
+    pub step_i1: Duration,
+    /// Step I2: second-level key permutation (L passes).
+    pub step_i2: Duration,
+    /// Step I3: second-level partitions (L passes).
+    pub step_i3: Duration,
+}
+
+impl CreationEstimate {
+    /// Total modeled creation time.
+    pub fn total(&self) -> Duration {
+        self.hashing + self.step_i1 + self.step_i2 + self.step_i3
+    }
+}
+
+/// Modeled query-time breakdown for a batch (the right panel of Figure 6).
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct QueryEstimate {
+    /// Step Q2: bucket reads + bitvector dedup + scan.
+    pub step_q2: Duration,
+    /// Step Q3: candidate loads + sparse dot products.
+    pub step_q3: Duration,
+}
+
+impl QueryEstimate {
+    /// Total modeled query time.
+    pub fn total(&self) -> Duration {
+        self.step_q2 + self.step_q3
+    }
+}
+
+/// The analytic model: machine profile + the paper's per-operation costs.
+#[derive(Debug, Clone, Copy)]
+pub struct PerformanceModel {
+    /// Machine constants used by every formula.
+    pub machine: MachineProfile,
+}
+
+/// Instruction budgets of this implementation's kernels, counted from the
+/// inner loops (the analogue of the paper's "11 ops per index" audits).
+///
+/// Each step is charged `max(bandwidth term, compute term)`: at the paper's
+/// 10 M-point scale the table arrays spill far beyond cache and the
+/// bandwidth terms dominate (reproducing the paper's constants exactly, see
+/// the tests); at the scaled-down sizes used in this repo the structures
+/// are cache-resident and the op-count terms take over.
+mod ops {
+    /// Step Q2, per duplicated index: bucket-slice iteration (~4 ops) +
+    /// bitvector test-and-set (~11 ops, the paper's count) + candidate-list
+    /// append (~5 ops).
+    pub const Q2_PER_COLLISION: f64 = 20.0;
+    /// Step Q2 bitvector scan, per 32 bits of `N` (paper's count).
+    pub const Q2_SCAN_PER_32BITS: f64 = 14.0;
+    /// Step Q3, per candidate, beyond the per-non-zero work: offsets
+    /// lookup, `acos`, radius test, loop overhead.
+    pub const Q3_PER_CANDIDATE: f64 = 30.0;
+    /// Step Q3, per non-zero of the candidate row: mask word load, bit
+    /// test, multiply-add on a hit.
+    pub const Q3_PER_NONZERO: f64 = 6.0;
+    /// Hashing, per (non-zero × hash function), before SIMD (paper's 11).
+    pub const HASH_PER_ELEM: f64 = 11.0;
+    /// Step I1, per point per first-level function: histogram pass + key
+    /// recomputation + scatter pass.
+    pub const I1_PER_POINT_FN: f64 = 8.0;
+    /// Step I2, per point per table: permuted gather + store.
+    pub const I2_PER_POINT_TABLE: f64 = 6.0;
+    /// Step I3, per point per table: counting-sort histogram + scatter.
+    pub const I3_PER_POINT_TABLE: f64 = 8.0;
+}
+
+impl PerformanceModel {
+    /// Builds a model for the given machine.
+    pub fn new(machine: MachineProfile) -> Self {
+        Self { machine }
+    }
+
+    /// `T_Q2` — cycles per duplicated index (compute-bound, threaded).
+    pub fn t_q2_cycles(&self) -> f64 {
+        ops::Q2_PER_COLLISION / self.machine.threads as f64
+    }
+
+    /// Cycles for the per-query bitvector scan over `n` points.
+    pub fn q2_scan_cycles(&self, n: usize) -> f64 {
+        ops::Q2_SCAN_PER_32BITS * (n as f64 / 32.0) / self.machine.threads as f64
+    }
+
+    /// `T_Q3` — cycles per unique candidate: the larger of the bandwidth
+    /// cost (~4 cache lines = 256 bytes per candidate, the paper's 21.8
+    /// cycles at 12.3 bytes/cycle) and the sparse-dot compute cost for a
+    /// row of `nnz` non-zeros.
+    pub fn t_q3_cycles(&self, nnz: f64) -> f64 {
+        let bandwidth = 256.0 / self.machine.bytes_per_cycle + 1.0;
+        let compute = (ops::Q3_PER_CANDIDATE + ops::Q3_PER_NONZERO * nnz)
+            / self.machine.threads as f64;
+        bandwidth.max(compute)
+    }
+
+    /// Cost weights for parameter selection (Section 7.3), for data of mean
+    /// sparsity `nnz`.
+    pub fn cost_weights(&self, nnz: f64) -> CostWeights {
+        CostWeights {
+            cycles_per_collision: self.t_q2_cycles(),
+            cycles_per_unique: self.t_q3_cycles(nnz),
+        }
+    }
+
+    /// `T_H` — hashing cycles per point: 11 ops per non-zero per hash
+    /// function, over threads and SIMD lanes.
+    pub fn hashing_cycles_per_point(&self, nnz: f64, params: &PlshParams) -> f64 {
+        let hashes = params.num_hashes() as f64;
+        ops::HASH_PER_ELEM * nnz * hashes
+            / (self.machine.threads as f64 * self.machine.simd_width as f64)
+    }
+
+    /// `T_I1` — first-level partition cycles per point: 24 bytes of
+    /// traffic per point per first-level hash function, floored by the
+    /// per-item op count when the partitions are cache-resident.
+    pub fn i1_cycles_per_point(&self, params: &PlshParams) -> f64 {
+        let m = params.m() as f64;
+        let bandwidth = 24.0 * m / self.machine.bytes_per_cycle;
+        let compute = ops::I1_PER_POINT_FN * m / self.machine.threads as f64;
+        bandwidth.max(compute)
+    }
+
+    /// `T_I2` — second-level key permutation: 16 bytes per point per
+    /// table, floored by the gather/store op count.
+    pub fn i2_cycles_per_point(&self, params: &PlshParams) -> f64 {
+        let l = params.l() as f64;
+        let bandwidth = 16.0 * l / self.machine.bytes_per_cycle;
+        let compute = ops::I2_PER_POINT_TABLE * l / self.machine.threads as f64;
+        bandwidth.max(compute)
+    }
+
+    /// `T_I3` — second-level partition: 16 bytes per point per table,
+    /// floored by the counting-sort op count.
+    pub fn i3_cycles_per_point(&self, params: &PlshParams) -> f64 {
+        let l = params.l() as f64;
+        let bandwidth = 16.0 * l / self.machine.bytes_per_cycle;
+        let compute = ops::I3_PER_POINT_TABLE * l / self.machine.threads as f64;
+        bandwidth.max(compute)
+    }
+
+    /// Models full static construction over `n` points of mean sparsity
+    /// `nnz`.
+    pub fn predict_creation(&self, n: usize, nnz: f64, params: &PlshParams) -> CreationEstimate {
+        let nf = n as f64;
+        let c = &self.machine;
+        CreationEstimate {
+            hashing: c.cycles_to_duration(self.hashing_cycles_per_point(nnz, params) * nf),
+            step_i1: c.cycles_to_duration(self.i1_cycles_per_point(params) * nf),
+            step_i2: c.cycles_to_duration(self.i2_cycles_per_point(params) * nf),
+            step_i3: c.cycles_to_duration(self.i3_cycles_per_point(params) * nf),
+        }
+    }
+
+    /// Models a batch of `queries` against `n` points of mean sparsity
+    /// `nnz`, given the expected per-query `#collisions` and `#unique`
+    /// (from [`crate::params::estimate_candidates`] or measured counters).
+    pub fn predict_query_batch(
+        &self,
+        queries: usize,
+        n: usize,
+        nnz: f64,
+        e_collisions: f64,
+        e_unique: f64,
+    ) -> QueryEstimate {
+        let qf = queries as f64;
+        let q2 = (self.t_q2_cycles() * e_collisions + self.q2_scan_cycles(n)) * qf;
+        let q3 = self.t_q3_cycles(nnz) * e_unique * qf;
+        QueryEstimate {
+            step_q2: self.machine.cycles_to_duration(q2),
+            step_q3: self.machine.cycles_to_duration(q3),
+        }
+    }
+}
+
+/// Relative error `|actual − estimate| / actual`, the Figure 6 metric.
+pub fn relative_error(estimate: Duration, actual: Duration) -> f64 {
+    let a = actual.as_secs_f64();
+    if a == 0.0 {
+        return 0.0;
+    }
+    (estimate.as_secs_f64() - a).abs() / a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_params() -> PlshParams {
+        PlshParams::builder(500_000)
+            .k(16)
+            .m(40)
+            .radius(0.9)
+            .delta(0.1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn paper_machine_reproduces_paper_constants() {
+        let model = PerformanceModel::new(MachineProfile::paper());
+        // The paper audits its C++ kernel at 11 ops per duplicated index
+        // (1.4 cycles on 8 cores); our Rust kernel also appends to the
+        // candidate list and pays slice iteration, auditing at ~20 ops.
+        let mut eight = MachineProfile::paper();
+        eight.threads = 8;
+        let m8 = PerformanceModel::new(eight);
+        assert!((m8.t_q2_cycles() - 20.0 / 8.0).abs() < 0.01);
+        // T_Q3 ≈ 256/12.3 + 1 ≈ 21.8 cycles (paper: "21.8 cycles/unique")
+        // — bandwidth-dominated at paper scale, so the compute floor for
+        // NNZ = 7.2 must not kick in.
+        assert!((model.t_q3_cycles(7.2) - 21.8).abs() < 0.3);
+    }
+
+    #[test]
+    fn paper_creation_cycle_budget() {
+        // Section 7.1.2: hashing ≈ 412 cycles/tweet, I1 ≈ 78, I2 = I3 ≈
+        // 1015, total ≈ 2520 cycles/tweet for k=16, m=40, NNZ=7.2.
+        let mut machine = MachineProfile::paper();
+        machine.threads = 8; // the paper's arithmetic uses 8 cores
+        let model = PerformanceModel::new(machine);
+        let p = paper_params();
+        let th = model.hashing_cycles_per_point(7.2, &p);
+        assert!((th - 412.0).abs() / 412.0 < 0.05, "hashing {th}");
+        let i1 = model.i1_cycles_per_point(&p);
+        assert!((i1 - 78.0).abs() / 78.0 < 0.05, "I1 {i1}");
+        let i2 = model.i2_cycles_per_point(&p);
+        assert!((i2 - 1015.0).abs() / 1015.0 < 0.05, "I2 {i2}");
+        let total = th + i1 + i2 + model.i3_cycles_per_point(&p);
+        assert!((total - 2520.0).abs() / 2520.0 < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn estimates_scale_linearly_in_n() {
+        let model = PerformanceModel::new(MachineProfile::paper());
+        let p = paper_params();
+        let one = model.predict_creation(100_000, 7.2, &p);
+        let two = model.predict_creation(200_000, 7.2, &p);
+        let r = two.total().as_secs_f64() / one.total().as_secs_f64();
+        assert!((r - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn query_estimate_components() {
+        let model = PerformanceModel::new(MachineProfile::paper());
+        let est = model.predict_query_batch(1000, 10_000_000, 7.2, 120_000.0, 60_000.0);
+        assert!(est.step_q2 > Duration::ZERO);
+        assert!(est.step_q3 > Duration::ZERO);
+        assert_eq!(est.total(), est.step_q2 + est.step_q3);
+        // Doubling unique candidates only moves Q3.
+        let est2 = model.predict_query_batch(1000, 10_000_000, 7.2, 120_000.0, 120_000.0);
+        assert_eq!(est.step_q2, est2.step_q2);
+        assert!(est2.step_q3 > est.step_q3);
+    }
+
+    #[test]
+    fn more_threads_speed_up_compute_terms_only() {
+        let mut m1 = MachineProfile::paper();
+        m1.threads = 1;
+        let mut m8 = MachineProfile::paper();
+        m8.threads = 8;
+        let one = PerformanceModel::new(m1);
+        let eight = PerformanceModel::new(m8);
+        assert!(one.t_q2_cycles() > eight.t_q2_cycles());
+        // With several threads Q3 is bandwidth-bound and thread-invariant…
+        let mut m4 = MachineProfile::paper();
+        m4.threads = 4;
+        let four = PerformanceModel::new(m4);
+        assert_eq!(four.t_q3_cycles(7.2), eight.t_q3_cycles(7.2));
+        // …but on one thread the compute floor can dominate.
+        assert!(one.t_q3_cycles(7.2) >= eight.t_q3_cycles(7.2));
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        let e = Duration::from_millis(80);
+        let a = Duration::from_millis(100);
+        assert!((relative_error(e, a) - 0.2).abs() < 1e-9);
+        assert_eq!(relative_error(e, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn calibration_produces_sane_profile() {
+        let pool = ThreadPool::new(1);
+        let m = MachineProfile::calibrate(&pool, 2.6e9);
+        assert!(m.bytes_per_cycle >= 0.5, "{}", m.bytes_per_cycle);
+        assert!(m.bytes_per_cycle < 200.0);
+        assert_eq!(m.threads, 1);
+    }
+
+    #[test]
+    fn cycles_to_duration_roundtrip() {
+        let m = MachineProfile::paper();
+        let d = m.cycles_to_duration(2.6e9);
+        assert!((d.as_secs_f64() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,638 @@
+//! PLSH parameters, collision probability math, and parameter selection.
+//!
+//! The algorithm is governed by (paper Section 3):
+//!
+//! * `D` — dimensionality of the vector space (vocabulary size);
+//! * `k` — bits per table index (even; each table key is the concatenation
+//!   of two `k/2`-bit half-keys);
+//! * `m` — number of `k/2`-bit hash functions `u_1..u_m`, combined pairwise
+//!   into `L = m(m−1)/2` tables;
+//! * `R` — query radius (angular distance);
+//! * `δ` — failure probability: every `R`-near neighbor is reported with
+//!   probability ≥ `1 − δ`.
+//!
+//! Section 7.2 gives the collision calculus for the all-pairs scheme: with
+//! `p(t) = 1 − t/π` the hyperplane-collision probability at angle `t`, a
+//! point at distance `t` is *missed* only if it collides with the query on
+//! zero or one of the `m` half-keys, so the probability it is reported is
+//!
+//! ```text
+//! P'(t, k, m) = 1 − (1 − q)^m − m·q·(1 − q)^(m−1),   q = p(t)^(k/2)
+//! ```
+//!
+//! [`ParamSelection::select`] implements Section 7.3: enumerate `k`, find
+//! the smallest `m` with `P'(R, k, m) ≥ 1 − δ`, reject pairs violating the
+//! memory budget (Eq. 7.4), estimate the query cost
+//! `T_Q2·E[#collisions] + T_Q3·E[#unique]` from a distance sample
+//! (Eqs. 7.1/7.2), and pick the cheapest feasible pair.
+
+use crate::error::{PlshError, Result};
+
+/// Validated PLSH parameter set.
+///
+/// ```
+/// use plsh_core::PlshParams;
+///
+/// // The paper's single-node setting: k = 16, m = 40 → L = 780 tables.
+/// let p = PlshParams::builder(500_000)
+///     .k(16)
+///     .m(40)
+///     .radius(0.9)
+///     .delta(0.1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(p.l(), 780);
+/// assert_eq!(p.num_hashes(), 320); // m * k/2 hyperplanes
+/// // ~31 GB of tables for the paper's 10M-point node (Eq. 7.4).
+/// assert!(p.table_memory_bytes(10_000_000) > 31_000_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PlshParams {
+    dim: u32,
+    k: u32,
+    m: u32,
+    radius: f64,
+    delta: f64,
+    seed: u64,
+}
+
+impl PlshParams {
+    /// Starts building a parameter set for vectors of dimensionality `dim`.
+    pub fn builder(dim: u32) -> PlshParamsBuilder {
+        PlshParamsBuilder::new(dim)
+    }
+
+    /// Dimensionality `D`.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Bits per table index `k`.
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Bits per half-key, `k/2`.
+    pub fn half_bits(&self) -> u32 {
+        self.k / 2
+    }
+
+    /// Number of half-key hash functions `m`.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of hash tables `L = m(m−1)/2`.
+    pub fn l(&self) -> u32 {
+        self.m * (self.m - 1) / 2
+    }
+
+    /// Total individual hyperplane hashes computed per point, `m·k/2`.
+    pub fn num_hashes(&self) -> u32 {
+        self.m * self.half_bits()
+    }
+
+    /// Buckets per table, `2^k`.
+    pub fn buckets_per_table(&self) -> usize {
+        1usize << self.k
+    }
+
+    /// Buckets per first-level partition, `2^(k/2)`.
+    pub fn buckets_per_level(&self) -> usize {
+        1usize << self.half_bits()
+    }
+
+    /// Query radius `R` (angular distance in `[0, π]`).
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Failure probability `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Seed for hyperplane generation.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Probability that one random hyperplane hash collides for two unit
+    /// vectors at angular distance `t`: `p(t) = 1 − t/π` (Charikar).
+    pub fn collision_probability(t: f64) -> f64 {
+        (1.0 - t / std::f64::consts::PI).clamp(0.0, 1.0)
+    }
+
+    /// Probability a point at distance `t` shares one specific `k/2`-bit
+    /// half-key with the query: `q = p(t)^(k/2)`.
+    pub fn half_key_collision(&self, t: f64) -> f64 {
+        Self::collision_probability(t).powi(self.half_bits() as i32)
+    }
+
+    /// Probability a point at distance `t` lands in the query's bucket of
+    /// one specific table: `p(t)^k`.
+    pub fn table_collision(&self, t: f64) -> f64 {
+        Self::collision_probability(t).powi(self.k as i32)
+    }
+
+    /// `P'(t, k, m)` — probability a point at distance `t` is reported
+    /// (Section 7.2).
+    pub fn recall_at(&self, t: f64) -> f64 {
+        recall(t, self.k, self.m)
+    }
+
+    /// Recall guarantee at the configured radius; by construction of a
+    /// selected parameter set this is `≥ 1 − δ`.
+    pub fn recall_at_radius(&self) -> f64 {
+        self.recall_at(self.radius)
+    }
+
+    /// Memory for the static hash tables in bytes: `(L·N + 2^k·L)·4`
+    /// (Eq. 7.4).
+    pub fn table_memory_bytes(&self, n: usize) -> usize {
+        table_memory_bytes(self.k, self.m, n)
+    }
+}
+
+/// `P'(t, k, m)` for arbitrary `(k, m)` — shared by [`PlshParams`] and the
+/// selection loop.
+pub fn recall(t: f64, k: u32, m: u32) -> f64 {
+    let q = PlshParams::collision_probability(t).powi((k / 2) as i32);
+    let miss0 = (1.0 - q).powi(m as i32);
+    let miss1 = m as f64 * q * (1.0 - q).powi(m as i32 - 1);
+    (1.0 - miss0 - miss1).clamp(0.0, 1.0)
+}
+
+/// Static-table memory in bytes for `(k, m)` over `n` points (Eq. 7.4).
+pub fn table_memory_bytes(k: u32, m: u32, n: usize) -> usize {
+    let l = (m as usize) * (m as usize - 1) / 2;
+    (l * n + (1usize << k) * l) * 4
+}
+
+/// Builder for [`PlshParams`].
+#[derive(Debug, Clone)]
+pub struct PlshParamsBuilder {
+    dim: u32,
+    k: u32,
+    m: u32,
+    radius: f64,
+    delta: f64,
+    seed: u64,
+}
+
+impl PlshParamsBuilder {
+    fn new(dim: u32) -> Self {
+        // Paper defaults (Section 8): R = 0.9, δ = 0.1. k and m default to
+        // the scaled single-node settings used throughout this repo.
+        Self {
+            dim,
+            k: 14,
+            m: 16,
+            radius: 0.9,
+            delta: 0.1,
+            seed: 0x9D2C_5680,
+        }
+    }
+
+    /// Sets `k`, the bits per table index (must be even, `2..=32`).
+    pub fn k(mut self, k: u32) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets `m`, the number of half-key functions (must be `>= 2`).
+    pub fn m(mut self, m: u32) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Sets the angular query radius `R ∈ (0, π)`.
+    pub fn radius(mut self, radius: f64) -> Self {
+        self.radius = radius;
+        self
+    }
+
+    /// Sets the failure probability `δ ∈ (0, 1)`.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = delta;
+        self
+    }
+
+    /// Sets the hyperplane seed (reproducibility knob).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the parameter set.
+    pub fn build(self) -> Result<PlshParams> {
+        if self.dim == 0 {
+            return Err(PlshError::InvalidParams("dimensionality D must be > 0".into()));
+        }
+        if self.k < 2 || !self.k.is_multiple_of(2) {
+            return Err(PlshError::InvalidParams(format!(
+                "k must be even and >= 2, got {}",
+                self.k
+            )));
+        }
+        if self.k > 32 {
+            return Err(PlshError::InvalidParams(format!(
+                "k must be <= 32 (half-keys are packed in u32 and tables are \
+                 directly indexed by 2^k buckets), got {}",
+                self.k
+            )));
+        }
+        if self.m < 2 {
+            return Err(PlshError::InvalidParams(format!(
+                "m must be >= 2 so that L = m(m-1)/2 >= 1, got {}",
+                self.m
+            )));
+        }
+        if self.m > 4096 {
+            return Err(PlshError::InvalidParams(format!(
+                "m = {} is unreasonably large (L would be {})",
+                self.m,
+                self.m as u64 * (self.m as u64 - 1) / 2
+            )));
+        }
+        if !(self.radius > 0.0 && self.radius < std::f64::consts::PI) {
+            return Err(PlshError::InvalidParams(format!(
+                "radius must lie in (0, pi), got {}",
+                self.radius
+            )));
+        }
+        if !(self.delta > 0.0 && self.delta < 1.0) {
+            return Err(PlshError::InvalidParams(format!(
+                "delta must lie in (0, 1), got {}",
+                self.delta
+            )));
+        }
+        Ok(PlshParams {
+            dim: self.dim,
+            k: self.k,
+            m: self.m,
+            radius: self.radius,
+            delta: self.delta,
+            seed: self.seed,
+        })
+    }
+}
+
+/// Per-operation cost weights (in CPU cycles) used to score candidate
+/// parameter pairs; see [`crate::model::PerformanceModel::cost_weights`].
+#[derive(Debug, Clone, Copy)]
+pub struct CostWeights {
+    /// Cycles charged per hash-table collision (Step Q2).
+    pub cycles_per_collision: f64,
+    /// Cycles charged per unique candidate (Step Q3).
+    pub cycles_per_unique: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        // Paper Section 7.1 on the evaluation machine: T_Q2 = 1.4
+        // cycles/collision (11 ops over 8 cores), T_Q3 = 21.8 cycles/unique
+        // (256 bytes at 12.3 bytes/cycle, plus ~1 cycle of compute).
+        Self {
+            cycles_per_collision: 1.4,
+            cycles_per_unique: 21.8,
+        }
+    }
+}
+
+/// One `(k, m)` candidate examined during selection.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ParamCandidate {
+    /// Bits per table index.
+    pub k: u32,
+    /// Half-key function count (smallest satisfying the recall constraint).
+    pub m: u32,
+    /// Table count `m(m−1)/2`.
+    pub l: u32,
+    /// `P'(R, k, m)`.
+    pub recall_at_radius: f64,
+    /// Expected collisions per query, `E[#collisions]` (Eq. 7.1).
+    pub expected_collisions: f64,
+    /// Expected unique candidates per query, `E[#unique]` (Eq. 7.2).
+    pub expected_unique: f64,
+    /// Estimated query cost in cycles.
+    pub estimated_cost_cycles: f64,
+    /// Static-table memory in bytes (Eq. 7.4).
+    pub memory_bytes: usize,
+    /// Whether the candidate fits the memory budget.
+    pub feasible: bool,
+}
+
+/// Inputs to parameter selection.
+#[derive(Debug, Clone)]
+pub struct SelectionInput<'a> {
+    /// Dimensionality of the data.
+    pub dim: u32,
+    /// Number of points the node will hold (`N`).
+    pub n: usize,
+    /// Memory budget for the static tables, in bytes (Eq. 7.4).
+    pub memory_bytes: usize,
+    /// Query radius `R`.
+    pub radius: f64,
+    /// Failure probability `δ`.
+    pub delta: f64,
+    /// Angular distances of sampled `(query, point)` pairs; the paper uses
+    /// 1000 random queries × 1000 random points (Section 7.3).
+    pub sample_distances: &'a [f32],
+    /// Per-operation cost weights.
+    pub cost: CostWeights,
+    /// Largest `k` to enumerate (paper: 40, or lower when memory-bound).
+    pub k_max: u32,
+    /// Seed carried into the resulting [`PlshParams`].
+    pub seed: u64,
+}
+
+/// Result of parameter selection: the chosen parameters plus every
+/// candidate examined (the data behind Figure 7).
+#[derive(Debug, Clone)]
+pub struct ParamSelection {
+    /// The cheapest feasible parameter set.
+    pub chosen: PlshParams,
+    /// All candidates in enumeration order (one per `k`).
+    pub candidates: Vec<ParamCandidate>,
+}
+
+impl ParamSelection {
+    /// Runs the Section 7.3 selection procedure.
+    ///
+    /// For each even `k` up to `k_max`, the smallest `m` with
+    /// `P'(R, k, m) ≥ 1 − δ` is located; the candidate's expected collision
+    /// and unique-candidate counts are estimated from the distance sample;
+    /// infeasible (memory) candidates are kept in the report but excluded
+    /// from the final choice.
+    pub fn select(input: &SelectionInput<'_>) -> Result<ParamSelection> {
+        if input.sample_distances.is_empty() {
+            return Err(PlshError::InvalidParams(
+                "parameter selection needs a non-empty distance sample".into(),
+            ));
+        }
+        if !(input.radius > 0.0 && input.radius < std::f64::consts::PI) {
+            return Err(PlshError::InvalidParams("radius must lie in (0, pi)".into()));
+        }
+        let mut candidates = Vec::new();
+        let mut best: Option<(f64, &ParamCandidate)> = None;
+
+        let ks: Vec<u32> = (1..=input.k_max / 2).map(|h| h * 2).collect();
+        for &k in &ks {
+            let Some(m) = smallest_m(input.radius, input.delta, k, 4096) else {
+                continue; // No m up to the cap meets the recall bound.
+            };
+            let l = m * (m - 1) / 2;
+            let (e_coll, e_uniq) = estimate_candidates(input.sample_distances, input.n, k, m);
+            let cost = input.cost.cycles_per_collision * e_coll
+                + input.cost.cycles_per_unique * e_uniq;
+            let mem = table_memory_bytes(k, m, input.n);
+            candidates.push(ParamCandidate {
+                k,
+                m,
+                l,
+                recall_at_radius: recall(input.radius, k, m),
+                expected_collisions: e_coll,
+                expected_unique: e_uniq,
+                estimated_cost_cycles: cost,
+                memory_bytes: mem,
+                feasible: mem <= input.memory_bytes,
+            });
+        }
+        for cand in &candidates {
+            if cand.feasible {
+                match best {
+                    Some((best_cost, _)) if best_cost <= cand.estimated_cost_cycles => {}
+                    _ => best = Some((cand.estimated_cost_cycles, cand)),
+                }
+            }
+        }
+        let Some((_, chosen)) = best else {
+            return Err(PlshError::NoFeasibleParams(format!(
+                "no (k <= {}, m) pair meets recall >= {} within {} bytes for N = {}",
+                input.k_max,
+                1.0 - input.delta,
+                input.memory_bytes,
+                input.n
+            )));
+        };
+        let chosen = PlshParams::builder(input.dim)
+            .k(chosen.k)
+            .m(chosen.m)
+            .radius(input.radius)
+            .delta(input.delta)
+            .seed(input.seed)
+            .build()?;
+        Ok(ParamSelection { chosen, candidates })
+    }
+}
+
+/// Smallest `m >= 2` with `P'(R, k, m) >= 1 - delta`, or `None` up to `cap`.
+///
+/// `P'` is monotonically non-decreasing in `m` (more half-key functions can
+/// only help), so a linear scan terminates at the first hit.
+pub fn smallest_m(radius: f64, delta: f64, k: u32, cap: u32) -> Option<u32> {
+    let target = 1.0 - delta;
+    (2..=cap).find(|&m| recall(radius, k, m) >= target)
+}
+
+/// Monte-Carlo estimates of `E[#collisions]` and `E[#unique]` per query
+/// (Eqs. 7.1 / 7.2) from a sample of query–point angular distances.
+///
+/// Each sampled distance `t` stands for `N / sample_len` real points, so
+/// the estimator scales the sample means by `N`.
+pub fn estimate_candidates(sample_distances: &[f32], n: usize, k: u32, m: u32) -> (f64, f64) {
+    let l = (m as f64) * (m as f64 - 1.0) / 2.0;
+    let mut coll = 0.0f64;
+    let mut uniq = 0.0f64;
+    for &t in sample_distances {
+        let p = PlshParams::collision_probability(t as f64);
+        coll += p.powi(k as i32);
+        uniq += recall(t as f64, k, m);
+    }
+    let scale = n as f64 / sample_distances.len() as f64;
+    (l * coll * scale, uniq * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_derived_quantities() {
+        let p = PlshParams::builder(50_000).build().unwrap();
+        assert_eq!(p.dim(), 50_000);
+        assert_eq!(p.k(), 14);
+        assert_eq!(p.half_bits(), 7);
+        assert_eq!(p.m(), 16);
+        assert_eq!(p.l(), 120);
+        assert_eq!(p.num_hashes(), 112);
+        assert_eq!(p.buckets_per_table(), 1 << 14);
+        assert_eq!(p.buckets_per_level(), 1 << 7);
+    }
+
+    #[test]
+    fn builder_rejects_bad_params() {
+        assert!(PlshParams::builder(0).build().is_err());
+        assert!(PlshParams::builder(10).k(3).build().is_err());
+        assert!(PlshParams::builder(10).k(0).build().is_err());
+        assert!(PlshParams::builder(10).k(34).build().is_err());
+        assert!(PlshParams::builder(10).m(1).build().is_err());
+        assert!(PlshParams::builder(10).radius(0.0).build().is_err());
+        assert!(PlshParams::builder(10).radius(4.0).build().is_err());
+        assert!(PlshParams::builder(10).delta(0.0).build().is_err());
+        assert!(PlshParams::builder(10).delta(1.0).build().is_err());
+    }
+
+    #[test]
+    fn collision_probability_endpoints() {
+        assert!((PlshParams::collision_probability(0.0) - 1.0).abs() < 1e-12);
+        assert!(PlshParams::collision_probability(std::f64::consts::PI).abs() < 1e-12);
+        let half = PlshParams::collision_probability(std::f64::consts::FRAC_PI_2);
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_monotonic_in_m_and_decreasing_in_t() {
+        for k in [4u32, 8, 14, 16] {
+            let mut prev = 0.0;
+            for m in 2..60 {
+                let r = recall(0.9, k, m);
+                assert!(r >= prev - 1e-12, "recall must not decrease with m");
+                prev = r;
+            }
+        }
+        let mut prev = 1.0;
+        for i in 1..30 {
+            let t = i as f64 * 0.1;
+            let r = recall(t, 14, 16);
+            assert!(r <= prev + 1e-12, "recall must not increase with distance");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn paper_parameters_recall_value() {
+        // Evaluating the paper's own P' formula at its chosen setting
+        // (k = 16, m = 40, R = 0.9) gives ≈ 0.76, not ≥ 0.9 — the paper's
+        // reported 92% accuracy is *empirical* recall over real neighbors,
+        // which sit mostly well inside the radius where P' is much higher
+        // (see EXPERIMENTS.md). Pin the formula's actual value so any
+        // change to the math is caught.
+        let r = recall(0.9, 16, 40);
+        assert!((0.74..0.78).contains(&r), "P'(0.9, 16, 40) = {r}");
+        // Recall deep inside the radius is near-perfect, which is what
+        // drives the high empirical accuracy.
+        assert!(recall(0.3, 16, 40) > 0.999);
+    }
+
+    #[test]
+    fn smallest_m_is_minimal() {
+        let m = smallest_m(0.9, 0.1, 16, 4096).unwrap();
+        assert!(recall(0.9, 16, m) >= 0.9);
+        assert!(recall(0.9, 16, m - 1) < 0.9);
+        // The formula requires m = 57 for k = 16 at R = 0.9, δ = 0.1.
+        assert_eq!(m, 57);
+    }
+
+    #[test]
+    fn memory_formula_matches_paper_example() {
+        // Paper Section 5.3: N = 10M, L = 780 → hash tables ≈ 31 GB
+        // (L·N·4 bytes dominating).
+        let bytes = table_memory_bytes(16, 40, 10_000_000);
+        let gb = bytes as f64 / (1024.0 * 1024.0 * 1024.0);
+        assert!((29.0..33.0).contains(&gb), "{gb} GB");
+    }
+
+    #[test]
+    fn estimate_scales_with_n() {
+        let dists = vec![0.3f32, 0.8, 1.2, 2.0];
+        let (c1, u1) = estimate_candidates(&dists, 1000, 8, 6);
+        let (c2, u2) = estimate_candidates(&dists, 2000, 8, 6);
+        assert!((c2 / c1 - 2.0).abs() < 1e-9);
+        assert!((u2 / u1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unique_never_exceeds_collisions_expectation() {
+        // Each unique candidate collides at least twice (the P' event needs
+        // >= 2 half-key collisions) or once... in fact E[unique] <= N and
+        // E[collisions] can exceed N; sanity: both non-negative and unique <= n.
+        let dists: Vec<f32> = (0..100).map(|i| 0.03 * i as f32).collect();
+        let (c, u) = estimate_candidates(&dists, 5000, 14, 16);
+        assert!(c >= 0.0 && u >= 0.0);
+        assert!(u <= 5000.0);
+    }
+
+    #[test]
+    fn selection_picks_feasible_minimum() {
+        // A sample with mass near the radius and far away.
+        let dists: Vec<f32> = (0..1000)
+            .map(|i| 0.5 + 2.0 * (i as f32 / 1000.0))
+            .collect();
+        let input = SelectionInput {
+            dim: 1000,
+            n: 100_000,
+            memory_bytes: 512 << 20,
+            radius: 0.9,
+            delta: 0.1,
+            sample_distances: &dists,
+            cost: CostWeights::default(),
+            k_max: 20,
+            seed: 3,
+        };
+        let sel = ParamSelection::select(&input).unwrap();
+        assert!(sel.chosen.recall_at_radius() >= 0.9);
+        assert!(sel.chosen.table_memory_bytes(100_000) <= 512 << 20);
+        assert!(!sel.candidates.is_empty());
+        // Chosen must be the min-cost feasible candidate.
+        let min_cost = sel
+            .candidates
+            .iter()
+            .filter(|c| c.feasible)
+            .map(|c| c.estimated_cost_cycles)
+            .fold(f64::INFINITY, f64::min);
+        let chosen_cand = sel
+            .candidates
+            .iter()
+            .find(|c| c.k == sel.chosen.k() && c.m == sel.chosen.m())
+            .unwrap();
+        assert!((chosen_cand.estimated_cost_cycles - min_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selection_fails_without_memory() {
+        let dists = vec![1.0f32; 100];
+        let input = SelectionInput {
+            dim: 1000,
+            n: 10_000_000,
+            memory_bytes: 1024, // absurdly small
+            radius: 0.9,
+            delta: 0.1,
+            sample_distances: &dists,
+            cost: CostWeights::default(),
+            k_max: 20,
+            seed: 3,
+        };
+        assert!(matches!(
+            ParamSelection::select(&input).unwrap_err(),
+            PlshError::NoFeasibleParams(_)
+        ));
+    }
+
+    #[test]
+    fn selection_rejects_empty_sample() {
+        let input = SelectionInput {
+            dim: 10,
+            n: 100,
+            memory_bytes: 1 << 30,
+            radius: 0.9,
+            delta: 0.1,
+            sample_distances: &[],
+            cost: CostWeights::default(),
+            k_max: 16,
+            seed: 0,
+        };
+        assert!(ParamSelection::select(&input).is_err());
+    }
+}

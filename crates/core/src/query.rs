@@ -1,0 +1,755 @@
+//! The PLSH query pipeline (paper Section 5.2).
+//!
+//! Every query runs four steps:
+//!
+//! * **Q1** — hash the query with all `m·k/2` functions and compose the
+//!   `L` bucket keys (cheap).
+//! * **Q2** — read the matching bucket of every table (static and delta)
+//!   and eliminate duplicate point ids.
+//! * **Q3** — for each unique candidate, load its data row and compute the
+//!   exact angular distance.
+//! * **Q4** — emit candidates within the radius (cheap).
+//!
+//! The [`QueryStrategy`] switches reproduce the Figure 5 ablation:
+//!
+//! | level | switch | paper optimization |
+//! |---|---|---|
+//! | 0 | none | "No optimizations" (tree-set dedup, merge-join dot product) |
+//! | 1 | `bitvector_dedup` | "+bitvector" (Section 5.2.1) |
+//! | 2 | `optimized_sparse_dot` | "+optimized sparse DP" (Section 5.2.3) |
+//! | 3 | `candidate_array` | "+sw prefetch" (Section 5.2.2) |
+//! | 4 | `huge_pages` | "+large pages" (2 MB pages for the data table) |
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use plsh_parallel::ThreadPool;
+
+use crate::dedup::CandidateSet;
+use crate::hash::{allpairs, Hyperplanes, SketchMatrix};
+use crate::sparse::{angular_from_dot, dot_sorted, CrsMatrix, SparseVector};
+pub use crate::stats::{BatchStats, QueryStats};
+use crate::table::{DeltaTables, StaticTables};
+
+/// How far ahead of the distance computation the candidate loop prefetches
+/// data rows (Section 5.2.2).
+const PREFETCH_DISTANCE: usize = 8;
+
+/// A reported near neighbor.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct Neighbor {
+    /// Node-local point id.
+    pub index: u32,
+    /// Angular distance to the query, `<= R`.
+    pub distance: f32,
+}
+
+/// Ablation switches for the query pipeline; see the module docs.
+///
+/// The default is fully optimized. Switches are cumulative in the paper's
+/// ablation but independent here — any combination works and returns the
+/// same answers (tested), only speed differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStrategy {
+    /// Bitvector duplicate elimination instead of a tree set.
+    pub bitvector_dedup: bool,
+    /// Query-side vocabulary bitvector + dense value lookup for the sparse
+    /// dot product, instead of a merge join.
+    pub optimized_sparse_dot: bool,
+    /// Extract a sorted unique-candidate array from the bitvector and
+    /// software-prefetch upcoming data rows.
+    pub candidate_array: bool,
+    /// Hint the kernel to back the data table with huge pages (applied by
+    /// the engine at build time; recorded here so ablations can toggle it).
+    pub huge_pages: bool,
+}
+
+impl Default for QueryStrategy {
+    fn default() -> Self {
+        Self::optimized()
+    }
+}
+
+impl QueryStrategy {
+    /// Level 0: tree-set dedup and merge-join dot products.
+    pub fn unoptimized() -> Self {
+        Self {
+            bitvector_dedup: false,
+            optimized_sparse_dot: false,
+            candidate_array: false,
+            huge_pages: false,
+        }
+    }
+
+    /// Level 1: "+bitvector".
+    pub fn with_bitvector() -> Self {
+        Self {
+            bitvector_dedup: true,
+            ..Self::unoptimized()
+        }
+    }
+
+    /// Level 2: "+optimized sparse DP".
+    pub fn with_sparse_dot() -> Self {
+        Self {
+            optimized_sparse_dot: true,
+            ..Self::with_bitvector()
+        }
+    }
+
+    /// Level 3: "+sw prefetch".
+    pub fn with_prefetch() -> Self {
+        Self {
+            candidate_array: true,
+            ..Self::with_sparse_dot()
+        }
+    }
+
+    /// Level 4: "+large pages" — everything on.
+    pub fn optimized() -> Self {
+        Self {
+            bitvector_dedup: true,
+            optimized_sparse_dot: true,
+            candidate_array: true,
+            huge_pages: true,
+        }
+    }
+
+    /// The five cumulative levels of Figure 5, with their paper labels.
+    pub fn ablation_levels() -> [(&'static str, QueryStrategy); 5] {
+        [
+            ("No optimizations", Self::unoptimized()),
+            ("+bitvector", Self::with_bitvector()),
+            ("+optimized sparse DP", Self::with_sparse_dot()),
+            ("+sw prefetch", Self::with_prefetch()),
+            ("+large pages", Self::optimized()),
+        ]
+    }
+}
+
+/// Borrowed view of everything a query needs.
+#[derive(Clone, Copy)]
+pub struct QueryContext<'a> {
+    /// The corpus rows (used for exact distances in Q3).
+    pub data: &'a CrsMatrix,
+    /// The hash family.
+    pub planes: &'a Hyperplanes,
+    /// Static tables, if any points have been merged.
+    pub static_tables: Option<&'a StaticTables>,
+    /// Delta tables, if any points are buffered.
+    pub delta: Option<&'a DeltaTables>,
+    /// Deletion bitvector words (bit set ⇒ point deleted), if any.
+    pub deleted: Option<&'a [u64]>,
+    /// Number of half-key functions `m`.
+    pub m: u32,
+    /// Bits per half key (`k/2`).
+    pub half_bits: u32,
+    /// Angular query radius `R`.
+    pub radius: f32,
+    /// Ablation switches.
+    pub strategy: QueryStrategy,
+}
+
+/// Reusable per-thread scratch space: hash accumulators, the candidate
+/// bitvector over point ids, and the query-side vocabulary bitvector.
+#[derive(Debug)]
+pub struct QueryScratch {
+    acc: Vec<f32>,
+    half_keys: Vec<u32>,
+    keys: Vec<u32>,
+    cand: CandidateSet,
+    sorted: Vec<u32>,
+    /// Query bitvector over the vocabulary space (Section 5.2.3).
+    qmask: Vec<u64>,
+    /// Dense query values; only positions flagged in `qmask` are valid.
+    qvals: Vec<f32>,
+}
+
+impl QueryScratch {
+    /// Allocates scratch for `m` functions of `half_bits` bits, `n` points,
+    /// and dimensionality `dim`.
+    pub fn new(m: u32, half_bits: u32, n: usize, dim: u32) -> Self {
+        let l = allpairs::num_tables(m) as usize;
+        Self {
+            acc: vec![0.0; (m * half_bits) as usize],
+            half_keys: vec![0; m as usize],
+            keys: vec![0; l],
+            cand: CandidateSet::new(n),
+            sorted: Vec::new(),
+            qmask: vec![0u64; (dim as usize).div_ceil(64)],
+            qvals: vec![0.0; dim as usize],
+        }
+    }
+
+    fn ensure_points(&mut self, n: usize) {
+        self.cand.ensure_capacity(n);
+    }
+}
+
+/// A lock-guarded pool of [`QueryScratch`] reused across batch queries, so
+/// steady-state querying performs no allocation.
+pub struct ScratchPool {
+    m: u32,
+    half_bits: u32,
+    dim: u32,
+    free: Mutex<Vec<QueryScratch>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool for the given index shape.
+    pub fn new(m: u32, half_bits: u32, dim: u32) -> Self {
+        Self {
+            m,
+            half_bits,
+            dim,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Takes a scratch sized for `n` points (allocating one if none free).
+    pub fn take(&self, n: usize) -> QueryScratch {
+        let mut s = self
+            .free
+            .lock()
+            .pop()
+            .unwrap_or_else(|| QueryScratch::new(self.m, self.half_bits, n, self.dim));
+        s.ensure_points(n);
+        s
+    }
+
+    /// Returns a scratch for reuse.
+    pub fn put(&self, scratch: QueryScratch) {
+        self.free.lock().push(scratch);
+    }
+}
+
+/// Runs one query through Q1–Q4; returns neighbors and counters.
+pub fn execute_query(
+    ctx: &QueryContext<'_>,
+    query: &SparseVector,
+    scratch: &mut QueryScratch,
+) -> (Vec<Neighbor>, QueryStats) {
+    let mut stats = QueryStats::default();
+    let l_count = allpairs::num_tables(ctx.m) as usize;
+
+    // ---- Q1: hash the query and compose the L bucket keys.
+    SketchMatrix::sketch_one(
+        ctx.planes,
+        ctx.half_bits,
+        query.indices(),
+        query.values(),
+        &mut scratch.acc,
+        &mut scratch.half_keys,
+    );
+    allpairs::table_keys(&scratch.half_keys, ctx.half_bits, &mut scratch.keys[..l_count]);
+
+    // ---- Q2: merge buckets and eliminate duplicates.
+    let mut out = Vec::new();
+    if ctx.strategy.bitvector_dedup {
+        for l in 0..l_count {
+            let key = scratch.keys[l];
+            if let Some(st) = ctx.static_tables {
+                for &id in st.bucket(l, key) {
+                    stats.collisions += 1;
+                    scratch.cand.insert(id);
+                }
+            }
+            if let Some(delta) = ctx.delta {
+                for &id in delta.bucket(l, key) {
+                    stats.collisions += 1;
+                    scratch.cand.insert(id);
+                }
+            }
+        }
+        stats.unique_candidates = scratch.cand.len() as u64;
+
+        // ---- Q3/Q4 over the deduplicated candidates.
+        if ctx.strategy.candidate_array {
+            // Extraction pass: sorted unique ids, then a tight loop with
+            // software prefetch of upcoming rows (Section 5.2.2).
+            let mut sorted = std::mem::take(&mut scratch.sorted);
+            scratch.cand.extract_sorted(&mut sorted);
+            with_query_side(ctx, query, scratch, |ctx, query, scratch| {
+                for (i, &id) in sorted.iter().enumerate() {
+                    if let Some(&next) = sorted.get(i + PREFETCH_DISTANCE) {
+                        prefetch_row(ctx.data, next);
+                    }
+                    filter_candidate(ctx, query, scratch, id, &mut out, &mut stats);
+                }
+            });
+            scratch.sorted = sorted;
+        } else {
+            let cand = std::mem::take(&mut scratch.sorted);
+            // Reuse `sorted` as a plain buffer for the discovery-order list
+            // (cannot iterate `scratch.cand` while borrowing scratch).
+            let mut cand = cand;
+            cand.clear();
+            cand.extend_from_slice(scratch.cand.candidates());
+            with_query_side(ctx, query, scratch, |ctx, query, scratch| {
+                for &id in &cand {
+                    filter_candidate(ctx, query, scratch, id, &mut out, &mut stats);
+                }
+            });
+            scratch.sorted = cand;
+        }
+        scratch.cand.clear();
+    } else {
+        // Ablation baseline: tree set ("STL set") dedup.
+        let mut set = BTreeSet::new();
+        for l in 0..l_count {
+            let key = scratch.keys[l];
+            if let Some(st) = ctx.static_tables {
+                for &id in st.bucket(l, key) {
+                    stats.collisions += 1;
+                    set.insert(id);
+                }
+            }
+            if let Some(delta) = ctx.delta {
+                for &id in delta.bucket(l, key) {
+                    stats.collisions += 1;
+                    set.insert(id);
+                }
+            }
+        }
+        stats.unique_candidates = set.len() as u64;
+        with_query_side(ctx, query, scratch, |ctx, query, scratch| {
+            for &id in &set {
+                filter_candidate(ctx, query, scratch, id, &mut out, &mut stats);
+            }
+        });
+    }
+
+    (out, stats)
+}
+
+/// Prepares (and afterwards clears) the query-side vocabulary bitvector and
+/// dense value array around the candidate loop `body`, when the optimized
+/// sparse dot product is enabled.
+fn with_query_side<F>(
+    ctx: &QueryContext<'_>,
+    query: &SparseVector,
+    scratch: &mut QueryScratch,
+    body: F,
+) where
+    F: FnOnce(&QueryContext<'_>, &SparseVector, &mut QueryScratch),
+{
+    if ctx.strategy.optimized_sparse_dot {
+        for (&d, &v) in query.indices().iter().zip(query.values()) {
+            scratch.qmask[(d >> 6) as usize] |= 1u64 << (d & 63);
+            scratch.qvals[d as usize] = v;
+        }
+    }
+    body(ctx, query, scratch);
+    if ctx.strategy.optimized_sparse_dot {
+        for &d in query.indices() {
+            scratch.qmask[(d >> 6) as usize] = 0;
+        }
+    }
+}
+
+/// Q3 + Q4 for one candidate: skip deleted, compute the exact distance,
+/// and append a neighbor when within the radius.
+#[inline]
+fn filter_candidate(
+    ctx: &QueryContext<'_>,
+    query: &SparseVector,
+    scratch: &mut QueryScratch,
+    id: u32,
+    out: &mut Vec<Neighbor>,
+    stats: &mut QueryStats,
+) {
+    if let Some(words) = ctx.deleted {
+        if words[(id >> 6) as usize] & (1u64 << (id & 63)) != 0 {
+            return; // tombstoned (Section 6.2, "Deleting Entries")
+        }
+    }
+    let (idx, val) = ctx.data.row(id);
+    let dot = if ctx.strategy.optimized_sparse_dot {
+        dot_via_mask(idx, val, &scratch.qmask, &scratch.qvals)
+    } else {
+        dot_sorted(idx, val, query.indices(), query.values())
+    };
+    stats.distance_computations += 1;
+    let distance = angular_from_dot(dot);
+    if distance <= ctx.radius {
+        stats.matches += 1;
+        out.push(Neighbor {
+            index: id,
+            distance,
+        });
+    }
+}
+
+/// The optimized sparse dot product of Section 5.2.3: walk the data row's
+/// index array and test membership in the query's vocabulary bitvector in
+/// O(1); only hits touch the dense value array.
+#[inline]
+fn dot_via_mask(idx: &[u32], val: &[f32], qmask: &[u64], qvals: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&d, &v) in idx.iter().zip(val) {
+        if qmask[(d >> 6) as usize] & (1u64 << (d & 63)) != 0 {
+            acc += v * qvals[d as usize];
+        }
+    }
+    acc
+}
+
+#[inline]
+fn prefetch_row(data: &CrsMatrix, id: u32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let (idx, val) = data.row(id);
+        if !idx.is_empty() {
+            // SAFETY: prefetch is a hint; the pointers are valid borrows.
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(idx.as_ptr() as *const i8, _MM_HINT_T0);
+                _mm_prefetch(val.as_ptr() as *const i8, _MM_HINT_T0);
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (data, id);
+    }
+}
+
+/// Answers a k-nearest-neighbor query over the LSH candidate set.
+///
+/// PLSH is a radius-query structure; this extension ranks *all* candidates
+/// that collide with the query (ignoring the radius) and returns the `k`
+/// closest, ascending by distance. Like every LSH k-NN, the answer is
+/// approximate: only points sharing at least two half-keys with the query
+/// are considered (the same candidate set the radius query filters).
+pub fn execute_knn(
+    ctx: &QueryContext<'_>,
+    query: &SparseVector,
+    k: usize,
+    scratch: &mut QueryScratch,
+) -> (Vec<Neighbor>, QueryStats) {
+    // Rank everything the tables surface: radius π admits every candidate.
+    let mut wide = *ctx;
+    wide.radius = std::f32::consts::PI;
+    let (mut hits, stats) = execute_query(&wide, query, scratch);
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
+    hits.truncate(k);
+    (hits, stats)
+}
+
+/// Per-phase wall time of a profiled query batch (Figure 6's right panel).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct QueryPhaseTimings {
+    /// Step Q2: bucket reads, bitvector dedup, candidate extraction.
+    pub step_q2: std::time::Duration,
+    /// Step Q3: candidate loads + distance computations (+Q4 appends).
+    pub step_q3: std::time::Duration,
+}
+
+impl QueryPhaseTimings {
+    /// Total profiled time (Q1/Q4 are negligible and folded into Q2/Q3).
+    pub fn total(&self) -> std::time::Duration {
+        self.step_q2 + self.step_q3
+    }
+}
+
+/// Runs a query batch **sequentially** with per-phase timers, for model
+/// validation (Figure 6). Uses the fully optimized pipeline.
+///
+/// Sequential execution keeps the phase timers meaningful; the aggregate
+/// counters match [`execute_batch`] exactly.
+pub fn profile_batch(
+    ctx: &QueryContext<'_>,
+    queries: &[SparseVector],
+    scratch: &mut QueryScratch,
+) -> (QueryPhaseTimings, QueryStats) {
+    let l_count = allpairs::num_tables(ctx.m) as usize;
+    let mut timings = QueryPhaseTimings::default();
+    let mut stats = QueryStats::default();
+    let mut sorted: Vec<u32> = Vec::new();
+    for query in queries {
+        // Q1 (not separately reported; the paper notes it "takes very
+        // little time").
+        SketchMatrix::sketch_one(
+            ctx.planes,
+            ctx.half_bits,
+            query.indices(),
+            query.values(),
+            &mut scratch.acc,
+            &mut scratch.half_keys,
+        );
+        allpairs::table_keys(&scratch.half_keys, ctx.half_bits, &mut scratch.keys[..l_count]);
+
+        // Q2: bucket reads + dedup + sorted extraction.
+        let t0 = Instant::now();
+        for l in 0..l_count {
+            let key = scratch.keys[l];
+            if let Some(st) = ctx.static_tables {
+                for &id in st.bucket(l, key) {
+                    stats.collisions += 1;
+                    scratch.cand.insert(id);
+                }
+            }
+            if let Some(delta) = ctx.delta {
+                for &id in delta.bucket(l, key) {
+                    stats.collisions += 1;
+                    scratch.cand.insert(id);
+                }
+            }
+        }
+        stats.unique_candidates += scratch.cand.len() as u64;
+        scratch.cand.extract_sorted(&mut sorted);
+        timings.step_q2 += t0.elapsed();
+
+        // Q3 + Q4: distance filter over the sorted candidates.
+        let t1 = Instant::now();
+        let mut out = Vec::new();
+        with_query_side(ctx, query, scratch, |ctx, query, scratch| {
+            for (i, &id) in sorted.iter().enumerate() {
+                if let Some(&next) = sorted.get(i + PREFETCH_DISTANCE) {
+                    prefetch_row(ctx.data, next);
+                }
+                filter_candidate(ctx, query, scratch, id, &mut out, &mut stats);
+            }
+        });
+        std::hint::black_box(&out);
+        scratch.cand.clear();
+        timings.step_q3 += t1.elapsed();
+    }
+    (timings, stats)
+}
+
+/// Runs a batch of queries, one work-stealing task per query (Section 5.2,
+/// "Parallelism"), and aggregates counters and wall time.
+pub fn execute_batch(
+    ctx: &QueryContext<'_>,
+    queries: &[SparseVector],
+    pool: &ThreadPool,
+    scratches: &ScratchPool,
+) -> (Vec<Vec<Neighbor>>, BatchStats) {
+    let n = ctx.data.num_rows();
+    let start = Instant::now();
+    let results: Vec<(Vec<Neighbor>, QueryStats)> = pool.parallel_map(queries.iter(), |q| {
+        let mut scratch = scratches.take(n);
+        let r = execute_query(ctx, q, &mut scratch);
+        scratches.put(scratch);
+        r
+    });
+    let elapsed = start.elapsed();
+    let mut totals = QueryStats::default();
+    let mut neighbors = Vec::with_capacity(results.len());
+    for (nbrs, st) in results {
+        totals.merge(&st);
+        neighbors.push(nbrs);
+    }
+    (
+        neighbors,
+        BatchStats {
+            queries: queries.len() as u64,
+            totals,
+            elapsed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::table::BuildStrategy;
+
+    struct Fixture {
+        data: CrsMatrix,
+        planes: Hyperplanes,
+        statics: StaticTables,
+        m: u32,
+        half_bits: u32,
+    }
+
+    fn fixture(n: usize, seed: u64) -> Fixture {
+        let pool = ThreadPool::new(1);
+        let dim = 64u32;
+        let (m, half_bits) = (6u32, 3u32);
+        let mut rng = SplitMix64::new(seed);
+        let mut data = CrsMatrix::new(dim);
+        for _ in 0..n {
+            let a = rng.next_below(dim as u64) as u32;
+            let b = (a + 1 + rng.next_below(dim as u64 - 1) as u32) % dim;
+            let v = SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)])
+                .unwrap();
+            data.push(&v).unwrap();
+        }
+        let planes = Hyperplanes::new_dense(dim, m * half_bits, 7, &pool);
+        let mut sk = SketchMatrix::new(m, half_bits);
+        sk.append_from(&data, &planes, 0, &pool, true);
+        let statics = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool);
+        Fixture {
+            data,
+            planes,
+            statics,
+            m,
+            half_bits,
+        }
+    }
+
+    fn ctx<'a>(f: &'a Fixture, strategy: QueryStrategy) -> QueryContext<'a> {
+        QueryContext {
+            data: &f.data,
+            planes: &f.planes,
+            static_tables: Some(&f.statics),
+            delta: None,
+            deleted: None,
+            m: f.m,
+            half_bits: f.half_bits,
+            radius: 0.9,
+            strategy,
+        }
+    }
+
+    fn sorted_hits(mut hits: Vec<Neighbor>) -> Vec<u32> {
+        hits.sort_by_key(|h| h.index);
+        hits.iter().map(|h| h.index).collect()
+    }
+
+    #[test]
+    fn self_query_finds_self() {
+        let f = fixture(200, 1);
+        let mut scratch = QueryScratch::new(f.m, f.half_bits, 200, f.data.dim());
+        let q = f.data.row_vector(17);
+        let (hits, stats) = execute_query(&ctx(&f, QueryStrategy::optimized()), &q, &mut scratch);
+        assert!(hits.iter().any(|h| h.index == 17 && h.distance < 1e-3));
+        assert!(stats.matches as usize == hits.len());
+        assert!(stats.unique_candidates <= stats.collisions);
+        assert!(stats.distance_computations == stats.unique_candidates);
+    }
+
+    #[test]
+    fn all_strategies_return_identical_answers() {
+        let f = fixture(300, 2);
+        let mut scratch = QueryScratch::new(f.m, f.half_bits, 300, f.data.dim());
+        for qid in [0u32, 5, 123, 299] {
+            let q = f.data.row_vector(qid);
+            let mut answers = Vec::new();
+            for (_, strategy) in QueryStrategy::ablation_levels() {
+                let (hits, _) = execute_query(&ctx(&f, strategy), &q, &mut scratch);
+                answers.push(sorted_hits(hits));
+            }
+            for w in answers.windows(2) {
+                assert_eq!(w[0], w[1], "strategies disagree for query {qid}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_queries_is_clean() {
+        let f = fixture(150, 3);
+        let mut scratch = QueryScratch::new(f.m, f.half_bits, 150, f.data.dim());
+        let c = ctx(&f, QueryStrategy::optimized());
+        let q0 = f.data.row_vector(0);
+        let (first, _) = execute_query(&c, &q0, &mut scratch);
+        // Run a different query in between.
+        let q1 = f.data.row_vector(75);
+        let _ = execute_query(&c, &q1, &mut scratch);
+        let (again, _) = execute_query(&c, &q0, &mut scratch);
+        assert_eq!(sorted_hits(first), sorted_hits(again));
+    }
+
+    #[test]
+    fn deleted_points_are_not_reported() {
+        let f = fixture(100, 4);
+        let mut scratch = QueryScratch::new(f.m, f.half_bits, 100, f.data.dim());
+        let q = f.data.row_vector(42);
+        let mut deleted = vec![0u64; 100usize.div_ceil(64)];
+        deleted[42 / 64] |= 1 << 42;
+        let mut c = ctx(&f, QueryStrategy::optimized());
+        c.deleted = Some(&deleted);
+        let (hits, stats) = execute_query(&c, &q, &mut scratch);
+        assert!(!hits.iter().any(|h| h.index == 42));
+        // Deleted candidate skipped before the distance computation.
+        assert!(stats.distance_computations < stats.unique_candidates);
+    }
+
+    #[test]
+    fn batch_matches_individual_queries() {
+        let f = fixture(250, 5);
+        let pool = ThreadPool::new(2);
+        let scratches = ScratchPool::new(f.m, f.half_bits, f.data.dim());
+        let queries: Vec<SparseVector> = (0..20u32).map(|i| f.data.row_vector(i * 10)).collect();
+        let c = ctx(&f, QueryStrategy::optimized());
+        let (batch, stats) = execute_batch(&c, &queries, &pool, &scratches);
+        assert_eq!(batch.len(), 20);
+        assert_eq!(stats.queries, 20);
+        let mut scratch = QueryScratch::new(f.m, f.half_bits, 250, f.data.dim());
+        for (q, got) in queries.iter().zip(&batch) {
+            let (expect, _) = execute_query(&c, q, &mut scratch);
+            assert_eq!(sorted_hits(got.clone()), sorted_hits(expect));
+        }
+    }
+
+    #[test]
+    fn radius_zero_like_returns_only_near_exact() {
+        let f = fixture(100, 6);
+        let mut scratch = QueryScratch::new(f.m, f.half_bits, 100, f.data.dim());
+        let mut c = ctx(&f, QueryStrategy::optimized());
+        c.radius = 1e-4;
+        let q = f.data.row_vector(10);
+        let (hits, _) = execute_query(&c, &q, &mut scratch);
+        for h in hits {
+            assert!(h.distance <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_index_yields_no_hits() {
+        let pool = ThreadPool::new(1);
+        let dim = 32u32;
+        let data = CrsMatrix::new(dim);
+        let planes = Hyperplanes::new_dense(dim, 12, 1, &pool);
+        let sk = SketchMatrix::new(4, 3);
+        let statics = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool);
+        let c = QueryContext {
+            data: &data,
+            planes: &planes,
+            static_tables: Some(&statics),
+            delta: None,
+            deleted: None,
+            m: 4,
+            half_bits: 3,
+            radius: 0.9,
+            strategy: QueryStrategy::optimized(),
+        };
+        let mut scratch = QueryScratch::new(4, 3, 0, dim);
+        let q = SparseVector::unit(vec![(0, 1.0)]).unwrap();
+        let (hits, stats) = execute_query(&c, &q, &mut scratch);
+        assert!(hits.is_empty());
+        assert_eq!(stats.collisions, 0);
+    }
+
+    #[test]
+    fn dot_via_mask_matches_merge_join() {
+        let mut rng = SplitMix64::new(8);
+        for _ in 0..50 {
+            let a = SparseVector::unit(
+                (0..5)
+                    .map(|_| (rng.next_below(64) as u32, rng.next_f64() as f32 + 0.01))
+                    .collect(),
+            )
+            .unwrap();
+            let b = SparseVector::unit(
+                (0..5)
+                    .map(|_| (rng.next_below(64) as u32, rng.next_f64() as f32 + 0.01))
+                    .collect(),
+            )
+            .unwrap();
+            let mut qmask = vec![0u64; 1];
+            let mut qvals = vec![0.0f32; 64];
+            for (&d, &v) in b.indices().iter().zip(b.values()) {
+                qmask[(d >> 6) as usize] |= 1 << (d & 63);
+                qvals[d as usize] = v;
+            }
+            let fast = dot_via_mask(a.indices(), a.values(), &qmask, &qvals);
+            let slow = a.dot(&b);
+            assert!((fast - slow).abs() < 1e-5);
+        }
+    }
+}

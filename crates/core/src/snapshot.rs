@@ -1,0 +1,365 @@
+//! Engine snapshots: save/restore a node's contents to a byte stream.
+//!
+//! An adoption feature beyond the paper: operators of an in-memory system
+//! need warm restarts. A snapshot stores the *inputs* — parameters, corpus
+//! rows, static/delta split, deletion tombstones — in a compact
+//! little-endian binary layout; on load, sketches and tables are rebuilt
+//! deterministically from the stored seed, so the restored engine answers
+//! every query identically to the original (tested).
+//!
+//! Format (version 1): magic `PLSH` + version, the parameter block, the
+//! engine layout (capacity, eta, static length), the CRS corpus as three
+//! length-prefixed arrays, and the deletion bitvector.
+
+use std::io::{self, Read, Write};
+
+use plsh_parallel::ThreadPool;
+
+use crate::engine::{Engine, EngineConfig};
+use crate::error::Result as PlshResult;
+use crate::params::PlshParams;
+use crate::sparse::SparseVector;
+
+const MAGIC: &[u8; 4] = b"PLSH";
+const VERSION: u32 = 1;
+
+/// Everything needed to reconstruct an [`Engine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// LSH parameters (including the hyperplane seed).
+    pub params: PlshParams,
+    /// Node capacity `C`.
+    pub capacity: u64,
+    /// Merge threshold `η`.
+    pub eta: f64,
+    /// Points in the static structure (the rest live in the delta).
+    pub static_len: u64,
+    /// All stored rows, in insertion order.
+    pub vectors: Vec<SparseVector>,
+    /// Tombstoned point ids.
+    pub deleted: Vec<u32>,
+}
+
+impl Snapshot {
+    /// Captures an engine's state.
+    pub fn capture(engine: &Engine) -> Self {
+        let n = engine.len();
+        let vectors = (0..n as u32).map(|id| engine.vector(id)).collect();
+        let deleted = (0..n as u32).filter(|&id| engine.is_deleted(id)).collect();
+        Self {
+            params: engine.params().clone(),
+            capacity: engine.capacity() as u64,
+            eta: engine.config().eta,
+            static_len: engine.static_len() as u64,
+            vectors,
+            deleted,
+        }
+    }
+
+    /// Restores an engine that answers identically to the captured one.
+    ///
+    /// The static/delta split is reproduced exactly: the static prefix is
+    /// inserted and merged, then the delta suffix is inserted unmerged.
+    pub fn restore(&self, pool: &ThreadPool) -> PlshResult<Engine> {
+        let config = EngineConfig::new(self.params.clone(), self.capacity as usize)
+            .manual_merge()
+            .with_eta(self.eta);
+        let mut engine = Engine::new(config, pool)?;
+        let split = self.static_len as usize;
+        if split > 0 {
+            engine.insert_batch(&self.vectors[..split], pool)?;
+            engine.merge_delta(pool);
+        }
+        if split < self.vectors.len() {
+            engine.insert_batch(&self.vectors[split..], pool)?;
+        }
+        for &id in &self.deleted {
+            engine.delete(id);
+        }
+        Ok(engine)
+    }
+
+    /// Serializes the snapshot.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        put_u32(w, VERSION)?;
+        // Parameter block.
+        put_u32(w, self.params.dim())?;
+        put_u32(w, self.params.k())?;
+        put_u32(w, self.params.m())?;
+        put_f64(w, self.params.radius())?;
+        put_f64(w, self.params.delta())?;
+        put_u64(w, self.params.seed())?;
+        // Layout block.
+        put_u64(w, self.capacity)?;
+        put_f64(w, self.eta)?;
+        put_u64(w, self.static_len)?;
+        // Corpus as CRS: row nnz counts, then flattened indices/values.
+        put_u64(w, self.vectors.len() as u64)?;
+        for v in &self.vectors {
+            put_u32(w, v.nnz() as u32)?;
+        }
+        for v in &self.vectors {
+            for &d in v.indices() {
+                put_u32(w, d)?;
+            }
+            for &x in v.values() {
+                put_f32(w, x)?;
+            }
+        }
+        // Tombstones.
+        put_u64(w, self.deleted.len() as u64)?;
+        for &id in &self.deleted {
+            put_u32(w, id)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a snapshot, validating every invariant it can.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a PLSH snapshot (bad magic)"));
+        }
+        let version = get_u32(r)?;
+        if version != VERSION {
+            return Err(bad(format!("unsupported snapshot version {version}")));
+        }
+        let dim = get_u32(r)?;
+        let k = get_u32(r)?;
+        let m = get_u32(r)?;
+        let radius = get_f64(r)?;
+        let delta = get_f64(r)?;
+        let seed = get_u64(r)?;
+        let params = PlshParams::builder(dim)
+            .k(k)
+            .m(m)
+            .radius(radius)
+            .delta(delta)
+            .seed(seed)
+            .build()
+            .map_err(|e| bad(e.to_string()))?;
+
+        let capacity = get_u64(r)?;
+        let eta = get_f64(r)?;
+        let static_len = get_u64(r)?;
+
+        let n = get_u64(r)? as usize;
+        if n as u64 > capacity {
+            return Err(bad("snapshot holds more points than its capacity"));
+        }
+        if static_len > n as u64 {
+            return Err(bad("static_len exceeds the point count"));
+        }
+        let mut nnz = Vec::with_capacity(n);
+        for _ in 0..n {
+            nnz.push(get_u32(r)? as usize);
+        }
+        let mut vectors = Vec::with_capacity(n);
+        for (row, &count) in nnz.iter().enumerate() {
+            let mut indices = Vec::with_capacity(count);
+            for _ in 0..count {
+                indices.push(get_u32(r)?);
+            }
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(get_f32(r)?);
+            }
+            let v = SparseVector::from_sorted(indices, values)
+                .map_err(|e| bad(format!("row {row}: {e}")))?;
+            if v.max_index().unwrap_or(0) >= dim {
+                return Err(bad(format!("row {row} exceeds dimensionality {dim}")));
+            }
+            vectors.push(v);
+        }
+        let d = get_u64(r)? as usize;
+        let mut deleted = Vec::with_capacity(d);
+        for _ in 0..d {
+            let id = get_u32(r)?;
+            if id as usize >= n {
+                return Err(bad(format!("tombstone {id} out of range")));
+            }
+            deleted.push(id);
+        }
+        Ok(Self {
+            params,
+            capacity,
+            eta,
+            static_len,
+            vectors,
+            deleted,
+        })
+    }
+}
+
+impl Engine {
+    /// Writes a snapshot of this engine (see [`Snapshot`]).
+    pub fn save_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        Snapshot::capture(self).write_to(w)
+    }
+
+    /// Restores an engine from a snapshot stream.
+    pub fn load_from<R: Read>(r: &mut R, pool: &ThreadPool) -> io::Result<Engine> {
+        Snapshot::read_from(r)?
+            .restore(pool)
+            .map_err(|e| bad(e.to_string()))
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn put_u32<W: Write>(w: &mut W, x: u32) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn put_u64<W: Write>(w: &mut W, x: u64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn put_f32<W: Write>(w: &mut W, x: f32) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn put_f64<W: Write>(w: &mut W, x: f64) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn get_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn sample_engine(pool: &ThreadPool) -> Engine {
+        let params = PlshParams::builder(64)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .seed(77)
+            .build()
+            .unwrap();
+        let mut e = Engine::new(
+            EngineConfig::new(params, 500).manual_merge().with_eta(0.2),
+            pool,
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(5);
+        let mut vs = Vec::new();
+        for _ in 0..80 {
+            let a = rng.next_below(64) as u32;
+            let b = (a + 1 + rng.next_below(63) as u32) % 64;
+            vs.push(SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)]).unwrap());
+        }
+        e.insert_batch(&vs[..50], pool).unwrap();
+        e.merge_delta(pool);
+        e.insert_batch(&vs[50..], pool).unwrap(); // stays in delta
+        e.delete(7);
+        e.delete(65);
+        e
+    }
+
+    #[test]
+    fn snapshot_round_trips_bytes() {
+        let pool = ThreadPool::new(1);
+        let engine = sample_engine(&pool);
+        let snap = Snapshot::capture(&engine);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        let back = Snapshot::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn restored_engine_answers_identically() {
+        let pool = ThreadPool::new(1);
+        let engine = sample_engine(&pool);
+        let mut bytes = Vec::new();
+        engine.save_to(&mut bytes).unwrap();
+        let restored = Engine::load_from(&mut bytes.as_slice(), &pool).unwrap();
+
+        assert_eq!(restored.len(), engine.len());
+        assert_eq!(restored.static_len(), engine.static_len());
+        assert_eq!(restored.delta_len(), engine.delta_len());
+        assert_eq!(restored.stats().deleted_points, engine.stats().deleted_points);
+        for id in 0..engine.len() as u32 {
+            let q = engine.vector(id);
+            let mut a: Vec<u32> = engine.query(&q, &pool).iter().map(|h| h.index).collect();
+            let mut b: Vec<u32> = restored.query(&q, &pool).iter().map(|h| h.index).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "answers diverged for point {id}");
+        }
+    }
+
+    #[test]
+    fn empty_engine_round_trips() {
+        let pool = ThreadPool::new(1);
+        let params = PlshParams::builder(16).k(4).m(4).radius(0.9).seed(1).build().unwrap();
+        let engine = Engine::new(EngineConfig::new(params, 10), &pool).unwrap();
+        let mut bytes = Vec::new();
+        engine.save_to(&mut bytes).unwrap();
+        let restored = Engine::load_from(&mut bytes.as_slice(), &pool).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn corrupt_streams_are_rejected() {
+        let pool = ThreadPool::new(1);
+        let engine = sample_engine(&pool);
+        let mut bytes = Vec::new();
+        engine.save_to(&mut bytes).unwrap();
+
+        // Bad magic.
+        let mut junk = bytes.clone();
+        junk[0] = b'X';
+        assert!(Snapshot::read_from(&mut junk.as_slice()).is_err());
+
+        // Bad version.
+        let mut junk = bytes.clone();
+        junk[4] = 99;
+        assert!(Snapshot::read_from(&mut junk.as_slice()).is_err());
+
+        // Truncation at every prefix must error, never panic.
+        for cut in [5usize, 20, 60, bytes.len() - 3] {
+            let mut slice = &bytes[..cut];
+            assert!(Snapshot::read_from(&mut slice).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn tombstone_out_of_range_is_rejected() {
+        let pool = ThreadPool::new(1);
+        let engine = sample_engine(&pool);
+        let mut snap = Snapshot::capture(&engine);
+        snap.deleted.push(10_000);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        assert!(Snapshot::read_from(&mut bytes.as_slice()).is_err());
+    }
+}

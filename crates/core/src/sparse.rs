@@ -1,0 +1,429 @@
+//! Sparse vectors and CRS (Compressed Row Storage) matrices.
+//!
+//! PLSH represents each document as a sparse unit vector in the vocabulary
+//! space (IDF-weighted term scores, paper Section 8) and stores the whole
+//! corpus in CRS form (Section 5.1.1) so that hashing is a sparse-times-
+//! dense matrix product with sequential access to the sparse side.
+//!
+//! Distances are angular: `t(p, q) = acos(p·q)` for unit vectors, with the
+//! collision probability of the sign-random-projection family being
+//! `p(t) = 1 − t/π` (Section 3).
+
+use crate::error::{PlshError, Result};
+
+/// A sparse vector with strictly increasing dimension indices.
+///
+/// Invariants (enforced at construction):
+/// * `indices` strictly increasing, one `f32` value per index;
+/// * at least one non-zero component;
+/// * all values finite.
+///
+/// Most callers want [`SparseVector::unit`], which also normalizes to unit
+/// Euclidean length — the representation assumed by the angular-distance
+/// kernels and by the LSH collision math.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector {
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseVector {
+    /// Builds a vector from `(dimension, value)` pairs in any order.
+    ///
+    /// Pairs with duplicate dimensions are combined by summation; pairs
+    /// whose combined value is exactly zero are dropped.
+    pub fn new(mut pairs: Vec<(u32, f32)>) -> Result<Self> {
+        if pairs.iter().any(|(_, v)| !v.is_finite()) {
+            return Err(PlshError::NotNormalizable);
+        }
+        pairs.sort_unstable_by_key(|&(d, _)| d);
+        let mut indices = Vec::with_capacity(pairs.len());
+        let mut values: Vec<f32> = Vec::with_capacity(pairs.len());
+        for (d, v) in pairs {
+            match indices.last() {
+                Some(&last) if last == d => {
+                    *values.last_mut().expect("values parallel to indices") += v;
+                }
+                _ => {
+                    indices.push(d);
+                    values.push(v);
+                }
+            }
+        }
+        // Drop exact zeros produced by cancellation.
+        let mut keep_idx = Vec::with_capacity(indices.len());
+        let mut keep_val = Vec::with_capacity(values.len());
+        for (d, v) in indices.into_iter().zip(values) {
+            if v != 0.0 {
+                keep_idx.push(d);
+                keep_val.push(v);
+            }
+        }
+        if keep_idx.is_empty() {
+            return Err(PlshError::EmptyVector);
+        }
+        Ok(Self {
+            indices: keep_idx,
+            values: keep_val,
+        })
+    }
+
+    /// Builds a **unit** vector from `(dimension, value)` pairs.
+    pub fn unit(pairs: Vec<(u32, f32)>) -> Result<Self> {
+        let mut v = Self::new(pairs)?;
+        v.normalize()?;
+        Ok(v)
+    }
+
+    /// Builds a vector from parallel, already strictly-increasing arrays.
+    ///
+    /// This is the zero-copy path used by corpus loaders; it validates the
+    /// ordering invariant instead of repairing it.
+    pub fn from_sorted(indices: Vec<u32>, values: Vec<f32>) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(PlshError::EmptyVector);
+        }
+        if indices.len() != values.len() {
+            return Err(PlshError::InvalidParams(
+                "indices and values must have equal length".into(),
+            ));
+        }
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(PlshError::UnsortedIndices);
+        }
+        if values.iter().any(|v| !v.is_finite() || *v == 0.0) {
+            return Err(PlshError::NotNormalizable);
+        }
+        Ok(Self { indices, values })
+    }
+
+    /// Scales the vector to unit Euclidean length in place.
+    pub fn normalize(&mut self) -> Result<()> {
+        let norm = self.norm();
+        if !norm.is_finite() || norm <= 0.0 {
+            return Err(PlshError::NotNormalizable);
+        }
+        let inv = 1.0 / norm;
+        for v in &mut self.values {
+            *v *= inv;
+        }
+        Ok(())
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        self.values.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Number of non-zero components (`NNZ` in the paper's cost model).
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Sorted dimension indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Values parallel to [`indices`](Self::indices).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Largest dimension index used, or `None` for (impossible) empties.
+    pub fn max_index(&self) -> Option<u32> {
+        self.indices.last().copied()
+    }
+
+    /// Merge-join dot product with another sparse vector.
+    ///
+    /// This is the "naive" sparse dot product of Section 5.2.3 — iterate one
+    /// index array while searching the other — used as the unoptimized
+    /// baseline in the Figure 5 ablation.
+    pub fn dot(&self, other: &SparseVector) -> f32 {
+        dot_sorted(&self.indices, &self.values, &other.indices, &other.values)
+    }
+
+    /// Angular distance `acos(p·q) ∈ [0, π]`, assuming both are unit vectors.
+    pub fn angular_distance(&self, other: &SparseVector) -> f32 {
+        angular_from_dot(self.dot(other))
+    }
+}
+
+/// Angular distance from a dot product of unit vectors, clamped against
+/// floating-point drift outside `[-1, 1]`.
+#[inline]
+pub fn angular_from_dot(dot: f32) -> f32 {
+    dot.clamp(-1.0, 1.0).acos()
+}
+
+/// Merge-join dot product over two sorted index/value pairs.
+#[inline]
+pub fn dot_sorted(ai: &[u32], av: &[f32], bi: &[u32], bv: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    let (mut x, mut y) = (0usize, 0usize);
+    while x < ai.len() && y < bi.len() {
+        let (da, db) = (ai[x], bi[y]);
+        if da == db {
+            acc += av[x] * bv[y];
+            x += 1;
+            y += 1;
+        } else if da < db {
+            x += 1;
+        } else {
+            y += 1;
+        }
+    }
+    acc
+}
+
+/// A growable CRS (a.k.a. CSR) matrix of sparse rows.
+///
+/// Row data is stored in three flat arrays (`row_offsets`, `cols`, `vals`),
+/// the layout of Duff et al. \[17\] used by the paper for both the corpus
+/// and the hashing matrix product. Rows are immutable once pushed; the
+/// only mutation is appending (streaming inserts) and truncation
+/// (retirement of a node's data).
+#[derive(Debug, Clone)]
+pub struct CrsMatrix {
+    dim: u32,
+    row_offsets: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl CrsMatrix {
+    /// Creates an empty matrix whose rows live in `0..dim`.
+    pub fn new(dim: u32) -> Self {
+        Self {
+            dim,
+            row_offsets: vec![0],
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty matrix with storage reserved for `rows` rows of
+    /// about `nnz_per_row` non-zeros each.
+    pub fn with_capacity(dim: u32, rows: usize, nnz_per_row: usize) -> Self {
+        let mut m = Self::new(dim);
+        m.row_offsets.reserve(rows);
+        m.cols.reserve(rows * nnz_per_row);
+        m.vals.reserve(rows * nnz_per_row);
+        m
+    }
+
+    /// Dimensionality `D` of the column space.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of rows (`N`).
+    pub fn num_rows(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    /// Total number of stored non-zeros.
+    pub fn total_nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Mean non-zeros per row (the `NNZ` constant of the cost model).
+    pub fn avg_nnz(&self) -> f64 {
+        if self.num_rows() == 0 {
+            0.0
+        } else {
+            self.total_nnz() as f64 / self.num_rows() as f64
+        }
+    }
+
+    /// Appends a row; returns its row index.
+    pub fn push(&mut self, row: &SparseVector) -> Result<u32> {
+        if let Some(max) = row.max_index() {
+            if max >= self.dim {
+                return Err(PlshError::DimensionOutOfRange {
+                    index: max,
+                    dim: self.dim,
+                });
+            }
+        }
+        let id = self.num_rows() as u32;
+        self.cols.extend_from_slice(row.indices());
+        self.vals.extend_from_slice(row.values());
+        self.row_offsets.push(self.cols.len());
+        Ok(id)
+    }
+
+    /// Borrowed view of row `i` as `(indices, values)`.
+    #[inline]
+    pub fn row(&self, i: u32) -> (&[u32], &[f32]) {
+        let lo = self.row_offsets[i as usize];
+        let hi = self.row_offsets[i as usize + 1];
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Owned copy of row `i`.
+    pub fn row_vector(&self, i: u32) -> SparseVector {
+        let (idx, val) = self.row(i);
+        SparseVector {
+            indices: idx.to_vec(),
+            values: val.to_vec(),
+        }
+    }
+
+    /// Drops every row with index `>= keep`, retaining storage.
+    pub fn truncate(&mut self, keep: usize) {
+        if keep >= self.num_rows() {
+            return;
+        }
+        let end = self.row_offsets[keep];
+        self.cols.truncate(end);
+        self.vals.truncate(end);
+        self.row_offsets.truncate(keep + 1);
+    }
+
+    /// Removes all rows, retaining storage (node retirement, Section 6).
+    pub fn clear(&mut self) {
+        self.truncate(0);
+    }
+
+    /// Dot product between row `i` and an external sparse vector.
+    pub fn dot_row(&self, i: u32, q: &SparseVector) -> f32 {
+        let (idx, val) = self.row(i);
+        dot_sorted(idx, val, q.indices(), q.values())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::new(pairs.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn new_sorts_and_merges_duplicates() {
+        let v = sv(&[(5, 1.0), (2, 2.0), (5, 3.0)]);
+        assert_eq!(v.indices(), &[2, 5]);
+        assert_eq!(v.values(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn new_drops_cancelled_zeros() {
+        let v = sv(&[(1, 1.0), (1, -1.0), (3, 2.0)]);
+        assert_eq!(v.indices(), &[3]);
+    }
+
+    #[test]
+    fn new_rejects_empty_and_nan() {
+        assert_eq!(SparseVector::new(vec![]).unwrap_err(), PlshError::EmptyVector);
+        assert_eq!(
+            SparseVector::new(vec![(0, f32::NAN)]).unwrap_err(),
+            PlshError::NotNormalizable
+        );
+    }
+
+    #[test]
+    fn from_sorted_validates() {
+        assert!(SparseVector::from_sorted(vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert_eq!(
+            SparseVector::from_sorted(vec![1, 1], vec![1.0, 2.0]).unwrap_err(),
+            PlshError::UnsortedIndices
+        );
+        assert_eq!(
+            SparseVector::from_sorted(vec![2, 1], vec![1.0, 2.0]).unwrap_err(),
+            PlshError::UnsortedIndices
+        );
+        assert_eq!(
+            SparseVector::from_sorted(vec![0], vec![1.0, 2.0]).unwrap_err(),
+            PlshError::InvalidParams("indices and values must have equal length".into())
+        );
+    }
+
+    #[test]
+    fn unit_normalizes() {
+        let v = SparseVector::unit(vec![(0, 3.0), (1, 4.0)]).unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        assert!((v.values()[0] - 0.6).abs() < 1e-6);
+        assert!((v.values()[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_merge_join() {
+        let a = sv(&[(0, 1.0), (2, 2.0), (7, 3.0)]);
+        let b = sv(&[(2, 5.0), (6, 1.0), (7, 1.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 5.0 + 3.0 * 1.0);
+        // Disjoint supports dot to zero.
+        let c = sv(&[(100, 1.0)]);
+        assert_eq!(a.dot(&c), 0.0);
+    }
+
+    #[test]
+    fn angular_distance_identity_and_orthogonal() {
+        let a = SparseVector::unit(vec![(0, 1.0)]).unwrap();
+        let b = SparseVector::unit(vec![(1, 1.0)]).unwrap();
+        assert!(a.angular_distance(&a) < 1e-3);
+        assert!((a.angular_distance(&b) - std::f32::consts::FRAC_PI_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn angular_from_dot_clamps() {
+        assert_eq!(angular_from_dot(1.0 + 1e-6), 0.0);
+        assert!((angular_from_dot(-1.0 - 1e-6) - std::f32::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crs_push_and_row_roundtrip() {
+        let mut m = CrsMatrix::new(10);
+        let a = sv(&[(0, 1.0), (3, 2.0)]);
+        let b = sv(&[(9, 5.0)]);
+        assert_eq!(m.push(&a).unwrap(), 0);
+        assert_eq!(m.push(&b).unwrap(), 1);
+        assert_eq!(m.num_rows(), 2);
+        assert_eq!(m.total_nnz(), 3);
+        assert_eq!(m.row_vector(0), a);
+        assert_eq!(m.row_vector(1), b);
+        assert!((m.avg_nnz() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crs_rejects_out_of_range() {
+        let mut m = CrsMatrix::new(4);
+        let v = sv(&[(4, 1.0)]);
+        assert_eq!(
+            m.push(&v).unwrap_err(),
+            PlshError::DimensionOutOfRange { index: 4, dim: 4 }
+        );
+        assert_eq!(m.num_rows(), 0, "failed push must not leave partial state");
+        assert_eq!(m.total_nnz(), 0);
+    }
+
+    #[test]
+    fn crs_truncate_and_clear() {
+        let mut m = CrsMatrix::new(10);
+        for i in 0..5u32 {
+            m.push(&sv(&[(i, 1.0)])).unwrap();
+        }
+        m.truncate(3);
+        assert_eq!(m.num_rows(), 3);
+        assert_eq!(m.row_vector(2), sv(&[(2, 1.0)]));
+        m.truncate(7); // no-op beyond current size
+        assert_eq!(m.num_rows(), 3);
+        m.clear();
+        assert_eq!(m.num_rows(), 0);
+        assert_eq!(m.total_nnz(), 0);
+        // Matrix is reusable after clear.
+        m.push(&sv(&[(1, 1.0)])).unwrap();
+        assert_eq!(m.num_rows(), 1);
+    }
+
+    #[test]
+    fn dot_row_matches_vector_dot() {
+        let mut m = CrsMatrix::new(16);
+        let a = sv(&[(0, 0.5), (7, 0.5)]);
+        let q = sv(&[(7, 2.0), (9, 1.0)]);
+        m.push(&a).unwrap();
+        assert_eq!(m.dot_row(0, &q), a.dot(&q));
+    }
+}

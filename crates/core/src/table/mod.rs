@@ -1,0 +1,18 @@
+//! Hash-table storage: static partitioned tables and streaming delta tables.
+//!
+//! * [`build`] — the parallel histogram → prefix-sum → scatter radix
+//!   partition and the three construction strategies of the Figure 4
+//!   ablation (one-level, two-level, two-level with shared first-level
+//!   partitions).
+//! * [`StaticTables`] — the read-optimized contiguous-array layout of
+//!   Section 5.1 (Figure 3a).
+//! * [`DeltaTables`] — the insert-optimized growable-bin layout of
+//!   Section 6.1 (Figure 3b).
+
+pub mod build;
+mod delta;
+mod static_tables;
+
+pub use build::BuildStrategy;
+pub use delta::{DeltaLayout, DeltaTables};
+pub use static_tables::{BuildTimings, StaticTables};

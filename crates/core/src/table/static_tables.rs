@@ -1,0 +1,482 @@
+//! Read-optimized static LSH tables (paper Section 5.1, Figure 3a).
+//!
+//! Each of the `L` tables is a contiguous `entries` array of all `N` point
+//! ids partitioned by bucket, plus a `2^k + 1` offsets array: bucket `key`
+//! owns `entries[offsets[key]..offsets[key+1]]`. No pointers, no chains —
+//! a bucket lookup is two offset reads and one contiguous slice.
+
+use std::time::{Duration, Instant};
+
+use plsh_parallel::ThreadPool;
+
+use crate::hash::{allpairs, SketchMatrix};
+use crate::table::build::{self, BuildStrategy, Partition};
+use crate::util::SharedSliceMut;
+
+/// Wall time spent in each construction step (Figure 6 instrumentation).
+///
+/// Step labels follow the paper: I1 = first-level partitions, I2 =
+/// second-level key permutation, I3 = second-level partitions. The
+/// one-level strategy reports its single flat partition as I1.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct BuildTimings {
+    /// Step I1 time.
+    pub step_i1: Duration,
+    /// Step I2 time.
+    pub step_i2: Duration,
+    /// Step I3 time.
+    pub step_i3: Duration,
+}
+
+impl BuildTimings {
+    /// Total insertion time (excluding hashing, which the engine times
+    /// separately).
+    pub fn total(&self) -> Duration {
+        self.step_i1 + self.step_i2 + self.step_i3
+    }
+}
+
+/// One static table: the pair of half-key functions it indexes plus its
+/// partitioned storage.
+#[derive(Debug, Clone)]
+struct StaticTable {
+    /// `(a, b)` half-key function pair, `a < b`.
+    pair: (u32, u32),
+    /// `2^k + 1` bucket offsets.
+    offsets: Vec<u32>,
+    /// All `N` point ids, grouped by bucket.
+    entries: Vec<u32>,
+}
+
+/// The full set of `L` static tables over points `0..n`.
+#[derive(Debug, Clone)]
+pub struct StaticTables {
+    m: u32,
+    half_bits: u32,
+    n: u32,
+    tables: Vec<StaticTable>,
+}
+
+impl StaticTables {
+    /// Builds all `L = m(m−1)/2` tables from the points' sketches.
+    ///
+    /// The produced tables are identical for every [`BuildStrategy`]; the
+    /// strategy only selects the construction algorithm (Figure 4).
+    pub fn build(sketches: &SketchMatrix, strategy: BuildStrategy, pool: &ThreadPool) -> Self {
+        Self::build_prefix(sketches, sketches.num_points(), strategy, pool)
+    }
+
+    /// Builds tables over only the first `n` sketched points.
+    ///
+    /// The engine uses this to keep points that are still in the delta
+    /// table out of the static structure.
+    pub fn build_prefix(
+        sketches: &SketchMatrix,
+        n: usize,
+        strategy: BuildStrategy,
+        pool: &ThreadPool,
+    ) -> Self {
+        Self::build_instrumented(sketches, n, strategy, pool).0
+    }
+
+    /// Like [`build_prefix`](Self::build_prefix) but also reports the wall
+    /// time spent in each construction step (Figure 6).
+    pub fn build_instrumented(
+        sketches: &SketchMatrix,
+        n: usize,
+        strategy: BuildStrategy,
+        pool: &ThreadPool,
+    ) -> (Self, BuildTimings) {
+        assert!(n <= sketches.num_points());
+        let m = sketches.m();
+        let half_bits = sketches.half_bits();
+        let (tables, timings) = match strategy {
+            BuildStrategy::OneLevel => build_one_level(sketches, n, pool),
+            BuildStrategy::TwoLevel => build_two_level(sketches, n, false, pool),
+            BuildStrategy::TwoLevelShared => build_two_level(sketches, n, true, pool),
+        };
+        (
+            Self {
+                m,
+                half_bits,
+                n: n as u32,
+                tables,
+            },
+            timings,
+        )
+    }
+
+    /// Number of tables `L`.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of indexed points `N`.
+    pub fn num_points(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Bits per half key (`k/2`).
+    pub fn half_bits(&self) -> u32 {
+        self.half_bits
+    }
+
+    /// Number of half-key functions `m`.
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// The half-key function pair of table `l`.
+    pub fn pair(&self, l: usize) -> (u32, u32) {
+        self.tables[l].pair
+    }
+
+    /// The point ids in bucket `key` of table `l`.
+    #[inline]
+    pub fn bucket(&self, l: usize, key: u32) -> &[u32] {
+        let t = &self.tables[l];
+        let lo = t.offsets[key as usize] as usize;
+        let hi = t.offsets[key as usize + 1] as usize;
+        &t.entries[lo..hi]
+    }
+
+    /// Total bytes held by offsets and entries: `(L·N + (2^k+1)·L)·4`,
+    /// matching Eq. 7.4 up to the `+1` sentinel per table.
+    pub fn memory_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| (t.offsets.len() + t.entries.len()) * 4)
+            .sum()
+    }
+
+    /// Issues transparent-huge-page hints for every table's storage
+    /// (the "+large pages" lever of Figure 5 applied to table arrays).
+    pub fn advise_huge_pages(&self) {
+        for t in &self.tables {
+            crate::util::advise_huge_pages(&t.offsets);
+            crate::util::advise_huge_pages(&t.entries);
+        }
+    }
+}
+
+/// Baseline: one flat `2^k`-bucket partition per table.
+fn build_one_level(
+    sketches: &SketchMatrix,
+    n: usize,
+    pool: &ThreadPool,
+) -> (Vec<StaticTable>, BuildTimings) {
+    let m = sketches.m();
+    let half_bits = sketches.half_bits();
+    let buckets = 1usize << (2 * half_bits);
+    let start = Instant::now();
+    let tables = allpairs::pairs(m)
+        .map(|(a, b)| {
+            let part = build::partition_identity(
+                n,
+                buckets,
+                |pos| {
+                    allpairs::compose_key(
+                        sketches.half_key(pos as u32, a),
+                        sketches.half_key(pos as u32, b),
+                        half_bits,
+                    )
+                },
+                pool,
+            );
+            StaticTable {
+                pair: (a, b),
+                offsets: part.offsets,
+                entries: part.perm,
+            }
+        })
+        .collect();
+    let timings = BuildTimings {
+        step_i1: start.elapsed(),
+        ..BuildTimings::default()
+    };
+    (tables, timings)
+}
+
+/// Two-level construction, optionally sharing first-level partitions.
+fn build_two_level(
+    sketches: &SketchMatrix,
+    n: usize,
+    shared: bool,
+    pool: &ThreadPool,
+) -> (Vec<StaticTable>, BuildTimings) {
+    let m = sketches.m();
+    let half_bits = sketches.half_bits();
+    let b1 = 1usize << half_bits;
+    let mut timings = BuildTimings::default();
+
+    // Step I1 (shared): partition 0..n once per first-level function.
+    // Unshared variant recomputes this inside the per-table loop below.
+    let first_level: Vec<Option<Partition>> = if shared {
+        let start = Instant::now();
+        let parts = (0..m)
+            .map(|a| {
+                if a + 1 == m {
+                    return None; // function m-1 is never a first level
+                }
+                Some(build::partition_identity(
+                    n,
+                    b1,
+                    |pos| sketches.half_key(pos as u32, a),
+                    pool,
+                ))
+            })
+            .collect();
+        timings.step_i1 = start.elapsed();
+        parts
+    } else {
+        Vec::new()
+    };
+
+    let tables = allpairs::pairs(m)
+        .map(|(a, b)| {
+            let fresh;
+            let part: &Partition = if shared {
+                first_level[a as usize].as_ref().expect("a < m-1 by pair order")
+            } else {
+                let start = Instant::now();
+                fresh = build::partition_identity(
+                    n,
+                    b1,
+                    |pos| sketches.half_key(pos as u32, a),
+                    pool,
+                );
+                timings.step_i1 += start.elapsed();
+                &fresh
+            };
+            let (table, i2, i3) = second_level(sketches, part, b, half_bits, pool, (a, b));
+            timings.step_i2 += i2;
+            timings.step_i3 += i3;
+            table
+        })
+        .collect();
+    (tables, timings)
+}
+
+/// Steps I2 + I3 for one table: gather the second-level keys in first-level
+/// order, then counting-sort every first-level bucket independently (with
+/// work stealing across buckets).
+fn second_level(
+    sketches: &SketchMatrix,
+    first: &Partition,
+    b: u32,
+    half_bits: u32,
+    pool: &ThreadPool,
+    pair: (u32, u32),
+) -> (StaticTable, Duration, Duration) {
+    let n = first.perm.len();
+    let b1 = 1usize << half_bits;
+    let b2 = b1;
+
+    // Step I2: keys[pos] = u_b(point at first-level position pos).
+    let i2_start = Instant::now();
+    let mut keys = vec![0u32; n];
+    {
+        let shared_keys = SharedSliceMut::new(&mut keys);
+        let shared_keys = &shared_keys;
+        let perm = &first.perm;
+        pool.parallel_for(0, n, 4096, |range| {
+            for pos in range {
+                // SAFETY: each position written by exactly one chunk.
+                unsafe { shared_keys.write(pos, sketches.half_key(perm[pos], b)) };
+            }
+        });
+    }
+
+    let i2 = i2_start.elapsed();
+
+    // Step I3: per first-level bucket, counting-sort by the second key and
+    // record second-level counts for the final offsets array.
+    let i3_start = Instant::now();
+    let mut entries = vec![0u32; n];
+    let mut counts = vec![0u32; b1 * b2];
+    {
+        let shared_entries = SharedSliceMut::new(&mut entries);
+        let shared_counts = SharedSliceMut::new(&mut counts);
+        let shared_entries = &shared_entries;
+        let shared_counts = &shared_counts;
+        let perm = &first.perm;
+        let offsets = &first.offsets;
+        let keys = &keys;
+        pool.parallel_tasks(0..b1, |ha| {
+            let lo = offsets[ha] as usize;
+            let hi = offsets[ha + 1] as usize;
+            let mut local_counts = vec![0u32; b2];
+            let mut dst = vec![0u32; hi - lo];
+            build::counting_sort_into(
+                &perm[lo..hi],
+                &keys[lo..hi],
+                b2,
+                &mut dst,
+                &mut local_counts,
+            );
+            for (i, &item) in dst.iter().enumerate() {
+                // SAFETY: bucket ranges are disjoint across tasks.
+                unsafe { shared_entries.write(lo + i, item) };
+            }
+            for (hb, &c) in local_counts.iter().enumerate() {
+                // SAFETY: counts stripe [ha*b2, (ha+1)*b2) owned by this task.
+                unsafe { shared_counts.write(ha * b2 + hb, c) };
+            }
+        });
+    }
+
+    let offsets = plsh_parallel::exclusive_prefix_sum(&counts);
+    debug_assert_eq!(*offsets.last().unwrap() as usize, n);
+    let i3 = i3_start.elapsed();
+    (
+        StaticTable {
+            pair,
+            offsets,
+            entries,
+        },
+        i2,
+        i3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::Hyperplanes;
+    use crate::sparse::{CrsMatrix, SparseVector};
+    use crate::rng::SplitMix64;
+
+    /// Random sparse corpus for construction tests.
+    fn corpus(n: usize, dim: u32, seed: u64) -> CrsMatrix {
+        let mut rng = SplitMix64::new(seed);
+        let mut m = CrsMatrix::new(dim);
+        for _ in 0..n {
+            let nnz = 2 + (rng.next_below(6) as usize);
+            let mut pairs = Vec::new();
+            for _ in 0..nnz {
+                pairs.push((
+                    rng.next_below(dim as u64) as u32,
+                    rng.next_f64() as f32 + 0.1,
+                ));
+            }
+            m.push(&SparseVector::unit(pairs).unwrap()).unwrap();
+        }
+        m
+    }
+
+    fn sketches(c: &CrsMatrix, m: u32, half_bits: u32, pool: &ThreadPool) -> SketchMatrix {
+        let planes = Hyperplanes::new_dense(c.dim(), m * half_bits, 13, pool);
+        let mut sk = SketchMatrix::new(m, half_bits);
+        sk.append_from(c, &planes, 0, pool, true);
+        sk
+    }
+
+    fn assert_tables_valid(t: &StaticTables, sk: &SketchMatrix) {
+        let n = t.num_points();
+        let buckets = 1u32 << (2 * t.half_bits());
+        for l in 0..t.num_tables() {
+            let (a, b) = t.pair(l);
+            let mut seen = vec![false; n];
+            for key in 0..buckets {
+                for &id in t.bucket(l, key) {
+                    // Every entry is in the bucket its sketch dictates.
+                    let expect = allpairs::compose_key(
+                        sk.half_key(id, a),
+                        sk.half_key(id, b),
+                        t.half_bits(),
+                    );
+                    assert_eq!(key, expect, "table {l} point {id}");
+                    assert!(!seen[id as usize], "duplicate point {id} in table {l}");
+                    seen[id as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "table {l} must contain every point");
+        }
+    }
+
+    #[test]
+    fn all_strategies_produce_identical_tables() {
+        let pool = ThreadPool::new(2);
+        let c = corpus(500, 64, 3);
+        let sk = sketches(&c, 5, 3, &pool);
+        let one = StaticTables::build(&sk, BuildStrategy::OneLevel, &pool);
+        let two = StaticTables::build(&sk, BuildStrategy::TwoLevel, &pool);
+        let shared = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool);
+
+        assert_tables_valid(&one, &sk);
+        assert_tables_valid(&two, &sk);
+        assert_tables_valid(&shared, &sk);
+
+        let buckets = 1u32 << (2 * sk.half_bits());
+        for l in 0..one.num_tables() {
+            for key in 0..buckets {
+                // Bucket membership must agree across strategies. Order
+                // within a bucket is also identical because every pass is
+                // stable on point id.
+                assert_eq!(one.bucket(l, key), two.bucket(l, key), "l={l} key={key}");
+                assert_eq!(one.bucket(l, key), shared.bucket(l, key), "l={l} key={key}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        let c = corpus(5000, 128, 17);
+        let pool1 = ThreadPool::new(1);
+        let pool4 = ThreadPool::new(4);
+        let sk = sketches(&c, 4, 4, &pool1);
+        let serial = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool1);
+        let parallel = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool4);
+        let buckets = 1u32 << 8;
+        for l in 0..serial.num_tables() {
+            for key in 0..buckets {
+                assert_eq!(serial.bucket(l, key), parallel.bucket(l, key));
+            }
+        }
+    }
+
+    #[test]
+    fn build_prefix_excludes_tail_points() {
+        let pool = ThreadPool::new(1);
+        let c = corpus(100, 32, 5);
+        let sk = sketches(&c, 3, 2, &pool);
+        let t = StaticTables::build_prefix(&sk, 60, BuildStrategy::TwoLevelShared, &pool);
+        assert_eq!(t.num_points(), 60);
+        let buckets = 1u32 << 4;
+        for l in 0..t.num_tables() {
+            let mut count = 0;
+            for key in 0..buckets {
+                for &id in t.bucket(l, key) {
+                    assert!(id < 60);
+                    count += 1;
+                }
+            }
+            assert_eq!(count, 60);
+        }
+    }
+
+    #[test]
+    fn empty_build_is_fine() {
+        let pool = ThreadPool::new(2);
+        let sk = SketchMatrix::new(3, 2);
+        let t = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool);
+        assert_eq!(t.num_points(), 0);
+        assert_eq!(t.num_tables(), 3);
+        for l in 0..3 {
+            for key in 0..16 {
+                assert!(t.bucket(l, key).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn memory_accounting_matches_layout() {
+        let pool = ThreadPool::new(1);
+        let c = corpus(200, 32, 9);
+        let sk = sketches(&c, 4, 3, &pool);
+        let t = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool);
+        let l = t.num_tables();
+        let expect = l * (200 + (1 << 6) + 1) * 4;
+        assert_eq!(t.memory_bytes(), expect);
+    }
+}

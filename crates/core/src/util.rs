@@ -1,0 +1,152 @@
+//! Internal utilities: disjoint-write shared slices and huge-page hints.
+
+use std::cell::UnsafeCell;
+
+/// A slice that multiple worker threads scatter into at provably disjoint
+/// positions (the global offsets computed by the partition prefix sums).
+///
+/// The partitioning algorithm of Kim et al. \[21\] assigns every element a
+/// unique destination slot before the scatter pass, so concurrent writes
+/// never alias; this wrapper just lets us express that to the compiler.
+pub(crate) struct SharedSliceMut<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+unsafe impl<T: Send> Send for SharedSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSliceMut<'_, T> {}
+
+impl<'a, T> SharedSliceMut<'a, T> {
+    /// Wraps a mutable slice for disjoint concurrent writes.
+    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` guarantees exclusive access; `UnsafeCell<T>`
+        // has the same layout as `T`.
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        Self { data }
+    }
+
+    /// Number of slots.
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Writes `value` into slot `idx`.
+    ///
+    /// # Safety
+    /// Each slot must be written by at most one thread during the lifetime
+    /// of this wrapper, and no reads may occur until all writers finish.
+    #[inline]
+    pub(crate) unsafe fn write(&self, idx: usize, value: T) {
+        debug_assert!(idx < self.data.len());
+        *self.data[idx].get() = value;
+    }
+}
+
+/// Copy-out read used by tests to verify scatter results mid-flight.
+impl<T: Copy> SharedSliceMut<'_, T> {
+    /// Reads slot `idx`.
+    ///
+    /// # Safety
+    /// No concurrent writer may target `idx`.
+    #[allow(dead_code)]
+    pub(crate) unsafe fn read(&self, idx: usize) -> T {
+        *self.data[idx].get()
+    }
+}
+
+/// Advises the kernel to back `data` with transparent huge pages.
+///
+/// This reproduces the paper's "large 2 MB pages" optimization
+/// (Section 5.2.2): the corpus data table is the main victim of TLB misses
+/// during step Q3, and huge pages cut those misses. On non-Linux targets,
+/// or when the region is too small, this is a no-op. Returns whether the
+/// hint was issued.
+pub fn advise_huge_pages<T>(data: &[T]) -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        const HUGE: usize = 2 << 20;
+        let bytes = std::mem::size_of_val(data);
+        if bytes < HUGE {
+            return false;
+        }
+        let addr = data.as_ptr() as usize;
+        // madvise wants page alignment; advise the huge-page-aligned
+        // sub-range of the allocation.
+        let aligned = (addr + HUGE - 1) & !(HUGE - 1);
+        let end = (addr + bytes) & !(HUGE - 1);
+        if end <= aligned {
+            return false;
+        }
+        // SAFETY: the range lies inside a live allocation we borrow;
+        // MADV_HUGEPAGE is advisory and never alters contents.
+        let rc = unsafe {
+            libc::madvise(aligned as *mut libc::c_void, end - aligned, libc::MADV_HUGEPAGE)
+        };
+        rc == 0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = data;
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_slice_disjoint_writes() {
+        let mut v = vec![0u32; 64];
+        {
+            let shared = SharedSliceMut::new(&mut v);
+            // Two "threads" writing disjoint halves (sequential here; the
+            // aliasing rules are what is under test).
+            for i in 0..32 {
+                unsafe { shared.write(i, i as u32) };
+            }
+            for i in 32..64 {
+                unsafe { shared.write(i, (i * 2) as u32) };
+            }
+        }
+        for (i, &x) in v.iter().enumerate() {
+            let expect = if i < 32 { i as u32 } else { (i * 2) as u32 };
+            assert_eq!(x, expect);
+        }
+    }
+
+    #[test]
+    fn shared_slice_parallel_scatter() {
+        use plsh_parallel::ThreadPool;
+        let pool = ThreadPool::new(4);
+        let n = 10_000;
+        let mut v = vec![0u64; n];
+        {
+            let shared = SharedSliceMut::new(&mut v);
+            let shared = &shared;
+            pool.parallel_for(0, n, 128, |range| {
+                for i in range {
+                    // Unique destination per index: reverse permutation.
+                    unsafe { shared.write(n - 1 - i, i as u64) };
+                }
+            });
+        }
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (n - 1 - i) as u64);
+        }
+    }
+
+    #[test]
+    fn huge_page_hint_small_region_is_noop() {
+        let v = vec![0u8; 4096];
+        assert!(!advise_huge_pages(&v));
+    }
+
+    #[test]
+    fn huge_page_hint_large_region() {
+        let v = vec![0u8; 8 << 20];
+        // Must not crash; result depends on kernel configuration.
+        let _ = advise_huge_pages(&v);
+        assert!(v.iter().all(|&b| b == 0), "madvise must not alter contents");
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests on plsh-core invariants that span modules.
+
+use proptest::prelude::*;
+
+use plsh_core::hash::{allpairs, Hyperplanes, SketchMatrix};
+use plsh_core::params::{self, PlshParams};
+use plsh_core::query::QueryStrategy;
+use plsh_core::sparse::{CrsMatrix, SparseVector};
+use plsh_core::table::{BuildStrategy, StaticTables};
+use plsh_core::{Engine, EngineConfig};
+use plsh_parallel::ThreadPool;
+
+const DIM: u32 = 48;
+
+fn sparse_vec_strategy() -> impl Strategy<Value = SparseVector> {
+    proptest::collection::btree_map(0..DIM, 1u32..100, 1..6).prop_map(|m| {
+        let pairs: Vec<(u32, f32)> = m.into_iter().map(|(d, v)| (d, v as f32 / 7.0)).collect();
+        SparseVector::unit(pairs).expect("non-empty positive pairs")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_product_is_symmetric_and_cauchy_schwarz(
+        a in sparse_vec_strategy(),
+        b in sparse_vec_strategy(),
+    ) {
+        let ab = a.dot(&b);
+        let ba = b.dot(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        // Unit vectors: |a.b| <= 1 (+ fp slack).
+        prop_assert!(ab.abs() <= 1.0 + 1e-5);
+        // Distance axioms (identity, symmetry).
+        prop_assert!(a.angular_distance(&a) < 1e-3);
+        let d1 = a.angular_distance(&b);
+        let d2 = b.angular_distance(&a);
+        prop_assert!((d1 - d2).abs() < 1e-5);
+        prop_assert!((0.0..=std::f32::consts::PI + 1e-5).contains(&d1));
+    }
+
+    #[test]
+    fn triangle_inequality_holds(
+        a in sparse_vec_strategy(),
+        b in sparse_vec_strategy(),
+        c in sparse_vec_strategy(),
+    ) {
+        // Angular distance on the sphere is a metric.
+        let ab = a.angular_distance(&b) as f64;
+        let bc = b.angular_distance(&c) as f64;
+        let ac = a.angular_distance(&c) as f64;
+        prop_assert!(ac <= ab + bc + 1e-4, "{ac} > {ab} + {bc}");
+    }
+
+    #[test]
+    fn identical_vectors_share_every_half_key(
+        v in sparse_vec_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let pool = ThreadPool::new(1);
+        let planes = Hyperplanes::new_dense(DIM, 4 * 3, seed, &pool);
+        let mut corpus = CrsMatrix::new(DIM);
+        corpus.push(&v).unwrap();
+        corpus.push(&v).unwrap();
+        let mut sk = SketchMatrix::new(4, 3);
+        sk.append_from(&corpus, &planes, 0, &pool, true);
+        prop_assert_eq!(sk.row(0), sk.row(1));
+    }
+
+    #[test]
+    fn collision_rate_decreases_with_angle(
+        seed in 0u64..100,
+    ) {
+        // Empirical check of p(t) = 1 - t/pi monotonicity through the
+        // actual hash pipeline: closer pairs collide on more half-keys.
+        let pool = ThreadPool::new(1);
+        let planes = Hyperplanes::new_dense(DIM, 64, seed, &pool);
+        let base = SparseVector::unit(vec![(0, 1.0), (1, 1.0), (2, 1.0)]).unwrap();
+        let near = SparseVector::unit(vec![(0, 1.0), (1, 1.0), (3, 1.0)]).unwrap();
+        let far = SparseVector::unit(vec![(10, 1.0), (11, 1.0), (12, 1.0)]).unwrap();
+        let mut corpus = CrsMatrix::new(DIM);
+        corpus.push(&base).unwrap();
+        corpus.push(&near).unwrap();
+        corpus.push(&far).unwrap();
+        let mut sk = SketchMatrix::new(64, 1);
+        sk.append_from(&corpus, &planes, 0, &pool, true);
+        let agree = |x: u32, y: u32| {
+            (0..64u32).filter(|&a| sk.half_key(x, a) == sk.half_key(y, a)).count()
+        };
+        // near shares 2/3 words with base; far shares none. With 64
+        // independent sign bits the ordering is overwhelming.
+        prop_assert!(agree(0, 1) > agree(0, 2),
+            "near {} vs far {}", agree(0, 1), agree(0, 2));
+    }
+
+    #[test]
+    fn recall_formula_bounds_table_collision(t in 0.01f64..3.1, k in 1u32..16, m in 2u32..30) {
+        let k = k * 2;
+        let p = PlshParams::collision_probability(t);
+        let full = p.powi(k as i32);
+        let r = params::recall(t, k, m);
+        // Recall through L tables is at least the single-table collision
+        // probability whenever at least one table exists... specifically
+        // P'(t) >= p^k * (something); weak sanity: both in [0,1] and
+        // P' >= p^k - epsilon is NOT generally true for m=2; instead check
+        // P' <= 1 and P' >= 0 and monotone bound: P'(t) <= sum of table
+        // collisions L * p^k (union bound).
+        let l = (m * (m - 1) / 2) as f64;
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!(r <= (l * full).min(1.0) + 1e-9, "union bound violated");
+    }
+
+    #[test]
+    fn engine_roundtrip_any_vectors(
+        vs in proptest::collection::vec(sparse_vec_strategy(), 1..40),
+        merge in any::<bool>(),
+    ) {
+        let pool = ThreadPool::new(1);
+        let params = PlshParams::builder(DIM).k(4).m(5).radius(0.9).seed(3).build().unwrap();
+        let mut e = Engine::new(EngineConfig::new(params, 256).manual_merge(), &pool).unwrap();
+        let ids = e.insert_batch(&vs, &pool).unwrap();
+        if merge {
+            e.merge_delta(&pool);
+        }
+        // Every vector finds itself (identical hash in every table).
+        for (v, &id) in vs.iter().zip(&ids) {
+            let hits = e.query(v, &pool);
+            prop_assert!(hits.iter().any(|h| h.index == id && h.distance < 1e-3));
+        }
+    }
+
+    #[test]
+    fn every_strategy_combination_agrees(
+        vs in proptest::collection::vec(sparse_vec_strategy(), 8..40),
+        bitvector in any::<bool>(),
+        sparse_dot in any::<bool>(),
+        cand_array in any::<bool>(),
+    ) {
+        let pool = ThreadPool::new(1);
+        let params = PlshParams::builder(DIM).k(4).m(5).radius(0.9).seed(9).build().unwrap();
+        let mut e = Engine::new(EngineConfig::new(params, 256).manual_merge(), &pool).unwrap();
+        e.insert_batch(&vs, &pool).unwrap();
+        e.merge_delta(&pool);
+        let strategy = QueryStrategy {
+            bitvector_dedup: bitvector,
+            optimized_sparse_dot: sparse_dot,
+            candidate_array: cand_array,
+            huge_pages: false,
+        };
+        let q = &vs[0];
+        let mut expect: Vec<u32> = e
+            .query_with_strategy(q, QueryStrategy::optimized())
+            .0
+            .iter()
+            .map(|h| h.index)
+            .collect();
+        expect.sort_unstable();
+        let mut got: Vec<u32> = e
+            .query_with_strategy(q, strategy)
+            .0
+            .iter()
+            .map(|h| h.index)
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn build_strategies_agree_on_random_corpora(
+        vs in proptest::collection::vec(sparse_vec_strategy(), 1..60),
+    ) {
+        let pool = ThreadPool::new(2);
+        let planes = Hyperplanes::new_dense(DIM, 4 * 2, 7, &pool);
+        let mut corpus = CrsMatrix::new(DIM);
+        for v in &vs {
+            corpus.push(v).unwrap();
+        }
+        let mut sk = SketchMatrix::new(4, 2);
+        sk.append_from(&corpus, &planes, 0, &pool, true);
+        let one = StaticTables::build(&sk, BuildStrategy::OneLevel, &pool);
+        let shared = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool);
+        for l in 0..allpairs::num_tables(4) as usize {
+            for key in 0..16u32 {
+                prop_assert_eq!(one.bucket(l, key), shared.bucket(l, key));
+            }
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! A small synchronous work-stealing pool.
+//!
+//! Every entry point blocks until the submitted batch of work has fully
+//! completed, so closures may freely borrow from the caller's stack frame.
+//! Internally each batch is executed on `crossbeam::thread::scope` threads;
+//! per-item work is distributed round-robin into per-worker deques and idle
+//! workers steal from their peers, which is exactly the "task queueing with
+//! work stealing" scheme the PLSH paper uses for load balancing across
+//! queries and first-level partitions.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::deque::{Steal, Stealer, Worker};
+
+/// A fixed-size pool of worker threads with work stealing.
+///
+/// The pool is cheap to construct (threads are spawned per batch through
+/// scoped threads, so an idle pool consumes no OS resources) and is `Sync`,
+/// so it can be shared behind a reference by every component of a PLSH node.
+///
+/// # Examples
+///
+/// ```
+/// let pool = plsh_parallel::ThreadPool::new(4);
+/// let mut squares = pool.parallel_map(0..8usize, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// squares.clear();
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Returns a sensible default worker count for this machine.
+///
+/// This is `std::thread::available_parallelism()` with a fallback of 1, the
+/// value `T` in the paper's performance model (Section 5, "T: number of
+/// hardware threads").
+pub fn current_num_threads_hint() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::new(current_num_threads_hint())
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool that runs batches on `num_threads` workers.
+    ///
+    /// A value of `1` (or `0`, which is clamped to `1`) executes all work
+    /// inline on the calling thread with no synchronization overhead; this
+    /// is the baseline of the thread-scaling experiment (Figure 8).
+    pub fn new(num_threads: usize) -> Self {
+        Self {
+            num_threads: num_threads.max(1),
+        }
+    }
+
+    /// Number of worker threads used for each batch.
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` over every item of `items`, one task per item, with work
+    /// stealing between workers.
+    ///
+    /// Items are distributed round-robin across per-worker deques; each
+    /// worker drains its own deque and then steals from peers. Use this for
+    /// coarse, variable-cost tasks (a query, a first-level partition).
+    pub fn parallel_tasks<T, I, F>(&self, items: I, f: F)
+    where
+        T: Send,
+        I: IntoIterator<Item = T>,
+        F: Fn(T) + Sync,
+    {
+        let items: Vec<T> = items.into_iter().collect();
+        if items.is_empty() {
+            return;
+        }
+        if self.num_threads == 1 || items.len() == 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+
+        let workers: Vec<Worker<T>> = (0..self.num_threads).map(|_| Worker::new_lifo()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            workers[i % workers.len()].push(item);
+        }
+        let stealers: Vec<Stealer<T>> = workers.iter().map(Worker::stealer).collect();
+        let stealers = &stealers;
+        let f = &f;
+
+        crossbeam::thread::scope(|scope| {
+            for (me, worker) in workers.into_iter().enumerate() {
+                scope.spawn(move |_| {
+                    // Drain the local deque first, then steal round-robin.
+                    while let Some(item) = worker.pop() {
+                        f(item);
+                    }
+                    'steal: loop {
+                        for (other, stealer) in stealers.iter().enumerate() {
+                            if other == me {
+                                continue;
+                            }
+                            loop {
+                                match stealer.steal() {
+                                    Steal::Success(item) => {
+                                        f(item);
+                                        // Go back to the local deque in case
+                                        // the task spawned follow-up work.
+                                        while let Some(item) = worker.pop() {
+                                            f(item);
+                                        }
+                                    }
+                                    Steal::Empty => break,
+                                    Steal::Retry => continue,
+                                }
+                            }
+                        }
+                        // One full pass found every peer empty: done.
+                        if stealers
+                            .iter()
+                            .enumerate()
+                            .all(|(other, s)| other == me || s.is_empty())
+                        {
+                            break 'steal;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("plsh-parallel worker panicked");
+    }
+
+    /// Runs `f` over `items` and collects the results in input order.
+    ///
+    /// Like [`parallel_tasks`](Self::parallel_tasks) but each task produces a
+    /// value; per-worker results are gathered locally and merged once at the
+    /// end, so there is no per-item synchronization on the result vector.
+    pub fn parallel_map<T, R, I, F>(&self, items: I, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        I: IntoIterator<Item = T>,
+        F: Fn(T) -> R + Sync,
+    {
+        let items: Vec<T> = items.into_iter().collect();
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.num_threads == 1 || n == 1 {
+            return items.into_iter().map(f).collect();
+        }
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        {
+            let slot_refs: Vec<SlotPtr<R>> = slots.iter_mut().map(SlotPtr::new).collect();
+            self.parallel_tasks(
+                items.into_iter().zip(slot_refs),
+                |(item, slot): (T, SlotPtr<R>)| {
+                    // SAFETY: each slot pointer is moved into exactly one
+                    // task, so every slot is written by at most one worker,
+                    // and `parallel_tasks` blocks until all tasks finish.
+                    unsafe { slot.write(f(item)) };
+                },
+            );
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("parallel_map task did not produce a result"))
+            .collect()
+    }
+
+    /// Splits `start..end` into chunks of at most `grain` indices and runs
+    /// `f` on each chunk, handing chunks out dynamically.
+    ///
+    /// This is the primitive behind the histogram and scatter passes of the
+    /// table builder: uniform-cost loops over data items where static
+    /// chunking would suffice, but dynamic chunking also absorbs OS noise.
+    pub fn parallel_for<F>(&self, start: usize, end: usize, grain: usize, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        if start >= end {
+            return;
+        }
+        let grain = grain.max(1);
+        if self.num_threads == 1 || end - start <= grain {
+            f(start..end);
+            return;
+        }
+        let cursor = AtomicUsize::new(start);
+        let cursor = &cursor;
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.num_threads {
+                scope.spawn(move |_| loop {
+                    let lo = cursor.fetch_add(grain, Ordering::Relaxed);
+                    if lo >= end {
+                        break;
+                    }
+                    let hi = (lo + grain).min(end);
+                    f(lo..hi);
+                });
+            }
+        })
+        .expect("plsh-parallel worker panicked");
+    }
+
+    /// Runs `nthreads` copies of `f`, passing each its worker index.
+    ///
+    /// This is the "thread owns a contiguous slice of the input plus a
+    /// private histogram" pattern from the parallel partitioning algorithm
+    /// of Kim et al. \[21\] that PLSH construction Step I1 follows.
+    pub fn broadcast<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if self.num_threads == 1 {
+            f(0);
+            return;
+        }
+        let f = &f;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..self.num_threads {
+                scope.spawn(move |_| f(t));
+            }
+        })
+        .expect("plsh-parallel worker panicked");
+    }
+
+    /// Evenly splits `0..len` into one contiguous range per worker.
+    ///
+    /// Helper for [`broadcast`](Self::broadcast)-style algorithms; ranges
+    /// differ in length by at most one and concatenate to `0..len`.
+    pub fn even_ranges(&self, len: usize) -> Vec<Range<usize>> {
+        even_ranges(len, self.num_threads)
+    }
+}
+
+/// Evenly splits `0..len` into `parts` contiguous ranges (some possibly
+/// empty when `len < parts`).
+pub(crate) fn even_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0usize;
+    for t in 0..parts {
+        let sz = base + usize::from(t < extra);
+        out.push(lo..lo + sz);
+        lo += sz;
+    }
+    debug_assert_eq!(lo, len);
+    out
+}
+
+/// A send-able raw pointer to a result slot; see `parallel_map`.
+struct SlotPtr<R>(*mut Option<R>);
+
+impl<R> SlotPtr<R> {
+    fn new(slot: &mut Option<R>) -> Self {
+        Self(slot as *mut Option<R>)
+    }
+
+    /// # Safety
+    /// Caller must guarantee the slot outlives the write and that no other
+    /// thread accesses the same slot concurrently.
+    unsafe fn write(self, value: R) {
+        *self.0 = Some(value);
+    }
+}
+
+// SAFETY: the pointer is only dereferenced inside `parallel_map`, which
+// moves each SlotPtr into exactly one task and joins all tasks before the
+// backing vector is touched again.
+unsafe impl<R: Send> Send for SlotPtr<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.parallel_map(0..257usize, |i| i * 3);
+        assert_eq!(out.len(), 257);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<usize> = pool.parallel_map(std::iter::empty::<usize>(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn broadcast_runs_each_worker_once() {
+        let pool = ThreadPool::new(5);
+        let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+        pool.broadcast(|t| {
+            hits[t].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn even_ranges_cover_and_balance() {
+        for len in [0usize, 1, 5, 16, 17, 100] {
+            for parts in [1usize, 2, 3, 8] {
+                let ranges = even_ranges(len, parts);
+                assert_eq!(ranges.len(), parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn pool_zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.num_threads(), 1);
+    }
+
+    #[test]
+    fn tasks_with_uneven_costs_all_complete() {
+        let pool = ThreadPool::new(4);
+        let total = AtomicUsize::new(0);
+        pool.parallel_tasks(0..64usize, |i| {
+            // Simulate skewed task costs (hot buckets in LSH partitions).
+            let spins = if i % 16 == 0 { 10_000 } else { 10 };
+            let mut acc = 0u64;
+            for s in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(s);
+            }
+            std::hint::black_box(acc);
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+}

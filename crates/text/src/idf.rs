@@ -1,0 +1,93 @@
+//! Inverse document frequency weighting (paper Section 8: "we use an
+//! Inverse Document Frequency (IDF) score that gives greater weight to
+//! less frequently occurring words").
+
+use crate::vocab::Vocabulary;
+
+/// Precomputed IDF score per vocabulary dimension.
+///
+/// Uses the smoothed form `idf(t) = ln((1 + N) / (1 + df(t))) + 1`, which
+/// is strictly positive (so vectors never lose dimensions to zero weights)
+/// and monotonically decreasing in document frequency.
+#[derive(Debug, Clone)]
+pub struct IdfWeights {
+    scores: Vec<f32>,
+}
+
+impl IdfWeights {
+    /// Computes IDF scores from a vocabulary's document frequencies.
+    pub fn from_vocabulary(vocab: &Vocabulary) -> Self {
+        let n = vocab.num_docs() as f64;
+        let scores = (0..vocab.len() as u32)
+            .map(|id| {
+                let df = vocab.doc_freq(id) as f64;
+                (((1.0 + n) / (1.0 + df)).ln() + 1.0) as f32
+            })
+            .collect();
+        Self { scores }
+    }
+
+    /// IDF score of dimension `id` (0 for unknown dimensions).
+    pub fn score(&self, id: u32) -> f32 {
+        self.scores.get(id as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Number of scored dimensions.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when no dimensions are scored.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.observe_document(&["common", "rare"]);
+        v.observe_document(&["common"]);
+        v.observe_document(&["common"]);
+        v
+    }
+
+    #[test]
+    fn rare_words_weigh_more() {
+        let v = vocab();
+        let idf = IdfWeights::from_vocabulary(&v);
+        let common = idf.score(v.id("common").unwrap());
+        let rare = idf.score(v.id("rare").unwrap());
+        assert!(rare > common, "rare {rare} vs common {common}");
+    }
+
+    #[test]
+    fn scores_are_positive() {
+        let v = vocab();
+        let idf = IdfWeights::from_vocabulary(&v);
+        for id in 0..v.len() as u32 {
+            assert!(idf.score(id) > 0.0);
+        }
+    }
+
+    #[test]
+    fn ubiquitous_word_score_floor() {
+        // A word in every document gets the floor score of exactly 1.
+        let mut v = Vocabulary::new();
+        v.observe_document(&["x"]);
+        v.observe_document(&["x"]);
+        let idf = IdfWeights::from_vocabulary(&v);
+        assert!((idf.score(0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unknown_dimension_scores_zero() {
+        let idf = IdfWeights::from_vocabulary(&vocab());
+        assert_eq!(idf.score(1000), 0.0);
+        assert_eq!(idf.len(), 2);
+        assert!(!idf.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # plsh-text — document vectorization for PLSH
+//!
+//! The paper indexes tweets "cleaned by removing non-alphabet characters,
+//! duplicates and stop words", encoded as sparse IDF-weighted unit vectors
+//! in a 500 000-word vocabulary (Section 8). This crate is that pipeline:
+//!
+//! 1. [`Tokenizer`] — lowercases, strips non-alphabetic characters, drops
+//!    stop words and deduplicates tokens within a document.
+//! 2. [`Vocabulary`] — assigns stable dimension ids to terms and counts
+//!    document frequencies.
+//! 3. [`IdfWeights`] — inverse-document-frequency scores "to give more
+//!    importance to less common words".
+//! 4. [`Vectorizer`] — turns a document into a sparse unit vector,
+//!    silently skipping out-of-vocabulary terms (a document that is
+//!    entirely out-of-vocabulary yields `None`, the paper's "0-length
+//!    query" case).
+//!
+//! ```
+//! use plsh_text::{CorpusBuilder, Tokenizer};
+//!
+//! let docs = ["the quick brown fox", "lazy brown dog", "quick dog!"];
+//! let mut builder = CorpusBuilder::new(Tokenizer::default());
+//! for d in &docs {
+//!     builder.add_document(d);
+//! }
+//! let vectorizer = builder.finish();
+//! let v = vectorizer.vectorize("a quick fox").unwrap();
+//! assert!((v.norm() - 1.0).abs() < 1e-6);
+//! assert!(vectorizer.vectorize("zebra unknown words").is_none());
+//! ```
+
+mod idf;
+mod token;
+mod vectorize;
+mod vocab;
+
+pub use idf::IdfWeights;
+pub use token::{Tokenizer, STOP_WORDS};
+pub use vectorize::{CorpusBuilder, Vectorizer};
+pub use vocab::Vocabulary;

@@ -1,0 +1,146 @@
+//! Tokenization and cleaning (paper Section 8: "tweets were cleaned by
+//! removing non-alphabet characters, duplicates and stop words").
+
+/// A compact English stop-word list.
+///
+/// The paper does not publish its list; this is the common core that any
+/// reasonable list contains. The tokenizer accepts a custom list, so
+/// experiments can reproduce other cleaning policies.
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has", "have",
+    "he", "her", "his", "i", "if", "in", "is", "it", "its", "my", "no", "not", "of", "on", "or",
+    "our", "she", "so", "that", "the", "their", "them", "they", "this", "to", "was", "we", "were",
+    "what", "when", "which", "who", "will", "with", "you", "your",
+];
+
+/// Lowercasing, alphabetic-only tokenizer with stop-word removal and
+/// within-document deduplication.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    stop_words: Vec<String>,
+    min_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self::new(STOP_WORDS.iter().map(|s| s.to_string()), 1)
+    }
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with a custom stop-word list and a minimum token
+    /// length (tokens shorter than `min_len` are dropped).
+    pub fn new<I>(stop_words: I, min_len: usize) -> Self
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut stop_words: Vec<String> = stop_words.into_iter().collect();
+        stop_words.sort_unstable();
+        stop_words.dedup();
+        Self {
+            stop_words,
+            min_len: min_len.max(1),
+        }
+    }
+
+    /// A tokenizer that keeps everything (no stop words, length 1).
+    pub fn keep_all() -> Self {
+        Self::new(std::iter::empty(), 1)
+    }
+
+    /// True iff `word` (already lowercase) is a stop word.
+    pub fn is_stop_word(&self, word: &str) -> bool {
+        self.stop_words.binary_search_by(|s| s.as_str().cmp(word)).is_ok()
+    }
+
+    /// Tokenizes a document: split on non-alphabetic characters, lowercase,
+    /// drop stop words and short tokens, deduplicate preserving first
+    /// occurrence.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut current = String::new();
+        let flush = |current: &mut String, out: &mut Vec<String>| {
+            if current.len() >= self.min_len
+                && !self.is_stop_word(current)
+                && !out.iter().any(|t| t == current)
+            {
+                out.push(std::mem::take(current));
+            } else {
+                current.clear();
+            }
+        };
+        for ch in text.chars() {
+            if ch.is_alphabetic() {
+                current.extend(ch.to_lowercase());
+            } else if !current.is_empty() {
+                flush(&mut current, &mut out);
+            }
+        }
+        if !current.is_empty() {
+            flush(&mut current, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("The quick brown fox"), vec!["quick", "brown", "fox"]);
+    }
+
+    #[test]
+    fn strips_non_alphabetic() {
+        let t = Tokenizer::keep_all();
+        assert_eq!(
+            t.tokenize("hello, world! 123 foo_bar"),
+            vec!["hello", "world", "foo", "bar"]
+        );
+    }
+
+    #[test]
+    fn deduplicates_within_document() {
+        let t = Tokenizer::keep_all();
+        assert_eq!(t.tokenize("echo echo ECHO delta"), vec!["echo", "delta"]);
+    }
+
+    #[test]
+    fn removes_stop_words() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("the cat and the hat"), vec!["cat", "hat"]);
+        assert!(t.is_stop_word("the"));
+        assert!(!t.is_stop_word("cat"));
+    }
+
+    #[test]
+    fn empty_and_symbol_only_documents() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("!!! 42 @#$").is_empty());
+        // A tweet of only stop words also empties out (the paper's
+        // 0-length-query case).
+        assert!(t.tokenize("the and of").is_empty());
+    }
+
+    #[test]
+    fn min_len_filter() {
+        let t = Tokenizer::new(std::iter::empty(), 3);
+        assert_eq!(t.tokenize("a to the cat xy"), vec!["the", "cat"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        let t = Tokenizer::keep_all();
+        assert_eq!(t.tokenize("Grüße AUS Köln"), vec!["grüße", "aus", "köln"]);
+    }
+
+    #[test]
+    fn custom_stop_words() {
+        let t = Tokenizer::new(vec!["cat".to_string()], 1);
+        assert_eq!(t.tokenize("the cat sat"), vec!["the", "sat"]);
+    }
+}

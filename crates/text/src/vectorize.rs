@@ -1,0 +1,192 @@
+//! Document → sparse unit vector conversion, and the two-pass corpus
+//! builder that wires tokenizer, vocabulary, and IDF together.
+
+use plsh_core::sparse::SparseVector;
+
+use crate::idf::IdfWeights;
+use crate::token::Tokenizer;
+use crate::vocab::Vocabulary;
+
+/// First pass over a corpus: feed every document through
+/// [`add_document`](CorpusBuilder::add_document), then [`finish`](CorpusBuilder::finish)
+/// to freeze the vocabulary and IDF table into a
+/// [`Vectorizer`].
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    tokenizer: Tokenizer,
+    vocab: Vocabulary,
+}
+
+impl CorpusBuilder {
+    /// Starts a corpus scan with the given tokenizer.
+    pub fn new(tokenizer: Tokenizer) -> Self {
+        Self {
+            tokenizer,
+            vocab: Vocabulary::new(),
+        }
+    }
+
+    /// Observes one raw document (tokenizes and updates the vocabulary).
+    /// Returns the cleaned tokens.
+    pub fn add_document(&mut self, text: &str) -> Vec<String> {
+        let tokens = self.tokenizer.tokenize(text);
+        self.vocab.observe_document(&tokens);
+        tokens
+    }
+
+    /// Number of documents observed so far.
+    pub fn num_docs(&self) -> u32 {
+        self.vocab.num_docs()
+    }
+
+    /// Freezes the vocabulary and computes IDF weights.
+    pub fn finish(self) -> Vectorizer {
+        let idf = IdfWeights::from_vocabulary(&self.vocab);
+        Vectorizer {
+            tokenizer: self.tokenizer,
+            vocab: self.vocab,
+            idf,
+        }
+    }
+}
+
+/// A frozen text → [`SparseVector`] pipeline.
+#[derive(Debug, Clone)]
+pub struct Vectorizer {
+    tokenizer: Tokenizer,
+    vocab: Vocabulary,
+    idf: IdfWeights,
+}
+
+impl Vectorizer {
+    /// Assembles a vectorizer from pre-built parts (for custom pipelines).
+    pub fn from_parts(tokenizer: Tokenizer, vocab: Vocabulary, idf: IdfWeights) -> Self {
+        Self {
+            tokenizer,
+            vocab,
+            idf,
+        }
+    }
+
+    /// The frozen vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Vector-space dimensionality `D` to configure PLSH with.
+    pub fn dim(&self) -> u32 {
+        self.vocab.len() as u32
+    }
+
+    /// Converts raw text into an IDF-weighted sparse **unit** vector.
+    ///
+    /// Returns `None` when every token is out-of-vocabulary or a stop word
+    /// (the paper's "0-length query"; such queries "will not find any
+    /// meaningful matches" and are dropped).
+    pub fn vectorize(&self, text: &str) -> Option<SparseVector> {
+        let tokens = self.tokenizer.tokenize(text);
+        let pairs: Vec<(u32, f32)> = tokens
+            .iter()
+            .filter_map(|t| {
+                let id = self.vocab.id(t)?;
+                Some((id, self.idf.score(id)))
+            })
+            .collect();
+        if pairs.is_empty() {
+            return None;
+        }
+        SparseVector::unit(pairs).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectorizer() -> Vectorizer {
+        let docs = [
+            "the quick brown fox jumps",
+            "a lazy brown dog sleeps",
+            "quick dogs and quick cats",
+            "brown bears eat honey",
+        ];
+        let mut b = CorpusBuilder::new(Tokenizer::default());
+        for d in docs {
+            b.add_document(d);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn vectorize_produces_unit_vectors() {
+        let v = vectorizer();
+        let sv = v.vectorize("quick brown fox").unwrap();
+        assert!((sv.norm() - 1.0).abs() < 1e-6);
+        assert_eq!(sv.nnz(), 3);
+    }
+
+    #[test]
+    fn oov_terms_are_skipped() {
+        let v = vectorizer();
+        let with_oov = v.vectorize("quick zebra").unwrap();
+        let without = v.vectorize("quick").unwrap();
+        assert_eq!(with_oov, without);
+    }
+
+    #[test]
+    fn fully_oov_documents_yield_none() {
+        let v = vectorizer();
+        assert!(v.vectorize("zebra unicorn").is_none());
+        assert!(v.vectorize("the and of").is_none()); // stop words only
+        assert!(v.vectorize("").is_none());
+        assert!(v.vectorize("123 !!!").is_none());
+    }
+
+    #[test]
+    fn rare_terms_dominate_weighting() {
+        let v = vectorizer();
+        // "brown" appears in 3 docs, "fox" in 1: fox must carry more weight.
+        let sv = v.vectorize("brown fox").unwrap();
+        let brown_id = v.vocabulary().id("brown").unwrap();
+        let fox_id = v.vocabulary().id("fox").unwrap();
+        let wb = sv
+            .indices()
+            .iter()
+            .position(|&d| d == brown_id)
+            .map(|i| sv.values()[i])
+            .unwrap();
+        let wf = sv
+            .indices()
+            .iter()
+            .position(|&d| d == fox_id)
+            .map(|i| sv.values()[i])
+            .unwrap();
+        assert!(wf > wb, "fox {wf} vs brown {wb}");
+    }
+
+    #[test]
+    fn similar_documents_are_angularly_close() {
+        let v = vectorizer();
+        let a = v.vectorize("quick brown fox").unwrap();
+        let b = v.vectorize("quick brown fox jumps").unwrap();
+        let c = v.vectorize("bears eat honey").unwrap();
+        assert!(a.angular_distance(&b) < a.angular_distance(&c));
+    }
+
+    #[test]
+    fn identical_text_round_trips_to_zero_distance() {
+        let v = vectorizer();
+        let a = v.vectorize("lazy dog sleeps").unwrap();
+        let b = v.vectorize("LAZY dog... sleeps!!").unwrap();
+        assert!(a.angular_distance(&b) < 1e-3);
+    }
+
+    #[test]
+    fn dim_matches_vocabulary() {
+        let v = vectorizer();
+        assert_eq!(v.dim() as usize, v.vocabulary().len());
+        // Every produced index lies below dim.
+        let sv = v.vectorize("quick brown fox dog").unwrap();
+        assert!(sv.indices().iter().all(|&d| d < v.dim()));
+    }
+}

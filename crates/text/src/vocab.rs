@@ -1,0 +1,127 @@
+//! Vocabulary: stable term → dimension-id mapping with document frequencies.
+
+use std::collections::HashMap;
+
+/// A growable vocabulary over cleaned terms.
+///
+/// Dimension ids are assigned in first-seen order, so a vocabulary built
+/// from the same corpus in the same order is always identical — the
+/// reproducibility anchor for every text experiment.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    ids: HashMap<String, u32>,
+    terms: Vec<String>,
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms (`D`, the vector dimensionality).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been added.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of documents observed.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// The id of `term`, if present.
+    pub fn id(&self, term: &str) -> Option<u32> {
+        self.ids.get(term).copied()
+    }
+
+    /// The term with dimension id `id`.
+    pub fn term(&self, id: u32) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Document frequency of the term with id `id`.
+    pub fn doc_freq(&self, id: u32) -> u32 {
+        self.doc_freq.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Records one document's (already deduplicated) tokens: unseen terms
+    /// get fresh ids and every token's document frequency increments.
+    pub fn observe_document<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        self.num_docs += 1;
+        for tok in tokens {
+            let tok = tok.as_ref();
+            match self.ids.get(tok) {
+                Some(&id) => self.doc_freq[id as usize] += 1,
+                None => {
+                    let id = self.terms.len() as u32;
+                    self.ids.insert(tok.to_string(), id);
+                    self.terms.push(tok.to_string());
+                    self.doc_freq.push(1);
+                }
+            }
+        }
+    }
+
+    /// Iterates `(term, id, doc_freq)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32, u32)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(id, t)| (t.as_str(), id as u32, self.doc_freq[id]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_first_seen_order() {
+        let mut v = Vocabulary::new();
+        v.observe_document(&["b", "a"]);
+        v.observe_document(&["a", "c"]);
+        assert_eq!(v.id("b"), Some(0));
+        assert_eq!(v.id("a"), Some(1));
+        assert_eq!(v.id("c"), Some(2));
+        assert_eq!(v.id("zzz"), None);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.num_docs(), 2);
+    }
+
+    #[test]
+    fn doc_freq_counts_documents() {
+        let mut v = Vocabulary::new();
+        v.observe_document(&["x", "y"]);
+        v.observe_document(&["x"]);
+        v.observe_document(&["y"]);
+        assert_eq!(v.doc_freq(v.id("x").unwrap()), 2);
+        assert_eq!(v.doc_freq(v.id("y").unwrap()), 2);
+        assert_eq!(v.doc_freq(99), 0);
+    }
+
+    #[test]
+    fn term_round_trip() {
+        let mut v = Vocabulary::new();
+        v.observe_document(&["alpha", "beta"]);
+        for (term, id, _) in v.iter().collect::<Vec<_>>() {
+            assert_eq!(v.term(id), Some(term));
+            assert_eq!(v.id(term), Some(id));
+        }
+        assert_eq!(v.term(5), None);
+    }
+
+    #[test]
+    fn empty_vocabulary() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.num_docs(), 0);
+        assert_eq!(v.iter().count(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests of the text pipeline's invariants.
+
+use proptest::prelude::*;
+
+use plsh_text::{CorpusBuilder, Tokenizer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokens_are_clean(text in ".{0,200}") {
+        let t = Tokenizer::default();
+        let tokens = t.tokenize(&text);
+        for tok in &tokens {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(char::is_alphabetic), "{tok:?}");
+            prop_assert!(tok.chars().all(|c| c.to_lowercase().eq(std::iter::once(c))),
+                "{tok:?} not lowercase");
+            prop_assert!(!t.is_stop_word(tok));
+        }
+        // No duplicates.
+        let mut sorted = tokens.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), tokens.len());
+    }
+
+    #[test]
+    fn tokenization_is_stable_under_rejoining(text in "[a-zA-Z ,.!0-9]{0,200}") {
+        // Tokenizing the space-joined tokens reproduces the tokens.
+        let t = Tokenizer::default();
+        let tokens = t.tokenize(&text);
+        let rejoined = tokens.join(" ");
+        prop_assert_eq!(t.tokenize(&rejoined), tokens);
+    }
+
+    #[test]
+    fn vectorizer_is_total_and_unit(docs in proptest::collection::vec("[a-z ]{1,60}", 1..20)) {
+        let mut b = CorpusBuilder::new(Tokenizer::default());
+        for d in &docs {
+            b.add_document(d);
+        }
+        let v = b.finish();
+        for d in &docs {
+            // Every observed document either vectorizes to a unit vector or
+            // was entirely stop words / too short.
+            match v.vectorize(d) {
+                Some(sv) => {
+                    prop_assert!((sv.norm() - 1.0).abs() < 1e-5);
+                    prop_assert!(sv.indices().iter().all(|&i| i < v.dim()));
+                }
+                None => {
+                    prop_assert!(Tokenizer::default().tokenize(d).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vocabulary_ids_are_dense_and_stable(docs in proptest::collection::vec("[a-z ]{1,40}", 1..15)) {
+        let mut b1 = CorpusBuilder::new(Tokenizer::default());
+        let mut b2 = CorpusBuilder::new(Tokenizer::default());
+        for d in &docs {
+            b1.add_document(d);
+            b2.add_document(d);
+        }
+        let v1 = b1.finish();
+        let v2 = b2.finish();
+        prop_assert_eq!(v1.dim(), v2.dim());
+        // Same corpus in the same order gives identical id assignments.
+        for (term, id, df) in v1.vocabulary().iter() {
+            prop_assert_eq!(v2.vocabulary().id(term), Some(id));
+            prop_assert_eq!(v2.vocabulary().doc_freq(id), df);
+            prop_assert!(df >= 1);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Synthetic tweet-like corpus generation.
+//!
+//! Two-pass construction mirroring the real pipeline: first draw every
+//! document's distinct word set (Zipf-distributed words, Poisson length),
+//! accumulating document frequencies; then weight each word by smoothed IDF
+//! and normalize to a unit vector — exactly what `plsh-text` does to real
+//! text, applied to synthetic word ids.
+//!
+//! A configurable fraction of documents are **near-duplicates**: a copy of
+//! an earlier document with one word resampled (or added). Random Zipf
+//! documents are nearly orthogonal to each other, so without injected
+//! duplicates no query would have any `R = 0.9` neighbor besides itself;
+//! with them, the corpus exhibits the near-duplicate structure (retweets,
+//! reposted spam) that makes Twitter similarity search interesting
+//! \[19, 25\].
+
+use plsh_core::rng::SplitMix64;
+use plsh_core::sparse::SparseVector;
+
+use crate::distributions::{PoissonSampler, ZipfSampler};
+
+/// Configuration for [`SyntheticCorpus::generate`].
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of documents `N`.
+    pub num_docs: usize,
+    /// Vocabulary size `D` (paper: 500 000).
+    pub vocab_size: u32,
+    /// Mean distinct words per document (paper: 7.2).
+    pub mean_words: f64,
+    /// Zipf exponent of the word distribution (1.0 = classic).
+    pub zipf_exponent: f64,
+    /// Fraction of documents generated as near-duplicates of an earlier
+    /// document.
+    pub duplicate_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CorpusConfig {
+    /// The scaled-down default workload used across the experiments:
+    /// 100 K documents over a 50 K vocabulary.
+    pub fn scaled_default() -> Self {
+        Self {
+            num_docs: 100_000,
+            vocab_size: 50_000,
+            mean_words: 7.2,
+            zipf_exponent: 1.0,
+            duplicate_fraction: 0.2,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A tiny configuration for unit tests.
+    pub fn tiny(num_docs: usize, seed: u64) -> Self {
+        Self {
+            num_docs,
+            vocab_size: 2_000,
+            mean_words: 7.2,
+            zipf_exponent: 1.0,
+            duplicate_fraction: 0.2,
+            seed,
+        }
+    }
+
+    /// A Wikipedia-abstract-like workload: the paper's second model-
+    /// validation dataset (8 M abstracts, 500 K vocabulary) scaled down.
+    /// Abstracts are much longer than tweets (~25 distinct cleaned words)
+    /// and contain fewer near-duplicates.
+    pub fn wikipedia_like() -> Self {
+        Self {
+            num_docs: 50_000,
+            vocab_size: 50_000,
+            mean_words: 25.0,
+            zipf_exponent: 1.0,
+            duplicate_fraction: 0.05,
+            seed: 0x1781,
+        }
+    }
+
+    /// Returns a copy with a different document count.
+    pub fn with_num_docs(mut self, n: usize) -> Self {
+        self.num_docs = n;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different duplicate fraction.
+    pub fn with_duplicate_fraction(mut self, f: f64) -> Self {
+        self.duplicate_fraction = f;
+        self
+    }
+}
+
+/// A generated corpus: unit vectors plus the word-set provenance needed by
+/// tests and query generators.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    config: CorpusConfig,
+    vectors: Vec<SparseVector>,
+    /// For near-duplicates, the id of the original document.
+    duplicate_of: Vec<Option<u32>>,
+}
+
+impl SyntheticCorpus {
+    /// Generates a corpus deterministically from `config`.
+    pub fn generate(config: CorpusConfig) -> Self {
+        assert!(config.num_docs >= 1);
+        assert!(config.vocab_size >= 16);
+        assert!((0.0..=1.0).contains(&config.duplicate_fraction));
+        let mut rng = SplitMix64::new(config.seed);
+        let zipf = ZipfSampler::new(config.vocab_size as usize, config.zipf_exponent);
+        let poisson = PoissonSampler::new(config.mean_words);
+
+        // Pass 1: draw word sets, track document frequencies.
+        let mut word_sets: Vec<Vec<u32>> = Vec::with_capacity(config.num_docs);
+        let mut duplicate_of: Vec<Option<u32>> = Vec::with_capacity(config.num_docs);
+        let mut doc_freq = vec![0u32; config.vocab_size as usize];
+        for i in 0..config.num_docs {
+            let dup = i > 0 && rng.next_f64() < config.duplicate_fraction;
+            let words = if dup {
+                let src = rng.next_below(i as u64) as usize;
+                duplicate_of.push(Some(src as u32));
+                perturb(&word_sets[src], &zipf, config.vocab_size, &mut rng)
+            } else {
+                duplicate_of.push(None);
+                fresh_word_set(&zipf, &poisson, config.vocab_size, &mut rng)
+            };
+            for &w in &words {
+                doc_freq[w as usize] += 1;
+            }
+            word_sets.push(words);
+        }
+
+        // Pass 2: IDF-weight and normalize (smoothed IDF, as plsh-text).
+        let n = config.num_docs as f64;
+        let idf: Vec<f32> = doc_freq
+            .iter()
+            .map(|&df| (((1.0 + n) / (1.0 + df as f64)).ln() + 1.0) as f32)
+            .collect();
+        let vectors = word_sets
+            .into_iter()
+            .map(|words| {
+                let pairs: Vec<(u32, f32)> =
+                    words.into_iter().map(|w| (w, idf[w as usize])).collect();
+                SparseVector::unit(pairs).expect("word sets are non-empty")
+            })
+            .collect();
+
+        Self {
+            config,
+            vectors,
+            duplicate_of,
+        }
+    }
+
+    /// Generation parameters.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True when the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Vector-space dimensionality `D`.
+    pub fn dim(&self) -> u32 {
+        self.config.vocab_size
+    }
+
+    /// The documents as sparse unit vectors.
+    pub fn vectors(&self) -> &[SparseVector] {
+        &self.vectors
+    }
+
+    /// One document.
+    pub fn vector(&self, id: u32) -> &SparseVector {
+        &self.vectors[id as usize]
+    }
+
+    /// For a near-duplicate document, the id it was derived from.
+    pub fn duplicate_of(&self, id: u32) -> Option<u32> {
+        self.duplicate_of[id as usize]
+    }
+
+    /// Mean non-zeros per document.
+    pub fn avg_nnz(&self) -> f64 {
+        if self.vectors.is_empty() {
+            return 0.0;
+        }
+        self.vectors.iter().map(SparseVector::nnz).sum::<usize>() as f64
+            / self.vectors.len() as f64
+    }
+}
+
+/// Draws a fresh document: `Poisson(λ)∨1` distinct Zipf words.
+fn fresh_word_set(
+    zipf: &ZipfSampler,
+    poisson: &PoissonSampler,
+    vocab: u32,
+    rng: &mut SplitMix64,
+) -> Vec<u32> {
+    let target = poisson.sample_at_least_one(rng).min(vocab) as usize;
+    let mut words: Vec<u32> = Vec::with_capacity(target);
+    // Resample collisions: documents hold *distinct* words (the cleaning
+    // step removed duplicates). Bounded retries keep this total.
+    let mut attempts = 0;
+    while words.len() < target && attempts < target * 64 {
+        attempts += 1;
+        let w = zipf.sample(rng);
+        if !words.contains(&w) {
+            words.push(w);
+        }
+    }
+    words.sort_unstable();
+    words
+}
+
+/// Near-duplicate perturbation: replace one word with a fresh draw, or —
+/// for short documents, where a replacement can carry most of the IDF mass
+/// and push the copy outside the radius — add a word instead.
+fn perturb(src: &[u32], zipf: &ZipfSampler, _vocab: u32, rng: &mut SplitMix64) -> Vec<u32> {
+    let mut words = src.to_vec();
+    let replacement = loop {
+        let w = zipf.sample(rng);
+        if !src.contains(&w) {
+            break w;
+        }
+    };
+    if words.len() >= 4 {
+        let victim = rng.next_below(words.len() as u64) as usize;
+        words[victim] = replacement;
+    } else {
+        words.push(replacement);
+    }
+    words.sort_unstable();
+    words.dedup();
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticCorpus::generate(CorpusConfig::tiny(200, 7));
+        let b = SyntheticCorpus::generate(CorpusConfig::tiny(200, 7));
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() as u32 {
+            assert_eq!(a.vector(i), b.vector(i));
+        }
+        let c = SyntheticCorpus::generate(CorpusConfig::tiny(200, 8));
+        let diff = (0..200u32).filter(|&i| a.vector(i) != c.vector(i)).count();
+        assert!(diff > 150, "different seeds must differ ({diff})");
+    }
+
+    #[test]
+    fn vectors_are_unit_and_in_range() {
+        let c = SyntheticCorpus::generate(CorpusConfig::tiny(300, 1));
+        for v in c.vectors() {
+            assert!((v.norm() - 1.0).abs() < 1e-5);
+            assert!(v.max_index().unwrap() < c.dim());
+            assert!(v.nnz() >= 1);
+            // Distinct sorted indices.
+            assert!(v.indices().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn mean_length_tracks_lambda() {
+        let c = SyntheticCorpus::generate(
+            CorpusConfig::tiny(5_000, 3).with_duplicate_fraction(0.0),
+        );
+        let avg = c.avg_nnz();
+        assert!((avg - 7.2).abs() < 0.4, "avg nnz {avg}");
+    }
+
+    #[test]
+    fn duplicates_are_near_their_source() {
+        let c = SyntheticCorpus::generate(CorpusConfig::tiny(2_000, 5));
+        let mut dup_count = 0;
+        let mut near = 0;
+        for i in 0..c.len() as u32 {
+            if let Some(src) = c.duplicate_of(i) {
+                dup_count += 1;
+                let d = c.vector(i).angular_distance(c.vector(src));
+                if d < 0.9 {
+                    near += 1;
+                }
+            }
+        }
+        // The overwhelming majority of duplicates must fall inside R; a
+        // small tail (short docs whose perturbed word carries most of the
+        // IDF mass) may not, which the exact ground truth accounts for.
+        assert!(
+            near as f64 / dup_count as f64 > 0.9,
+            "{near}/{dup_count} duplicates inside R"
+        );
+        // ~20% of documents are duplicates.
+        let frac = dup_count as f64 / c.len() as f64;
+        assert!((0.15..0.25).contains(&frac), "{frac}");
+    }
+
+    #[test]
+    fn unrelated_documents_are_far() {
+        let c = SyntheticCorpus::generate(
+            CorpusConfig::tiny(500, 9).with_duplicate_fraction(0.0),
+        );
+        // Sample pairs; the overwhelming majority must be outside R = 0.9.
+        let mut far = 0;
+        let mut total = 0;
+        for i in (0..500u32).step_by(7) {
+            for j in (1..500u32).step_by(11) {
+                if i != j {
+                    total += 1;
+                    if c.vector(i).angular_distance(c.vector(j)) > 0.9 {
+                        far += 1;
+                    }
+                }
+            }
+        }
+        assert!(far as f64 / total as f64 > 0.95, "{far}/{total}");
+    }
+
+    #[test]
+    fn zipf_makes_top_words_common() {
+        let c = SyntheticCorpus::generate(
+            CorpusConfig::tiny(3_000, 11).with_duplicate_fraction(0.0),
+        );
+        let mut df = vec![0u32; c.dim() as usize];
+        for v in c.vectors() {
+            for &w in v.indices() {
+                df[w as usize] += 1;
+            }
+        }
+        // Word 0 (rank 0) must appear far more often than the median word.
+        let mut sorted = df.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(df[0] > median.max(1) * 20, "df[0]={} median={}", df[0], median);
+    }
+}

@@ -1,0 +1,211 @@
+//! Samplers for the word-frequency and document-length distributions.
+//!
+//! Natural-language word frequencies follow a Zipf law — the property the
+//! paper leans on when arguing the hot rows of the hyperplane matrix stay
+//! cached (Section 5.1.1) — and tweet lengths concentrate tightly around
+//! 7.2 cleaned words. We model the former with an exact inverse-CDF Zipf
+//! sampler and the latter with a Poisson draw clamped to be ≥ 1.
+
+use plsh_core::rng::SplitMix64;
+
+/// Exact Zipf(`s`) sampler over ranks `0..n` via a precomputed CDF and
+/// binary search.
+///
+/// Memory is `8n` bytes; for the vocabulary sizes used here (≤ 500 K) this
+/// is at most 4 MB and sampling is `O(log n)` with no rejection loops,
+/// which keeps corpus generation deterministic across platforms.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s > 0`
+    /// (`s = 1` is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(s > 0.0 && s.is_finite(), "exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n >= 1") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the sampler has zero ranks (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        let hi = self.cdf[r];
+        let lo = if r == 0 { 0.0 } else { self.cdf[r - 1] };
+        hi - lo
+    }
+
+    /// Draws one rank in `0..n` (0 is the most frequent).
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        let u = rng.next_f64();
+        // First index with cdf >= u.
+        self.cdf.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// Poisson(λ) sampler (Knuth's product method — λ here is ~7.2, far below
+/// the regime where the method degrades).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonSampler {
+    exp_neg_lambda: f64,
+    lambda: f64,
+}
+
+impl PoissonSampler {
+    /// Builds a sampler with mean `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda < 700.0, "lambda out of range");
+        Self {
+            exp_neg_lambda: (-lambda).exp(),
+            lambda,
+        }
+    }
+
+    /// The configured mean.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one count.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u32 {
+        let mut k = 0u32;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.next_f64();
+            if p <= self.exp_neg_lambda {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Draws one count, clamped to at least 1 (documents are non-empty).
+    pub fn sample_at_least_one(&self, rng: &mut SplitMix64) -> u32 {
+        self.sample(rng).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_decreases() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let total: f64 = (0..1000).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..1000 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf_for_top_ranks() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = SplitMix64::new(42);
+        let n = 200_000;
+        let mut counts = vec![0u32; 100];
+        for _ in 0..n {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate().take(5) {
+            let emp = count as f64 / n as f64;
+            let the = z.pmf(r);
+            assert!(
+                (emp - the).abs() / the < 0.05,
+                "rank {r}: empirical {emp} vs pmf {the}"
+            );
+        }
+        // Rank 0 should be about twice rank 1 for s = 1.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.8..2.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = ZipfSampler::new(7, 1.2);
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!((z.sample(&mut rng) as usize) < 7);
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+    }
+
+    #[test]
+    fn zipf_is_deterministic() {
+        let z = ZipfSampler::new(500, 1.0);
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn poisson_mean_and_variance() {
+        let p = PoissonSampler::new(7.2);
+        let mut rng = SplitMix64::new(123);
+        let n = 100_000;
+        let mut sum = 0.0f64;
+        let mut sum_sq = 0.0f64;
+        for _ in 0..n {
+            let k = p.sample(&mut rng) as f64;
+            sum += k;
+            sum_sq += k * k;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!((mean - 7.2).abs() < 0.1, "mean {mean}");
+        assert!((var - 7.2).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_at_least_one() {
+        let p = PoissonSampler::new(0.5); // frequently draws 0
+        let mut rng = SplitMix64::new(5);
+        for _ in 0..5_000 {
+            assert!(p.sample_at_least_one(&mut rng) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda out of range")]
+    fn poisson_rejects_bad_lambda() {
+        let _ = PoissonSampler::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

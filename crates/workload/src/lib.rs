@@ -1,0 +1,31 @@
+//! # plsh-workload — synthetic tweet-like corpora and evaluation inputs
+//!
+//! The paper evaluates on 1.05 billion real tweets: sparse IDF-weighted
+//! unit vectors over a 500 000-word vocabulary, averaging 7.2 words per
+//! tweet, with the Zipf word-frequency distribution of natural language
+//! (Section 5.1.1 relies on that skew for cache behaviour). Real tweets are
+//! not available here, so this crate generates the closest synthetic
+//! equivalent:
+//!
+//! * [`ZipfSampler`] / [`PoissonSampler`] — exact inverse-CDF Zipf word
+//!   draws and Knuth Poisson document lengths.
+//! * [`SyntheticCorpus`] — a reproducible corpus of IDF-weighted unit
+//!   vectors with a configurable fraction of injected near-duplicates
+//!   (without them, random tweets are near-orthogonal and *nothing* lies
+//!   within the paper's radius `R = 0.9` except the query itself).
+//! * [`QuerySet`] — random database subsets used as queries, the paper's
+//!   protocol ("we use a random subset of 1000 tweets from the database").
+//! * [`GroundTruth`] — exact `R`-near neighbors from an exhaustive scan,
+//!   for recall measurement (the paper's 92%-accuracy claim).
+//!
+//! Everything is seeded and deterministic.
+
+mod corpus;
+mod distributions;
+mod ground_truth;
+mod queries;
+
+pub use corpus::{CorpusConfig, SyntheticCorpus};
+pub use distributions::{PoissonSampler, ZipfSampler};
+pub use ground_truth::{recall, GroundTruth};
+pub use queries::QuerySet;

@@ -1,0 +1,146 @@
+//! Query-set generation (paper Section 8: "For queries, we use a random
+//! subset of 1000 tweets from the database").
+
+use plsh_core::rng::SplitMix64;
+use plsh_core::sparse::SparseVector;
+
+use crate::corpus::SyntheticCorpus;
+
+/// A set of queries drawn from (or derived from) a corpus.
+#[derive(Debug, Clone)]
+pub struct QuerySet {
+    queries: Vec<SparseVector>,
+    /// Source document id for each query (when drawn from the corpus).
+    source_ids: Vec<Option<u32>>,
+}
+
+impl QuerySet {
+    /// Draws `count` distinct random documents from the corpus as queries —
+    /// the paper's protocol.
+    pub fn sample_from_corpus(corpus: &SyntheticCorpus, count: usize, seed: u64) -> Self {
+        assert!(count <= corpus.len(), "cannot sample more queries than documents");
+        let mut rng = SplitMix64::new(seed);
+        // Partial Fisher–Yates over the id space for distinct draws.
+        let mut ids: Vec<u32> = (0..corpus.len() as u32).collect();
+        for i in 0..count {
+            let j = i + rng.next_below((ids.len() - i) as u64) as usize;
+            ids.swap(i, j);
+        }
+        ids.truncate(count);
+        let queries = ids.iter().map(|&id| corpus.vector(id).clone()).collect();
+        let source_ids = ids.iter().map(|&id| Some(id)).collect();
+        Self {
+            queries,
+            source_ids,
+        }
+    }
+
+    /// Builds a query set from explicit vectors (e.g. vectorized user text
+    /// snippets; the paper notes these "perform equally well").
+    pub fn from_vectors(queries: Vec<SparseVector>) -> Self {
+        let source_ids = vec![None; queries.len()];
+        Self {
+            queries,
+            source_ids,
+        }
+    }
+
+    /// The query vectors.
+    pub fn queries(&self) -> &[SparseVector] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when there are no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Source document id of query `i`, when drawn from a corpus.
+    pub fn source_id(&self, i: usize) -> Option<u32> {
+        self.source_ids[i]
+    }
+
+    /// A prefix of the query set (for batch-size sweeps, Figure 10).
+    pub fn prefix(&self, count: usize) -> &[SparseVector] {
+        &self.queries[..count.min(self.queries.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    fn corpus() -> SyntheticCorpus {
+        SyntheticCorpus::generate(CorpusConfig::tiny(500, 33))
+    }
+
+    #[test]
+    fn sampled_queries_match_their_source() {
+        let c = corpus();
+        let qs = QuerySet::sample_from_corpus(&c, 50, 1);
+        assert_eq!(qs.len(), 50);
+        for i in 0..qs.len() {
+            let src = qs.source_id(i).unwrap();
+            assert_eq!(&qs.queries()[i], c.vector(src));
+        }
+    }
+
+    #[test]
+    fn sampled_ids_are_distinct() {
+        let c = corpus();
+        let qs = QuerySet::sample_from_corpus(&c, 200, 2);
+        let mut ids: Vec<u32> = (0..200).map(|i| qs.source_id(i).unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let c = corpus();
+        let a = QuerySet::sample_from_corpus(&c, 30, 5);
+        let b = QuerySet::sample_from_corpus(&c, 30, 5);
+        for i in 0..30 {
+            assert_eq!(a.source_id(i), b.source_id(i));
+        }
+        let d = QuerySet::sample_from_corpus(&c, 30, 6);
+        let same = (0..30).filter(|&i| a.source_id(i) == d.source_id(i)).count();
+        assert!(same < 10, "different seeds should pick different queries");
+    }
+
+    #[test]
+    fn whole_corpus_can_be_queries() {
+        let c = corpus();
+        let qs = QuerySet::sample_from_corpus(&c, c.len(), 9);
+        assert_eq!(qs.len(), c.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample more")]
+    fn oversampling_panics() {
+        let c = corpus();
+        let _ = QuerySet::sample_from_corpus(&c, c.len() + 1, 1);
+    }
+
+    #[test]
+    fn from_vectors_has_no_sources() {
+        let c = corpus();
+        let qs = QuerySet::from_vectors(vec![c.vector(0).clone()]);
+        assert_eq!(qs.len(), 1);
+        assert_eq!(qs.source_id(0), None);
+    }
+
+    #[test]
+    fn prefix_clamps() {
+        let c = corpus();
+        let qs = QuerySet::sample_from_corpus(&c, 10, 3);
+        assert_eq!(qs.prefix(3).len(), 3);
+        assert_eq!(qs.prefix(100).len(), 10);
+    }
+}

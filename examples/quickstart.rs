@@ -1,0 +1,86 @@
+//! Quickstart: index a handful of documents through the full text pipeline
+//! and run similarity queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use plsh::core::{Engine, EngineConfig, PlshParams};
+use plsh::parallel::ThreadPool;
+use plsh::text::{CorpusBuilder, Tokenizer};
+
+fn main() {
+    let docs = [
+        "breaking storm hits the coast tonight with heavy rain",
+        "storm hits coast tonight heavy rain expected",
+        "new phone launch amazes critics with battery life",
+        "critics amazed by new phone battery life at launch",
+        "local team wins championship after dramatic overtime",
+        "recipe for the perfect sourdough bread at home",
+        "sourdough bread recipe perfect for beginners at home",
+        "stock markets rally as inflation numbers surprise",
+    ];
+
+    // 1. Two-pass text pipeline: scan builds vocabulary + IDF, then freeze.
+    let mut builder = CorpusBuilder::new(Tokenizer::default());
+    for d in &docs {
+        builder.add_document(d);
+    }
+    let vectorizer = builder.finish();
+    println!(
+        "vocabulary: {} terms over {} documents",
+        vectorizer.dim(),
+        docs.len()
+    );
+
+    // 2. Configure PLSH. Tiny corpora want small k (few hash bits); real
+    //    deployments use the parameter-selection module (see the
+    //    param_tuning example).
+    // Radius 1.1 rather than the paper's tweet-vs-tweet 0.9: short free-text
+    // queries against longer documents sit at larger angles even when they
+    // share every query term.
+    let params = PlshParams::builder(vectorizer.dim())
+        .k(6)
+        .m(8)
+        .radius(1.1)
+        .delta(0.1)
+        .seed(42)
+        .build()
+        .expect("valid parameters");
+    let pool = ThreadPool::default();
+    let mut engine =
+        Engine::new(EngineConfig::new(params, 1024), &pool).expect("valid engine config");
+
+    // 3. Index every document (inserts buffer in the delta tables; merge
+    //    moves them into the read-optimized static tables).
+    for d in &docs {
+        let v = vectorizer.vectorize(d).expect("in-vocabulary document");
+        engine.insert(v, &pool).expect("capacity is ample");
+    }
+    engine.merge_delta(&pool);
+    println!(
+        "indexed {} documents ({} static, {} delta)\n",
+        engine.len(),
+        engine.static_len(),
+        engine.delta_len()
+    );
+
+    // 4. Query with free text.
+    for query in [
+        "storm and heavy rain on the coast",
+        "sourdough bread recipe",
+        "phone with a great battery",
+    ] {
+        let qv = vectorizer.vectorize(query).expect("in-vocabulary query");
+        let mut hits = engine.query(&qv, &pool);
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        println!("query: {query:?}");
+        if hits.is_empty() {
+            println!("  (no documents within the radius)");
+        }
+        for h in hits {
+            println!("  {:.3}  {:?}", h.distance, docs[h.index as usize]);
+        }
+        println!();
+    }
+}

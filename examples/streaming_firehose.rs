@@ -1,0 +1,98 @@
+//! A multi-node cluster drinking from a firehose (Figure 1 end-to-end).
+//!
+//! A producer thread streams tweet batches through a bounded channel; the
+//! coordinator round-robins them into the current insert window of `M`
+//! nodes, nodes auto-merge their delta tables at `η·C`, full windows roll
+//! forward, and the oldest window is retired in place once the cluster
+//! wraps. Queries run concurrently against the whole cluster throughout.
+//!
+//! ```text
+//! cargo run --release --example streaming_firehose
+//! ```
+
+use plsh::cluster::firehose::Firehose;
+use plsh::cluster::{Cluster, ClusterConfig};
+use plsh::core::{EngineConfig, PlshParams};
+use plsh::parallel::ThreadPool;
+use plsh::workload::{CorpusConfig, QuerySet, SyntheticCorpus};
+
+fn main() {
+    const NODES: usize = 8;
+    const WINDOW: usize = 2; // the paper's M
+    const NODE_CAPACITY: usize = 2_500;
+
+    // 1.5x the cluster capacity, so retirement must kick in.
+    let corpus = SyntheticCorpus::generate(CorpusConfig {
+        num_docs: NODES * NODE_CAPACITY * 3 / 2,
+        vocab_size: 20_000,
+        mean_words: 7.2,
+        zipf_exponent: 1.0,
+        duplicate_fraction: 0.2,
+        seed: 99,
+    });
+    let queries = QuerySet::sample_from_corpus(&corpus, 50, 7);
+
+    let params = PlshParams::builder(corpus.dim())
+        .k(10)
+        .m(12)
+        .radius(0.9)
+        .seed(11)
+        .build()
+        .expect("valid parameters");
+    let pool = ThreadPool::default();
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(
+            EngineConfig::new(params, NODE_CAPACITY).with_eta(0.1),
+            NODES,
+            WINDOW,
+        ),
+        &pool,
+    )
+    .expect("valid cluster config");
+
+    // Twitter-style arrival: batches of tweets through a bounded channel.
+    let hose = Firehose::start(corpus.vectors().to_vec(), 1_000, 4);
+    let start = std::time::Instant::now();
+    let mut ingested = 0usize;
+    while let Some(batch) = hose.next_batch() {
+        ingested += batch.docs.len();
+        cluster
+            .insert_batch(&batch.docs, &pool)
+            .expect("insert path retires old windows as needed");
+
+        // Interleave a query burst every few batches, as a live system
+        // would see.
+        if batch.seq % 5 == 4 {
+            let report = cluster.query_batch(queries.queries(), &pool);
+            let stats = cluster.stats();
+            println!(
+                "t={:>6.2?}  ingested {:>6}  stored {:>6}/{} ({} nodes occupied, window {}, {} retirements)  query batch {:>6.1?} (imbalance {:.2})",
+                start.elapsed(),
+                ingested,
+                stats.total_points,
+                stats.total_capacity,
+                stats.occupied_nodes,
+                stats.active_window,
+                stats.retirements,
+                report.elapsed,
+                report.load_imbalance(),
+            );
+        }
+    }
+
+    let stats = cluster.stats();
+    println!("\nfinal state after {} tweets:", ingested);
+    println!(
+        "  stored {} of {} capacity across {} nodes; {} wholesale retirements",
+        stats.total_points, stats.total_capacity, NODES, stats.retirements
+    );
+    assert!(
+        stats.retirements >= 1,
+        "streaming 1.5x capacity must have retired at least one window"
+    );
+    // The newest tweets must be findable; the oldest should be gone.
+    let last = corpus.len() - 1;
+    let newest_hits = cluster.query(corpus.vector(last as u32), &pool);
+    assert!(!newest_hits.is_empty(), "newest tweet must be indexed");
+    println!("  newest tweet found on node {}", newest_hits[0].node);
+}

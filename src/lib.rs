@@ -1,0 +1,55 @@
+//! # PLSH — Parallel Locality-Sensitive Hashing
+//!
+//! A Rust reproduction of *"Streaming Similarity Search over one Billion
+//! Tweets using Parallel Locality-Sensitive Hashing"* (Sundaram et al.,
+//! VLDB 2013).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`core`] — the PLSH algorithm: all-pairs hashing, cache-conscious
+//!   static tables, streaming delta tables, parameter selection and the
+//!   analytic performance model.
+//! * [`parallel`] — the work-stealing task pool used by every component.
+//! * [`text`] — tokenization, vocabulary and IDF vectorization of documents.
+//! * [`workload`] — synthetic tweet-like corpora and query/ground-truth
+//!   generators used by the evaluation.
+//! * [`baselines`] — exhaustive-scan and inverted-index baselines
+//!   (Table 2 of the paper).
+//! * [`cluster`] — the multi-node coordinator / rolling-insert-window
+//!   simulation (Figures 1 and 9).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use plsh::core::{Engine, EngineConfig, PlshParams, SparseVector};
+//! use plsh::parallel::ThreadPool;
+//!
+//! // Three tiny "documents" as sparse unit vectors in a 8-dim space.
+//! let docs = vec![
+//!     SparseVector::unit(vec![(0, 1.0), (1, 1.0)]).unwrap(),
+//!     SparseVector::unit(vec![(0, 1.0), (1, 0.9)]).unwrap(),
+//!     SparseVector::unit(vec![(6, 1.0), (7, 1.0)]).unwrap(),
+//! ];
+//! let params = PlshParams::builder(8)
+//!     .k(4)
+//!     .m(4)
+//!     .radius(0.9)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let pool = ThreadPool::new(1);
+//! let mut engine = Engine::new(EngineConfig::new(params, 16), &pool).unwrap();
+//! engine.extend(docs.iter().cloned(), &pool).unwrap();
+//! engine.merge_delta(&pool);
+//!
+//! let hits = engine.query(&docs[0], &pool);
+//! assert!(hits.iter().any(|h| h.index == 1), "near-duplicate should be found");
+//! ```
+
+pub use plsh_baselines as baselines;
+pub use plsh_cluster as cluster;
+pub use plsh_core as core;
+pub use plsh_parallel as parallel;
+pub use plsh_text as text;
+pub use plsh_workload as workload;

@@ -1,0 +1,140 @@
+//! Integration: the multi-node cluster must answer exactly like one big
+//! engine over the same data, and the rolling insert window must retire
+//! precisely the oldest window.
+
+use plsh::cluster::{Cluster, ClusterConfig};
+use plsh::core::{Engine, EngineConfig, PlshParams};
+use plsh::parallel::ThreadPool;
+use plsh::workload::{CorpusConfig, SyntheticCorpus};
+
+fn params(dim: u32) -> PlshParams {
+    PlshParams::builder(dim)
+        .k(8)
+        .m(10)
+        .radius(0.9)
+        .seed(31)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn cluster_equals_single_engine() {
+    let corpus = SyntheticCorpus::generate(CorpusConfig {
+        num_docs: 3_000,
+        vocab_size: 4_000,
+        mean_words: 7.2,
+        zipf_exponent: 1.0,
+        duplicate_fraction: 0.25,
+        seed: 8,
+    });
+    let pool = ThreadPool::new(2);
+
+    let mut single = Engine::new(
+        EngineConfig::new(params(corpus.dim()), corpus.len()).manual_merge(),
+        &pool,
+    )
+    .unwrap();
+    single.insert_batch(corpus.vectors(), &pool).unwrap();
+    single.merge_delta(&pool);
+
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(
+            EngineConfig::new(params(corpus.dim()), 500).manual_merge(),
+            6,
+            3,
+        ),
+        &pool,
+    )
+    .unwrap();
+    let placed = cluster.insert_batch(corpus.vectors(), &pool).unwrap();
+    cluster.merge_all(&pool);
+
+    // Build the reverse map (node, local) -> original position.
+    let queries: Vec<_> = (0..100u32).map(|i| corpus.vector(i * 29).clone()).collect();
+    for q in &queries {
+        let mut expect: Vec<u32> = single.query(q, &pool).iter().map(|h| h.index).collect();
+        expect.sort_unstable();
+        let mut got: Vec<u32> = cluster
+            .query(q, &pool)
+            .iter()
+            .map(|h| {
+                placed
+                    .iter()
+                    .position(|&(n, l)| n == h.node && l == h.index)
+                    .expect("every cluster hit maps to an inserted point")
+                    as u32
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}
+
+#[test]
+fn rolling_window_retires_oldest_data_exactly() {
+    let corpus = SyntheticCorpus::generate(CorpusConfig {
+        num_docs: 3_600,
+        vocab_size: 4_000,
+        mean_words: 7.2,
+        zipf_exponent: 1.0,
+        duplicate_fraction: 0.0,
+        seed: 4,
+    });
+    let pool = ThreadPool::new(1);
+    // 4 nodes x 600 capacity = 2400 total; stream 3600 points => the first
+    // window (2 nodes = 1200 points) must be retired exactly once.
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(EngineConfig::new(params(corpus.dim()), 600), 4, 2),
+        &pool,
+    )
+    .unwrap();
+    cluster.insert_batch(corpus.vectors(), &pool).unwrap();
+    let stats = cluster.stats();
+    assert_eq!(stats.retirements, 1);
+    assert_eq!(stats.total_points, 2_400);
+
+    // Oldest 1200 points are gone; everything else must be findable.
+    for id in (0..1_200u32).step_by(97) {
+        let hits = cluster.query(corpus.vector(id), &pool);
+        assert!(
+            !hits.iter().any(|h| h.distance < 1e-3),
+            "retired point {id} still findable"
+        );
+    }
+    for id in (1_200..3_600u32).step_by(97) {
+        let hits = cluster.query(corpus.vector(id), &pool);
+        assert!(
+            hits.iter().any(|h| h.distance < 1e-3),
+            "live point {id} not findable"
+        );
+    }
+}
+
+#[test]
+fn window_semantics_track_arrival_order() {
+    let corpus = SyntheticCorpus::generate(CorpusConfig {
+        num_docs: 1_000,
+        vocab_size: 4_000,
+        mean_words: 7.2,
+        zipf_exponent: 1.0,
+        duplicate_fraction: 0.0,
+        seed: 6,
+    });
+    let pool = ThreadPool::new(1);
+    let mut cluster = Cluster::new(
+        ClusterConfig::new(EngineConfig::new(params(corpus.dim()), 100), 10, 2),
+        &pool,
+    )
+    .unwrap();
+    let placed = cluster.insert_batch(corpus.vectors(), &pool).unwrap();
+    // Points i and i+1 alternate between the window's two nodes; windows
+    // advance every 200 points.
+    for (i, &(node, _)) in placed.iter().enumerate() {
+        let window = i / 200;
+        let expected_nodes = [(window * 2) as u32, (window * 2 + 1) as u32];
+        assert!(
+            expected_nodes.contains(&node),
+            "point {i} landed on node {node}, expected {expected_nodes:?}"
+        );
+    }
+}

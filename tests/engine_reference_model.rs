@@ -1,0 +1,127 @@
+//! Property-based integration test: a randomized sequence of engine
+//! operations (insert / delete / merge / query) checked against a naive
+//! reference model.
+//!
+//! Two checks hold deterministically for LSH with exact re-ranking:
+//! * soundness — every reported hit is a live in-radius point, with the
+//!   exact distance;
+//! * zero-distance completeness — an indexed point queried by its own
+//!   vector is always reported (identical vectors share every hash).
+
+use proptest::prelude::*;
+
+use plsh::core::{Engine, EngineConfig, PlshParams, SparseVector};
+use plsh::parallel::ThreadPool;
+
+const DIM: u32 = 64;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<(u32, f32)>),
+    Delete(usize),
+    Merge,
+    QueryExisting(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let pair = (0..DIM, 1u32..100).prop_map(|(d, v)| (d, v as f32 / 10.0));
+    let vec_strategy = proptest::collection::vec(pair, 1..6);
+    prop_oneof![
+        4 => vec_strategy.prop_map(Op::Insert),
+        1 => any::<prop::sample::Index>().prop_map(|i| Op::Delete(i.index(1000))),
+        1 => Just(Op::Merge),
+        3 => any::<prop::sample::Index>().prop_map(|i| Op::QueryExisting(i.index(1000))),
+    ]
+}
+
+/// Naive reference: the live set plus exhaustive distance checks.
+struct Reference {
+    vectors: Vec<SparseVector>,
+    deleted: Vec<bool>,
+}
+
+impl Reference {
+    fn new() -> Self {
+        Self {
+            vectors: Vec::new(),
+            deleted: Vec::new(),
+        }
+    }
+
+    fn in_radius(&self, q: &SparseVector, r: f32) -> Vec<u32> {
+        self.vectors
+            .iter()
+            .enumerate()
+            .filter(|&(i, v)| !self.deleted[i] && q.angular_distance(v) <= r)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn engine_agrees_with_reference(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let params = PlshParams::builder(DIM)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .seed(21)
+            .build()
+            .unwrap();
+        let pool = ThreadPool::new(1);
+        let mut engine = Engine::new(
+            EngineConfig::new(params, 4096).with_eta(0.02),
+            &pool,
+        )
+        .unwrap();
+        let mut reference = Reference::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(pairs) => {
+                    let Ok(v) = SparseVector::unit(pairs) else { continue };
+                    let id = engine.insert(v.clone(), &pool).unwrap();
+                    prop_assert_eq!(id as usize, reference.vectors.len());
+                    reference.vectors.push(v);
+                    reference.deleted.push(false);
+                }
+                Op::Delete(i) => {
+                    if reference.vectors.is_empty() {
+                        continue;
+                    }
+                    let id = (i % reference.vectors.len()) as u32;
+                    let newly = engine.delete(id);
+                    prop_assert_eq!(newly, !reference.deleted[id as usize]);
+                    reference.deleted[id as usize] = true;
+                }
+                Op::Merge => {
+                    engine.merge_delta(&pool);
+                    prop_assert_eq!(engine.delta_len(), 0);
+                    prop_assert_eq!(engine.static_len(), reference.vectors.len());
+                }
+                Op::QueryExisting(i) => {
+                    if reference.vectors.is_empty() {
+                        continue;
+                    }
+                    let id = (i % reference.vectors.len()) as u32;
+                    let q = reference.vectors[id as usize].clone();
+                    let hits = engine.query(&q, &pool);
+                    let truth = reference.in_radius(&q, 0.9);
+                    // Soundness: every hit is a live in-radius point.
+                    for h in &hits {
+                        prop_assert!(truth.contains(&h.index),
+                            "hit {} not in reference answer", h.index);
+                        let exact = q.angular_distance(&reference.vectors[h.index as usize]);
+                        prop_assert!((exact - h.distance).abs() < 1e-4);
+                    }
+                    // Zero-distance completeness.
+                    if !reference.deleted[id as usize] {
+                        prop_assert!(hits.iter().any(|h| h.index == id),
+                            "self-query for {id} missed its own point");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration: the full text pipeline (tokenize → vocabulary → IDF →
+//! vectorize) feeding the PLSH engine, queried with raw text snippets —
+//! the workflow of the paper's Twitter search application.
+
+use plsh::core::{Engine, EngineConfig, PlshParams};
+use plsh::parallel::ThreadPool;
+use plsh::text::{CorpusBuilder, Tokenizer};
+
+/// A small corpus with obvious near-duplicate clusters.
+fn docs() -> Vec<String> {
+    let templates = [
+        "severe weather warning issued for the northern coast region",
+        "football club announces record signing ahead of new season",
+        "scientists discover unusual exoplanet orbiting distant star",
+        "city council approves budget for public transport expansion",
+        "chef shares award winning pasta recipe with secret ingredient",
+    ];
+    let mut out = Vec::new();
+    for (i, t) in templates.iter().enumerate() {
+        out.push(t.to_string());
+        // Two near-duplicates per template: word order shuffled / suffixed.
+        out.push(format!("{t} today"));
+        out.push(format!("update {t}"));
+        // Plus unrelated noise documents.
+        out.push(format!(
+            "unrelated filler text number {i} about nothing in particular topic{i}"
+        ));
+    }
+    out
+}
+
+#[test]
+fn text_snippets_find_their_cluster() {
+    let docs = docs();
+    let mut builder = CorpusBuilder::new(Tokenizer::default());
+    for d in &docs {
+        builder.add_document(d);
+    }
+    let vectorizer = builder.finish();
+
+    let params = PlshParams::builder(vectorizer.dim())
+        .k(6)
+        .m(8)
+        .radius(0.9)
+        .seed(12)
+        .build()
+        .unwrap();
+    let pool = ThreadPool::new(1);
+    let mut engine = Engine::new(EngineConfig::new(params, docs.len()), &pool).unwrap();
+    for d in &docs {
+        let v = vectorizer.vectorize(d).expect("corpus documents vectorize");
+        engine.insert(v, &pool).unwrap();
+    }
+    engine.merge_delta(&pool);
+
+    // Querying with each original template must surface the template and
+    // its two near-duplicates, and nothing from other clusters.
+    for cluster in 0..5usize {
+        let base = cluster * 4;
+        let q = vectorizer.vectorize(&docs[base]).unwrap();
+        let hits = engine.query(&q, &pool);
+        let ids: Vec<usize> = hits.iter().map(|h| h.index as usize).collect();
+        for expect in [base, base + 1, base + 2] {
+            assert!(ids.contains(&expect), "cluster {cluster} missing doc {expect}");
+        }
+        for id in &ids {
+            assert!(
+                (base..base + 3).contains(id),
+                "cluster {cluster} leaked doc {id}"
+            );
+        }
+    }
+}
+
+#[test]
+fn out_of_vocabulary_queries_are_rejected_before_the_engine() {
+    let docs = docs();
+    let mut builder = CorpusBuilder::new(Tokenizer::default());
+    for d in &docs {
+        builder.add_document(d);
+    }
+    let vectorizer = builder.finish();
+    // The paper's "0-length query" case: nothing here is in vocabulary.
+    assert!(vectorizer.vectorize("xylophone quux zzyzx").is_none());
+    assert!(vectorizer.vectorize("!!! 123").is_none());
+}
+
+#[test]
+fn idf_prefers_distinctive_matches() {
+    let docs = docs();
+    let mut builder = CorpusBuilder::new(Tokenizer::default());
+    for d in &docs {
+        builder.add_document(d);
+    }
+    let vectorizer = builder.finish();
+    let params = PlshParams::builder(vectorizer.dim())
+        .k(6)
+        .m(8)
+        .radius(1.2)
+        .seed(12)
+        .build()
+        .unwrap();
+    let pool = ThreadPool::new(1);
+    let mut engine = Engine::new(EngineConfig::new(params, docs.len()), &pool).unwrap();
+    for d in &docs {
+        engine.insert(vectorizer.vectorize(d).unwrap(), &pool).unwrap();
+    }
+    engine.merge_delta(&pool);
+
+    // "exoplanet" is rare; a query containing it plus common words must
+    // rank the exoplanet document first.
+    let q = vectorizer.vectorize("new exoplanet discovered today").unwrap();
+    let mut hits = engine.query(&q, &pool);
+    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+    assert!(!hits.is_empty());
+    let best = hits[0].index as usize;
+    assert!(
+        docs[best].contains("exoplanet"),
+        "best match {:?} should be the exoplanet story",
+        docs[best]
+    );
+}
