@@ -64,6 +64,11 @@ impl<T: Copy> SharedSliceMut<'_, T> {
 pub fn advise_huge_pages<T>(data: &[T]) -> bool {
     #[cfg(target_os = "linux")]
     {
+        // Declared inline so the crate needs no `libc` dependency.
+        const MADV_HUGEPAGE: i32 = 14;
+        extern "C" {
+            fn madvise(addr: *mut std::ffi::c_void, length: usize, advice: i32) -> i32;
+        }
         const HUGE: usize = 2 << 20;
         let bytes = std::mem::size_of_val(data);
         if bytes < HUGE {
@@ -80,7 +85,7 @@ pub fn advise_huge_pages<T>(data: &[T]) -> bool {
         // SAFETY: the range lies inside a live allocation we borrow;
         // MADV_HUGEPAGE is advisory and never alters contents.
         let rc = unsafe {
-            libc::madvise(aligned as *mut libc::c_void, end - aligned, libc::MADV_HUGEPAGE)
+            madvise(aligned as *mut std::ffi::c_void, end - aligned, MADV_HUGEPAGE)
         };
         rc == 0
     }

@@ -1,0 +1,40 @@
+//! Smoke test: every example program must keep building.
+//!
+//! `cargo test` builds examples as part of its default target selection,
+//! but only when invoked straight from the root package; this test pins
+//! the guarantee down explicitly (and from any member directory) so an
+//! example rotting out of the API can never slip through a green run.
+
+use std::path::Path;
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "first_story_detection",
+    "param_tuning",
+    "quickstart",
+    "save_restore",
+    "streaming_firehose",
+];
+
+#[test]
+fn all_examples_build() {
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for example in EXAMPLES {
+        let source = Path::new(manifest_dir)
+            .join("examples")
+            .join(format!("{example}.rs"));
+        assert!(source.is_file(), "example source {source:?} is missing");
+    }
+
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let output = Command::new(cargo)
+        .args(["build", "--examples"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to invoke cargo");
+    assert!(
+        output.status.success(),
+        "`cargo build --examples` failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

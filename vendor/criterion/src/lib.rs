@@ -1,0 +1,288 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal substitute (see `vendor/README.md`). It
+//! exposes the API subset the bench targets use — `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::{iter, iter_with_setup, iter_batched}`,
+//! `BenchmarkId`, `Throughput`, `BatchSize` — and measures each benchmark
+//! with a short fixed-iteration wall-clock loop, printing mean time per
+//! iteration. No statistics, no HTML reports; swap in the real crate for
+//! publishable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many timed iterations each benchmark runs (after one warm-up).
+/// Overridable via `PLSH_BENCH_ITERS`.
+fn iters() -> u64 {
+    std::env::var("PLSH_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        let _ = self;
+        BenchmarkGroup {
+            name: name.as_ref().to_string(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id.as_ref(), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stand-in always runs a fixed
+    /// iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Records the per-iteration workload size (printed only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.as_ref()), f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iterations: iters(),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = if b.iterations > 0 {
+        b.elapsed / b.iterations as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("bench {label:<50} {per_iter:>12.2?}/iter ({} iters)", b.iterations);
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        std::hint::black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine`, excluding per-iteration `setup`.
+    pub fn iter_with_setup<S, R, FS, FR>(&mut self, mut setup: FS, mut routine: FR)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Times `routine` over batched inputs, excluding `setup`.
+    pub fn iter_batched<S, R, FS, FR>(&mut self, setup: FS, routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> R,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched) but hands the routine a
+    /// mutable reference to the setup value.
+    pub fn iter_batched_ref<S, R, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(&mut S) -> R,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id like `"name/param"`.
+    pub fn new(name: impl AsRef<str>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.as_ref(), parameter))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Workload size declaration; accepted and ignored by the stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched`; ignored by the stand-in.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup every iteration.
+    PerIteration,
+}
+
+/// Opaque-value hint, re-exported for compatibility.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a group runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // one warm-up + iters() timed calls
+        assert_eq!(calls, iters() + 1);
+    }
+
+    #[test]
+    fn group_runs_setup_per_iteration() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        let mut setups = 0u64;
+        g.sample_size(10).throughput(Throughput::Elements(1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |x| x * 2,
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(setups, iters());
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("build", 4).0, "build/4");
+        assert_eq!(BenchmarkId::from_parameter(10).0, "10");
+    }
+}

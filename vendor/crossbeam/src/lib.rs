@@ -1,0 +1,266 @@
+//! Offline stand-in for `crossbeam`, backed entirely by `std`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal substitute (see `vendor/README.md`). It
+//! mirrors the API subset the workspace uses:
+//!
+//! * [`deque`] — `Worker` / `Stealer` / `Steal` work-stealing deques
+//!   (implemented with a mutex-protected `VecDeque`; correct, though
+//!   without the lock-free fast path of the real crate).
+//! * [`thread`] — `thread::scope` with crossbeam's `Result`-returning,
+//!   scope-argument-passing signature, layered over `std::thread::scope`.
+//! * [`channel`] — `bounded` MPMC-ish channels over `std::sync::mpsc`
+//!   (single consumer, which is all the workspace needs).
+
+pub mod deque {
+    //! Work-stealing deques, API-compatible with `crossbeam::deque` for the
+    //! subset used here: LIFO worker queues plus stealers.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Owner side of a work-stealing deque.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Stealing side of a work-stealing deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// A task was stolen.
+        Success(T),
+        /// The deque was empty.
+        Empty,
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO worker deque (`push`/`pop` act on the same end).
+        pub fn new_lifo() -> Self {
+            Self {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        // Real crossbeam also offers `new_fifo()`; this stand-in omits it
+        // so a future caller gets a compile error instead of silently
+        // LIFO-ordered pops.
+
+        /// Adds a task to the local deque.
+        pub fn push(&self, task: T) {
+            self.inner.lock().unwrap().push_back(task);
+        }
+
+        /// Takes a task from the local (LIFO) end.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_back()
+        }
+
+        /// Whether the deque currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+
+        /// Creates a stealer handle for other workers.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal one task from the opposite (FIFO) end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().unwrap().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the deque currently holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().unwrap().is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with crossbeam's signature: the closure receives the
+    //! scope (so spawned threads can spawn more), and the outer call
+    //! returns `Err` instead of unwinding when anything in the scope
+    //! panics.
+    //!
+    //! Divergences from real crossbeam, acceptable for this workspace
+    //! (every caller just `.expect()`s the result): the `Err` payload is
+    //! `std::thread::scope`'s generic "a scoped thread panicked" message,
+    //! not the child's own panic payload, and a panic in the caller's
+    //! main closure also becomes `Err` (real crossbeam propagates it).
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scoped-thread batch: `Err` means something in the
+    /// scope panicked (see the module docs for payload caveats).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again,
+        /// crossbeam-style, so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// blocks until all spawned threads finish. A child panic is reported
+    /// as `Err` rather than unwinding through the caller.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod channel {
+    //! Bounded channels over `std::sync::mpsc::sync_channel`.
+
+    use std::sync::mpsc;
+
+    /// Sending side of a bounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving side of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    pub type RecvError = mpsc::RecvError;
+
+    /// Creates a channel that holds at most `cap` in-flight messages
+    /// (`cap == 0` is a rendezvous channel).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next message, blocking while the channel is empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Receives without blocking, if a message is ready.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Iterates until the channel closes.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Steal, Worker};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn deque_push_pop_lifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_oldest() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn scope_joins_and_propagates_result() {
+        let counter = AtomicUsize::new(0);
+        let r = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            7
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn bounded_channel_delivers_in_order() {
+        let (tx, rx) = super::channel::bounded(2);
+        let h = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        h.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(rx.recv().is_err());
+    }
+}

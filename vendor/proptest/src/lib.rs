@@ -1,0 +1,977 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal substitute (see `vendor/README.md`). It
+//! implements the subset of the proptest API this workspace's property
+//! suites use — integer/float range strategies, a regex-subset string
+//! strategy, `collection::{vec, btree_map}`, `prop_map`, tuples,
+//! `prop_oneof!`, `Just`, `any::<T>()`, `prop::sample::Index`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros — with one
+//! deliberate difference: generation is **fully deterministic**. Each test
+//! case's RNG is seeded from the test name and case index (overridable via
+//! `PLSH_PROPTEST_SEED`), so a failure reproduces exactly on every run and
+//! machine. There is no shrinking; failures report the case number and
+//! seed instead.
+
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded rejection is overkill for tests; a simple
+        // widening multiply keeps the distribution close enough to uniform.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Core strategy trait
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no shrink tree; a strategy is just a
+/// deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: no value satisfied the predicate in 1000 draws", self.whence);
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = hi as i128 - lo as i128 + 1;
+                // A full-domain 64-bit range has span 2^64, which doesn't
+                // fit in u64; sample the raw generator instead.
+                if span > u64::MAX as i128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.next_below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                self.start + (self.end - self.start) * rng.next_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------------
+
+/// `&str` literals act as regex strategies, as in real proptest. Supported
+/// subset: concatenations of `.`, `[...]` character classes (ranges and
+/// literal characters; no negation), and literal characters, each followed
+/// by an optional `{m}` / `{m,n}` / `*` / `+` / `?` repetition.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let n = *lo as u64 + rng.next_below((*hi - *lo + 1) as u64);
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except newline (sampled from a printable mix plus a
+    /// pinch of non-ASCII to exercise unicode handling).
+    AnyChar,
+    /// `[...]` or a literal character.
+    OneOf(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::AnyChar => {
+                // Mostly printable ASCII, occasionally unicode letters.
+                match rng.next_below(20) {
+                    0 => ['é', 'ß', '中', 'λ', 'Ж', '🦀'][rng.next_below(6) as usize],
+                    _ => (0x20u8 + rng.next_below(0x5f) as u8) as char,
+                }
+            }
+            Atom::OneOf(ranges) => {
+                let total: u64 = ranges.iter().map(|(a, b)| (*b as u64 - *a as u64) + 1).sum();
+                let mut pick = rng.next_below(total);
+                for (a, b) in ranges {
+                    let span = *b as u64 - *a as u64 + 1;
+                    if pick < span {
+                        return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+        }
+    }
+}
+
+/// Parses the supported regex subset into `(atom, min, max)` repetitions.
+fn parse_regex(pattern: &str) -> Vec<(Atom, u32, u32)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::AnyChar
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                i += 1; // consume ']'
+                Atom::OneOf(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Atom::OneOf(vec![(c, c)])
+            }
+            c => {
+                i += 1;
+                Atom::OneOf(vec![(c, c)])
+            }
+        };
+        // Optional repetition suffix.
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| p + i)
+                        .expect("unterminated {} repetition");
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad repetition lower bound"),
+                            hi.trim().parse().expect("bad repetition upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((atom, lo, hi));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical generation strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.next_f64() * 2e6 - 1e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        Atom::AnyChar.sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sample (prop::sample::Index)
+// ---------------------------------------------------------------------------
+
+pub mod sample {
+    //! Index sampling, mirroring `proptest::sample`.
+
+    use super::{Arbitrary, TestRng};
+
+    /// An abstract index into a collection of as-yet-unknown size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves the index against a collection of `size` elements.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>` with distinct keys.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Generates maps with keys from `key` and values from `value`.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = BTreeMap::new();
+            // Duplicate key draws shrink the map, like real proptest; a few
+            // extra attempts keep the size distribution close to `target`.
+            let mut attempts = 0;
+            while out.len() < target && attempts < 4 * target + 16 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// An inclusive-exclusive size specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.lo < self.hi_exclusive, "empty size range");
+        self.lo + rng.next_below((self.hi_exclusive - self.lo) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weighted unions (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+/// Weighted choice among boxed strategies; the expansion of `prop_oneof!`.
+pub struct Union<T> {
+    variants: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` pairs.
+    pub fn new(variants: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        assert!(variants.iter().any(|(w, _)| *w > 0), "prop_oneof! needs a positive weight");
+        Self { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.variants.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.next_below(total);
+        for (w, s) in &self.variants {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!()
+    }
+}
+
+/// Boxes a strategy with its weight, with the union's value type inferred
+/// at the call site (used by `prop_oneof!`).
+pub fn boxed_weighted<T, S>(weight: u32, strategy: S) -> (u32, Box<dyn Strategy<Value = T>>)
+where
+    S: Strategy<Value = T> + 'static,
+{
+    (weight, Box::new(strategy))
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration; only `cases` matters to this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A failed or rejected test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failure — fails the property.
+    Fail(String),
+    /// A rejected case (`prop_assume!`) — discarded and redrawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    /// A rejected case; the runner discards it and draws a fresh one.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(m) => f.write_str(m),
+            Self::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// FNV-1a, used to give every property its own deterministic seed stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property: `cases` deterministic accepted executions of `f`.
+///
+/// The per-case seed is `hash(test name) + case`, XORed with
+/// `PLSH_PROPTEST_SEED` when that environment variable is set, so a suite
+/// can be re-run under a different (still deterministic) stream without
+/// recompiling. `prop_assume!` rejections are discarded and redrawn (up
+/// to a global cap, like real proptest) rather than failing the property.
+pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name)
+        ^ std::env::var("PLSH_PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+    let max_rejects = 16 * config.cases.max(1) as u64;
+    let mut rejects = 0u64;
+    let mut accepted = 0u32;
+    let mut draw = 0u64;
+    while accepted < config.cases {
+        let seed = base.wrapping_add(draw.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        draw += 1;
+        let mut rng = TestRng::new(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject(why))) => {
+                rejects += 1;
+                if rejects > max_rejects {
+                    panic!(
+                        "property {name}: too many rejected cases ({rejects}, last: {why}); \
+                         weaken the prop_assume! or strengthen the strategy"
+                    );
+                }
+            }
+            Ok(Err(e @ TestCaseError::Fail(_))) => panic!(
+                "property {name} failed at case {accepted}/{} (seed {seed:#x}): {e}",
+                config.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "property {name} panicked at case {accepted}/{} (seed {seed:#x})",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests; supports the subset of real proptest syntax
+/// used in this workspace (an optional leading `#![proptest_config(..)]`
+/// followed by `#[test] fn name(arg in strategy, ...) { .. }` items).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @config ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @config ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal item-by-item expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@config ($config:expr)) => {};
+    (@config ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            $crate::run_proptest(stringify!($name), &config, |__plsh_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __plsh_rng);)*
+                let mut __plsh_case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                __plsh_case()
+            });
+        }
+        $crate::__proptest_items! { @config ($config) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    // The no-message arm must not round-trip stringify!($cond) through
+    // format!: a condition containing braces would be parsed as a format
+    // string.
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}`",
+                l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Weighted choice among strategies producing a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_weighted($weight, $strategy)),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_weighted(1, $strategy)),+])
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+
+    pub mod prop {
+        //! Mirrors the `prop::` module alias available in real proptest's
+        //! prelude (`prop::sample::Index` et al.).
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism_same_name_same_values() {
+        let s = crate::collection::vec(0u32..100, 1..10);
+        let mut a = crate::TestRng::new(42);
+        let mut b = crate::TestRng::new(42);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (5u32..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::TestRng::new(3);
+        for _ in 0..200 {
+            let s = "[a-z ]{1,40}".generate(&mut rng);
+            assert!((1..=40).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            let t = "[a-zA-Z ,.!0-9]{0,20}".generate(&mut rng);
+            assert!(t.chars().count() <= 20);
+            let dot = ".{0,200}".generate(&mut rng);
+            assert!(dot.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn btree_map_respects_bounds_and_key_types() {
+        let mut rng = crate::TestRng::new(11);
+        for _ in 0..100 {
+            let m = crate::collection::btree_map(0u32..48, 1u32..100, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&m.len()));
+            assert!(m.keys().all(|&k| k < 48));
+        }
+    }
+
+    #[test]
+    fn union_draws_all_positive_weight_variants() {
+        let s = prop_oneof![4 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = crate::TestRng::new(1);
+        let draws: Vec<u8> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.contains(&1) && draws.contains(&2));
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_samples_whole_space() {
+        let mut rng = crate::TestRng::new(5);
+        let mut any_high = false;
+        for _ in 0..100 {
+            let v = (0u64..=u64::MAX).generate(&mut rng);
+            any_high |= v > u64::MAX / 2;
+        }
+        assert!(any_high, "full-domain range never left the low half");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_roundtrip(a in 0u32..50, b in 0u32..50) {
+            prop_assert!(a < 50 && b < 50);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_discards_instead_of_failing(a in 0u32..4) {
+            // Rejects ~25% of draws; must still complete 16 accepted cases.
+            prop_assume!(a != 0);
+            prop_assert!(a > 0);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal substitute (see `vendor/README.md`). The
+//! codebase uses serde only for `#[derive(serde::Serialize)]`-style
+//! annotations on metrics/config structs; no serializer is ever invoked.
+//! This crate therefore provides just marker traits and the derive macro
+//! re-exports, keeping the annotations compiling until the real `serde`
+//! can be dropped in (the API subset used is identical).
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
