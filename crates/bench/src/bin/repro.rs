@@ -12,7 +12,7 @@ use plsh_bench::setup::{Fixture, Scale};
 
 const EXPERIMENTS: &[&str] = &[
     "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "streaming",
-    "recall",
+    "recall", "throughput",
 ];
 
 fn main() {
@@ -77,6 +77,18 @@ fn main() {
             "fig11" => fig11_streaming::run(&fixture).print(),
             "streaming" => streaming_overhead::run(&fixture).print(),
             "recall" => recall::run(&fixture).print(),
+            "throughput" => {
+                let r = throughput::run(&fixture);
+                r.print();
+                let path = throughput::output_path();
+                match r.write_json(&path) {
+                    Ok(()) => eprintln!("# wrote {path}"),
+                    Err(e) => {
+                        eprintln!("# FAILED to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             _ => unreachable!("validated above"),
         }
     }

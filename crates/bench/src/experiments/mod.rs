@@ -16,3 +16,4 @@ pub mod fig9_nodes;
 pub mod recall;
 pub mod streaming_overhead;
 pub mod table2;
+pub mod throughput;

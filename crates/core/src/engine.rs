@@ -396,13 +396,15 @@ impl Engine {
         r
     }
 
-    /// Answers a batch of queries with one work-stealing task per query.
+    /// Answers a batch of queries through the batched SIMD pipeline: Q1 is
+    /// hashed for the whole batch first ([`crate::hash::SketchMatrix::sketch_batch`]),
+    /// then Q2–Q4 fan out one work-stealing task per query.
     pub fn query_batch(
         &self,
         qs: &[SparseVector],
         pool: &ThreadPool,
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
-        query::execute_batch(&self.ctx(), qs, pool, &self.scratches)
+        query::execute_batch_pipelined(&self.ctx(), qs, pool, &self.scratches)
     }
 
     /// Runs one query with an explicit strategy override (ablations).
@@ -420,6 +422,10 @@ impl Engine {
     }
 
     /// Runs a query batch with an explicit strategy override (ablations).
+    ///
+    /// Uses the unbatched per-query pipeline, matching the paper's Figure 5
+    /// protocol (the batched pipeline is an extra level on top; see
+    /// [`query_batch`](Self::query_batch)).
     pub fn query_batch_with_strategy(
         &self,
         qs: &[SparseVector],

@@ -17,6 +17,7 @@
 use plsh_parallel::ThreadPool;
 
 use crate::rng::gaussian_at;
+use crate::simd;
 
 /// How hyperplane components are stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,20 +115,29 @@ impl Hyperplanes {
     /// Accumulates `acc[j] += value · plane_j[d]` for all `j`, for each
     /// non-zero `(d, value)` of a sparse vector.
     ///
-    /// This is the vectorization-friendly kernel: the inner loop walks a
-    /// contiguous row of the dimension-major dense matrix.
+    /// The dense store dispatches to the explicit SIMD kernel selected at
+    /// runtime ([`crate::simd::accumulate_rows`]); every dispatch level
+    /// accumulates each lane in ascending non-zero order without FMA, so
+    /// the result is bit-identical to [`accumulate_scalar`](Self::accumulate_scalar).
     #[inline]
     pub fn accumulate(&self, indices: &[u32], values: &[f32], acc: &mut [f32]) {
         debug_assert_eq!(acc.len(), self.n_hashes as usize);
         match &self.dense {
             Some(data) => {
-                let nh = self.n_hashes as usize;
-                for (&d, &v) in indices.iter().zip(values) {
-                    let row = &data[d as usize * nh..d as usize * nh + nh];
-                    for (a, &p) in acc.iter_mut().zip(row) {
-                        *a += v * p;
-                    }
-                }
+                simd::accumulate_rows(data, self.n_hashes as usize, indices, values, acc);
+            }
+            // One shared copy of the on-the-fly loop.
+            None => self.accumulate_scalar(indices, values, acc),
+        }
+    }
+
+    /// The reference contiguous-row kernel without explicit SIMD — what the
+    /// explicit kernels are validated against (they must match bit for bit).
+    pub fn accumulate_scalar(&self, indices: &[u32], values: &[f32], acc: &mut [f32]) {
+        debug_assert_eq!(acc.len(), self.n_hashes as usize);
+        match &self.dense {
+            Some(data) => {
+                simd::accumulate_rows_scalar(data, self.n_hashes as usize, indices, values, acc);
             }
             None => {
                 for (&d, &v) in indices.iter().zip(values) {
@@ -136,6 +146,31 @@ impl Hyperplanes {
                     }
                 }
             }
+        }
+    }
+
+    /// Accumulates a whole **batch** of sparse vectors at once:
+    /// `accs[q·n_hashes + j] += v · plane_j[d]` for every non-zero `(d, v)`
+    /// of query `q`.
+    ///
+    /// The batch is sized by the caller so the union of the plane rows its
+    /// queries touch stays cache-resident: the first query to reference a
+    /// dimension pulls that row in, and every later query in the batch
+    /// hashes against it **while it is hot** — the Q1 analogue of the
+    /// paper's corpus-side sparse × dense product. (A dimension-sorted
+    /// gather/scatter variant was measured slower at realistic batch sizes:
+    /// scattering into `B` accumulators re-reads and re-writes each
+    /// accumulator per non-zero, while the per-query register-blocked
+    /// kernel keeps its accumulator block in registers.) Each query runs
+    /// the same runtime-dispatched kernel as [`accumulate`](Self::accumulate),
+    /// so batched hashing is bit-identical to hashing queries one at a
+    /// time.
+    pub fn accumulate_batch(&self, queries: &[(&[u32], &[f32])], accs: &mut [f32]) {
+        let nh = self.n_hashes as usize;
+        debug_assert_eq!(accs.len(), queries.len() * nh);
+        for (q, (idx, val)) in queries.iter().enumerate() {
+            debug_assert_eq!(idx.len(), val.len());
+            self.accumulate(idx, val, &mut accs[q * nh..(q + 1) * nh]);
         }
     }
 
@@ -224,6 +259,61 @@ mod tests {
         let mut acc = vec![10.0f32, -10.0];
         planes.accumulate(&[0], &[0.0], &mut acc);
         assert_eq!(acc, vec![10.0, -10.0]);
+    }
+
+    #[test]
+    fn simd_and_scalar_accumulate_bit_identical() {
+        // 19 hash lanes exercises the 16/8/4-lane blocks plus remainder.
+        let planes = Hyperplanes::new_dense(64, 19, 13, &pool());
+        let indices = vec![0u32, 3, 7, 13, 21, 40, 63];
+        let values = vec![1.0f32, -0.25, 0.75, 2.0, -1.5, 0.125, 0.5];
+        let mut fast = vec![0.0f32; 19];
+        let mut slow = vec![0.0f32; 19];
+        planes.accumulate(&indices, &values, &mut fast);
+        planes.accumulate_scalar(&indices, &values, &mut slow);
+        assert_eq!(fast, slow, "dispatched kernel must match scalar bitwise");
+    }
+
+    #[test]
+    fn batch_accumulate_matches_per_query() {
+        let planes = Hyperplanes::new_dense(40, 12, 17, &pool());
+        let queries: Vec<(Vec<u32>, Vec<f32>)> = vec![
+            (vec![0, 5, 39], vec![1.0, -2.0, 0.5]),
+            (vec![5], vec![3.0]),
+            (vec![1, 2, 3, 4, 5, 6], vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            (vec![], vec![]),
+        ];
+        let views: Vec<(&[u32], &[f32])> = queries
+            .iter()
+            .map(|(i, v)| (i.as_slice(), v.as_slice()))
+            .collect();
+        let mut accs = vec![0.0f32; queries.len() * 12];
+        planes.accumulate_batch(&views, &mut accs);
+        for (q, (idx, val)) in queries.iter().enumerate() {
+            let mut single = vec![0.0f32; 12];
+            planes.accumulate(idx, val, &mut single);
+            assert_eq!(
+                &accs[q * 12..(q + 1) * 12],
+                &single[..],
+                "batched hashing must be bit-identical for query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_accumulate_on_the_fly_matches_dense() {
+        let dense = Hyperplanes::new_dense(30, 8, 5, &pool());
+        let lazy = Hyperplanes::new_on_the_fly(30, 8, 5);
+        let idx = vec![2u32, 9, 29];
+        let val = vec![0.5f32, -1.0, 2.0];
+        let views: Vec<(&[u32], &[f32])> = vec![(&idx, &val)];
+        let mut a = vec![0.0f32; 8];
+        let mut b = vec![0.0f32; 8];
+        dense.accumulate_batch(&views, &mut a);
+        lazy.accumulate_batch(&views, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "{x} vs {y}");
+        }
     }
 
     #[test]

@@ -139,6 +139,37 @@ impl SketchMatrix {
         }
     }
 
+    /// Sketches a whole batch of vectors without storing them — the batched
+    /// query-side Step Q1.
+    ///
+    /// Hashing is delegated to [`Hyperplanes::accumulate_batch`], sized so
+    /// the union of plane rows the batch touches stays cache-resident
+    /// across its queries. `acc` is caller-provided scratch
+    /// (resized/cleared here); `out` receives `m` half-keys per query,
+    /// row-major, and must hold `queries.len() · m` entries.
+    ///
+    /// Bit-identical to calling [`sketch_one`](Self::sketch_one) per query.
+    pub fn sketch_batch(
+        planes: &Hyperplanes,
+        half_bits: u32,
+        queries: &[(&[u32], &[f32])],
+        acc: &mut Vec<f32>,
+        out: &mut [u32],
+    ) {
+        let nh = planes.n_hashes() as usize;
+        let m = nh / half_bits as usize;
+        debug_assert_eq!(out.len(), queries.len() * m);
+        acc.clear();
+        acc.resize(queries.len() * nh, 0.0);
+        planes.accumulate_batch(queries, acc);
+        for (q, keys) in out.chunks_mut(m).enumerate() {
+            let qacc = &acc[q * nh..(q + 1) * nh];
+            for (a, slot) in keys.iter_mut().enumerate() {
+                *slot = pack_half_key(&qacc[a * half_bits as usize..], half_bits);
+            }
+        }
+    }
+
     /// Drops sketches of points `>= keep` (paired with corpus truncation).
     pub fn truncate(&mut self, keep: usize) {
         let len = keep * self.m as usize;
@@ -211,6 +242,35 @@ mod tests {
             let (idx, val) = corpus.row(i);
             SketchMatrix::sketch_one(&planes, half_bits, idx, val, &mut acc, &mut out);
             assert_eq!(sk.row(i), &out[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn sketch_batch_matches_sketch_one() {
+        let pool = ThreadPool::new(1);
+        let rows: Vec<Vec<(u32, f32)>> = (0..17)
+            .map(|i| vec![(i % 24, 1.0 + i as f32 * 0.3), ((i * 5 + 2) % 24, -0.7)])
+            .collect();
+        let row_refs: Vec<&[(u32, f32)]> = rows.iter().map(|r| r.as_slice()).collect();
+        let corpus = tiny_corpus(24, &row_refs);
+        let (m, half_bits) = (5u32, 3u32);
+        let planes = Hyperplanes::new_dense(24, m * half_bits, 42, &pool);
+
+        let views: Vec<(&[u32], &[f32])> =
+            (0..corpus.num_rows() as u32).map(|i| corpus.row(i)).collect();
+        let mut acc = Vec::new();
+        let mut batch = vec![0u32; views.len() * m as usize];
+        SketchMatrix::sketch_batch(&planes, half_bits, &views, &mut acc, &mut batch);
+
+        let mut one_acc = vec![0.0f32; planes.n_hashes() as usize];
+        let mut one = vec![0u32; m as usize];
+        for (q, &(idx, val)) in views.iter().enumerate() {
+            SketchMatrix::sketch_one(&planes, half_bits, idx, val, &mut one_acc, &mut one);
+            assert_eq!(
+                &batch[q * m as usize..(q + 1) * m as usize],
+                &one[..],
+                "query {q}"
+            );
         }
     }
 

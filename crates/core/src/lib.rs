@@ -13,6 +13,7 @@
 //! | [`sparse`] | 5.1.1, 5.2.3 | sparse vectors, CRS matrices, angular distance kernels |
 //! | [`hash`] | 3, 5.1.1 | random-hyperplane family, all-pairs sketches |
 //! | [`table`] | 5.1.2, 6.1 | static two-level partitioned tables, streaming delta tables |
+//! | [`simd`] | 5.1.1, 5.2.3 | runtime-dispatched SIMD kernels for hashing and dot products |
 //! | [`dedup`] | 5.2.1 | bitvector duplicate elimination |
 //! | [`query`] | 5.2 | the Q1–Q4 query pipeline with ablation switches |
 //! | [`engine`] | 4, 6 | single-node engine: static + delta + deletions + merge |
@@ -48,6 +49,7 @@ pub mod model;
 pub mod params;
 pub mod query;
 pub mod rng;
+pub mod simd;
 pub mod snapshot;
 pub mod sparse;
 pub mod stats;

@@ -23,11 +23,11 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use parking_lot::Mutex;
-use plsh_parallel::ThreadPool;
+use plsh_parallel::{current_num_threads_hint, ThreadPool, WorkerLocal};
 
 use crate::dedup::CandidateSet;
 use crate::hash::{allpairs, Hyperplanes, SketchMatrix};
+use crate::simd;
 use crate::sparse::{angular_from_dot, dot_sorted, CrsMatrix, SparseVector};
 pub use crate::stats::{BatchStats, QueryStats};
 use crate::table::{DeltaTables, StaticTables};
@@ -35,6 +35,17 @@ use crate::table::{DeltaTables, StaticTables};
 /// How far ahead of the distance computation the candidate loop prefetches
 /// data rows (Section 5.2.2).
 const PREFETCH_DISTANCE: usize = 8;
+
+/// Queries hashed together per [`SketchMatrix::sketch_batch`] call in the
+/// batched pipeline: large enough to reuse each plane row across many
+/// queries while the per-chunk accumulator block (`B · m·k/2` floats) stays
+/// comfortably inside L2.
+const SKETCH_BATCH: usize = 32;
+
+/// Queries per work-stealing task in the batched pipeline's Q2–Q4 fan-out:
+/// small enough that stealing still balances candidate-count skew, large
+/// enough to amortize scratch checkout across queries.
+const FANOUT_CHUNK: usize = 8;
 
 /// A reported near neighbor.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
@@ -152,7 +163,8 @@ pub struct QueryContext<'a> {
 }
 
 /// Reusable per-thread scratch space: hash accumulators, the candidate
-/// bitvector over point ids, and the query-side vocabulary bitvector.
+/// bitvector over point ids, the query-side vocabulary bitvector, and the
+/// output neighbor buffer.
 #[derive(Debug)]
 pub struct QueryScratch {
     acc: Vec<f32>,
@@ -164,6 +176,9 @@ pub struct QueryScratch {
     qmask: Vec<u64>,
     /// Dense query values; only positions flagged in `qmask` are valid.
     qvals: Vec<f32>,
+    /// Owned output buffer: [`execute_query_into`] appends here, so a
+    /// steady-state query performs no allocation at all.
+    out: Vec<Neighbor>,
 }
 
 impl QueryScratch {
@@ -179,7 +194,13 @@ impl QueryScratch {
             sorted: Vec::new(),
             qmask: vec![0u64; (dim as usize).div_ceil(64)],
             qvals: vec![0.0; dim as usize],
+            out: Vec::new(),
         }
+    }
+
+    /// The neighbors produced by the most recent [`execute_query_into`].
+    pub fn neighbors(&self) -> &[Neighbor] {
+        &self.out
     }
 
     fn ensure_points(&mut self, n: usize) {
@@ -187,49 +208,76 @@ impl QueryScratch {
     }
 }
 
-/// A lock-guarded pool of [`QueryScratch`] reused across batch queries, so
+/// A **lock-free** pool of [`QueryScratch`] reused across batch queries, so
 /// steady-state querying performs no allocation.
+///
+/// Built on [`WorkerLocal`]: each borrow is one compare-and-swap on a
+/// cache-padded slot, so concurrent batch workers never serialize on a
+/// mutex the way the previous `Mutex<Vec<_>>` pool did. When more workers
+/// than slots race (transient oversubscription), `take` falls back to a
+/// fresh allocation instead of blocking.
 pub struct ScratchPool {
     m: u32,
     half_bits: u32,
     dim: u32,
-    free: Mutex<Vec<QueryScratch>>,
+    slots: WorkerLocal<QueryScratch>,
 }
 
 impl ScratchPool {
-    /// Creates an empty pool for the given index shape.
+    /// Creates an empty pool for the given index shape, with two slots per
+    /// hardware thread and a floor of 16 (headroom for scratches briefly
+    /// checked out by external drivers, and for `PLSH_THREADS`-style
+    /// oversubscription beyond the hardware hint — an empty slot costs one
+    /// padded cache line until first use). If a pool is ever run with more
+    /// workers than slots, the overflow falls back to allocation instead
+    /// of blocking.
     pub fn new(m: u32, half_bits: u32, dim: u32) -> Self {
         Self {
             m,
             half_bits,
             dim,
-            free: Mutex::new(Vec::new()),
+            slots: WorkerLocal::new((2 * current_num_threads_hint()).max(16)),
         }
     }
 
     /// Takes a scratch sized for `n` points (allocating one if none free).
     pub fn take(&self, n: usize) -> QueryScratch {
         let mut s = self
-            .free
-            .lock()
-            .pop()
+            .slots
+            .take()
             .unwrap_or_else(|| QueryScratch::new(self.m, self.half_bits, n, self.dim));
         s.ensure_points(n);
         s
     }
 
-    /// Returns a scratch for reuse.
+    /// Returns a scratch for reuse (dropped if every slot is occupied).
     pub fn put(&self, scratch: QueryScratch) {
-        self.free.lock().push(scratch);
+        let _ = self.slots.put(scratch);
     }
 }
 
 /// Runs one query through Q1–Q4; returns neighbors and counters.
+///
+/// Convenience wrapper over [`execute_query_into`] that copies the result
+/// out of the scratch; callers that want the allocation-free path should
+/// use `execute_query_into` and read [`QueryScratch::neighbors`].
 pub fn execute_query(
     ctx: &QueryContext<'_>,
     query: &SparseVector,
     scratch: &mut QueryScratch,
 ) -> (Vec<Neighbor>, QueryStats) {
+    let stats = execute_query_into(ctx, query, scratch);
+    (scratch.out.clone(), stats)
+}
+
+/// Runs one query through Q1–Q4, leaving the neighbors in the scratch's
+/// owned output buffer ([`QueryScratch::neighbors`]). Steady-state queries
+/// through this entry point perform no allocation.
+pub fn execute_query_into(
+    ctx: &QueryContext<'_>,
+    query: &SparseVector,
+    scratch: &mut QueryScratch,
+) -> QueryStats {
     let mut stats = QueryStats::default();
     let l_count = allpairs::num_tables(ctx.m) as usize;
 
@@ -244,12 +292,49 @@ pub fn execute_query(
     );
     allpairs::table_keys(&scratch.half_keys, ctx.half_bits, &mut scratch.keys[..l_count]);
 
+    let mut out = std::mem::take(&mut scratch.out);
+    out.clear();
+    let keys = std::mem::take(&mut scratch.keys);
+    candidate_phase(ctx, query, &keys[..l_count], scratch, &mut out, &mut stats);
+    scratch.keys = keys;
+    scratch.out = out;
+    stats
+}
+
+/// Steps Q2–Q4 over the already-composed bucket `keys` (filled either by
+/// [`execute_query_into`]'s Q1 or by the batched pipeline's pre-hashing
+/// pass — the latter passes a slice of its batch-wide key matrix directly).
+fn candidate_phase(
+    ctx: &QueryContext<'_>,
+    query: &SparseVector,
+    keys: &[u32],
+    scratch: &mut QueryScratch,
+    out: &mut Vec<Neighbor>,
+    stats: &mut QueryStats,
+) {
+    let l_count = allpairs::num_tables(ctx.m) as usize;
+    debug_assert_eq!(keys.len(), l_count);
+    let dot_threshold = dot_radius_threshold(ctx.radius);
+
     // ---- Q2: merge buckets and eliminate duplicates.
-    let mut out = Vec::new();
     if ctx.strategy.bitvector_dedup {
         for l in 0..l_count {
-            let key = scratch.keys[l];
+            let key = keys[l];
             if let Some(st) = ctx.static_tables {
+                // All keys are known after Q1, so upcoming buckets can
+                // stream in while this one is scanned — the Q2 counterpart
+                // of the Q3 row prefetch (Section 5.2.2). Two distances:
+                // the offsets slot two tables ahead (a pure hint), then
+                // the entry run one table ahead (whose offsets read was
+                // hinted on the previous iteration).
+                if ctx.strategy.candidate_array {
+                    if l + 2 < l_count {
+                        st.prefetch_offsets(l + 2, keys[l + 2]);
+                    }
+                    if l + 1 < l_count {
+                        st.prefetch_bucket(l + 1, keys[l + 1]);
+                    }
+                }
                 for &id in st.bucket(l, key) {
                     stats.collisions += 1;
                     scratch.cand.insert(id);
@@ -262,7 +347,7 @@ pub fn execute_query(
                 }
             }
         }
-        stats.unique_candidates = scratch.cand.len() as u64;
+        stats.unique_candidates += scratch.cand.len() as u64;
 
         // ---- Q3/Q4 over the deduplicated candidates.
         if ctx.strategy.candidate_array {
@@ -275,30 +360,29 @@ pub fn execute_query(
                     if let Some(&next) = sorted.get(i + PREFETCH_DISTANCE) {
                         prefetch_row(ctx.data, next);
                     }
-                    filter_candidate(ctx, query, scratch, id, &mut out, &mut stats);
+                    filter_candidate(ctx, query, scratch, id, dot_threshold, out, stats);
                 }
             });
             scratch.sorted = sorted;
         } else {
-            let cand = std::mem::take(&mut scratch.sorted);
-            // Reuse `sorted` as a plain buffer for the discovery-order list
-            // (cannot iterate `scratch.cand` while borrowing scratch).
-            let mut cand = cand;
-            cand.clear();
-            cand.extend_from_slice(scratch.cand.candidates());
+            // Walk the discovery-order candidate list in place by moving
+            // the set out of the scratch for the duration of the loop
+            // (`CandidateSet::new(0)` does not allocate), instead of
+            // copying the ids through a second buffer.
+            let cand = std::mem::replace(&mut scratch.cand, CandidateSet::new(0));
             with_query_side(ctx, query, scratch, |ctx, query, scratch| {
-                for &id in &cand {
-                    filter_candidate(ctx, query, scratch, id, &mut out, &mut stats);
+                for &id in cand.candidates() {
+                    filter_candidate(ctx, query, scratch, id, dot_threshold, out, stats);
                 }
             });
-            scratch.sorted = cand;
+            scratch.cand = cand;
         }
         scratch.cand.clear();
     } else {
         // Ablation baseline: tree set ("STL set") dedup.
         let mut set = BTreeSet::new();
         for l in 0..l_count {
-            let key = scratch.keys[l];
+            let key = keys[l];
             if let Some(st) = ctx.static_tables {
                 for &id in st.bucket(l, key) {
                     stats.collisions += 1;
@@ -312,15 +396,13 @@ pub fn execute_query(
                 }
             }
         }
-        stats.unique_candidates = set.len() as u64;
+        stats.unique_candidates += set.len() as u64;
         with_query_side(ctx, query, scratch, |ctx, query, scratch| {
             for &id in &set {
-                filter_candidate(ctx, query, scratch, id, &mut out, &mut stats);
+                filter_candidate(ctx, query, scratch, id, dot_threshold, out, stats);
             }
         });
     }
-
-    (out, stats)
 }
 
 /// Prepares (and afterwards clears) the query-side vocabulary bitvector and
@@ -348,14 +430,34 @@ fn with_query_side<F>(
     }
 }
 
+/// A dot-product lower bound for the radius test: `acos` is monotone
+/// decreasing, so `acos(dot) <= R` implies `dot >= cos(R)`. Candidates
+/// whose *approximate* dot falls below `cos(R)` minus the slack are misses
+/// for certain, and the (much more expensive) exact-dot + `acos`
+/// confirmation runs only for the tiny fraction of near/actual matches —
+/// the angle-space test on the exact dot stays the decider, so reported
+/// answers are unchanged.
+///
+/// The slack must dominate the worst divergence between the SIMD masked
+/// dot and the exact merge-join dot. The kernels' property tests tolerate
+/// up to `1e-4` of reassociation drift, so the slack is set an order of
+/// magnitude wider; the only cost of generosity is a few extra exact-dot
+/// confirmations near the boundary.
+#[inline]
+fn dot_radius_threshold(radius: f32) -> f32 {
+    ((radius as f64).cos() - 1e-3) as f32
+}
+
 /// Q3 + Q4 for one candidate: skip deleted, compute the exact distance,
-/// and append a neighbor when within the radius.
+/// and append a neighbor when within the radius. `dot_threshold` is the
+/// precomputed [`dot_radius_threshold`] of the query radius.
 #[inline]
 fn filter_candidate(
     ctx: &QueryContext<'_>,
     query: &SparseVector,
     scratch: &mut QueryScratch,
     id: u32,
+    dot_threshold: f32,
     out: &mut Vec<Neighbor>,
     stats: &mut QueryStats,
 ) {
@@ -366,12 +468,26 @@ fn filter_candidate(
     }
     let (idx, val) = ctx.data.row(id);
     let dot = if ctx.strategy.optimized_sparse_dot {
-        dot_via_mask(idx, val, &scratch.qmask, &scratch.qvals)
+        simd::dot_via_mask(idx, val, &scratch.qmask, &scratch.qvals)
     } else {
         dot_sorted(idx, val, query.indices(), query.values())
     };
     stats.distance_computations += 1;
-    let distance = angular_from_dot(dot);
+    if dot < dot_threshold {
+        return; // certain miss: acos(dot) > R
+    }
+    // The SIMD masked product may reassociate the sum; near `dot = 1` the
+    // `acos` derivative amplifies those last bits into visible distance
+    // error. The handful of candidates surviving the prefilter get an
+    // exact index-ordered merge-join dot, so every strategy level and SIMD
+    // mode reports the identical distance and makes the identical radius
+    // decision.
+    let exact_dot = if ctx.strategy.optimized_sparse_dot {
+        dot_sorted(idx, val, query.indices(), query.values())
+    } else {
+        dot // already the merge-join sum
+    };
+    let distance = angular_from_dot(exact_dot);
     if distance <= ctx.radius {
         stats.matches += 1;
         out.push(Neighbor {
@@ -381,37 +497,29 @@ fn filter_candidate(
     }
 }
 
-/// The optimized sparse dot product of Section 5.2.3: walk the data row's
-/// index array and test membership in the query's vocabulary bitvector in
-/// O(1); only hits touch the dense value array.
+/// Issues prefetches for every bucket a query will read in Q2, in two
+/// sweeps: first the offsets slots (non-blocking hints), then the entry
+/// runs they point at — the offsets reads of the second sweep are
+/// independent, so out-of-order execution overlaps whatever latency
+/// remains. Called for query `i+1` while query `i` computes, turning the
+/// batched pipeline's Q2 from latency-bound pointer chasing into
+/// bandwidth-bound streaming.
 #[inline]
-fn dot_via_mask(idx: &[u32], val: &[f32], qmask: &[u64], qvals: &[f32]) -> f32 {
-    let mut acc = 0.0f32;
-    for (&d, &v) in idx.iter().zip(val) {
-        if qmask[(d >> 6) as usize] & (1u64 << (d & 63)) != 0 {
-            acc += v * qvals[d as usize];
-        }
+fn prefetch_query_buckets(st: &StaticTables, keys: &[u32]) {
+    for (l, &key) in keys.iter().enumerate() {
+        st.prefetch_offsets(l, key);
     }
-    acc
+    for (l, &key) in keys.iter().enumerate() {
+        st.prefetch_bucket(l, key);
+    }
 }
 
 #[inline]
 fn prefetch_row(data: &CrsMatrix, id: u32) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        let (idx, val) = data.row(id);
-        if !idx.is_empty() {
-            // SAFETY: prefetch is a hint; the pointers are valid borrows.
-            unsafe {
-                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-                _mm_prefetch(idx.as_ptr() as *const i8, _MM_HINT_T0);
-                _mm_prefetch(val.as_ptr() as *const i8, _MM_HINT_T0);
-            }
-        }
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
-        let _ = (data, id);
+    let (idx, val) = data.row(id);
+    if let (Some(i0), Some(v0)) = (idx.first(), val.first()) {
+        crate::util::prefetch_read(i0);
+        crate::util::prefetch_read(v0);
     }
 }
 
@@ -464,6 +572,7 @@ pub fn profile_batch(
     scratch: &mut QueryScratch,
 ) -> (QueryPhaseTimings, QueryStats) {
     let l_count = allpairs::num_tables(ctx.m) as usize;
+    let dot_threshold = dot_radius_threshold(ctx.radius);
     let mut timings = QueryPhaseTimings::default();
     let mut stats = QueryStats::default();
     let mut sorted: Vec<u32> = Vec::new();
@@ -485,6 +594,14 @@ pub fn profile_batch(
         for l in 0..l_count {
             let key = scratch.keys[l];
             if let Some(st) = ctx.static_tables {
+                if ctx.strategy.candidate_array {
+                    if l + 2 < l_count {
+                        st.prefetch_offsets(l + 2, scratch.keys[l + 2]);
+                    }
+                    if l + 1 < l_count {
+                        st.prefetch_bucket(l + 1, scratch.keys[l + 1]);
+                    }
+                }
                 for &id in st.bucket(l, key) {
                     stats.collisions += 1;
                     scratch.cand.insert(id);
@@ -509,7 +626,7 @@ pub fn profile_batch(
                 if let Some(&next) = sorted.get(i + PREFETCH_DISTANCE) {
                     prefetch_row(ctx.data, next);
                 }
-                filter_candidate(ctx, query, scratch, id, &mut out, &mut stats);
+                filter_candidate(ctx, query, scratch, id, dot_threshold, &mut out, &mut stats);
             }
         });
         std::hint::black_box(&out);
@@ -521,6 +638,10 @@ pub fn profile_batch(
 
 /// Runs a batch of queries, one work-stealing task per query (Section 5.2,
 /// "Parallelism"), and aggregates counters and wall time.
+///
+/// Each task runs the full Q1–Q4 pipeline independently; this is the
+/// reference batch executor the batched pipeline
+/// ([`execute_batch_pipelined`]) is measured against.
 pub fn execute_batch(
     ctx: &QueryContext<'_>,
     queries: &[SparseVector],
@@ -536,6 +657,95 @@ pub fn execute_batch(
         r
     });
     let elapsed = start.elapsed();
+    collect_batch(results, queries.len(), elapsed)
+}
+
+/// The batched SIMD query pipeline: Step Q1 for the **whole batch** runs
+/// first through [`SketchMatrix::sketch_batch`] (in [`SKETCH_BATCH`]-query
+/// chunks, so each dimension-major plane row is reused across queries while
+/// hot in cache), then Q2–Q4 fan out one work-stealing task per query with
+/// the bucket keys already composed.
+///
+/// Answers are bit-identical to [`execute_batch`]: batched hashing
+/// preserves every lane's accumulation order, and the candidate phase is
+/// the same code.
+pub fn execute_batch_pipelined(
+    ctx: &QueryContext<'_>,
+    queries: &[SparseVector],
+    pool: &ThreadPool,
+    scratches: &ScratchPool,
+) -> (Vec<Vec<Neighbor>>, BatchStats) {
+    if queries.is_empty() {
+        return (Vec::new(), BatchStats::default());
+    }
+    let n = ctx.data.num_rows();
+    let m = ctx.m as usize;
+    let l_count = allpairs::num_tables(ctx.m) as usize;
+    let start = Instant::now();
+
+    // ---- Q1 for the whole batch: hash in chunks, compose all bucket keys.
+    let mut all_keys = vec![0u32; queries.len() * l_count];
+    {
+        let mut acc: Vec<f32> = Vec::new();
+        let mut half_keys = vec![0u32; SKETCH_BATCH.min(queries.len()) * m];
+        let mut views: Vec<(&[u32], &[f32])> = Vec::with_capacity(SKETCH_BATCH);
+        for (c, chunk) in queries.chunks(SKETCH_BATCH).enumerate() {
+            views.clear();
+            views.extend(chunk.iter().map(|q| (q.indices(), q.values())));
+            let hk = &mut half_keys[..chunk.len() * m];
+            SketchMatrix::sketch_batch(ctx.planes, ctx.half_bits, &views, &mut acc, hk);
+            for (qi, sketch) in hk.chunks(m).enumerate() {
+                let g = c * SKETCH_BATCH + qi;
+                allpairs::table_keys(sketch, ctx.half_bits, &mut all_keys[g * l_count..][..l_count]);
+            }
+        }
+    }
+
+    // ---- Q2–Q4: fan out with pre-composed keys. Tasks cover small query
+    // chunks (still plenty for stealing to balance skew) so each claims a
+    // per-worker scratch once, not once per query.
+    let all_keys = &all_keys;
+    let chunk_results: Vec<Vec<(Vec<Neighbor>, QueryStats)>> = pool.parallel_map(
+        queries.chunks(FANOUT_CHUNK).enumerate(),
+        |(c, chunk)| {
+            let mut scratch = scratches.take(n);
+            let mut out = std::mem::take(&mut scratch.out);
+            let results: Vec<(Vec<Neighbor>, QueryStats)> = chunk
+                .iter()
+                .enumerate()
+                .map(|(qi, q)| {
+                    let g = c * FANOUT_CHUNK + qi;
+                    let keys = &all_keys[g * l_count..][..l_count];
+                    // Cross-query software pipelining — only possible here,
+                    // where the *next* query's bucket keys already exist:
+                    // stream its buckets in while this query's Q2–Q4 run.
+                    if ctx.strategy.candidate_array && qi + 1 < chunk.len() {
+                        if let Some(st) = ctx.static_tables {
+                            prefetch_query_buckets(st, &all_keys[(g + 1) * l_count..][..l_count]);
+                        }
+                    }
+                    let mut stats = QueryStats::default();
+                    out.clear();
+                    candidate_phase(ctx, q, keys, &mut scratch, &mut out, &mut stats);
+                    (out.clone(), stats)
+                })
+                .collect();
+            scratch.out = out;
+            scratches.put(scratch);
+            results
+        },
+    );
+    let elapsed = start.elapsed();
+    let results: Vec<(Vec<Neighbor>, QueryStats)> =
+        chunk_results.into_iter().flatten().collect();
+    collect_batch(results, queries.len(), elapsed)
+}
+
+fn collect_batch(
+    results: Vec<(Vec<Neighbor>, QueryStats)>,
+    queries: usize,
+    elapsed: std::time::Duration,
+) -> (Vec<Vec<Neighbor>>, BatchStats) {
     let mut totals = QueryStats::default();
     let mut neighbors = Vec::with_capacity(results.len());
     for (nbrs, st) in results {
@@ -545,7 +755,7 @@ pub fn execute_batch(
     (
         neighbors,
         BatchStats {
-            queries: queries.len() as u64,
+            queries: queries as u64,
             totals,
             elapsed,
         },
@@ -627,12 +837,18 @@ mod tests {
     fn all_strategies_return_identical_answers() {
         let f = fixture(300, 2);
         let mut scratch = QueryScratch::new(f.m, f.half_bits, 300, f.data.dim());
+        let pool = ThreadPool::new(1);
+        let scratches = ScratchPool::new(f.m, f.half_bits, f.data.dim());
         for qid in [0u32, 5, 123, 299] {
             let q = f.data.row_vector(qid);
             let mut answers = Vec::new();
             for (_, strategy) in QueryStrategy::ablation_levels() {
                 let (hits, _) = execute_query(&ctx(&f, strategy), &q, &mut scratch);
                 answers.push(sorted_hits(hits));
+                // The batched SIMD pipeline is part of the invariant too.
+                let (batched, _) =
+                    execute_batch_pipelined(&ctx(&f, strategy), std::slice::from_ref(&q), &pool, &scratches);
+                answers.push(sorted_hits(batched.into_iter().next().unwrap()));
             }
             for w in answers.windows(2) {
                 assert_eq!(w[0], w[1], "strategies disagree for query {qid}");
@@ -747,9 +963,58 @@ mod tests {
                 qmask[(d >> 6) as usize] |= 1 << (d & 63);
                 qvals[d as usize] = v;
             }
-            let fast = dot_via_mask(a.indices(), a.values(), &qmask, &qvals);
+            let fast = simd::dot_via_mask(a.indices(), a.values(), &qmask, &qvals);
             let slow = a.dot(&b);
             assert!((fast - slow).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn pipelined_batch_matches_per_query_batch() {
+        let f = fixture(250, 9);
+        let pool = ThreadPool::new(2);
+        let scratches = ScratchPool::new(f.m, f.half_bits, f.data.dim());
+        let queries: Vec<SparseVector> = (0..40u32).map(|i| f.data.row_vector(i * 6)).collect();
+        for (_, strategy) in QueryStrategy::ablation_levels() {
+            let c = ctx(&f, strategy);
+            let (plain, plain_stats) = execute_batch(&c, &queries, &pool, &scratches);
+            let (piped, piped_stats) = execute_batch_pipelined(&c, &queries, &pool, &scratches);
+            assert_eq!(plain.len(), piped.len());
+            for (a, b) in plain.iter().zip(&piped) {
+                // Bit-identical: same ids AND same distances.
+                assert_eq!(a, b, "batched Q1 must not change any answer");
+            }
+            assert_eq!(plain_stats.totals, piped_stats.totals);
+        }
+    }
+
+    #[test]
+    fn pipelined_batch_handles_empty_and_single() {
+        let f = fixture(50, 10);
+        let pool = ThreadPool::new(1);
+        let scratches = ScratchPool::new(f.m, f.half_bits, f.data.dim());
+        let c = ctx(&f, QueryStrategy::optimized());
+        let (none, stats) = execute_batch_pipelined(&c, &[], &pool, &scratches);
+        assert!(none.is_empty());
+        assert_eq!(stats.queries, 0);
+        let q = vec![f.data.row_vector(7)];
+        let (one, _) = execute_batch_pipelined(&c, &q, &pool, &scratches);
+        assert!(one[0].iter().any(|h| h.index == 7));
+    }
+
+    #[test]
+    fn execute_query_into_reuses_owned_output() {
+        let f = fixture(120, 11);
+        let mut scratch = QueryScratch::new(f.m, f.half_bits, 120, f.data.dim());
+        let c = ctx(&f, QueryStrategy::optimized());
+        let q = f.data.row_vector(3);
+        let stats = execute_query_into(&c, &q, &mut scratch);
+        assert_eq!(stats.matches as usize, scratch.neighbors().len());
+        let first: Vec<Neighbor> = scratch.neighbors().to_vec();
+        let cap = scratch.out.capacity();
+        // Re-running the same query reuses the buffer without growing it.
+        execute_query_into(&c, &q, &mut scratch);
+        assert_eq!(scratch.neighbors(), &first[..]);
+        assert_eq!(scratch.out.capacity(), cap);
     }
 }

@@ -140,6 +140,32 @@ impl StaticTables {
         &t.entries[lo..hi]
     }
 
+    /// Hints the hardware to pull bucket `key` of table `l` into cache
+    /// ahead of [`bucket`](Self::bucket) — the Step Q2 analogue of the
+    /// candidate-loop row prefetch (Section 5.2.2): all `L` keys are known
+    /// after Q1, so the next table's bucket can stream in while the current
+    /// one is scanned.
+    #[inline]
+    pub fn prefetch_bucket(&self, l: usize, key: u32) {
+        let t = &self.tables[l];
+        let lo = t.offsets[key as usize] as usize;
+        if let Some(first) = t.entries.get(lo) {
+            crate::util::prefetch_read(first);
+        }
+    }
+
+    /// Hints the hardware to pull the **offsets slot** of bucket `key` of
+    /// table `l` into cache. Paired with [`prefetch_bucket`](Self::prefetch_bucket)
+    /// in the batched pipeline's cross-query sweep: the offsets lines are
+    /// requested first (non-blocking), then the second sweep reads them —
+    /// by then largely in flight, with independent iterations overlapping
+    /// the remaining latency — and prefetches the entry lines they point
+    /// at.
+    #[inline]
+    pub fn prefetch_offsets(&self, l: usize, key: u32) {
+        crate::util::prefetch_read(&self.tables[l].offsets[key as usize]);
+    }
+
     /// Total bytes held by offsets and entries: `(L·N + (2^k+1)·L)·4`,
     /// matching Eq. 7.4 up to the `+1` sentinel per table.
     pub fn memory_bytes(&self) -> usize {

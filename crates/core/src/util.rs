@@ -1,6 +1,26 @@
-//! Internal utilities: disjoint-write shared slices and huge-page hints.
+//! Internal utilities: disjoint-write shared slices, huge-page hints, and
+//! the software-prefetch primitive.
 
 use std::cell::UnsafeCell;
+
+/// Hints the hardware to pull the cache line holding `ptr` into L1.
+///
+/// A no-op on architectures without an exposed prefetch intrinsic. Safe to
+/// call with any address derived from a live borrow — prefetch never
+/// faults and never changes observable behavior, only timing.
+#[inline(always)]
+pub(crate) fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it cannot fault or write.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(ptr as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
 
 /// A slice that multiple worker threads scatter into at provably disjoint
 /// positions (the global offsets computed by the partition prefix sums).

@@ -1,0 +1,99 @@
+//! Property tests for the runtime-dispatched SIMD kernels: whatever level
+//! the CPU dispatches to, the explicit kernels must agree with the scalar
+//! references over random sparse vectors, dimensions, and lane counts —
+//! including remainder lanes (`n_hashes % 8 != 0`).
+//!
+//! The hashing kernels carry the stronger contract (bit-identical, since
+//! they preserve per-lane accumulation order and avoid FMA); the masked dot
+//! product only promises agreement within floating-point reassociation
+//! tolerance, which is what the query pipeline's radius filter tolerates.
+
+use proptest::prelude::*;
+
+use plsh_core::hash::Hyperplanes;
+use plsh_core::simd;
+use plsh_parallel::ThreadPool;
+
+const DIM: u32 = 96;
+
+/// Random sparse (index, value) pairs with strictly increasing indices.
+fn sparse_pairs(max_len: usize) -> impl Strategy<Value = Vec<(u32, f32)>> {
+    proptest::collection::btree_map(0..DIM, -50i32..50, 1..max_len)
+        .prop_map(|m| m.into_iter().map(|(d, v)| (d, v as f32 / 8.0)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dispatched_accumulate_matches_scalar(
+        pairs in sparse_pairs(12),
+        n_hashes in 1u32..40,
+        seed in 0u64..500,
+    ) {
+        let pool = ThreadPool::new(1);
+        let planes = Hyperplanes::new_dense(DIM, n_hashes, seed, &pool);
+        let (idx, val): (Vec<u32>, Vec<f32>) = pairs.into_iter().unzip();
+        let mut fast = vec![0.25f32; n_hashes as usize];
+        let mut slow = fast.clone();
+        planes.accumulate(&idx, &val, &mut fast);
+        planes.accumulate_scalar(&idx, &val, &mut slow);
+        for (j, (f, s)) in fast.iter().zip(&slow).enumerate() {
+            prop_assert!((f - s).abs() <= 1e-4, "lane {j}: {f} vs {s}");
+            prop_assert_eq!(
+                f.to_bits(), s.to_bits(),
+                "hashing kernel must be bit-identical at lane {}", j
+            );
+        }
+    }
+
+    #[test]
+    fn batched_accumulate_matches_scalar(
+        queries in proptest::collection::vec(sparse_pairs(8), 1..6),
+        n_hashes in 1u32..40,
+        seed in 0u64..500,
+    ) {
+        let pool = ThreadPool::new(1);
+        let planes = Hyperplanes::new_dense(DIM, n_hashes, seed, &pool);
+        let nh = n_hashes as usize;
+        let split: Vec<(Vec<u32>, Vec<f32>)> = queries
+            .iter()
+            .map(|q| q.iter().copied().unzip())
+            .collect();
+        let views: Vec<(&[u32], &[f32])> = split
+            .iter()
+            .map(|(i, v)| (i.as_slice(), v.as_slice()))
+            .collect();
+        let mut accs = vec![0.0f32; queries.len() * nh];
+        planes.accumulate_batch(&views, &mut accs);
+        for (q, (idx, val)) in split.iter().enumerate() {
+            let mut single = vec![0.0f32; nh];
+            planes.accumulate_scalar(idx, val, &mut single);
+            for (j, (f, s)) in accs[q * nh..(q + 1) * nh].iter().zip(&single).enumerate() {
+                prop_assert!((f - s).abs() <= 1e-4, "query {q} lane {j}: {f} vs {s}");
+                prop_assert_eq!(
+                    f.to_bits(), s.to_bits(),
+                    "batched hashing must be bit-identical (query {}, lane {})", q, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_via_mask_matches_scalar(
+        row in sparse_pairs(16),
+        query in sparse_pairs(16),
+    ) {
+        let (idx, val): (Vec<u32>, Vec<f32>) = row.into_iter().unzip();
+        let mut qmask = vec![0u64; (DIM as usize).div_ceil(64)];
+        // Stale garbage outside the flagged positions must be masked off.
+        let mut qvals = vec![f32::NAN; DIM as usize];
+        for &(d, v) in &query {
+            qmask[(d >> 6) as usize] |= 1u64 << (d & 63);
+            qvals[d as usize] = v;
+        }
+        let fast = simd::dot_via_mask(&idx, &val, &qmask, &qvals);
+        let slow = simd::dot_via_mask_scalar(&idx, &val, &qmask, &qvals);
+        prop_assert!((fast - slow).abs() <= 1e-4, "{fast} vs {slow}");
+    }
+}

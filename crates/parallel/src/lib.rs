@@ -13,6 +13,8 @@
 //! * [`ThreadPool::parallel_tasks`] — one-task-per-item parallelism with
 //!   stealing, used for per-query and per-partition work.
 //! * [`exclusive_prefix_sum`] and friends — the cumulative-sum step of the radix partition.
+//! * [`WorkerLocal`] — lock-free cache-padded per-worker state slots, the
+//!   zero-contention substrate for reusable query scratch.
 //!
 //! The pool is deliberately small and synchronous: `scope`-style entry
 //! points block until all spawned work completes, so callers never deal with
@@ -22,9 +24,11 @@
 
 mod pool;
 mod prefix;
+mod worker_local;
 
 pub use pool::{current_num_threads_hint, ThreadPool};
 pub use prefix::{exclusive_prefix_sum, exclusive_prefix_sum_in_place, inclusive_prefix_sum};
+pub use worker_local::WorkerLocal;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,232 @@
+//! Lock-free per-worker state slots.
+//!
+//! The query pipeline reuses large scratch structures (hash accumulators,
+//! candidate bitvectors over the whole point-id space) across queries. A
+//! `Mutex<Vec<T>>` pool serializes every borrow/return through one lock —
+//! exactly the kind of contention the PLSH paper's shared-nothing design
+//! avoids. [`WorkerLocal`] replaces it with a fixed array of cache-padded
+//! slots claimed by a single compare-and-swap: workers never block and
+//! never queue. Claims scan linearly from slot 0, so a lone worker reuses
+//! the same warm slot every time; under concurrency a failed claim costs
+//! one CAS per occupied slot and values may migrate between slots — an
+//! accepted trade for keeping the primitive free of thread identity
+//! (workers here are scoped per batch).
+//!
+//! The pool's threads are scoped per batch (no stable worker identity), so
+//! slots are claimed by CAS rather than indexed by a thread id; the
+//! fast path is one uncontended CAS on a slot the worker already owns in
+//! cache.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One padded slot: the claim flag and value share a cache line that no
+/// other slot touches, so claiming never false-shares with a neighbor.
+#[repr(align(128))]
+struct Slot<T> {
+    busy: AtomicBool,
+    value: UnsafeCell<Option<T>>,
+}
+
+/// A fixed set of lock-free slots holding per-worker values of type `T`.
+///
+/// ```
+/// use plsh_parallel::{ThreadPool, WorkerLocal};
+///
+/// let mut locals: WorkerLocal<Vec<u64>> = WorkerLocal::new(4);
+/// let pool = ThreadPool::new(4);
+/// pool.parallel_tasks(0..100u64, |i| {
+///     locals.with(Vec::new, |buf| buf.push(i));
+/// });
+/// let mut all: Vec<u64> = locals.drain().into_iter().flatten().collect();
+/// all.sort_unstable();
+/// assert_eq!(all, (0..100).collect::<Vec<u64>>());
+/// ```
+pub struct WorkerLocal<T> {
+    slots: Box<[Slot<T>]>,
+}
+
+// SAFETY: a slot's value is only reached while its `busy` flag is held
+// (acquire/release pairs order the accesses), so values move between
+// threads but are never aliased.
+unsafe impl<T: Send> Sync for WorkerLocal<T> {}
+unsafe impl<T: Send> Send for WorkerLocal<T> {}
+
+/// Releases a claimed slot even if the caller's closure panics.
+struct ClaimGuard<'a>(&'a AtomicBool);
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+impl<T> WorkerLocal<T> {
+    /// Creates `slots` empty slots (at least one). Size it to the worker
+    /// count of the pool that will use it; extra concurrent users fall back
+    /// to caller-provided fresh values, they never block.
+    pub fn new(slots: usize) -> Self {
+        Self {
+            slots: (0..slots.max(1))
+                .map(|_| Slot {
+                    busy: AtomicBool::new(false),
+                    value: UnsafeCell::new(None),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Runs `f` with exclusive access to a slot's value, initializing the
+    /// slot with `init` on first use. If every slot is momentarily claimed
+    /// (more concurrent callers than slots), runs `f` on a fresh `init()`
+    /// value and stores it back into a slot afterwards if one freed up —
+    /// the call never blocks.
+    pub fn with<R>(&self, init: impl FnOnce() -> T, f: impl FnOnce(&mut T) -> R) -> R {
+        for slot in self.slots.iter() {
+            if slot
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                let _guard = ClaimGuard(&slot.busy);
+                // SAFETY: the CAS above grants exclusive access until the
+                // guard releases `busy`.
+                let value = unsafe { &mut *slot.value.get() };
+                if value.is_none() {
+                    *value = Some(init());
+                }
+                return f(value.as_mut().expect("just initialized"));
+            }
+        }
+        // All slots busy: degrade to a throwaway value, then try to park it.
+        let mut value = init();
+        let r = f(&mut value);
+        let _ = self.put(value);
+        r
+    }
+
+    /// Removes and returns a stored value, if any slot holds one.
+    pub fn take(&self) -> Option<T> {
+        for slot in self.slots.iter() {
+            if slot
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                let _guard = ClaimGuard(&slot.busy);
+                // SAFETY: exclusive access via the claimed `busy` flag.
+                let v = unsafe { (*slot.value.get()).take() };
+                if v.is_some() {
+                    return v;
+                }
+            }
+        }
+        None
+    }
+
+    /// Stores `value` into the first empty slot; hands it back if every
+    /// slot is full or claimed.
+    pub fn put(&self, value: T) -> Option<T> {
+        for slot in self.slots.iter() {
+            if slot
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                let _guard = ClaimGuard(&slot.busy);
+                // SAFETY: exclusive access via the claimed `busy` flag.
+                let stored = unsafe { &mut *slot.value.get() };
+                if stored.is_none() {
+                    *stored = Some(value);
+                    return None;
+                }
+            }
+        }
+        Some(value)
+    }
+
+    /// Drains every stored value (exclusive access, so no atomics needed).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.slots
+            .iter_mut()
+            .filter_map(|s| s.value.get_mut().take())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn take_put_round_trip() {
+        let wl: WorkerLocal<String> = WorkerLocal::new(2);
+        assert!(wl.take().is_none());
+        assert!(wl.put("a".into()).is_none());
+        assert!(wl.put("b".into()).is_none());
+        // Both slots full: the value comes back.
+        assert_eq!(wl.put("c".into()), Some("c".to_string()));
+        let mut got = vec![wl.take().unwrap(), wl.take().unwrap()];
+        got.sort();
+        assert_eq!(got, vec!["a".to_string(), "b".to_string()]);
+        assert!(wl.take().is_none());
+    }
+
+    #[test]
+    fn with_initializes_once_per_slot() {
+        let inits = AtomicUsize::new(0);
+        let wl: WorkerLocal<usize> = WorkerLocal::new(1);
+        for _ in 0..10 {
+            wl.with(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0
+                },
+                |v| *v += 1,
+            );
+        }
+        assert_eq!(inits.load(Ordering::Relaxed), 1, "slot value is reused");
+        let mut wl = wl;
+        assert_eq!(wl.drain(), vec![10]);
+    }
+
+    #[test]
+    fn concurrent_with_never_loses_updates() {
+        let pool = ThreadPool::new(4);
+        let wl: WorkerLocal<u64> = WorkerLocal::new(4);
+        pool.parallel_tasks(0..1000u64, |_| {
+            wl.with(|| 0, |v| *v += 1);
+        });
+        let mut wl = wl;
+        let total: u64 = wl.drain().into_iter().sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn overflow_falls_back_without_blocking() {
+        // One slot, many threads: everything still completes.
+        let pool = ThreadPool::new(4);
+        let wl: WorkerLocal<Vec<u64>> = WorkerLocal::new(1);
+        let done = AtomicUsize::new(0);
+        pool.parallel_tasks(0..200u64, |i| {
+            wl.with(Vec::new, |buf| buf.push(i));
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn zero_slots_clamps_to_one() {
+        let wl: WorkerLocal<u8> = WorkerLocal::new(0);
+        assert_eq!(wl.num_slots(), 1);
+        assert!(wl.put(7).is_none());
+        assert_eq!(wl.take(), Some(7));
+    }
+}
