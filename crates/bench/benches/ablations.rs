@@ -33,14 +33,14 @@ fn bench_delta_layouts(c: &mut Criterion) {
                     )
                     .unwrap()
                 },
-                |mut e| {
+                |e| {
                     e.insert_batch(&f.corpus.vectors()[..n / 10], &f.pool).unwrap();
                     e.delta_len()
                 },
             )
         });
         // Query cost against a delta-only engine.
-        let mut engine = Engine::new(
+        let engine = Engine::new(
             EngineConfig::new(f.params.clone(), n)
                 .manual_merge()
                 .with_delta_layout(layout),

@@ -1,9 +1,12 @@
 //! Criterion micro-benchmark behind Figure 11 / Section 8.6: delta-table
-//! insert chunks, merges, and queries against a mixed static+delta node.
+//! insert chunks, merges, queries against a mixed static+delta node, and —
+//! with the concurrent ingest path — query batches racing a live
+//! background merge and a live ingest thread.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use plsh_bench::setup::{Fixture, Scale};
 use plsh_core::engine::{Engine, EngineConfig};
+use plsh_core::streaming::StreamingEngine;
 
 fn bench_streaming(c: &mut Criterion) {
     let f = Fixture::build(Scale::Quick, 1);
@@ -17,7 +20,7 @@ fn bench_streaming(c: &mut Criterion) {
     g.bench_function("insert_chunk_1pct", |b| {
         b.iter_with_setup(
             || {
-                let mut e = Engine::new(
+                let e = Engine::new(
                     EngineConfig::new(f.params.clone(), n).manual_merge(),
                     &f.pool,
                 )
@@ -26,7 +29,7 @@ fn bench_streaming(c: &mut Criterion) {
                 e.merge_delta(&f.pool);
                 e
             },
-            |mut e| {
+            |e| {
                 let chunk = n / 100;
                 e.insert_batch(
                     &f.corpus.vectors()[static_part..static_part + chunk],
@@ -41,7 +44,7 @@ fn bench_streaming(c: &mut Criterion) {
     g.bench_function("merge_full_delta", |b| {
         b.iter_with_setup(
             || {
-                let mut e = Engine::new(
+                let e = Engine::new(
                     EngineConfig::new(f.params.clone(), n).manual_merge(),
                     &f.pool,
                 )
@@ -51,7 +54,7 @@ fn bench_streaming(c: &mut Criterion) {
                 e.insert_batch(&f.corpus.vectors()[static_part..], &f.pool).unwrap();
                 e
             },
-            |mut e| {
+            |e| {
                 e.merge_delta(&f.pool);
                 e.static_len()
             },
@@ -59,7 +62,7 @@ fn bench_streaming(c: &mut Criterion) {
     });
 
     // Query against a node with a full delta (worst case of Figure 11).
-    let mut mixed = Engine::new(
+    let mixed = Engine::new(
         EngineConfig::new(f.params.clone(), n).manual_merge(),
         &f.pool,
     )
@@ -75,6 +78,51 @@ fn bench_streaming(c: &mut Criterion) {
     g.bench_function("query_100pct_static", |b| {
         b.iter(|| all_static.query_batch(queries, &f.pool).1.totals.matches)
     });
+
+    // True overlap: query batches while a background merge of a full delta
+    // builds on another thread. The merge is started once, outside the
+    // timed region, and outlasts the sampled iterations (the build takes
+    // several batch times); only `query_batch` is timed. Joins happen
+    // after the measurement.
+    let racing = StreamingEngine::new(
+        EngineConfig::new(f.params.clone(), n).manual_merge(),
+        f.pool.clone(),
+    )
+    .unwrap();
+    racing.insert_batch(&f.corpus.vectors()[..static_part]).unwrap();
+    racing.merge_now();
+    racing.insert_batch(&f.corpus.vectors()[static_part..]).unwrap();
+    racing.merge_in_background();
+    g.bench_function("query_during_background_merge", |b| {
+        b.iter(|| racing.query_batch(queries).1.totals.matches)
+    });
+    racing.wait_for_merge();
+
+    // True overlap: query batches while an ingest thread streams the last
+    // 10% in (insert ‖ query; auto-merges fire in the background at eta).
+    // Again only `query_batch` is timed; the ingest is sized to outlast
+    // the sampled iterations and joined after the measurement.
+    let live = StreamingEngine::new(
+        EngineConfig::new(f.params.clone(), n).with_eta(0.05),
+        f.pool.clone(),
+    )
+    .unwrap();
+    live.insert_batch(&f.corpus.vectors()[..static_part]).unwrap();
+    live.wait_for_merge();
+    let writer = {
+        let ingest = live.clone();
+        let tail: Vec<_> = f.corpus.vectors()[static_part..].to_vec();
+        std::thread::spawn(move || {
+            for chunk in tail.chunks(100) {
+                ingest.insert_batch(chunk).unwrap();
+            }
+        })
+    };
+    g.bench_function("query_during_live_ingest", |b| {
+        b.iter(|| live.query_batch(queries).1.totals.matches)
+    });
+    writer.join().unwrap();
+    live.wait_for_merge();
     g.finish();
 }
 

@@ -75,7 +75,19 @@ fn main() {
             "fig9" => fig9_nodes::run(&fixture).print(),
             "fig10" => fig10_latency::run(&fixture).print(),
             "fig11" => fig11_streaming::run(&fixture).print(),
-            "streaming" => streaming_overhead::run(&fixture).print(),
+            "streaming" => {
+                streaming_overhead::run(&fixture).print();
+                let live = streaming_live::run(&fixture);
+                live.print();
+                let path = streaming_live::output_path();
+                match live.write_json(&path) {
+                    Ok(()) => eprintln!("# wrote {path}"),
+                    Err(e) => {
+                        eprintln!("# FAILED to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "recall" => recall::run(&fixture).print(),
             "throughput" => {
                 let r = throughput::run(&fixture);

@@ -59,7 +59,7 @@ pub fn run(f: &Fixture) -> Fig11 {
         .iter()
         .map(|&static_fill| {
             let static_points = (capacity as f64 * static_fill) as usize;
-            let mut engine = Engine::new(
+            let engine = Engine::new(
                 EngineConfig::new(f.params.clone(), capacity)
                     .manual_merge()
                     .with_eta(eta),

@@ -154,10 +154,10 @@ fn run_dataset(
 
     // ---- Query: measured (sequential profile).
     let ctx = QueryContext {
-        data: &corpus,
+        static_data: &corpus,
         planes: &planes,
         static_tables: Some(&tables),
-        delta: None,
+        deltas: &[],
         deleted: None,
         m: params.m(),
         half_bits: params.half_bits(),

@@ -46,7 +46,7 @@ pub fn run(f: &Fixture) -> Fig8 {
             let config =
                 EngineConfig::new(f.params.clone(), f.corpus.len()).manual_merge();
             let t0 = std::time::Instant::now();
-            let mut engine =
+            let engine =
                 plsh_core::engine::Engine::new(config, &pool).expect("valid config");
             engine
                 .insert_batch(f.corpus.vectors(), &pool)

@@ -1,0 +1,285 @@
+//! Live concurrent-ingest experiment: insert ‖ query ‖ merge overlap,
+//! recorded to `BENCH_streaming.json`.
+//!
+//! The paper's headline scenario: a node pre-loaded to 50% static serves
+//! query batches *while* a Twitter-paced firehose streams the other 50%
+//! in, with background merges firing at `η·C`. The experiment measures
+//!
+//! * insert throughput on the ingest thread (hash + bucket + seal),
+//! * merge cost split into off-to-the-side build time and the publish
+//!   window (the only instant a merge can delay the write path — queries
+//!   are epoch-pinned and never pause),
+//! * query throughput during ingest vs after quiescing — the streaming
+//!   design's acceptance bar is *within 2× of quiesced*,
+//! * correctness while racing: every query batch must find the probe
+//!   points and every pinned epoch must satisfy
+//!   `visible = static + sealed`.
+
+use std::time::{Duration, Instant};
+
+use plsh_cluster::firehose::Firehose;
+use plsh_core::engine::EngineConfig;
+use plsh_core::streaming::StreamingEngine;
+
+use crate::setup::{Fixture, Scale};
+
+/// Target wall time for draining the ingest half of the corpus, per
+/// scale; sets the firehose pacing so the arrival process resembles a
+/// rate-limited stream (the paper's per-node Twitter arrival is ~1.2 K
+/// tweets/s, a small fraction of insert capability) rather than a
+/// CPU-saturating bulk load. The full corpus hashes ~3× more per point
+/// (k = 14, m = 16), so it drains over a longer window.
+fn ingest_target_secs(scale: Scale) -> f64 {
+    match scale {
+        Scale::Quick => 4.0,
+        Scale::Full => 20.0,
+    }
+}
+
+/// Queries per measured batch during ingest (small enough to sample the
+/// changing epoch many times over the ingest window).
+const QUERY_SLICE: usize = 64;
+
+/// The measured report.
+#[derive(Debug, Clone)]
+pub struct StreamingLive {
+    /// Corpus points pre-loaded (and merged) before the stream starts.
+    pub preload_points: usize,
+    /// Points streamed in during the measurement.
+    pub ingest_points: usize,
+    /// Firehose batch size.
+    pub batch_size: usize,
+    /// Insert throughput over time spent inside `insert_batch`.
+    pub insert_qps: f64,
+    /// Wall time of the whole ingest (includes pacing waits).
+    pub ingest_elapsed: Duration,
+    /// Merges that fired during ingest.
+    pub merges: u64,
+    /// Build time of the last merge (runs concurrently with queries).
+    pub merge_build: Duration,
+    /// Publish window of the last merge (the epoch swap under the write
+    /// lock — the closest thing to a "merge pause" this design has).
+    pub merge_publish: Duration,
+    /// Query batches completed while the ingest thread was live.
+    pub query_batches_during_ingest: u64,
+    /// Query throughput while ingesting.
+    pub query_qps_during_ingest: f64,
+    /// Query throughput after ingest + final merge quiesced.
+    pub query_qps_quiesced: f64,
+    /// Every in-flight query batch found every pre-loaded probe point.
+    pub probe_always_found: bool,
+    /// Every epoch pinned during ingest satisfied
+    /// `visible = static + sealed`.
+    pub epoch_always_consistent: bool,
+    /// Worker threads.
+    pub threads: usize,
+    /// Scale preset name.
+    pub scale: &'static str,
+}
+
+/// Runs the live overlap measurement.
+pub fn run(f: &Fixture) -> StreamingLive {
+    let capacity = f.corpus.len();
+    let preload = capacity / 2;
+    let batch_size = (capacity / 100).max(250);
+    let rate = (capacity - preload) as f64 / ingest_target_secs(f.scale);
+
+    let engine = StreamingEngine::new(
+        EngineConfig::new(f.params.clone(), capacity).with_eta(0.1),
+        f.pool.clone(),
+    )
+    .expect("valid config");
+    engine
+        .insert_batch(&f.corpus.vectors()[..preload])
+        .expect("preload fits");
+    engine.wait_for_merge();
+    engine.merge_now();
+
+    // Probe queries whose sources are pre-loaded: they must be found by
+    // every batch regardless of which epoch it pins.
+    let queries = f.query_vecs();
+    let slice = &queries[..queries.len().min(QUERY_SLICE)];
+    let probes: Vec<(usize, u32)> = (0..queries.len().min(QUERY_SLICE))
+        .filter_map(|i| {
+            f.queries
+                .source_id(i)
+                .filter(|&src| (src as usize) < preload)
+                .map(|src| (i, src))
+        })
+        .collect();
+    let check = |answers: &[Vec<plsh_core::Neighbor>]| {
+        probes
+            .iter()
+            .all(|&(qi, src)| answers[qi].iter().any(|h| h.index == src))
+    };
+
+    // Warm up the query path before the race starts, and baseline the
+    // merge counter so the report counts only merges fired by the ingest.
+    let _ = engine.query_batch(slice);
+    let merges_before = engine.stats().merges;
+
+    // Ingest thread: the paced firehose pumped into the engine.
+    let hose = Firehose::start_paced(
+        f.corpus.vectors()[preload..].to_vec(),
+        batch_size,
+        4,
+        rate,
+    );
+    let pump = hose.pump_into(engine.clone());
+
+    // Query thread (this one): batches against whatever epoch is live.
+    let mut during_time = Duration::ZERO;
+    let mut during_queries = 0u64;
+    let mut during_batches = 0u64;
+    let mut probe_always_found = true;
+    let mut epoch_always_consistent = true;
+    while !pump.is_finished() {
+        let info = engine.epoch_info();
+        epoch_always_consistent &=
+            info.visible_points == info.static_points + info.sealed_points;
+        let t0 = Instant::now();
+        let (answers, _) = engine.query_batch(slice);
+        during_time += t0.elapsed();
+        during_queries += slice.len() as u64;
+        during_batches += 1;
+        probe_always_found &= check(&answers);
+    }
+    let ingest = pump.join();
+    engine.wait_for_merge();
+    // Count (and time) only the merges the ingest itself triggered; the
+    // quiescing merge below is bookkeeping, not part of the measurement.
+    let merges = engine.stats().merges - merges_before;
+    let merge_report = engine.last_merge();
+    engine.merge_now(); // quiesce: fold any sealed tail
+
+    // Quiesced reference over the same slice, same batch count (min 5).
+    let reps = during_batches.max(5);
+    let _ = engine.query_batch(slice);
+    let mut quiesced_time = Duration::ZERO;
+    let mut quiesced_queries = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (answers, _) = engine.query_batch(slice);
+        quiesced_time += t0.elapsed();
+        quiesced_queries += slice.len() as u64;
+        probe_always_found &= check(&answers);
+    }
+
+    let qps = |n: u64, t: Duration| {
+        if t.is_zero() {
+            0.0
+        } else {
+            n as f64 / t.as_secs_f64()
+        }
+    };
+    StreamingLive {
+        preload_points: preload,
+        ingest_points: ingest.points as usize,
+        batch_size,
+        insert_qps: ingest.insert_qps(),
+        ingest_elapsed: ingest.elapsed,
+        merges,
+        merge_build: merge_report.build,
+        merge_publish: merge_report.publish,
+        query_batches_during_ingest: during_batches,
+        query_qps_during_ingest: qps(during_queries, during_time),
+        query_qps_quiesced: qps(quiesced_queries, quiesced_time),
+        probe_always_found,
+        epoch_always_consistent,
+        threads: f.pool.num_threads(),
+        scale: match f.scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        },
+    }
+}
+
+impl StreamingLive {
+    /// Query throughput during ingest as a fraction of quiesced (the
+    /// acceptance bar is ≥ 0.5, i.e. within 2×).
+    pub fn during_over_quiesced(&self) -> f64 {
+        if self.query_qps_quiesced == 0.0 {
+            0.0
+        } else {
+            self.query_qps_during_ingest / self.query_qps_quiesced
+        }
+    }
+
+    /// Prints the report.
+    pub fn print(&self) {
+        println!("## Live streaming — insert ‖ query ‖ merge overlap ({} threads)\n", self.threads);
+        println!("| Quantity | Measured |");
+        println!("|---|---:|");
+        println!(
+            "| Ingest | {} points in {:.2} s ({} per firehose batch) |",
+            self.ingest_points,
+            self.ingest_elapsed.as_secs_f64(),
+            self.batch_size
+        );
+        println!("| Insert throughput (ingest thread) | {:.0} points/s |", self.insert_qps);
+        println!("| Background merges during ingest | {} |", self.merges);
+        println!(
+            "| Last merge: build / publish window | {:.1} ms / {:.3} ms |",
+            self.merge_build.as_secs_f64() * 1e3,
+            self.merge_publish.as_secs_f64() * 1e3
+        );
+        println!(
+            "| Query qps during ingest | {:.0} ({} batches) |",
+            self.query_qps_during_ingest, self.query_batches_during_ingest
+        );
+        println!("| Query qps quiesced | {:.0} |", self.query_qps_quiesced);
+        println!(
+            "| During / quiesced | {:.2} (bar: >= 0.5) |",
+            self.during_over_quiesced()
+        );
+        println!("| Probes found in every batch | {} |", self.probe_always_found);
+        println!("| Epochs always consistent | {} |", self.epoch_always_consistent);
+        println!();
+    }
+
+    /// Renders the report as JSON (hand-rolled: the vendored serde
+    /// stand-in does not serialize).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"experiment\": \"streaming\",\n  \"scale\": \"{}\",\n  \
+             \"threads\": {},\n  \"preload_points\": {},\n  \
+             \"ingest_points\": {},\n  \"batch_size\": {},\n  \
+             \"insert_qps\": {:.3},\n  \"ingest_elapsed_ms\": {:.3},\n  \
+             \"merges\": {},\n  \"merge_build_ms\": {:.3},\n  \
+             \"merge_publish_ms\": {:.4},\n  \
+             \"query_batches_during_ingest\": {},\n  \
+             \"query_qps_during_ingest\": {:.3},\n  \
+             \"query_qps_quiesced\": {:.3},\n  \
+             \"during_over_quiesced\": {:.4},\n  \
+             \"probe_always_found\": {},\n  \
+             \"epoch_always_consistent\": {}\n}}\n",
+            self.scale,
+            self.threads,
+            self.preload_points,
+            self.ingest_points,
+            self.batch_size,
+            self.insert_qps,
+            self.ingest_elapsed.as_secs_f64() * 1e3,
+            self.merges,
+            self.merge_build.as_secs_f64() * 1e3,
+            self.merge_publish.as_secs_f64() * 1e3,
+            self.query_batches_during_ingest,
+            self.query_qps_during_ingest,
+            self.query_qps_quiesced,
+            self.during_over_quiesced(),
+            self.probe_always_found,
+            self.epoch_always_consistent
+        )
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Report location: `PLSH_BENCH_STREAMING_OUT`, defaulting to
+/// `BENCH_streaming.json` in the working directory.
+pub fn output_path() -> String {
+    std::env::var("PLSH_BENCH_STREAMING_OUT").unwrap_or_else(|_| "BENCH_streaming.json".to_string())
+}

@@ -42,7 +42,7 @@ pub fn run(f: &Fixture) -> StreamingOverhead {
     let static_points = capacity - delta_cap;
 
     // Build a node at (1-η) static fill.
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig::new(f.params.clone(), capacity)
             .manual_merge()
             .with_eta(eta),
@@ -74,7 +74,7 @@ pub fn run(f: &Fixture) -> StreamingOverhead {
     let static_engine = f.static_engine();
     let _ = static_engine.query_batch(&queries[..queries.len().min(32)], &f.pool);
     let (_, s_stats) = static_engine.query_batch(queries, &f.pool);
-    let mut delta_engine = Engine::new(
+    let delta_engine = Engine::new(
         EngineConfig::new(f.params.clone(), capacity).manual_merge(),
         &f.pool,
     )

@@ -117,7 +117,7 @@ impl Fixture {
     /// Builds an engine with a custom config, loading the whole corpus and
     /// merging once.
     pub fn engine_with(&self, config: EngineConfig) -> Engine {
-        let mut e = Engine::new(config, &self.pool).expect("fixture config is valid");
+        let e = Engine::new(config, &self.pool).expect("fixture config is valid");
         e.insert_batch(self.corpus.vectors(), &self.pool)
             .expect("corpus fits engine capacity");
         e.merge_delta(&self.pool);
@@ -151,7 +151,7 @@ mod tests {
         assert_eq!(e.static_len(), 500);
         for (i, q) in f.query_vecs().iter().enumerate() {
             let src = f.queries.source_id(i).unwrap();
-            let hits = e.query(q, &f.pool);
+            let hits = e.query(q);
             assert!(hits.iter().any(|h| h.index == src), "query {i}");
         }
     }

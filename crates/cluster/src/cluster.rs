@@ -441,14 +441,14 @@ mod tests {
         let vs = random_vecs(60, 6);
         // One big engine vs a 3-node cluster over the same data.
         let params = PlshParams::builder(64).k(6).m(6).radius(0.9).seed(5).build().unwrap();
-        let mut single = Engine::new(EngineConfig::new(params, 100), &pool).unwrap();
+        let single = Engine::new(EngineConfig::new(params, 100), &pool).unwrap();
         single.insert_batch(&vs, &pool).unwrap();
         let mut c = Cluster::new(small_config(20, 3, 3), &pool).unwrap();
         let placed = c.insert_batch(&vs, &pool).unwrap();
         // Map cluster hits back to batch positions for comparison.
         for v in &vs {
             let mut single_hits: Vec<u32> =
-                single.query(v, &pool).iter().map(|h| h.index).collect();
+                single.query(v).iter().map(|h| h.index).collect();
             single_hits.sort_unstable();
             let mut cluster_hits: Vec<u32> = c
                 .query(v, &pool)

@@ -4,12 +4,18 @@
 //! (paper Section 4). The streaming examples need an arrival process that
 //! is decoupled from ingestion — a producer thread pushing batches into a
 //! bounded channel — so that insert/merge overhead measurements see
-//! realistic back-pressure rather than a pre-materialized corpus.
+//! realistic back-pressure rather than a pre-materialized corpus. A
+//! firehose can optionally be *paced* to a target arrival rate, and
+//! [`Firehose::pump_into`] drains it from a dedicated ingest thread into a
+//! [`StreamingEngine`] so queries (issued from any other thread) overlap
+//! true inserts and background merges.
 
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver};
 use plsh_core::sparse::SparseVector;
+use plsh_core::streaming::StreamingEngine;
 
 /// A batch of arrived documents.
 #[derive(Debug, Clone)]
@@ -33,13 +39,36 @@ impl Firehose {
     /// The producer stops after sending all batches; the receiving side
     /// keeps draining until the channel closes.
     pub fn start(docs: Vec<SparseVector>, batch_size: usize, channel_batches: usize) -> Self {
+        Self::start_paced(docs, batch_size, channel_batches, f64::INFINITY)
+    }
+
+    /// Like [`start`](Self::start), but paces arrivals to
+    /// `points_per_sec` (the paper's Twitter-rate scenario): each batch is
+    /// released only once its arrival time has passed. Pass
+    /// `f64::INFINITY` for an unpaced stream.
+    pub fn start_paced(
+        docs: Vec<SparseVector>,
+        batch_size: usize,
+        channel_batches: usize,
+        points_per_sec: f64,
+    ) -> Self {
         assert!(batch_size >= 1);
+        assert!(points_per_sec > 0.0);
         let (tx, rx) = bounded(channel_batches.max(1));
         let handle = std::thread::spawn(move || {
+            let t0 = Instant::now();
             let mut seq = 0u64;
+            let mut sent = 0usize;
             let mut iter = docs.into_iter().peekable();
             while iter.peek().is_some() {
                 let batch: Vec<SparseVector> = iter.by_ref().take(batch_size).collect();
+                if points_per_sec.is_finite() {
+                    let due = Duration::from_secs_f64(sent as f64 / points_per_sec);
+                    if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                }
+                sent += batch.len();
                 if tx
                     .send(ArrivalBatch {
                         seq,
@@ -54,6 +83,31 @@ impl Firehose {
         });
         Self {
             receiver: rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Spawns an ingest thread that drains this firehose into `engine`
+    /// (insert → seal → background merge at `η·C`), so the caller's thread
+    /// is free to run queries concurrently. Returns a handle that joins
+    /// the thread and reports ingest statistics.
+    pub fn pump_into(self, engine: StreamingEngine) -> IngestPump {
+        let handle = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut stats = IngestStats::default();
+            while let Some(batch) = self.next_batch() {
+                let t1 = Instant::now();
+                engine
+                    .insert_batch(&batch.docs)
+                    .expect("firehose ingest must fit node capacity");
+                stats.insert_time += t1.elapsed();
+                stats.batches += 1;
+                stats.points += batch.docs.len() as u64;
+            }
+            stats.elapsed = t0.elapsed();
+            stats
+        });
+        IngestPump {
             handle: Some(handle),
         }
     }
@@ -77,6 +131,53 @@ impl Drop for Firehose {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// What an ingest pump did, measured on the ingest thread.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Batches drained from the firehose.
+    pub batches: u64,
+    /// Points inserted.
+    pub points: u64,
+    /// Time spent inside `insert_batch` (hash + bucket + seal).
+    pub insert_time: Duration,
+    /// Wall time from pump start to stream end (includes waiting on a
+    /// paced producer).
+    pub elapsed: Duration,
+}
+
+impl IngestStats {
+    /// Insert throughput over time actually spent inserting.
+    pub fn insert_qps(&self) -> f64 {
+        let s = self.insert_time.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.points as f64 / s
+        }
+    }
+}
+
+/// Handle to the ingest thread spawned by [`Firehose::pump_into`].
+pub struct IngestPump {
+    handle: Option<JoinHandle<IngestStats>>,
+}
+
+impl IngestPump {
+    /// True once the ingest thread has drained the stream.
+    pub fn is_finished(&self) -> bool {
+        self.handle.as_ref().is_none_or(JoinHandle::is_finished)
+    }
+
+    /// Joins the ingest thread and returns its statistics.
+    pub fn join(mut self) -> IngestStats {
+        self.handle
+            .take()
+            .expect("pump joined once")
+            .join()
+            .expect("ingest thread panicked")
     }
 }
 
@@ -123,5 +224,61 @@ mod tests {
         let first = hose.next_batch().unwrap();
         assert_eq!(first.seq, 0);
         drop(hose); // must not deadlock on the blocked producer
+    }
+
+    #[test]
+    fn paced_stream_respects_the_arrival_rate() {
+        // 40 points at 400/s should take at least ~75 ms (the first batch
+        // is released immediately).
+        let t0 = std::time::Instant::now();
+        let hose = Firehose::start_paced(docs(40), 10, 2, 400.0);
+        let batches: Vec<ArrivalBatch> = hose.iter().collect();
+        assert_eq!(batches.len(), 4);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(70),
+            "pacing must throttle delivery, took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn pump_drains_into_a_streaming_engine() {
+        use plsh_core::engine::EngineConfig;
+        use plsh_core::params::PlshParams;
+        use plsh_parallel::ThreadPool;
+
+        let d = docs(120);
+        let params = PlshParams::builder(64)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .seed(3)
+            .build()
+            .unwrap();
+        let engine = StreamingEngine::new(
+            EngineConfig::new(params, 200).with_eta(0.25),
+            ThreadPool::new(2),
+        )
+        .unwrap();
+        let pump = Firehose::start(d.clone(), 25, 2).pump_into(engine.clone());
+        // Query concurrently while the pump drains (answers must only ever
+        // reference consistent epochs).
+        loop {
+            let info = engine.epoch_info();
+            assert_eq!(info.visible_points, info.static_points + info.sealed_points);
+            if pump.is_finished() {
+                break;
+            }
+            let _ = engine.query(&d[0]);
+        }
+        let stats = pump.join();
+        engine.wait_for_merge();
+        assert_eq!(stats.points, 120);
+        assert_eq!(stats.batches, 5);
+        assert!(stats.insert_qps() > 0.0);
+        assert_eq!(engine.len(), 120);
+        for (i, v) in d.iter().enumerate() {
+            assert!(engine.query(v).iter().any(|h| h.index == i as u32), "doc {i}");
+        }
     }
 }

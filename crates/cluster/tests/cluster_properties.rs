@@ -94,7 +94,7 @@ proptest! {
         from_cluster.sort_unstable();
         let mut manual = Vec::new();
         for node in 0..cluster.num_nodes() {
-            for h in cluster.node(node).query(q, &pool) {
+            for h in cluster.node(node).query(q) {
                 manual.push((node as u32, h.index));
             }
         }

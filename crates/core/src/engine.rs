@@ -1,27 +1,49 @@
-//! The single-node PLSH engine: static tables + delta tables + deletions.
+//! The single-node PLSH engine: epoch-swapped static tables + sealed delta
+//! generations + deletions.
 //!
-//! This is the per-node composite of Section 4/6: inserts are hashed once,
-//! buffered in the insert-optimized [`DeltaTables`], and periodically merged
-//! into the read-optimized [`StaticTables`] when the delta reaches a
-//! fraction `η` of node capacity. Queries consult both structures and a
-//! deletion bitvector, so answers always reflect every live point.
+//! This is the per-node composite of Section 4/6, rebuilt as a *concurrent
+//! streaming* subsystem so queries run while the firehose streams in:
 //!
-//! The merge rebuilds the static structure from the stored sketches — the
-//! paper shows (Section 6.2) that any merge algorithm is at most ~2.7×
-//! cheaper than this rebuild, because both are bound by the memory traffic
-//! of writing the combined tables.
+//! * **Readers pin epochs.** Every query pins one immutable
+//!   [`EngineView`] — the static tables, the consolidated static corpus,
+//!   and the list of sealed [`DeltaGeneration`]s — through a lock-free
+//!   [`EpochPtr`]. All query entry points take `&self`; a pinned view
+//!   never changes, so a query can never observe a half-merged state.
+//! * **Writers seal generations.** Inserts are hashed once and buffered in
+//!   the *open* generation (serialized by a write mutex). Sealing wraps
+//!   the generation in an `Arc` and publishes it with one epoch swap — a
+//!   pointer move, no copying. By default every `insert_batch` seals, so
+//!   points become visible the moment the call returns.
+//! * **Merges happen off to the side.** [`merge_delta`](Engine::merge_delta)
+//!   consolidates the sealed generations into the next static epoch —
+//!   bucket-merging the previous epoch's entry runs with radix-partitioned
+//!   generation entries ([`StaticTables::merge_generations`]) — while
+//!   queries and inserts keep running against the current epoch, then
+//!   publishes the result with a single swap. Deletion tombstones are
+//!   *purged* during the rebuild: tombstoned ids are dropped from every
+//!   bucket and their bitvector bits reclaimed.
+//!
+//! The paper's cost argument still holds (Section 6.2: any merge is at
+//! most ~2.7× cheaper than a rebuild because both are bound by the memory
+//! traffic of writing the combined tables) — the bucket merge sits on the
+//! cheap side of that window and, unlike the rebuild, no longer needs
+//! sketches for static points, so sketch storage is dropped at merge time.
 
-use plsh_parallel::ThreadPool;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use plsh_parallel::{EpochPtr, ThreadPool};
 
 use crate::error::{PlshError, Result};
-use crate::hash::{Hyperplanes, HyperplanesKind, SketchMatrix};
+use crate::hash::{Hyperplanes, HyperplanesKind};
 use crate::params::PlshParams;
 use crate::query::{
     self, BatchStats, Neighbor, QueryContext, QueryScratch, QueryStats, QueryStrategy,
     ScratchPool,
 };
 use crate::sparse::{CrsMatrix, SparseVector};
-use crate::table::{BuildStrategy, DeltaLayout, DeltaTables, StaticTables};
+use crate::table::{DeltaGeneration, DeltaLayout, StaticTables};
 
 /// Configuration of a single PLSH node engine.
 #[derive(Debug, Clone)]
@@ -35,31 +57,38 @@ pub struct EngineConfig {
     pub eta: f64,
     /// Whether inserts trigger merges automatically at `η·C`.
     pub auto_merge: bool,
-    /// Static construction algorithm (Figure 4 ablation).
-    pub build_strategy: BuildStrategy,
     /// Query pipeline switches (Figure 5 ablation).
     pub query_strategy: QueryStrategy,
-    /// Delta bin layout.
+    /// Delta bin layout (per sealed generation).
     pub delta_layout: DeltaLayout,
     /// Hyperplane storage (dense or on-the-fly).
     pub hyperplanes: HyperplanesKind,
     /// Vectorization-friendly hashing kernel (Figure 4 "+vectorization").
     pub vectorized_hashing: bool,
+    /// Minimum open-generation size before `insert_batch` auto-seals.
+    ///
+    /// The default of 1 seals after every batch, so freshly inserted
+    /// points are query-visible as soon as the insert returns. Raising it
+    /// lets several small batches coalesce into one generation (fewer
+    /// probes per query); the coalesced points stay invisible until the
+    /// threshold is reached or [`Engine::seal`] is called.
+    pub seal_min_points: usize,
 }
 
 impl EngineConfig {
-    /// Default configuration: all optimizations on, `η = 0.1`, auto-merge.
+    /// Default configuration: all optimizations on, `η = 0.1`, auto-merge,
+    /// seal every batch.
     pub fn new(params: PlshParams, capacity: usize) -> Self {
         Self {
             params,
             capacity,
             eta: 0.1,
             auto_merge: true,
-            build_strategy: BuildStrategy::TwoLevelShared,
             query_strategy: QueryStrategy::optimized(),
-            delta_layout: DeltaLayout::Direct,
+            delta_layout: DeltaLayout::Adaptive,
             hyperplanes: HyperplanesKind::Dense,
             vectorized_hashing: true,
+            seal_min_points: 1,
         }
     }
 
@@ -75,12 +104,6 @@ impl EngineConfig {
         self
     }
 
-    /// Overrides the build strategy.
-    pub fn with_build_strategy(mut self, s: BuildStrategy) -> Self {
-        self.build_strategy = s;
-        self
-    }
-
     /// Overrides the query strategy.
     pub fn with_query_strategy(mut self, s: QueryStrategy) -> Self {
         self.query_strategy = s;
@@ -90,6 +113,12 @@ impl EngineConfig {
     /// Overrides the delta layout.
     pub fn with_delta_layout(mut self, l: DeltaLayout) -> Self {
         self.delta_layout = l;
+        self
+    }
+
+    /// Sets the minimum open-generation size before auto-sealing.
+    pub fn with_seal_min_points(mut self, points: usize) -> Self {
+        self.seal_min_points = points.max(1);
         self
     }
 
@@ -119,40 +148,142 @@ impl EngineConfig {
     }
 }
 
-/// Deletion tombstones: one bit per point id (Section 6.2).
-#[derive(Debug, Clone)]
+/// Deletion tombstones: one bit per point id (Section 6.2), set atomically
+/// so deletes land concurrently with lock-free queries.
+///
+/// The bitmap is shared by reference with every epoch published *until the
+/// next merge*; a merge purges tombstoned ids from the rebuilt tables and
+/// publishes a fresh bitmap with those bits reclaimed, while readers still
+/// pinned on the old epoch keep the old bitmap (whose bits they still need
+/// to filter the old buckets).
+#[derive(Debug)]
 struct DeletionBitmap {
-    words: Vec<u64>,
-    count: usize,
+    words: Vec<AtomicU64>,
+    count: AtomicUsize,
 }
 
 impl DeletionBitmap {
     fn new(capacity: usize) -> Self {
         Self {
-            words: vec![0u64; capacity.div_ceil(64)],
-            count: 0,
+            words: (0..capacity.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicUsize::new(0),
         }
     }
 
-    fn set(&mut self, id: u32) -> bool {
-        let w = (id >> 6) as usize;
+    /// Sets the bit for `id`; returns `false` if it was already set.
+    fn set(&self, id: u32) -> bool {
         let bit = 1u64 << (id & 63);
-        if self.words[w] & bit != 0 {
+        let prev = self.words[(id >> 6) as usize].fetch_or(bit, Ordering::Relaxed);
+        if prev & bit != 0 {
             return false;
         }
-        self.words[w] |= bit;
-        self.count += 1;
+        self.count.fetch_add(1, Ordering::Relaxed);
         true
     }
 
     fn is_set(&self, id: u32) -> bool {
-        self.words[(id >> 6) as usize] & (1u64 << (id & 63)) != 0
+        self.words[(id >> 6) as usize].load(Ordering::Relaxed) & (1u64 << (id & 63)) != 0
     }
 
-    fn clear(&mut self) {
-        self.words.iter_mut().for_each(|w| *w = 0);
-        self.count = 0;
+    fn count(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
     }
+
+    /// Plain-integer snapshot of the words (the merge's purge decision).
+    fn snapshot(&self) -> Vec<u64> {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+    }
+
+    /// A copy of this bitmap with the bits of `purged` ids reclaimed.
+    fn cloned_without(&self, purged: &[u32]) -> Self {
+        let mut words: Vec<u64> = self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect();
+        for &id in purged {
+            words[(id >> 6) as usize] &= !(1u64 << (id & 63));
+        }
+        let count = words.iter().map(|w| w.count_ones() as usize).sum();
+        Self {
+            words: words.into_iter().map(AtomicU64::new).collect(),
+            count: AtomicUsize::new(count),
+        }
+    }
+}
+
+/// One published epoch: everything a query needs, immutable once stored.
+struct EngineView {
+    /// Rows `0..static_len`, consolidated at the last merge.
+    static_data: Arc<CrsMatrix>,
+    /// Static tables over those rows (minus purged ids).
+    statics: Option<Arc<StaticTables>>,
+    /// Sealed generations, ascending and contiguous from `static_len`.
+    sealed: Vec<Arc<DeltaGeneration>>,
+    /// Tombstone bits; swapped for a purged copy at each merge.
+    deleted: Arc<DeletionBitmap>,
+    /// Cached `static_len + Σ sealed lens`.
+    visible_len: u32,
+}
+
+impl EngineView {
+    fn empty(dim: u32, capacity: usize) -> Self {
+        Self {
+            static_data: Arc::new(CrsMatrix::new(dim)),
+            statics: None,
+            sealed: Vec::new(),
+            deleted: Arc::new(DeletionBitmap::new(capacity)),
+            visible_len: 0,
+        }
+    }
+
+    fn with_sealed(prev: &EngineView, gen: Arc<DeltaGeneration>) -> Self {
+        debug_assert_eq!(gen.base(), prev.visible_len);
+        let visible_len = gen.end();
+        let mut sealed = prev.sealed.clone();
+        sealed.push(gen);
+        Self {
+            static_data: prev.static_data.clone(),
+            statics: prev.statics.clone(),
+            sealed,
+            deleted: prev.deleted.clone(),
+            visible_len,
+        }
+    }
+
+    fn static_len(&self) -> usize {
+        self.static_data.num_rows()
+    }
+
+    fn sealed_points(&self) -> usize {
+        self.visible_len as usize - self.static_len()
+    }
+}
+
+/// Mutable write-side state, serialized by the engine's write mutex.
+struct WriteState {
+    /// The generation currently accepting inserts (invisible to queries
+    /// until sealed). `None` between seals.
+    open: Option<DeltaGeneration>,
+    /// Total ids assigned (static + sealed + open).
+    total: u32,
+    /// Sorted global ids purged from static epochs by past merges. Their
+    /// bitvector bits are reclaimed, they sit in no bucket, but their row
+    /// slots remain so ids stay stable.
+    purged: Vec<u32>,
+}
+
+/// Timing of the most recent merge (streaming observability).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct MergeReport {
+    /// Sealed points folded into the static epoch.
+    pub merged_points: usize,
+    /// Tombstoned ids purged from the tables by this merge.
+    pub purged_points: usize,
+    /// Off-to-the-side build time (queries keep running throughout).
+    pub build: Duration,
+    /// Publication window: the write-lock hold for the epoch swap — the
+    /// only interval in which a merge can delay an insert or delete (it
+    /// never delays queries, which are lock-free). Wall time: on a
+    /// saturated few-core host this includes scheduler latency while the
+    /// *query* threads keep the CPU.
+    pub publish: Duration,
 }
 
 /// Point and memory accounting for one engine.
@@ -160,36 +291,65 @@ impl DeletionBitmap {
 pub struct EngineStats {
     /// Total live + deleted points stored.
     pub total_points: usize,
-    /// Points in the static tables.
+    /// Points in the static structure (including purged row slots).
     pub static_points: usize,
-    /// Points buffered in the delta tables.
+    /// Points buffered in sealed + open delta generations.
     pub delta_points: usize,
-    /// Tombstoned points.
+    /// Tombstoned points (active bits plus purged ids).
     pub deleted_points: usize,
+    /// Tombstoned ids already purged from the static tables.
+    pub purged_points: usize,
+    /// Sealed generations awaiting merge.
+    pub sealed_generations: usize,
     /// Merges performed so far.
     pub merges: u64,
     /// Bytes in static tables.
     pub static_table_bytes: usize,
     /// Bytes in delta bins.
     pub delta_table_bytes: usize,
-    /// Bytes of stored sketches.
+    /// Bytes of stored sketches (delta generations only; static sketches
+    /// are dropped at merge time).
     pub sketch_bytes: usize,
     /// Bytes of the dense hyperplane matrix (0 when on-the-fly).
     pub hyperplane_bytes: usize,
 }
 
+/// Snapshot of the engine's published epoch (tests, benches, monitoring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochInfo {
+    /// Generation counter of the published epoch.
+    pub generation: u64,
+    /// Rows in the static structure.
+    pub static_points: usize,
+    /// Sealed generations in the epoch.
+    pub sealed_generations: usize,
+    /// Points across the sealed generations.
+    pub sealed_points: usize,
+    /// `static_points + sealed_points` — what queries against this epoch
+    /// can see.
+    pub visible_points: usize,
+}
+
 /// A single-node PLSH engine.
+///
+/// All operations take `&self`: queries pin epochs lock-free, while
+/// inserts, seals, merges, and deletes serialize on an internal write
+/// mutex. Wrap the engine in an `Arc` (or use
+/// [`StreamingEngine`](crate::streaming::StreamingEngine)) to drive ingest
+/// and queries from different threads concurrently.
 pub struct Engine {
     config: EngineConfig,
-    planes: Hyperplanes,
-    data: CrsMatrix,
-    sketches: SketchMatrix,
-    static_len: usize,
-    statics: Option<StaticTables>,
-    delta: DeltaTables,
-    deleted: DeletionBitmap,
+    planes: Arc<Hyperplanes>,
+    epoch: EpochPtr<EngineView>,
+    write: Mutex<WriteState>,
+    /// Serializes merges (and `clear`) without blocking the write path for
+    /// the duration of a merge build.
+    merge_lock: Mutex<()>,
+    /// Mirror of `WriteState::total` for lock-free `len()`.
+    total: AtomicUsize,
+    merges: AtomicU64,
+    last_merge: Mutex<MergeReport>,
     scratches: ScratchPool,
-    merges: u64,
 }
 
 impl Engine {
@@ -207,15 +367,18 @@ impl Engine {
         };
         let scratches = ScratchPool::new(p.m(), p.half_bits(), p.dim());
         Ok(Self {
-            data: CrsMatrix::with_capacity(p.dim(), config.capacity.min(1 << 20), 8),
-            sketches: SketchMatrix::new(p.m(), p.half_bits()),
-            static_len: 0,
-            statics: None,
-            delta: DeltaTables::new(p.m(), p.half_bits(), config.delta_layout),
-            deleted: DeletionBitmap::new(config.capacity),
+            epoch: EpochPtr::new(Arc::new(EngineView::empty(p.dim(), config.capacity))),
+            write: Mutex::new(WriteState {
+                open: None,
+                total: 0,
+                purged: Vec::new(),
+            }),
+            merge_lock: Mutex::new(()),
+            total: AtomicUsize::new(0),
+            merges: AtomicU64::new(0),
+            last_merge: Mutex::new(MergeReport::default()),
             scratches,
-            merges: 0,
-            planes,
+            planes: Arc::new(planes),
             config,
         })
     }
@@ -230,9 +393,9 @@ impl Engine {
         &self.config
     }
 
-    /// Total stored points (live + deleted).
+    /// Total stored points (live + deleted, sealed + open).
     pub fn len(&self) -> usize {
-        self.data.num_rows()
+        self.total.load(Ordering::Acquire)
     }
 
     /// True when no points are stored.
@@ -242,12 +405,35 @@ impl Engine {
 
     /// Points currently in the static structure.
     pub fn static_len(&self) -> usize {
-        self.static_len
+        self.epoch.snapshot().static_len()
     }
 
-    /// Points currently buffered in the delta structure.
+    /// Points currently buffered in delta generations (sealed + open).
     pub fn delta_len(&self) -> usize {
-        self.delta.len()
+        // Saturating: between the two loads a concurrent merge may publish
+        // a static epoch that already covers points this `len()` read
+        // predates.
+        self.len().saturating_sub(self.static_len())
+    }
+
+    /// Points visible to queries right now (static + sealed; excludes an
+    /// unsealed open generation).
+    pub fn visible_len(&self) -> usize {
+        self.epoch.snapshot().visible_len as usize
+    }
+
+    /// The published epoch's shape; its invariant
+    /// `visible = static + sealed` holds for *every* pin a reader can ever
+    /// take — that is the "no half-merged epoch" guarantee.
+    pub fn epoch_info(&self) -> EpochInfo {
+        let (view, generation) = self.epoch.load();
+        EpochInfo {
+            generation,
+            static_points: view.static_len(),
+            sealed_generations: view.sealed.len(),
+            sealed_points: view.sealed_points(),
+            visible_points: view.visible_len as usize,
+        }
     }
 
     /// Node capacity `C`.
@@ -260,27 +446,67 @@ impl Engine {
         self.config.capacity - self.len()
     }
 
-    /// The stored vector for point `id`.
+    /// The stored vector for point `id` (panics when out of range).
     pub fn vector(&self, id: u32) -> SparseVector {
-        self.data.row_vector(id)
+        let view = self.epoch.snapshot();
+        if let Some(v) = Self::view_vector(&view, id) {
+            return v;
+        }
+        // Not in that snapshot: the id is in the open generation, or a
+        // concurrent insert sealed it after our pin. Re-check under the
+        // write lock, where the epoch cannot advance.
+        let w = self.write.lock().unwrap();
+        if let Some(open) = w.open.as_ref() {
+            if id >= open.base() && id < open.end() {
+                return open.data().row_vector(id - open.base());
+            }
+        }
+        let view = self.epoch.snapshot();
+        Self::view_vector(&view, id).expect("point id out of range")
+    }
+
+    fn view_vector(view: &EngineView, id: u32) -> Option<SparseVector> {
+        if (id as usize) < view.static_len() {
+            return Some(view.static_data.row_vector(id));
+        }
+        view.sealed
+            .iter()
+            .find(|g| id >= g.base() && id < g.end())
+            .map(|g| g.data().row_vector(id - g.base()))
     }
 
     /// Inserts one vector; returns its node-local id.
-    pub fn insert(&mut self, v: SparseVector, pool: &ThreadPool) -> Result<u32> {
+    pub fn insert(&self, v: SparseVector, pool: &ThreadPool) -> Result<u32> {
         Ok(self.insert_batch(std::slice::from_ref(&v), pool)?[0])
     }
 
     /// Inserts a batch of vectors (paper: streaming arrives in ~100 K-point
     /// chunks, Section 6.2); returns their ids.
     ///
-    /// The batch is all-or-nothing with respect to capacity; dimension
-    /// errors abort before any vector of the batch is applied.
-    pub fn insert_batch(&mut self, vs: &[SparseVector], pool: &ThreadPool) -> Result<Vec<u32>> {
-        if self.len() + vs.len() > self.config.capacity {
-            return Err(PlshError::CapacityExceeded {
-                capacity: self.config.capacity,
-            });
+    /// The batch is hashed once into the open generation under the write
+    /// mutex, then (by default) sealed — one epoch swap making it visible
+    /// to queries. The batch is all-or-nothing with respect to capacity;
+    /// dimension errors abort before any vector of the batch is applied.
+    /// When the sealed delta reaches `η·C` and auto-merge is on, the merge
+    /// runs inline on this thread; use
+    /// [`StreamingEngine`](crate::streaming::StreamingEngine) to run it in
+    /// the background instead.
+    pub fn insert_batch(&self, vs: &[SparseVector], pool: &ThreadPool) -> Result<Vec<u32>> {
+        let (ids, merge_due) = self.insert_batch_deferring_merge(vs, pool)?;
+        if merge_due {
+            self.merge_delta(pool);
         }
+        Ok(ids)
+    }
+
+    /// The write path proper: insert + seal, returning whether the sealed
+    /// delta crossed the auto-merge threshold (the caller decides whether
+    /// to merge inline or in the background).
+    pub(crate) fn insert_batch_deferring_merge(
+        &self,
+        vs: &[SparseVector],
+        pool: &ThreadPool,
+    ) -> Result<(Vec<u32>, bool)> {
         for v in vs {
             if let Some(max) = v.max_index() {
                 if max >= self.config.params.dim() {
@@ -291,28 +517,70 @@ impl Engine {
                 }
             }
         }
-        let from = self.len();
-        for v in vs {
-            self.data.push(v).expect("dimensions validated above");
+        let mut w = self.write.lock().unwrap();
+        if w.total as usize + vs.len() > self.config.capacity {
+            return Err(PlshError::CapacityExceeded {
+                capacity: self.config.capacity,
+            });
         }
-        self.sketches.append_from(
-            &self.data,
-            &self.planes,
-            from,
-            pool,
-            self.config.vectorized_hashing,
-        );
-        let ids: Vec<u32> = (from as u32..(from + vs.len()) as u32).collect();
-        self.delta.insert_batch(&self.sketches, &ids, pool);
-        if self.config.auto_merge && self.delta.len() as f64 >= self.config.eta * self.config.capacity as f64
-        {
-            self.merge_delta(pool);
+        let from = w.total;
+        if !vs.is_empty() {
+            let p = &self.config.params;
+            if w.open.is_none() {
+                w.open = Some(DeltaGeneration::new(
+                    from,
+                    p.dim(),
+                    p.m(),
+                    p.half_bits(),
+                    self.config.delta_layout,
+                    vs.len(),
+                ));
+            }
+            let open = w.open.as_mut().expect("installed above");
+            open.append(vs, &self.planes, self.config.vectorized_hashing, pool)
+                .expect("dimensions validated above");
+            let seal_due = open.len() >= self.config.seal_min_points;
+            w.total += vs.len() as u32;
+            self.total.store(w.total as usize, Ordering::Release);
+            if seal_due {
+                self.seal_locked(&mut w);
+            }
         }
-        Ok(ids)
+        let ids: Vec<u32> = (from..from + vs.len() as u32).collect();
+        let sealed_points = w.total as usize
+            - w.open.as_ref().map_or(0, DeltaGeneration::len)
+            - self.epoch.snapshot().static_len();
+        let merge_due = self.config.auto_merge
+            && sealed_points as f64 >= self.config.eta * self.config.capacity as f64;
+        drop(w);
+        Ok((ids, merge_due))
+    }
+
+    /// Seals the open generation: wraps it in an `Arc` and publishes a new
+    /// epoch whose sealed list includes it (a pointer move — the points
+    /// themselves are not touched). Returns `false` when there was nothing
+    /// to seal. Only needed explicitly when
+    /// [`seal_min_points`](EngineConfig::seal_min_points) is raised above 1.
+    pub fn seal(&self) -> bool {
+        let mut w = self.write.lock().unwrap();
+        self.seal_locked(&mut w)
+    }
+
+    fn seal_locked(&self, w: &mut MutexGuard<'_, WriteState>) -> bool {
+        let Some(open) = w.open.take() else {
+            return false;
+        };
+        if open.is_empty() {
+            return false;
+        }
+        let gen = Arc::new(open);
+        self.epoch
+            .rcu(|prev| Arc::new(EngineView::with_sealed(prev, gen.clone())));
+        true
     }
 
     /// Inserts everything from an iterator.
-    pub fn extend<I>(&mut self, vs: I, pool: &ThreadPool) -> Result<Vec<u32>>
+    pub fn extend<I>(&self, vs: I, pool: &ThreadPool) -> Result<Vec<u32>>
     where
         I: IntoIterator<Item = SparseVector>,
     {
@@ -320,60 +588,195 @@ impl Engine {
         self.insert_batch(&vs, pool)
     }
 
-    /// Merges the delta into the static structure by rebuilding the static
-    /// tables over every stored point (Section 6.2).
-    pub fn merge_delta(&mut self, pool: &ThreadPool) {
-        let n = self.len();
-        let statics =
-            StaticTables::build_prefix(&self.sketches, n, self.config.build_strategy, pool);
+    /// Merges every sealed generation into the next static epoch.
+    ///
+    /// Safe to call from any thread, concurrently with inserts, deletes,
+    /// and queries: the new corpus and tables are built *off to the side*
+    /// from the pinned epoch (readers keep querying the current one), and
+    /// published with a single swap. Tombstoned ids are purged during the
+    /// rebuild — dropped from every bucket, their bitvector bits
+    /// reclaimed — and generations sealed while the merge was building
+    /// simply remain sealed in the new epoch.
+    pub fn merge_delta(&self, pool: &ThreadPool) {
+        let _m = self.merge_lock.lock().unwrap();
+        let t0 = Instant::now();
+        let p = &self.config.params;
+
+        // Pin the epoch to merge. Seals may append while we build; those
+        // generations are carried over untouched at publish time.
+        let v0 = self.epoch.snapshot();
+        let gens = v0.sealed.clone();
+        let merge_end = v0.visible_len;
+
+        // Purge decision: one bitvector snapshot, applied identically to
+        // all L tables. Only ids below `merge_end` participate (later ids
+        // are not part of this merge).
+        let tombstones = v0.deleted.snapshot();
+        let mut purged_now: Vec<u32> = Vec::new();
+        for (wi, &word) in tombstones.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let id = (wi * 64) as u32 + bits.trailing_zeros();
+                bits &= bits - 1;
+                if id < merge_end {
+                    purged_now.push(id);
+                }
+            }
+        }
+        if gens.is_empty() && purged_now.is_empty() {
+            return; // nothing to fold, nothing to purge: the epoch stands
+        }
+
+        // Build the next epoch off to the side.
+        let mut static_data = (*v0.static_data).clone();
+        for g in &gens {
+            static_data.extend_from(g.data());
+        }
+        let statics = StaticTables::merge_generations(
+            v0.statics.as_deref(),
+            p.m(),
+            p.half_bits(),
+            static_data.num_rows(),
+            &gens,
+            &tombstones,
+            pool,
+        );
         if self.config.query_strategy.huge_pages {
             statics.advise_huge_pages();
         }
-        self.statics = Some(statics);
-        self.static_len = n;
-        self.delta.clear();
-        self.merges += 1;
+        let build = t0.elapsed();
+
+        // Publish: one swap under the write lock. Everything sealed after
+        // our pin survives verbatim; the purged ids' bits are reclaimed in
+        // a fresh bitmap (readers pinned on the old epoch keep the old
+        // bitmap, whose bits they still need for the old buckets). The
+        // publish timer starts after lock acquisition: waiting behind an
+        // in-flight insert is that insert's cost, not the merge's pause.
+        let mut w = self.write.lock().unwrap();
+        let t1 = Instant::now();
+        let current = self.epoch.snapshot();
+        debug_assert!(current
+            .sealed
+            .iter()
+            .zip(&gens)
+            .all(|(a, b)| Arc::ptr_eq(a, b)));
+        let remaining = current.sealed[gens.len()..].to_vec();
+        let deleted = Arc::new(current.deleted.cloned_without(&purged_now));
+        let view = EngineView {
+            visible_len: current.visible_len,
+            static_data: Arc::new(static_data),
+            statics: Some(Arc::new(statics)),
+            sealed: remaining,
+            deleted,
+        };
+        w.purged.extend_from_slice(&purged_now);
+        w.purged.sort_unstable();
+        self.epoch.store(Arc::new(view));
+        drop(w);
+        let publish = t1.elapsed();
+
+        self.merges.fetch_add(1, Ordering::Relaxed);
+        *self.last_merge.lock().unwrap() = MergeReport {
+            merged_points: merge_end as usize - v0.static_len(),
+            purged_points: purged_now.len(),
+            build,
+            publish,
+        };
+    }
+
+    /// Timing and purge counts of the most recent merge.
+    pub fn last_merge(&self) -> MergeReport {
+        *self.last_merge.lock().unwrap()
     }
 
     /// Tombstones a point; returns `false` if it was already deleted or out
-    /// of range.
-    pub fn delete(&mut self, id: u32) -> bool {
-        if (id as usize) >= self.len() {
+    /// of range. Takes effect immediately on all future queries; the point
+    /// is physically purged from the tables at the next merge.
+    pub fn delete(&self, id: u32) -> bool {
+        let w = self.write.lock().unwrap();
+        if (id as usize) >= w.total as usize {
             return false;
         }
-        self.deleted.set(id)
+        if w.purged.binary_search(&id).is_ok() {
+            return false;
+        }
+        self.epoch.snapshot().deleted.set(id)
     }
 
-    /// True iff `id` is tombstoned.
+    /// True iff `id` is tombstoned (pending or already purged).
     pub fn is_deleted(&self, id: u32) -> bool {
-        (id as usize) < self.len() && self.deleted.is_set(id)
+        let w = self.write.lock().unwrap();
+        if (id as usize) >= w.total as usize {
+            return false;
+        }
+        w.purged.binary_search(&id).is_ok() || self.epoch.snapshot().deleted.is_set(id)
+    }
+
+    /// Ids purged from the static tables by past merges (still tombstoned;
+    /// their row slots remain so ids stay stable). Sorted ascending.
+    pub fn purged_ids(&self) -> Vec<u32> {
+        self.write.lock().unwrap().purged.clone()
+    }
+
+    /// Atomically captures everything a snapshot needs — one write-lock
+    /// hold, one epoch pin — as `(static_len, rows in id order, pending
+    /// tombstones, purged ids)`. Holding the lock keeps a concurrent
+    /// ingest or merge from publishing mid-capture, so the four parts are
+    /// mutually consistent.
+    pub(crate) fn capture_state(&self) -> (usize, Vec<SparseVector>, Vec<u32>, Vec<u32>) {
+        let w = self.write.lock().unwrap();
+        let view = self.epoch.snapshot();
+        let mut vectors = Vec::with_capacity(w.total as usize);
+        for id in 0..view.static_len() as u32 {
+            vectors.push(view.static_data.row_vector(id));
+        }
+        for g in view.sealed.iter().map(Arc::as_ref).chain(w.open.as_ref()) {
+            for local in 0..g.len() as u32 {
+                vectors.push(g.data().row_vector(local));
+            }
+        }
+        debug_assert_eq!(vectors.len(), w.total as usize);
+        // Set bits are exactly the pending (unpurged) tombstones: merges
+        // reclaim the bits of everything they purge.
+        let mut deleted = Vec::new();
+        for (wi, word) in view.deleted.words.iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            while bits != 0 {
+                let id = (wi * 64) as u32 + bits.trailing_zeros();
+                bits &= bits - 1;
+                if id < w.total {
+                    deleted.push(id);
+                }
+            }
+        }
+        (view.static_len(), vectors, deleted, w.purged.clone())
     }
 
     /// Retires the node's entire contents (Section 6: the rolling window
-    /// erases the oldest `M` nodes wholesale). Storage is retained.
-    pub fn clear(&mut self) {
-        self.data.clear();
-        self.sketches.clear();
-        self.statics = None;
-        self.static_len = 0;
-        self.delta.clear();
-        self.deleted.clear();
+    /// erases the oldest `M` nodes wholesale).
+    pub fn clear(&self) {
+        let _m = self.merge_lock.lock().unwrap();
+        let mut w = self.write.lock().unwrap();
+        w.open = None;
+        w.total = 0;
+        w.purged.clear();
+        self.total.store(0, Ordering::Release);
+        self.epoch.store(Arc::new(EngineView::empty(
+            self.config.params.dim(),
+            self.config.capacity,
+        )));
     }
 
-    fn ctx(&self) -> QueryContext<'_> {
+    fn view_ctx<'a>(&'a self, view: &'a EngineView) -> QueryContext<'a> {
         QueryContext {
-            data: &self.data,
+            static_data: &view.static_data,
             planes: &self.planes,
-            static_tables: self.statics.as_ref(),
-            delta: if self.delta.is_empty() {
+            static_tables: view.statics.as_deref(),
+            deltas: &view.sealed,
+            deleted: if view.deleted.count() == 0 {
                 None
             } else {
-                Some(&self.delta)
-            },
-            deleted: if self.deleted.count == 0 {
-                None
-            } else {
-                Some(&self.deleted.words)
+                Some(&view.deleted.words)
             },
             m: self.config.params.m(),
             half_bits: self.config.params.half_bits(),
@@ -382,29 +785,31 @@ impl Engine {
         }
     }
 
-    /// Answers one query (single-threaded; `pool` reserved for signature
-    /// symmetry with [`query_batch`](Self::query_batch)).
-    pub fn query(&self, q: &SparseVector, _pool: &ThreadPool) -> Vec<Neighbor> {
+    /// Answers one query against the currently published epoch.
+    pub fn query(&self, q: &SparseVector) -> Vec<Neighbor> {
         self.query_with_stats(q).0
     }
 
     /// Answers one query and returns its pipeline counters.
     pub fn query_with_stats(&self, q: &SparseVector) -> (Vec<Neighbor>, QueryStats) {
-        let mut scratch = self.scratches.take(self.len());
-        let r = query::execute_query(&self.ctx(), q, &mut scratch);
+        let view = self.epoch.snapshot();
+        let mut scratch = self.scratches.take(view.visible_len as usize);
+        let r = query::execute_query(&self.view_ctx(&view), q, &mut scratch);
         self.scratches.put(scratch);
         r
     }
 
     /// Answers a batch of queries through the batched SIMD pipeline: Q1 is
     /// hashed for the whole batch first ([`crate::hash::SketchMatrix::sketch_batch`]),
-    /// then Q2–Q4 fan out one work-stealing task per query.
+    /// then Q2–Q4 fan out one work-stealing task per query. The whole
+    /// batch runs against one pinned epoch.
     pub fn query_batch(
         &self,
         qs: &[SparseVector],
         pool: &ThreadPool,
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
-        query::execute_batch_pipelined(&self.ctx(), qs, pool, &self.scratches)
+        let view = self.epoch.snapshot();
+        query::execute_batch_pipelined(&self.view_ctx(&view), qs, pool, &self.scratches)
     }
 
     /// Runs one query with an explicit strategy override (ablations).
@@ -413,9 +818,10 @@ impl Engine {
         q: &SparseVector,
         strategy: QueryStrategy,
     ) -> (Vec<Neighbor>, QueryStats) {
-        let mut ctx = self.ctx();
+        let view = self.epoch.snapshot();
+        let mut ctx = self.view_ctx(&view);
         ctx.strategy = strategy;
-        let mut scratch = self.scratches.take(self.len());
+        let mut scratch = self.scratches.take(view.visible_len as usize);
         let r = query::execute_query(&ctx, q, &mut scratch);
         self.scratches.put(scratch);
         r
@@ -432,7 +838,8 @@ impl Engine {
         strategy: QueryStrategy,
         pool: &ThreadPool,
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
-        let mut ctx = self.ctx();
+        let view = self.epoch.snapshot();
+        let mut ctx = self.view_ctx(&view);
         ctx.strategy = strategy;
         query::execute_batch(&ctx, qs, pool, &self.scratches)
     }
@@ -441,8 +848,9 @@ impl Engine {
     /// points among everything the hash tables surface for `q`, ascending
     /// by distance (see [`query::execute_knn`]).
     pub fn query_knn(&self, q: &SparseVector, k: usize) -> (Vec<Neighbor>, QueryStats) {
-        let mut scratch = self.scratches.take(self.len());
-        let r = query::execute_knn(&self.ctx(), q, k, &mut scratch);
+        let view = self.epoch.snapshot();
+        let mut scratch = self.scratches.take(view.visible_len as usize);
+        let r = query::execute_knn(&self.view_ctx(&view), q, k, &mut scratch);
         self.scratches.put(scratch);
         r
     }
@@ -452,23 +860,45 @@ impl Engine {
         &self,
         qs: &[SparseVector],
     ) -> (query::QueryPhaseTimings, QueryStats) {
-        let mut scratch = self.scratches.take(self.len());
-        let r = query::profile_batch(&self.ctx(), qs, &mut scratch);
+        let view = self.epoch.snapshot();
+        let mut scratch = self.scratches.take(view.visible_len as usize);
+        let r = query::profile_batch(&self.view_ctx(&view), qs, &mut scratch);
         self.scratches.put(scratch);
         r
     }
 
     /// Point/memory accounting.
     pub fn stats(&self) -> EngineStats {
+        // Lock first, then pin: publishes happen under the write lock, so
+        // the view and the write-side counters are mutually consistent
+        // (pinning first could pair a pre-merge bitmap with a post-merge
+        // purged list and double-count tombstones).
+        let w = self.write.lock().unwrap();
+        let view = self.epoch.snapshot();
+        let open = w.open.as_ref();
+        let delta_table_bytes = view
+            .sealed
+            .iter()
+            .map(|g| g.delta_bytes())
+            .chain(open.map(DeltaGeneration::delta_bytes))
+            .sum();
+        let sketch_bytes = view
+            .sealed
+            .iter()
+            .map(|g| g.sketches().memory_bytes())
+            .chain(open.map(|g| g.sketches().memory_bytes()))
+            .sum();
         EngineStats {
-            total_points: self.len(),
-            static_points: self.static_len,
-            delta_points: self.delta.len(),
-            deleted_points: self.deleted.count,
-            merges: self.merges,
-            static_table_bytes: self.statics.as_ref().map_or(0, StaticTables::memory_bytes),
-            delta_table_bytes: self.delta.memory_bytes(),
-            sketch_bytes: self.sketches.memory_bytes(),
+            total_points: w.total as usize,
+            static_points: view.static_len(),
+            delta_points: w.total as usize - view.static_len(),
+            deleted_points: view.deleted.count() + w.purged.len(),
+            purged_points: w.purged.len(),
+            sealed_generations: view.sealed.len(),
+            merges: self.merges.load(Ordering::Relaxed),
+            static_table_bytes: view.statics.as_ref().map_or(0, |s| s.memory_bytes()),
+            delta_table_bytes,
+            sketch_bytes,
             hyperplane_bytes: self.planes.memory_bytes(),
         }
     }
@@ -520,7 +950,7 @@ mod tests {
     #[test]
     fn insert_query_roundtrip_without_merge() {
         let pool = ThreadPool::new(1);
-        let mut e = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
         let mut rng = SplitMix64::new(1);
         let vs: Vec<SparseVector> = (0..50).map(|_| random_vec(&mut rng, 64)).collect();
         let ids = e.insert_batch(&vs, &pool).unwrap();
@@ -529,7 +959,7 @@ mod tests {
         assert_eq!(e.delta_len(), 50);
         // Every point must find itself purely through the delta tables.
         for (i, v) in vs.iter().enumerate() {
-            let hits = e.query(v, &pool);
+            let hits = e.query(v);
             assert!(
                 hits.iter().any(|h| h.index == i as u32 && h.distance < 1e-3),
                 "point {i} not found pre-merge"
@@ -540,7 +970,7 @@ mod tests {
     #[test]
     fn merge_preserves_query_answers() {
         let pool = ThreadPool::new(2);
-        let mut e = Engine::new(EngineConfig::new(params(64), 200).manual_merge(), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 200).manual_merge(), &pool).unwrap();
         let mut rng = SplitMix64::new(2);
         let vs: Vec<SparseVector> = (0..120).map(|_| random_vec(&mut rng, 64)).collect();
         e.insert_batch(&vs, &pool).unwrap();
@@ -548,7 +978,7 @@ mod tests {
         let pre: Vec<Vec<u32>> = vs
             .iter()
             .map(|v| {
-                let mut hits: Vec<u32> = e.query(v, &pool).iter().map(|h| h.index).collect();
+                let mut hits: Vec<u32> = e.query(v).iter().map(|h| h.index).collect();
                 hits.sort_unstable();
                 hits
             })
@@ -557,7 +987,7 @@ mod tests {
         assert_eq!(e.static_len(), 120);
         assert_eq!(e.delta_len(), 0);
         for (v, expect) in vs.iter().zip(&pre) {
-            let mut hits: Vec<u32> = e.query(v, &pool).iter().map(|h| h.index).collect();
+            let mut hits: Vec<u32> = e.query(v).iter().map(|h| h.index).collect();
             hits.sort_unstable();
             assert_eq!(&hits, expect, "merge must not change answers");
         }
@@ -566,7 +996,7 @@ mod tests {
     #[test]
     fn mixed_static_and_delta_queries() {
         let pool = ThreadPool::new(1);
-        let mut e = Engine::new(EngineConfig::new(params(64), 300).manual_merge(), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 300).manual_merge(), &pool).unwrap();
         let mut rng = SplitMix64::new(3);
         let first: Vec<SparseVector> = (0..80).map(|_| random_vec(&mut rng, 64)).collect();
         e.insert_batch(&first, &pool).unwrap();
@@ -577,11 +1007,11 @@ mod tests {
         assert_eq!(e.delta_len(), 40);
         // Old and new points are both findable.
         for (i, v) in first.iter().enumerate() {
-            assert!(e.query(v, &pool).iter().any(|h| h.index == i as u32));
+            assert!(e.query(v).iter().any(|h| h.index == i as u32));
         }
         for (i, v) in second.iter().enumerate() {
             let id = 80 + i as u32;
-            assert!(e.query(v, &pool).iter().any(|h| h.index == id));
+            assert!(e.query(v).iter().any(|h| h.index == id));
         }
     }
 
@@ -589,7 +1019,7 @@ mod tests {
     fn auto_merge_fires_at_eta() {
         let pool = ThreadPool::new(1);
         let config = EngineConfig::new(params(64), 100).with_eta(0.1);
-        let mut e = Engine::new(config, &pool).unwrap();
+        let e = Engine::new(config, &pool).unwrap();
         let mut rng = SplitMix64::new(4);
         for i in 0..10 {
             e.insert(random_vec(&mut rng, 64), &pool).unwrap();
@@ -604,7 +1034,7 @@ mod tests {
     #[test]
     fn capacity_is_enforced_atomically() {
         let pool = ThreadPool::new(1);
-        let mut e = Engine::new(EngineConfig::new(params(64), 10), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 10), &pool).unwrap();
         let mut rng = SplitMix64::new(5);
         let vs: Vec<SparseVector> = (0..11).map(|_| random_vec(&mut rng, 64)).collect();
         assert_eq!(
@@ -620,7 +1050,7 @@ mod tests {
     #[test]
     fn dimension_errors_abort_batch() {
         let pool = ThreadPool::new(1);
-        let mut e = Engine::new(EngineConfig::new(params(64), 10), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 10), &pool).unwrap();
         let good = SparseVector::unit(vec![(0, 1.0)]).unwrap();
         let bad = SparseVector::unit(vec![(64, 1.0)]).unwrap();
         let err = e.insert_batch(&[good, bad], &pool).unwrap_err();
@@ -631,24 +1061,109 @@ mod tests {
     #[test]
     fn delete_hides_points_from_queries() {
         let pool = ThreadPool::new(1);
-        let mut e = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
         let v = SparseVector::unit(vec![(3, 1.0), (9, 0.5)]).unwrap();
         let id = e.insert(v.clone(), &pool).unwrap();
-        assert!(e.query(&v, &pool).iter().any(|h| h.index == id));
+        assert!(e.query(&v).iter().any(|h| h.index == id));
         assert!(e.delete(id));
         assert!(!e.delete(id), "double delete returns false");
         assert!(e.is_deleted(id));
-        assert!(!e.query(&v, &pool).iter().any(|h| h.index == id));
+        assert!(!e.query(&v).iter().any(|h| h.index == id));
         // Deletion also filters static-path answers after a merge.
         e.merge_delta(&pool);
-        assert!(!e.query(&v, &pool).iter().any(|h| h.index == id));
+        assert!(!e.query(&v).iter().any(|h| h.index == id));
+        assert!(e.is_deleted(id), "purged points stay deleted");
+        assert!(!e.delete(id), "purged points cannot be re-deleted");
         assert!(!e.delete(55), "out of range delete is rejected");
+    }
+
+    #[test]
+    fn merge_purges_tombstones_and_reclaims_bits() {
+        let pool = ThreadPool::new(1);
+        let e = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(14);
+        let vs: Vec<SparseVector> = (0..40).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs, &pool).unwrap();
+        for id in [3u32, 17, 39] {
+            assert!(e.delete(id));
+        }
+        assert_eq!(e.stats().deleted_points, 3);
+        assert_eq!(e.stats().purged_points, 0);
+        e.merge_delta(&pool);
+        let stats = e.stats();
+        // Still reported deleted, but the bits have been reclaimed and the
+        // ids no longer occupy any bucket.
+        assert_eq!(stats.deleted_points, 3);
+        assert_eq!(stats.purged_points, 3);
+        assert_eq!(e.purged_ids(), vec![3, 17, 39]);
+        assert_eq!(e.last_merge().purged_points, 3);
+        for id in [3u32, 17, 39] {
+            assert!(e.is_deleted(id));
+            assert!(!e.query(&vs[id as usize]).iter().any(|h| h.index == id));
+        }
+        // Survivors unaffected.
+        assert!(e.query(&vs[5]).iter().any(|h| h.index == 5));
+        // A second merge keeps the purged set (nothing new to purge).
+        e.merge_delta(&pool);
+        assert_eq!(e.stats().purged_points, 3);
+    }
+
+    #[test]
+    fn epoch_info_is_always_consistent() {
+        let pool = ThreadPool::new(1);
+        let e = Engine::new(EngineConfig::new(params(64), 200).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(15);
+        let mut last_gen = e.epoch_info().generation;
+        for round in 0..6 {
+            let vs: Vec<SparseVector> = (0..10).map(|_| random_vec(&mut rng, 64)).collect();
+            e.insert_batch(&vs, &pool).unwrap();
+            if round % 2 == 1 {
+                e.merge_delta(&pool);
+            }
+            let info = e.epoch_info();
+            assert_eq!(
+                info.visible_points,
+                info.static_points + info.sealed_points,
+                "epoch must never be half-merged"
+            );
+            assert!(info.generation > last_gen);
+            last_gen = info.generation;
+        }
+        assert_eq!(e.visible_len(), 60);
+    }
+
+    #[test]
+    fn seal_min_points_coalesces_batches() {
+        let pool = ThreadPool::new(1);
+        let e = Engine::new(
+            EngineConfig::new(params(64), 100)
+                .manual_merge()
+                .with_seal_min_points(25),
+            &pool,
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(16);
+        let vs: Vec<SparseVector> = (0..30).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs[..10], &pool).unwrap();
+        // Below the threshold: buffered but not yet visible.
+        assert_eq!(e.len(), 10);
+        assert_eq!(e.visible_len(), 0);
+        assert_eq!(e.vector(3), vs[3], "open-generation rows are reachable");
+        e.insert_batch(&vs[10..], &pool).unwrap();
+        // Crossing the threshold seals one coalesced generation.
+        assert_eq!(e.visible_len(), 30);
+        assert_eq!(e.epoch_info().sealed_generations, 1);
+        for (i, v) in vs.iter().enumerate() {
+            assert!(e.query(v).iter().any(|h| h.index == i as u32));
+        }
+        // Explicit seal on an empty open generation is a no-op.
+        assert!(!e.seal());
     }
 
     #[test]
     fn clear_retires_everything() {
         let pool = ThreadPool::new(1);
-        let mut e = Engine::new(EngineConfig::new(params(64), 50), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 50), &pool).unwrap();
         let mut rng = SplitMix64::new(6);
         let vs: Vec<SparseVector> = (0..20).map(|_| random_vec(&mut rng, 64)).collect();
         e.insert_batch(&vs, &pool).unwrap();
@@ -658,17 +1173,17 @@ mod tests {
         assert_eq!(e.delta_len(), 0);
         assert_eq!(e.static_len(), 0);
         assert_eq!(e.stats().deleted_points, 0);
-        assert!(e.query(&vs[0], &pool).is_empty());
+        assert!(e.query(&vs[0]).is_empty());
         // Node is reusable after retirement.
         let id = e.insert(vs[0].clone(), &pool).unwrap();
         assert_eq!(id, 0);
-        assert!(e.query(&vs[0], &pool).iter().any(|h| h.index == 0));
+        assert!(e.query(&vs[0]).iter().any(|h| h.index == 0));
     }
 
     #[test]
     fn batch_query_agrees_with_singles() {
         let pool = ThreadPool::new(2);
-        let mut e = Engine::new(EngineConfig::new(params(64), 200), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 200), &pool).unwrap();
         let mut rng = SplitMix64::new(7);
         let vs: Vec<SparseVector> = (0..100).map(|_| random_vec(&mut rng, 64)).collect();
         e.insert_batch(&vs, &pool).unwrap();
@@ -678,7 +1193,7 @@ mod tests {
         for (q, got) in queries.iter().zip(&batch) {
             let mut got: Vec<u32> = got.iter().map(|h| h.index).collect();
             got.sort_unstable();
-            let mut single: Vec<u32> = e.query(q, &pool).iter().map(|h| h.index).collect();
+            let mut single: Vec<u32> = e.query(q).iter().map(|h| h.index).collect();
             single.sort_unstable();
             assert_eq!(got, single);
         }
@@ -689,9 +1204,9 @@ mod tests {
         let pool = ThreadPool::new(1);
         let mut rng = SplitMix64::new(8);
         let vs: Vec<SparseVector> = (0..60).map(|_| random_vec(&mut rng, 64)).collect();
-        let mut dense =
+        let dense =
             Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
-        let mut lazy = Engine::new(
+        let lazy = Engine::new(
             EngineConfig::new(params(64), 100)
                 .manual_merge()
                 .with_on_the_fly_hyperplanes(),
@@ -703,8 +1218,8 @@ mod tests {
         dense.merge_delta(&pool);
         lazy.merge_delta(&pool);
         for v in &vs {
-            let mut a: Vec<u32> = dense.query(v, &pool).iter().map(|h| h.index).collect();
-            let mut b: Vec<u32> = lazy.query(v, &pool).iter().map(|h| h.index).collect();
+            let mut a: Vec<u32> = dense.query(v).iter().map(|h| h.index).collect();
+            let mut b: Vec<u32> = lazy.query(v).iter().map(|h| h.index).collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b);
@@ -723,7 +1238,7 @@ mod tests {
     #[test]
     fn knn_returns_sorted_top_k() {
         let pool = ThreadPool::new(1);
-        let mut e = Engine::new(EngineConfig::new(params(64), 200).manual_merge(), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 200).manual_merge(), &pool).unwrap();
         let mut rng = SplitMix64::new(12);
         let vs: Vec<SparseVector> = (0..120).map(|_| random_vec(&mut rng, 64)).collect();
         e.insert_batch(&vs, &pool).unwrap();
@@ -747,7 +1262,7 @@ mod tests {
     #[test]
     fn knn_skips_deleted_points() {
         let pool = ThreadPool::new(1);
-        let mut e = Engine::new(EngineConfig::new(params(64), 50).manual_merge(), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params(64), 50).manual_merge(), &pool).unwrap();
         let v = SparseVector::unit(vec![(1, 1.0), (2, 1.0)]).unwrap();
         let w = SparseVector::unit(vec![(1, 1.0), (2, 0.9)]).unwrap();
         let a = e.insert(v.clone(), &pool).unwrap();
@@ -764,5 +1279,69 @@ mod tests {
         assert!(Engine::new(EngineConfig::new(params(64), 0), &pool).is_err());
         assert!(Engine::new(EngineConfig::new(params(64), 10).with_eta(0.0), &pool).is_err());
         assert!(Engine::new(EngineConfig::new(params(64), 10).with_eta(1.5), &pool).is_err());
+    }
+
+    #[test]
+    fn concurrent_insert_query_merge_smoke() {
+        // Ingest, merges, deletes, and queries from four threads at once;
+        // every pinned epoch must be internally consistent.
+        let pool = ThreadPool::new(2);
+        let e = Arc::new(
+            Engine::new(EngineConfig::new(params(64), 4000).with_eta(0.05), &pool).unwrap(),
+        );
+        let mut rng = SplitMix64::new(13);
+        let vs: Vec<SparseVector> = (0..2000).map(|_| random_vec(&mut rng, 64)).collect();
+        let watermark = Arc::new(AtomicUsize::new(0));
+
+        let writer = {
+            let e = e.clone();
+            let vs = vs.clone();
+            let watermark = watermark.clone();
+            std::thread::spawn(move || {
+                let pool = ThreadPool::new(1);
+                for chunk in vs.chunks(100) {
+                    e.insert_batch(chunk, &pool).unwrap();
+                    watermark.fetch_add(chunk.len(), Ordering::Release);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|t| {
+                let e = e.clone();
+                let vs = vs.clone();
+                let watermark = watermark.clone();
+                std::thread::spawn(move || {
+                    let mut checked = 0u32;
+                    while checked < 200 {
+                        let info = e.epoch_info();
+                        assert_eq!(
+                            info.visible_points,
+                            info.static_points + info.sealed_points
+                        );
+                        let visible = watermark.load(Ordering::Acquire);
+                        if visible == 0 {
+                            continue;
+                        }
+                        let probe = (t * 37 + checked as usize * 13) % visible;
+                        let hits = e.query(&vs[probe]);
+                        assert!(
+                            hits.iter().any(|h| h.index == probe as u32),
+                            "probe {probe} lost during concurrent ingest"
+                        );
+                        assert!(hits.iter().all(|h| (h.index as usize) < e.len()));
+                        checked += 1;
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(e.len(), 2000);
+        assert!(e.stats().merges >= 1, "auto-merges must have fired");
+        for probe in [0usize, 999, 1999] {
+            assert!(e.query(&vs[probe]).iter().any(|h| h.index == probe as u32));
+        }
     }
 }

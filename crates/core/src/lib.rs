@@ -16,7 +16,8 @@
 //! | [`simd`] | 5.1.1, 5.2.3 | runtime-dispatched SIMD kernels for hashing and dot products |
 //! | [`dedup`] | 5.2.1 | bitvector duplicate elimination |
 //! | [`query`] | 5.2 | the Q1–Q4 query pipeline with ablation switches |
-//! | [`engine`] | 4, 6 | single-node engine: static + delta + deletions + merge |
+//! | [`engine`] | 4, 6 | single-node engine: epoch-swapped static tables + sealed delta generations + deletions + merge |
+//! | [`streaming`] | 4, 6 | shared-read streaming handle: concurrent ingest ‖ query ‖ background merge |
 //! | [`params`] | 3, 7.2–7.3 | collision math and parameter selection |
 //! | [`model`] | 7.1 | the analytic performance model |
 //!
@@ -28,7 +29,7 @@
 //!
 //! let params = PlshParams::builder(16).k(4).m(4).radius(0.9).seed(42).build().unwrap();
 //! let pool = ThreadPool::new(1);
-//! let mut engine = Engine::new(EngineConfig::new(params, 64), &pool).unwrap();
+//! let engine = Engine::new(EngineConfig::new(params, 64), &pool).unwrap();
 //!
 //! let a = SparseVector::unit(vec![(0, 1.0), (3, 2.0)]).unwrap();
 //! let b = SparseVector::unit(vec![(0, 1.0), (3, 1.9)]).unwrap(); // near-duplicate of `a`
@@ -37,7 +38,7 @@
 //! engine.insert(b, &pool).unwrap();
 //! engine.insert(c, &pool).unwrap();
 //!
-//! let hits = engine.query(&a, &pool);
+//! let hits = engine.query(&a);
 //! assert!(hits.iter().any(|h| h.index == 1));
 //! ```
 
@@ -53,14 +54,18 @@ pub mod simd;
 pub mod snapshot;
 pub mod sparse;
 pub mod stats;
+pub mod streaming;
 pub mod table;
 pub(crate) mod util;
 
-pub use engine::{Engine, EngineConfig, EngineStats};
+pub use engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergeReport};
 pub use error::{PlshError, Result};
 pub use hash::{Hyperplanes, HyperplanesKind, SketchMatrix};
 pub use params::{ParamCandidate, ParamSelection, PlshParams, PlshParamsBuilder};
 pub use query::{BatchStats, Neighbor, QueryPhaseTimings, QueryStats, QueryStrategy};
 pub use snapshot::Snapshot;
 pub use sparse::{CrsMatrix, SparseVector};
-pub use table::{BuildStrategy, BuildTimings, DeltaLayout, DeltaTables, StaticTables};
+pub use streaming::StreamingEngine;
+pub use table::{
+    BuildStrategy, BuildTimings, DeltaGeneration, DeltaLayout, DeltaTables, StaticTables,
+};

@@ -21,6 +21,8 @@
 //! | 4 | `huge_pages` | "+large pages" (2 MB pages for the data table) |
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use plsh_parallel::{current_num_threads_hint, ThreadPool, WorkerLocal};
@@ -30,7 +32,7 @@ use crate::hash::{allpairs, Hyperplanes, SketchMatrix};
 use crate::simd;
 use crate::sparse::{angular_from_dot, dot_sorted, CrsMatrix, SparseVector};
 pub use crate::stats::{BatchStats, QueryStats};
-use crate::table::{DeltaTables, StaticTables};
+use crate::table::{DeltaGeneration, StaticTables};
 
 /// How far ahead of the distance computation the candidate loop prefetches
 /// data rows (Section 5.2.2).
@@ -139,19 +141,29 @@ impl QueryStrategy {
     }
 }
 
-/// Borrowed view of everything a query needs.
+/// Borrowed view of everything a query needs — one pinned epoch.
+///
+/// The corpus a query sees is *segmented*: rows `0..static_len` live in the
+/// static epoch's consolidated matrix, and each sealed [`DeltaGeneration`]
+/// holds a contiguous run of later rows under local ids. A context is built
+/// once per query (or per batch) from an epoch snapshot, so every bucket
+/// read and distance computation within it observes one consistent
+/// `(static tables, sealed generations)` pair — never a half-merged state.
 #[derive(Clone, Copy)]
 pub struct QueryContext<'a> {
-    /// The corpus rows (used for exact distances in Q3).
-    pub data: &'a CrsMatrix,
+    /// Rows `0..static_len` (used for exact distances in Q3).
+    pub static_data: &'a CrsMatrix,
     /// The hash family.
     pub planes: &'a Hyperplanes,
     /// Static tables, if any points have been merged.
     pub static_tables: Option<&'a StaticTables>,
-    /// Delta tables, if any points are buffered.
-    pub delta: Option<&'a DeltaTables>,
-    /// Deletion bitvector words (bit set ⇒ point deleted), if any.
-    pub deleted: Option<&'a [u64]>,
+    /// Sealed delta generations, ascending by base id and contiguous from
+    /// `static_len` upward.
+    pub deltas: &'a [Arc<DeltaGeneration>],
+    /// Deletion bitvector words (bit set ⇒ point deleted), if any. Atomic
+    /// because deletes land concurrently with queries; readers use relaxed
+    /// loads (a delete is visible to queries that start after it).
+    pub deleted: Option<&'a [AtomicU64]>,
     /// Number of half-key functions `m`.
     pub m: u32,
     /// Bits per half key (`k/2`).
@@ -160,6 +172,29 @@ pub struct QueryContext<'a> {
     pub radius: f32,
     /// Ablation switches.
     pub strategy: QueryStrategy,
+}
+
+impl<'a> QueryContext<'a> {
+    /// Total points visible to this context (static + sealed generations).
+    pub fn num_points(&self) -> usize {
+        self.deltas
+            .last()
+            .map_or(self.static_data.num_rows(), |g| g.end() as usize)
+    }
+
+    /// Resolves a global id to its row, whichever segment holds it.
+    #[inline]
+    pub fn row(&self, id: u32) -> (&'a [u32], &'a [f32]) {
+        if (id as usize) < self.static_data.num_rows() {
+            return self.static_data.row(id);
+        }
+        // Generations are contiguous and ascending; binary-search the one
+        // covering `id` (there are few — merges keep the list short).
+        let i = self.deltas.partition_point(|g| g.end() <= id);
+        let g = &self.deltas[i];
+        debug_assert!(id >= g.base() && id < g.end());
+        g.data().row(id - g.base())
+    }
 }
 
 /// Reusable per-thread scratch space: hash accumulators, the candidate
@@ -340,10 +375,11 @@ fn candidate_phase(
                     scratch.cand.insert(id);
                 }
             }
-            if let Some(delta) = ctx.delta {
-                for &id in delta.bucket(l, key) {
+            for g in ctx.deltas {
+                let base = g.base();
+                for &local in g.bucket(l, key) {
                     stats.collisions += 1;
-                    scratch.cand.insert(id);
+                    scratch.cand.insert(base + local);
                 }
             }
         }
@@ -358,7 +394,7 @@ fn candidate_phase(
             with_query_side(ctx, query, scratch, |ctx, query, scratch| {
                 for (i, &id) in sorted.iter().enumerate() {
                     if let Some(&next) = sorted.get(i + PREFETCH_DISTANCE) {
-                        prefetch_row(ctx.data, next);
+                        prefetch_row(ctx, next);
                     }
                     filter_candidate(ctx, query, scratch, id, dot_threshold, out, stats);
                 }
@@ -389,10 +425,11 @@ fn candidate_phase(
                     set.insert(id);
                 }
             }
-            if let Some(delta) = ctx.delta {
-                for &id in delta.bucket(l, key) {
+            for g in ctx.deltas {
+                let base = g.base();
+                for &local in g.bucket(l, key) {
                     stats.collisions += 1;
-                    set.insert(id);
+                    set.insert(base + local);
                 }
             }
         }
@@ -462,11 +499,11 @@ fn filter_candidate(
     stats: &mut QueryStats,
 ) {
     if let Some(words) = ctx.deleted {
-        if words[(id >> 6) as usize] & (1u64 << (id & 63)) != 0 {
+        if words[(id >> 6) as usize].load(Ordering::Relaxed) & (1u64 << (id & 63)) != 0 {
             return; // tombstoned (Section 6.2, "Deleting Entries")
         }
     }
-    let (idx, val) = ctx.data.row(id);
+    let (idx, val) = ctx.row(id);
     let dot = if ctx.strategy.optimized_sparse_dot {
         simd::dot_via_mask(idx, val, &scratch.qmask, &scratch.qvals)
     } else {
@@ -515,8 +552,8 @@ fn prefetch_query_buckets(st: &StaticTables, keys: &[u32]) {
 }
 
 #[inline]
-fn prefetch_row(data: &CrsMatrix, id: u32) {
-    let (idx, val) = data.row(id);
+fn prefetch_row(ctx: &QueryContext<'_>, id: u32) {
+    let (idx, val) = ctx.row(id);
     if let (Some(i0), Some(v0)) = (idx.first(), val.first()) {
         crate::util::prefetch_read(i0);
         crate::util::prefetch_read(v0);
@@ -607,10 +644,11 @@ pub fn profile_batch(
                     scratch.cand.insert(id);
                 }
             }
-            if let Some(delta) = ctx.delta {
-                for &id in delta.bucket(l, key) {
+            for g in ctx.deltas {
+                let base = g.base();
+                for &local in g.bucket(l, key) {
                     stats.collisions += 1;
-                    scratch.cand.insert(id);
+                    scratch.cand.insert(base + local);
                 }
             }
         }
@@ -624,7 +662,7 @@ pub fn profile_batch(
         with_query_side(ctx, query, scratch, |ctx, query, scratch| {
             for (i, &id) in sorted.iter().enumerate() {
                 if let Some(&next) = sorted.get(i + PREFETCH_DISTANCE) {
-                    prefetch_row(ctx.data, next);
+                    prefetch_row(ctx, next);
                 }
                 filter_candidate(ctx, query, scratch, id, dot_threshold, &mut out, &mut stats);
             }
@@ -648,7 +686,7 @@ pub fn execute_batch(
     pool: &ThreadPool,
     scratches: &ScratchPool,
 ) -> (Vec<Vec<Neighbor>>, BatchStats) {
-    let n = ctx.data.num_rows();
+    let n = ctx.num_points();
     let start = Instant::now();
     let results: Vec<(Vec<Neighbor>, QueryStats)> = pool.parallel_map(queries.iter(), |q| {
         let mut scratch = scratches.take(n);
@@ -678,7 +716,7 @@ pub fn execute_batch_pipelined(
     if queries.is_empty() {
         return (Vec::new(), BatchStats::default());
     }
-    let n = ctx.data.num_rows();
+    let n = ctx.num_points();
     let m = ctx.m as usize;
     let l_count = allpairs::num_tables(ctx.m) as usize;
     let start = Instant::now();
@@ -804,10 +842,10 @@ mod tests {
 
     fn ctx<'a>(f: &'a Fixture, strategy: QueryStrategy) -> QueryContext<'a> {
         QueryContext {
-            data: &f.data,
+            static_data: &f.data,
             planes: &f.planes,
             static_tables: Some(&f.statics),
-            delta: None,
+            deltas: &[],
             deleted: None,
             m: f.m,
             half_bits: f.half_bits,
@@ -875,8 +913,8 @@ mod tests {
         let f = fixture(100, 4);
         let mut scratch = QueryScratch::new(f.m, f.half_bits, 100, f.data.dim());
         let q = f.data.row_vector(42);
-        let mut deleted = vec![0u64; 100usize.div_ceil(64)];
-        deleted[42 / 64] |= 1 << 42;
+        let deleted: Vec<AtomicU64> = (0..100usize.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        deleted[42 / 64].fetch_or(1 << 42, Ordering::Relaxed);
         let mut c = ctx(&f, QueryStrategy::optimized());
         c.deleted = Some(&deleted);
         let (hits, stats) = execute_query(&c, &q, &mut scratch);
@@ -924,10 +962,10 @@ mod tests {
         let sk = SketchMatrix::new(4, 3);
         let statics = StaticTables::build(&sk, BuildStrategy::TwoLevelShared, &pool);
         let c = QueryContext {
-            data: &data,
+            static_data: &data,
             planes: &planes,
             static_tables: Some(&statics),
-            delta: None,
+            deltas: &[],
             deleted: None,
             m: 4,
             half_bits: 3,
@@ -1000,6 +1038,45 @@ mod tests {
         let q = vec![f.data.row_vector(7)];
         let (one, _) = execute_batch_pipelined(&c, &q, &pool, &scratches);
         assert!(one[0].iter().any(|h| h.index == 7));
+    }
+
+    #[test]
+    fn sealed_generations_answer_like_static() {
+        use crate::table::DeltaLayout;
+        let f = fixture(200, 12);
+        let pool = ThreadPool::new(1);
+        // Same corpus, different segmentation: 150 static + one sealed
+        // generation of 50. Answers must match the all-static fixture.
+        let mut sk = SketchMatrix::new(f.m, f.half_bits);
+        sk.append_from(&f.data, &f.planes, 0, &pool, true);
+        let statics = StaticTables::build_prefix(&sk, 150, BuildStrategy::TwoLevelShared, &pool);
+        let mut static_data = f.data.clone();
+        static_data.truncate(150);
+        let mut g =
+            DeltaGeneration::new(150, f.data.dim(), f.m, f.half_bits, DeltaLayout::Adaptive, 50);
+        let vs: Vec<SparseVector> = (150..200).map(|i| f.data.row_vector(i as u32)).collect();
+        g.append(&vs, &f.planes, true, &pool).unwrap();
+        let gens = [Arc::new(g)];
+        let segmented = QueryContext {
+            static_data: &static_data,
+            planes: &f.planes,
+            static_tables: Some(&statics),
+            deltas: &gens,
+            deleted: None,
+            m: f.m,
+            half_bits: f.half_bits,
+            radius: 0.9,
+            strategy: QueryStrategy::optimized(),
+        };
+        assert_eq!(segmented.num_points(), 200);
+        let full = ctx(&f, QueryStrategy::optimized());
+        let mut scratch = QueryScratch::new(f.m, f.half_bits, 200, f.data.dim());
+        for qid in [0u32, 149, 150, 199] {
+            let q = f.data.row_vector(qid);
+            let (a, _) = execute_query(&full, &q, &mut scratch);
+            let (b, _) = execute_query(&segmented, &q, &mut scratch);
+            assert_eq!(sorted_hits(a), sorted_hits(b), "query {qid}");
+        }
     }
 
     #[test]

@@ -7,9 +7,32 @@
 //! deterministically from the stored seed, so the restored engine answers
 //! every query identically to the original (tested).
 //!
-//! Format (version 1): magic `PLSH` + version, the parameter block, the
+//! ## How sealed generations serialize
+//!
+//! The streaming engine's in-memory state is segmented — a static epoch
+//! plus a list of sealed [`DeltaGeneration`](crate::table::DeltaGeneration)s —
+//! but a snapshot deliberately flattens that: it records only the
+//! `static_len` split point and every row in global-id order (rows are
+//! read out of whichever segment holds them). On restore, the static
+//! prefix is re-inserted and merged, and the entire delta suffix is
+//! re-inserted as **one** sealed generation. The generation *boundaries*
+//! are not preserved — they are an ingest-batching artifact with no effect
+//! on answers (tested: all segmentations of the same rows answer
+//! identically) — which keeps the format independent of batch sizes and
+//! merge timing.
+//!
+//! Tombstones serialize as two id lists: `deleted` (bits still set in the
+//! live bitvector) and `purged` (ids a past merge already evicted from the
+//! static tables, bits reclaimed). Restore replays them in that order —
+//! purged ids are deleted *before* the restore-merge so the merge purges
+//! exactly them, then the still-pending tombstones are applied — so the
+//! restored engine reproduces both the answers and the purge accounting of
+//! the original.
+//!
+//! Format (version 2): magic `PLSH` + version, the parameter block, the
 //! engine layout (capacity, eta, static length), the CRS corpus as three
-//! length-prefixed arrays, and the deletion bitvector.
+//! length-prefixed arrays, the pending-tombstone id list, and the
+//! purged-id list.
 
 use std::io::{self, Read, Write};
 
@@ -21,7 +44,7 @@ use crate::params::PlshParams;
 use crate::sparse::SparseVector;
 
 const MAGIC: &[u8; 4] = b"PLSH";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Everything needed to reconstruct an [`Engine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -36,38 +59,46 @@ pub struct Snapshot {
     pub static_len: u64,
     /// All stored rows, in insertion order.
     pub vectors: Vec<SparseVector>,
-    /// Tombstoned point ids.
+    /// Tombstoned point ids whose bits are still set (not yet purged).
     pub deleted: Vec<u32>,
+    /// Tombstoned ids already purged from the static tables by a merge.
+    pub purged: Vec<u32>,
 }
 
 impl Snapshot {
-    /// Captures an engine's state.
+    /// Captures an engine's state — safe to call while other threads keep
+    /// inserting and merging: the rows, split point, and tombstone lists
+    /// come out of one atomic capture.
     pub fn capture(engine: &Engine) -> Self {
-        let n = engine.len();
-        let vectors = (0..n as u32).map(|id| engine.vector(id)).collect();
-        let deleted = (0..n as u32).filter(|&id| engine.is_deleted(id)).collect();
+        let (static_len, vectors, deleted, purged) = engine.capture_state();
         Self {
             params: engine.params().clone(),
             capacity: engine.capacity() as u64,
             eta: engine.config().eta,
-            static_len: engine.static_len() as u64,
+            static_len: static_len as u64,
             vectors,
             deleted,
+            purged,
         }
     }
 
     /// Restores an engine that answers identically to the captured one.
     ///
     /// The static/delta split is reproduced exactly: the static prefix is
-    /// inserted and merged, then the delta suffix is inserted unmerged.
+    /// inserted, the purged ids are tombstoned and a merge purges them
+    /// again, then the delta suffix is inserted unmerged (as one sealed
+    /// generation) and the pending tombstones are re-applied.
     pub fn restore(&self, pool: &ThreadPool) -> PlshResult<Engine> {
         let config = EngineConfig::new(self.params.clone(), self.capacity as usize)
             .manual_merge()
             .with_eta(self.eta);
-        let mut engine = Engine::new(config, pool)?;
+        let engine = Engine::new(config, pool)?;
         let split = self.static_len as usize;
         if split > 0 {
             engine.insert_batch(&self.vectors[..split], pool)?;
+            for &id in &self.purged {
+                engine.delete(id);
+            }
             engine.merge_delta(pool);
         }
         if split < self.vectors.len() {
@@ -107,9 +138,13 @@ impl Snapshot {
                 put_f32(w, x)?;
             }
         }
-        // Tombstones.
+        // Tombstones: pending, then purged.
         put_u64(w, self.deleted.len() as u64)?;
         for &id in &self.deleted {
+            put_u32(w, id)?;
+        }
+        put_u64(w, self.purged.len() as u64)?;
+        for &id in &self.purged {
             put_u32(w, id)?;
         }
         Ok(())
@@ -182,6 +217,17 @@ impl Snapshot {
             }
             deleted.push(id);
         }
+        let p = get_u64(r)? as usize;
+        let mut purged = Vec::with_capacity(p);
+        for _ in 0..p {
+            let id = get_u32(r)?;
+            // Purging only ever happens to ids merged into the static
+            // structure.
+            if id as u64 >= static_len {
+                return Err(bad(format!("purged id {id} beyond the static prefix")));
+            }
+            purged.push(id);
+        }
         Ok(Self {
             params,
             capacity,
@@ -189,6 +235,7 @@ impl Snapshot {
             static_len,
             vectors,
             deleted,
+            purged,
         })
     }
 }
@@ -264,7 +311,7 @@ mod tests {
             .seed(77)
             .build()
             .unwrap();
-        let mut e = Engine::new(
+        let e = Engine::new(
             EngineConfig::new(params, 500).manual_merge().with_eta(0.2),
             pool,
         )
@@ -309,11 +356,39 @@ mod tests {
         assert_eq!(restored.stats().deleted_points, engine.stats().deleted_points);
         for id in 0..engine.len() as u32 {
             let q = engine.vector(id);
-            let mut a: Vec<u32> = engine.query(&q, &pool).iter().map(|h| h.index).collect();
-            let mut b: Vec<u32> = restored.query(&q, &pool).iter().map(|h| h.index).collect();
+            let mut a: Vec<u32> = engine.query(&q).iter().map(|h| h.index).collect();
+            let mut b: Vec<u32> = restored.query(&q).iter().map(|h| h.index).collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "answers diverged for point {id}");
+        }
+    }
+
+    #[test]
+    fn purged_tombstones_round_trip() {
+        let pool = ThreadPool::new(1);
+        let engine = sample_engine(&pool);
+        // Merge everything: both tombstones (7 static, 65 delta) get
+        // purged; then tombstone one more point whose delete stays pending.
+        engine.merge_delta(&pool);
+        engine.delete(20);
+        assert_eq!(engine.stats().purged_points, 2);
+
+        let snap = Snapshot::capture(&engine);
+        assert_eq!(snap.purged, vec![7, 65]);
+        assert_eq!(snap.deleted, vec![20]);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes).unwrap();
+        let restored = Snapshot::read_from(&mut bytes.as_slice())
+            .unwrap()
+            .restore(&pool)
+            .unwrap();
+        assert_eq!(restored.stats().purged_points, engine.stats().purged_points);
+        assert_eq!(restored.stats().deleted_points, engine.stats().deleted_points);
+        for id in [7u32, 65, 20] {
+            assert!(restored.is_deleted(id));
+            let q = engine.vector(id);
+            assert!(restored.query(&q).iter().all(|h| h.index != id));
         }
     }
 

@@ -271,6 +271,18 @@ impl CrsMatrix {
         }
     }
 
+    /// Appends every row of `other` (bulk flat-array copy — the corpus
+    /// consolidation step of a streaming merge, bound by memory bandwidth
+    /// like the table scatter it accompanies).
+    pub fn extend_from(&mut self, other: &CrsMatrix) {
+        assert_eq!(self.dim, other.dim, "row spaces must match");
+        let base = self.cols.len();
+        self.cols.extend_from_slice(&other.cols);
+        self.vals.extend_from_slice(&other.vals);
+        self.row_offsets
+            .extend(other.row_offsets[1..].iter().map(|o| o + base));
+    }
+
     /// Drops every row with index `>= keep`, retaining storage.
     pub fn truncate(&mut self, keep: usize) {
         if keep >= self.num_rows() {
@@ -416,6 +428,24 @@ mod tests {
         // Matrix is reusable after clear.
         m.push(&sv(&[(1, 1.0)])).unwrap();
         assert_eq!(m.num_rows(), 1);
+    }
+
+    #[test]
+    fn extend_from_concatenates_rows() {
+        let mut a = CrsMatrix::new(10);
+        a.push(&sv(&[(0, 1.0), (3, 2.0)])).unwrap();
+        let mut b = CrsMatrix::new(10);
+        b.push(&sv(&[(9, 5.0)])).unwrap();
+        b.push(&sv(&[(1, 1.0), (2, 1.0), (4, 1.0)])).unwrap();
+        a.extend_from(&b);
+        assert_eq!(a.num_rows(), 3);
+        assert_eq!(a.row_vector(0), sv(&[(0, 1.0), (3, 2.0)]));
+        assert_eq!(a.row_vector(1), sv(&[(9, 5.0)]));
+        assert_eq!(a.row_vector(2), sv(&[(1, 1.0), (2, 1.0), (4, 1.0)]));
+        assert_eq!(a.total_nnz(), 6);
+        // Appending an empty matrix is a no-op.
+        a.extend_from(&CrsMatrix::new(10));
+        assert_eq!(a.num_rows(), 3);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! A shared-read streaming handle over the [`Engine`].
+//!
+//! [`StreamingEngine`] is a cheaply cloneable handle (`Arc<Engine>` plus a
+//! worker pool) that lets ingest, merge, and query run from *different
+//! threads at the same time* — the paper's headline scenario of answering
+//! queries while the Twitter firehose streams in:
+//!
+//! * `insert_batch` hashes and seals under the engine's write mutex;
+//! * queries pin an epoch lock-free and never block on the write path;
+//! * when the sealed delta crosses `η·C`, the merge is handed to a
+//!   **background thread** instead of running inline — ingest and queries
+//!   continue against the current epoch until the merged epoch is
+//!   published with a single swap.
+//!
+//! ```
+//! use plsh_core::{EngineConfig, PlshParams, SparseVector};
+//! use plsh_core::streaming::StreamingEngine;
+//! use plsh_parallel::ThreadPool;
+//!
+//! let params = PlshParams::builder(16).k(4).m(4).radius(0.9).seed(42).build().unwrap();
+//! let s = StreamingEngine::new(EngineConfig::new(params, 64), ThreadPool::new(2)).unwrap();
+//! let ingest = s.clone();
+//! let writer = std::thread::spawn(move || {
+//!     let v = SparseVector::unit(vec![(0, 1.0), (3, 2.0)]).unwrap();
+//!     ingest.insert_batch(&[v]).unwrap();
+//! });
+//! writer.join().unwrap();
+//! let q = SparseVector::unit(vec![(0, 1.0), (3, 2.0)]).unwrap();
+//! assert!(s.query(&q).iter().any(|h| h.index == 0));
+//! s.wait_for_merge();
+//! ```
+
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use plsh_parallel::ThreadPool;
+
+use crate::engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergeReport};
+use crate::error::Result;
+use crate::query::{BatchStats, Neighbor, QueryStats};
+use crate::sparse::SparseVector;
+
+/// A cloneable, thread-safe streaming handle (see the module docs).
+#[derive(Clone)]
+pub struct StreamingEngine {
+    engine: Arc<Engine>,
+    pool: ThreadPool,
+    /// The in-flight background merge, if any (all clones share it).
+    merger: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl StreamingEngine {
+    /// Creates a fresh engine wrapped in a streaming handle.
+    pub fn new(config: EngineConfig, pool: ThreadPool) -> Result<Self> {
+        let engine = Engine::new(config, &pool)?;
+        Ok(Self::from_engine(engine, pool))
+    }
+
+    /// Wraps an existing engine (e.g. one pre-loaded from a snapshot).
+    pub fn from_engine(engine: Engine, pool: ThreadPool) -> Self {
+        Self {
+            engine: Arc::new(engine),
+            pool,
+            merger: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// The underlying engine (all its `&self` operations are safe to call
+    /// concurrently with this handle's).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The worker pool the handle drives hashing, merging, and batched
+    /// queries with.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Inserts a batch and seals it (visible to queries on return). When
+    /// the sealed delta crosses `η·C` (and auto-merge is on), a background
+    /// merge is kicked off instead of blocking this call.
+    pub fn insert_batch(&self, vs: &[SparseVector]) -> Result<Vec<u32>> {
+        let (ids, merge_due) = self.engine.insert_batch_deferring_merge(vs, &self.pool)?;
+        if merge_due {
+            self.merge_in_background();
+        }
+        Ok(ids)
+    }
+
+    /// Inserts one vector; returns its id.
+    pub fn insert(&self, v: SparseVector) -> Result<u32> {
+        Ok(self.insert_batch(std::slice::from_ref(&v))?[0])
+    }
+
+    /// Seals the open generation, if the engine was configured to coalesce
+    /// batches (`seal_min_points > 1`).
+    pub fn seal(&self) -> bool {
+        self.engine.seal()
+    }
+
+    /// Tombstones a point.
+    pub fn delete(&self, id: u32) -> bool {
+        self.engine.delete(id)
+    }
+
+    /// Answers one query against the current epoch.
+    pub fn query(&self, q: &SparseVector) -> Vec<Neighbor> {
+        self.engine.query(q)
+    }
+
+    /// Answers one query with pipeline counters.
+    pub fn query_with_stats(&self, q: &SparseVector) -> (Vec<Neighbor>, QueryStats) {
+        self.engine.query_with_stats(q)
+    }
+
+    /// Answers a batch through the batched SIMD pipeline, all against one
+    /// pinned epoch.
+    pub fn query_batch(&self, qs: &[SparseVector]) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        self.engine.query_batch(qs, &self.pool)
+    }
+
+    /// Approximate k-nearest neighbors.
+    pub fn query_knn(&self, q: &SparseVector, k: usize) -> (Vec<Neighbor>, QueryStats) {
+        self.engine.query_knn(q, k)
+    }
+
+    /// Runs a merge on *this* thread (blocks until published).
+    pub fn merge_now(&self) {
+        self.engine.merge_delta(&self.pool);
+    }
+
+    /// Starts a background merge unless one is already in flight; returns
+    /// whether a new merge was started.
+    pub fn merge_in_background(&self) -> bool {
+        let mut slot = self.merger.lock().unwrap();
+        if let Some(handle) = slot.take() {
+            if !handle.is_finished() {
+                *slot = Some(handle);
+                return false; // one merge at a time; the next trigger re-checks
+            }
+            join_merge(handle);
+        }
+        let engine = self.engine.clone();
+        let pool = self.pool.clone();
+        *slot = Some(std::thread::spawn(move || engine.merge_delta(&pool)));
+        true
+    }
+
+    /// Blocks until the in-flight background merge (if any) has published.
+    /// A merge that panicked re-raises its panic here rather than being
+    /// silently reported as success.
+    pub fn wait_for_merge(&self) {
+        let handle = self.merger.lock().unwrap().take();
+        if let Some(h) = handle {
+            join_merge(h);
+        }
+    }
+
+    /// True while a background merge is building.
+    pub fn merge_in_flight(&self) -> bool {
+        self.merger
+            .lock()
+            .unwrap()
+            .as_ref()
+            .is_some_and(|h| !h.is_finished())
+    }
+
+    /// Stored points (sealed + open).
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+
+    /// Accounting passthrough.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Published-epoch shape passthrough.
+    pub fn epoch_info(&self) -> EpochInfo {
+        self.engine.epoch_info()
+    }
+
+    /// Most recent merge timings.
+    pub fn last_merge(&self) -> MergeReport {
+        self.engine.last_merge()
+    }
+}
+
+/// Joins a background-merge thread, re-raising any panic on the caller —
+/// a swallowed merge panic would otherwise surface later as an unrelated
+/// poisoned-mutex error on the write path.
+fn join_merge(handle: JoinHandle<()>) {
+    if let Err(payload) = handle.join() {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PlshParams;
+    use crate::rng::SplitMix64;
+
+    fn params(dim: u32) -> PlshParams {
+        PlshParams::builder(dim)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .seed(7)
+            .build()
+            .unwrap()
+    }
+
+    fn random_vec(rng: &mut SplitMix64, dim: u32) -> SparseVector {
+        let a = rng.next_below(dim as u64) as u32;
+        let b = (a + 1 + rng.next_below(dim as u64 - 1) as u32) % dim;
+        SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)]).unwrap()
+    }
+
+    #[test]
+    fn background_merge_publishes_eventually() {
+        let s = StreamingEngine::new(
+            EngineConfig::new(params(64), 1000).with_eta(0.1),
+            ThreadPool::new(2),
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(1);
+        let vs: Vec<SparseVector> = (0..400).map(|_| random_vec(&mut rng, 64)).collect();
+        for chunk in vs.chunks(50) {
+            s.insert_batch(chunk).unwrap();
+        }
+        s.wait_for_merge();
+        assert!(s.stats().merges >= 1, "threshold crossings must merge");
+        assert!(s.engine().static_len() > 0);
+        for (i, v) in vs.iter().enumerate() {
+            assert!(s.query(v).iter().any(|h| h.index == i as u32), "point {i}");
+        }
+    }
+
+    #[test]
+    fn clones_share_the_engine() {
+        let s = StreamingEngine::new(
+            EngineConfig::new(params(64), 100).manual_merge(),
+            ThreadPool::new(1),
+        )
+        .unwrap();
+        let t = s.clone();
+        let v = SparseVector::unit(vec![(1, 1.0), (2, 0.5)]).unwrap();
+        let id = s.insert(v.clone()).unwrap();
+        assert!(t.query(&v).iter().any(|h| h.index == id));
+        assert!(t.delete(id));
+        assert!(s.query(&v).iter().all(|h| h.index != id));
+        assert_eq!(s.len(), t.len());
+    }
+
+    #[test]
+    fn queries_run_while_a_merge_is_in_flight() {
+        let s = StreamingEngine::new(
+            EngineConfig::new(params(64), 2000).manual_merge(),
+            ThreadPool::new(2),
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(2);
+        let vs: Vec<SparseVector> = (0..800).map(|_| random_vec(&mut rng, 64)).collect();
+        for chunk in vs.chunks(100) {
+            s.insert_batch(chunk).unwrap();
+        }
+        s.merge_in_background();
+        // Whatever phase the merge is in, answers stay correct.
+        for probe in (0..800).step_by(97) {
+            assert!(s.query(&vs[probe]).iter().any(|h| h.index == probe as u32));
+        }
+        s.wait_for_merge();
+        assert_eq!(s.engine().static_len(), 800);
+        for probe in (0..800).step_by(97) {
+            assert!(s.query(&vs[probe]).iter().any(|h| h.index == probe as u32));
+        }
+    }
+}

@@ -28,11 +28,43 @@ use crate::hash::{allpairs, SketchMatrix};
 /// Bin storage layout for the delta tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DeltaLayout {
-    /// Dense `2^k` array of bins (paper layout; default).
-    #[default]
+    /// Dense `2^k` array of bins (paper layout).
     Direct,
     /// Only non-empty bins, in a hash map.
     Sparse,
+    /// Picks [`Direct`](Self::Direct) or [`Sparse`](Self::Sparse) per
+    /// delta *generation* from its expected population (default).
+    ///
+    /// The paper's engine owns one long-lived delta structure, where the
+    /// dense `2^k × L` bin array amortizes over every merge cycle. The
+    /// streaming engine instead seals short-lived generations, and a
+    /// sparsely-populated generation (say a 1-point insert at `k = 14`,
+    /// `L = 120`) would pay megabytes of empty dense bin headers. The
+    /// adaptive layout keeps the paper's dense bins whenever the
+    /// generation can plausibly fill them and falls back to the hash-map
+    /// bins otherwise; both layouts answer probes identically (tested).
+    #[default]
+    Adaptive,
+}
+
+impl DeltaLayout {
+    /// Resolves `Adaptive` for a generation expected to hold
+    /// `expected_points`: dense bins when they are cheap (`2^k ≤ 1024`) or
+    /// when expected occupancy reaches 1/8 of the bins, sparse otherwise.
+    /// `Direct` and `Sparse` resolve to themselves.
+    pub fn resolve(self, expected_points: usize, half_bits: u32) -> DeltaLayout {
+        match self {
+            DeltaLayout::Adaptive => {
+                let bins = 1usize << (2 * half_bits);
+                if bins <= 1024 || expected_points.saturating_mul(8) >= bins {
+                    DeltaLayout::Direct
+                } else {
+                    DeltaLayout::Sparse
+                }
+            }
+            concrete => concrete,
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -46,6 +78,7 @@ impl Bins {
         match layout {
             DeltaLayout::Direct => Bins::Direct(vec![Vec::new(); buckets]),
             DeltaLayout::Sparse => Bins::Sparse(HashMap::new()),
+            DeltaLayout::Adaptive => unreachable!("resolved in DeltaTables::new"),
         }
     }
 
@@ -97,8 +130,22 @@ pub struct DeltaTables {
 
 impl DeltaTables {
     /// Creates an empty delta for `m` half-key functions of `half_bits`
-    /// bits each.
+    /// bits each. An [`DeltaLayout::Adaptive`] layout is resolved here for
+    /// an unknown population; callers that know how many points are coming
+    /// should use [`with_expected`](Self::with_expected).
     pub fn new(m: u32, half_bits: u32, layout: DeltaLayout) -> Self {
+        Self::with_expected(m, half_bits, layout, 0)
+    }
+
+    /// Like [`new`](Self::new), resolving an adaptive layout against the
+    /// expected number of points this delta will hold.
+    pub fn with_expected(
+        m: u32,
+        half_bits: u32,
+        layout: DeltaLayout,
+        expected_points: usize,
+    ) -> Self {
+        let layout = layout.resolve(expected_points, half_bits);
         let l = allpairs::num_tables(m) as usize;
         let buckets = 1usize << (2 * half_bits);
         Self {

@@ -1,0 +1,181 @@
+//! Append-only delta generations for the concurrent ingest path.
+//!
+//! The streaming write path buffers inserts in *generations*: each
+//! generation owns its own slice of the corpus (a local [`CrsMatrix`]),
+//! the sketches of those rows, and insert-optimized [`DeltaTables`] over
+//! **local** row ids. While open, a generation accepts `append` calls from
+//! the (single, serialized) writer; *sealing* wraps it in an `Arc` and
+//! publishes it in the engine's epoch — a pointer move, no copying — after
+//! which it is immutable and safely shared with concurrent readers.
+//!
+//! Queries see `global id = generation base + local id`; a background
+//! merge later folds whole sealed generations into the next static epoch
+//! and drops them.
+
+use plsh_parallel::ThreadPool;
+
+use crate::error::Result;
+use crate::hash::{Hyperplanes, SketchMatrix};
+use crate::sparse::{CrsMatrix, SparseVector};
+use crate::table::{DeltaLayout, DeltaTables};
+
+/// One delta generation: a contiguous run of inserted points with their
+/// data, sketches, and bucket bins, addressed by local ids `0..len`.
+#[derive(Debug)]
+pub struct DeltaGeneration {
+    /// Global id of local point 0.
+    base: u32,
+    data: CrsMatrix,
+    sketches: SketchMatrix,
+    tables: DeltaTables,
+}
+
+impl DeltaGeneration {
+    /// Creates an empty generation whose points start at global id `base`.
+    ///
+    /// `expected_points` resolves an adaptive bin layout (see
+    /// [`DeltaLayout::Adaptive`]); pass the size of the first batch.
+    pub fn new(
+        base: u32,
+        dim: u32,
+        m: u32,
+        half_bits: u32,
+        layout: DeltaLayout,
+        expected_points: usize,
+    ) -> Self {
+        Self {
+            base,
+            data: CrsMatrix::new(dim),
+            sketches: SketchMatrix::new(m, half_bits),
+            tables: DeltaTables::with_expected(m, half_bits, layout, expected_points),
+        }
+    }
+
+    /// Global id of the generation's first point.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Number of points in the generation.
+    pub fn len(&self) -> usize {
+        self.data.num_rows()
+    }
+
+    /// True when the generation holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One-past-the-end global id.
+    pub fn end(&self) -> u32 {
+        self.base + self.len() as u32
+    }
+
+    /// The generation's rows (local ids).
+    pub fn data(&self) -> &CrsMatrix {
+        &self.data
+    }
+
+    /// The generation's sketches (local rows), reused by the merge so
+    /// points are hashed exactly once.
+    pub fn sketches(&self) -> &SketchMatrix {
+        &self.sketches
+    }
+
+    /// The **local** ids buffered in bucket `key` of table `l`; add
+    /// [`base`](Self::base) to obtain global ids.
+    #[inline]
+    pub fn bucket(&self, l: usize, key: u32) -> &[u32] {
+        self.tables.bucket(l, key)
+    }
+
+    /// Appends a batch: stores the rows, hashes them once, and files the
+    /// new local ids into the delta bins. Dimensions must have been
+    /// validated by the caller (the engine checks the whole batch before
+    /// touching any state).
+    pub fn append(
+        &mut self,
+        vs: &[SparseVector],
+        planes: &Hyperplanes,
+        vectorized: bool,
+        pool: &ThreadPool,
+    ) -> Result<()> {
+        let from = self.data.num_rows();
+        for v in vs {
+            self.data.push(v)?;
+        }
+        self.sketches
+            .append_from(&self.data, planes, from, pool, vectorized);
+        let ids: Vec<u32> = (from as u32..self.data.num_rows() as u32).collect();
+        self.tables.insert_batch(&self.sketches, &ids, pool);
+        Ok(())
+    }
+
+    /// Approximate bytes held (rows + sketches + bins).
+    pub fn memory_bytes(&self) -> usize {
+        self.data.total_nnz() * 8 + self.sketches.memory_bytes() + self.tables.memory_bytes()
+    }
+
+    /// Bytes held by the delta bins alone.
+    pub fn delta_bytes(&self) -> usize {
+        self.tables.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::allpairs;
+    use crate::rng::SplitMix64;
+
+    fn random_vec(rng: &mut SplitMix64, dim: u32) -> SparseVector {
+        let a = rng.next_below(dim as u64) as u32;
+        let b = (a + 1 + rng.next_below(dim as u64 - 1) as u32) % dim;
+        SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)]).unwrap()
+    }
+
+    #[test]
+    fn append_files_points_under_local_ids() {
+        let pool = ThreadPool::new(2);
+        let (dim, m, half_bits) = (64u32, 4u32, 3u32);
+        let planes = Hyperplanes::new_dense(dim, m * half_bits, 9, &pool);
+        let mut rng = SplitMix64::new(3);
+        let vs: Vec<SparseVector> = (0..30).map(|_| random_vec(&mut rng, dim)).collect();
+
+        let mut g = DeltaGeneration::new(100, dim, m, half_bits, DeltaLayout::Adaptive, 30);
+        g.append(&vs[..10], &planes, true, &pool).unwrap();
+        g.append(&vs[10..], &planes, true, &pool).unwrap();
+        assert_eq!(g.base(), 100);
+        assert_eq!(g.len(), 30);
+        assert_eq!(g.end(), 130);
+
+        // Every point sits in exactly the bucket its sketch dictates, once
+        // per table, under its local id.
+        for (l, (a, b)) in allpairs::pairs(m).enumerate() {
+            let mut found = 0;
+            for key in 0..(1u32 << (2 * half_bits)) {
+                for &local in g.bucket(l, key) {
+                    let expect = allpairs::compose_key(
+                        g.sketches().half_key(local, a),
+                        g.sketches().half_key(local, b),
+                        half_bits,
+                    );
+                    assert_eq!(key, expect);
+                    found += 1;
+                }
+            }
+            assert_eq!(found, 30, "table {l}");
+        }
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let pool = ThreadPool::new(1);
+        let planes = Hyperplanes::new_dense(16, 2 * 2, 1, &pool);
+        let v = SparseVector::unit(vec![(1, 1.0), (5, 2.0)]).unwrap();
+        let mut g = DeltaGeneration::new(0, 16, 2, 2, DeltaLayout::Adaptive, 1);
+        g.append(std::slice::from_ref(&v), &planes, true, &pool).unwrap();
+        assert_eq!(g.data().row_vector(0), v);
+    }
+}

@@ -8,11 +8,15 @@
 //!   Section 5.1 (Figure 3a).
 //! * [`DeltaTables`] — the insert-optimized growable-bin layout of
 //!   Section 6.1 (Figure 3b).
+//! * [`DeltaGeneration`] — a sealed, immutable run of streamed points
+//!   (rows + sketches + delta bins) published to readers via epoch swap.
 
 pub mod build;
 mod delta;
+mod generation;
 mod static_tables;
 
 pub use build::BuildStrategy;
 pub use delta::{DeltaLayout, DeltaTables};
+pub use generation::DeltaGeneration;
 pub use static_tables::{BuildTimings, StaticTables};

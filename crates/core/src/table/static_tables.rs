@@ -5,12 +5,14 @@
 //! owns `entries[offsets[key]..offsets[key+1]]`. No pointers, no chains —
 //! a bucket lookup is two offset reads and one contiguous slice.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use plsh_parallel::ThreadPool;
 
 use crate::hash::{allpairs, SketchMatrix};
 use crate::table::build::{self, BuildStrategy, Partition};
+use crate::table::generation::DeltaGeneration;
 use crate::util::SharedSliceMut;
 
 /// Wall time spent in each construction step (Figure 6 instrumentation).
@@ -181,6 +183,125 @@ impl StaticTables {
         for t in &self.tables {
             crate::util::advise_huge_pages(&t.offsets);
             crate::util::advise_huge_pages(&t.entries);
+        }
+    }
+
+    /// Builds the next static epoch by **merging** a previous epoch's
+    /// tables with sealed delta generations, instead of re-sorting every
+    /// point from its sketches.
+    ///
+    /// Per table (one work-stealing task each; the `L` tables are
+    /// independent):
+    ///
+    /// 1. count surviving entries per bucket — the previous epoch's
+    ///    entries are already grouped by bucket (a linear filtering scan
+    ///    that drops ids whose bit is set in `purge`), and each sealed
+    ///    generation's entries are radix-counted by composing their bucket
+    ///    key from the generation's stored sketches;
+    /// 2. turn the histogram into bucket offsets with
+    ///    [`plsh_parallel::exclusive_prefix_sum`];
+    /// 3. scatter: previous-epoch survivors first, then each generation in
+    ///    sealed order — every bucket stays sorted by global id, exactly
+    ///    as a from-scratch rebuild would order it (generation ids are
+    ///    strictly larger than static ids).
+    ///
+    /// `n` is the row count of the new static corpus (previous static rows
+    /// plus every generation's rows — purged ids keep their row slot so
+    /// ids stay stable; they are simply absent from all buckets).
+    ///
+    /// `purge` is a snapshot of the deletion bitvector: one bit per global
+    /// id, set ⇒ the id is dropped from every bucket. Taking it as an
+    /// explicit snapshot keeps the decision consistent across all `L`
+    /// tables even while concurrent `delete` calls keep landing.
+    pub fn merge_generations(
+        prev: Option<&StaticTables>,
+        m: u32,
+        half_bits: u32,
+        n: usize,
+        gens: &[Arc<DeltaGeneration>],
+        purge: &[u64],
+        pool: &ThreadPool,
+    ) -> Self {
+        if let Some(p) = prev {
+            debug_assert_eq!((p.m, p.half_bits), (m, half_bits));
+        }
+        let buckets = 1usize << (2 * half_bits);
+        let dropped = |id: u32| -> bool {
+            purge
+                .get((id >> 6) as usize)
+                .is_some_and(|w| w & (1u64 << (id & 63)) != 0)
+        };
+
+        let tables = pool.parallel_map(allpairs::pairs(m).enumerate(), |(l, (a, b))| {
+            // Step 1: per-bucket histogram of survivors.
+            let mut counts = vec![0u32; buckets];
+            if let Some(p) = prev {
+                for key in 0..buckets as u32 {
+                    counts[key as usize] = p
+                        .bucket(l, key)
+                        .iter()
+                        .filter(|&&id| !dropped(id))
+                        .count() as u32;
+                }
+            }
+            for g in gens {
+                let sk = g.sketches();
+                for local in 0..g.len() as u32 {
+                    if dropped(g.base() + local) {
+                        continue;
+                    }
+                    let key =
+                        allpairs::compose_key(sk.half_key(local, a), sk.half_key(local, b), half_bits);
+                    counts[key as usize] += 1;
+                }
+            }
+
+            // Step 2: offsets via the exclusive prefix sum.
+            let offsets = plsh_parallel::exclusive_prefix_sum(&counts);
+
+            // Step 3: scatter in ascending-id order.
+            let total = *offsets.last().expect("offsets has buckets+1 entries") as usize;
+            let mut entries = vec![0u32; total];
+            let mut cursor: Vec<u32> = offsets[..buckets].to_vec();
+            if let Some(p) = prev {
+                for key in 0..buckets as u32 {
+                    for &id in p.bucket(l, key) {
+                        if !dropped(id) {
+                            entries[cursor[key as usize] as usize] = id;
+                            cursor[key as usize] += 1;
+                        }
+                    }
+                }
+            }
+            for g in gens {
+                let sk = g.sketches();
+                for local in 0..g.len() as u32 {
+                    let id = g.base() + local;
+                    if dropped(id) {
+                        continue;
+                    }
+                    let key =
+                        allpairs::compose_key(sk.half_key(local, a), sk.half_key(local, b), half_bits);
+                    entries[cursor[key as usize] as usize] = id;
+                    cursor[key as usize] += 1;
+                }
+            }
+            debug_assert!(cursor
+                .iter()
+                .zip(&offsets[1..])
+                .all(|(c, o)| c == o));
+            StaticTable {
+                pair: (a, b),
+                offsets,
+                entries,
+            }
+        });
+
+        Self {
+            m,
+            half_bits,
+            n: n as u32,
+            tables,
         }
     }
 }
@@ -491,6 +612,82 @@ mod tests {
         for l in 0..3 {
             for key in 0..16 {
                 assert!(t.bucket(l, key).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_generations_matches_rebuild() {
+        use crate::table::DeltaLayout;
+        let pool = ThreadPool::new(2);
+        let c = corpus(300, 64, 21);
+        let (m, half_bits) = (4u32, 3u32);
+        let planes = Hyperplanes::new_dense(64, m * half_bits, 13, &pool);
+        let mut sk_all = SketchMatrix::new(m, half_bits);
+        sk_all.append_from(&c, &planes, 0, &pool, true);
+
+        // Static prefix of 200 points; two sealed generations over the rest.
+        let prev = StaticTables::build_prefix(&sk_all, 200, BuildStrategy::TwoLevelShared, &pool);
+        let mk_gen = |base: usize, end: usize| {
+            let mut g = DeltaGeneration::new(
+                base as u32,
+                64,
+                m,
+                half_bits,
+                DeltaLayout::Adaptive,
+                end - base,
+            );
+            let vs: Vec<_> = (base..end).map(|i| c.row_vector(i as u32)).collect();
+            g.append(&vs, &planes, true, &pool).unwrap();
+            Arc::new(g)
+        };
+        let gens = vec![mk_gen(200, 260), mk_gen(260, 300)];
+        let rebuilt = StaticTables::build(&sk_all, BuildStrategy::TwoLevelShared, &pool);
+        let buckets = 1u32 << (2 * half_bits);
+
+        // No purges: the merge must reproduce the rebuild bucket for bucket.
+        let no_purge = vec![0u64; 300usize.div_ceil(64)];
+        let merged =
+            StaticTables::merge_generations(Some(&prev), m, half_bits, 300, &gens, &no_purge, &pool);
+        assert_eq!(merged.num_points(), 300);
+        for l in 0..rebuilt.num_tables() {
+            for key in 0..buckets {
+                assert_eq!(merged.bucket(l, key), rebuilt.bucket(l, key), "l={l} key={key}");
+            }
+        }
+
+        // With purges: identical minus exactly the dropped ids.
+        let victims = [5u32, 210, 299];
+        let mut purge = no_purge;
+        for id in victims {
+            purge[(id >> 6) as usize] |= 1 << (id & 63);
+        }
+        let purged =
+            StaticTables::merge_generations(Some(&prev), m, half_bits, 300, &gens, &purge, &pool);
+        for l in 0..rebuilt.num_tables() {
+            for key in 0..buckets {
+                let expect: Vec<u32> = rebuilt
+                    .bucket(l, key)
+                    .iter()
+                    .copied()
+                    .filter(|id| !victims.contains(id))
+                    .collect();
+                assert_eq!(purged.bucket(l, key), &expect[..], "l={l} key={key}");
+            }
+        }
+
+        // First merge (no previous epoch): generations only.
+        let first =
+            StaticTables::merge_generations(None, m, half_bits, 300, &gens, &purge, &pool);
+        for l in 0..first.num_tables() {
+            for key in 0..buckets {
+                let expect: Vec<u32> = rebuilt
+                    .bucket(l, key)
+                    .iter()
+                    .copied()
+                    .filter(|id| *id >= 200 && !victims.contains(id))
+                    .collect();
+                assert_eq!(first.bucket(l, key), &expect[..], "l={l} key={key}");
             }
         }
     }

@@ -118,14 +118,14 @@ proptest! {
     ) {
         let pool = ThreadPool::new(1);
         let params = PlshParams::builder(DIM).k(4).m(5).radius(0.9).seed(3).build().unwrap();
-        let mut e = Engine::new(EngineConfig::new(params, 256).manual_merge(), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params, 256).manual_merge(), &pool).unwrap();
         let ids = e.insert_batch(&vs, &pool).unwrap();
         if merge {
             e.merge_delta(&pool);
         }
         // Every vector finds itself (identical hash in every table).
         for (v, &id) in vs.iter().zip(&ids) {
-            let hits = e.query(v, &pool);
+            let hits = e.query(v);
             prop_assert!(hits.iter().any(|h| h.index == id && h.distance < 1e-3));
         }
     }
@@ -139,7 +139,7 @@ proptest! {
     ) {
         let pool = ThreadPool::new(1);
         let params = PlshParams::builder(DIM).k(4).m(5).radius(0.9).seed(9).build().unwrap();
-        let mut e = Engine::new(EngineConfig::new(params, 256).manual_merge(), &pool).unwrap();
+        let e = Engine::new(EngineConfig::new(params, 256).manual_merge(), &pool).unwrap();
         e.insert_batch(&vs, &pool).unwrap();
         e.merge_delta(&pool);
         let strategy = QueryStrategy {

@@ -15,6 +15,9 @@
 //! * [`exclusive_prefix_sum`] and friends — the cumulative-sum step of the radix partition.
 //! * [`WorkerLocal`] — lock-free cache-padded per-worker state slots, the
 //!   zero-contention substrate for reusable query scratch.
+//! * [`EpochPtr`] — an atomically swappable `Arc` with a generation
+//!   counter and lock-free readers, the publication primitive behind the
+//!   streaming engine's epoch-swapped tables.
 //!
 //! The pool is deliberately small and synchronous: `scope`-style entry
 //! points block until all spawned work completes, so callers never deal with
@@ -22,10 +25,12 @@
 //! are caught per-task and re-thrown on the caller thread after the batch
 //! drains, so a panicking task cannot deadlock the pool.
 
+mod epoch;
 mod pool;
 mod prefix;
 mod worker_local;
 
+pub use epoch::EpochPtr;
 pub use pool::{current_num_threads_hint, ThreadPool};
 pub use prefix::{exclusive_prefix_sum, exclusive_prefix_sum_in_place, inclusive_prefix_sum};
 pub use worker_local::WorkerLocal;

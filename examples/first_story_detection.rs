@@ -36,7 +36,7 @@ fn main() {
         .build()
         .expect("valid parameters");
     let pool = ThreadPool::default();
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig::new(params, corpus.len()).with_eta(0.05),
         &pool,
     )
@@ -51,7 +51,7 @@ fn main() {
     for id in 0..corpus.len() as u32 {
         let tweet = corpus.vector(id);
         // Query BEFORE inserting: is anything already similar?
-        let hits = engine.query(tweet, &pool);
+        let hits = engine.query(tweet);
         let is_first_story = hits.is_empty();
         let actually_fresh = corpus.duplicate_of(id).is_none();
         match (is_first_story, actually_fresh) {

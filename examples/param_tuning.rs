@@ -81,7 +81,7 @@ fn main() {
     );
 
     // Validate the choice end-to-end: build the index and measure recall.
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig::new(chosen.clone(), corpus.len()).manual_merge(),
         &pool,
     )

@@ -48,7 +48,7 @@ fn main() {
         .build()
         .expect("valid parameters");
     let pool = ThreadPool::default();
-    let mut engine =
+    let engine =
         Engine::new(EngineConfig::new(params, 1024), &pool).expect("valid engine config");
 
     // 3. Index every document (inserts buffer in the delta tables; merge
@@ -72,7 +72,7 @@ fn main() {
         "phone with a great battery",
     ] {
         let qv = vectorizer.vectorize(query).expect("in-vocabulary query");
-        let mut hits = engine.query(&qv, &pool);
+        let mut hits = engine.query(&qv);
         hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
         println!("query: {query:?}");
         if hits.is_empty() {

@@ -32,7 +32,7 @@ fn main() {
     let pool = ThreadPool::default();
 
     // A node mid-life: most data static, a little in the delta, one delete.
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig::new(params, corpus.len()).manual_merge(),
         &pool,
     )
@@ -65,8 +65,8 @@ fn main() {
     let mut checked = 0;
     for id in (0..corpus.len() as u32).step_by(97) {
         let q = corpus.vector(id);
-        let mut a: Vec<u32> = engine.query(q, &pool).iter().map(|h| h.index).collect();
-        let mut b: Vec<u32> = restored.query(q, &pool).iter().map(|h| h.index).collect();
+        let mut a: Vec<u32> = engine.query(q).iter().map(|h| h.index).collect();
+        let mut b: Vec<u32> = restored.query(q).iter().map(|h| h.index).collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "answers diverged for probe {id}");

@@ -1,10 +1,15 @@
-//! A multi-node cluster drinking from a firehose (Figure 1 end-to-end).
+//! Querying *while* the firehose streams in (Figure 1 end-to-end).
 //!
-//! A producer thread streams tweet batches through a bounded channel; the
-//! coordinator round-robins them into the current insert window of `M`
-//! nodes, nodes auto-merge their delta tables at `η·C`, full windows roll
-//! forward, and the oldest window is retired in place once the cluster
-//! wraps. Queries run concurrently against the whole cluster throughout.
+//! Part 1 — the concurrent single-node path: a paced producer thread
+//! pushes tweet batches through a bounded channel, an ingest thread pumps
+//! them into a [`StreamingEngine`] (hash → seal → background merge at
+//! `η·C`), and the main thread keeps answering query batches the whole
+//! time. Every answer comes from one pinned epoch — the engine never shows
+//! a half-merged state — and merge publication is a single pointer swap.
+//!
+//! Part 2 — the cluster path: the same firehose drives a multi-node
+//! coordinator with rolling insert windows; full windows roll forward and
+//! the oldest is retired in place once the cluster wraps.
 //!
 //! ```text
 //! cargo run --release --example streaming_firehose
@@ -12,6 +17,7 @@
 
 use plsh::cluster::firehose::Firehose;
 use plsh::cluster::{Cluster, ClusterConfig};
+use plsh::core::streaming::StreamingEngine;
 use plsh::core::{EngineConfig, PlshParams};
 use plsh::parallel::ThreadPool;
 use plsh::workload::{CorpusConfig, QuerySet, SyntheticCorpus};
@@ -31,7 +37,6 @@ fn main() {
         seed: 99,
     });
     let queries = QuerySet::sample_from_corpus(&corpus, 50, 7);
-
     let params = PlshParams::builder(corpus.dim())
         .k(10)
         .m(12)
@@ -40,6 +45,71 @@ fn main() {
         .build()
         .expect("valid parameters");
     let pool = ThreadPool::default();
+
+    // ---- Part 1: one node, true insert ‖ query ‖ merge overlap. ----
+    println!("== single node: concurrent ingest + queries ==");
+    let node_points = corpus.len() / 2;
+    let engine = StreamingEngine::new(
+        EngineConfig::new(params.clone(), node_points).with_eta(0.1),
+        pool.clone(),
+    )
+    .expect("valid engine config");
+
+    // Twitter-style paced arrival, pumped by a dedicated ingest thread.
+    let rate = node_points as f64 / 3.0; // drain in ~3 s
+    let hose = Firehose::start_paced(corpus.vectors()[..node_points].to_vec(), 1_000, 4, rate);
+    let pump = hose.pump_into(engine.clone());
+
+    // Main thread: query continuously against whatever epoch is live.
+    let start = std::time::Instant::now();
+    let mut batches = 0u64;
+    while !pump.is_finished() {
+        let (answers, stats) = engine.query_batch(queries.queries());
+        batches += 1;
+        if batches % 32 == 1 {
+            let info = engine.epoch_info();
+            assert_eq!(
+                info.visible_points,
+                info.static_points + info.sealed_points,
+                "epochs are never half-merged"
+            );
+            println!(
+                "t={:>6.2?}  visible {:>6} (static {:>6} + {} sealed gens)  epoch #{:<4}  \
+                 query batch {:>7.1?}  {} matches",
+                start.elapsed(),
+                info.visible_points,
+                info.static_points,
+                info.sealed_generations,
+                info.generation,
+                stats.elapsed,
+                answers.iter().map(Vec::len).sum::<usize>(),
+            );
+        }
+    }
+    let ingest = pump.join();
+    engine.wait_for_merge();
+    let merge = engine.last_merge();
+    println!(
+        "ingested {} points at {:.0}/s on the ingest thread; {} merges \
+         (last: build {:.1} ms off to the side, publish {:.3} ms); {} query batches ran alongside",
+        ingest.points,
+        ingest.insert_qps(),
+        engine.stats().merges,
+        merge.build.as_secs_f64() * 1e3,
+        merge.publish.as_secs_f64() * 1e3,
+        batches,
+    );
+    let probe = corpus.vector((node_points - 1) as u32);
+    assert!(
+        engine
+            .query(probe)
+            .iter()
+            .any(|h| h.index == (node_points - 1) as u32),
+        "newest tweet must be findable"
+    );
+
+    // ---- Part 2: the cluster with rolling insert windows. ----
+    println!("\n== cluster: rolling windows + retirement ==");
     let mut cluster = Cluster::new(
         ClusterConfig::new(
             EngineConfig::new(params, NODE_CAPACITY).with_eta(0.1),
@@ -50,7 +120,6 @@ fn main() {
     )
     .expect("valid cluster config");
 
-    // Twitter-style arrival: batches of tweets through a bounded channel.
     let hose = Firehose::start(corpus.vectors().to_vec(), 1_000, 4);
     let start = std::time::Instant::now();
     let mut ingested = 0usize;
@@ -59,7 +128,6 @@ fn main() {
         cluster
             .insert_batch(&batch.docs, &pool)
             .expect("insert path retires old windows as needed");
-
         // Interleave a query burst every few batches, as a live system
         // would see.
         if batch.seq % 5 == 4 {

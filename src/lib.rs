@@ -39,11 +39,11 @@
 //!     .build()
 //!     .unwrap();
 //! let pool = ThreadPool::new(1);
-//! let mut engine = Engine::new(EngineConfig::new(params, 16), &pool).unwrap();
+//! let engine = Engine::new(EngineConfig::new(params, 16), &pool).unwrap();
 //! engine.extend(docs.iter().cloned(), &pool).unwrap();
 //! engine.merge_delta(&pool);
 //!
-//! let hits = engine.query(&docs[0], &pool);
+//! let hits = engine.query(&docs[0]);
 //! assert!(hits.iter().any(|h| h.index == 1), "near-duplicate should be found");
 //! ```
 

@@ -29,7 +29,7 @@ fn cluster_equals_single_engine() {
     });
     let pool = ThreadPool::new(2);
 
-    let mut single = Engine::new(
+    let single = Engine::new(
         EngineConfig::new(params(corpus.dim()), corpus.len()).manual_merge(),
         &pool,
     )
@@ -52,7 +52,7 @@ fn cluster_equals_single_engine() {
     // Build the reverse map (node, local) -> original position.
     let queries: Vec<_> = (0..100u32).map(|i| corpus.vector(i * 29).clone()).collect();
     for q in &queries {
-        let mut expect: Vec<u32> = single.query(q, &pool).iter().map(|h| h.index).collect();
+        let mut expect: Vec<u32> = single.query(q).iter().map(|h| h.index).collect();
         expect.sort_unstable();
         let mut got: Vec<u32> = cluster
             .query(q, &pool)

@@ -70,7 +70,7 @@ proptest! {
             .build()
             .unwrap();
         let pool = ThreadPool::new(1);
-        let mut engine = Engine::new(
+        let engine = Engine::new(
             EngineConfig::new(params, 4096).with_eta(0.02),
             &pool,
         )
@@ -106,7 +106,7 @@ proptest! {
                     }
                     let id = (i % reference.vectors.len()) as u32;
                     let q = reference.vectors[id as usize].clone();
-                    let hits = engine.query(&q, &pool);
+                    let hits = engine.query(&q);
                     let truth = reference.in_radius(&q, 0.9);
                     // Soundness: every hit is a live in-radius point.
                     for h in &hits {

@@ -33,7 +33,7 @@ fn fixture() -> (SyntheticCorpus, QuerySet, Engine, ThreadPool) {
         .build()
         .unwrap();
     let pool = ThreadPool::new(2);
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig::new(params, corpus.len()).manual_merge(),
         &pool,
     )
@@ -63,10 +63,10 @@ fn reported_neighbors_are_sound() {
 
 #[test]
 fn exact_duplicates_are_always_found() {
-    let (_, queries, engine, pool) = fixture();
+    let (_, queries, engine, _pool) = fixture();
     for (i, q) in queries.queries().iter().enumerate() {
         let src = queries.source_id(i).unwrap();
-        let hits = engine.query(q, &pool);
+        let hits = engine.query(q);
         assert!(
             hits.iter().any(|h| h.index == src && h.distance < 1e-3),
             "query {i} failed to find its own source {src}"

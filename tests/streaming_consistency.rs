@@ -27,11 +27,11 @@ fn corpus() -> SyntheticCorpus {
     })
 }
 
-fn answers(engine: &Engine, queries: &[SparseVector], pool: &ThreadPool) -> Vec<Vec<u32>> {
+fn answers(engine: &Engine, queries: &[SparseVector]) -> Vec<Vec<u32>> {
     queries
         .iter()
         .map(|q| {
-            let mut ids: Vec<u32> = engine.query(q, pool).iter().map(|h| h.index).collect();
+            let mut ids: Vec<u32> = engine.query(q).iter().map(|h| h.index).collect();
             ids.sort_unstable();
             ids
         })
@@ -45,13 +45,13 @@ fn bulk_chunked_and_unmerged_builds_agree() {
     let queries: Vec<SparseVector> = (0..60u32).map(|i| c.vector(i * 37).clone()).collect();
 
     // Bulk: one insert + one merge.
-    let mut bulk = Engine::new(EngineConfig::new(params(c.dim()), c.len()).manual_merge(), &pool)
+    let bulk = Engine::new(EngineConfig::new(params(c.dim()), c.len()).manual_merge(), &pool)
         .unwrap();
     bulk.insert_batch(c.vectors(), &pool).unwrap();
     bulk.merge_delta(&pool);
 
     // Chunked with auto-merge at eta = 5%.
-    let mut chunked = Engine::new(
+    let chunked = Engine::new(
         EngineConfig::new(params(c.dim()), c.len()).with_eta(0.05),
         &pool,
     )
@@ -62,7 +62,7 @@ fn bulk_chunked_and_unmerged_builds_agree() {
     assert!(chunked.stats().merges >= 2, "auto-merges must have fired");
 
     // Never merged: everything answered from the delta tables.
-    let mut unmerged = Engine::new(
+    let unmerged = Engine::new(
         EngineConfig::new(params(c.dim()), c.len()).manual_merge(),
         &pool,
     )
@@ -71,7 +71,7 @@ fn bulk_chunked_and_unmerged_builds_agree() {
     assert_eq!(unmerged.static_len(), 0);
 
     // Sparse-layout delta as a fourth configuration.
-    let mut sparse_delta = Engine::new(
+    let sparse_delta = Engine::new(
         EngineConfig::new(params(c.dim()), c.len())
             .manual_merge()
             .with_delta_layout(DeltaLayout::Sparse),
@@ -80,17 +80,17 @@ fn bulk_chunked_and_unmerged_builds_agree() {
     .unwrap();
     sparse_delta.insert_batch(c.vectors(), &pool).unwrap();
 
-    let reference = answers(&bulk, &queries, &pool);
-    assert_eq!(answers(&chunked, &queries, &pool), reference);
-    assert_eq!(answers(&unmerged, &queries, &pool), reference);
-    assert_eq!(answers(&sparse_delta, &queries, &pool), reference);
+    let reference = answers(&bulk, &queries);
+    assert_eq!(answers(&chunked, &queries), reference);
+    assert_eq!(answers(&unmerged, &queries), reference);
+    assert_eq!(answers(&sparse_delta, &queries), reference);
 }
 
 #[test]
 fn deletions_survive_merges() {
     let c = corpus();
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig::new(params(c.dim()), c.len()).manual_merge(),
         &pool,
     )
@@ -107,13 +107,13 @@ fn deletions_survive_merges() {
 
     let q_static = c.vector(static_victim).clone();
     let q_delta = c.vector(delta_victim).clone();
-    assert!(!engine.query(&q_static, &pool).iter().any(|h| h.index == static_victim));
-    assert!(!engine.query(&q_delta, &pool).iter().any(|h| h.index == delta_victim));
+    assert!(!engine.query(&q_static).iter().any(|h| h.index == static_victim));
+    assert!(!engine.query(&q_delta).iter().any(|h| h.index == delta_victim));
 
     // A merge must not resurrect the tombstoned points.
     engine.merge_delta(&pool);
-    assert!(!engine.query(&q_static, &pool).iter().any(|h| h.index == static_victim));
-    assert!(!engine.query(&q_delta, &pool).iter().any(|h| h.index == delta_victim));
+    assert!(!engine.query(&q_static).iter().any(|h| h.index == static_victim));
+    assert!(!engine.query(&q_delta).iter().any(|h| h.index == delta_victim));
     assert_eq!(engine.stats().deleted_points, 2);
 }
 
@@ -121,7 +121,7 @@ fn deletions_survive_merges() {
 fn query_during_partial_fill_sees_exactly_the_inserted_prefix() {
     let c = corpus();
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(
+    let engine = Engine::new(
         EngineConfig::new(params(c.dim()), c.len()).manual_merge(),
         &pool,
     )
@@ -132,7 +132,7 @@ fn query_during_partial_fill_sees_exactly_the_inserted_prefix() {
         let visible = (chunk_idx + 1) * step;
         // A point beyond the inserted prefix can never be reported.
         for probe in [0u32, (visible - 1) as u32] {
-            let hits = engine.query(c.vector(probe), &pool);
+            let hits = engine.query(c.vector(probe));
             assert!(hits.iter().all(|h| (h.index as usize) < visible));
             assert!(hits.iter().any(|h| h.index == probe), "prefix point findable");
         }
@@ -144,7 +144,7 @@ fn capacity_retirement_cycle_is_clean() {
     let c = corpus();
     let pool = ThreadPool::new(1);
     let cap = 1000usize;
-    let mut engine =
+    let engine =
         Engine::new(EngineConfig::new(params(c.dim()), cap).with_eta(0.2), &pool).unwrap();
     engine.insert_batch(&c.vectors()[..cap], &pool).unwrap();
     assert_eq!(engine.remaining_capacity(), 0);
@@ -155,10 +155,10 @@ fn capacity_retirement_cycle_is_clean() {
     engine.insert_batch(&c.vectors()[cap..2 * cap], &pool).unwrap();
     assert_eq!(engine.len(), cap);
     let probe = c.vector((cap + 5) as u32);
-    assert!(engine.query(probe, &pool).iter().any(|h| h.index == 5));
+    assert!(engine.query(probe).iter().any(|h| h.index == 5));
     // Old points are gone even though their vectors resemble new ids.
     let old = c.vector(0);
-    for h in engine.query(old, &pool) {
+    for h in engine.query(old) {
         let exact = old.angular_distance(c.vector(cap as u32 + h.index));
         assert!(exact <= 0.9 + 1e-5, "hits refer to the new generation only");
     }

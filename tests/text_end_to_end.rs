@@ -46,7 +46,7 @@ fn text_snippets_find_their_cluster() {
         .build()
         .unwrap();
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(EngineConfig::new(params, docs.len()), &pool).unwrap();
+    let engine = Engine::new(EngineConfig::new(params, docs.len()), &pool).unwrap();
     for d in &docs {
         let v = vectorizer.vectorize(d).expect("corpus documents vectorize");
         engine.insert(v, &pool).unwrap();
@@ -58,7 +58,7 @@ fn text_snippets_find_their_cluster() {
     for cluster in 0..5usize {
         let base = cluster * 4;
         let q = vectorizer.vectorize(&docs[base]).unwrap();
-        let hits = engine.query(&q, &pool);
+        let hits = engine.query(&q);
         let ids: Vec<usize> = hits.iter().map(|h| h.index as usize).collect();
         for expect in [base, base + 1, base + 2] {
             assert!(ids.contains(&expect), "cluster {cluster} missing doc {expect}");
@@ -101,7 +101,7 @@ fn idf_prefers_distinctive_matches() {
         .build()
         .unwrap();
     let pool = ThreadPool::new(1);
-    let mut engine = Engine::new(EngineConfig::new(params, docs.len()), &pool).unwrap();
+    let engine = Engine::new(EngineConfig::new(params, docs.len()), &pool).unwrap();
     for d in &docs {
         engine.insert(vectorizer.vectorize(d).unwrap(), &pool).unwrap();
     }
@@ -110,7 +110,7 @@ fn idf_prefers_distinctive_matches() {
     // "exoplanet" is rare; a query containing it plus common words must
     // rank the exoplanet document first.
     let q = vectorizer.vectorize("new exoplanet discovered today").unwrap();
-    let mut hits = engine.query(&q, &pool);
+    let mut hits = engine.query(&q);
     hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
     assert!(!hits.is_empty());
     let best = hits[0].index as usize;
