@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use plsh_bench::setup::{Fixture, Scale};
 use plsh_core::query::QueryStrategy;
+use plsh_core::SearchRequest;
 
 fn bench_query_levels(c: &mut Criterion) {
     let f = Fixture::build(Scale::Quick, 1);
@@ -14,11 +15,14 @@ fn bench_query_levels(c: &mut Criterion) {
     g.sample_size(10);
     for (name, strategy) in QueryStrategy::ablation_levels() {
         let label = name.replace([' ', '+'], "_");
+        let req = SearchRequest::batch(queries.to_vec())
+            .with_strategy(strategy)
+            .per_query_pipeline()
+            .with_stats();
         g.bench_function(&label, |b| {
             b.iter(|| {
-                let (answers, stats) =
-                    engine.query_batch_with_strategy(queries, strategy, &f.pool);
-                (answers.len(), stats.totals.matches)
+                let resp = engine.search(&req, &f.pool).expect("valid request");
+                (resp.results.len(), resp.stats.expect("stats requested").totals.matches)
             })
         });
     }

@@ -21,7 +21,7 @@ fn bench_table2(c: &mut Criterion) {
                 qi = (qi + 1) % queries.len();
                 &queries[qi]
             },
-            |q| engine.query_with_stats(q),
+            |q| engine.query(q),
             BatchSize::SmallInput,
         )
     });

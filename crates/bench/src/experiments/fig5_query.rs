@@ -7,6 +7,7 @@
 use std::time::Duration;
 
 use plsh_core::query::QueryStrategy;
+use plsh_core::SearchRequest;
 
 use crate::setup::{ms, Fixture};
 
@@ -35,9 +36,22 @@ pub fn run(f: &Fixture) -> Fig5 {
     let levels = QueryStrategy::ablation_levels()
         .into_iter()
         .map(|(name, strategy)| {
-            // Warm-up pass, then the measured pass.
-            let _ = engine.query_batch_with_strategy(&queries[..queries.len().min(32)], strategy, &f.pool);
-            let (_, stats) = engine.query_batch_with_strategy(queries, strategy, &f.pool);
+            // Warm-up pass, then the measured pass. The ablation level is a
+            // request field; Figure 5's protocol uses the per-query
+            // pipeline.
+            let warm = SearchRequest::batch(queries[..queries.len().min(32)].to_vec())
+                .with_strategy(strategy)
+                .per_query_pipeline();
+            let _ = engine.search(&warm, &f.pool).expect("valid warm-up request");
+            let req = SearchRequest::batch(queries.to_vec())
+                .with_strategy(strategy)
+                .per_query_pipeline()
+                .with_stats();
+            let stats = engine
+                .search(&req, &f.pool)
+                .expect("valid ablation request")
+                .stats
+                .expect("stats requested");
             Level {
                 name,
                 batch_time: stats.elapsed,

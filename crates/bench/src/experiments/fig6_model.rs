@@ -163,12 +163,13 @@ fn run_dataset(
         half_bits: params.half_bits(),
         radius: params.radius() as f32,
         strategy: QueryStrategy::optimized(),
+        max_candidates: usize::MAX,
     };
     let mut scratch =
         QueryScratch::new(params.m(), params.half_bits(), corpus.num_rows(), dim);
     let warm = queries.len().min(32);
     let _ = query::profile_batch(&ctx, &queries[..warm], &mut scratch);
-    let (qt, qstats) = query::profile_batch(&ctx, queries, &mut scratch);
+    let (_, qt, qstats) = query::profile_batch(&ctx, queries, &mut scratch);
 
     // ---- Query: modeled, using the measured collision statistics (the
     // sampling path is exercised by Figure 7; here the per-operation costs

@@ -8,9 +8,8 @@
 //! queries/sec, per-phase timings, and candidate counters to a JSON report
 //! so later PRs can be held to these numbers.
 
-use plsh_core::query::Neighbor;
 use plsh_core::simd;
-use plsh_core::BatchStats;
+use plsh_core::{BatchStats, SearchHit, SearchRequest};
 
 use crate::setup::{Fixture, Scale};
 
@@ -33,9 +32,9 @@ const AB_PASS_CALLS: usize = 3;
 pub struct LevelResult {
     /// Configuration label (paper name, or "batched pipeline").
     pub name: &'static str,
-    /// Queries per second over the batch (best of [`REPS`]).
+    /// Queries per second over the batch (best of `REPS` passes).
     pub qps: f64,
-    /// Batch wall time in milliseconds (best of [`REPS`]).
+    /// Batch wall time in milliseconds (best of `REPS` passes).
     pub batch_ms: f64,
     /// Mean bucket entries read per query.
     pub avg_collisions: f64,
@@ -97,7 +96,7 @@ pub struct Throughput {
 /// `(id, distance-bits)` pairs sorted by id — the batched pipeline must
 /// reproduce the per-query pipeline's answers *bit for bit*, distances
 /// included.
-fn sorted_hits(hits: &[Neighbor]) -> Vec<(u32, u32)> {
+fn sorted_hits(hits: &[SearchHit]) -> Vec<(u32, u32)> {
     let mut pairs: Vec<(u32, u32)> = hits
         .iter()
         .map(|h| (h.index, h.distance.to_bits()))
@@ -107,25 +106,36 @@ fn sorted_hits(hits: &[Neighbor]) -> Vec<(u32, u32)> {
 }
 
 /// Runs the ablation plus the batched pipeline against a fully static
-/// engine.
+/// engine, entirely through the unified [`SearchRequest`] API (the
+/// ablation levels are request fields, not dedicated methods).
 pub fn run(f: &Fixture) -> Throughput {
     let engine = f.static_engine();
     let queries = f.query_vecs();
+    let warm_queries = queries[..queries.len().min(32)].to_vec();
 
-    // Levels 0–3: best-of-REPS each (context for the trajectory).
+    // Levels 0–3: best-of-REPS each (context for the trajectory). The
+    // Figure 5 protocol measures the *per-query* pipeline, so the request
+    // opts out of batched Q1.
     let mut levels = Vec::new();
     let all_levels = plsh_core::QueryStrategy::ablation_levels();
     let (last_name, last_strategy) = all_levels[all_levels.len() - 1];
     for &(name, strategy) in &all_levels[..all_levels.len() - 1] {
         // Warm-up pass (page in tables, fill scratch slots), then best-of.
-        let _ = engine.query_batch_with_strategy(
-            &queries[..queries.len().min(32)],
-            strategy,
-            &f.pool,
-        );
+        let warm = SearchRequest::batch(warm_queries.clone())
+            .with_strategy(strategy)
+            .per_query_pipeline();
+        let _ = engine.search(&warm, &f.pool).expect("valid warm-up request");
+        let req = SearchRequest::batch(queries.to_vec())
+            .with_strategy(strategy)
+            .per_query_pipeline()
+            .with_stats();
         let mut best: Option<BatchStats> = None;
         for _ in 0..REPS {
-            let (_, stats) = engine.query_batch_with_strategy(queries, strategy, &f.pool);
+            let stats = engine
+                .search(&req, &f.pool)
+                .expect("valid ablation request")
+                .stats
+                .expect("stats requested");
             if best.map_or(true, |b| stats.elapsed < b.elapsed) {
                 best = Some(stats);
             }
@@ -136,12 +146,19 @@ pub fn run(f: &Fixture) -> Throughput {
     // Optimized per-query pipeline vs batched SIMD pipeline: interleaved
     // A/B passes so noise drift cannot favor either side; each pass sums
     // several batch executions, and the best pass of each side is reported.
-    let _ = engine.query_batch_with_strategy(
-        &queries[..queries.len().min(32)],
-        last_strategy,
-        &f.pool,
-    );
-    let _ = engine.query_batch(&queries[..queries.len().min(32)], &f.pool);
+    let opt_req = SearchRequest::batch(queries.to_vec())
+        .with_strategy(last_strategy)
+        .per_query_pipeline()
+        .with_stats();
+    let batched_req = SearchRequest::batch(queries.to_vec())
+        .with_strategy(last_strategy)
+        .with_stats();
+    let warm = SearchRequest::batch(warm_queries.clone())
+        .with_strategy(last_strategy)
+        .per_query_pipeline();
+    let _ = engine.search(&warm, &f.pool).expect("valid warm-up request");
+    let warm = SearchRequest::batch(warm_queries).with_strategy(last_strategy);
+    let _ = engine.search(&warm, &f.pool).expect("valid warm-up request");
     let mut best_opt: Option<std::time::Duration> = None;
     let mut best_batched: Option<std::time::Duration> = None;
     let mut opt_stats = BatchStats::default();
@@ -151,12 +168,12 @@ pub fn run(f: &Fixture) -> Throughput {
     for _ in 0..AB_REPS {
         let mut pass = std::time::Duration::ZERO;
         for _ in 0..AB_PASS_CALLS {
-            let (answers, stats) =
-                engine.query_batch_with_strategy(queries, last_strategy, &f.pool);
+            let resp = engine.search(&opt_req, &f.pool).expect("valid A/B request");
+            let stats = resp.stats.expect("stats requested");
             pass += stats.elapsed;
             opt_stats = stats;
             if optimized_answers.is_empty() {
-                optimized_answers = answers.iter().map(|h| sorted_hits(h)).collect();
+                optimized_answers = resp.results.iter().map(|h| sorted_hits(h)).collect();
             }
         }
         if best_opt.map_or(true, |b| pass < b) {
@@ -164,10 +181,14 @@ pub fn run(f: &Fixture) -> Throughput {
         }
         let mut pass = std::time::Duration::ZERO;
         for _ in 0..AB_PASS_CALLS {
-            let (answers, stats) = engine.query_batch(queries, &f.pool);
+            let resp = engine
+                .search(&batched_req, &f.pool)
+                .expect("valid A/B request");
+            let stats = resp.stats.expect("stats requested");
             pass += stats.elapsed;
             batched_stats = stats;
-            answers_match &= answers
+            answers_match &= resp
+                .results
                 .iter()
                 .zip(&optimized_answers)
                 .all(|(got, expect)| &sorted_hits(got) == expect);
@@ -182,7 +203,12 @@ pub fn run(f: &Fixture) -> Throughput {
     let batched = LevelResult::from_stats("batched pipeline", &batched_stats);
 
     // Per-phase breakdown (sequential, fully optimized pipeline).
-    let (timings, _) = engine.profile_query_batch(queries);
+    let profile_req = SearchRequest::batch(queries.to_vec()).with_profiling();
+    let timings = engine
+        .search(&profile_req, &f.pool)
+        .expect("valid profiling request")
+        .phase_timings
+        .expect("profiling requested");
     let nq = queries.len().max(1) as f64;
 
     Throughput {

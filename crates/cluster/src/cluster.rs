@@ -3,10 +3,12 @@
 use std::time::{Duration, Instant};
 
 use plsh_core::engine::{Engine, EngineConfig};
-use plsh_core::error::{PlshError, Result};
-use plsh_core::query::Neighbor;
+use plsh_core::query::{BatchStats, Neighbor};
+use plsh_core::search::{rank_top_k, SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
 use plsh_core::sparse::SparseVector;
 use plsh_parallel::ThreadPool;
+
+use crate::error::{ClusterError, Result};
 
 /// Cluster-level configuration.
 #[derive(Debug, Clone)]
@@ -32,15 +34,15 @@ impl ClusterConfig {
 
     fn validate(&self) -> Result<()> {
         if self.num_nodes == 0 {
-            return Err(PlshError::InvalidParams("num_nodes must be > 0".into()));
+            return Err(ClusterError::Topology("num_nodes must be > 0".into()));
         }
         if self.insert_window == 0 || self.insert_window > self.num_nodes {
-            return Err(PlshError::InvalidParams(
+            return Err(ClusterError::Topology(
                 "insert_window must lie in 1..=num_nodes".into(),
             ));
         }
         if !self.num_nodes.is_multiple_of(self.insert_window) {
-            return Err(PlshError::InvalidParams(format!(
+            return Err(ClusterError::Topology(format!(
                 "insert_window {} must divide num_nodes {} so retirement windows tile",
                 self.insert_window, self.num_nodes
             )));
@@ -144,6 +146,10 @@ pub struct Cluster {
     /// Round-robin cursor within the window.
     cursor: usize,
     retirements: u64,
+    /// Long-lived serial pool handed to each node during a broadcast
+    /// (each node processes its partial batch on the broadcast task's
+    /// thread; cross-node parallelism comes from the caller's pool).
+    node_pool: ThreadPool,
 }
 
 impl Cluster {
@@ -152,13 +158,14 @@ impl Cluster {
         config.validate()?;
         let nodes = (0..config.num_nodes)
             .map(|_| Engine::new(config.node.clone(), pool))
-            .collect::<Result<Vec<_>>>()?;
+            .collect::<plsh_core::error::Result<Vec<_>>>()?;
         Ok(Self {
             config,
             nodes,
             window: 0,
             cursor: 0,
             retirements: 0,
+            node_pool: ThreadPool::new(1),
         })
     }
 
@@ -298,11 +305,10 @@ impl Cluster {
         let start = Instant::now();
         // Each node processes the whole batch locally on the task's thread;
         // cross-node parallelism comes from the pool.
-        let node_pool = ThreadPool::new(1);
         let partials: Vec<(Vec<Vec<Neighbor>>, Duration)> =
             pool.parallel_map(self.nodes.iter(), |node| {
                 let t0 = Instant::now();
-                let (answers, _) = node.query_batch(qs, &node_pool);
+                let (answers, _) = node.query_batch(qs, &self.node_pool);
                 (answers, t0.elapsed())
             });
         let mut answers: Vec<Vec<GlobalNeighbor>> = vec![Vec::new(); qs.len()];
@@ -329,6 +335,72 @@ impl Cluster {
         self.query_batch(std::slice::from_ref(q), pool)
             .answers
             .remove(0)
+    }
+
+    /// Answers one [`SearchRequest`] cluster-wide: the request is
+    /// broadcast verbatim to every node (one work-stealing task per node,
+    /// Section 5.3), the per-node responses are concatenated per query
+    /// with each hit attributed to its node, and k-NN answers are
+    /// re-ranked globally (the union's top `k` is the top `k` of the
+    /// per-node top `k`s). Counters aggregate across nodes; the reported
+    /// wall time is the coordinator's end-to-end broadcast.
+    ///
+    /// Every node pins its own epoch, so [`SearchResponse::epoch`] is
+    /// `None` here.
+    pub fn search(
+        &self,
+        req: &SearchRequest,
+        pool: &ThreadPool,
+    ) -> plsh_core::error::Result<SearchResponse> {
+        req.validate(self.config.node.params.dim())?;
+        let start = Instant::now();
+        let partials: Vec<plsh_core::error::Result<SearchResponse>> =
+            pool.parallel_map(self.nodes.iter(), |node| node.search(req, &self.node_pool));
+        let mut results: Vec<Vec<SearchHit>> = vec![Vec::new(); req.queries().len()];
+        let mut stats: Option<BatchStats> = None;
+        let mut timings = None;
+        for (node_id, partial) in partials.into_iter().enumerate() {
+            let resp = partial?;
+            for (q, hits) in resp.results.into_iter().enumerate() {
+                results[q].extend(hits.into_iter().map(|h| h.on_node(node_id as u32)));
+            }
+            if let Some(node_stats) = resp.stats {
+                let agg = stats.get_or_insert(BatchStats {
+                    queries: req.queries().len() as u64,
+                    ..BatchStats::default()
+                });
+                agg.totals.merge(&node_stats.totals);
+            }
+            if let Some(node_timings) = resp.phase_timings {
+                let agg = timings.get_or_insert(plsh_core::QueryPhaseTimings::default());
+                agg.step_q2 += node_timings.step_q2;
+                agg.step_q3 += node_timings.step_q3;
+            }
+        }
+        if let SearchMode::Knn(k) = req.mode() {
+            for hits in &mut results {
+                rank_top_k(hits, k);
+            }
+        }
+        if let Some(agg) = stats.as_mut() {
+            agg.elapsed = start.elapsed();
+        }
+        Ok(SearchResponse {
+            results,
+            stats,
+            phase_timings: timings,
+            epoch: None,
+        })
+    }
+}
+
+impl SearchBackend for Cluster {
+    fn search(
+        &self,
+        req: &SearchRequest,
+        pool: &ThreadPool,
+    ) -> plsh_core::error::Result<SearchResponse> {
+        Cluster::search(self, req, pool)
     }
 }
 

@@ -21,6 +21,8 @@
 //! firehose's arrival pattern.
 
 mod cluster;
+mod error;
 pub mod firehose;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterQueryReport, ClusterStats, GlobalNeighbor};
+pub use error::{ClusterError, Result};

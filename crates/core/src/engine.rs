@@ -5,7 +5,7 @@
 //! streaming* subsystem so queries run while the firehose streams in:
 //!
 //! * **Readers pin epochs.** Every query pins one immutable
-//!   [`EngineView`] — the static tables, the consolidated static corpus,
+//!   `EngineView` — the static tables, the consolidated static corpus,
 //!   and the list of sealed [`DeltaGeneration`]s — through a lock-free
 //!   [`EpochPtr`]. All query entry points take `&self`; a pinned view
 //!   never changes, so a query can never observe a half-merged state.
@@ -39,9 +39,9 @@ use crate::error::{PlshError, Result};
 use crate::hash::{Hyperplanes, HyperplanesKind};
 use crate::params::PlshParams;
 use crate::query::{
-    self, BatchStats, Neighbor, QueryContext, QueryScratch, QueryStats, QueryStrategy,
-    ScratchPool,
+    self, BatchStats, Neighbor, QueryContext, QueryScratch, QueryStrategy, ScratchPool,
 };
+use crate::search::{rank_top_k, SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
 use crate::sparse::{CrsMatrix, SparseVector};
 use crate::table::{DeltaGeneration, DeltaLayout, StaticTables};
 
@@ -446,11 +446,22 @@ impl Engine {
         self.config.capacity - self.len()
     }
 
-    /// The stored vector for point `id` (panics when out of range).
-    pub fn vector(&self, id: u32) -> SparseVector {
+    /// The stored vector for point `id`, or `None` when the id is out of
+    /// range or was purged from the tables by a past merge (purged row
+    /// slots persist so ids stay stable, but their contents are no longer
+    /// part of the index). A tombstoned-but-unpurged id still returns its
+    /// row — the data is retained until the next merge.
+    pub fn vector(&self, id: u32) -> Option<SparseVector> {
         let view = self.epoch.snapshot();
+        if (id as usize) < view.static_len() {
+            // Static ids are the only ones a merge can have purged.
+            if self.write.lock().unwrap().purged.binary_search(&id).is_ok() {
+                return None;
+            }
+            return Some(view.static_data.row_vector(id));
+        }
         if let Some(v) = Self::view_vector(&view, id) {
-            return v;
+            return Some(v);
         }
         // Not in that snapshot: the id is in the open generation, or a
         // concurrent insert sealed it after our pin. Re-check under the
@@ -458,11 +469,11 @@ impl Engine {
         let w = self.write.lock().unwrap();
         if let Some(open) = w.open.as_ref() {
             if id >= open.base() && id < open.end() {
-                return open.data().row_vector(id - open.base());
+                return Some(open.data().row_vector(id - open.base()));
             }
         }
         let view = self.epoch.snapshot();
-        Self::view_vector(&view, id).expect("point id out of range")
+        Self::view_vector(&view, id)
     }
 
     fn view_vector(view: &EngineView, id: u32) -> Option<SparseVector> {
@@ -782,24 +793,109 @@ impl Engine {
             half_bits: self.config.params.half_bits(),
             radius: self.config.params.radius() as f32,
             strategy: self.config.query_strategy,
+            max_candidates: usize::MAX,
         }
     }
 
-    /// Answers one query against the currently published epoch.
-    pub fn query(&self, q: &SparseVector) -> Vec<Neighbor> {
-        self.query_with_stats(q).0
+    /// Answers one [`SearchRequest`] — radius or k-NN, one query or a
+    /// batch, with optional per-request radius/strategy overrides,
+    /// candidate budget, counters, and phase profiling. This is the typed
+    /// entry point every other query convenience delegates to; the whole
+    /// request runs against one pinned epoch
+    /// ([`SearchResponse::epoch`]).
+    ///
+    /// `pool` drives batch fan-out (single-query requests never touch it).
+    pub fn search(&self, req: &SearchRequest, pool: &ThreadPool) -> Result<SearchResponse> {
+        req.validate(self.config.params.dim())?;
+        let (view, generation) = self.epoch.load();
+        let epoch = EpochInfo {
+            generation,
+            static_points: view.static_len(),
+            sealed_generations: view.sealed.len(),
+            sealed_points: view.sealed_points(),
+            visible_points: view.visible_len as usize,
+        };
+        let mut ctx = self.view_ctx(&view);
+        if let Some(s) = req.strategy_override() {
+            ctx.strategy = s;
+        }
+        if let Some(r) = req.radius_override() {
+            ctx.radius = r;
+        }
+        // k-NN ranks everything the tables surface: radius π admits every
+        // candidate, and the post-pass keeps the k closest.
+        let top_k = match req.mode() {
+            SearchMode::Knn(k) => {
+                ctx.radius = std::f32::consts::PI;
+                Some(k)
+            }
+            SearchMode::Radius => None,
+        };
+        if let Some(budget) = req.max_candidates() {
+            ctx.max_candidates = budget;
+        }
+
+        let qs = req.queries();
+        let (answers, stats, timings) = if req.profiles() {
+            let mut scratch = self.scratches.take(view.visible_len as usize);
+            let (answers, timings, totals) = query::profile_batch(&ctx, qs, &mut scratch);
+            self.scratches.put(scratch);
+            let stats = BatchStats {
+                queries: qs.len() as u64,
+                totals,
+                elapsed: timings.total(),
+            };
+            (answers, stats, Some(timings))
+        } else if qs.len() == 1 && !req.uses_per_query_pipeline() {
+            // Single-query fast path: no pool round-trip, no batch setup.
+            let t0 = Instant::now();
+            let mut scratch = self.scratches.take(view.visible_len as usize);
+            let (hits, totals) = query::execute_query(&ctx, &qs[0], &mut scratch);
+            self.scratches.put(scratch);
+            let stats = BatchStats {
+                queries: 1,
+                totals,
+                elapsed: t0.elapsed(),
+            };
+            (vec![hits], stats, None)
+        } else if req.uses_per_query_pipeline() {
+            let (a, s) = query::execute_batch(&ctx, qs, pool, &self.scratches);
+            (a, s, None)
+        } else {
+            let (a, s) = query::execute_batch_pipelined(&ctx, qs, pool, &self.scratches);
+            (a, s, None)
+        };
+
+        let mut results: Vec<Vec<SearchHit>> = answers
+            .into_iter()
+            .map(|hits| hits.into_iter().map(SearchHit::from).collect())
+            .collect();
+        if let Some(k) = top_k {
+            for hits in &mut results {
+                rank_top_k(hits, k);
+            }
+        }
+        Ok(SearchResponse {
+            results,
+            stats: req.collects_stats().then_some(stats),
+            phase_timings: timings,
+            epoch: Some(epoch),
+        })
     }
 
-    /// Answers one query and returns its pipeline counters.
-    pub fn query_with_stats(&self, q: &SparseVector) -> (Vec<Neighbor>, QueryStats) {
+    /// Answers one radius query against the currently published epoch — a
+    /// thin convenience over [`search`](Self::search) that skips request
+    /// assembly on the hot single-query path.
+    pub fn query(&self, q: &SparseVector) -> Vec<Neighbor> {
         let view = self.epoch.snapshot();
         let mut scratch = self.scratches.take(view.visible_len as usize);
-        let r = query::execute_query(&self.view_ctx(&view), q, &mut scratch);
+        let (hits, _) = query::execute_query(&self.view_ctx(&view), q, &mut scratch);
         self.scratches.put(scratch);
-        r
+        hits
     }
 
-    /// Answers a batch of queries through the batched SIMD pipeline: Q1 is
+    /// Answers a batch of radius queries through the batched SIMD
+    /// pipeline — a thin convenience over [`search`](Self::search): Q1 is
     /// hashed for the whole batch first ([`crate::hash::SketchMatrix::sketch_batch`]),
     /// then Q2–Q4 fan out one work-stealing task per query. The whole
     /// batch runs against one pinned epoch.
@@ -810,61 +906,6 @@ impl Engine {
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
         let view = self.epoch.snapshot();
         query::execute_batch_pipelined(&self.view_ctx(&view), qs, pool, &self.scratches)
-    }
-
-    /// Runs one query with an explicit strategy override (ablations).
-    pub fn query_with_strategy(
-        &self,
-        q: &SparseVector,
-        strategy: QueryStrategy,
-    ) -> (Vec<Neighbor>, QueryStats) {
-        let view = self.epoch.snapshot();
-        let mut ctx = self.view_ctx(&view);
-        ctx.strategy = strategy;
-        let mut scratch = self.scratches.take(view.visible_len as usize);
-        let r = query::execute_query(&ctx, q, &mut scratch);
-        self.scratches.put(scratch);
-        r
-    }
-
-    /// Runs a query batch with an explicit strategy override (ablations).
-    ///
-    /// Uses the unbatched per-query pipeline, matching the paper's Figure 5
-    /// protocol (the batched pipeline is an extra level on top; see
-    /// [`query_batch`](Self::query_batch)).
-    pub fn query_batch_with_strategy(
-        &self,
-        qs: &[SparseVector],
-        strategy: QueryStrategy,
-        pool: &ThreadPool,
-    ) -> (Vec<Vec<Neighbor>>, BatchStats) {
-        let view = self.epoch.snapshot();
-        let mut ctx = self.view_ctx(&view);
-        ctx.strategy = strategy;
-        query::execute_batch(&ctx, qs, pool, &self.scratches)
-    }
-
-    /// Answers an approximate k-nearest-neighbor query: the `k` closest
-    /// points among everything the hash tables surface for `q`, ascending
-    /// by distance (see [`query::execute_knn`]).
-    pub fn query_knn(&self, q: &SparseVector, k: usize) -> (Vec<Neighbor>, QueryStats) {
-        let view = self.epoch.snapshot();
-        let mut scratch = self.scratches.take(view.visible_len as usize);
-        let r = query::execute_knn(&self.view_ctx(&view), q, k, &mut scratch);
-        self.scratches.put(scratch);
-        r
-    }
-
-    /// Runs a query batch sequentially with per-phase timers (Figure 6).
-    pub fn profile_query_batch(
-        &self,
-        qs: &[SparseVector],
-    ) -> (query::QueryPhaseTimings, QueryStats) {
-        let view = self.epoch.snapshot();
-        let mut scratch = self.scratches.take(view.visible_len as usize);
-        let r = query::profile_batch(&self.view_ctx(&view), qs, &mut scratch);
-        self.scratches.put(scratch);
-        r
     }
 
     /// Point/memory accounting.
@@ -906,6 +947,12 @@ impl Engine {
     /// A scratch suitable for external query drivers (tests, benches).
     pub fn make_scratch(&self) -> QueryScratch {
         self.scratches.take(self.len())
+    }
+}
+
+impl SearchBackend for Engine {
+    fn search(&self, req: &SearchRequest, pool: &ThreadPool) -> Result<SearchResponse> {
+        Engine::search(self, req, pool)
     }
 }
 
@@ -1148,7 +1195,11 @@ mod tests {
         // Below the threshold: buffered but not yet visible.
         assert_eq!(e.len(), 10);
         assert_eq!(e.visible_len(), 0);
-        assert_eq!(e.vector(3), vs[3], "open-generation rows are reachable");
+        assert_eq!(
+            e.vector(3).expect("open-generation rows are reachable"),
+            vs[3]
+        );
+        assert_eq!(e.vector(99), None, "out-of-range ids are None, not a panic");
         e.insert_batch(&vs[10..], &pool).unwrap();
         // Crossing the threshold seals one coalesced generation.
         assert_eq!(e.visible_len(), 30);
@@ -1244,8 +1295,11 @@ mod tests {
         e.insert_batch(&vs, &pool).unwrap();
         e.merge_delta(&pool);
         for qid in [0u32, 33, 119] {
-            let q = &vs[qid as usize];
-            let (hits, stats) = e.query_knn(q, 5);
+            let q = vs[qid as usize].clone();
+            let resp = e
+                .search(&SearchRequest::query(q.clone()).top_k(5).with_stats(), &pool)
+                .unwrap();
+            let hits = resp.hits();
             assert!(hits.len() <= 5);
             assert!(!hits.is_empty());
             // Ascending by distance; self first (distance ~0).
@@ -1253,9 +1307,12 @@ mod tests {
             assert_eq!(hits[0].index, qid);
             assert!(hits[0].distance < 1e-3);
             // The k-NN answer is a prefix of the full candidate ranking.
-            let (full, _) = e.query_knn(q, usize::MAX);
-            assert_eq!(&full[..hits.len()], &hits[..]);
-            assert!(stats.unique_candidates >= hits.len() as u64);
+            let full = e
+                .search(&SearchRequest::query(q).top_k(usize::MAX), &pool)
+                .unwrap();
+            assert_eq!(&full.hits()[..hits.len()], hits);
+            let stats = resp.stats.expect("requested stats");
+            assert!(stats.totals.unique_candidates >= hits.len() as u64);
         }
     }
 
@@ -1268,9 +1325,77 @@ mod tests {
         let a = e.insert(v.clone(), &pool).unwrap();
         let b = e.insert(w, &pool).unwrap();
         e.delete(a);
-        let (hits, _) = e.query_knn(&v, 2);
-        assert!(hits.iter().all(|h| h.index != a));
-        assert!(hits.iter().any(|h| h.index == b));
+        let resp = e.search(&SearchRequest::query(v).top_k(2), &pool).unwrap();
+        assert!(resp.hits().iter().all(|h| h.index != a));
+        assert!(resp.hits().iter().any(|h| h.index == b));
+    }
+
+    #[test]
+    fn search_request_fields_drive_the_pipeline() {
+        let pool = ThreadPool::new(2);
+        let e = Engine::new(EngineConfig::new(params(64), 400).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(21);
+        let vs: Vec<SparseVector> = (0..200).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs[..150], &pool).unwrap();
+        e.merge_delta(&pool);
+        e.insert_batch(&vs[150..], &pool).unwrap();
+
+        let queries: Vec<SparseVector> = vs.iter().step_by(9).cloned().collect();
+        let sorted = |hits: &[SearchHit]| {
+            let mut ids: Vec<u32> = hits.iter().map(|h| h.index).collect();
+            ids.sort_unstable();
+            ids
+        };
+
+        // Batched pipeline, per-query pipeline, profiled run, and every
+        // ablation strategy answer identically through one request type.
+        let base = e
+            .search(&SearchRequest::batch(queries.clone()).with_stats(), &pool)
+            .unwrap();
+        assert_eq!(base.stats.unwrap().queries, queries.len() as u64);
+        let epoch = base.epoch.expect("single-node responses pin an epoch");
+        assert_eq!(epoch.visible_points, 200);
+        for req in [
+            SearchRequest::batch(queries.clone()).per_query_pipeline(),
+            SearchRequest::batch(queries.clone()).with_profiling(),
+            SearchRequest::batch(queries.clone()).with_strategy(QueryStrategy::unoptimized()),
+            SearchRequest::batch(queries.clone()).with_max_candidates(usize::MAX - 1),
+        ] {
+            let resp = e.search(&req, &pool).unwrap();
+            assert_eq!(resp.results.len(), base.results.len());
+            for (a, b) in resp.results.iter().zip(&base.results) {
+                assert_eq!(sorted(a), sorted(b));
+            }
+            assert_eq!(resp.phase_timings.is_some(), req.profiles());
+        }
+
+        // Radius override: π reports every candidate, tiny radius only
+        // near-exact ones; both remain subsets ordered consistently.
+        let q = queries[0].clone();
+        let wide = e
+            .search(
+                &SearchRequest::query(q.clone()).with_radius(std::f32::consts::PI),
+                &pool,
+            )
+            .unwrap();
+        let narrow = e
+            .search(&SearchRequest::query(q.clone()).with_radius(1e-4), &pool)
+            .unwrap();
+        assert!(wide.hits().len() >= narrow.hits().len());
+        assert!(narrow.hits().iter().all(|h| h.distance <= 1e-4));
+
+        // Candidate budget caps Q3 work.
+        let budgeted = e
+            .search(
+                &SearchRequest::query(q).with_max_candidates(1).with_stats(),
+                &pool,
+            )
+            .unwrap();
+        assert!(budgeted.stats.unwrap().totals.distance_computations <= 1);
+
+        // Malformed requests error instead of panicking.
+        let bad = SparseVector::unit(vec![(64, 1.0)]).unwrap();
+        assert!(e.search(&SearchRequest::query(bad), &pool).is_err());
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub enum PlshError {
     /// Parameter selection found no `(k, m)` pair meeting the recall and
     /// memory constraints (Equations 7.3 / 7.4).
     NoFeasibleParams(String),
+    /// An I/O or decode failure while saving or loading a snapshot. The
+    /// message is carried as a string so the error stays `Clone`-able and
+    /// comparable like every other variant.
+    Io(String),
+}
+
+impl From<std::io::Error> for PlshError {
+    fn from(e: std::io::Error) -> Self {
+        PlshError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for PlshError {
@@ -59,6 +69,7 @@ impl fmt::Display for PlshError {
             PlshError::NoFeasibleParams(msg) => {
                 write!(f, "no feasible (k, m) parameters: {msg}")
             }
+            PlshError::Io(msg) => write!(f, "snapshot I/O failed: {msg}"),
         }
     }
 }

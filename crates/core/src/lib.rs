@@ -50,6 +50,7 @@ pub mod model;
 pub mod params;
 pub mod query;
 pub mod rng;
+pub mod search;
 pub mod simd;
 pub mod snapshot;
 pub mod sparse;
@@ -63,6 +64,7 @@ pub use error::{PlshError, Result};
 pub use hash::{Hyperplanes, HyperplanesKind, SketchMatrix};
 pub use params::{ParamCandidate, ParamSelection, PlshParams, PlshParamsBuilder};
 pub use query::{BatchStats, Neighbor, QueryPhaseTimings, QueryStats, QueryStrategy};
+pub use search::{SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
 pub use snapshot::Snapshot;
 pub use sparse::{CrsMatrix, SparseVector};
 pub use streaming::StreamingEngine;

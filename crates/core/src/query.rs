@@ -38,7 +38,7 @@ use crate::table::{DeltaGeneration, StaticTables};
 /// data rows (Section 5.2.2).
 const PREFETCH_DISTANCE: usize = 8;
 
-/// Queries hashed together per [`SketchMatrix::sketch_batch`] call in the
+/// Queries hashed together per `SketchMatrix::sketch_batch` call in the
 /// batched pipeline: large enough to reuse each plane row across many
 /// queries while the per-chunk accumulator block (`B · m·k/2` floats) stays
 /// comfortably inside L2.
@@ -172,6 +172,13 @@ pub struct QueryContext<'a> {
     pub radius: f32,
     /// Ablation switches.
     pub strategy: QueryStrategy,
+    /// Per-query candidate budget: at most this many unique candidates get
+    /// an exact distance computation (Q3), in candidate order. `usize::MAX`
+    /// means unbounded; a finite budget bounds worst-case latency at the
+    /// cost of possibly missing matches beyond it (a request-level
+    /// deadline knob, surfaced as
+    /// [`SearchRequest::with_max_candidates`](crate::search::SearchRequest::with_max_candidates)).
+    pub max_candidates: usize,
 }
 
 impl<'a> QueryContext<'a> {
@@ -385,15 +392,23 @@ fn candidate_phase(
         }
         stats.unique_candidates += scratch.cand.len() as u64;
 
-        // ---- Q3/Q4 over the deduplicated candidates.
-        if ctx.strategy.candidate_array {
+        // ---- Q3/Q4 over the deduplicated candidates (capped at the
+        // request's candidate budget, if it set one). A finite budget
+        // forces the sorted-extraction path even when the strategy level
+        // leaves `candidate_array` off: the ascending-id prefix is the
+        // same whatever the corpus segmentation or strategy, so a
+        // budgeted request keeps the backends' same-answer guarantee
+        // (bucket-discovery order would differ between a merged and an
+        // unmerged engine).
+        if ctx.strategy.candidate_array || ctx.max_candidates != usize::MAX {
             // Extraction pass: sorted unique ids, then a tight loop with
             // software prefetch of upcoming rows (Section 5.2.2).
             let mut sorted = std::mem::take(&mut scratch.sorted);
             scratch.cand.extract_sorted(&mut sorted);
+            let visited = &sorted[..sorted.len().min(ctx.max_candidates)];
             with_query_side(ctx, query, scratch, |ctx, query, scratch| {
-                for (i, &id) in sorted.iter().enumerate() {
-                    if let Some(&next) = sorted.get(i + PREFETCH_DISTANCE) {
+                for (i, &id) in visited.iter().enumerate() {
+                    if let Some(&next) = visited.get(i + PREFETCH_DISTANCE) {
                         prefetch_row(ctx, next);
                     }
                     filter_candidate(ctx, query, scratch, id, dot_threshold, out, stats);
@@ -407,7 +422,7 @@ fn candidate_phase(
             // copying the ids through a second buffer.
             let cand = std::mem::replace(&mut scratch.cand, CandidateSet::new(0));
             with_query_side(ctx, query, scratch, |ctx, query, scratch| {
-                for &id in cand.candidates() {
+                for &id in cand.candidates().iter().take(ctx.max_candidates) {
                     filter_candidate(ctx, query, scratch, id, dot_threshold, out, stats);
                 }
             });
@@ -435,7 +450,7 @@ fn candidate_phase(
         }
         stats.unique_candidates += set.len() as u64;
         with_query_side(ctx, query, scratch, |ctx, query, scratch| {
-            for &id in &set {
+            for &id in set.iter().take(ctx.max_candidates) {
                 filter_candidate(ctx, query, scratch, id, dot_threshold, out, stats);
             }
         });
@@ -560,28 +575,6 @@ fn prefetch_row(ctx: &QueryContext<'_>, id: u32) {
     }
 }
 
-/// Answers a k-nearest-neighbor query over the LSH candidate set.
-///
-/// PLSH is a radius-query structure; this extension ranks *all* candidates
-/// that collide with the query (ignoring the radius) and returns the `k`
-/// closest, ascending by distance. Like every LSH k-NN, the answer is
-/// approximate: only points sharing at least two half-keys with the query
-/// are considered (the same candidate set the radius query filters).
-pub fn execute_knn(
-    ctx: &QueryContext<'_>,
-    query: &SparseVector,
-    k: usize,
-    scratch: &mut QueryScratch,
-) -> (Vec<Neighbor>, QueryStats) {
-    // Rank everything the tables surface: radius π admits every candidate.
-    let mut wide = *ctx;
-    wide.radius = std::f32::consts::PI;
-    let (mut hits, stats) = execute_query(&wide, query, scratch);
-    hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.index.cmp(&b.index)));
-    hits.truncate(k);
-    (hits, stats)
-}
-
 /// Per-phase wall time of a profiled query batch (Figure 6's right panel).
 #[derive(Debug, Clone, Copy, Default, serde::Serialize)]
 pub struct QueryPhaseTimings {
@@ -602,16 +595,17 @@ impl QueryPhaseTimings {
 /// validation (Figure 6). Uses the fully optimized pipeline.
 ///
 /// Sequential execution keeps the phase timers meaningful; the aggregate
-/// counters match [`execute_batch`] exactly.
+/// counters and per-query answers match [`execute_batch`] exactly.
 pub fn profile_batch(
     ctx: &QueryContext<'_>,
     queries: &[SparseVector],
     scratch: &mut QueryScratch,
-) -> (QueryPhaseTimings, QueryStats) {
+) -> (Vec<Vec<Neighbor>>, QueryPhaseTimings, QueryStats) {
     let l_count = allpairs::num_tables(ctx.m) as usize;
     let dot_threshold = dot_radius_threshold(ctx.radius);
     let mut timings = QueryPhaseTimings::default();
     let mut stats = QueryStats::default();
+    let mut answers: Vec<Vec<Neighbor>> = Vec::with_capacity(queries.len());
     let mut sorted: Vec<u32> = Vec::new();
     for query in queries {
         // Q1 (not separately reported; the paper notes it "takes very
@@ -659,9 +653,10 @@ pub fn profile_batch(
         // Q3 + Q4: distance filter over the sorted candidates.
         let t1 = Instant::now();
         let mut out = Vec::new();
+        let visited = &sorted[..sorted.len().min(ctx.max_candidates)];
         with_query_side(ctx, query, scratch, |ctx, query, scratch| {
-            for (i, &id) in sorted.iter().enumerate() {
-                if let Some(&next) = sorted.get(i + PREFETCH_DISTANCE) {
+            for (i, &id) in visited.iter().enumerate() {
+                if let Some(&next) = visited.get(i + PREFETCH_DISTANCE) {
                     prefetch_row(ctx, next);
                 }
                 filter_candidate(ctx, query, scratch, id, dot_threshold, &mut out, &mut stats);
@@ -670,8 +665,9 @@ pub fn profile_batch(
         std::hint::black_box(&out);
         scratch.cand.clear();
         timings.step_q3 += t1.elapsed();
+        answers.push(out);
     }
-    (timings, stats)
+    (answers, timings, stats)
 }
 
 /// Runs a batch of queries, one work-stealing task per query (Section 5.2,
@@ -699,7 +695,7 @@ pub fn execute_batch(
 }
 
 /// The batched SIMD query pipeline: Step Q1 for the **whole batch** runs
-/// first through [`SketchMatrix::sketch_batch`] (in [`SKETCH_BATCH`]-query
+/// first through [`SketchMatrix::sketch_batch`] (in `SKETCH_BATCH`-query
 /// chunks, so each dimension-major plane row is reused across queries while
 /// hot in cache), then Q2–Q4 fan out one work-stealing task per query with
 /// the bucket keys already composed.
@@ -851,6 +847,7 @@ mod tests {
             half_bits: f.half_bits,
             radius: 0.9,
             strategy,
+            max_candidates: usize::MAX,
         }
     }
 
@@ -971,6 +968,7 @@ mod tests {
             half_bits: 3,
             radius: 0.9,
             strategy: QueryStrategy::optimized(),
+            max_candidates: usize::MAX,
         };
         let mut scratch = QueryScratch::new(4, 3, 0, dim);
         let q = SparseVector::unit(vec![(0, 1.0)]).unwrap();
@@ -1067,6 +1065,7 @@ mod tests {
             half_bits: f.half_bits,
             radius: 0.9,
             strategy: QueryStrategy::optimized(),
+            max_candidates: usize::MAX,
         };
         assert_eq!(segmented.num_points(), 200);
         let full = ctx(&f, QueryStrategy::optimized());

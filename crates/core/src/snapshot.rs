@@ -355,7 +355,7 @@ mod tests {
         assert_eq!(restored.delta_len(), engine.delta_len());
         assert_eq!(restored.stats().deleted_points, engine.stats().deleted_points);
         for id in 0..engine.len() as u32 {
-            let q = engine.vector(id);
+            let q = engine.vector(id).expect("no id was purged");
             let mut a: Vec<u32> = engine.query(&q).iter().map(|h| h.index).collect();
             let mut b: Vec<u32> = restored.query(&q).iter().map(|h| h.index).collect();
             a.sort_unstable();
@@ -387,7 +387,12 @@ mod tests {
         assert_eq!(restored.stats().deleted_points, engine.stats().deleted_points);
         for id in [7u32, 65, 20] {
             assert!(restored.is_deleted(id));
-            let q = engine.vector(id);
+            // Purged ids no longer hand out their (retired) rows; the
+            // snapshot still carries them, so probe with those.
+            if snap.purged.contains(&id) {
+                assert_eq!(engine.vector(id), None);
+            }
+            let q = snap.vectors[id as usize].clone();
             assert!(restored.query(&q).iter().all(|h| h.index != id));
         }
     }

@@ -37,7 +37,8 @@ use plsh_parallel::ThreadPool;
 
 use crate::engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergeReport};
 use crate::error::Result;
-use crate::query::{BatchStats, Neighbor, QueryStats};
+use crate::query::{BatchStats, Neighbor};
+use crate::search::{SearchBackend, SearchRequest, SearchResponse};
 use crate::sparse::SparseVector;
 
 /// A cloneable, thread-safe streaming handle (see the module docs).
@@ -104,25 +105,23 @@ impl StreamingEngine {
         self.engine.delete(id)
     }
 
-    /// Answers one query against the current epoch.
+    /// Answers one [`SearchRequest`] against the current epoch, using the
+    /// handle's own pool for batch fan-out. The one typed entry point —
+    /// see [`Engine::search`].
+    pub fn search(&self, req: &SearchRequest) -> Result<SearchResponse> {
+        self.engine.search(req, &self.pool)
+    }
+
+    /// Answers one radius query against the current epoch (thin
+    /// convenience over [`search`](Self::search)).
     pub fn query(&self, q: &SparseVector) -> Vec<Neighbor> {
         self.engine.query(q)
     }
 
-    /// Answers one query with pipeline counters.
-    pub fn query_with_stats(&self, q: &SparseVector) -> (Vec<Neighbor>, QueryStats) {
-        self.engine.query_with_stats(q)
-    }
-
     /// Answers a batch through the batched SIMD pipeline, all against one
-    /// pinned epoch.
+    /// pinned epoch (thin convenience over [`search`](Self::search)).
     pub fn query_batch(&self, qs: &[SparseVector]) -> (Vec<Vec<Neighbor>>, BatchStats) {
         self.engine.query_batch(qs, &self.pool)
-    }
-
-    /// Approximate k-nearest neighbors.
-    pub fn query_knn(&self, q: &SparseVector, k: usize) -> (Vec<Neighbor>, QueryStats) {
-        self.engine.query_knn(q, k)
     }
 
     /// Runs a merge on *this* thread (blocks until published).
@@ -189,6 +188,15 @@ impl StreamingEngine {
     /// Most recent merge timings.
     pub fn last_merge(&self) -> MergeReport {
         self.engine.last_merge()
+    }
+}
+
+impl SearchBackend for StreamingEngine {
+    /// Trait entry point for generic drivers; `pool` supplies the batch
+    /// fan-out workers (the inherent [`search`](StreamingEngine::search)
+    /// uses the handle's own pool instead).
+    fn search(&self, req: &SearchRequest, pool: &ThreadPool) -> Result<SearchResponse> {
+        self.engine.search(req, pool)
     }
 }
 

@@ -7,7 +7,7 @@ use plsh_core::params::{self, PlshParams};
 use plsh_core::query::QueryStrategy;
 use plsh_core::sparse::{CrsMatrix, SparseVector};
 use plsh_core::table::{BuildStrategy, StaticTables};
-use plsh_core::{Engine, EngineConfig};
+use plsh_core::{Engine, EngineConfig, SearchRequest};
 use plsh_parallel::ThreadPool;
 
 const DIM: u32 = 48;
@@ -148,17 +148,22 @@ proptest! {
             candidate_array: cand_array,
             huge_pages: false,
         };
-        let q = &vs[0];
+        let q = vs[0].clone();
         let mut expect: Vec<u32> = e
-            .query_with_strategy(q, QueryStrategy::optimized())
-            .0
+            .search(
+                &SearchRequest::query(q.clone()).with_strategy(QueryStrategy::optimized()),
+                &pool,
+            )
+            .unwrap()
+            .hits()
             .iter()
             .map(|h| h.index)
             .collect();
         expect.sort_unstable();
         let mut got: Vec<u32> = e
-            .query_with_strategy(q, strategy)
-            .0
+            .search(&SearchRequest::query(q).with_strategy(strategy), &pool)
+            .unwrap()
+            .hits()
             .iter()
             .map(|h| h.index)
             .collect();

@@ -1,0 +1,60 @@
+//! Text-pipeline errors, convertible into the workspace-wide
+//! [`plsh_core::PlshError`] so a client built on `plsh::Index` surfaces
+//! one `Result` type end-to-end.
+
+use std::fmt;
+
+use plsh_core::PlshError;
+
+/// Errors produced while turning raw text into index-ready vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextError {
+    /// Every token of the document was out-of-vocabulary or a stop word —
+    /// the paper's "0-length query", which "will not find any meaningful
+    /// matches" and is dropped.
+    OutOfVocabulary,
+    /// The weighted term vector could not be normalized (degenerate IDF
+    /// weights).
+    Vector(PlshError),
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::OutOfVocabulary => {
+                write!(f, "document is entirely out-of-vocabulary (0-length vector)")
+            }
+            TextError::Vector(e) => write!(f, "vectorization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<TextError> for PlshError {
+    fn from(e: TextError) -> Self {
+        match e {
+            // A fully out-of-vocabulary document *is* the empty-vector
+            // case the core error model already names.
+            TextError::OutOfVocabulary => PlshError::EmptyVector,
+            TextError::Vector(e) => e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_into_core_error() {
+        assert_eq!(PlshError::from(TextError::OutOfVocabulary), PlshError::EmptyVector);
+        let inner = PlshError::NotNormalizable;
+        assert_eq!(PlshError::from(TextError::Vector(inner.clone())), inner);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(TextError::OutOfVocabulary.to_string().contains("out-of-vocabulary"));
+    }
+}

@@ -29,11 +29,13 @@
 //! assert!(vectorizer.vectorize("zebra unknown words").is_none());
 //! ```
 
+mod error;
 mod idf;
 mod token;
 mod vectorize;
 mod vocab;
 
+pub use error::TextError;
 pub use idf::IdfWeights;
 pub use token::{Tokenizer, STOP_WORDS};
 pub use vectorize::{CorpusBuilder, Vectorizer};

@@ -3,6 +3,7 @@
 
 use plsh_core::sparse::SparseVector;
 
+use crate::error::TextError;
 use crate::idf::IdfWeights;
 use crate::token::Tokenizer;
 use crate::vocab::Vocabulary;
@@ -84,6 +85,13 @@ impl Vectorizer {
     /// (the paper's "0-length query"; such queries "will not find any
     /// meaningful matches" and are dropped).
     pub fn vectorize(&self, text: &str) -> Option<SparseVector> {
+        self.to_vector(text).ok()
+    }
+
+    /// Like [`vectorize`](Self::vectorize), but reports *why* a document
+    /// produced no vector — for callers (e.g. `plsh::Index`) that surface
+    /// one error type end-to-end instead of silently dropping documents.
+    pub fn to_vector(&self, text: &str) -> Result<SparseVector, TextError> {
         let tokens = self.tokenizer.tokenize(text);
         let pairs: Vec<(u32, f32)> = tokens
             .iter()
@@ -93,9 +101,9 @@ impl Vectorizer {
             })
             .collect();
         if pairs.is_empty() {
-            return None;
+            return Err(TextError::OutOfVocabulary);
         }
-        SparseVector::unit(pairs).ok()
+        SparseVector::unit(pairs).map_err(TextError::Vector)
     }
 }
 

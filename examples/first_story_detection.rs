@@ -2,8 +2,8 @@
 //!
 //! The paper's Related Work discusses Petrović et al. \[28\], who used LSH
 //! on Twitter to flag tweets "highly dissimilar to all preceding tweets" —
-//! new stories. This example reproduces that application on top of PLSH's
-//! general streaming engine: each arriving tweet first queries the index;
+//! new stories. This example reproduces that application on top of the
+//! [`plsh::Index`] client: each arriving tweet first queries the index;
 //! if nothing lies within the radius, it is a first story. Either way it
 //! is then inserted.
 //!
@@ -11,11 +11,10 @@
 //! cargo run --release --example first_story_detection
 //! ```
 
-use plsh::core::{Engine, EngineConfig, PlshParams};
-use plsh::parallel::ThreadPool;
 use plsh::workload::{CorpusConfig, SyntheticCorpus};
+use plsh::{Index, PlshParams};
 
-fn main() {
+fn main() -> plsh::Result<()> {
     // A stream where ~35% of tweets are near-duplicates of earlier ones
     // (retweets / reposts) and the rest are fresh stories.
     let corpus = SyntheticCorpus::generate(CorpusConfig {
@@ -33,14 +32,11 @@ fn main() {
         .radius(0.9)
         .delta(0.1)
         .seed(7)
-        .build()
-        .expect("valid parameters");
-    let pool = ThreadPool::default();
-    let engine = Engine::new(
-        EngineConfig::new(params, corpus.len()).with_eta(0.05),
-        &pool,
-    )
-    .expect("valid engine config");
+        .build()?;
+    let index = Index::builder(params)
+        .capacity(corpus.len())
+        .eta(0.05)
+        .build()?;
 
     let mut true_positive = 0usize; // flagged new, genuinely fresh
     let mut false_positive = 0usize; // flagged new, actually a duplicate
@@ -51,7 +47,7 @@ fn main() {
     for id in 0..corpus.len() as u32 {
         let tweet = corpus.vector(id);
         // Query BEFORE inserting: is anything already similar?
-        let hits = engine.query(tweet);
+        let hits = index.query(tweet)?;
         let is_first_story = hits.is_empty();
         let actually_fresh = corpus.duplicate_of(id).is_none();
         match (is_first_story, actually_fresh) {
@@ -60,17 +56,20 @@ fn main() {
             (false, true) => true_negative += 1, // fresh but echoes old vocab
             (false, false) => false_negative += 1,
         }
-        engine
-            .insert(tweet.clone(), &pool)
-            .expect("stream fits node capacity");
+        index.add(tweet.clone())?;
     }
+    index.flush();
     let elapsed = start.elapsed();
 
     let flagged = true_positive + false_positive;
-    println!("processed {} tweets in {:.2?} (query + insert + periodic merges)", corpus.len(), elapsed);
+    println!(
+        "processed {} tweets in {:.2?} (query + insert + background merges)",
+        corpus.len(),
+        elapsed
+    );
     println!(
         "merges performed: {} (delta threshold 5% of capacity)",
-        engine.stats().merges
+        index.stats().merges
     );
     println!();
     println!("flagged as first stories: {flagged}");
@@ -93,4 +92,5 @@ fn main() {
         "expected >80% of duplicates suppressed, got {:.1}%",
         dup_suppression * 100.0
     );
+    Ok(())
 }

@@ -4,7 +4,8 @@
 //! budget, PLSH enumerates `(k, m)` pairs, keeps those meeting the recall
 //! constraint `P'(R, k, m) ≥ 1 − δ` and the memory bound (Eq. 7.4), prices
 //! each with `T_Q2·E[#collisions] + T_Q3·E[#unique]`, and picks the
-//! cheapest — exactly the paper's Section 7.3 procedure.
+//! cheapest — exactly the paper's Section 7.3 procedure. The chosen pair
+//! is then validated end-to-end through the [`plsh::Index`] client.
 //!
 //! ```text
 //! cargo run --release --example param_tuning
@@ -13,11 +14,11 @@
 use plsh::core::model::{MachineProfile, PerformanceModel};
 use plsh::core::params::{ParamSelection, SelectionInput};
 use plsh::core::rng::SplitMix64;
-use plsh::core::{Engine, EngineConfig};
 use plsh::parallel::ThreadPool;
 use plsh::workload::{CorpusConfig, GroundTruth, QuerySet, SyntheticCorpus};
+use plsh::{Index, SearchRequest};
 
-fn main() {
+fn main() -> plsh::Result<()> {
     let corpus = SyntheticCorpus::generate(CorpusConfig {
         num_docs: 30_000,
         vocab_size: 20_000,
@@ -52,7 +53,7 @@ fn main() {
         k_max: 20,
         seed: 77,
     };
-    let selection = ParamSelection::select(&input).expect("a feasible pair exists");
+    let selection = ParamSelection::select(&input)?;
 
     println!("candidates (one per k; m is the smallest meeting P'(R) >= 1-delta):\n");
     println!("| k | m | L | P'(R) | E[#collisions] | E[#unique] | est. cost (cycles) | memory | feasible |");
@@ -80,24 +81,23 @@ fn main() {
         chosen.recall_at_radius() * 100.0
     );
 
-    // Validate the choice end-to-end: build the index and measure recall.
-    let engine = Engine::new(
-        EngineConfig::new(chosen.clone(), corpus.len()).manual_merge(),
-        &pool,
-    )
-    .expect("valid config");
-    engine
-        .insert_batch(corpus.vectors(), &pool)
-        .expect("capacity matches corpus");
-    engine.merge_delta(&pool);
+    // Validate the choice end-to-end: open an index and measure recall.
+    let index = Index::builder(chosen.clone())
+        .capacity(corpus.len())
+        .manual_merge()
+        .build()?;
+    index.add_batch(corpus.vectors())?;
+    index.merge();
 
     let queries = QuerySet::sample_from_corpus(&corpus, 200, 3);
     let truth = GroundTruth::compute(corpus.vectors(), queries.queries(), 0.9, &pool);
-    let (answers, stats) = engine.query_batch(queries.queries(), &pool);
-    let reported: Vec<Vec<u32>> = answers
+    let resp = index.search(&SearchRequest::batch(queries.queries().to_vec()).with_stats())?;
+    let reported: Vec<Vec<u32>> = resp
+        .results
         .iter()
         .map(|hits| hits.iter().map(|h| h.index).collect())
         .collect();
+    let stats = resp.stats.expect("stats requested");
     println!(
         "measured: recall {:.1}% over {} exact neighbors, {:.3} ms/query, {:.0} candidates/query",
         truth.recall_of(&reported) * 100.0,
@@ -109,4 +109,5 @@ fn main() {
         truth.recall_of(&reported) >= 0.9,
         "selected parameters must deliver the recall target"
     );
+    Ok(())
 }

@@ -1,15 +1,14 @@
-//! Quickstart: index a handful of documents through the full text pipeline
-//! and run similarity queries.
+//! Quickstart: index a handful of documents through the one-stop
+//! [`plsh::Index`] client and run free-text similarity queries.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use plsh::core::{Engine, EngineConfig, PlshParams};
-use plsh::parallel::ThreadPool;
 use plsh::text::{CorpusBuilder, Tokenizer};
+use plsh::{Index, PlshParams, SearchRequest};
 
-fn main() {
+fn main() -> plsh::Result<()> {
     let docs = [
         "breaking storm hits the coast tonight with heavy rain",
         "storm hits coast tonight heavy rain expected",
@@ -33,9 +32,10 @@ fn main() {
         docs.len()
     );
 
-    // 2. Configure PLSH. Tiny corpora want small k (few hash bits); real
-    //    deployments use the parameter-selection module (see the
-    //    param_tuning example).
+    // 2. Configure PLSH and open the index. The client owns its thread
+    //    pool and wires the text pipeline in — no manual plumbing. Tiny
+    //    corpora want small k (few hash bits); real deployments use the
+    //    parameter-selection module (see the param_tuning example).
     // Radius 1.1 rather than the paper's tweet-vs-tweet 0.9: short free-text
     // queries against longer documents sit at larger angles even when they
     // share every query term.
@@ -45,24 +45,25 @@ fn main() {
         .radius(1.1)
         .delta(0.1)
         .seed(42)
-        .build()
-        .expect("valid parameters");
-    let pool = ThreadPool::default();
-    let engine =
-        Engine::new(EngineConfig::new(params, 1024), &pool).expect("valid engine config");
+        .build()?;
+    let index = Index::builder(params)
+        .capacity(1024)
+        .vectorizer(vectorizer)
+        .build()?;
 
-    // 3. Index every document (inserts buffer in the delta tables; merge
-    //    moves them into the read-optimized static tables).
+    // 3. Index every document (inserts land in delta tables and are
+    //    query-visible immediately; merging into the read-optimized
+    //    static tables happens behind the scenes).
     for d in &docs {
-        let v = vectorizer.vectorize(d).expect("in-vocabulary document");
-        engine.insert(v, &pool).expect("capacity is ample");
+        index.add_text(d)?;
     }
-    engine.merge_delta(&pool);
+    index.merge();
+    let stats = index.stats();
     println!(
         "indexed {} documents ({} static, {} delta)\n",
-        engine.len(),
-        engine.static_len(),
-        engine.delta_len()
+        index.len(),
+        stats.static_points,
+        stats.delta_points
     );
 
     // 4. Query with free text.
@@ -71,8 +72,7 @@ fn main() {
         "sourdough bread recipe",
         "phone with a great battery",
     ] {
-        let qv = vectorizer.vectorize(query).expect("in-vocabulary query");
-        let mut hits = engine.query(&qv);
+        let mut hits = index.search_text(query)?.into_hits();
         hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
         println!("query: {query:?}");
         if hits.is_empty() {
@@ -83,4 +83,14 @@ fn main() {
         }
         println!();
     }
+
+    // 5. The same door answers k-NN — a request field, not a new method.
+    let resp = index.search(
+        &SearchRequest::query(index.vectorize("inflation rally markets")?).top_k(1),
+    )?;
+    println!(
+        "closest single doc to 'inflation rally markets': {:?}",
+        docs[resp.hits()[0].index as usize]
+    );
+    Ok(())
 }

@@ -1,19 +1,18 @@
-//! Snapshot persistence: save a live node to bytes and restore it.
+//! Snapshot persistence: save a live index to bytes and restore it.
 //!
 //! Warm restarts matter for an in-memory index. A snapshot stores the
-//! engine's *inputs* (parameters, rows, static/delta split, tombstones);
+//! index's *inputs* (parameters, rows, static/delta split, tombstones);
 //! hashes and tables are rebuilt deterministically from the stored seed on
-//! load, so the restored node answers identically.
+//! load, so the restored index answers identically.
 //!
 //! ```text
 //! cargo run --release --example save_restore
 //! ```
 
-use plsh::core::{Engine, EngineConfig, PlshParams};
-use plsh::parallel::ThreadPool;
 use plsh::workload::{CorpusConfig, SyntheticCorpus};
+use plsh::{Index, PlshParams};
 
-fn main() {
+fn main() -> plsh::Result<()> {
     let corpus = SyntheticCorpus::generate(CorpusConfig {
         num_docs: 5_000,
         vocab_size: 8_000,
@@ -27,50 +26,50 @@ fn main() {
         .m(10)
         .radius(0.9)
         .seed(8)
-        .build()
-        .expect("valid parameters");
-    let pool = ThreadPool::default();
+        .build()?;
 
-    // A node mid-life: most data static, a little in the delta, one delete.
-    let engine = Engine::new(
-        EngineConfig::new(params, corpus.len()).manual_merge(),
-        &pool,
-    )
-    .expect("valid config");
-    engine.insert_batch(&corpus.vectors()[..4_500], &pool).unwrap();
-    engine.merge_delta(&pool);
-    engine.insert_batch(&corpus.vectors()[4_500..], &pool).unwrap();
-    engine.delete(42);
+    // An index mid-life: most data static, a little in the delta, one
+    // delete.
+    let index = Index::builder(params)
+        .capacity(corpus.len())
+        .manual_merge()
+        .build()?;
+    index.add_batch(&corpus.vectors()[..4_500])?;
+    index.merge();
+    index.add_batch(&corpus.vectors()[4_500..])?;
+    index.delete(42);
+    let stats = index.stats();
     println!(
-        "live engine: {} points ({} static, {} delta, {} deleted)",
-        engine.len(),
-        engine.static_len(),
-        engine.delta_len(),
-        engine.stats().deleted_points
+        "live index: {} points ({} static, {} delta, {} deleted)",
+        index.len(),
+        stats.static_points,
+        stats.delta_points,
+        stats.deleted_points
     );
 
     // Save (here to memory; any Write works — a file, a socket, ...).
     let mut bytes = Vec::new();
-    engine.save_to(&mut bytes).expect("serialization succeeds");
+    index.save_to(&mut bytes)?;
     println!(
         "snapshot: {} bytes ({:.1} bytes/point)",
         bytes.len(),
-        bytes.len() as f64 / engine.len() as f64
+        bytes.len() as f64 / index.len() as f64
     );
 
     // Restore and verify equivalence on a query sample.
-    let restored = Engine::load_from(&mut bytes.as_slice(), &pool).expect("valid snapshot");
-    assert_eq!(restored.len(), engine.len());
-    assert_eq!(restored.static_len(), engine.static_len());
+    let restored = Index::restore_from(&mut bytes.as_slice())?;
+    assert_eq!(restored.len(), index.len());
+    assert_eq!(restored.stats().static_points, stats.static_points);
     let mut checked = 0;
     for id in (0..corpus.len() as u32).step_by(97) {
         let q = corpus.vector(id);
-        let mut a: Vec<u32> = engine.query(q).iter().map(|h| h.index).collect();
-        let mut b: Vec<u32> = restored.query(q).iter().map(|h| h.index).collect();
+        let mut a: Vec<u32> = index.query(q)?.iter().map(|h| h.index).collect();
+        let mut b: Vec<u32> = restored.query(q)?.iter().map(|h| h.index).collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b, "answers diverged for probe {id}");
         checked += 1;
     }
-    println!("restored engine matches the original on {checked} probe queries");
+    println!("restored index matches the original on {checked} probe queries");
+    Ok(())
 }

@@ -2,14 +2,16 @@
 //!
 //! Part 1 — the concurrent single-node path: a paced producer thread
 //! pushes tweet batches through a bounded channel, an ingest thread pumps
-//! them into a [`StreamingEngine`] (hash → seal → background merge at
-//! `η·C`), and the main thread keeps answering query batches the whole
-//! time. Every answer comes from one pinned epoch — the engine never shows
-//! a half-merged state — and merge publication is a single pointer swap.
+//! them into a [`plsh::Index`] (hash → seal → background merge at `η·C`),
+//! and the main thread keeps answering the same [`SearchRequest`] the
+//! whole time. Every answer comes from one pinned epoch — the index never
+//! shows a half-merged state — and merge publication is a single pointer
+//! swap.
 //!
 //! Part 2 — the cluster path: the same firehose drives a multi-node
 //! coordinator with rolling insert windows; full windows roll forward and
-//! the oldest is retired in place once the cluster wraps.
+//! the oldest is retired in place once the cluster wraps. The coordinator
+//! answers the *same* `SearchRequest` type as the single node.
 //!
 //! ```text
 //! cargo run --release --example streaming_firehose
@@ -17,12 +19,12 @@
 
 use plsh::cluster::firehose::Firehose;
 use plsh::cluster::{Cluster, ClusterConfig};
-use plsh::core::streaming::StreamingEngine;
-use plsh::core::{EngineConfig, PlshParams};
+use plsh::core::EngineConfig;
 use plsh::parallel::ThreadPool;
 use plsh::workload::{CorpusConfig, QuerySet, SyntheticCorpus};
+use plsh::{Index, PlshParams, SearchRequest};
 
-fn main() {
+fn main() -> plsh::Result<()> {
     const NODES: usize = 8;
     const WINDOW: usize = 2; // the paper's M
     const NODE_CAPACITY: usize = 2_500;
@@ -37,37 +39,36 @@ fn main() {
         seed: 99,
     });
     let queries = QuerySet::sample_from_corpus(&corpus, 50, 7);
+    let query_req = SearchRequest::batch(queries.queries().to_vec()).with_stats();
     let params = PlshParams::builder(corpus.dim())
         .k(10)
         .m(12)
         .radius(0.9)
         .seed(11)
-        .build()
-        .expect("valid parameters");
-    let pool = ThreadPool::default();
+        .build()?;
 
     // ---- Part 1: one node, true insert ‖ query ‖ merge overlap. ----
     println!("== single node: concurrent ingest + queries ==");
     let node_points = corpus.len() / 2;
-    let engine = StreamingEngine::new(
-        EngineConfig::new(params.clone(), node_points).with_eta(0.1),
-        pool.clone(),
-    )
-    .expect("valid engine config");
+    let index = Index::builder(params.clone())
+        .capacity(node_points)
+        .eta(0.1)
+        .build()?;
 
-    // Twitter-style paced arrival, pumped by a dedicated ingest thread.
+    // Twitter-style paced arrival, pumped by a dedicated ingest thread
+    // (the pump drives the index's underlying streaming handle).
     let rate = node_points as f64 / 3.0; // drain in ~3 s
     let hose = Firehose::start_paced(corpus.vectors()[..node_points].to_vec(), 1_000, 4, rate);
-    let pump = hose.pump_into(engine.clone());
+    let pump = hose.pump_into(index.backend().clone());
 
     // Main thread: query continuously against whatever epoch is live.
     let start = std::time::Instant::now();
     let mut batches = 0u64;
     while !pump.is_finished() {
-        let (answers, stats) = engine.query_batch(queries.queries());
+        let resp = index.search(&query_req)?;
         batches += 1;
         if batches % 32 == 1 {
-            let info = engine.epoch_info();
+            let info = resp.epoch.expect("single-node responses pin an epoch");
             assert_eq!(
                 info.visible_points,
                 info.static_points + info.sealed_points,
@@ -81,28 +82,28 @@ fn main() {
                 info.static_points,
                 info.sealed_generations,
                 info.generation,
-                stats.elapsed,
-                answers.iter().map(Vec::len).sum::<usize>(),
+                resp.stats.expect("stats requested").elapsed,
+                resp.total_hits(),
             );
         }
     }
     let ingest = pump.join();
-    engine.wait_for_merge();
-    let merge = engine.last_merge();
+    index.flush();
+    let merge = index.last_merge();
     println!(
         "ingested {} points at {:.0}/s on the ingest thread; {} merges \
          (last: build {:.1} ms off to the side, publish {:.3} ms); {} query batches ran alongside",
         ingest.points,
         ingest.insert_qps(),
-        engine.stats().merges,
+        index.stats().merges,
         merge.build.as_secs_f64() * 1e3,
         merge.publish.as_secs_f64() * 1e3,
         batches,
     );
     let probe = corpus.vector((node_points - 1) as u32);
     assert!(
-        engine
-            .query(probe)
+        index
+            .query(probe)?
             .iter()
             .any(|h| h.index == (node_points - 1) as u32),
         "newest tweet must be findable"
@@ -110,6 +111,7 @@ fn main() {
 
     // ---- Part 2: the cluster with rolling insert windows. ----
     println!("\n== cluster: rolling windows + retirement ==");
+    let pool = ThreadPool::default();
     let mut cluster = Cluster::new(
         ClusterConfig::new(
             EngineConfig::new(params, NODE_CAPACITY).with_eta(0.1),
@@ -118,7 +120,7 @@ fn main() {
         ),
         &pool,
     )
-    .expect("valid cluster config");
+    .map_err(plsh::Error::from)?;
 
     let hose = Firehose::start(corpus.vectors().to_vec(), 1_000, 4);
     let start = std::time::Instant::now();
@@ -127,14 +129,15 @@ fn main() {
         ingested += batch.docs.len();
         cluster
             .insert_batch(&batch.docs, &pool)
-            .expect("insert path retires old windows as needed");
+            .map_err(plsh::Error::from)?;
         // Interleave a query burst every few batches, as a live system
-        // would see.
+        // would see. The coordinator answers the exact same request type
+        // as the single node.
         if batch.seq % 5 == 4 {
-            let report = cluster.query_batch(queries.queries(), &pool);
+            let resp = cluster.search(&query_req, &pool)?;
             let stats = cluster.stats();
             println!(
-                "t={:>6.2?}  ingested {:>6}  stored {:>6}/{} ({} nodes occupied, window {}, {} retirements)  query batch {:>6.1?} (imbalance {:.2})",
+                "t={:>6.2?}  ingested {:>6}  stored {:>6}/{} ({} nodes occupied, window {}, {} retirements)  query batch {:>6.1?}  {} matches",
                 start.elapsed(),
                 ingested,
                 stats.total_points,
@@ -142,8 +145,8 @@ fn main() {
                 stats.occupied_nodes,
                 stats.active_window,
                 stats.retirements,
-                report.elapsed,
-                report.load_imbalance(),
+                resp.stats.expect("stats requested").elapsed,
+                resp.total_hits(),
             );
         }
     }
@@ -160,7 +163,11 @@ fn main() {
     );
     // The newest tweets must be findable; the oldest should be gone.
     let last = corpus.len() - 1;
-    let newest_hits = cluster.query(corpus.vector(last as u32), &pool);
-    assert!(!newest_hits.is_empty(), "newest tweet must be indexed");
-    println!("  newest tweet found on node {}", newest_hits[0].node);
+    let newest = cluster.search(
+        &SearchRequest::query(corpus.vector(last as u32).clone()),
+        &pool,
+    )?;
+    assert!(!newest.hits().is_empty(), "newest tweet must be indexed");
+    println!("  newest tweet found on node {}", newest.hits()[0].node);
+    Ok(())
 }

@@ -1,0 +1,527 @@
+//! The one-stop PLSH client: a streaming similarity index behind a single
+//! typed request/response API.
+//!
+//! [`Index`] bundles everything the paper's front-end needs — a concurrent
+//! [`StreamingEngine`] (lock-free epoch-pinned queries, background merges
+//! at `η·C`), an owned worker [`ThreadPool`], and an optional
+//! [`Vectorizer`] for the tweet scenario — so applications never wire
+//! pools or pick among query methods. Ingest with [`add`](Index::add) /
+//! [`add_text`](Index::add_text), query with one
+//! [`search`](Index::search) call taking a [`SearchRequest`], and get one
+//! [`plsh::Error`](crate::Error) type end-to-end.
+//!
+//! ```
+//! use plsh::{Index, PlshParams, SearchRequest, SparseVector};
+//!
+//! let params = PlshParams::builder(16).k(4).m(4).radius(0.9).seed(42).build()?;
+//! let index = Index::builder(params).capacity(1024).threads(2).build()?;
+//!
+//! index.add(SparseVector::unit(vec![(0, 1.0), (3, 2.0)])?)?;
+//! index.add(SparseVector::unit(vec![(0, 1.0), (3, 1.9)])?)?;
+//!
+//! let q = SparseVector::unit(vec![(0, 1.0), (3, 2.0)])?;
+//! let resp = index.search(&SearchRequest::query(q).top_k(2))?;
+//! assert_eq!(resp.hits()[0].index, 0);
+//! # Ok::<(), plsh::Error>(())
+//! ```
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use plsh_core::engine::{EngineConfig, EngineStats, EpochInfo, MergeReport};
+use plsh_core::error::{PlshError, Result};
+use plsh_core::params::PlshParams;
+use plsh_core::query::QueryStrategy;
+use plsh_core::search::{SearchHit, SearchRequest, SearchResponse};
+use plsh_core::snapshot::Snapshot;
+use plsh_core::sparse::SparseVector;
+use plsh_core::streaming::StreamingEngine;
+use plsh_parallel::ThreadPool;
+use plsh_text::Vectorizer;
+
+/// Default node capacity when the builder does not set one (the paper's
+/// per-node `C` is 10.5 M; this default keeps small deployments cheap).
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// A cheaply cloneable handle to one PLSH node: streaming ingest, epoch
+/// consistency, background merging, text vectorization, and the unified
+/// [`SearchRequest`] query door — all behind one type that owns its
+/// thread pool. Clones share the same underlying index.
+#[derive(Clone)]
+pub struct Index {
+    engine: StreamingEngine,
+    vectorizer: Option<Arc<Vectorizer>>,
+}
+
+impl std::fmt::Debug for Index {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Index")
+            .field("points", &self.len())
+            .field("capacity", &self.capacity())
+            .field("dim", &self.params().dim())
+            .field("text", &self.vectorizer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builder for [`Index`]: configuration beyond the LSH parameters is
+/// optional and defaults to the paper's operating point (auto-merge at
+/// `η = 0.1`, fully optimized query strategy, one worker per core).
+pub struct IndexBuilder {
+    params: PlshParams,
+    capacity: usize,
+    threads: Option<usize>,
+    eta: Option<f64>,
+    auto_merge: bool,
+    strategy: Option<QueryStrategy>,
+    seal_min_points: Option<usize>,
+    vectorizer: Option<Vectorizer>,
+}
+
+impl IndexBuilder {
+    /// Node capacity `C` in points (default 1 M). Inserts beyond this
+    /// fail; a multi-node deployment retires old nodes instead (see
+    /// `plsh-cluster`).
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Worker threads for hashing, merging, and batch fan-out (default:
+    /// one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Delta fraction `η` of capacity that triggers a background merge
+    /// (default 0.1, the paper's choice).
+    pub fn eta(mut self, eta: f64) -> Self {
+        self.eta = Some(eta);
+        self
+    }
+
+    /// Disables automatic background merges; call [`Index::merge`]
+    /// explicitly.
+    pub fn manual_merge(mut self) -> Self {
+        self.auto_merge = false;
+        self
+    }
+
+    /// Default query strategy for requests that don't override it.
+    pub fn query_strategy(mut self, strategy: QueryStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Minimum open-generation size before inserts auto-seal (default 1:
+    /// every batch becomes query-visible as soon as the call returns).
+    pub fn seal_min_points(mut self, points: usize) -> Self {
+        self.seal_min_points = Some(points);
+        self
+    }
+
+    /// Attaches a frozen text pipeline so [`Index::add_text`] and
+    /// [`Index::search_text`] work. Its dimensionality must match the
+    /// parameters'.
+    pub fn vectorizer(mut self, vectorizer: Vectorizer) -> Self {
+        self.vectorizer = Some(vectorizer);
+        self
+    }
+
+    /// Builds the index (generates hyperplanes, spins up the pool).
+    pub fn build(self) -> Result<Index> {
+        if let Some(v) = &self.vectorizer {
+            if v.dim() != self.params.dim() {
+                return Err(PlshError::InvalidParams(format!(
+                    "vectorizer dimensionality {} does not match params dimensionality {}",
+                    v.dim(),
+                    self.params.dim()
+                )));
+            }
+        }
+        let mut config = EngineConfig::new(self.params, self.capacity);
+        if let Some(eta) = self.eta {
+            config = config.with_eta(eta);
+        }
+        if !self.auto_merge {
+            config = config.manual_merge();
+        }
+        if let Some(s) = self.strategy {
+            config = config.with_query_strategy(s);
+        }
+        if let Some(p) = self.seal_min_points {
+            config = config.with_seal_min_points(p);
+        }
+        let pool = match self.threads {
+            Some(t) => ThreadPool::new(t),
+            None => ThreadPool::default(),
+        };
+        Ok(Index {
+            engine: StreamingEngine::new(config, pool)?,
+            vectorizer: self.vectorizer.map(Arc::new),
+        })
+    }
+}
+
+impl Index {
+    /// Starts building an index for the given LSH parameters.
+    pub fn builder(params: PlshParams) -> IndexBuilder {
+        IndexBuilder {
+            params,
+            capacity: DEFAULT_CAPACITY,
+            threads: None,
+            eta: None,
+            auto_merge: true,
+            strategy: None,
+            seal_min_points: None,
+            vectorizer: None,
+        }
+    }
+
+    /// Restores an index from a snapshot stream previously written by
+    /// [`save_to`](Index::save_to), with a default-sized pool. The
+    /// restored engine answers every query identically to the saved one.
+    /// Like `Engine::load_from`, the restored index merges manually —
+    /// call [`merge`](Index::merge) after bulk loading. The vectorizer is
+    /// not part of the snapshot; re-attach one with
+    /// [`with_vectorizer`](Index::with_vectorizer).
+    pub fn restore_from<R: Read>(r: &mut R) -> Result<Index> {
+        Self::restore_with(r, ThreadPool::default())
+    }
+
+    /// [`restore_from`](Index::restore_from) with an explicit pool.
+    pub fn restore_with<R: Read>(r: &mut R, pool: ThreadPool) -> Result<Index> {
+        let engine = Snapshot::read_from(r)?.restore(&pool)?;
+        Ok(Index {
+            engine: StreamingEngine::from_engine(engine, pool),
+            vectorizer: None,
+        })
+    }
+
+    /// Attaches a frozen text pipeline after construction (e.g. after a
+    /// snapshot restore).
+    pub fn with_vectorizer(mut self, vectorizer: Vectorizer) -> Self {
+        self.vectorizer = Some(Arc::new(vectorizer));
+        self
+    }
+
+    // ---- Ingest ----
+
+    /// Inserts one vector; returns its id. Visible to queries on return;
+    /// a background merge starts when the sealed delta crosses `η·C`.
+    pub fn add(&self, v: SparseVector) -> Result<u32> {
+        self.engine.insert(v)
+    }
+
+    /// Inserts a batch (the paper's firehose arrives in ~100 K-point
+    /// chunks); all-or-nothing with respect to capacity.
+    pub fn add_batch(&self, vs: &[SparseVector]) -> Result<Vec<u32>> {
+        self.engine.insert_batch(vs)
+    }
+
+    /// Vectorizes one document and inserts it. Fails with
+    /// [`Error::EmptyVector`](PlshError::EmptyVector) when the document is
+    /// entirely out-of-vocabulary (the paper's dropped "0-length" case).
+    pub fn add_text(&self, text: &str) -> Result<u32> {
+        self.add(self.vectorize(text)?)
+    }
+
+    /// Vectorizes and inserts many documents in one sealed batch. Fully
+    /// out-of-vocabulary documents are *dropped* (paper semantics) and
+    /// reported as `None` in the returned id list, which is parallel to
+    /// the input.
+    pub fn add_texts<'a, I>(&self, texts: I) -> Result<Vec<Option<u32>>>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let vectorizer = self.require_vectorizer()?;
+        let mut slots: Vec<Option<u32>> = Vec::new();
+        let mut batch: Vec<SparseVector> = Vec::new();
+        for text in texts {
+            match vectorizer.to_vector(text) {
+                Ok(v) => {
+                    batch.push(v);
+                    slots.push(Some(0)); // patched below with the real id
+                }
+                // Only the documented drop case is silent; any other
+                // vectorization failure is a real error.
+                Err(plsh_text::TextError::OutOfVocabulary) => slots.push(None),
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let ids = self.add_batch(&batch)?;
+        let mut next = ids.into_iter();
+        for slot in slots.iter_mut().flatten() {
+            *slot = next.next().expect("one id per vectorized document");
+        }
+        Ok(slots)
+    }
+
+    /// Tombstones a point; returns `false` if already deleted or out of
+    /// range. The point disappears from all future queries immediately
+    /// and is purged from the tables at the next merge.
+    pub fn delete(&self, id: u32) -> bool {
+        self.engine.delete(id)
+    }
+
+    // ---- Search ----
+
+    /// Answers one [`SearchRequest`] — radius or k-NN, single query or
+    /// batch, with optional radius/strategy overrides, candidate budget,
+    /// counters, and profiling. The whole request runs against one pinned
+    /// epoch; ingest and merges never block it.
+    pub fn search(&self, req: &SearchRequest) -> Result<SearchResponse> {
+        self.engine.search(req)
+    }
+
+    /// Radius search for a single vector — the clone-free thin wrapper for
+    /// hot per-point loops (same answers as
+    /// `search(&SearchRequest::query(q))`).
+    pub fn query(&self, q: &SparseVector) -> Result<Vec<SearchHit>> {
+        if let Some(max) = q.max_index() {
+            let dim = self.params().dim();
+            if max >= dim {
+                return Err(PlshError::DimensionOutOfRange { index: max, dim });
+            }
+        }
+        Ok(self.engine.query(q).into_iter().map(SearchHit::from).collect())
+    }
+
+    /// Vectorizes free text and runs a radius search for it.
+    pub fn search_text(&self, text: &str) -> Result<SearchResponse> {
+        self.search(&SearchRequest::query(self.vectorize(text)?))
+    }
+
+    /// Converts text through the attached vectorizer — for composing
+    /// custom [`SearchRequest`]s (k-NN over text, batches, overrides).
+    pub fn vectorize(&self, text: &str) -> Result<SparseVector> {
+        let v = self.require_vectorizer()?;
+        Ok(v.to_vector(text)?)
+    }
+
+    // ---- Maintenance & observability ----
+
+    /// Merges all sealed delta generations into the next static epoch on
+    /// this thread (queries keep running; publication is one swap).
+    pub fn merge(&self) {
+        self.engine.merge_now();
+    }
+
+    /// Seals any buffered open generation and blocks until the in-flight
+    /// background merge (if any) has published.
+    pub fn flush(&self) {
+        self.engine.seal();
+        self.engine.wait_for_merge();
+    }
+
+    /// Stored points (live + deleted).
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.engine.is_empty()
+    }
+
+    /// The index's LSH parameters.
+    pub fn params(&self) -> &PlshParams {
+        self.engine.engine().params()
+    }
+
+    /// Node capacity `C`.
+    pub fn capacity(&self) -> usize {
+        self.engine.engine().capacity()
+    }
+
+    /// Point and memory accounting.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Shape of the currently published epoch.
+    pub fn epoch_info(&self) -> EpochInfo {
+        self.engine.epoch_info()
+    }
+
+    /// Timings of the most recent merge.
+    pub fn last_merge(&self) -> MergeReport {
+        self.engine.last_merge()
+    }
+
+    /// The stored vector for `id` (`None` when out of range or purged).
+    pub fn vector(&self, id: u32) -> Option<SparseVector> {
+        self.engine.engine().vector(id)
+    }
+
+    /// The underlying streaming handle, for advanced drivers (firehose
+    /// pumps, cluster experiments) that need the raw engine or pool.
+    pub fn backend(&self) -> &StreamingEngine {
+        &self.engine
+    }
+
+    // ---- Persistence ----
+
+    /// Writes a snapshot of the index (parameters, rows, static/delta
+    /// split, tombstones) to any byte sink. Safe to call while other
+    /// threads keep inserting and merging.
+    pub fn save_to<W: Write>(&self, w: &mut W) -> Result<()> {
+        Ok(self.snapshot().write_to(w)?)
+    }
+
+    /// Captures the index's state as an in-memory [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(self.engine.engine())
+    }
+
+    fn require_vectorizer(&self) -> Result<&Vectorizer> {
+        self.vectorizer.as_deref().ok_or_else(|| {
+            PlshError::InvalidParams(
+                "no vectorizer attached: build the index with .vectorizer(...) \
+                 or call with_vectorizer(...) to use the text API"
+                    .into(),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsh_text::{CorpusBuilder, Tokenizer};
+
+    fn params(dim: u32) -> PlshParams {
+        PlshParams::builder(dim)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .seed(3)
+            .build()
+            .unwrap()
+    }
+
+    fn text_index() -> Index {
+        let docs = [
+            "storm hits the coast tonight",
+            "storm hits coast tonight again",
+            "sourdough bread rises slowly",
+        ];
+        let mut b = CorpusBuilder::new(Tokenizer::default());
+        for d in docs {
+            b.add_document(d);
+        }
+        let vectorizer = b.finish();
+        let index = Index::builder(params(vectorizer.dim()))
+            .capacity(64)
+            .threads(1)
+            .vectorizer(vectorizer)
+            .build()
+            .unwrap();
+        for d in docs {
+            index.add_text(d).unwrap();
+        }
+        index
+    }
+
+    #[test]
+    fn add_and_search_vectors() {
+        let index = Index::builder(params(32)).capacity(100).threads(1).build().unwrap();
+        let a = SparseVector::unit(vec![(0, 1.0), (5, 1.0)]).unwrap();
+        let b = SparseVector::unit(vec![(0, 1.0), (5, 0.95)]).unwrap();
+        let ids = index.add_batch(&[a.clone(), b]).unwrap();
+        assert_eq!(ids, vec![0, 1]);
+        let hits = index.query(&a).unwrap();
+        assert!(hits.iter().any(|h| h.index == 1 && h.node == 0));
+        assert_eq!(index.len(), 2);
+        assert!(index.epoch_info().visible_points == 2);
+    }
+
+    #[test]
+    fn text_round_trip_and_oov_error() {
+        let index = text_index();
+        let resp = index.search_text("storm on the coast tonight").unwrap();
+        assert!(resp.hits().iter().any(|h| h.index == 0));
+        assert_eq!(
+            index.search_text("zzz qqq").unwrap_err(),
+            PlshError::EmptyVector,
+            "fully out-of-vocabulary text surfaces the core error type"
+        );
+        // Batch path drops OOV docs as None, parallel to the input.
+        let slots = index.add_texts(["coast storm", "zzz qqq"]).unwrap();
+        assert!(slots[0].is_some());
+        assert!(slots[1].is_none());
+    }
+
+    #[test]
+    fn text_api_without_vectorizer_errors() {
+        let index = Index::builder(params(8)).capacity(8).threads(1).build().unwrap();
+        assert!(matches!(
+            index.add_text("anything"),
+            Err(PlshError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn vectorizer_dimension_mismatch_is_rejected() {
+        let mut b = CorpusBuilder::new(Tokenizer::default());
+        b.add_document("one two three");
+        let vectorizer = b.finish();
+        let err = Index::builder(params(1000))
+            .vectorizer(vectorizer)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlshError::InvalidParams(_)));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_answers() {
+        let index = Index::builder(params(32)).capacity(100).threads(1).build().unwrap();
+        let vs: Vec<SparseVector> = (0..20)
+            .map(|i| {
+                SparseVector::unit(vec![(i % 32, 1.0), ((i + 7) % 32, 0.5)]).unwrap()
+            })
+            .collect();
+        index.add_batch(&vs).unwrap();
+        index.merge();
+        index.delete(3);
+        let mut bytes = Vec::new();
+        index.save_to(&mut bytes).unwrap();
+        let restored = Index::restore_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(restored.len(), index.len());
+        for v in &vs {
+            let mut a: Vec<u32> = index.query(v).unwrap().iter().map(|h| h.index).collect();
+            let mut b: Vec<u32> = restored.query(v).unwrap().iter().map(|h| h.index).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        // Truncated snapshots surface as one error type, not a panic.
+        assert!(matches!(
+            Index::restore_from(&mut bytes[..10].as_ref()),
+            Err(PlshError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn clones_share_state_and_flush_waits() {
+        let index = Index::builder(params(32))
+            .capacity(1000)
+            .threads(2)
+            .eta(0.05)
+            .build()
+            .unwrap();
+        let other = index.clone();
+        let vs: Vec<SparseVector> = (0..200)
+            .map(|i| {
+                SparseVector::unit(vec![(i % 32, 1.0), ((i + 5) % 32, 0.7)]).unwrap()
+            })
+            .collect();
+        index.add_batch(&vs).unwrap();
+        other.flush();
+        assert_eq!(other.len(), 200);
+        assert!(other.stats().merges >= 1, "background merge must have fired");
+        let hits = other.query(&vs[0]).unwrap();
+        assert!(hits.iter().any(|h| h.index == 0));
+    }
+}

@@ -4,12 +4,50 @@
 //! Tweets using Parallel Locality-Sensitive Hashing"* (Sundaram et al.,
 //! VLDB 2013).
 //!
+//! ## Quickstart
+//!
+//! Everything goes through one client, [`Index`], and one typed request,
+//! [`SearchRequest`] — no thread-pool wiring, no method zoo:
+//!
+//! ```
+//! use plsh::{Index, PlshParams, SearchRequest, SparseVector};
+//!
+//! // Three tiny "documents" as sparse unit vectors in an 8-dim space.
+//! let docs = vec![
+//!     SparseVector::unit(vec![(0, 1.0), (1, 1.0)])?,
+//!     SparseVector::unit(vec![(0, 1.0), (1, 0.9)])?,
+//!     SparseVector::unit(vec![(6, 1.0), (7, 1.0)])?,
+//! ];
+//! let params = PlshParams::builder(8).k(4).m(4).radius(0.9).seed(7).build()?;
+//! let index = Index::builder(params).capacity(16).build()?;
+//! index.add_batch(&docs)?;
+//!
+//! // Radius search (the paper's query): everything within R.
+//! let near = index.search(&SearchRequest::query(docs[0].clone()))?;
+//! assert!(near.hits().iter().any(|h| h.index == 1), "near-duplicate found");
+//!
+//! // The same door answers k-NN, batches, per-request overrides, stats:
+//! let resp = index.search(
+//!     &SearchRequest::batch(docs.clone()).top_k(2).with_stats(),
+//! )?;
+//! assert_eq!(resp.results.len(), 3);
+//! assert!(resp.stats.unwrap().totals.distance_computations > 0);
+//! # Ok::<(), plsh::Error>(())
+//! ```
+//!
+//! For the tweet scenario, attach a [`text`] pipeline and use
+//! [`Index::add_text`] / [`Index::search_text`]; for multi-node
+//! deployments, `cluster::Cluster` answers the *same* [`SearchRequest`]
+//! through the shared [`SearchBackend`] trait.
+//!
+//! ## Workspace layout
+//!
 //! This facade crate re-exports the whole workspace so applications can
 //! depend on a single crate:
 //!
 //! * [`core`] — the PLSH algorithm: all-pairs hashing, cache-conscious
-//!   static tables, streaming delta tables, parameter selection and the
-//!   analytic performance model.
+//!   static tables, streaming delta tables, the unified search API,
+//!   parameter selection and the analytic performance model.
 //! * [`parallel`] — the work-stealing task pool used by every component.
 //! * [`text`] — tokenization, vocabulary and IDF vectorization of documents.
 //! * [`workload`] — synthetic tweet-like corpora and query/ground-truth
@@ -18,34 +56,26 @@
 //!   (Table 2 of the paper).
 //! * [`cluster`] — the multi-node coordinator / rolling-insert-window
 //!   simulation (Figures 1 and 9).
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use plsh::core::{Engine, EngineConfig, PlshParams, SparseVector};
-//! use plsh::parallel::ThreadPool;
-//!
-//! // Three tiny "documents" as sparse unit vectors in a 8-dim space.
-//! let docs = vec![
-//!     SparseVector::unit(vec![(0, 1.0), (1, 1.0)]).unwrap(),
-//!     SparseVector::unit(vec![(0, 1.0), (1, 0.9)]).unwrap(),
-//!     SparseVector::unit(vec![(6, 1.0), (7, 1.0)]).unwrap(),
-//! ];
-//! let params = PlshParams::builder(8)
-//!     .k(4)
-//!     .m(4)
-//!     .radius(0.9)
-//!     .seed(7)
-//!     .build()
-//!     .unwrap();
-//! let pool = ThreadPool::new(1);
-//! let engine = Engine::new(EngineConfig::new(params, 16), &pool).unwrap();
-//! engine.extend(docs.iter().cloned(), &pool).unwrap();
-//! engine.merge_delta(&pool);
-//!
-//! let hits = engine.query(&docs[0]);
-//! assert!(hits.iter().any(|h| h.index == 1), "near-duplicate should be found");
-//! ```
+
+mod index;
+
+pub use index::{Index, IndexBuilder};
+
+// The unified search surface and the types requests/responses carry.
+pub use plsh_core::search::{
+    SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse,
+};
+pub use plsh_core::{
+    BatchStats, EpochInfo, Neighbor, PlshParams, QueryPhaseTimings, QueryStats, QueryStrategy,
+    Snapshot, SparseVector,
+};
+
+/// The one error type every `plsh` operation returns — configuration,
+/// ingest, search, text, cluster, and snapshot errors all convert into it.
+pub use plsh_core::PlshError as Error;
+
+/// Convenience alias used across the facade.
+pub type Result<T> = std::result::Result<T, Error>;
 
 pub use plsh_baselines as baselines;
 pub use plsh_cluster as cluster;

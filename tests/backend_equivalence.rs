@@ -1,0 +1,184 @@
+//! Backend equivalence: the whole point of the unified search API is that
+//! [`Engine`], [`StreamingEngine`] (mid-ingest, merge in flight), and a
+//! 1-node [`Cluster`] answer the *exact same* [`SearchRequest`] with the
+//! *exact same* answer set — same ids, same distances, bit for bit —
+//! regardless of how their data is segmented across static tables, sealed
+//! delta generations, or an in-flight background merge.
+
+use plsh::cluster::{Cluster, ClusterConfig};
+use plsh::core::engine::{Engine, EngineConfig};
+use plsh::core::streaming::StreamingEngine;
+use plsh::parallel::ThreadPool;
+use plsh::workload::{CorpusConfig, QuerySet, SyntheticCorpus};
+use plsh::{PlshParams, QueryStrategy, SearchBackend, SearchRequest};
+
+const N: usize = 600;
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(CorpusConfig {
+        num_docs: N,
+        vocab_size: 2_000,
+        mean_words: 7.2,
+        zipf_exponent: 1.0,
+        duplicate_fraction: 0.25,
+        seed: 424,
+    })
+}
+
+fn params(dim: u32) -> PlshParams {
+    PlshParams::builder(dim)
+        .k(8)
+        .m(8)
+        .radius(0.9)
+        .seed(17)
+        .build()
+        .unwrap()
+}
+
+/// Canonical answer form: per query, the sorted `(index, distance-bits)`
+/// set. Node is asserted to be 0 everywhere (single node), so identical
+/// answer sets really are identical.
+fn answers<B: SearchBackend>(
+    backend: &B,
+    req: &SearchRequest,
+    pool: &ThreadPool,
+) -> Vec<Vec<(u32, u32)>> {
+    let resp = backend.search(req, pool).expect("valid request");
+    assert_eq!(resp.results.len(), req.queries().len());
+    resp.results
+        .iter()
+        .map(|hits| {
+            let mut set: Vec<(u32, u32)> = hits
+                .iter()
+                .map(|h| {
+                    assert_eq!(h.node, 0, "every backend here is one node");
+                    (h.index, h.distance.to_bits())
+                })
+                .collect();
+            set.sort_unstable();
+            set
+        })
+        .collect()
+}
+
+#[test]
+fn all_backends_answer_identically() {
+    let corpus = corpus();
+    let params = params(corpus.dim());
+    let pool = ThreadPool::new(2);
+
+    // Engine: mixed static + sealed-delta segmentation.
+    let engine =
+        Engine::new(EngineConfig::new(params.clone(), N).manual_merge(), &pool).unwrap();
+    engine.insert_batch(&corpus.vectors()[..400], &pool).unwrap();
+    engine.merge_delta(&pool);
+    engine.insert_batch(&corpus.vectors()[400..], &pool).unwrap();
+
+    // StreamingEngine: chunked ingest with a background merge kicked off
+    // and *not* awaited — requests run while the merge may be anywhere
+    // between building and published.
+    let streaming = StreamingEngine::new(
+        EngineConfig::new(params.clone(), N).with_eta(0.95).manual_merge(),
+        ThreadPool::new(2),
+    )
+    .unwrap();
+    for chunk in corpus.vectors().chunks(64) {
+        streaming.insert_batch(chunk).unwrap();
+    }
+    streaming.merge_in_background();
+
+    // Cluster: one node, all data still in delta generations.
+    let cluster = {
+        let mut c = Cluster::new(
+            ClusterConfig::new(EngineConfig::new(params, N).manual_merge(), 1, 1),
+            &pool,
+        )
+        .unwrap();
+        c.insert_batch(corpus.vectors(), &pool).unwrap();
+        c
+    };
+
+    let queries = QuerySet::sample_from_corpus(&corpus, 60, 9);
+    let qs = queries.queries().to_vec();
+    let requests = [
+        // The batched SIMD pipeline (the default door).
+        SearchRequest::batch(qs.clone()),
+        // Per-query pipeline with the weakest strategy level.
+        SearchRequest::batch(qs.clone())
+            .per_query_pipeline()
+            .with_strategy(QueryStrategy::unoptimized()),
+        // Approximate k-NN with a global tie-break.
+        SearchRequest::batch(qs.clone()).top_k(7),
+        // Per-request radius override.
+        SearchRequest::batch(qs.clone()).with_radius(1.2),
+        // Bounded candidate budget: the visited prefix is the ascending-id
+        // candidate order at *every* strategy level, so it is
+        // segmentation-independent too.
+        SearchRequest::batch(qs.clone()).with_max_candidates(50),
+        SearchRequest::batch(qs.clone())
+            .with_max_candidates(50)
+            .with_strategy(QueryStrategy::with_sparse_dot()),
+        SearchRequest::batch(qs.clone())
+            .with_max_candidates(50)
+            .with_strategy(QueryStrategy::unoptimized()),
+        // Stats + profiling switches must not change answers.
+        SearchRequest::batch(qs.clone()).with_profiling(),
+        SearchRequest::query(qs[0].clone()).with_stats(),
+    ];
+
+    for (ri, req) in requests.iter().enumerate() {
+        let a = answers(&engine, req, &pool);
+        let b = answers(&streaming, req, &pool);
+        let c = answers(&cluster, req, &pool);
+        assert_eq!(a, b, "Engine vs StreamingEngine diverged on request {ri}");
+        assert_eq!(a, c, "Engine vs Cluster diverged on request {ri}");
+    }
+
+    // Re-run after everything quiesces into static tables: answers are
+    // again identical, and identical to their own pre-merge selves.
+    let pre_merge = answers(&engine, &requests[0], &pool);
+    streaming.wait_for_merge();
+    streaming.merge_now();
+    engine.merge_delta(&pool);
+    let mut cluster = cluster;
+    cluster.merge_all(&pool);
+    for (ri, req) in requests.iter().enumerate() {
+        let a = answers(&engine, req, &pool);
+        assert_eq!(
+            a,
+            answers(&streaming, req, &pool),
+            "post-merge Engine vs StreamingEngine diverged on request {ri}"
+        );
+        assert_eq!(
+            a,
+            answers(&cluster, req, &pool),
+            "post-merge Engine vs Cluster diverged on request {ri}"
+        );
+    }
+    assert_eq!(
+        pre_merge,
+        answers(&engine, &requests[0], &pool),
+        "merging must never change answers"
+    );
+}
+
+#[test]
+fn malformed_requests_error_on_every_backend() {
+    let corpus = corpus();
+    let params = params(corpus.dim());
+    let pool = ThreadPool::new(1);
+    let engine = Engine::new(EngineConfig::new(params.clone(), N), &pool).unwrap();
+    let streaming =
+        StreamingEngine::new(EngineConfig::new(params.clone(), N), ThreadPool::new(1)).unwrap();
+    let cluster = Cluster::new(
+        ClusterConfig::new(EngineConfig::new(params, N), 1, 1),
+        &pool,
+    )
+    .unwrap();
+
+    let oob = plsh::SparseVector::unit(vec![(corpus.dim(), 1.0)]).unwrap();
+    let req = SearchRequest::query(oob);
+    assert!(SearchBackend::search(&engine, &req, &pool).is_err());
+    assert!(SearchBackend::search(&streaming, &req, &pool).is_err());
+    assert!(SearchBackend::search(&cluster, &req, &pool).is_err());
+}
