@@ -34,7 +34,8 @@ fn bench_delta_layouts(c: &mut Criterion) {
                     .unwrap()
                 },
                 |e| {
-                    e.insert_batch(&f.corpus.vectors()[..n / 10], &f.pool).unwrap();
+                    e.insert_batch(&f.corpus.vectors()[..n / 10], &f.pool)
+                        .unwrap();
                     e.delta_len()
                 },
             )
@@ -47,7 +48,9 @@ fn bench_delta_layouts(c: &mut Criterion) {
             &f.pool,
         )
         .unwrap();
-        engine.insert_batch(&f.corpus.vectors()[..n / 10], &f.pool).unwrap();
+        engine
+            .insert_batch(&f.corpus.vectors()[..n / 10], &f.pool)
+            .unwrap();
         g.bench_function(format!("{name}_query"), |b| {
             b.iter(|| engine.query_batch(queries, &f.pool).1.totals.matches)
         });

@@ -15,7 +15,13 @@ fn bench_latency(c: &mut Criterion) {
         let batch = batch.min(queries.len());
         g.throughput(Throughput::Elements(batch as u64));
         g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
-            b.iter(|| engine.query_batch(&queries[..batch], &f.pool).1.totals.matches)
+            b.iter(|| {
+                engine
+                    .query_batch(&queries[..batch], &f.pool)
+                    .1
+                    .totals
+                    .matches
+            })
         });
     }
     g.finish();

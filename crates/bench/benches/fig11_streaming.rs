@@ -25,7 +25,8 @@ fn bench_streaming(c: &mut Criterion) {
                     &f.pool,
                 )
                 .unwrap();
-                e.insert_batch(&f.corpus.vectors()[..static_part], &f.pool).unwrap();
+                e.insert_batch(&f.corpus.vectors()[..static_part], &f.pool)
+                    .unwrap();
                 e.merge_delta(&f.pool);
                 e
             },
@@ -49,9 +50,11 @@ fn bench_streaming(c: &mut Criterion) {
                     &f.pool,
                 )
                 .unwrap();
-                e.insert_batch(&f.corpus.vectors()[..static_part], &f.pool).unwrap();
+                e.insert_batch(&f.corpus.vectors()[..static_part], &f.pool)
+                    .unwrap();
                 e.merge_delta(&f.pool);
-                e.insert_batch(&f.corpus.vectors()[static_part..], &f.pool).unwrap();
+                e.insert_batch(&f.corpus.vectors()[static_part..], &f.pool)
+                    .unwrap();
                 e
             },
             |e| {
@@ -67,9 +70,13 @@ fn bench_streaming(c: &mut Criterion) {
         &f.pool,
     )
     .unwrap();
-    mixed.insert_batch(&f.corpus.vectors()[..static_part], &f.pool).unwrap();
+    mixed
+        .insert_batch(&f.corpus.vectors()[..static_part], &f.pool)
+        .unwrap();
     mixed.merge_delta(&f.pool);
-    mixed.insert_batch(&f.corpus.vectors()[static_part..], &f.pool).unwrap();
+    mixed
+        .insert_batch(&f.corpus.vectors()[static_part..], &f.pool)
+        .unwrap();
     let all_static = f.static_engine();
 
     g.bench_function("query_90pct_static_full_delta", |b| {
@@ -89,9 +96,13 @@ fn bench_streaming(c: &mut Criterion) {
         f.pool.clone(),
     )
     .unwrap();
-    racing.insert_batch(&f.corpus.vectors()[..static_part]).unwrap();
+    racing
+        .insert_batch(&f.corpus.vectors()[..static_part])
+        .unwrap();
     racing.merge_now();
-    racing.insert_batch(&f.corpus.vectors()[static_part..]).unwrap();
+    racing
+        .insert_batch(&f.corpus.vectors()[static_part..])
+        .unwrap();
     racing.merge_in_background();
     g.bench_function("query_during_background_merge", |b| {
         b.iter(|| racing.query_batch(queries).1.totals.matches)
@@ -107,7 +118,8 @@ fn bench_streaming(c: &mut Criterion) {
         f.pool.clone(),
     )
     .unwrap();
-    live.insert_batch(&f.corpus.vectors()[..static_part]).unwrap();
+    live.insert_batch(&f.corpus.vectors()[..static_part])
+        .unwrap();
     live.wait_for_merge();
     let writer = {
         let ingest = live.clone();

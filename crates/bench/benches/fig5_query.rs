@@ -22,7 +22,10 @@ fn bench_query_levels(c: &mut Criterion) {
         g.bench_function(&label, |b| {
             b.iter(|| {
                 let resp = engine.search(&req, &f.pool).expect("valid request");
-                (resp.results.len(), resp.stats.expect("stats requested").totals.matches)
+                (
+                    resp.results.len(),
+                    resp.stats.expect("stats requested").totals.matches,
+                )
             })
         });
     }

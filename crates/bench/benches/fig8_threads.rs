@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use plsh_bench::setup::{Fixture, Scale};
-use plsh_core::table::{BuildStrategy, StaticTables};
 use plsh_core::hash::{Hyperplanes, SketchMatrix};
 use plsh_core::sparse::CrsMatrix;
+use plsh_core::table::{BuildStrategy, StaticTables};
 use plsh_parallel::ThreadPool;
 
 fn bench_threads(c: &mut Criterion) {

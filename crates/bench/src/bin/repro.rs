@@ -11,8 +11,19 @@ use plsh_bench::experiments::*;
 use plsh_bench::setup::{Fixture, Scale};
 
 const EXPERIMENTS: &[&str] = &[
-    "table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "streaming",
-    "recall", "throughput",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "streaming",
+    "recall",
+    "throughput",
+    "scaling",
 ];
 
 fn main() {
@@ -32,7 +43,10 @@ fn main() {
             "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
             other if EXPERIMENTS.contains(&other) => selected.push(other.to_string()),
             other => {
-                eprintln!("unknown experiment '{other}'; known: {}", EXPERIMENTS.join(", "));
+                eprintln!(
+                    "unknown experiment '{other}'; known: {}",
+                    EXPERIMENTS.join(", ")
+                );
                 std::process::exit(2);
             }
         }
@@ -89,6 +103,18 @@ fn main() {
                 }
             }
             "recall" => recall::run(&fixture).print(),
+            "scaling" => {
+                let r = scaling::run(&fixture);
+                r.print();
+                let path = scaling::output_path();
+                match r.write_json(&path) {
+                    Ok(()) => eprintln!("# wrote {path}"),
+                    Err(e) => {
+                        eprintln!("# FAILED to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "throughput" => {
                 let r = throughput::run(&fixture);
                 r.print();

@@ -47,8 +47,7 @@ pub fn run(f: &Fixture) -> Fig10 {
             let mut total = Duration::ZERO;
             for r in 0..reps {
                 let start = (r * batch) % (max - batch + 1);
-                let (_, stats) =
-                    engine.query_batch(&f.query_vecs()[start..start + batch], &f.pool);
+                let (_, stats) = engine.query_batch(&f.query_vecs()[start..start + batch], &f.pool);
                 total += stats.elapsed;
             }
             let latency = total / reps as u32;

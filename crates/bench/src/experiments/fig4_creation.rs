@@ -81,12 +81,7 @@ pub fn run(f: &Fixture) -> Fig4 {
     for v in docs {
         corpus.push(v).expect("fixture corpus fits its dim");
     }
-    let planes = Hyperplanes::new_dense(
-        params.dim(),
-        params.num_hashes(),
-        params.seed(),
-        &f.pool,
-    );
+    let planes = Hyperplanes::new_dense(params.dim(), params.num_hashes(), params.seed(), &f.pool);
 
     let configs: [(&'static str, BuildStrategy, bool); 4] = [
         ("No optimizations", BuildStrategy::OneLevel, false),
@@ -144,6 +139,9 @@ impl Fig4 {
                 base / l.total().as_secs_f64().max(1e-12),
             );
         }
-        println!("\nCumulative speedup: {:.2}x (paper: 3.7x)\n", self.total_speedup());
+        println!(
+            "\nCumulative speedup: {:.2}x (paper: 3.7x)\n",
+            self.total_speedup()
+        );
     }
 }

@@ -42,7 +42,9 @@ pub fn run(f: &Fixture) -> Fig5 {
             let warm = SearchRequest::batch(queries[..queries.len().min(32)].to_vec())
                 .with_strategy(strategy)
                 .per_query_pipeline();
-            let _ = engine.search(&warm, &f.pool).expect("valid warm-up request");
+            let _ = engine
+                .search(&warm, &f.pool)
+                .expect("valid warm-up request");
             let req = SearchRequest::batch(queries.to_vec())
                 .with_strategy(strategy)
                 .per_query_pipeline()
@@ -89,6 +91,9 @@ impl Fig5 {
                 base / l.batch_time.as_secs_f64().max(1e-12),
             );
         }
-        println!("\nCumulative speedup: {:.2}x (paper: 8.3x)\n", self.total_speedup());
+        println!(
+            "\nCumulative speedup: {:.2}x (paper: 8.3x)\n",
+            self.total_speedup()
+        );
     }
 }

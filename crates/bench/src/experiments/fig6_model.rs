@@ -165,8 +165,7 @@ fn run_dataset(
         strategy: QueryStrategy::optimized(),
         max_candidates: usize::MAX,
     };
-    let mut scratch =
-        QueryScratch::new(params.m(), params.half_bits(), corpus.num_rows(), dim);
+    let mut scratch = QueryScratch::new(params.m(), params.half_bits(), corpus.num_rows(), dim);
     let warm = queries.len().min(32);
     let _ = query::profile_batch(&ctx, &queries[..warm], &mut scratch);
     let (_, qt, qstats) = query::profile_batch(&ctx, queries, &mut scratch);

@@ -53,9 +53,13 @@ pub fn run(f: &Fixture) -> Fig7 {
     let samples = 1000usize.min(f.corpus.len());
     let mut dists = Vec::with_capacity(samples * 16);
     for _ in 0..samples {
-        let q = f.corpus.vector(rng.next_below(f.corpus.len() as u64) as u32);
+        let q = f
+            .corpus
+            .vector(rng.next_below(f.corpus.len() as u64) as u32);
         for _ in 0..16 {
-            let v = f.corpus.vector(rng.next_below(f.corpus.len() as u64) as u32);
+            let v = f
+                .corpus
+                .vector(rng.next_below(f.corpus.len() as u64) as u32);
             dists.push(q.angular_distance(v));
         }
     }
@@ -82,8 +86,7 @@ pub fn run(f: &Fixture) -> Fig7 {
                 .predict_query_batch(nq, f.corpus.len(), f.corpus.avg_nnz(), e_coll, e_uniq)
                 .total();
 
-            let engine =
-                f.engine_with(EngineConfig::new(params, f.corpus.len()).manual_merge());
+            let engine = f.engine_with(EngineConfig::new(params, f.corpus.len()).manual_merge());
             let _ = engine.query_batch(&f.query_vecs()[..nq.min(32)], &f.pool);
             let (_, stats) = engine.query_batch(f.query_vecs(), &f.pool);
             Point {

@@ -43,11 +43,9 @@ pub fn run(f: &Fixture) -> Fig8 {
         .iter()
         .map(|&t| {
             let pool = ThreadPool::new(t);
-            let config =
-                EngineConfig::new(f.params.clone(), f.corpus.len()).manual_merge();
+            let config = EngineConfig::new(f.params.clone(), f.corpus.len()).manual_merge();
             let t0 = std::time::Instant::now();
-            let engine =
-                plsh_core::engine::Engine::new(config, &pool).expect("valid config");
+            let engine = plsh_core::engine::Engine::new(config, &pool).expect("valid config");
             engine
                 .insert_batch(f.corpus.vectors(), &pool)
                 .expect("corpus fits");
@@ -82,7 +80,10 @@ impl Fig8 {
     /// Prints the sweep.
     pub fn print(&self) {
         println!("## Figure 8 — thread scaling on a single node\n");
-        println!("| Threads | Initialization | Query batch ({}) |", self.queries);
+        println!(
+            "| Threads | Initialization | Query batch ({}) |",
+            self.queries
+        );
         println!("|---:|---:|---:|");
         for p in &self.points {
             println!(

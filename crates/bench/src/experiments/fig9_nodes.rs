@@ -60,7 +60,7 @@ pub fn run(f: &Fixture) -> Fig9 {
                 nodes,
                 nodes, // insert window spanning the cluster spreads data evenly
             );
-            let mut cluster = Cluster::new(config, &f.pool).expect("valid cluster");
+            let cluster = Cluster::new(config, &f.pool).expect("valid cluster");
             cluster
                 .insert_batch(corpus.vectors(), &f.pool)
                 .expect("cluster capacity matches corpus");

@@ -70,13 +70,22 @@ impl RecallReport {
         println!("## Accuracy — recall vs exact ground truth\n");
         println!("| Quantity | Value |");
         println!("|---|---:|");
-        println!("| Exact neighbors across queries | {} |", self.total_neighbors);
-        println!("| Measured recall | {:.1}% (paper: 92%) |", self.recall * 100.0);
+        println!(
+            "| Exact neighbors across queries | {} |",
+            self.total_neighbors
+        );
+        println!(
+            "| Measured recall | {:.1}% (paper: 92%) |",
+            self.recall * 100.0
+        );
         println!(
             "| P'(R) at the radius (worst-case point) | {:.1}% |",
             self.recall_bound_at_radius * 100.0
         );
-        println!("| Precision | {:.1}% (exact filtering ⇒ 100%) |", self.precision * 100.0);
+        println!(
+            "| Precision | {:.1}% (exact filtering ⇒ 100%) |",
+            self.precision * 100.0
+        );
         println!();
     }
 }

@@ -119,12 +119,7 @@ pub fn run(f: &Fixture) -> StreamingLive {
     let merges_before = engine.stats().merges;
 
     // Ingest thread: the paced firehose pumped into the engine.
-    let hose = Firehose::start_paced(
-        f.corpus.vectors()[preload..].to_vec(),
-        batch_size,
-        4,
-        rate,
-    );
+    let hose = Firehose::start_paced(f.corpus.vectors()[preload..].to_vec(), batch_size, 4, rate);
     let pump = hose.pump_into(engine.clone());
 
     // Query thread (this one): batches against whatever epoch is live.
@@ -135,8 +130,7 @@ pub fn run(f: &Fixture) -> StreamingLive {
     let mut epoch_always_consistent = true;
     while !pump.is_finished() {
         let info = engine.epoch_info();
-        epoch_always_consistent &=
-            info.visible_points == info.static_points + info.sealed_points;
+        epoch_always_consistent &= info.visible_points == info.static_points + info.sealed_points;
         let t0 = Instant::now();
         let (answers, _) = engine.query_batch(slice);
         during_time += t0.elapsed();
@@ -207,7 +201,10 @@ impl StreamingLive {
 
     /// Prints the report.
     pub fn print(&self) {
-        println!("## Live streaming — insert ‖ query ‖ merge overlap ({} threads)\n", self.threads);
+        println!(
+            "## Live streaming — insert ‖ query ‖ merge overlap ({} threads)\n",
+            self.threads
+        );
         println!("| Quantity | Measured |");
         println!("|---|---:|");
         println!(
@@ -216,7 +213,10 @@ impl StreamingLive {
             self.ingest_elapsed.as_secs_f64(),
             self.batch_size
         );
-        println!("| Insert throughput (ingest thread) | {:.0} points/s |", self.insert_qps);
+        println!(
+            "| Insert throughput (ingest thread) | {:.0} points/s |",
+            self.insert_qps
+        );
         println!("| Background merges during ingest | {} |", self.merges);
         println!(
             "| Last merge: build / publish window | {:.1} ms / {:.3} ms |",
@@ -232,8 +232,14 @@ impl StreamingLive {
             "| During / quiesced | {:.2} (bar: >= 0.5) |",
             self.during_over_quiesced()
         );
-        println!("| Probes found in every batch | {} |", self.probe_always_found);
-        println!("| Epochs always consistent | {} |", self.epoch_always_consistent);
+        println!(
+            "| Probes found in every batch | {} |",
+            self.probe_always_found
+        );
+        println!(
+            "| Epochs always consistent | {} |",
+            self.epoch_always_consistent
+        );
         println!();
     }
 

@@ -57,7 +57,10 @@ pub fn run(f: &Fixture) -> StreamingOverhead {
     // Insert chunks until the delta is full, timing the first chunk.
     let t0 = std::time::Instant::now();
     engine
-        .insert_batch(&f.corpus.vectors()[static_points..static_points + chunk], &f.pool)
+        .insert_batch(
+            &f.corpus.vectors()[static_points..static_points + chunk],
+            &f.pool,
+        )
         .expect("fits");
     let insert_chunk = t0.elapsed();
     engine
@@ -126,7 +129,10 @@ impl StreamingOverhead {
             self.chunk,
             ms(self.insert_chunk)
         );
-        println!("| Full-delta merge | {:.0} ms | ~15 s worst case |", ms(self.merge));
+        println!(
+            "| Full-delta merge | {:.0} ms | ~15 s worst case |",
+            ms(self.merge)
+        );
         println!(
             "| Update overhead at Twitter rate | {:.1}% | ~2% |",
             self.overhead_fraction * 100.0
@@ -139,7 +145,10 @@ impl StreamingOverhead {
             "| All-delta query | {:.3} ms | 6 ms |",
             ms(self.delta_per_query)
         );
-        println!("| Derived eta bound (1.5x budget) | {:.3} | <= 0.15, chose 0.1 |", self.eta);
+        println!(
+            "| Derived eta bound (1.5x budget) | {:.3} | <= 0.15, chose 0.1 |",
+            self.eta
+        );
         println!();
     }
 }

@@ -61,7 +61,11 @@ impl LevelResult {
             "{{\"name\": \"{}\", \"qps\": {:.3}, \"batch_ms\": {:.3}, \
              \"avg_collisions\": {:.3}, \"avg_unique_candidates\": {:.3}, \
              \"avg_matches\": {:.3}}}",
-            self.name, self.qps, self.batch_ms, self.avg_collisions, self.avg_unique,
+            self.name,
+            self.qps,
+            self.batch_ms,
+            self.avg_collisions,
+            self.avg_unique,
             self.avg_matches
         )
     }
@@ -124,7 +128,9 @@ pub fn run(f: &Fixture) -> Throughput {
         let warm = SearchRequest::batch(warm_queries.clone())
             .with_strategy(strategy)
             .per_query_pipeline();
-        let _ = engine.search(&warm, &f.pool).expect("valid warm-up request");
+        let _ = engine
+            .search(&warm, &f.pool)
+            .expect("valid warm-up request");
         let req = SearchRequest::batch(queries.to_vec())
             .with_strategy(strategy)
             .per_query_pipeline()
@@ -136,7 +142,7 @@ pub fn run(f: &Fixture) -> Throughput {
                 .expect("valid ablation request")
                 .stats
                 .expect("stats requested");
-            if best.map_or(true, |b| stats.elapsed < b.elapsed) {
+            if best.is_none_or(|b| stats.elapsed < b.elapsed) {
                 best = Some(stats);
             }
         }
@@ -156,9 +162,13 @@ pub fn run(f: &Fixture) -> Throughput {
     let warm = SearchRequest::batch(warm_queries.clone())
         .with_strategy(last_strategy)
         .per_query_pipeline();
-    let _ = engine.search(&warm, &f.pool).expect("valid warm-up request");
+    let _ = engine
+        .search(&warm, &f.pool)
+        .expect("valid warm-up request");
     let warm = SearchRequest::batch(warm_queries).with_strategy(last_strategy);
-    let _ = engine.search(&warm, &f.pool).expect("valid warm-up request");
+    let _ = engine
+        .search(&warm, &f.pool)
+        .expect("valid warm-up request");
     let mut best_opt: Option<std::time::Duration> = None;
     let mut best_batched: Option<std::time::Duration> = None;
     let mut opt_stats = BatchStats::default();
@@ -176,7 +186,7 @@ pub fn run(f: &Fixture) -> Throughput {
                 optimized_answers = resp.results.iter().map(|h| sorted_hits(h)).collect();
             }
         }
-        if best_opt.map_or(true, |b| pass < b) {
+        if best_opt.is_none_or(|b| pass < b) {
             best_opt = Some(pass);
         }
         let mut pass = std::time::Duration::ZERO;
@@ -193,7 +203,7 @@ pub fn run(f: &Fixture) -> Throughput {
                 .zip(&optimized_answers)
                 .all(|(got, expect)| &sorted_hits(got) == expect);
         }
-        if best_batched.map_or(true, |b| pass < b) {
+        if best_batched.is_none_or(|b| pass < b) {
             best_batched = Some(pass);
         }
     }

@@ -1,10 +1,13 @@
 //! The coordinator and its simulated nodes.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use plsh_core::engine::{Engine, EngineConfig};
-use plsh_core::query::{BatchStats, Neighbor};
-use plsh_core::search::{rank_top_k, SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
+use plsh_core::query::Neighbor;
+use plsh_core::search::{
+    merge_partial_responses, rank_top_k, SearchBackend, SearchRequest, SearchResponse,
+};
 use plsh_core::sparse::SparseVector;
 use plsh_parallel::ThreadPool;
 
@@ -137,15 +140,35 @@ pub struct ClusterStats {
     pub retirements: u64,
 }
 
-/// The coordinator plus its simulated nodes (Figure 1).
-pub struct Cluster {
-    config: ClusterConfig,
-    nodes: Vec<Engine>,
+/// Mutable window-placement state, serialized by the cluster's window
+/// mutex. Everything else about the cluster — the node engines themselves
+/// — already supports concurrent `&self` operation, so this mutex is the
+/// *only* coordination between the ingest path and everything else.
+struct WindowState {
     /// Window currently receiving inserts (`window * M .. (window+1) * M`).
     window: usize,
     /// Round-robin cursor within the window.
     cursor: usize,
     retirements: u64,
+}
+
+/// The coordinator plus its simulated nodes (Figure 1).
+///
+/// The windowed-retirement simulation of Section 6: inserts round-robin
+/// into a rolling window of `M` nodes and the oldest window is erased
+/// wholesale when the cluster wraps. For the shard-per-core scaling path —
+/// hash routing, per-shard background merges, model-driven fan-out — use
+/// [`ShardedIndex`](crate::ShardedIndex) instead; this type is retained
+/// for the paper's exact-expiration experiments.
+///
+/// Every operation takes `&self` (window placement is guarded by an
+/// internal mutex, and the node engines are epoch-based), so ingest,
+/// merges, and queries may run concurrently from different threads.
+pub struct Cluster {
+    config: ClusterConfig,
+    nodes: Vec<Engine>,
+    /// Window placement (insert-only state; queries never touch it).
+    state: Mutex<WindowState>,
     /// Long-lived serial pool handed to each node during a broadcast
     /// (each node processes its partial batch on the broadcast task's
     /// thread; cross-node parallelism comes from the caller's pool).
@@ -162,9 +185,11 @@ impl Cluster {
         Ok(Self {
             config,
             nodes,
-            window: 0,
-            cursor: 0,
-            retirements: 0,
+            state: Mutex::new(WindowState {
+                window: 0,
+                cursor: 0,
+                retirements: 0,
+            }),
             node_pool: ThreadPool::new(1),
         })
     }
@@ -191,39 +216,40 @@ impl Cluster {
 
     /// Occupancy and window accounting.
     pub fn stats(&self) -> ClusterStats {
+        let state = self.state.lock().unwrap();
         ClusterStats {
             total_points: self.total_points(),
             total_capacity: self.nodes.len() * self.config.node.capacity,
             occupied_nodes: self.nodes.iter().filter(|n| !n.is_empty()).count(),
-            active_window: self.window,
-            retirements: self.retirements,
+            active_window: state.window,
+            retirements: state.retirements,
         }
     }
 
-    fn window_range(&self) -> std::ops::Range<usize> {
+    fn window_range(&self, state: &WindowState) -> std::ops::Range<usize> {
         let m = self.config.insert_window;
-        let start = self.window * m;
+        let start = state.window * m;
         start..start + m
     }
 
-    fn window_remaining(&self) -> usize {
-        self.window_range()
+    fn window_remaining(&self, state: &WindowState) -> usize {
+        self.window_range(state)
             .map(|i| self.nodes[i].remaining_capacity())
             .sum()
     }
 
     /// Advances to the next window, retiring its contents if it holds old
     /// data (the wrap-around case of Section 6).
-    fn advance_window(&mut self) {
+    fn advance_window(&self, state: &mut WindowState) {
         let windows = self.nodes.len() / self.config.insert_window;
-        self.window = (self.window + 1) % windows;
-        self.cursor = 0;
-        let range = self.window_range();
+        state.window = (state.window + 1) % windows;
+        state.cursor = 0;
+        let range = self.window_range(state);
         if self.nodes[range.clone()].iter().any(|n| !n.is_empty()) {
             for i in range {
                 self.nodes[i].clear();
             }
-            self.retirements += 1;
+            state.retirements += 1;
         }
     }
 
@@ -233,20 +259,22 @@ impl Cluster {
     /// windows advance (retiring the oldest window when the cluster has
     /// wrapped). Returns the `(node, local id)` of every inserted point in
     /// order.
-    pub fn insert_batch(
-        &mut self,
-        vs: &[SparseVector],
-        pool: &ThreadPool,
-    ) -> Result<Vec<(u32, u32)>> {
+    ///
+    /// Takes `&self`: window placement serializes on an internal mutex
+    /// while queries keep running lock-free against the node engines'
+    /// pinned epochs — callers may ingest and query concurrently.
+    pub fn insert_batch(&self, vs: &[SparseVector], pool: &ThreadPool) -> Result<Vec<(u32, u32)>> {
+        let mut state = self.state.lock().unwrap();
+        let state = &mut *state;
         let mut placed: Vec<(u32, u32)> = Vec::with_capacity(vs.len());
         let mut next = 0usize;
         while next < vs.len() {
-            if self.window_remaining() == 0 {
-                self.advance_window();
+            if self.window_remaining(state) == 0 {
+                self.advance_window(state);
             }
             // Assign the rest of the batch round-robin across the window's
             // non-full nodes, then apply one insert_batch per node.
-            let range = self.window_range();
+            let range = self.window_range(state);
             let m = range.len();
             let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); m];
             let mut remaining: Vec<usize> = range
@@ -256,16 +284,16 @@ impl Cluster {
             while next < vs.len() {
                 // Find the next window slot with headroom.
                 let mut tried = 0;
-                while tried < m && remaining[self.cursor] == 0 {
-                    self.cursor = (self.cursor + 1) % m;
+                while tried < m && remaining[state.cursor] == 0 {
+                    state.cursor = (state.cursor + 1) % m;
                     tried += 1;
                 }
                 if tried == m {
                     break; // window exhausted; outer loop advances it
                 }
-                per_node[self.cursor].push(next);
-                remaining[self.cursor] -= 1;
-                self.cursor = (self.cursor + 1) % m;
+                per_node[state.cursor].push(next);
+                remaining[state.cursor] -= 1;
+                state.cursor = (state.cursor + 1) % m;
                 next += 1;
             }
             let mut assignments: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -275,8 +303,7 @@ impl Cluster {
                 }
             }
             for (node_idx, items) in assignments {
-                let batch: Vec<SparseVector> =
-                    items.iter().map(|&i| vs[i].clone()).collect();
+                let batch: Vec<SparseVector> = items.iter().map(|&i| vs[i].clone()).collect();
                 let ids = self.nodes[node_idx].insert_batch(&batch, pool)?;
                 for (&item, id) in items.iter().zip(ids) {
                     // `placed` is filled in item order; extend as needed.
@@ -291,9 +318,12 @@ impl Cluster {
         Ok(placed)
     }
 
-    /// Forces a delta merge on every node.
-    pub fn merge_all(&mut self, pool: &ThreadPool) {
-        for n in &mut self.nodes {
+    /// Forces a delta merge on every node, one after another on this
+    /// thread. Takes `&self`: node merges build off to the side and
+    /// publish with one epoch swap each, so queries (and window inserts)
+    /// keep running throughout.
+    pub fn merge_all(&self, pool: &ThreadPool) {
+        for n in &self.nodes {
             n.merge_delta(pool);
         }
     }
@@ -356,41 +386,14 @@ impl Cluster {
         let start = Instant::now();
         let partials: Vec<plsh_core::error::Result<SearchResponse>> =
             pool.parallel_map(self.nodes.iter(), |node| node.search(req, &self.node_pool));
-        let mut results: Vec<Vec<SearchHit>> = vec![Vec::new(); req.queries().len()];
-        let mut stats: Option<BatchStats> = None;
-        let mut timings = None;
-        for (node_id, partial) in partials.into_iter().enumerate() {
-            let resp = partial?;
-            for (q, hits) in resp.results.into_iter().enumerate() {
-                results[q].extend(hits.into_iter().map(|h| h.on_node(node_id as u32)));
-            }
-            if let Some(node_stats) = resp.stats {
-                let agg = stats.get_or_insert(BatchStats {
-                    queries: req.queries().len() as u64,
-                    ..BatchStats::default()
-                });
-                agg.totals.merge(&node_stats.totals);
-            }
-            if let Some(node_timings) = resp.phase_timings {
-                let agg = timings.get_or_insert(plsh_core::QueryPhaseTimings::default());
-                agg.step_q2 += node_timings.step_q2;
-                agg.step_q3 += node_timings.step_q3;
-            }
-        }
-        if let SearchMode::Knn(k) = req.mode() {
-            for hits in &mut results {
-                rank_top_k(hits, k);
-            }
-        }
-        if let Some(agg) = stats.as_mut() {
-            agg.elapsed = start.elapsed();
-        }
-        Ok(SearchResponse {
-            results,
-            stats,
-            phase_timings: timings,
-            epoch: None,
-        })
+        merge_partial_responses(
+            req.queries().len(),
+            req.mode(),
+            start,
+            partials,
+            |node_id, h| h.on_node(node_id as u32),
+            rank_top_k,
+        )
     }
 }
 
@@ -445,7 +448,7 @@ mod tests {
     #[test]
     fn inserts_fill_window_before_moving_on() {
         let pool = ThreadPool::new(1);
-        let mut c = Cluster::new(small_config(10, 4, 2), &pool).unwrap();
+        let c = Cluster::new(small_config(10, 4, 2), &pool).unwrap();
         let vs = random_vecs(20, 1);
         let placed = c.insert_batch(&vs, &pool).unwrap();
         assert_eq!(placed.len(), 20);
@@ -463,7 +466,7 @@ mod tests {
     #[test]
     fn window_advances_when_full() {
         let pool = ThreadPool::new(1);
-        let mut c = Cluster::new(small_config(5, 4, 2), &pool).unwrap();
+        let c = Cluster::new(small_config(5, 4, 2), &pool).unwrap();
         c.insert_batch(&random_vecs(15, 2), &pool).unwrap();
         // 10 fill window 0; 5 spill into window 1.
         assert_eq!(c.node(0).len() + c.node(1).len(), 10);
@@ -475,7 +478,7 @@ mod tests {
     #[test]
     fn retirement_erases_oldest_window() {
         let pool = ThreadPool::new(1);
-        let mut c = Cluster::new(small_config(5, 4, 2), &pool).unwrap();
+        let c = Cluster::new(small_config(5, 4, 2), &pool).unwrap();
         // Fill the whole cluster (20 points), then push 3 more.
         c.insert_batch(&random_vecs(20, 3), &pool).unwrap();
         assert_eq!(c.total_points(), 20);
@@ -492,7 +495,7 @@ mod tests {
     #[test]
     fn broadcast_query_finds_points_on_every_node() {
         let pool = ThreadPool::new(2);
-        let mut c = Cluster::new(small_config(10, 4, 4), &pool).unwrap();
+        let c = Cluster::new(small_config(10, 4, 4), &pool).unwrap();
         let vs = random_vecs(40, 5);
         let placed = c.insert_batch(&vs, &pool).unwrap();
         // With window = num_nodes, points spread over all 4 nodes.
@@ -512,15 +515,20 @@ mod tests {
         let pool = ThreadPool::new(1);
         let vs = random_vecs(60, 6);
         // One big engine vs a 3-node cluster over the same data.
-        let params = PlshParams::builder(64).k(6).m(6).radius(0.9).seed(5).build().unwrap();
+        let params = PlshParams::builder(64)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .seed(5)
+            .build()
+            .unwrap();
         let single = Engine::new(EngineConfig::new(params, 100), &pool).unwrap();
         single.insert_batch(&vs, &pool).unwrap();
-        let mut c = Cluster::new(small_config(20, 3, 3), &pool).unwrap();
+        let c = Cluster::new(small_config(20, 3, 3), &pool).unwrap();
         let placed = c.insert_batch(&vs, &pool).unwrap();
         // Map cluster hits back to batch positions for comparison.
         for v in &vs {
-            let mut single_hits: Vec<u32> =
-                single.query(v).iter().map(|h| h.index).collect();
+            let mut single_hits: Vec<u32> = single.query(v).iter().map(|h| h.index).collect();
             single_hits.sort_unstable();
             let mut cluster_hits: Vec<u32> = c
                 .query(v, &pool)
@@ -540,7 +548,7 @@ mod tests {
     #[test]
     fn report_metrics_are_consistent() {
         let pool = ThreadPool::new(2);
-        let mut c = Cluster::new(small_config(20, 4, 4), &pool).unwrap();
+        let c = Cluster::new(small_config(20, 4, 4), &pool).unwrap();
         let vs = random_vecs(80, 7);
         c.insert_batch(&vs, &pool).unwrap();
         c.merge_all(&pool);
@@ -555,11 +563,52 @@ mod tests {
     }
 
     #[test]
+    fn ingest_and_query_run_concurrently_on_shared_refs() {
+        // The old coordinator required `&mut self` for insert_batch and
+        // merge_all, so callers could never ingest and query at the same
+        // time; this pins the interior-mutability fix down.
+        let pool = ThreadPool::new(1);
+        let c = std::sync::Arc::new(Cluster::new(small_config(500, 4, 4), &pool).unwrap());
+        let vs = random_vecs(600, 9);
+        let writer = {
+            let c = c.clone();
+            let vs = vs.clone();
+            std::thread::spawn(move || {
+                let pool = ThreadPool::new(1);
+                for chunk in vs.chunks(50) {
+                    c.insert_batch(chunk, &pool).unwrap();
+                }
+                c.merge_all(&pool);
+            })
+        };
+        let reader = {
+            let c = c.clone();
+            let vs = vs.clone();
+            std::thread::spawn(move || {
+                let pool = ThreadPool::new(1);
+                for probe in 0..100 {
+                    let hits = c.query(&vs[probe % vs.len()], &pool);
+                    for h in hits {
+                        assert!((h.node as usize) < 4);
+                    }
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(c.total_points(), 600);
+        for probe in [0usize, 299, 599] {
+            let pool = ThreadPool::new(1);
+            assert!(!c.query(&vs[probe], &pool).is_empty());
+        }
+    }
+
+    #[test]
     fn merge_all_moves_deltas_to_static() {
         let pool = ThreadPool::new(1);
         let mut cfg = small_config(50, 2, 2);
         cfg.node = cfg.node.manual_merge();
-        let mut c = Cluster::new(cfg, &pool).unwrap();
+        let c = Cluster::new(cfg, &pool).unwrap();
         let vs = random_vecs(30, 8);
         c.insert_batch(&vs, &pool).unwrap();
         assert!(c.node(0).delta_len() + c.node(1).delta_len() > 0);

@@ -69,13 +69,7 @@ impl Firehose {
                     }
                 }
                 sent += batch.len();
-                if tx
-                    .send(ArrivalBatch {
-                        seq,
-                        docs: batch,
-                    })
-                    .is_err()
-                {
+                if tx.send(ArrivalBatch { seq, docs: batch }).is_err() {
                     break; // receiver hung up
                 }
                 seq += 1;
@@ -200,8 +194,7 @@ mod tests {
         assert_eq!(batches[0].docs.len(), 10);
         assert_eq!(batches[1].docs.len(), 10);
         assert_eq!(batches[2].docs.len(), 5);
-        let flat: Vec<SparseVector> =
-            batches.into_iter().flat_map(|b| b.docs).collect();
+        let flat: Vec<SparseVector> = batches.into_iter().flat_map(|b| b.docs).collect();
         assert_eq!(flat, d);
     }
 
@@ -278,7 +271,10 @@ mod tests {
         assert!(stats.insert_qps() > 0.0);
         assert_eq!(engine.len(), 120);
         for (i, v) in d.iter().enumerate() {
-            assert!(engine.query(v).iter().any(|h| h.index == i as u32), "doc {i}");
+            assert!(
+                engine.query(v).iter().any(|h| h.index == i as u32),
+                "doc {i}"
+            );
         }
     }
 }

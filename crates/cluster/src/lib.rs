@@ -19,10 +19,21 @@
 //! [`firehose`] adds a producer/consumer harness (a bounded channel fed by
 //! a generator thread) used by the streaming examples to mimic the Twitter
 //! firehose's arrival pattern.
+//!
+//! [`sharded`] is the scaling successor to the broadcast coordinator: a
+//! [`ShardedIndex`] routes inserts by a stable hash of the point id into
+//! per-shard [`plsh_core::streaming::StreamingEngine`]s (each with its own
+//! ingest queue and background merge), fans queries out over the shards
+//! through a work-stealing pool, and defaults its shard count to a
+//! Section-7 performance-model prediction. Unlike [`Cluster`], whose
+//! ingest used to demand exclusive access, every `ShardedIndex` operation
+//! takes `&self` and overlaps freely across threads.
 
 mod cluster;
 mod error;
 pub mod firehose;
+pub mod sharded;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterQueryReport, ClusterStats, GlobalNeighbor};
 pub use error::{ClusterError, Result};
+pub use sharded::{ShardedIndex, ShardedIndexBuilder, ShardedStats};

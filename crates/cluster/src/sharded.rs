@@ -1,0 +1,937 @@
+//! The shard-per-core streaming cluster: hash-routed ingest, per-shard
+//! [`StreamingEngine`]s, and model-driven query fan-out.
+//!
+//! [`ShardedIndex`] is the successor to the broadcast
+//! [`Cluster`](crate::Cluster) coordinator for the paper's headline
+//! claim — near-linear scaling of
+//! streaming LSH across cores (Figures 9–10). Where `Cluster` serializes
+//! ingest behind external coordination, every `ShardedIndex` shard is a
+//! full streaming node that overlaps its own ingest, merge, and queries:
+//!
+//! * **Inserts route by a stable hash of the point id.** Every point gets
+//!   a monotonically increasing *global* id; `route(id)` picks its shard,
+//!   and a paced per-shard firehose (a bounded channel drained by one
+//!   ingest thread per shard) carries it there. Routing assigns the
+//!   shard-local id too, so the global ↔ local maps never wait on the
+//!   ingest threads.
+//! * **Each shard owns a [`StreamingEngine`].** Inserts hash and seal on
+//!   the shard's ingest thread; merges run on the shard's own background
+//!   thread at `η·C` — so merges on different shards overlap each other
+//!   *and* every query. A shard's tables are ~`1/S` of the corpus, so its
+//!   merges are ~`S×` cheaper than one shared structure's (the
+//!   shard-local-tables argument of the PIMDAL/Polynesia line of work).
+//! * **Queries fan out over shards.** One work-stealing task per shard
+//!   pins that shard's epoch and runs the whole request against it with
+//!   shard-local scratch; the coordinator concatenates radius answers
+//!   (exact — hits are translated to global ids) and k-way re-ranks k-NN
+//!   answers with the same `(distance, global id)` tie-break a single
+//!   engine uses, so answer sets are bit-identical to one big
+//!   [`Engine`](plsh_core::engine::Engine) over the same data.
+//! * **The shard count is model-driven by default.** The builder
+//!   calibrates a [`MachineProfile`] and picks the shard count whose
+//!   Section-7 predicted per-batch query time is minimal
+//!   ([`PerformanceModel::pick_shard_count`]); override it with
+//!   [`ShardedIndexBuilder::shards`].
+//!
+//! One caveat is inherited from per-node execution:
+//! [`SearchRequest::with_max_candidates`] budgets apply *per shard* (each
+//! shard truncates its own ascending-id candidate prefix), so budgeted
+//! requests can return more hits than a single engine with the same
+//! budget. Every other request shape is answer-identical — the root
+//! `backend_equivalence` suite pins this down.
+//!
+//! ```
+//! use plsh_cluster::ShardedIndex;
+//! use plsh_core::engine::EngineConfig;
+//! use plsh_core::search::SearchRequest;
+//! use plsh_core::{PlshParams, SparseVector};
+//!
+//! let params = PlshParams::builder(16).k(4).m(4).radius(0.9).seed(42).build().unwrap();
+//! let index = ShardedIndex::builder(EngineConfig::new(params, 64))
+//!     .shards(2)
+//!     .build()
+//!     .unwrap();
+//! let v = SparseVector::unit(vec![(0, 1.0), (3, 2.0)]).unwrap();
+//! let ids = index.insert_batch(std::slice::from_ref(&v)).unwrap();
+//! index.flush(); // barrier: every routed point is now query-visible
+//! let resp = index.search(&SearchRequest::query(v)).unwrap();
+//! assert!(resp.hits().iter().any(|h| h.index == ids[0]));
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use plsh_core::engine::{EngineConfig, EngineStats, MergeReport};
+use plsh_core::error::{PlshError, Result as CoreResult};
+use plsh_core::model::{MachineProfile, PerformanceModel};
+use plsh_core::params::estimate_candidates;
+use plsh_core::search::{
+    merge_partial_responses, rank_top_k_global, SearchBackend, SearchHit, SearchRequest,
+    SearchResponse,
+};
+use plsh_core::sparse::SparseVector;
+use plsh_core::streaming::StreamingEngine;
+use plsh_parallel::ThreadPool;
+
+use crate::error::{ClusterError, Result};
+
+/// Upper bound on model-picked shard counts (a runaway prediction must not
+/// spawn hundreds of ingest threads).
+const MAX_MODEL_SHARDS: usize = 64;
+
+/// Queries-per-batch assumption used when the model picks the shard count.
+const MODEL_BATCH_QUERIES: usize = 64;
+
+/// Builder for [`ShardedIndex`].
+pub struct ShardedIndexBuilder {
+    node: EngineConfig,
+    shards: Option<usize>,
+    threads: Option<usize>,
+    queue_batches: usize,
+    ingest_rate: Option<f64>,
+    profile: Option<MachineProfile>,
+}
+
+impl ShardedIndexBuilder {
+    /// Fixes the shard count instead of letting the performance model pick
+    /// it. Must be ≥ 1.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Worker threads for the query fan-out pool (default: one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Capacity of each shard's ingest queue in batches (default 4).
+    /// Inserts apply back-pressure once a shard's queue is full.
+    pub fn queue_batches(mut self, batches: usize) -> Self {
+        self.queue_batches = batches.max(1);
+        self
+    }
+
+    /// Paces each shard's firehose to at most `points_per_sec` (the
+    /// paper's Twitter-rate arrival process). Default: unpaced.
+    pub fn ingest_rate(mut self, points_per_sec: f64) -> Self {
+        assert!(points_per_sec > 0.0, "ingest rate must be positive");
+        self.ingest_rate = Some(points_per_sec);
+        self
+    }
+
+    /// Machine profile for the model-driven shard count (default: measure
+    /// this machine with [`MachineProfile::calibrate`]). Ignored when
+    /// [`shards`](Self::shards) is set explicitly.
+    pub fn machine_profile(mut self, profile: MachineProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Builds the index: resolves the shard count (model prediction unless
+    /// fixed), constructs one [`StreamingEngine`] per shard, and spawns the
+    /// per-shard ingest threads.
+    pub fn build(self) -> Result<ShardedIndex> {
+        let fanout = match self.threads {
+            Some(t) => ThreadPool::new(t),
+            None => ThreadPool::default(),
+        };
+        let shards = match self.shards {
+            Some(0) => {
+                return Err(ClusterError::Topology("shard count must be > 0".into()));
+            }
+            Some(s) => s,
+            None => {
+                let profile = self
+                    .profile
+                    .unwrap_or_else(|| MachineProfile::calibrate(&fanout, 2.6e9));
+                predict_shard_count(&profile, &self.node)
+            }
+        };
+        let mut shard_handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            // Each shard's engine gets a serial pool: cross-shard
+            // parallelism comes from the fan-out pool and the per-shard
+            // ingest/merge threads, so intra-shard fan-out would only
+            // oversubscribe.
+            let engine = StreamingEngine::new(self.node.clone(), ThreadPool::new(1))
+                .map_err(ClusterError::Node)?;
+            let (tx, rx) = bounded::<ShardBatch>(self.queue_batches);
+            let pending = Arc::new(AtomicU64::new(0));
+            let worker = spawn_ingest_worker(engine.clone(), rx, pending.clone(), self.ingest_rate);
+            shard_handles.push(Shard {
+                engine,
+                globals: RwLock::new(Vec::new()),
+                tx: Some(tx),
+                worker: Some(worker),
+                pending,
+            });
+        }
+        Ok(ShardedIndex {
+            dim: self.node.params.dim(),
+            per_shard_capacity: self.node.capacity,
+            shards: shard_handles,
+            fanout,
+            router: Mutex::new(Router {
+                next_global: 0,
+                used: vec![0; shards],
+            }),
+            total: AtomicU64::new(0),
+            locals: RwLock::new(Vec::new()),
+        })
+    }
+}
+
+/// One batch travelling down a shard's ingest queue (points already in
+/// shard-local id order).
+struct ShardBatch {
+    docs: Vec<SparseVector>,
+}
+
+/// One shard: a streaming engine plus its ingest queue and id map.
+struct Shard {
+    engine: StreamingEngine,
+    /// Local id → global id, appended at routing time (so it always covers
+    /// every id a pinned epoch can surface).
+    globals: RwLock<Vec<u32>>,
+    tx: Option<Sender<ShardBatch>>,
+    worker: Option<JoinHandle<()>>,
+    /// Points routed but not yet inserted by the ingest thread.
+    pending: Arc<AtomicU64>,
+}
+
+/// Routing state, serialized by the router mutex: the global id counter
+/// and per-shard occupancy (for all-or-nothing capacity checks).
+struct Router {
+    next_global: u32,
+    used: Vec<usize>,
+}
+
+/// Aggregate accounting for a sharded index.
+#[derive(Debug, Clone)]
+pub struct ShardedStats {
+    /// Points per shard (routed, including queued ones).
+    pub points_per_shard: Vec<usize>,
+    /// Sum of per-shard merge counts.
+    pub merges: u64,
+    /// Per-shard engine accounting.
+    pub engines: Vec<EngineStats>,
+}
+
+impl ShardedStats {
+    /// Total routed points.
+    pub fn total_points(&self) -> usize {
+        self.points_per_shard.iter().sum()
+    }
+
+    /// Largest shard ÷ mean shard occupancy (1.0 = perfectly even). The
+    /// stable-hash router keeps this near 1 for any insert order.
+    pub fn routing_imbalance(&self) -> f64 {
+        let n = self.total_points();
+        if n == 0 {
+            return 1.0;
+        }
+        let mean = n as f64 / self.points_per_shard.len() as f64;
+        let max = *self.points_per_shard.iter().max().unwrap() as f64;
+        max / mean
+    }
+}
+
+/// The shard-per-core streaming cluster (see the module docs).
+///
+/// All operations take `&self`; ingest, merges, and queries overlap freely
+/// across threads. Routing and queueing serialize on an internal mutex;
+/// queries never touch it.
+pub struct ShardedIndex {
+    dim: u32,
+    per_shard_capacity: usize,
+    shards: Vec<Shard>,
+    fanout: ThreadPool,
+    router: Mutex<Router>,
+    /// Mirror of `Router::next_global` for lock-free `len()` — the router
+    /// mutex is held across back-pressured queue sends, so readers must
+    /// not need it.
+    total: AtomicU64,
+    /// Global id → shard-local id (the shard itself is `route(id)`).
+    locals: RwLock<Vec<u32>>,
+}
+
+impl ShardedIndex {
+    /// Starts building a sharded index; `node` is the per-shard engine
+    /// template (its `capacity` is the per-shard `C`, as in the paper's
+    /// per-node capacity).
+    pub fn builder(node: EngineConfig) -> ShardedIndexBuilder {
+        ShardedIndexBuilder {
+            node,
+            shards: None,
+            threads: None,
+            queue_batches: 4,
+            ingest_rate: None,
+            profile: None,
+        }
+    }
+
+    /// The stable routing function: which shard owns global id `id`.
+    ///
+    /// SplitMix64-style avalanche of the id, reduced modulo the shard
+    /// count — deterministic across runs and processes, uniform enough
+    /// that shard occupancy stays within a few percent of even.
+    pub fn route(&self, id: u32) -> usize {
+        route_hash(id) as usize % self.shards.len()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow one shard's streaming engine (tests, experiments).
+    pub fn shard(&self, i: usize) -> &StreamingEngine {
+        &self.shards[i].engine
+    }
+
+    /// The query fan-out pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.fanout
+    }
+
+    /// Total points routed into the index (some may still be in flight in
+    /// shard queues; [`flush`](Self::flush) is the visibility barrier).
+    /// Lock-free: never stalls behind a back-pressured `insert_batch`.
+    pub fn len(&self) -> usize {
+        self.total.load(Ordering::Acquire) as usize
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Points currently visible to queries (static + sealed across all
+    /// shards).
+    pub fn visible_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.engine.engine().visible_len())
+            .sum()
+    }
+
+    /// Routes a batch into the per-shard firehoses; returns the global id
+    /// of every point, in input order.
+    ///
+    /// The batch is all-or-nothing: dimensionality and per-shard capacity
+    /// are validated before anything is enqueued. Points become
+    /// query-visible when their shard's ingest thread has drained them —
+    /// immediately under light load, or after back-pressure delay when a
+    /// shard's queue is full ([`flush`](Self::flush) waits for all of it).
+    /// Back-pressure also serializes concurrent `insert_batch` callers
+    /// (routing order must match queue order); queries, `len`, and
+    /// `stats` never wait on it.
+    pub fn insert_batch(&self, vs: &[SparseVector]) -> Result<Vec<u32>> {
+        for v in vs {
+            if let Some(max) = v.max_index() {
+                if max >= self.dim {
+                    return Err(ClusterError::Node(PlshError::DimensionOutOfRange {
+                        index: max,
+                        dim: self.dim,
+                    }));
+                }
+            }
+        }
+        let mut router = self.router.lock().unwrap();
+        if router.next_global as usize + vs.len() > u32::MAX as usize {
+            return Err(ClusterError::Node(PlshError::CapacityExceeded {
+                capacity: u32::MAX as usize,
+            }));
+        }
+        // Dry-run the routing for the capacity check before applying any
+        // of it.
+        let mut extra = vec![0usize; self.shards.len()];
+        for offset in 0..vs.len() {
+            let gid = router.next_global + offset as u32;
+            extra[self.route(gid)] += 1;
+        }
+        for (shard, add) in extra.iter().enumerate() {
+            if router.used[shard] + add > self.per_shard_capacity {
+                return Err(ClusterError::Node(PlshError::CapacityExceeded {
+                    capacity: self.per_shard_capacity,
+                }));
+            }
+        }
+        // Apply: assign ids, extend both id maps, then enqueue. The router
+        // lock is held across the channel sends so that concurrent
+        // insert_batch calls cannot interleave their per-shard queue order
+        // with their local-id assignment order.
+        let from = router.next_global;
+        let ids: Vec<u32> = (from..from + vs.len() as u32).collect();
+        let mut per_shard: Vec<Vec<SparseVector>> = vec![Vec::new(); self.shards.len()];
+        {
+            let mut locals = self.locals.write().unwrap();
+            for (gid, v) in ids.iter().zip(vs) {
+                let shard = self.route(*gid);
+                let local = (router.used[shard] + per_shard[shard].len()) as u32;
+                locals.push(local);
+                self.shards[shard].globals.write().unwrap().push(*gid);
+                per_shard[shard].push(v.clone());
+            }
+        }
+        router.next_global += vs.len() as u32;
+        self.total
+            .store(router.next_global as u64, Ordering::Release);
+        for (shard, docs) in per_shard.into_iter().enumerate() {
+            if docs.is_empty() {
+                continue;
+            }
+            router.used[shard] += docs.len();
+            self.shards[shard]
+                .pending
+                .fetch_add(docs.len() as u64, Ordering::SeqCst);
+            self.shards[shard]
+                .tx
+                .as_ref()
+                .expect("ingest queues live as long as the index")
+                .send(ShardBatch { docs })
+                .expect("ingest worker outlives the index");
+        }
+        Ok(ids)
+    }
+
+    /// Inserts one vector; returns its global id.
+    pub fn insert(&self, v: SparseVector) -> Result<u32> {
+        Ok(self.insert_batch(std::slice::from_ref(&v))?[0])
+    }
+
+    /// Visibility barrier: blocks until every routed point has been
+    /// drained from the shard queues and sealed (so all of them are
+    /// query-visible). Does *not* wait for background merges — answers are
+    /// identical either way.
+    pub fn flush(&self) {
+        for shard in &self.shards {
+            while shard.pending.load(Ordering::SeqCst) != 0 {
+                // A paced firehose can take a while; sleep instead of
+                // spinning so the ingest threads keep the core.
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            // Seal anything a seal_min_points > 1 config left buffered.
+            shard.engine.seal();
+        }
+    }
+
+    /// Full quiesce: [`flush`](Self::flush), then fold every shard's
+    /// sealed generations into its static tables (waiting out in-flight
+    /// background merges first).
+    pub fn quiesce(&self) {
+        self.flush();
+        for shard in &self.shards {
+            shard.engine.flush();
+        }
+    }
+
+    /// Starts a background merge on every shard that has sealed data;
+    /// returns how many shards started one. Merges on different shards
+    /// build concurrently — with each other, with ingest, and with
+    /// queries.
+    pub fn merge_all_in_background(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.engine.merge_in_background())
+            .count()
+    }
+
+    /// True while any shard has a background merge building.
+    pub fn any_merge_in_flight(&self) -> bool {
+        self.shards.iter().any(|s| s.engine.merge_in_flight())
+    }
+
+    /// Blocks until every shard's in-flight background merge (if any) has
+    /// published. Does not force new merges — see
+    /// [`quiesce`](Self::quiesce) for that.
+    pub fn wait_for_merges(&self) {
+        for shard in &self.shards {
+            shard.engine.wait_for_merge();
+        }
+    }
+
+    /// Tombstones a point by global id; returns `false` if unknown or
+    /// already deleted. If the point is still in flight in its shard's
+    /// ingest queue, this waits (sleeping, not spinning — a paced
+    /// firehose can take a while) for it to land first; the id was
+    /// assigned at routing time, so it arrives unless the shard's ingest
+    /// worker has died, in which case this returns `false` instead of
+    /// waiting forever.
+    pub fn delete(&self, id: u32) -> bool {
+        let local = {
+            let locals = self.locals.read().unwrap();
+            match locals.get(id as usize) {
+                Some(&l) => l,
+                None => return false,
+            }
+        };
+        let shard = &self.shards[self.route(id)];
+        while shard.engine.len() <= local as usize {
+            if shard.worker.as_ref().is_none_or(JoinHandle::is_finished) {
+                // The ingest worker exited while the point was still in
+                // flight: it will never land.
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        shard.engine.delete(local)
+    }
+
+    /// The stored vector for global id `id`, or `None` when the id is
+    /// unknown, still in flight, or purged by a past merge.
+    pub fn vector(&self, id: u32) -> Option<SparseVector> {
+        let local = *self.locals.read().unwrap().get(id as usize)?;
+        self.shards[self.route(id)].engine.engine().vector(local)
+    }
+
+    /// Aggregate accounting. Lock-free with respect to the router (so a
+    /// monitoring thread never stalls behind a back-pressured
+    /// `insert_batch`): per-shard occupancy is read as drained points
+    /// plus queued points, an advisory snapshot that can momentarily lag
+    /// an in-flight routing by a batch.
+    pub fn stats(&self) -> ShardedStats {
+        let engines: Vec<EngineStats> = self.shards.iter().map(|s| s.engine.stats()).collect();
+        let points_per_shard = self
+            .shards
+            .iter()
+            .zip(&engines)
+            .map(|(s, e)| e.total_points + s.pending.load(Ordering::SeqCst) as usize)
+            .collect();
+        ShardedStats {
+            points_per_shard,
+            merges: engines.iter().map(|e| e.merges).sum(),
+            engines,
+        }
+    }
+
+    /// Most recent merge reports, one per shard.
+    pub fn last_merges(&self) -> Vec<MergeReport> {
+        self.shards.iter().map(|s| s.engine.last_merge()).collect()
+    }
+
+    /// Answers one [`SearchRequest`] with the index's own fan-out pool —
+    /// see [`search_with`](Self::search_with).
+    pub fn search(&self, req: &SearchRequest) -> CoreResult<SearchResponse> {
+        self.search_with(req, &self.fanout)
+    }
+
+    /// Answers one [`SearchRequest`]: one work-stealing task per shard
+    /// pins that shard's epoch and answers the whole request locally
+    /// (shard-local scratch, serial per-shard pool), then the coordinator
+    /// translates every hit to its global id (attributing the owning shard
+    /// in [`SearchHit::node`]), concatenates radius answers exactly, and
+    /// k-way re-ranks k-NN answers by `(distance, global id)` — the same
+    /// tie-break a single engine applies, so answer sets are
+    /// bit-identical.
+    ///
+    /// Counters aggregate across shards; [`SearchResponse::epoch`] is
+    /// `None` (each shard pins its own).
+    pub fn search_with(
+        &self,
+        req: &SearchRequest,
+        pool: &ThreadPool,
+    ) -> CoreResult<SearchResponse> {
+        req.validate(self.dim)?;
+        let start = Instant::now();
+        let partials: Vec<CoreResult<SearchResponse>> =
+            pool.parallel_map(self.shards.iter(), |shard| shard.engine.search(req));
+        // Read-lock every shard's local→global map once for the whole
+        // translation (queries only ever read these; writers append).
+        let globals: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.globals.read().unwrap())
+            .collect();
+        merge_partial_responses(
+            req.queries().len(),
+            req.mode(),
+            start,
+            partials,
+            |shard_id, h| SearchHit {
+                node: shard_id as u32,
+                index: globals[shard_id][h.index as usize],
+                distance: h.distance,
+            },
+            rank_top_k_global,
+        )
+    }
+}
+
+impl SearchBackend for ShardedIndex {
+    fn search(&self, req: &SearchRequest, pool: &ThreadPool) -> CoreResult<SearchResponse> {
+        ShardedIndex::search_with(self, req, pool)
+    }
+}
+
+impl Drop for ShardedIndex {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            drop(shard.tx.take()); // close the queue: the worker drains and exits
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.worker.take() {
+                if let Err(payload) = handle.join() {
+                    // Re-raise ingest panics instead of swallowing them;
+                    // a second panic while already unwinding would abort.
+                    if !std::thread::panicking() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("shards", &self.shards.len())
+            .field("points", &self.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// SplitMix64 finalizer over the id — the stable routing hash.
+fn route_hash(id: u32) -> u64 {
+    let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The shard's ingest thread: drains the queue into the engine, optionally
+/// pacing arrivals to `points_per_sec`.
+///
+/// Pacing is a deadline that advances by `batch / rate` per batch and
+/// clamps to *now* whenever the stream has been idle — so the rate always
+/// applies to the current burst: there is no catch-up surge after a lull
+/// and no phantom delay carried over from earlier traffic (e.g. an
+/// unpaced-feeling preload would otherwise push every later batch's due
+/// time out by its size).
+fn spawn_ingest_worker(
+    engine: StreamingEngine,
+    rx: Receiver<ShardBatch>,
+    pending: Arc<AtomicU64>,
+    rate: Option<f64>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut next_due = Instant::now();
+        while let Ok(batch) = rx.recv() {
+            if let Some(points_per_sec) = rate {
+                let now = Instant::now();
+                if next_due > now {
+                    std::thread::sleep(next_due - now);
+                }
+                next_due = next_due.max(now)
+                    + Duration::from_secs_f64(batch.docs.len() as f64 / points_per_sec);
+            }
+            engine
+                .insert_batch(&batch.docs)
+                .expect("routing pre-validated dimensions and capacity");
+            pending.fetch_sub(batch.docs.len() as u64, Ordering::SeqCst);
+        }
+    })
+}
+
+/// Resolves the model-driven shard count for `profile` and the per-shard
+/// engine template: Section 7's query-cost model evaluated at every
+/// candidate count, over a synthetic distance sample at the paper's
+/// operating point (most of the corpus far from the query, a thin
+/// near-duplicate band inside the radius).
+///
+/// `node.capacity` is taken as the *expected total corpus size* (strong
+/// scaling: the prediction divides it across shards, matching
+/// [`PerformanceModel::predict_sharded_query_batch`]'s `n` semantics).
+/// Since every shard is built with that same capacity, each keeps
+/// full-corpus headroom for routing skew; an index deliberately filled
+/// toward the `S·C` aggregate should size the shard count explicitly
+/// with [`ShardedIndexBuilder::shards`] instead.
+fn predict_shard_count(profile: &MachineProfile, node: &EngineConfig) -> usize {
+    let params = &node.params;
+    let n = node.capacity.max(1);
+    // Synthetic distance sample: 2% duplicates near 0, 8% at the radius
+    // shoulder, the rest spread toward orthogonality — the shape of the
+    // paper's tweet-distance histogram (Figure 3).
+    let mut sample = Vec::with_capacity(100);
+    for i in 0..100u32 {
+        let t = match i {
+            0..=1 => 0.05,
+            2..=9 => params.radius() as f32,
+            _ => 0.9 + 0.7 * (i as f32 - 10.0) / 90.0,
+        };
+        sample.push(t);
+    }
+    let (e_coll, e_uniq) = estimate_candidates(&sample, n, params.k(), params.m());
+    let model = PerformanceModel::new(*profile);
+    let max = profile.threads.clamp(1, MAX_MODEL_SHARDS);
+    model.pick_shard_count(MODEL_BATCH_QUERIES, n, 7.2, e_coll, e_uniq, params, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plsh_core::params::PlshParams;
+    use plsh_core::rng::SplitMix64;
+
+    fn params(dim: u32) -> PlshParams {
+        PlshParams::builder(dim)
+            .k(6)
+            .m(6)
+            .radius(0.9)
+            .seed(11)
+            .build()
+            .unwrap()
+    }
+
+    fn random_vecs(n: usize, seed: u64) -> Vec<SparseVector> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let a = rng.next_below(64) as u32;
+                let b = (a + 1 + rng.next_below(63) as u32) % 64;
+                SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)]).unwrap()
+            })
+            .collect()
+    }
+
+    fn sharded(shards: usize, capacity: usize) -> ShardedIndex {
+        ShardedIndex::builder(EngineConfig::new(params(64), capacity))
+            .shards(shards)
+            .threads(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards() {
+        let err = ShardedIndex::builder(EngineConfig::new(params(64), 10))
+            .shards(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Topology(_)));
+    }
+
+    #[test]
+    fn model_driven_default_picks_a_sane_count() {
+        let index = ShardedIndex::builder(EngineConfig::new(params(64), 10_000))
+            .machine_profile(MachineProfile::paper())
+            .threads(2)
+            .build()
+            .unwrap();
+        assert!(index.num_shards() >= 1);
+        assert!(index.num_shards() <= MachineProfile::paper().threads);
+    }
+
+    #[test]
+    fn routing_is_stable_and_roughly_even() {
+        let index = sharded(4, 10_000);
+        let mut counts = vec![0usize; 4];
+        for id in 0..8_000u32 {
+            let s = index.route(id);
+            assert_eq!(s, index.route(id), "routing must be deterministic");
+            counts[s] += 1;
+        }
+        for &c in &counts {
+            assert!((1_600..=2_400).contains(&c), "skewed routing: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn insert_flush_query_roundtrip() {
+        let index = sharded(3, 1_000);
+        let vs = random_vecs(120, 1);
+        let ids = index.insert_batch(&vs).unwrap();
+        assert_eq!(ids, (0..120).collect::<Vec<u32>>());
+        index.flush();
+        assert_eq!(index.visible_len(), 120);
+        for (v, &gid) in vs.iter().zip(&ids) {
+            let resp = index.search(&SearchRequest::query(v.clone())).unwrap();
+            assert!(
+                resp.hits()
+                    .iter()
+                    .any(|h| h.index == gid && h.distance < 1e-3),
+                "point {gid} not found"
+            );
+        }
+        // Shards report the routed occupancy.
+        let stats = index.stats();
+        assert_eq!(stats.total_points(), 120);
+        assert!(stats.routing_imbalance() < 1.8);
+    }
+
+    #[test]
+    fn capacity_check_is_all_or_nothing() {
+        let index = sharded(2, 30);
+        let vs = random_vecs(100, 2);
+        // 100 points over 2 shards of 30 must fail before anything lands.
+        assert!(index.insert_batch(&vs).is_err());
+        assert_eq!(index.len(), 0);
+        index.flush();
+        assert_eq!(index.visible_len(), 0);
+        // A batch that fits routes fine afterwards.
+        index.insert_batch(&vs[..40]).unwrap();
+        index.flush();
+        assert_eq!(index.visible_len(), 40);
+    }
+
+    #[test]
+    fn dimension_errors_abort_before_routing() {
+        let index = sharded(2, 100);
+        let bad = SparseVector::unit(vec![(64, 1.0)]).unwrap();
+        assert!(index.insert(bad).is_err());
+        assert_eq!(index.len(), 0);
+    }
+
+    #[test]
+    fn delete_by_global_id_waits_for_inflight_points() {
+        let index = sharded(3, 1_000);
+        let vs = random_vecs(60, 3);
+        let ids = index.insert_batch(&vs).unwrap();
+        // Delete immediately — the point may still be queued.
+        assert!(index.delete(ids[7]));
+        assert!(!index.delete(ids[7]), "double delete reports false");
+        assert!(!index.delete(9_999), "unknown id reports false");
+        index.flush();
+        let resp = index.search(&SearchRequest::query(vs[7].clone())).unwrap();
+        assert!(resp.hits().iter().all(|h| h.index != ids[7]));
+    }
+
+    #[test]
+    fn vector_roundtrips_by_global_id() {
+        let index = sharded(4, 1_000);
+        let vs = random_vecs(40, 4);
+        let ids = index.insert_batch(&vs).unwrap();
+        index.flush();
+        for (v, &gid) in vs.iter().zip(&ids) {
+            assert_eq!(index.vector(gid).as_ref(), Some(v));
+        }
+        assert_eq!(index.vector(999), None);
+    }
+
+    #[test]
+    fn knn_merge_matches_global_ranking() {
+        let index = sharded(3, 1_000);
+        let vs = random_vecs(150, 5);
+        index.insert_batch(&vs).unwrap();
+        index.flush();
+        let resp = index
+            .search(&SearchRequest::query(vs[0].clone()).top_k(5))
+            .unwrap();
+        let hits = resp.hits();
+        assert!(!hits.is_empty());
+        assert!(hits.len() <= 5);
+        assert!(hits.windows(2).all(|w| {
+            w[0].distance < w[1].distance
+                || (w[0].distance == w[1].distance && w[0].index < w[1].index)
+        }));
+        assert_eq!(hits[0].index, 0, "self is the nearest neighbor");
+    }
+
+    #[test]
+    fn background_merges_overlap_on_multiple_shards() {
+        let index = ShardedIndex::builder(EngineConfig::new(params(64), 4_000).manual_merge())
+            .shards(3)
+            .threads(2)
+            .build()
+            .unwrap();
+        let vs = random_vecs(900, 6);
+        for chunk in vs.chunks(90) {
+            index.insert_batch(chunk).unwrap();
+        }
+        index.flush();
+        let started = index.merge_all_in_background();
+        assert_eq!(started, 3, "every shard has sealed data to merge");
+        // Queries stay correct whatever phase each shard's merge is in.
+        for probe in (0..900).step_by(113) {
+            let resp = index
+                .search(&SearchRequest::query(vs[probe].clone()))
+                .unwrap();
+            assert!(resp.hits().iter().any(|h| h.index == probe as u32));
+        }
+        index.quiesce();
+        assert_eq!(index.stats().merges, 3);
+        for shard in 0..3 {
+            assert_eq!(index.shard(shard).engine().delta_len(), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_ingest_and_query_smoke() {
+        let index = Arc::new(sharded(3, 10_000));
+        let vs = random_vecs(3_000, 7);
+        let writer = {
+            let index = index.clone();
+            let vs = vs.clone();
+            std::thread::spawn(move || {
+                for chunk in vs.chunks(100) {
+                    index.insert_batch(chunk).unwrap();
+                }
+                index.flush();
+            })
+        };
+        let reader = {
+            let index = index.clone();
+            let vs = vs.clone();
+            std::thread::spawn(move || {
+                let mut checked = 0;
+                while checked < 50 {
+                    let visible = index.visible_len();
+                    if visible == 0 {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let probe = (checked * 37) % visible.min(vs.len());
+                    let resp = index
+                        .search(&SearchRequest::query(vs[probe].clone()))
+                        .unwrap();
+                    // The probe's own id may or may not be visible yet, but
+                    // the search must never error or return stale ids.
+                    for hit in resp.hits() {
+                        assert!((hit.index as usize) < index.len());
+                    }
+                    checked += 1;
+                }
+            })
+        };
+        writer.join().unwrap();
+        reader.join().unwrap();
+        index.quiesce();
+        assert_eq!(index.visible_len(), 3_000);
+        for probe in [0usize, 1_499, 2_999] {
+            let resp = index
+                .search(&SearchRequest::query(vs[probe].clone()))
+                .unwrap();
+            assert!(resp.hits().iter().any(|h| h.index == probe as u32));
+        }
+    }
+
+    #[test]
+    fn paced_ingest_throttles_arrivals() {
+        let index = ShardedIndex::builder(EngineConfig::new(params(64), 1_000))
+            .shards(2)
+            .threads(1)
+            .ingest_rate(400.0)
+            .build()
+            .unwrap();
+        let t0 = Instant::now();
+        let vs = random_vecs(80, 8);
+        for chunk in vs.chunks(10) {
+            index.insert_batch(chunk).unwrap();
+        }
+        index.flush();
+        // ~40 points per shard at 400/s ⇒ the drain takes a measurable
+        // fraction of 100 ms (first batch releases immediately).
+        assert!(
+            t0.elapsed() >= Duration::from_millis(40),
+            "pacing must throttle the per-shard firehose, took {:?}",
+            t0.elapsed()
+        );
+    }
+}

@@ -10,7 +10,13 @@ use plsh_core::sparse::SparseVector;
 use plsh_parallel::ThreadPool;
 
 fn params() -> PlshParams {
-    PlshParams::builder(32).k(4).m(4).radius(0.9).seed(2).build().unwrap()
+    PlshParams::builder(32)
+        .k(4)
+        .m(4)
+        .radius(0.9)
+        .seed(2)
+        .build()
+        .unwrap()
 }
 
 fn vectors(n: usize, seed: u64) -> Vec<SparseVector> {
@@ -42,7 +48,7 @@ proptest! {
             nodes,
             window_size,
         );
-        let mut cluster = Cluster::new(config, &pool).unwrap();
+        let cluster = Cluster::new(config, &pool).unwrap();
         let vs = vectors(stream_len, seed);
         let placed = cluster.insert_batch(&vs, &pool).unwrap();
 
@@ -81,7 +87,7 @@ proptest! {
     ) {
         let pool = ThreadPool::new(2);
         let config = ClusterConfig::new(EngineConfig::new(params(), 30), 3, 3);
-        let mut cluster = Cluster::new(config, &pool).unwrap();
+        let cluster = Cluster::new(config, &pool).unwrap();
         let vs = vectors(stream_len, seed);
         cluster.insert_batch(&vs, &pool).unwrap();
         // Coordinator answers = union of per-node answers.

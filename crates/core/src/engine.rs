@@ -41,7 +41,9 @@ use crate::params::PlshParams;
 use crate::query::{
     self, BatchStats, Neighbor, QueryContext, QueryScratch, QueryStrategy, ScratchPool,
 };
-use crate::search::{rank_top_k, SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
+use crate::search::{
+    rank_top_k, SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse,
+};
 use crate::sparse::{CrsMatrix, SparseVector};
 use crate::table::{DeltaGeneration, DeltaLayout, StaticTables};
 
@@ -165,7 +167,9 @@ struct DeletionBitmap {
 impl DeletionBitmap {
     fn new(capacity: usize) -> Self {
         Self {
-            words: (0..capacity.div_ceil(64)).map(|_| AtomicU64::new(0)).collect(),
+            words: (0..capacity.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             count: AtomicUsize::new(0),
         }
     }
@@ -191,12 +195,19 @@ impl DeletionBitmap {
 
     /// Plain-integer snapshot of the words (the merge's purge decision).
     fn snapshot(&self) -> Vec<u64> {
-        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// A copy of this bitmap with the bits of `purged` ids reclaimed.
     fn cloned_without(&self, purged: &[u32]) -> Self {
-        let mut words: Vec<u64> = self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect();
+        let mut words: Vec<u64> = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .collect();
         for &id in purged {
             words[(id >> 6) as usize] &= !(1u64 << (id & 63));
         }
@@ -822,11 +833,13 @@ impl Engine {
         if let Some(r) = req.radius_override() {
             ctx.radius = r;
         }
-        // k-NN ranks everything the tables surface: radius π admits every
-        // candidate, and the post-pass keeps the k closest.
+        // k-NN ranks everything the tables surface — radius π admits
+        // every candidate and the post-pass keeps the k closest — unless
+        // the request set an explicit radius, which then acts as a
+        // distance cap ("the k nearest within R").
         let top_k = match req.mode() {
             SearchMode::Knn(k) => {
-                ctx.radius = std::f32::consts::PI;
+                ctx.radius = req.radius_override().unwrap_or(std::f32::consts::PI);
                 Some(k)
             }
             SearchMode::Radius => None,
@@ -1008,7 +1021,8 @@ mod tests {
         for (i, v) in vs.iter().enumerate() {
             let hits = e.query(v);
             assert!(
-                hits.iter().any(|h| h.index == i as u32 && h.distance < 1e-3),
+                hits.iter()
+                    .any(|h| h.index == i as u32 && h.distance < 1e-3),
                 "point {i} not found pre-merge"
             );
         }
@@ -1255,8 +1269,7 @@ mod tests {
         let pool = ThreadPool::new(1);
         let mut rng = SplitMix64::new(8);
         let vs: Vec<SparseVector> = (0..60).map(|_| random_vec(&mut rng, 64)).collect();
-        let dense =
-            Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
+        let dense = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
         let lazy = Engine::new(
             EngineConfig::new(params(64), 100)
                 .manual_merge()
@@ -1297,7 +1310,10 @@ mod tests {
         for qid in [0u32, 33, 119] {
             let q = vs[qid as usize].clone();
             let resp = e
-                .search(&SearchRequest::query(q.clone()).top_k(5).with_stats(), &pool)
+                .search(
+                    &SearchRequest::query(q.clone()).top_k(5).with_stats(),
+                    &pool,
+                )
                 .unwrap();
             let hits = resp.hits();
             assert!(hits.len() <= 5);
@@ -1314,6 +1330,35 @@ mod tests {
             let stats = resp.stats.expect("requested stats");
             assert!(stats.totals.unique_candidates >= hits.len() as u64);
         }
+    }
+
+    #[test]
+    fn knn_radius_override_caps_distance() {
+        let pool = ThreadPool::new(1);
+        let e = Engine::new(EngineConfig::new(params(64), 200).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(22);
+        let vs: Vec<SparseVector> = (0..150).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs, &pool).unwrap();
+        let q = vs[0].clone();
+        let uncapped = e
+            .search(&SearchRequest::query(q.clone()).top_k(usize::MAX), &pool)
+            .unwrap();
+        let capped = e
+            .search(
+                &SearchRequest::query(q).top_k(usize::MAX).with_radius(0.5),
+                &pool,
+            )
+            .unwrap();
+        assert!(capped.hits().iter().all(|h| h.distance <= 0.5));
+        // The capped ranking is exactly the uncapped one truncated at R.
+        let expect: Vec<_> = uncapped
+            .hits()
+            .iter()
+            .copied()
+            .filter(|h| h.distance <= 0.5)
+            .collect();
+        assert_eq!(capped.hits(), expect.as_slice());
+        assert!(uncapped.hits().len() > capped.hits().len());
     }
 
     #[test]
@@ -1439,10 +1484,7 @@ mod tests {
                     let mut checked = 0u32;
                     while checked < 200 {
                         let info = e.epoch_info();
-                        assert_eq!(
-                            info.visible_points,
-                            info.static_points + info.sealed_points
-                        );
+                        assert_eq!(info.visible_points, info.static_points + info.sealed_points);
                         let visible = watermark.load(Ordering::Acquire);
                         if visible == 0 {
                             continue;

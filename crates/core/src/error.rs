@@ -64,7 +64,10 @@ impl fmt::Display for PlshError {
                 write!(f, "sparse indices must be strictly increasing")
             }
             PlshError::CapacityExceeded { capacity } => {
-                write!(f, "node capacity of {capacity} points exceeded; retire data first")
+                write!(
+                    f,
+                    "node capacity of {capacity} points exceeded; retire data first"
+                )
             }
             PlshError::NoFeasibleParams(msg) => {
                 write!(f, "no feasible (k, m) parameters: {msg}")

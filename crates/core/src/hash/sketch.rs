@@ -84,7 +84,11 @@ impl SketchMatrix {
     ) {
         let n = corpus.num_rows();
         assert!(from <= n);
-        assert_eq!(self.num_points(), from, "append must continue at the next row");
+        assert_eq!(
+            self.num_points(),
+            from,
+            "append must continue at the next row"
+        );
         let new_points = n - from;
         if new_points == 0 {
             return;
@@ -222,11 +226,7 @@ mod tests {
         let pool = ThreadPool::new(2);
         let corpus = tiny_corpus(
             32,
-            &[
-                &[(0, 1.0), (5, 2.0)],
-                &[(1, 1.0), (31, -1.0)],
-                &[(16, 3.0)],
-            ],
+            &[&[(0, 1.0), (5, 2.0)], &[(1, 1.0), (31, -1.0)], &[(16, 3.0)]],
         );
         let m = 4u32;
         let half_bits = 3u32;
@@ -256,8 +256,9 @@ mod tests {
         let (m, half_bits) = (5u32, 3u32);
         let planes = Hyperplanes::new_dense(24, m * half_bits, 42, &pool);
 
-        let views: Vec<(&[u32], &[f32])> =
-            (0..corpus.num_rows() as u32).map(|i| corpus.row(i)).collect();
+        let views: Vec<(&[u32], &[f32])> = (0..corpus.num_rows() as u32)
+            .map(|i| corpus.row(i))
+            .collect();
         let mut acc = Vec::new();
         let mut batch = vec![0u32; views.len() * m as usize];
         SketchMatrix::sketch_batch(&planes, half_bits, &views, &mut acc, &mut batch);
@@ -295,8 +296,9 @@ mod tests {
     #[test]
     fn incremental_append_matches_bulk() {
         let pool = ThreadPool::new(1);
-        let rows: Vec<Vec<(u32, f32)>> =
-            (0..10).map(|i| vec![(i as u32, 1.0), ((i + 3) as u32 % 20, 2.0)]).collect();
+        let rows: Vec<Vec<(u32, f32)>> = (0..10)
+            .map(|i| vec![(i as u32, 1.0), ((i + 3) as u32 % 20, 2.0)])
+            .collect();
         let row_refs: Vec<&[(u32, f32)]> = rows.iter().map(|r| r.as_slice()).collect();
         let corpus = tiny_corpus(20, &row_refs);
         let planes = Hyperplanes::new_dense(20, 3 * 2, 8, &pool);
@@ -308,11 +310,15 @@ mod tests {
         let mut inc = SketchMatrix::new(3, 2);
         let mut partial = CrsMatrix::new(20);
         for r in &rows[..4] {
-            partial.push(&SparseVector::unit(r.clone()).unwrap()).unwrap();
+            partial
+                .push(&SparseVector::unit(r.clone()).unwrap())
+                .unwrap();
         }
         inc.append_from(&partial, &planes, 0, &pool, true);
         for r in &rows[4..] {
-            partial.push(&SparseVector::unit(r.clone()).unwrap()).unwrap();
+            partial
+                .push(&SparseVector::unit(r.clone()).unwrap())
+                .unwrap();
         }
         inc.append_from(&partial, &planes, 4, &pool, true);
 

@@ -230,8 +230,8 @@ impl PerformanceModel {
     /// row of `nnz` non-zeros.
     pub fn t_q3_cycles(&self, nnz: f64) -> f64 {
         let bandwidth = 256.0 / self.machine.bytes_per_cycle + 1.0;
-        let compute = (ops::Q3_PER_CANDIDATE + ops::Q3_PER_NONZERO * nnz)
-            / self.machine.threads as f64;
+        let compute =
+            (ops::Q3_PER_CANDIDATE + ops::Q3_PER_NONZERO * nnz) / self.machine.threads as f64;
         bandwidth.max(compute)
     }
 
@@ -312,7 +312,87 @@ impl PerformanceModel {
             step_q3: self.machine.cycles_to_duration(q3),
         }
     }
+
+    /// Models one query batch fanned out over `shards` shard-local engines
+    /// (the `ShardedIndex` execution shape): each shard task runs
+    /// single-threaded, the `shards` tasks are scheduled in waves of
+    /// `machine.threads`, and every shard re-hashes the query batch (Q1 is
+    /// per node in the paper's broadcast too, Section 4) before probing its
+    /// `n / shards` slice of the corpus.
+    ///
+    /// Collisions and unique candidates split evenly across shards (hash
+    /// routing is uniform), so the Q2/Q3 *work* is constant in `shards` and
+    /// the prediction trades Q1 duplication plus per-shard fan-out overhead
+    /// against wave parallelism — exactly the tension
+    /// [`pick_shard_count`](Self::pick_shard_count) minimizes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn predict_sharded_query_batch(
+        &self,
+        queries: usize,
+        n: usize,
+        nnz: f64,
+        e_collisions: f64,
+        e_unique: f64,
+        params: &PlshParams,
+        shards: usize,
+    ) -> Duration {
+        let shards = shards.max(1);
+        let qf = queries as f64;
+        let sf = shards as f64;
+        // Per-shard, single-threaded model: the fan-out pool parallelizes
+        // across shards, not within one.
+        let mut one = self.machine;
+        one.threads = 1;
+        let per = PerformanceModel::new(one);
+        // Q1 duplicated per shard; hashing_cycles_per_point already divides
+        // by SIMD width.
+        let q1 = per.hashing_cycles_per_point(nnz, params) * qf;
+        let q2 = (per.t_q2_cycles() * e_collisions / sf + per.q2_scan_cycles(n / shards)) * qf;
+        let q3 = per.t_q3_cycles(nnz) * e_unique / sf * qf;
+        let per_shard = q1 + q2 + q3 + SHARD_FANOUT_OVERHEAD_CYCLES;
+        let waves = shards.div_ceil(self.machine.threads.max(1)) as f64;
+        self.machine.cycles_to_duration(per_shard * waves)
+    }
+
+    /// Section-7-style shard-count selection: the shard count in
+    /// `1..=max_shards` whose [`predict_sharded_query_batch`](Self::predict_sharded_query_batch)
+    /// time is minimal for this machine profile. Ties resolve to the
+    /// smallest count (fewer shards means less Q1 duplication and less
+    /// merge bookkeeping for the same predicted latency).
+    #[allow(clippy::too_many_arguments)]
+    pub fn pick_shard_count(
+        &self,
+        queries: usize,
+        n: usize,
+        nnz: f64,
+        e_collisions: f64,
+        e_unique: f64,
+        params: &PlshParams,
+        max_shards: usize,
+    ) -> usize {
+        let mut best = (1usize, Duration::MAX);
+        for s in 1..=max_shards.max(1) {
+            let t = self.predict_sharded_query_batch(
+                queries,
+                n,
+                nnz,
+                e_collisions,
+                e_unique,
+                params,
+                s,
+            );
+            if t < best.1 {
+                best = (s, t);
+            }
+        }
+        best.0
+    }
 }
+
+/// Fixed per-shard fan-out cost per batch (task dispatch, scratch checkout,
+/// response translation), in cycles. Small against any real batch, but it
+/// keeps the predicted optimum finite when Q2/Q3 vanish.
+const SHARD_FANOUT_OVERHEAD_CYCLES: f64 = 20_000.0;
 
 /// Relative error `|actual − estimate| / actual`, the Figure 6 metric.
 pub fn relative_error(estimate: Duration, actual: Duration) -> f64 {
@@ -410,6 +490,47 @@ mod tests {
         assert_eq!(four.t_q3_cycles(7.2), eight.t_q3_cycles(7.2));
         // …but on one thread the compute floor can dominate.
         assert!(one.t_q3_cycles(7.2) >= eight.t_q3_cycles(7.2));
+    }
+
+    #[test]
+    fn sharded_prediction_prefers_parallel_fanout_on_many_threads() {
+        let model = PerformanceModel::new(MachineProfile::paper()); // 16 threads
+        let p = paper_params();
+        let one =
+            model.predict_sharded_query_batch(1000, 10_000_000, 7.2, 120_000.0, 60_000.0, &p, 1);
+        let eight =
+            model.predict_sharded_query_batch(1000, 10_000_000, 7.2, 120_000.0, 60_000.0, &p, 8);
+        assert!(eight < one, "8 shards on 16 threads must beat 1 shard");
+        let picked = model.pick_shard_count(1000, 10_000_000, 7.2, 120_000.0, 60_000.0, &p, 16);
+        assert!(
+            picked > 1,
+            "a 16-thread machine wants fan-out, got {picked}"
+        );
+        assert!(picked <= 16);
+    }
+
+    #[test]
+    fn sharded_prediction_on_one_thread_avoids_wide_fanout() {
+        let mut machine = MachineProfile::paper();
+        machine.threads = 1;
+        let model = PerformanceModel::new(machine);
+        let p = paper_params();
+        // One thread: every extra shard re-runs Q1 serially, so the picked
+        // count must stay small.
+        let picked = model.pick_shard_count(1000, 1_000_000, 7.2, 12_000.0, 6_000.0, &p, 16);
+        assert_eq!(picked, 1, "serial machine must not fan out");
+    }
+
+    #[test]
+    fn sharded_prediction_waves_penalize_oversubscription() {
+        let mut machine = MachineProfile::paper();
+        machine.threads = 4;
+        let model = PerformanceModel::new(machine);
+        let p = paper_params();
+        let four = model.predict_sharded_query_batch(100, 1_000_000, 7.2, 12_000.0, 6_000.0, &p, 4);
+        let five = model.predict_sharded_query_batch(100, 1_000_000, 7.2, 12_000.0, 6_000.0, &p, 5);
+        // A fifth shard forces a second wave on four threads.
+        assert!(five > four);
     }
 
     #[test]

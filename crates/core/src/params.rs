@@ -227,7 +227,9 @@ impl PlshParamsBuilder {
     /// Validates and builds the parameter set.
     pub fn build(self) -> Result<PlshParams> {
         if self.dim == 0 {
-            return Err(PlshError::InvalidParams("dimensionality D must be > 0".into()));
+            return Err(PlshError::InvalidParams(
+                "dimensionality D must be > 0".into(),
+            ));
         }
         if self.k < 2 || !self.k.is_multiple_of(2) {
             return Err(PlshError::InvalidParams(format!(
@@ -372,7 +374,9 @@ impl ParamSelection {
             ));
         }
         if !(input.radius > 0.0 && input.radius < std::f64::consts::PI) {
-            return Err(PlshError::InvalidParams("radius must lie in (0, pi)".into()));
+            return Err(PlshError::InvalidParams(
+                "radius must lie in (0, pi)".into(),
+            ));
         }
         let mut candidates = Vec::new();
         let mut best: Option<(f64, &ParamCandidate)> = None;
@@ -384,8 +388,8 @@ impl ParamSelection {
             };
             let l = m * (m - 1) / 2;
             let (e_coll, e_uniq) = estimate_candidates(input.sample_distances, input.n, k, m);
-            let cost = input.cost.cycles_per_collision * e_coll
-                + input.cost.cycles_per_unique * e_uniq;
+            let cost =
+                input.cost.cycles_per_collision * e_coll + input.cost.cycles_per_unique * e_uniq;
             let mem = table_memory_bytes(k, m, input.n);
             candidates.push(ParamCandidate {
                 k,
@@ -567,9 +571,7 @@ mod tests {
     #[test]
     fn selection_picks_feasible_minimum() {
         // A sample with mass near the radius and far away.
-        let dists: Vec<f32> = (0..1000)
-            .map(|i| 0.5 + 2.0 * (i as f32 / 1000.0))
-            .collect();
+        let dists: Vec<f32> = (0..1000).map(|i| 0.5 + 2.0 * (i as f32 / 1000.0)).collect();
         let input = SelectionInput {
             dim: 1000,
             n: 100_000,

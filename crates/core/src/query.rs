@@ -332,7 +332,11 @@ pub fn execute_query_into(
         &mut scratch.acc,
         &mut scratch.half_keys,
     );
-    allpairs::table_keys(&scratch.half_keys, ctx.half_bits, &mut scratch.keys[..l_count]);
+    allpairs::table_keys(
+        &scratch.half_keys,
+        ctx.half_bits,
+        &mut scratch.keys[..l_count],
+    );
 
     let mut out = std::mem::take(&mut scratch.out);
     out.clear();
@@ -432,8 +436,7 @@ fn candidate_phase(
     } else {
         // Ablation baseline: tree set ("STL set") dedup.
         let mut set = BTreeSet::new();
-        for l in 0..l_count {
-            let key = keys[l];
+        for (l, &key) in keys.iter().enumerate() {
             if let Some(st) = ctx.static_tables {
                 for &id in st.bucket(l, key) {
                     stats.collisions += 1;
@@ -618,7 +621,11 @@ pub fn profile_batch(
             &mut scratch.acc,
             &mut scratch.half_keys,
         );
-        allpairs::table_keys(&scratch.half_keys, ctx.half_bits, &mut scratch.keys[..l_count]);
+        allpairs::table_keys(
+            &scratch.half_keys,
+            ctx.half_bits,
+            &mut scratch.keys[..l_count],
+        );
 
         // Q2: bucket reads + dedup + sorted extraction.
         let t0 = Instant::now();
@@ -730,7 +737,11 @@ pub fn execute_batch_pipelined(
             SketchMatrix::sketch_batch(ctx.planes, ctx.half_bits, &views, &mut acc, hk);
             for (qi, sketch) in hk.chunks(m).enumerate() {
                 let g = c * SKETCH_BATCH + qi;
-                allpairs::table_keys(sketch, ctx.half_bits, &mut all_keys[g * l_count..][..l_count]);
+                allpairs::table_keys(
+                    sketch,
+                    ctx.half_bits,
+                    &mut all_keys[g * l_count..][..l_count],
+                );
             }
         }
     }
@@ -739,9 +750,8 @@ pub fn execute_batch_pipelined(
     // chunks (still plenty for stealing to balance skew) so each claims a
     // per-worker scratch once, not once per query.
     let all_keys = &all_keys;
-    let chunk_results: Vec<Vec<(Vec<Neighbor>, QueryStats)>> = pool.parallel_map(
-        queries.chunks(FANOUT_CHUNK).enumerate(),
-        |(c, chunk)| {
+    let chunk_results: Vec<Vec<(Vec<Neighbor>, QueryStats)>> =
+        pool.parallel_map(queries.chunks(FANOUT_CHUNK).enumerate(), |(c, chunk)| {
             let mut scratch = scratches.take(n);
             let mut out = std::mem::take(&mut scratch.out);
             let results: Vec<(Vec<Neighbor>, QueryStats)> = chunk
@@ -767,11 +777,9 @@ pub fn execute_batch_pipelined(
             scratch.out = out;
             scratches.put(scratch);
             results
-        },
-    );
+        });
     let elapsed = start.elapsed();
-    let results: Vec<(Vec<Neighbor>, QueryStats)> =
-        chunk_results.into_iter().flatten().collect();
+    let results: Vec<(Vec<Neighbor>, QueryStats)> = chunk_results.into_iter().flatten().collect();
     collect_batch(results, queries.len(), elapsed)
 }
 
@@ -819,8 +827,7 @@ mod tests {
         for _ in 0..n {
             let a = rng.next_below(dim as u64) as u32;
             let b = (a + 1 + rng.next_below(dim as u64 - 1) as u32) % dim;
-            let v = SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)])
-                .unwrap();
+            let v = SparseVector::unit(vec![(a, 1.0), (b, rng.next_f64() as f32 + 0.1)]).unwrap();
             data.push(&v).unwrap();
         }
         let planes = Hyperplanes::new_dense(dim, m * half_bits, 7, &pool);
@@ -881,8 +888,12 @@ mod tests {
                 let (hits, _) = execute_query(&ctx(&f, strategy), &q, &mut scratch);
                 answers.push(sorted_hits(hits));
                 // The batched SIMD pipeline is part of the invariant too.
-                let (batched, _) =
-                    execute_batch_pipelined(&ctx(&f, strategy), std::slice::from_ref(&q), &pool, &scratches);
+                let (batched, _) = execute_batch_pipelined(
+                    &ctx(&f, strategy),
+                    std::slice::from_ref(&q),
+                    &pool,
+                    &scratches,
+                );
                 answers.push(sorted_hits(batched.into_iter().next().unwrap()));
             }
             for w in answers.windows(2) {
@@ -910,7 +921,9 @@ mod tests {
         let f = fixture(100, 4);
         let mut scratch = QueryScratch::new(f.m, f.half_bits, 100, f.data.dim());
         let q = f.data.row_vector(42);
-        let deleted: Vec<AtomicU64> = (0..100usize.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        let deleted: Vec<AtomicU64> = (0..100usize.div_ceil(64))
+            .map(|_| AtomicU64::new(0))
+            .collect();
         deleted[42 / 64].fetch_or(1 << 42, Ordering::Relaxed);
         let mut c = ctx(&f, QueryStrategy::optimized());
         c.deleted = Some(&deleted);
@@ -1050,8 +1063,14 @@ mod tests {
         let statics = StaticTables::build_prefix(&sk, 150, BuildStrategy::TwoLevelShared, &pool);
         let mut static_data = f.data.clone();
         static_data.truncate(150);
-        let mut g =
-            DeltaGeneration::new(150, f.data.dim(), f.m, f.half_bits, DeltaLayout::Adaptive, 50);
+        let mut g = DeltaGeneration::new(
+            150,
+            f.data.dim(),
+            f.m,
+            f.half_bits,
+            DeltaLayout::Adaptive,
+            50,
+        );
         let vs: Vec<SparseVector> = (150..200).map(|i| f.data.row_vector(i as u32)).collect();
         g.append(&vs, &f.planes, true, &pool).unwrap();
         let gens = [Arc::new(g)];

@@ -91,14 +91,18 @@ impl SearchRequest {
     }
 
     /// Switches to approximate k-nearest-neighbor mode: each query returns
-    /// its `k` closest candidates ascending by distance, radius ignored.
+    /// its `k` closest candidates ascending by distance. The backend's
+    /// configured radius is ignored; combine with
+    /// [`with_radius`](Self::with_radius) to cap how far a neighbor may
+    /// be ("the k nearest within `R`").
     pub fn top_k(mut self, k: usize) -> Self {
         self.mode = SearchMode::Knn(k);
         self
     }
 
     /// Overrides the backend's configured radius `R` for this request
-    /// only. Must lie in `(0, π]`.
+    /// only. Must lie in `(0, π]`. In k-NN mode (where the configured `R`
+    /// plays no role) this caps the reported neighbors' distance instead.
     pub fn with_radius(mut self, radius: f32) -> Self {
         self.radius = Some(radius);
         self
@@ -318,6 +322,78 @@ pub fn rank_top_k(hits: &mut Vec<SearchHit>, k: usize) {
     hits.truncate(k);
 }
 
+/// The k-way top-`k` merge for coordinators whose hits carry *global* ids:
+/// orders ascending by `(distance, index)` — ignoring the node attribution,
+/// which is bookkeeping rather than identity once ids are global — and
+/// keeps the closest `k`. With globally unique ids this tie-breaks exactly
+/// like [`rank_top_k`] does on a single node (where `node` is always 0), so
+/// a sharded backend's k-NN ranking is bit-identical to one big engine's.
+pub fn rank_top_k_global(hits: &mut Vec<SearchHit>, k: usize) {
+    hits.sort_by(|a, b| {
+        a.distance
+            .total_cmp(&b.distance)
+            .then(a.index.cmp(&b.index))
+            .then(a.node.cmp(&b.node))
+    });
+    hits.truncate(k);
+}
+
+/// The coordinator-side merge shared by every multi-node backend
+/// (`Cluster`'s broadcast and `ShardedIndex`'s fan-out): concatenates the
+/// per-node partial responses per query (running each hit through
+/// `translate(node, hit)` — node attribution for a broadcast, global-id
+/// translation for a sharded backend), aggregates the optional
+/// [`BatchStats`] counters and [`QueryPhaseTimings`], applies `rank` per
+/// query in k-NN mode, and stamps the aggregated wall time from `start`.
+///
+/// Centralizing this is what keeps the backends' answers from drifting:
+/// a new response field aggregates here once, for every coordinator.
+/// [`SearchResponse::epoch`] is always `None` (each node pins its own).
+pub fn merge_partial_responses(
+    num_queries: usize,
+    mode: SearchMode,
+    start: std::time::Instant,
+    partials: Vec<Result<SearchResponse>>,
+    mut translate: impl FnMut(usize, SearchHit) -> SearchHit,
+    rank: fn(&mut Vec<SearchHit>, usize),
+) -> Result<SearchResponse> {
+    let mut results: Vec<Vec<SearchHit>> = vec![Vec::new(); num_queries];
+    let mut stats: Option<BatchStats> = None;
+    let mut timings: Option<QueryPhaseTimings> = None;
+    for (node, partial) in partials.into_iter().enumerate() {
+        let resp = partial?;
+        for (q, hits) in resp.results.into_iter().enumerate() {
+            results[q].extend(hits.into_iter().map(|h| translate(node, h)));
+        }
+        if let Some(node_stats) = resp.stats {
+            let agg = stats.get_or_insert(BatchStats {
+                queries: num_queries as u64,
+                ..BatchStats::default()
+            });
+            agg.totals.merge(&node_stats.totals);
+        }
+        if let Some(node_timings) = resp.phase_timings {
+            let agg = timings.get_or_insert(QueryPhaseTimings::default());
+            agg.step_q2 += node_timings.step_q2;
+            agg.step_q3 += node_timings.step_q3;
+        }
+    }
+    if let SearchMode::Knn(k) = mode {
+        for hits in &mut results {
+            rank(hits, k);
+        }
+    }
+    if let Some(agg) = stats.as_mut() {
+        agg.elapsed = start.elapsed();
+    }
+    Ok(SearchResponse {
+        results,
+        stats,
+        phase_timings: timings,
+        epoch: None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -371,16 +447,66 @@ mod tests {
     #[test]
     fn rank_top_k_orders_and_truncates() {
         let mut hits = vec![
-            SearchHit { node: 1, index: 4, distance: 0.5 },
-            SearchHit { node: 0, index: 9, distance: 0.1 },
-            SearchHit { node: 0, index: 2, distance: 0.5 },
-            SearchHit { node: 0, index: 7, distance: 0.3 },
+            SearchHit {
+                node: 1,
+                index: 4,
+                distance: 0.5,
+            },
+            SearchHit {
+                node: 0,
+                index: 9,
+                distance: 0.1,
+            },
+            SearchHit {
+                node: 0,
+                index: 2,
+                distance: 0.5,
+            },
+            SearchHit {
+                node: 0,
+                index: 7,
+                distance: 0.3,
+            },
         ];
         rank_top_k(&mut hits, 3);
         assert_eq!(
             hits.iter().map(|h| (h.node, h.index)).collect::<Vec<_>>(),
             vec![(0, 9), (0, 7), (0, 2)],
             "ascending by distance, ties by (node, index)"
+        );
+    }
+
+    #[test]
+    fn rank_top_k_global_ignores_node_attribution() {
+        // Same distances as a single-node ranking, but scattered over
+        // shards: the global merge must order by (distance, index) alone.
+        let mut hits = vec![
+            SearchHit {
+                node: 3,
+                index: 4,
+                distance: 0.5,
+            },
+            SearchHit {
+                node: 0,
+                index: 9,
+                distance: 0.1,
+            },
+            SearchHit {
+                node: 2,
+                index: 2,
+                distance: 0.5,
+            },
+            SearchHit {
+                node: 1,
+                index: 7,
+                distance: 0.3,
+            },
+        ];
+        rank_top_k_global(&mut hits, 3);
+        assert_eq!(
+            hits.iter().map(|h| h.index).collect::<Vec<_>>(),
+            vec![9, 7, 2],
+            "tie at 0.5 resolves by global index, not by shard"
         );
     }
 

@@ -336,10 +336,8 @@ pub unsafe fn dot_via_mask_avx2(idx: &[u32], val: &[f32], qmask: &[u64], qvals: 
         let d = _mm256_loadu_si256(idx.as_ptr().add(i) as *const __m256i);
         // Gather the 8 bitvector words qmask[d >> 6] (two 4-wide gathers).
         let w = _mm256_srli_epi32::<6>(d);
-        let words_lo = _mm256_i32gather_epi64::<8>(
-            qmask.as_ptr() as *const i64,
-            _mm256_castsi256_si128(w),
-        );
+        let words_lo =
+            _mm256_i32gather_epi64::<8>(qmask.as_ptr() as *const i64, _mm256_castsi256_si128(w));
         let words_hi = _mm256_i32gather_epi64::<8>(
             qmask.as_ptr() as *const i64,
             _mm256_extracti128_si256::<1>(w),

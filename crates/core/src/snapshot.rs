@@ -353,7 +353,10 @@ mod tests {
         assert_eq!(restored.len(), engine.len());
         assert_eq!(restored.static_len(), engine.static_len());
         assert_eq!(restored.delta_len(), engine.delta_len());
-        assert_eq!(restored.stats().deleted_points, engine.stats().deleted_points);
+        assert_eq!(
+            restored.stats().deleted_points,
+            engine.stats().deleted_points
+        );
         for id in 0..engine.len() as u32 {
             let q = engine.vector(id).expect("no id was purged");
             let mut a: Vec<u32> = engine.query(&q).iter().map(|h| h.index).collect();
@@ -384,7 +387,10 @@ mod tests {
             .restore(&pool)
             .unwrap();
         assert_eq!(restored.stats().purged_points, engine.stats().purged_points);
-        assert_eq!(restored.stats().deleted_points, engine.stats().deleted_points);
+        assert_eq!(
+            restored.stats().deleted_points,
+            engine.stats().deleted_points
+        );
         for id in [7u32, 65, 20] {
             assert!(restored.is_deleted(id));
             // Purged ids no longer hand out their (retired) rows; the
@@ -400,7 +406,13 @@ mod tests {
     #[test]
     fn empty_engine_round_trips() {
         let pool = ThreadPool::new(1);
-        let params = PlshParams::builder(16).k(4).m(4).radius(0.9).seed(1).build().unwrap();
+        let params = PlshParams::builder(16)
+            .k(4)
+            .m(4)
+            .radius(0.9)
+            .seed(1)
+            .build()
+            .unwrap();
         let engine = Engine::new(EngineConfig::new(params, 10), &pool).unwrap();
         let mut bytes = Vec::new();
         engine.save_to(&mut bytes).unwrap();

@@ -112,7 +112,11 @@ impl SparseVector {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f32 {
-        self.values.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt() as f32
+        self.values
+            .iter()
+            .map(|v| (*v as f64).powi(2))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Number of non-zero components (`NNZ` in the paper's cost model).
@@ -329,7 +333,10 @@ mod tests {
 
     #[test]
     fn new_rejects_empty_and_nan() {
-        assert_eq!(SparseVector::new(vec![]).unwrap_err(), PlshError::EmptyVector);
+        assert_eq!(
+            SparseVector::new(vec![]).unwrap_err(),
+            PlshError::EmptyVector
+        );
         assert_eq!(
             SparseVector::new(vec![(0, f32::NAN)]).unwrap_err(),
             PlshError::NotNormalizable

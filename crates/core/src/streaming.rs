@@ -156,6 +156,17 @@ impl StreamingEngine {
         }
     }
 
+    /// Quiesces the write path: seals any buffered open generation, waits
+    /// for an in-flight background merge, then folds every remaining sealed
+    /// generation into the static epoch on this thread. On return the
+    /// engine is fully static (and every insert made before the call is
+    /// query-visible through the static tables).
+    pub fn flush(&self) {
+        self.seal();
+        self.wait_for_merge();
+        self.merge_now();
+    }
+
     /// True while a background merge is building.
     pub fn merge_in_flight(&self) -> bool {
         self.merger
@@ -265,6 +276,27 @@ mod tests {
         assert!(t.delete(id));
         assert!(s.query(&v).iter().all(|h| h.index != id));
         assert_eq!(s.len(), t.len());
+    }
+
+    #[test]
+    fn flush_seals_and_folds_everything_static() {
+        let s = StreamingEngine::new(
+            EngineConfig::new(params(64), 100)
+                .manual_merge()
+                .with_seal_min_points(50),
+            ThreadPool::new(1),
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(3);
+        let vs: Vec<SparseVector> = (0..20).map(|_| random_vec(&mut rng, 64)).collect();
+        s.insert_batch(&vs).unwrap();
+        // Below the seal threshold: buffered, invisible.
+        assert_eq!(s.engine().visible_len(), 0);
+        s.flush();
+        assert_eq!(s.engine().static_len(), 20, "flush must seal + merge");
+        for (i, v) in vs.iter().enumerate() {
+            assert!(s.query(v).iter().any(|h| h.index == i as u32), "point {i}");
+        }
     }
 
     #[test]

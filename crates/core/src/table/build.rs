@@ -161,12 +161,7 @@ where
     Partition { perm, offsets }
 }
 
-fn partition_serial<F>(
-    n: usize,
-    num_buckets: usize,
-    key_of: &F,
-    items: Option<&[u32]>,
-) -> Partition
+fn partition_serial<F>(n: usize, num_buckets: usize, key_of: &F, items: Option<&[u32]>) -> Partition
 where
     F: Fn(usize) -> u32 + Sync,
 {
@@ -253,11 +248,16 @@ mod tests {
     fn parallel_partition_matches_serial() {
         // Big enough to trigger the parallel path (>= 4096 items).
         let n = 20_000usize;
-        let keys: Vec<u32> = (0..n).map(|i| ((i * 2654435761) >> 7) as u32 % 64).collect();
+        let keys: Vec<u32> = (0..n)
+            .map(|i| ((i * 2654435761) >> 7) as u32 % 64)
+            .collect();
         let serial = partition_identity(n, 64, |pos| keys[pos], &ThreadPool::new(1));
         let parallel = partition_identity(n, 64, |pos| keys[pos], &ThreadPool::new(4));
         assert_eq!(serial.offsets, parallel.offsets);
-        assert_eq!(serial.perm, parallel.perm, "parallel scatter must be stable");
+        assert_eq!(
+            serial.perm, parallel.perm,
+            "parallel scatter must be stable"
+        );
         check_partition(&parallel, &keys, 64, None);
     }
 

@@ -111,8 +111,7 @@ impl Bins {
                 v.len() * std::mem::size_of::<Vec<u32>>()
                     + v.iter().map(|b| b.capacity() * 4).sum::<usize>()
             }
-            Bins::Sparse(m) => m.values().map(|b| 16 + b.capacity() * 4)
-                .sum::<usize>(),
+            Bins::Sparse(m) => m.values().map(|b| 16 + b.capacity() * 4).sum::<usize>(),
         }
     }
 }
@@ -189,9 +188,8 @@ impl DeltaTables {
         let half_bits = self.half_bits;
         // Tag each table with its pair once, then hand (pair, bins) tasks
         // to the pool: each task owns one table's bins exclusively.
-        let tasks: Vec<((u32, u32), &mut Bins)> = allpairs::pairs(m)
-            .zip(self.tables.iter_mut())
-            .collect();
+        let tasks: Vec<((u32, u32), &mut Bins)> =
+            allpairs::pairs(m).zip(self.tables.iter_mut()).collect();
         pool.parallel_tasks(tasks, |((a, b), bins)| {
             for &id in ids {
                 let key = allpairs::compose_key(
@@ -243,9 +241,10 @@ mod tests {
                 (rng.next_below(dim as u64) as u32, 0.5),
             ];
             corpus
-                .push(&SparseVector::unit(pairs).unwrap_or_else(|_| {
-                    SparseVector::unit(vec![(0, 1.0)]).unwrap()
-                }))
+                .push(
+                    &SparseVector::unit(pairs)
+                        .unwrap_or_else(|_| SparseVector::unit(vec![(0, 1.0)]).unwrap()),
+                )
                 .unwrap();
         }
         let planes = Hyperplanes::new_dense(dim, m * half_bits, 4, &pool);
@@ -266,8 +265,7 @@ mod tests {
             let mut found = 0;
             for key in 0..(1u32 << 6) {
                 for &id in delta.bucket(l, key) {
-                    let expect =
-                        allpairs::compose_key(sk.half_key(id, a), sk.half_key(id, b), 3);
+                    let expect = allpairs::compose_key(sk.half_key(id, a), sk.half_key(id, b), 3);
                     assert_eq!(key, expect);
                     found += 1;
                 }
@@ -287,7 +285,11 @@ mod tests {
         assert_eq!(direct.num_tables(), sparse.num_tables());
         for l in 0..direct.num_tables() {
             for key in 0..(1u32 << 4) {
-                assert_eq!(direct.bucket(l, key), sparse.bucket(l, key), "l={l} key={key}");
+                assert_eq!(
+                    direct.bucket(l, key),
+                    sparse.bucket(l, key),
+                    "l={l} key={key}"
+                );
             }
         }
     }

@@ -175,7 +175,8 @@ mod tests {
         let planes = Hyperplanes::new_dense(16, 2 * 2, 1, &pool);
         let v = SparseVector::unit(vec![(1, 1.0), (5, 2.0)]).unwrap();
         let mut g = DeltaGeneration::new(0, 16, 2, 2, DeltaLayout::Adaptive, 1);
-        g.append(std::slice::from_ref(&v), &planes, true, &pool).unwrap();
+        g.append(std::slice::from_ref(&v), &planes, true, &pool)
+            .unwrap();
         assert_eq!(g.data().row_vector(0), v);
     }
 }

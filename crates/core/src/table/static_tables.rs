@@ -237,11 +237,8 @@ impl StaticTables {
             let mut counts = vec![0u32; buckets];
             if let Some(p) = prev {
                 for key in 0..buckets as u32 {
-                    counts[key as usize] = p
-                        .bucket(l, key)
-                        .iter()
-                        .filter(|&&id| !dropped(id))
-                        .count() as u32;
+                    counts[key as usize] =
+                        p.bucket(l, key).iter().filter(|&&id| !dropped(id)).count() as u32;
                 }
             }
             for g in gens {
@@ -250,8 +247,11 @@ impl StaticTables {
                     if dropped(g.base() + local) {
                         continue;
                     }
-                    let key =
-                        allpairs::compose_key(sk.half_key(local, a), sk.half_key(local, b), half_bits);
+                    let key = allpairs::compose_key(
+                        sk.half_key(local, a),
+                        sk.half_key(local, b),
+                        half_bits,
+                    );
                     counts[key as usize] += 1;
                 }
             }
@@ -280,16 +280,16 @@ impl StaticTables {
                     if dropped(id) {
                         continue;
                     }
-                    let key =
-                        allpairs::compose_key(sk.half_key(local, a), sk.half_key(local, b), half_bits);
+                    let key = allpairs::compose_key(
+                        sk.half_key(local, a),
+                        sk.half_key(local, b),
+                        half_bits,
+                    );
                     entries[cursor[key as usize] as usize] = id;
                     cursor[key as usize] += 1;
                 }
             }
-            debug_assert!(cursor
-                .iter()
-                .zip(&offsets[1..])
-                .all(|(c, o)| c == o));
+            debug_assert!(cursor.iter().zip(&offsets[1..]).all(|(c, o)| c == o));
             StaticTable {
                 pair: (a, b),
                 offsets,
@@ -383,15 +383,13 @@ fn build_two_level(
         .map(|(a, b)| {
             let fresh;
             let part: &Partition = if shared {
-                first_level[a as usize].as_ref().expect("a < m-1 by pair order")
+                first_level[a as usize]
+                    .as_ref()
+                    .expect("a < m-1 by pair order")
             } else {
                 let start = Instant::now();
-                fresh = build::partition_identity(
-                    n,
-                    b1,
-                    |pos| sketches.half_key(pos as u32, a),
-                    pool,
-                );
+                fresh =
+                    build::partition_identity(n, b1, |pos| sketches.half_key(pos as u32, a), pool);
                 timings.step_i1 += start.elapsed();
                 &fresh
             };
@@ -490,8 +488,8 @@ fn second_level(
 mod tests {
     use super::*;
     use crate::hash::Hyperplanes;
-    use crate::sparse::{CrsMatrix, SparseVector};
     use crate::rng::SplitMix64;
+    use crate::sparse::{CrsMatrix, SparseVector};
 
     /// Random sparse corpus for construction tests.
     fn corpus(n: usize, dim: u32, seed: u64) -> CrsMatrix {
@@ -537,7 +535,10 @@ mod tests {
                     seen[id as usize] = true;
                 }
             }
-            assert!(seen.iter().all(|&s| s), "table {l} must contain every point");
+            assert!(
+                seen.iter().all(|&s| s),
+                "table {l} must contain every point"
+            );
         }
     }
 
@@ -647,12 +648,23 @@ mod tests {
 
         // No purges: the merge must reproduce the rebuild bucket for bucket.
         let no_purge = vec![0u64; 300usize.div_ceil(64)];
-        let merged =
-            StaticTables::merge_generations(Some(&prev), m, half_bits, 300, &gens, &no_purge, &pool);
+        let merged = StaticTables::merge_generations(
+            Some(&prev),
+            m,
+            half_bits,
+            300,
+            &gens,
+            &no_purge,
+            &pool,
+        );
         assert_eq!(merged.num_points(), 300);
         for l in 0..rebuilt.num_tables() {
             for key in 0..buckets {
-                assert_eq!(merged.bucket(l, key), rebuilt.bucket(l, key), "l={l} key={key}");
+                assert_eq!(
+                    merged.bucket(l, key),
+                    rebuilt.bucket(l, key),
+                    "l={l} key={key}"
+                );
             }
         }
 
@@ -677,8 +689,7 @@ mod tests {
         }
 
         // First merge (no previous epoch): generations only.
-        let first =
-            StaticTables::merge_generations(None, m, half_bits, 300, &gens, &purge, &pool);
+        let first = StaticTables::merge_generations(None, m, half_bits, 300, &gens, &purge, &pool);
         for l in 0..first.num_tables() {
             for key in 0..buckets {
                 let expect: Vec<u32> = rebuilt

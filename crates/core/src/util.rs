@@ -105,7 +105,11 @@ pub fn advise_huge_pages<T>(data: &[T]) -> bool {
         // SAFETY: the range lies inside a live allocation we borrow;
         // MADV_HUGEPAGE is advisory and never alters contents.
         let rc = unsafe {
-            madvise(aligned as *mut std::ffi::c_void, end - aligned, MADV_HUGEPAGE)
+            madvise(
+                aligned as *mut std::ffi::c_void,
+                end - aligned,
+                MADV_HUGEPAGE,
+            )
         };
         rc == 0
     }

@@ -22,7 +22,10 @@ impl fmt::Display for TextError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TextError::OutOfVocabulary => {
-                write!(f, "document is entirely out-of-vocabulary (0-length vector)")
+                write!(
+                    f,
+                    "document is entirely out-of-vocabulary (0-length vector)"
+                )
             }
             TextError::Vector(e) => write!(f, "vectorization failed: {e}"),
         }
@@ -48,13 +51,18 @@ mod tests {
 
     #[test]
     fn converts_into_core_error() {
-        assert_eq!(PlshError::from(TextError::OutOfVocabulary), PlshError::EmptyVector);
+        assert_eq!(
+            PlshError::from(TextError::OutOfVocabulary),
+            PlshError::EmptyVector
+        );
         let inner = PlshError::NotNormalizable;
         assert_eq!(PlshError::from(TextError::Vector(inner.clone())), inner);
     }
 
     #[test]
     fn display_is_informative() {
-        assert!(TextError::OutOfVocabulary.to_string().contains("out-of-vocabulary"));
+        assert!(TextError::OutOfVocabulary
+            .to_string()
+            .contains("out-of-vocabulary"));
     }
 }

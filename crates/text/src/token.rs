@@ -50,7 +50,9 @@ impl Tokenizer {
 
     /// True iff `word` (already lowercase) is a stop word.
     pub fn is_stop_word(&self, word: &str) -> bool {
-        self.stop_words.binary_search_by(|s| s.as_str().cmp(word)).is_ok()
+        self.stop_words
+            .binary_search_by(|s| s.as_str().cmp(word))
+            .is_ok()
     }
 
     /// Tokenizes a document: split on non-alphabetic characters, lowercase,
@@ -90,7 +92,10 @@ mod tests {
     #[test]
     fn basic_tokenization() {
         let t = Tokenizer::default();
-        assert_eq!(t.tokenize("The quick brown fox"), vec!["quick", "brown", "fox"]);
+        assert_eq!(
+            t.tokenize("The quick brown fox"),
+            vec!["quick", "brown", "fox"]
+        );
     }
 
     #[test]

@@ -199,8 +199,7 @@ impl SyntheticCorpus {
         if self.vectors.is_empty() {
             return 0.0;
         }
-        self.vectors.iter().map(SparseVector::nnz).sum::<usize>() as f64
-            / self.vectors.len() as f64
+        self.vectors.iter().map(SparseVector::nnz).sum::<usize>() as f64 / self.vectors.len() as f64
     }
 }
 
@@ -280,9 +279,8 @@ mod tests {
 
     #[test]
     fn mean_length_tracks_lambda() {
-        let c = SyntheticCorpus::generate(
-            CorpusConfig::tiny(5_000, 3).with_duplicate_fraction(0.0),
-        );
+        let c =
+            SyntheticCorpus::generate(CorpusConfig::tiny(5_000, 3).with_duplicate_fraction(0.0));
         let avg = c.avg_nnz();
         assert!((avg - 7.2).abs() < 0.4, "avg nnz {avg}");
     }
@@ -315,9 +313,7 @@ mod tests {
 
     #[test]
     fn unrelated_documents_are_far() {
-        let c = SyntheticCorpus::generate(
-            CorpusConfig::tiny(500, 9).with_duplicate_fraction(0.0),
-        );
+        let c = SyntheticCorpus::generate(CorpusConfig::tiny(500, 9).with_duplicate_fraction(0.0));
         // Sample pairs; the overwhelming majority must be outside R = 0.9.
         let mut far = 0;
         let mut total = 0;
@@ -336,9 +332,8 @@ mod tests {
 
     #[test]
     fn zipf_makes_top_words_common() {
-        let c = SyntheticCorpus::generate(
-            CorpusConfig::tiny(3_000, 11).with_duplicate_fraction(0.0),
-        );
+        let c =
+            SyntheticCorpus::generate(CorpusConfig::tiny(3_000, 11).with_duplicate_fraction(0.0));
         let mut df = vec![0u32; c.dim() as usize];
         for v in c.vectors() {
             for &w in v.indices() {
@@ -349,6 +344,11 @@ mod tests {
         let mut sorted = df.clone();
         sorted.sort_unstable();
         let median = sorted[sorted.len() / 2];
-        assert!(df[0] > median.max(1) * 20, "df[0]={} median={}", df[0], median);
+        assert!(
+            df[0] > median.max(1) * 20,
+            "df[0]={} median={}",
+            df[0],
+            median
+        );
     }
 }

@@ -18,7 +18,10 @@ impl QuerySet {
     /// Draws `count` distinct random documents from the corpus as queries —
     /// the paper's protocol.
     pub fn sample_from_corpus(corpus: &SyntheticCorpus, count: usize, seed: u64) -> Self {
-        assert!(count <= corpus.len(), "cannot sample more queries than documents");
+        assert!(
+            count <= corpus.len(),
+            "cannot sample more queries than documents"
+        );
         let mut rng = SplitMix64::new(seed);
         // Partial Fisher–Yates over the id space for distinct draws.
         let mut ids: Vec<u32> = (0..corpus.len() as u32).collect();
@@ -110,7 +113,9 @@ mod tests {
             assert_eq!(a.source_id(i), b.source_id(i));
         }
         let d = QuerySet::sample_from_corpus(&c, 30, 6);
-        let same = (0..30).filter(|&i| a.source_id(i) == d.source_id(i)).count();
+        let same = (0..30)
+            .filter(|&i| a.source_id(i) == d.source_id(i))
+            .count();
         assert!(same < 10, "different seeds should pick different queries");
     }
 

@@ -85,8 +85,7 @@ fn main() -> plsh::Result<()> {
     println!("fresh tweets that still had a neighbor (shared rare words): {true_negative}");
 
     // Sanity for the example: detection must be much better than chance.
-    let dup_suppression =
-        false_negative as f64 / (false_negative + false_positive).max(1) as f64;
+    let dup_suppression = false_negative as f64 / (false_negative + false_positive).max(1) as f64;
     assert!(
         dup_suppression > 0.8,
         "expected >80% of duplicates suppressed, got {:.1}%",

@@ -85,9 +85,8 @@ fn main() -> plsh::Result<()> {
     }
 
     // 5. The same door answers k-NN — a request field, not a new method.
-    let resp = index.search(
-        &SearchRequest::query(index.vectorize("inflation rally markets")?).top_k(1),
-    )?;
+    let resp = index
+        .search(&SearchRequest::query(index.vectorize("inflation rally markets")?).top_k(1))?;
     println!(
         "closest single doc to 'inflation rally markets': {:?}",
         docs[resp.hits()[0].index as usize]

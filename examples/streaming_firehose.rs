@@ -59,7 +59,12 @@ fn main() -> plsh::Result<()> {
     // (the pump drives the index's underlying streaming handle).
     let rate = node_points as f64 / 3.0; // drain in ~3 s
     let hose = Firehose::start_paced(corpus.vectors()[..node_points].to_vec(), 1_000, 4, rate);
-    let pump = hose.pump_into(index.backend().clone());
+    let pump = hose.pump_into(
+        index
+            .backend()
+            .expect("single-node index exposes its streaming handle")
+            .clone(),
+    );
 
     // Main thread: query continuously against whatever epoch is live.
     let start = std::time::Instant::now();
@@ -112,7 +117,7 @@ fn main() -> plsh::Result<()> {
     // ---- Part 2: the cluster with rolling insert windows. ----
     println!("\n== cluster: rolling windows + retirement ==");
     let pool = ThreadPool::default();
-    let mut cluster = Cluster::new(
+    let cluster = Cluster::new(
         ClusterConfig::new(
             EngineConfig::new(params, NODE_CAPACITY).with_eta(0.1),
             NODES,

@@ -10,6 +10,12 @@
 //! [`search`](Index::search) call taking a [`SearchRequest`], and get one
 //! [`plsh::Error`](crate::Error) type end-to-end.
 //!
+//! Call [`shards`](IndexBuilder::shards) (or
+//! [`auto_shards`](IndexBuilder::auto_shards) for the model-driven count)
+//! to scale the same API across a [`ShardedIndex`] — hash-routed ingest
+//! into shard-local streaming engines, overlapping background merges, and
+//! query fan-out — without changing a single call site.
+//!
 //! ```
 //! use plsh::{Index, PlshParams, SearchRequest, SparseVector};
 //!
@@ -28,6 +34,7 @@
 use std::io::{Read, Write};
 use std::sync::Arc;
 
+use plsh_cluster::ShardedIndex;
 use plsh_core::engine::{EngineConfig, EngineStats, EpochInfo, MergeReport};
 use plsh_core::error::{PlshError, Result};
 use plsh_core::params::PlshParams;
@@ -43,13 +50,21 @@ use plsh_text::Vectorizer;
 /// per-node `C` is 10.5 M; this default keeps small deployments cheap).
 const DEFAULT_CAPACITY: usize = 1 << 20;
 
+/// The engine behind an [`Index`]: one streaming node, or a sharded
+/// cluster of them behind the same call surface.
+#[derive(Clone)]
+enum Backend {
+    Single(StreamingEngine),
+    Sharded(Arc<ShardedIndex>),
+}
+
 /// A cheaply cloneable handle to one PLSH node: streaming ingest, epoch
 /// consistency, background merging, text vectorization, and the unified
 /// [`SearchRequest`] query door — all behind one type that owns its
 /// thread pool. Clones share the same underlying index.
 #[derive(Clone)]
 pub struct Index {
-    engine: StreamingEngine,
+    backend: Backend,
     vectorizer: Option<Arc<Vectorizer>>,
 }
 
@@ -76,6 +91,9 @@ pub struct IndexBuilder {
     strategy: Option<QueryStrategy>,
     seal_min_points: Option<usize>,
     vectorizer: Option<Vectorizer>,
+    /// `None` = single node; `Some(None)` = model-driven shard count;
+    /// `Some(Some(s))` = fixed shard count.
+    sharding: Option<Option<usize>>,
 }
 
 impl IndexBuilder {
@@ -129,6 +147,25 @@ impl IndexBuilder {
         self
     }
 
+    /// Scales the index across `shards` shard-local streaming engines
+    /// (hash-routed ingest, overlapping background merges, query fan-out)
+    /// behind the same call surface. `capacity` becomes the *per-shard*
+    /// capacity, as in the paper's per-node `C`. See
+    /// [`ShardedIndex`] for routing and merge semantics; snapshots are
+    /// not yet supported on sharded indexes.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.sharding = Some(Some(shards));
+        self
+    }
+
+    /// Like [`shards`](Self::shards), but lets the Section-7 performance
+    /// model pick the shard count for this machine
+    /// ([`plsh_core::model::PerformanceModel::pick_shard_count`]).
+    pub fn auto_shards(mut self) -> Self {
+        self.sharding = Some(None);
+        self
+    }
+
     /// Builds the index (generates hyperplanes, spins up the pool).
     pub fn build(self) -> Result<Index> {
         if let Some(v) = &self.vectorizer {
@@ -153,12 +190,27 @@ impl IndexBuilder {
         if let Some(p) = self.seal_min_points {
             config = config.with_seal_min_points(p);
         }
-        let pool = match self.threads {
-            Some(t) => ThreadPool::new(t),
-            None => ThreadPool::default(),
+        let backend = match self.sharding {
+            None => {
+                let pool = match self.threads {
+                    Some(t) => ThreadPool::new(t),
+                    None => ThreadPool::default(),
+                };
+                Backend::Single(StreamingEngine::new(config, pool)?)
+            }
+            Some(shards) => {
+                let mut builder = ShardedIndex::builder(config);
+                if let Some(s) = shards {
+                    builder = builder.shards(s);
+                }
+                if let Some(t) = self.threads {
+                    builder = builder.threads(t);
+                }
+                Backend::Sharded(Arc::new(builder.build().map_err(PlshError::from)?))
+            }
         };
         Ok(Index {
-            engine: StreamingEngine::new(config, pool)?,
+            backend,
             vectorizer: self.vectorizer.map(Arc::new),
         })
     }
@@ -176,6 +228,7 @@ impl Index {
             strategy: None,
             seal_min_points: None,
             vectorizer: None,
+            sharding: None,
         }
     }
 
@@ -194,7 +247,7 @@ impl Index {
     pub fn restore_with<R: Read>(r: &mut R, pool: ThreadPool) -> Result<Index> {
         let engine = Snapshot::read_from(r)?.restore(&pool)?;
         Ok(Index {
-            engine: StreamingEngine::from_engine(engine, pool),
+            backend: Backend::Single(StreamingEngine::from_engine(engine, pool)),
             vectorizer: None,
         })
     }
@@ -208,16 +261,25 @@ impl Index {
 
     // ---- Ingest ----
 
-    /// Inserts one vector; returns its id. Visible to queries on return;
-    /// a background merge starts when the sealed delta crosses `η·C`.
+    /// Inserts one vector; returns its id. On a single-node index the
+    /// point is visible to queries on return; on a sharded index it
+    /// becomes visible once its shard's firehose drains it
+    /// ([`flush`](Index::flush) is the barrier). A background merge
+    /// starts when a sealed delta crosses `η·C`.
     pub fn add(&self, v: SparseVector) -> Result<u32> {
-        self.engine.insert(v)
+        match &self.backend {
+            Backend::Single(engine) => engine.insert(v),
+            Backend::Sharded(sharded) => Ok(sharded.insert(v)?),
+        }
     }
 
     /// Inserts a batch (the paper's firehose arrives in ~100 K-point
     /// chunks); all-or-nothing with respect to capacity.
     pub fn add_batch(&self, vs: &[SparseVector]) -> Result<Vec<u32>> {
-        self.engine.insert_batch(vs)
+        match &self.backend {
+            Backend::Single(engine) => engine.insert_batch(vs),
+            Backend::Sharded(sharded) => Ok(sharded.insert_batch(vs)?),
+        }
     }
 
     /// Vectorizes one document and inserts it. Fails with
@@ -262,17 +324,25 @@ impl Index {
     /// range. The point disappears from all future queries immediately
     /// and is purged from the tables at the next merge.
     pub fn delete(&self, id: u32) -> bool {
-        self.engine.delete(id)
+        match &self.backend {
+            Backend::Single(engine) => engine.delete(id),
+            Backend::Sharded(sharded) => sharded.delete(id),
+        }
     }
 
     // ---- Search ----
 
     /// Answers one [`SearchRequest`] — radius or k-NN, single query or
     /// batch, with optional radius/strategy overrides, candidate budget,
-    /// counters, and profiling. The whole request runs against one pinned
-    /// epoch; ingest and merges never block it.
+    /// counters, and profiling. On a single node the whole request runs
+    /// against one pinned epoch; on a sharded index each shard pins its
+    /// own and the answers merge globally. Ingest and merges never block
+    /// it either way.
     pub fn search(&self, req: &SearchRequest) -> Result<SearchResponse> {
-        self.engine.search(req)
+        match &self.backend {
+            Backend::Single(engine) => engine.search(req),
+            Backend::Sharded(sharded) => sharded.search(req),
+        }
     }
 
     /// Radius search for a single vector — the clone-free thin wrapper for
@@ -285,7 +355,14 @@ impl Index {
                 return Err(PlshError::DimensionOutOfRange { index: max, dim });
             }
         }
-        Ok(self.engine.query(q).into_iter().map(SearchHit::from).collect())
+        match &self.backend {
+            Backend::Single(engine) => {
+                Ok(engine.query(q).into_iter().map(SearchHit::from).collect())
+            }
+            Backend::Sharded(sharded) => Ok(sharded
+                .search(&SearchRequest::query(q.clone()))?
+                .into_hits()),
+        }
     }
 
     /// Vectorizes free text and runs a radius search for it.
@@ -302,77 +379,209 @@ impl Index {
 
     // ---- Maintenance & observability ----
 
-    /// Merges all sealed delta generations into the next static epoch on
-    /// this thread (queries keep running; publication is one swap).
+    /// Merges all sealed delta generations into the next static epoch(s)
+    /// on this thread (queries keep running; publication is one swap per
+    /// engine). On a sharded index this first drains the shard queues,
+    /// then folds every shard.
     pub fn merge(&self) {
-        self.engine.merge_now();
+        match &self.backend {
+            Backend::Single(engine) => engine.merge_now(),
+            Backend::Sharded(sharded) => sharded.quiesce(),
+        }
     }
 
-    /// Seals any buffered open generation and blocks until the in-flight
-    /// background merge (if any) has published.
+    /// Ingest barrier: seals any buffered open generation (draining the
+    /// shard queues first on a sharded index, so every prior `add` is
+    /// query-visible on return) and blocks until in-flight background
+    /// merges have published.
     pub fn flush(&self) {
-        self.engine.seal();
-        self.engine.wait_for_merge();
+        match &self.backend {
+            Backend::Single(engine) => {
+                engine.seal();
+                engine.wait_for_merge();
+            }
+            Backend::Sharded(sharded) => {
+                sharded.flush();
+                sharded.wait_for_merges();
+            }
+        }
     }
 
-    /// Stored points (live + deleted).
+    /// Stored points (live + deleted; on a sharded index this counts
+    /// routed points, including any still in flight in shard queues).
     pub fn len(&self) -> usize {
-        self.engine.len()
+        match &self.backend {
+            Backend::Single(engine) => engine.len(),
+            Backend::Sharded(sharded) => sharded.len(),
+        }
     }
 
     /// True when nothing is stored.
     pub fn is_empty(&self) -> bool {
-        self.engine.is_empty()
+        self.len() == 0
     }
 
     /// The index's LSH parameters.
     pub fn params(&self) -> &PlshParams {
-        self.engine.engine().params()
+        match &self.backend {
+            Backend::Single(engine) => engine.engine().params(),
+            Backend::Sharded(sharded) => sharded.shard(0).engine().params(),
+        }
     }
 
-    /// Node capacity `C`.
+    /// Total capacity `C` (per-shard capacity × shard count on a sharded
+    /// index; hash routing keeps shard occupancy within a few percent of
+    /// even, so the aggregate is effectively reachable).
     pub fn capacity(&self) -> usize {
-        self.engine.engine().capacity()
+        match &self.backend {
+            Backend::Single(engine) => engine.engine().capacity(),
+            Backend::Sharded(sharded) => {
+                sharded.shard(0).engine().capacity() * sharded.num_shards()
+            }
+        }
     }
 
-    /// Point and memory accounting.
+    /// Number of shards (1 for a single-node index).
+    pub fn num_shards(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 1,
+            Backend::Sharded(sharded) => sharded.num_shards(),
+        }
+    }
+
+    /// Point and memory accounting (summed across shards when sharded).
     pub fn stats(&self) -> EngineStats {
-        self.engine.stats()
+        match &self.backend {
+            Backend::Single(engine) => engine.stats(),
+            Backend::Sharded(sharded) => {
+                let stats = sharded.stats();
+                let mut agg = EngineStats {
+                    total_points: 0,
+                    static_points: 0,
+                    delta_points: 0,
+                    deleted_points: 0,
+                    purged_points: 0,
+                    sealed_generations: 0,
+                    merges: 0,
+                    static_table_bytes: 0,
+                    delta_table_bytes: 0,
+                    sketch_bytes: 0,
+                    hyperplane_bytes: 0,
+                };
+                for e in &stats.engines {
+                    agg.total_points += e.total_points;
+                    agg.static_points += e.static_points;
+                    agg.delta_points += e.delta_points;
+                    agg.deleted_points += e.deleted_points;
+                    agg.purged_points += e.purged_points;
+                    agg.sealed_generations += e.sealed_generations;
+                    agg.merges += e.merges;
+                    agg.static_table_bytes += e.static_table_bytes;
+                    agg.delta_table_bytes += e.delta_table_bytes;
+                    agg.sketch_bytes += e.sketch_bytes;
+                    agg.hyperplane_bytes += e.hyperplane_bytes;
+                }
+                agg
+            }
+        }
     }
 
-    /// Shape of the currently published epoch.
+    /// Shape of the currently published epoch. Sharded indexes aggregate:
+    /// point counts sum across shards and `generation` is the largest
+    /// per-shard epoch counter.
     pub fn epoch_info(&self) -> EpochInfo {
-        self.engine.epoch_info()
+        match &self.backend {
+            Backend::Single(engine) => engine.epoch_info(),
+            Backend::Sharded(sharded) => {
+                let mut agg = EpochInfo {
+                    generation: 0,
+                    static_points: 0,
+                    sealed_generations: 0,
+                    sealed_points: 0,
+                    visible_points: 0,
+                };
+                for i in 0..sharded.num_shards() {
+                    let info = sharded.shard(i).epoch_info();
+                    agg.generation = agg.generation.max(info.generation);
+                    agg.static_points += info.static_points;
+                    agg.sealed_generations += info.sealed_generations;
+                    agg.sealed_points += info.sealed_points;
+                    agg.visible_points += info.visible_points;
+                }
+                agg
+            }
+        }
     }
 
-    /// Timings of the most recent merge.
+    /// Timings of the most recent merge. Sharded indexes aggregate the
+    /// per-shard reports: point counts sum, build/publish windows take
+    /// the per-shard maximum (merges overlap, so the max is the wall
+    /// cost).
     pub fn last_merge(&self) -> MergeReport {
-        self.engine.last_merge()
+        match &self.backend {
+            Backend::Single(engine) => engine.last_merge(),
+            Backend::Sharded(sharded) => {
+                let mut agg = MergeReport::default();
+                for report in sharded.last_merges() {
+                    agg.merged_points += report.merged_points;
+                    agg.purged_points += report.purged_points;
+                    agg.build = agg.build.max(report.build);
+                    agg.publish = agg.publish.max(report.publish);
+                }
+                agg
+            }
+        }
     }
 
     /// The stored vector for `id` (`None` when out of range or purged).
     pub fn vector(&self, id: u32) -> Option<SparseVector> {
-        self.engine.engine().vector(id)
+        match &self.backend {
+            Backend::Single(engine) => engine.engine().vector(id),
+            Backend::Sharded(sharded) => sharded.vector(id),
+        }
     }
 
     /// The underlying streaming handle, for advanced drivers (firehose
     /// pumps, cluster experiments) that need the raw engine or pool.
-    pub fn backend(&self) -> &StreamingEngine {
-        &self.engine
+    /// `None` when the index is sharded — use
+    /// [`sharded_backend`](Index::sharded_backend) there.
+    pub fn backend(&self) -> Option<&StreamingEngine> {
+        match &self.backend {
+            Backend::Single(engine) => Some(engine),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The underlying sharded index, when this index was built with
+    /// [`shards`](IndexBuilder::shards) / [`auto_shards`](IndexBuilder::auto_shards).
+    pub fn sharded_backend(&self) -> Option<&ShardedIndex> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(sharded) => Some(sharded),
+        }
     }
 
     // ---- Persistence ----
 
     /// Writes a snapshot of the index (parameters, rows, static/delta
     /// split, tombstones) to any byte sink. Safe to call while other
-    /// threads keep inserting and merging.
+    /// threads keep inserting and merging. Not yet supported on sharded
+    /// indexes (errors rather than writing a partial view).
     pub fn save_to<W: Write>(&self, w: &mut W) -> Result<()> {
-        Ok(self.snapshot().write_to(w)?)
+        Ok(self.snapshot()?.write_to(w)?)
     }
 
-    /// Captures the index's state as an in-memory [`Snapshot`].
-    pub fn snapshot(&self) -> Snapshot {
-        Snapshot::capture(self.engine.engine())
+    /// Captures the index's state as an in-memory [`Snapshot`]. Errors on
+    /// a sharded index (per-shard snapshots are not yet wired up).
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        match &self.backend {
+            Backend::Single(engine) => Ok(Snapshot::capture(engine.engine())),
+            Backend::Sharded(_) => Err(PlshError::InvalidParams(
+                "snapshots of sharded indexes are not supported yet; \
+                 snapshot each shard's engine individually"
+                    .into(),
+            )),
+        }
     }
 
     fn require_vectorizer(&self) -> Result<&Vectorizer> {
@@ -426,7 +635,11 @@ mod tests {
 
     #[test]
     fn add_and_search_vectors() {
-        let index = Index::builder(params(32)).capacity(100).threads(1).build().unwrap();
+        let index = Index::builder(params(32))
+            .capacity(100)
+            .threads(1)
+            .build()
+            .unwrap();
         let a = SparseVector::unit(vec![(0, 1.0), (5, 1.0)]).unwrap();
         let b = SparseVector::unit(vec![(0, 1.0), (5, 0.95)]).unwrap();
         let ids = index.add_batch(&[a.clone(), b]).unwrap();
@@ -455,7 +668,11 @@ mod tests {
 
     #[test]
     fn text_api_without_vectorizer_errors() {
-        let index = Index::builder(params(8)).capacity(8).threads(1).build().unwrap();
+        let index = Index::builder(params(8))
+            .capacity(8)
+            .threads(1)
+            .build()
+            .unwrap();
         assert!(matches!(
             index.add_text("anything"),
             Err(PlshError::InvalidParams(_))
@@ -476,11 +693,13 @@ mod tests {
 
     #[test]
     fn snapshot_round_trip_preserves_answers() {
-        let index = Index::builder(params(32)).capacity(100).threads(1).build().unwrap();
+        let index = Index::builder(params(32))
+            .capacity(100)
+            .threads(1)
+            .build()
+            .unwrap();
         let vs: Vec<SparseVector> = (0..20)
-            .map(|i| {
-                SparseVector::unit(vec![(i % 32, 1.0), ((i + 7) % 32, 0.5)]).unwrap()
-            })
+            .map(|i| SparseVector::unit(vec![(i % 32, 1.0), ((i + 7) % 32, 0.5)]).unwrap())
             .collect();
         index.add_batch(&vs).unwrap();
         index.merge();
@@ -504,6 +723,74 @@ mod tests {
     }
 
     #[test]
+    fn sharded_index_serves_the_same_api() {
+        let index = Index::builder(params(32))
+            .capacity(500)
+            .threads(2)
+            .shards(3)
+            .build()
+            .unwrap();
+        assert_eq!(index.num_shards(), 3);
+        let vs: Vec<SparseVector> = (0..90)
+            .map(|i| SparseVector::unit(vec![(i % 32, 1.0), ((i + 9) % 32, 0.6)]).unwrap())
+            .collect();
+        let ids = index.add_batch(&vs).unwrap();
+        assert_eq!(ids, (0..90).collect::<Vec<u32>>());
+        index.flush();
+        assert_eq!(index.len(), 90);
+        assert_eq!(index.epoch_info().visible_points, 90);
+        assert_eq!(index.capacity(), 1500);
+        // Global ids round-trip through query, vector, and delete.
+        let hits = index.query(&vs[5]).unwrap();
+        assert!(hits.iter().any(|h| h.index == 5));
+        assert_eq!(index.vector(5).as_ref(), Some(&vs[5]));
+        assert!(index.delete(5));
+        assert!(index.query(&vs[5]).unwrap().iter().all(|h| h.index != 5));
+        // Maintenance aggregates across shards.
+        index.merge();
+        let stats = index.stats();
+        assert_eq!(stats.static_points, 90);
+        assert!(stats.merges >= 3, "every shard merged");
+        assert!(index.last_merge().merged_points > 0);
+        // Snapshots are explicitly unsupported (no partial views).
+        let mut sink = Vec::new();
+        assert!(matches!(
+            index.save_to(&mut sink),
+            Err(PlshError::InvalidParams(_))
+        ));
+        assert!(index.backend().is_none());
+        assert!(index.sharded_backend().is_some());
+    }
+
+    #[test]
+    fn sharded_and_single_agree_on_answers() {
+        let vs: Vec<SparseVector> = (0..120)
+            .map(|i| SparseVector::unit(vec![(i % 32, 1.0), ((i + 7) % 32, 0.4)]).unwrap())
+            .collect();
+        let single = Index::builder(params(32))
+            .capacity(200)
+            .threads(1)
+            .build()
+            .unwrap();
+        single.add_batch(&vs).unwrap();
+        let sharded = Index::builder(params(32))
+            .capacity(200)
+            .threads(2)
+            .shards(4)
+            .build()
+            .unwrap();
+        sharded.add_batch(&vs).unwrap();
+        sharded.flush();
+        for q in vs.iter().step_by(11) {
+            let mut a: Vec<u32> = single.query(q).unwrap().iter().map(|h| h.index).collect();
+            let mut b: Vec<u32> = sharded.query(q).unwrap().iter().map(|h| h.index).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn clones_share_state_and_flush_waits() {
         let index = Index::builder(params(32))
             .capacity(1000)
@@ -513,14 +800,15 @@ mod tests {
             .unwrap();
         let other = index.clone();
         let vs: Vec<SparseVector> = (0..200)
-            .map(|i| {
-                SparseVector::unit(vec![(i % 32, 1.0), ((i + 5) % 32, 0.7)]).unwrap()
-            })
+            .map(|i| SparseVector::unit(vec![(i % 32, 1.0), ((i + 5) % 32, 0.7)]).unwrap())
             .collect();
         index.add_batch(&vs).unwrap();
         other.flush();
         assert_eq!(other.len(), 200);
-        assert!(other.stats().merges >= 1, "background merge must have fired");
+        assert!(
+            other.stats().merges >= 1,
+            "background merge must have fired"
+        );
         let hits = other.query(&vs[0]).unwrap();
         assert!(hits.iter().any(|h| h.index == 0));
     }

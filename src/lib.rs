@@ -36,9 +36,13 @@
 //! ```
 //!
 //! For the tweet scenario, attach a [`text`] pipeline and use
-//! [`Index::add_text`] / [`Index::search_text`]; for multi-node
-//! deployments, `cluster::Cluster` answers the *same* [`SearchRequest`]
-//! through the shared [`SearchBackend`] trait.
+//! [`Index::add_text`] / [`Index::search_text`]. To scale across cores,
+//! add [`IndexBuilder::shards`] (or
+//! [`auto_shards`](IndexBuilder::auto_shards) for the model-driven count)
+//! and the same calls fan out over a [`ShardedIndex`] — hash-routed
+//! ingest, per-shard background merges, bit-identical answers. The
+//! windowed multi-node simulation `cluster::Cluster` answers the *same*
+//! [`SearchRequest`] through the shared [`SearchBackend`] trait.
 //!
 //! ## Workspace layout
 //!
@@ -54,17 +58,19 @@
 //!   generators used by the evaluation.
 //! * [`baselines`] — exhaustive-scan and inverted-index baselines
 //!   (Table 2 of the paper).
-//! * [`cluster`] — the multi-node coordinator / rolling-insert-window
-//!   simulation (Figures 1 and 9).
+//! * [`cluster`] — the shard-per-core [`ShardedIndex`] scaling backend,
+//!   plus the multi-node coordinator / rolling-insert-window simulation
+//!   (Figures 1 and 9).
 
 mod index;
 
 pub use index::{Index, IndexBuilder};
 
+// The scaling backend behind `IndexBuilder::shards`.
+pub use plsh_cluster::{ShardedIndex, ShardedIndexBuilder, ShardedStats};
+
 // The unified search surface and the types requests/responses carry.
-pub use plsh_core::search::{
-    SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse,
-};
+pub use plsh_core::search::{SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
 pub use plsh_core::{
     BatchStats, EpochInfo, Neighbor, PlshParams, QueryPhaseTimings, QueryStats, QueryStrategy,
     Snapshot, SparseVector,

@@ -1,16 +1,22 @@
 //! Backend equivalence: the whole point of the unified search API is that
-//! [`Engine`], [`StreamingEngine`] (mid-ingest, merge in flight), and a
-//! 1-node [`Cluster`] answer the *exact same* [`SearchRequest`] with the
-//! *exact same* answer set — same ids, same distances, bit for bit —
-//! regardless of how their data is segmented across static tables, sealed
-//! delta generations, or an in-flight background merge.
+//! [`Engine`], [`StreamingEngine`] (mid-ingest, merge in flight), a 1-node
+//! [`Cluster`], and a [`ShardedIndex`] at several shard counts answer the
+//! *exact same* [`SearchRequest`] with the *exact same* answer set — same
+//! ids, same distances, bit for bit — regardless of how their data is
+//! segmented across static tables, sealed delta generations, shards, or
+//! in-flight background merges.
+//!
+//! One documented exception: a [`SearchRequest::with_max_candidates`]
+//! budget applies *per shard* on a sharded backend (each shard truncates
+//! its own ascending-id candidate prefix), so budgeted requests are
+//! compared only across the single-node backends.
 
 use plsh::cluster::{Cluster, ClusterConfig};
 use plsh::core::engine::{Engine, EngineConfig};
 use plsh::core::streaming::StreamingEngine;
 use plsh::parallel::ThreadPool;
 use plsh::workload::{CorpusConfig, QuerySet, SyntheticCorpus};
-use plsh::{PlshParams, QueryStrategy, SearchBackend, SearchRequest};
+use plsh::{PlshParams, QueryStrategy, SearchBackend, SearchRequest, ShardedIndex};
 
 const N: usize = 600;
 
@@ -61,6 +67,37 @@ fn answers<B: SearchBackend>(
         .collect()
 }
 
+/// Canonical answer form for sharded backends: indexes are *global* ids
+/// (bit-identical to the single engine's), while `node` carries the
+/// owning-shard attribution and is therefore ignored here — after
+/// checking it stays in range.
+fn sharded_answers(
+    backend: &ShardedIndex,
+    req: &SearchRequest,
+    pool: &ThreadPool,
+) -> Vec<Vec<(u32, u32)>> {
+    let resp = SearchBackend::search(backend, req, pool).expect("valid request");
+    assert_eq!(resp.results.len(), req.queries().len());
+    resp.results
+        .iter()
+        .map(|hits| {
+            let mut set: Vec<(u32, u32)> = hits
+                .iter()
+                .map(|h| {
+                    assert!(
+                        (h.node as usize) < backend.num_shards(),
+                        "hit attributed to nonexistent shard {}",
+                        h.node
+                    );
+                    (h.index, h.distance.to_bits())
+                })
+                .collect();
+            set.sort_unstable();
+            set
+        })
+        .collect()
+}
+
 #[test]
 fn all_backends_answer_identically() {
     let corpus = corpus();
@@ -68,17 +105,22 @@ fn all_backends_answer_identically() {
     let pool = ThreadPool::new(2);
 
     // Engine: mixed static + sealed-delta segmentation.
-    let engine =
-        Engine::new(EngineConfig::new(params.clone(), N).manual_merge(), &pool).unwrap();
-    engine.insert_batch(&corpus.vectors()[..400], &pool).unwrap();
+    let engine = Engine::new(EngineConfig::new(params.clone(), N).manual_merge(), &pool).unwrap();
+    engine
+        .insert_batch(&corpus.vectors()[..400], &pool)
+        .unwrap();
     engine.merge_delta(&pool);
-    engine.insert_batch(&corpus.vectors()[400..], &pool).unwrap();
+    engine
+        .insert_batch(&corpus.vectors()[400..], &pool)
+        .unwrap();
 
     // StreamingEngine: chunked ingest with a background merge kicked off
     // and *not* awaited — requests run while the merge may be anywhere
     // between building and published.
     let streaming = StreamingEngine::new(
-        EngineConfig::new(params.clone(), N).with_eta(0.95).manual_merge(),
+        EngineConfig::new(params.clone(), N)
+            .with_eta(0.95)
+            .manual_merge(),
         ThreadPool::new(2),
     )
     .unwrap();
@@ -89,8 +131,8 @@ fn all_backends_answer_identically() {
 
     // Cluster: one node, all data still in delta generations.
     let cluster = {
-        let mut c = Cluster::new(
-            ClusterConfig::new(EngineConfig::new(params, N).manual_merge(), 1, 1),
+        let c = Cluster::new(
+            ClusterConfig::new(EngineConfig::new(params.clone(), N).manual_merge(), 1, 1),
             &pool,
         )
         .unwrap();
@@ -98,66 +140,119 @@ fn all_backends_answer_identically() {
         c
     };
 
+    // ShardedIndexes at several shard counts, *mid-ingest*: everything
+    // routed and visible, then background merges kicked off on every
+    // shard and *not* awaited — requests run while merges are anywhere
+    // between building and published on multiple shards at once.
+    let sharded: Vec<ShardedIndex> = [2usize, 3, 5]
+        .into_iter()
+        .map(|shards| {
+            let s = ShardedIndex::builder(
+                EngineConfig::new(params.clone(), N)
+                    .with_eta(0.95)
+                    .manual_merge(),
+            )
+            .shards(shards)
+            .threads(2)
+            .build()
+            .unwrap();
+            for chunk in corpus.vectors().chunks(64) {
+                s.insert_batch(chunk).unwrap();
+            }
+            s.flush();
+            assert_eq!(
+                s.merge_all_in_background(),
+                shards,
+                "every shard must have sealed data to merge"
+            );
+            s
+        })
+        .collect();
+
     let queries = QuerySet::sample_from_corpus(&corpus, 60, 9);
     let qs = queries.queries().to_vec();
+    // (request, per-shard-budgeted): budgeted requests truncate the
+    // candidate prefix per shard, so they are compared only across the
+    // single-node backends.
     let requests = [
         // The batched SIMD pipeline (the default door).
-        SearchRequest::batch(qs.clone()),
+        (SearchRequest::batch(qs.clone()), false),
         // Per-query pipeline with the weakest strategy level.
-        SearchRequest::batch(qs.clone())
-            .per_query_pipeline()
-            .with_strategy(QueryStrategy::unoptimized()),
+        (
+            SearchRequest::batch(qs.clone())
+                .per_query_pipeline()
+                .with_strategy(QueryStrategy::unoptimized()),
+            false,
+        ),
         // Approximate k-NN with a global tie-break.
-        SearchRequest::batch(qs.clone()).top_k(7),
+        (SearchRequest::batch(qs.clone()).top_k(7), false),
         // Per-request radius override.
-        SearchRequest::batch(qs.clone()).with_radius(1.2),
+        (SearchRequest::batch(qs.clone()).with_radius(1.2), false),
         // Bounded candidate budget: the visited prefix is the ascending-id
         // candidate order at *every* strategy level, so it is
-        // segmentation-independent too.
-        SearchRequest::batch(qs.clone()).with_max_candidates(50),
-        SearchRequest::batch(qs.clone())
-            .with_max_candidates(50)
-            .with_strategy(QueryStrategy::with_sparse_dot()),
-        SearchRequest::batch(qs.clone())
-            .with_max_candidates(50)
-            .with_strategy(QueryStrategy::unoptimized()),
+        // segmentation-independent across single-node backends (and
+        // per-shard on sharded ones — hence the flag).
+        (
+            SearchRequest::batch(qs.clone()).with_max_candidates(50),
+            true,
+        ),
+        (
+            SearchRequest::batch(qs.clone())
+                .with_max_candidates(50)
+                .with_strategy(QueryStrategy::with_sparse_dot()),
+            true,
+        ),
+        (
+            SearchRequest::batch(qs.clone())
+                .with_max_candidates(50)
+                .with_strategy(QueryStrategy::unoptimized()),
+            true,
+        ),
         // Stats + profiling switches must not change answers.
-        SearchRequest::batch(qs.clone()).with_profiling(),
-        SearchRequest::query(qs[0].clone()).with_stats(),
+        (SearchRequest::batch(qs.clone()).with_profiling(), false),
+        (SearchRequest::query(qs[0].clone()).with_stats(), false),
     ];
 
-    for (ri, req) in requests.iter().enumerate() {
-        let a = answers(&engine, req, &pool);
-        let b = answers(&streaming, req, &pool);
-        let c = answers(&cluster, req, &pool);
-        assert_eq!(a, b, "Engine vs StreamingEngine diverged on request {ri}");
-        assert_eq!(a, c, "Engine vs Cluster diverged on request {ri}");
-    }
+    let compare_all = |label: &str| {
+        for (ri, (req, budgeted)) in requests.iter().enumerate() {
+            let a = answers(&engine, req, &pool);
+            let b = answers(&streaming, req, &pool);
+            let c = answers(&cluster, req, &pool);
+            assert_eq!(
+                a, b,
+                "{label}: Engine vs StreamingEngine diverged on request {ri}"
+            );
+            assert_eq!(a, c, "{label}: Engine vs Cluster diverged on request {ri}");
+            if *budgeted {
+                continue;
+            }
+            for s in &sharded {
+                assert_eq!(
+                    a,
+                    sharded_answers(s, req, &pool),
+                    "{label}: Engine vs {}-shard ShardedIndex diverged on request {ri}",
+                    s.num_shards()
+                );
+            }
+        }
+    };
+    compare_all("mid-ingest");
 
     // Re-run after everything quiesces into static tables: answers are
     // again identical, and identical to their own pre-merge selves.
-    let pre_merge = answers(&engine, &requests[0], &pool);
+    let pre_merge = answers(&engine, &requests[0].0, &pool);
     streaming.wait_for_merge();
     streaming.merge_now();
     engine.merge_delta(&pool);
-    let mut cluster = cluster;
     cluster.merge_all(&pool);
-    for (ri, req) in requests.iter().enumerate() {
-        let a = answers(&engine, req, &pool);
-        assert_eq!(
-            a,
-            answers(&streaming, req, &pool),
-            "post-merge Engine vs StreamingEngine diverged on request {ri}"
-        );
-        assert_eq!(
-            a,
-            answers(&cluster, req, &pool),
-            "post-merge Engine vs Cluster diverged on request {ri}"
-        );
+    for s in &sharded {
+        s.quiesce();
+        assert_eq!(s.shard(0).engine().delta_len(), 0);
     }
+    compare_all("post-merge");
     assert_eq!(
         pre_merge,
-        answers(&engine, &requests[0], &pool),
+        answers(&engine, &requests[0].0, &pool),
         "merging must never change answers"
     );
 }
@@ -171,14 +266,20 @@ fn malformed_requests_error_on_every_backend() {
     let streaming =
         StreamingEngine::new(EngineConfig::new(params.clone(), N), ThreadPool::new(1)).unwrap();
     let cluster = Cluster::new(
-        ClusterConfig::new(EngineConfig::new(params, N), 1, 1),
+        ClusterConfig::new(EngineConfig::new(params.clone(), N), 1, 1),
         &pool,
     )
     .unwrap();
+
+    let sharded = ShardedIndex::builder(EngineConfig::new(params, N))
+        .shards(2)
+        .build()
+        .unwrap();
 
     let oob = plsh::SparseVector::unit(vec![(corpus.dim(), 1.0)]).unwrap();
     let req = SearchRequest::query(oob);
     assert!(SearchBackend::search(&engine, &req, &pool).is_err());
     assert!(SearchBackend::search(&streaming, &req, &pool).is_err());
     assert!(SearchBackend::search(&cluster, &req, &pool).is_err());
+    assert!(SearchBackend::search(&sharded, &req, &pool).is_err());
 }

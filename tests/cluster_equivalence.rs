@@ -37,7 +37,7 @@ fn cluster_equals_single_engine() {
     single.insert_batch(corpus.vectors(), &pool).unwrap();
     single.merge_delta(&pool);
 
-    let mut cluster = Cluster::new(
+    let cluster = Cluster::new(
         ClusterConfig::new(
             EngineConfig::new(params(corpus.dim()), 500).manual_merge(),
             6,
@@ -61,8 +61,7 @@ fn cluster_equals_single_engine() {
                 placed
                     .iter()
                     .position(|&(n, l)| n == h.node && l == h.index)
-                    .expect("every cluster hit maps to an inserted point")
-                    as u32
+                    .expect("every cluster hit maps to an inserted point") as u32
             })
             .collect();
         got.sort_unstable();
@@ -83,7 +82,7 @@ fn rolling_window_retires_oldest_data_exactly() {
     let pool = ThreadPool::new(1);
     // 4 nodes x 600 capacity = 2400 total; stream 3600 points => the first
     // window (2 nodes = 1200 points) must be retired exactly once.
-    let mut cluster = Cluster::new(
+    let cluster = Cluster::new(
         ClusterConfig::new(EngineConfig::new(params(corpus.dim()), 600), 4, 2),
         &pool,
     )
@@ -121,7 +120,7 @@ fn window_semantics_track_arrival_order() {
         seed: 6,
     });
     let pool = ThreadPool::new(1);
-    let mut cluster = Cluster::new(
+    let cluster = Cluster::new(
         ClusterConfig::new(EngineConfig::new(params(corpus.dim()), 100), 10, 2),
         &pool,
     )

@@ -8,11 +8,12 @@
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "first_story_detection",
     "param_tuning",
     "quickstart",
     "save_restore",
+    "sharded_scaling",
     "streaming_firehose",
 ];
 

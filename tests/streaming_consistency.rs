@@ -45,8 +45,11 @@ fn bulk_chunked_and_unmerged_builds_agree() {
     let queries: Vec<SparseVector> = (0..60u32).map(|i| c.vector(i * 37).clone()).collect();
 
     // Bulk: one insert + one merge.
-    let bulk = Engine::new(EngineConfig::new(params(c.dim()), c.len()).manual_merge(), &pool)
-        .unwrap();
+    let bulk = Engine::new(
+        EngineConfig::new(params(c.dim()), c.len()).manual_merge(),
+        &pool,
+    )
+    .unwrap();
     bulk.insert_batch(c.vectors(), &pool).unwrap();
     bulk.merge_delta(&pool);
 
@@ -99,7 +102,9 @@ fn deletions_survive_merges() {
     engine.merge_delta(&pool);
 
     // Delete a static point and a delta point.
-    engine.insert_batch(&c.vectors()[2000..2100], &pool).unwrap();
+    engine
+        .insert_batch(&c.vectors()[2000..2100], &pool)
+        .unwrap();
     let static_victim = 123u32;
     let delta_victim = 2050u32;
     assert!(engine.delete(static_victim));
@@ -107,13 +112,25 @@ fn deletions_survive_merges() {
 
     let q_static = c.vector(static_victim).clone();
     let q_delta = c.vector(delta_victim).clone();
-    assert!(!engine.query(&q_static).iter().any(|h| h.index == static_victim));
-    assert!(!engine.query(&q_delta).iter().any(|h| h.index == delta_victim));
+    assert!(!engine
+        .query(&q_static)
+        .iter()
+        .any(|h| h.index == static_victim));
+    assert!(!engine
+        .query(&q_delta)
+        .iter()
+        .any(|h| h.index == delta_victim));
 
     // A merge must not resurrect the tombstoned points.
     engine.merge_delta(&pool);
-    assert!(!engine.query(&q_static).iter().any(|h| h.index == static_victim));
-    assert!(!engine.query(&q_delta).iter().any(|h| h.index == delta_victim));
+    assert!(!engine
+        .query(&q_static)
+        .iter()
+        .any(|h| h.index == static_victim));
+    assert!(!engine
+        .query(&q_delta)
+        .iter()
+        .any(|h| h.index == delta_victim));
     assert_eq!(engine.stats().deleted_points, 2);
 }
 
@@ -134,7 +151,10 @@ fn query_during_partial_fill_sees_exactly_the_inserted_prefix() {
         for probe in [0u32, (visible - 1) as u32] {
             let hits = engine.query(c.vector(probe));
             assert!(hits.iter().all(|h| (h.index as usize) < visible));
-            assert!(hits.iter().any(|h| h.index == probe), "prefix point findable");
+            assert!(
+                hits.iter().any(|h| h.index == probe),
+                "prefix point findable"
+            );
         }
     }
 }
@@ -144,15 +164,16 @@ fn capacity_retirement_cycle_is_clean() {
     let c = corpus();
     let pool = ThreadPool::new(1);
     let cap = 1000usize;
-    let engine =
-        Engine::new(EngineConfig::new(params(c.dim()), cap).with_eta(0.2), &pool).unwrap();
+    let engine = Engine::new(EngineConfig::new(params(c.dim()), cap).with_eta(0.2), &pool).unwrap();
     engine.insert_batch(&c.vectors()[..cap], &pool).unwrap();
     assert_eq!(engine.remaining_capacity(), 0);
     assert!(engine.insert(c.vector(0).clone(), &pool).is_err());
 
     // Node-level retirement (what the cluster window does) and refill.
     engine.clear();
-    engine.insert_batch(&c.vectors()[cap..2 * cap], &pool).unwrap();
+    engine
+        .insert_batch(&c.vectors()[cap..2 * cap], &pool)
+        .unwrap();
     assert_eq!(engine.len(), cap);
     let probe = c.vector((cap + 5) as u32);
     assert!(engine.query(probe).iter().any(|h| h.index == 5));

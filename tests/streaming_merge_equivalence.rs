@@ -132,11 +132,8 @@ proptest! {
 fn concurrent_queries_see_only_consistent_epochs() {
     let pool = ThreadPool::new(2);
     let n = 3000usize;
-    let engine = StreamingEngine::new(
-        EngineConfig::new(params(77), n).with_eta(0.04),
-        pool,
-    )
-    .unwrap();
+    let engine =
+        StreamingEngine::new(EngineConfig::new(params(77), n).with_eta(0.04), pool).unwrap();
 
     // Deterministic corpus: every point is its own nearest neighbor.
     let vectors: Vec<SparseVector> = (0..n as u32)
@@ -222,7 +219,10 @@ fn concurrent_queries_see_only_consistent_epochs() {
     engine.wait_for_merge();
     engine.merge_now();
     assert_eq!(engine.len(), n);
-    assert!(engine.stats().merges >= 1, "auto-merge must have fired in the background");
+    assert!(
+        engine.stats().merges >= 1,
+        "auto-merge must have fired in the background"
+    );
     assert_eq!(engine.epoch_info().sealed_points, 0);
     // Post-quiesce: all live points findable, all deleted points absent.
     for probe in (0..n).step_by(123) {

@@ -61,7 +61,10 @@ fn text_snippets_find_their_cluster() {
         let hits = engine.query(&q);
         let ids: Vec<usize> = hits.iter().map(|h| h.index as usize).collect();
         for expect in [base, base + 1, base + 2] {
-            assert!(ids.contains(&expect), "cluster {cluster} missing doc {expect}");
+            assert!(
+                ids.contains(&expect),
+                "cluster {cluster} missing doc {expect}"
+            );
         }
         for id in &ids {
             assert!(
@@ -103,13 +106,17 @@ fn idf_prefers_distinctive_matches() {
     let pool = ThreadPool::new(1);
     let engine = Engine::new(EngineConfig::new(params, docs.len()), &pool).unwrap();
     for d in &docs {
-        engine.insert(vectorizer.vectorize(d).unwrap(), &pool).unwrap();
+        engine
+            .insert(vectorizer.vectorize(d).unwrap(), &pool)
+            .unwrap();
     }
     engine.merge_delta(&pool);
 
     // "exoplanet" is rare; a query containing it plus common words must
     // rank the exoplanet document first.
-    let q = vectorizer.vectorize("new exoplanet discovered today").unwrap();
+    let q = vectorizer
+        .vectorize("new exoplanet discovered today")
+        .unwrap();
     let mut hits = engine.query(&q);
     hits.sort_by(|a, b| a.distance.total_cmp(&b.distance));
     assert!(!hits.is_empty());

@@ -115,7 +115,10 @@ where
     } else {
         Duration::ZERO
     };
-    println!("bench {label:<50} {per_iter:>12.2?}/iter ({} iters)", b.iterations);
+    println!(
+        "bench {label:<50} {per_iter:>12.2?}/iter ({} iters)",
+        b.iterations
+    );
 }
 
 /// Timing context handed to benchmark closures.
@@ -165,8 +168,12 @@ impl Bencher {
 
     /// Like [`iter_batched`](Self::iter_batched) but hands the routine a
     /// mutable reference to the setup value.
-    pub fn iter_batched_ref<S, R, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
-    where
+    pub fn iter_batched_ref<S, R, FS, FR>(
+        &mut self,
+        mut setup: FS,
+        mut routine: FR,
+        _size: BatchSize,
+    ) where
         FS: FnMut() -> S,
         FR: FnMut(&mut S) -> R,
     {

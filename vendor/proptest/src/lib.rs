@@ -148,7 +148,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter {:?}: no value satisfied the predicate in 1000 draws", self.whence);
+        panic!(
+            "prop_filter {:?}: no value satisfied the predicate in 1000 draws",
+            self.whence
+        );
     }
 }
 
@@ -284,7 +287,10 @@ impl Atom {
                 }
             }
             Atom::OneOf(ranges) => {
-                let total: u64 = ranges.iter().map(|(a, b)| (*b as u64 - *a as u64) + 1).sum();
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(a, b)| (*b as u64 - *a as u64) + 1)
+                    .sum();
                 let mut pick = rng.next_below(total);
                 for (a, b) in ranges {
                     let span = *b as u64 - *a as u64 + 1;
@@ -328,7 +334,10 @@ fn parse_regex(pattern: &str) -> Vec<(Atom, u32, u32)> {
                         i += 1;
                     }
                 }
-                assert!(i < chars.len(), "unterminated character class in {pattern:?}");
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in {pattern:?}"
+                );
                 i += 1; // consume ']'
                 Atom::OneOf(ranges)
             }
@@ -607,8 +616,14 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Builds a union from `(weight, strategy)` pairs.
     pub fn new(variants: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
-        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
-        assert!(variants.iter().any(|(w, _)| *w > 0), "prop_oneof! needs a positive weight");
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
+        assert!(
+            variants.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
         Self { variants }
     }
 }
