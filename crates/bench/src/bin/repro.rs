@@ -24,6 +24,7 @@ const EXPERIMENTS: &[&str] = &[
     "recall",
     "throughput",
     "scaling",
+    "recovery",
 ];
 
 fn main() {
@@ -119,6 +120,18 @@ fn main() {
                 let r = throughput::run(&fixture);
                 r.print();
                 let path = throughput::output_path();
+                match r.write_json(&path) {
+                    Ok(()) => eprintln!("# wrote {path}"),
+                    Err(e) => {
+                        eprintln!("# FAILED to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "recovery" => {
+                let r = recovery::run(&fixture);
+                r.print();
+                let path = recovery::output_path();
                 match r.write_json(&path) {
                     Ok(()) => eprintln!("# wrote {path}"),
                     Err(e) => {

@@ -14,6 +14,7 @@ pub mod fig7_params;
 pub mod fig8_threads;
 pub mod fig9_nodes;
 pub mod recall;
+pub mod recovery;
 pub mod scaling;
 pub mod streaming_live;
 pub mod streaming_overhead;

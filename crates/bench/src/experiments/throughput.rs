@@ -74,10 +74,16 @@ impl LevelResult {
 /// The full throughput report.
 #[derive(Debug, Clone)]
 pub struct Throughput {
-    /// The five Figure 5 ablation levels (per-query pipeline).
+    /// The five Figure 5 ablation levels (per-query pipeline), all
+    /// measured best-of-[`REPS`].
     pub levels: Vec<LevelResult>,
-    /// The batched SIMD pipeline (fully optimized strategy).
+    /// The batched SIMD pipeline (fully optimized strategy), same
+    /// best-of-[`REPS`] protocol as the levels.
     pub batched: LevelResult,
+    /// Batched-over-optimized speedup from the interleaved A/B passes
+    /// (drift-compensated; this is the comparison number, the table rows
+    /// are the absolute ones).
+    pub speedup: f64,
     /// Mean Step Q2 nanoseconds per query (sequential profile).
     pub q2_ns_per_query: f64,
     /// Mean Step Q3 nanoseconds per query (sequential profile).
@@ -117,13 +123,18 @@ pub fn run(f: &Fixture) -> Throughput {
     let queries = f.query_vecs();
     let warm_queries = queries[..queries.len().min(32)].to_vec();
 
-    // Levels 0–3: best-of-REPS each (context for the trajectory). The
-    // Figure 5 protocol measures the *per-query* pipeline, so the request
-    // opts out of batched Q1.
+    // All five levels: identical best-of-REPS protocol. (An earlier
+    // revision measured the final level inside the A/B interleave below —
+    // a mean over the best pass's calls, not a best single call — which
+    // manufactured a phantom regression for "+large pages" against the
+    // best-of-REPS "+sw prefetch" row. The trajectory is only meaningful
+    // if every row is measured the same way.) The Figure 5 protocol
+    // measures the *per-query* pipeline, so the request opts out of
+    // batched Q1.
     let mut levels = Vec::new();
     let all_levels = plsh_core::QueryStrategy::ablation_levels();
-    let (last_name, last_strategy) = all_levels[all_levels.len() - 1];
-    for &(name, strategy) in &all_levels[..all_levels.len() - 1] {
+    let (_, last_strategy) = all_levels[all_levels.len() - 1];
+    for &(name, strategy) in all_levels.iter() {
         // Warm-up pass (page in tables, fill scratch slots), then best-of.
         let warm = SearchRequest::batch(warm_queries.clone())
             .with_strategy(strategy)
@@ -149,9 +160,9 @@ pub fn run(f: &Fixture) -> Throughput {
         levels.push(LevelResult::from_stats(name, &best.expect("REPS >= 1")));
     }
 
-    // Optimized per-query pipeline vs batched SIMD pipeline: interleaved
-    // A/B passes so noise drift cannot favor either side; each pass sums
-    // several batch executions, and the best pass of each side is reported.
+    // The batched pipeline row: same best-of-REPS protocol as the levels
+    // table, with every rep's answers checked bit-for-bit against the
+    // optimized per-query pipeline's.
     let opt_req = SearchRequest::batch(queries.to_vec())
         .with_strategy(last_strategy)
         .per_query_pipeline()
@@ -159,58 +170,76 @@ pub fn run(f: &Fixture) -> Throughput {
     let batched_req = SearchRequest::batch(queries.to_vec())
         .with_strategy(last_strategy)
         .with_stats();
-    let warm = SearchRequest::batch(warm_queries.clone())
-        .with_strategy(last_strategy)
-        .per_query_pipeline();
-    let _ = engine
-        .search(&warm, &f.pool)
-        .expect("valid warm-up request");
+    let optimized_answers: Vec<Vec<(u32, u32)>> = engine
+        .search(&opt_req, &f.pool)
+        .expect("valid optimized request")
+        .results
+        .iter()
+        .map(|h| sorted_hits(h))
+        .collect();
     let warm = SearchRequest::batch(warm_queries).with_strategy(last_strategy);
     let _ = engine
         .search(&warm, &f.pool)
         .expect("valid warm-up request");
+    let mut answers_match = true;
+    let mut best: Option<BatchStats> = None;
+    for _ in 0..REPS {
+        let resp = engine
+            .search(&batched_req, &f.pool)
+            .expect("valid batched request");
+        let stats = resp.stats.expect("stats requested");
+        answers_match &= resp
+            .results
+            .iter()
+            .zip(&optimized_answers)
+            .all(|(got, expect)| &sorted_hits(got) == expect);
+        if best.is_none_or(|b| stats.elapsed < b.elapsed) {
+            best = Some(stats);
+        }
+    }
+    let batched = LevelResult::from_stats("batched pipeline", &best.expect("REPS >= 1"));
+
+    // Batched-vs-optimized speedup: interleaved A/B passes so environment
+    // drift (CPU steal, thermal throttling) hits both sides alike; each
+    // pass sums several batch executions so short steal spikes average
+    // out, and the ratio is taken between the best pass of each side.
+    // This ratio is the *only* number the interleave produces — the table
+    // rows above all come from the uniform best-of-REPS protocol.
     let mut best_opt: Option<std::time::Duration> = None;
     let mut best_batched: Option<std::time::Duration> = None;
-    let mut opt_stats = BatchStats::default();
-    let mut batched_stats = BatchStats::default();
-    let mut optimized_answers: Vec<Vec<(u32, u32)>> = Vec::new();
-    let mut answers_match = true;
     for _ in 0..AB_REPS {
         let mut pass = std::time::Duration::ZERO;
         for _ in 0..AB_PASS_CALLS {
-            let resp = engine.search(&opt_req, &f.pool).expect("valid A/B request");
-            let stats = resp.stats.expect("stats requested");
+            let stats = engine
+                .search(&opt_req, &f.pool)
+                .expect("valid A/B request")
+                .stats
+                .expect("stats requested");
             pass += stats.elapsed;
-            opt_stats = stats;
-            if optimized_answers.is_empty() {
-                optimized_answers = resp.results.iter().map(|h| sorted_hits(h)).collect();
-            }
         }
         if best_opt.is_none_or(|b| pass < b) {
             best_opt = Some(pass);
         }
         let mut pass = std::time::Duration::ZERO;
         for _ in 0..AB_PASS_CALLS {
-            let resp = engine
+            let stats = engine
                 .search(&batched_req, &f.pool)
-                .expect("valid A/B request");
-            let stats = resp.stats.expect("stats requested");
+                .expect("valid A/B request")
+                .stats
+                .expect("stats requested");
             pass += stats.elapsed;
-            batched_stats = stats;
-            answers_match &= resp
-                .results
-                .iter()
-                .zip(&optimized_answers)
-                .all(|(got, expect)| &sorted_hits(got) == expect);
         }
         if best_batched.is_none_or(|b| pass < b) {
             best_batched = Some(pass);
         }
     }
-    opt_stats.elapsed = best_opt.expect("AB_REPS >= 1") / AB_PASS_CALLS as u32;
-    batched_stats.elapsed = best_batched.expect("AB_REPS >= 1") / AB_PASS_CALLS as u32;
-    levels.push(LevelResult::from_stats(last_name, &opt_stats));
-    let batched = LevelResult::from_stats("batched pipeline", &batched_stats);
+    let opt_pass = best_opt.expect("AB_REPS >= 1").as_secs_f64();
+    let batched_pass = best_batched.expect("AB_REPS >= 1").as_secs_f64();
+    let speedup = if batched_pass == 0.0 {
+        0.0
+    } else {
+        opt_pass / batched_pass
+    };
 
     // Per-phase breakdown (sequential, fully optimized pipeline).
     let profile_req = SearchRequest::batch(queries.to_vec()).with_profiling();
@@ -224,6 +253,7 @@ pub fn run(f: &Fixture) -> Throughput {
     Throughput {
         levels,
         batched,
+        speedup,
         q2_ns_per_query: timings.step_q2.as_nanos() as f64 / nq,
         q3_ns_per_query: timings.step_q3.as_nanos() as f64 / nq,
         simd_level: simd::level().name(),
@@ -240,14 +270,9 @@ pub fn run(f: &Fixture) -> Throughput {
 
 impl Throughput {
     /// Speedup of the batched pipeline over the fully optimized per-query
-    /// pipeline (the last ablation level).
+    /// pipeline, from the interleaved A/B measurement.
     pub fn batched_speedup(&self) -> f64 {
-        let base = self.levels.last().expect("five levels").qps;
-        if base == 0.0 {
-            0.0
-        } else {
-            self.batched.qps / base
-        }
+        self.speedup
     }
 
     /// Prints the report as a markdown table.

@@ -32,13 +32,27 @@
 //!   Section-7 predicted per-batch query time is minimal
 //!   ([`PerformanceModel::pick_shard_count`]); override it with
 //!   [`ShardedIndexBuilder::shards`].
-//!
-//! One caveat is inherited from per-node execution:
-//! [`SearchRequest::with_max_candidates`] budgets apply *per shard* (each
-//! shard truncates its own ascending-id candidate prefix), so budgeted
-//! requests can return more hits than a single engine with the same
-//! budget. Every other request shape is answer-identical — the root
-//! `backend_equivalence` suite pins this down.
+//! * **Candidate budgets are global.** A
+//!   [`SearchRequest::with_max_candidates`] budget is divided across the
+//!   shards (evenly, remainder to the lowest-numbered shards, floored at
+//!   one candidate per shard), so a sharded index examines at most the
+//!   same aggregate number of candidates as a single engine given the
+//!   same budget — the root `backend_equivalence` suite pins this down.
+//!   The per-shard *selection* still differs from a single engine's
+//!   (each shard truncates its own ascending-id candidate prefix), so
+//!   budgeted answer sets are budget-honoring rather than bit-identical;
+//!   unbudgeted requests remain bit-identical.
+//! * **Durability is per shard.** [`ShardedIndex::persist_to`] lays a
+//!   [`plsh_core::persist`] WAL-plus-segments directory per shard under
+//!   `shard-<i>/`, sealed by a checksummed top-level cluster manifest;
+//!   [`ShardedIndex::recover_from`] recovers every shard, then truncates
+//!   to the longest globally contiguous id prefix (a crash can land
+//!   mid-batch with some shards ahead of others) so the recovered index
+//!   is exactly a prefix of the routed stream. The id maps are not
+//!   stored: routing is a pure hash of the global id, so recovery
+//!   replays it deterministically. [`ShardedIndex::snapshot`] flattens
+//!   the whole corpus into a single-engine [`Snapshot`] in global-id
+//!   order.
 //!
 //! ```
 //! use plsh_cluster::ShardedIndex;
@@ -58,8 +72,11 @@
 //! assert!(resp.hits().iter().any(|h| h.index == ids[0]));
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -68,10 +85,12 @@ use plsh_core::engine::{EngineConfig, EngineStats, MergeReport};
 use plsh_core::error::{PlshError, Result as CoreResult};
 use plsh_core::model::{MachineProfile, PerformanceModel};
 use plsh_core::params::estimate_candidates;
+use plsh_core::persist;
 use plsh_core::search::{
     merge_partial_responses, rank_top_k_global, SearchBackend, SearchHit, SearchRequest,
     SearchResponse,
 };
+use plsh_core::snapshot::Snapshot;
 use plsh_core::sparse::SparseVector;
 use plsh_core::streaming::StreamingEngine;
 use plsh_parallel::ThreadPool;
@@ -161,14 +180,15 @@ impl ShardedIndexBuilder {
             let engine = StreamingEngine::new(self.node.clone(), ThreadPool::new(1))
                 .map_err(ClusterError::Node)?;
             let (tx, rx) = bounded::<ShardBatch>(self.queue_batches);
-            let pending = Arc::new(AtomicU64::new(0));
-            let worker = spawn_ingest_worker(engine.clone(), rx, pending.clone(), self.ingest_rate);
+            let progress = IngestProgress::new();
+            let worker =
+                spawn_ingest_worker(engine.clone(), rx, progress.clone(), self.ingest_rate);
             shard_handles.push(Shard {
                 engine,
                 globals: RwLock::new(Vec::new()),
                 tx: Some(tx),
                 worker: Some(worker),
-                pending,
+                progress,
             });
         }
         Ok(ShardedIndex {
@@ -200,8 +220,68 @@ struct Shard {
     globals: RwLock<Vec<u32>>,
     tx: Option<Sender<ShardBatch>>,
     worker: Option<JoinHandle<()>>,
-    /// Points routed but not yet inserted by the ingest thread.
-    pending: Arc<AtomicU64>,
+    /// Drain progress shared with the shard's ingest thread.
+    progress: Arc<IngestProgress>,
+}
+
+/// Ingest progress shared between a shard's router-side producers and its
+/// ingest thread: the queued-point count plus a condvar, so waiters
+/// ([`ShardedIndex::delete`], [`ShardedIndex::flush`]) sleep until the
+/// worker actually advances — and wake promptly if it dies instead of
+/// polling a counter that will never move again.
+struct IngestProgress {
+    /// Points routed but not yet inserted by the ingest thread
+    /// (monitoring reads stay lock-free).
+    pending: AtomicU64,
+    /// Cleared when the ingest thread exits — normally at shutdown,
+    /// abnormally on a panic.
+    alive: AtomicBool,
+    lock: Mutex<()>,
+    advanced: Condvar,
+}
+
+impl IngestProgress {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            pending: AtomicU64::new(0),
+            alive: AtomicBool::new(true),
+            lock: Mutex::new(()),
+            advanced: Condvar::new(),
+        })
+    }
+
+    /// Worker-side: one batch has landed in the engine.
+    fn batch_done(&self, points: u64) {
+        self.pending.fetch_sub(points, Ordering::SeqCst);
+        drop(self.lock.lock().unwrap());
+        self.advanced.notify_all();
+    }
+
+    /// Worker-side, on every exit path (panics included): the thread is
+    /// gone, wake everyone still waiting on it.
+    fn mark_dead(&self) {
+        let _g = self.lock.lock().unwrap();
+        self.alive.store(false, Ordering::SeqCst);
+        self.advanced.notify_all();
+    }
+
+    /// Blocks until `done()` holds or the worker dies; `true` means the
+    /// condition was reached. `done` must read state the worker updates
+    /// *before* it notifies (the engine length, the pending counter).
+    fn wait_until(&self, done: impl Fn() -> bool) -> bool {
+        let mut g = self.lock.lock().unwrap();
+        loop {
+            if done() {
+                return true;
+            }
+            if !self.alive.load(Ordering::SeqCst) {
+                // The worker may have completed this very work on its way
+                // out; one final check decides.
+                return done();
+            }
+            g = self.advanced.wait(g).unwrap();
+        }
+    }
 }
 
 /// Routing state, serialized by the router mutex: the global id counter
@@ -388,6 +468,7 @@ impl ShardedIndex {
             }
             router.used[shard] += docs.len();
             self.shards[shard]
+                .progress
                 .pending
                 .fetch_add(docs.len() as u64, Ordering::SeqCst);
             self.shards[shard]
@@ -409,13 +490,22 @@ impl ShardedIndex {
     /// drained from the shard queues and sealed (so all of them are
     /// query-visible). Does *not* wait for background merges — answers are
     /// identical either way.
+    ///
+    /// Waits on each shard's ingest condvar (woken per drained batch, so
+    /// a paced firehose sleeps instead of spinning). Panics if a shard's
+    /// ingest worker died with routed points undrained — the barrier can
+    /// never be reached, and the worker's own panic is re-raised when the
+    /// index drops.
     pub fn flush(&self) {
-        for shard in &self.shards {
-            while shard.pending.load(Ordering::SeqCst) != 0 {
-                // A paced firehose can take a while; sleep instead of
-                // spinning so the ingest threads keep the core.
-                std::thread::sleep(Duration::from_micros(200));
-            }
+        for (i, shard) in self.shards.iter().enumerate() {
+            let drained = shard
+                .progress
+                .wait_until(|| shard.progress.pending.load(Ordering::SeqCst) == 0);
+            assert!(
+                drained,
+                "shard {i} ingest worker died with {} routed points undrained",
+                shard.progress.pending.load(Ordering::SeqCst)
+            );
             // Seal anything a seal_min_points > 1 config left buffered.
             shard.engine.seal();
         }
@@ -456,31 +546,32 @@ impl ShardedIndex {
         }
     }
 
-    /// Tombstones a point by global id; returns `false` if unknown or
-    /// already deleted. If the point is still in flight in its shard's
-    /// ingest queue, this waits (sleeping, not spinning — a paced
-    /// firehose can take a while) for it to land first; the id was
-    /// assigned at routing time, so it arrives unless the shard's ingest
-    /// worker has died, in which case this returns `false` instead of
-    /// waiting forever.
-    pub fn delete(&self, id: u32) -> bool {
+    /// Tombstones a point by global id; `Ok(false)` if unknown or already
+    /// deleted. If the point is still in flight in its shard's ingest
+    /// queue, this waits on the shard's ingest condvar (woken per drained
+    /// batch — no polling) for it to land first; the id was assigned at
+    /// routing time, so it arrives unless the shard's ingest worker has
+    /// died, in which case this returns
+    /// [`ClusterError::IngestWorkerDied`] instead of waiting forever.
+    pub fn delete(&self, id: u32) -> Result<bool> {
         let local = {
             let locals = self.locals.read().unwrap();
             match locals.get(id as usize) {
                 Some(&l) => l,
-                None => return false,
+                None => return Ok(false),
             }
         };
-        let shard = &self.shards[self.route(id)];
-        while shard.engine.len() <= local as usize {
-            if shard.worker.as_ref().is_none_or(JoinHandle::is_finished) {
-                // The ingest worker exited while the point was still in
-                // flight: it will never land.
-                return false;
-            }
-            std::thread::sleep(Duration::from_micros(200));
+        let shard_id = self.route(id);
+        let shard = &self.shards[shard_id];
+        let landed = shard
+            .progress
+            .wait_until(|| shard.engine.len() > local as usize);
+        if !landed {
+            // The ingest worker exited while the point was still in
+            // flight: it will never land.
+            return Err(ClusterError::IngestWorkerDied { shard: shard_id });
         }
-        shard.engine.delete(local)
+        Ok(shard.engine.delete(local))
     }
 
     /// The stored vector for global id `id`, or `None` when the id is
@@ -501,7 +592,7 @@ impl ShardedIndex {
             .shards
             .iter()
             .zip(&engines)
-            .map(|(s, e)| e.total_points + s.pending.load(Ordering::SeqCst) as usize)
+            .map(|(s, e)| e.total_points + s.progress.pending.load(Ordering::SeqCst) as usize)
             .collect();
         ShardedStats {
             points_per_shard,
@@ -530,6 +621,13 @@ impl ShardedIndex {
     /// tie-break a single engine applies, so answer sets are
     /// bit-identical.
     ///
+    /// A [`SearchRequest::with_max_candidates`] budget is global: it is
+    /// divided across the shards (evenly, remainder to the
+    /// lowest-numbered shards, floored at one candidate per shard), so
+    /// the aggregate candidates examined never exceed a single engine's
+    /// under the same budget (up to the floor when the budget is smaller
+    /// than the shard count).
+    ///
     /// Counters aggregate across shards; [`SearchResponse::epoch`] is
     /// `None` (each shard pins its own).
     pub fn search_with(
@@ -539,8 +637,18 @@ impl ShardedIndex {
     ) -> CoreResult<SearchResponse> {
         req.validate(self.dim)?;
         let start = Instant::now();
-        let partials: Vec<CoreResult<SearchResponse>> =
-            pool.parallel_map(self.shards.iter(), |shard| shard.engine.search(req));
+        let shard_reqs: Option<Vec<SearchRequest>> = req.max_candidates().map(|budget| {
+            split_budget(budget, self.shards.len())
+                .into_iter()
+                .map(|b| req.clone().with_max_candidates(b))
+                .collect()
+        });
+        let partials: Vec<CoreResult<SearchResponse>> = match &shard_reqs {
+            Some(reqs) => pool.parallel_map(self.shards.iter().zip(reqs), |(shard, r)| {
+                shard.engine.search(r)
+            }),
+            None => pool.parallel_map(self.shards.iter(), |shard| shard.engine.search(req)),
+        };
         // Read-lock every shard's local→global map once for the whole
         // translation (queries only ever read these; writers append).
         let globals: Vec<_> = self
@@ -560,6 +668,207 @@ impl ShardedIndex {
             },
             rank_top_k_global,
         )
+    }
+
+    /// Captures the whole sharded corpus as one flattened [`Snapshot`] in
+    /// global-id order — the same format a single engine writes, so
+    /// [`Snapshot::restore`] yields a single
+    /// [`Engine`](plsh_core::engine::Engine) answering identically to
+    /// this index over the captured rows.
+    ///
+    /// Everything lands in the snapshot's static prefix (`static_len` =
+    /// total): the per-shard static/delta splits and generation
+    /// boundaries are ingest-batching artifacts with no effect on
+    /// answers. Purged and pending tombstones are translated to global
+    /// ids; restore replays the purges through its own merge, so the
+    /// purge accounting survives the round-trip.
+    ///
+    /// Calls [`flush`](Self::flush) first so every routed point is
+    /// captured; inserts racing the capture are truncated to the longest
+    /// dense global-id prefix.
+    pub fn snapshot(&self) -> Snapshot {
+        self.flush();
+        let total = self.len();
+        let caps: Vec<Snapshot> = self
+            .shards
+            .iter()
+            .map(|s| Snapshot::capture(s.engine.engine()))
+            .collect();
+        let globals: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.globals.read().unwrap())
+            .collect();
+        let mut rows: Vec<Option<SparseVector>> = vec![None; total];
+        let mut deleted = Vec::new();
+        let mut purged = Vec::new();
+        for (cap, map) in caps.iter().zip(&globals) {
+            for (local, v) in cap.vectors.iter().enumerate() {
+                if let Some(&g) = map.get(local) {
+                    if (g as usize) < total {
+                        rows[g as usize] = Some(v.clone());
+                    }
+                }
+            }
+            deleted.extend(
+                cap.deleted
+                    .iter()
+                    .filter_map(|&l| map.get(l as usize).copied()),
+            );
+            purged.extend(
+                cap.purged
+                    .iter()
+                    .filter_map(|&l| map.get(l as usize).copied()),
+            );
+        }
+        let keep = rows.iter().position(Option::is_none).unwrap_or(total);
+        rows.truncate(keep);
+        deleted.retain(|&g| (g as usize) < keep);
+        purged.retain(|&g| (g as usize) < keep);
+        deleted.sort_unstable();
+        purged.sort_unstable();
+        Snapshot {
+            params: caps[0].params.clone(),
+            capacity: (self.per_shard_capacity * self.shards.len()) as u64,
+            eta: caps[0].eta,
+            static_len: keep as u64,
+            vectors: rows.into_iter().map(|r| r.expect("dense prefix")).collect(),
+            deleted,
+            purged,
+        }
+    }
+
+    /// Attaches incremental durability to every shard: writes a baseline
+    /// of the current contents into `dir` — one [`plsh_core::persist`]
+    /// engine directory per shard under `shard-<i>/` — then seals the
+    /// cluster with a checksummed top-level manifest and keeps each shard
+    /// directory in sync from every insert, seal, delete, and merge. The
+    /// cluster manifest is written last (atomically, via rename), so a
+    /// crash mid-`persist_to` leaves a directory
+    /// [`recover_from`](Self::recover_from) cleanly rejects rather than a
+    /// torn cluster.
+    ///
+    /// The global↔local id maps are *not* stored: routing is a pure hash
+    /// of the global id ([`route`](Self::route)), so recovery replays the
+    /// assignment deterministically.
+    pub fn persist_to(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        self.flush();
+        fs::create_dir_all(dir).map_err(io_cluster)?;
+        if dir.join(CLUSTER_MANIFEST).exists() {
+            return Err(io_cluster(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{}: already holds a persisted index", dir.display()),
+            )));
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .engine
+                .persist_to(shard_dir(dir, i))
+                .map_err(ClusterError::Node)?;
+        }
+        let manifest = encode_cluster_manifest(
+            self.shards.len() as u32,
+            self.dim,
+            self.per_shard_capacity as u64,
+        );
+        write_cluster_manifest(dir, &manifest).map_err(io_cluster)?;
+        Ok(())
+    }
+
+    /// Recovers a sharded index from a directory written by
+    /// [`persist_to`](Self::persist_to), re-attaching persistence so the
+    /// recovered shards keep journaling.
+    ///
+    /// Every shard first recovers its own durable prefix (segments, then
+    /// the WAL tail). A crash can land mid-batch with some shards ahead
+    /// of others, so the cluster then truncates to the longest globally
+    /// contiguous id prefix — replaying the deterministic routing hash
+    /// from global id 0 until some shard runs out of recovered rows —
+    /// which also rebuilds the global↔local id maps. Shards holding rows
+    /// beyond the truncation point are rebuilt to the kept prefix and
+    /// re-baselined on disk. Answers are identical to a from-scratch
+    /// build over the recovered prefix (property-tested).
+    pub fn recover_from(dir: impl AsRef<Path>) -> Result<ShardedIndex> {
+        let dir = dir.as_ref();
+        let bytes = fs::read(dir.join(CLUSTER_MANIFEST)).map_err(|e| {
+            io_cluster(io::Error::new(
+                e.kind(),
+                format!("{}: no recoverable sharded index ({e})", dir.display()),
+            ))
+        })?;
+        let (num_shards, dim, per_shard_capacity) =
+            decode_cluster_manifest(&bytes).map_err(io_cluster)?;
+        let fanout = ThreadPool::default();
+        let states = (0..num_shards as usize)
+            .map(|i| persist::load_state(shard_dir(dir, i)))
+            .collect::<io::Result<Vec<_>>>()
+            .map_err(io_cluster)?;
+        for st in &states {
+            if st.params().dim() != dim {
+                return Err(ClusterError::Topology(format!(
+                    "shard dimensionality {} does not match the cluster manifest's {dim}",
+                    st.params().dim()
+                )));
+            }
+        }
+        // Longest globally contiguous prefix: replay the routing of every
+        // global id until some shard runs out of recovered rows. This
+        // walk *is* the id-map rebuild.
+        let s = states.len();
+        let mut keep = vec![0usize; s];
+        let mut globals: Vec<Vec<u32>> = vec![Vec::new(); s];
+        let mut locals: Vec<u32> = Vec::new();
+        let mut total = 0u32;
+        loop {
+            let shard = route_hash(total) as usize % s;
+            if keep[shard] == states[shard].total() {
+                break;
+            }
+            locals.push(keep[shard] as u32);
+            globals[shard].push(total);
+            keep[shard] += 1;
+            total += 1;
+        }
+        let mut shard_handles = Vec::with_capacity(s);
+        for (i, st) in states.iter().enumerate() {
+            let sdir = shard_dir(dir, i);
+            let engine = if keep[i] == st.total() {
+                persist::recover_engine_from_state(&sdir, st, &fanout)
+                    .map_err(ClusterError::Node)?
+            } else {
+                // This shard ran ahead of the crashed batch: rebuild the
+                // kept prefix and lay down a fresh baseline.
+                let engine = persist::rebuild_engine(st, Some(keep[i]), &fanout)
+                    .map_err(ClusterError::Node)?;
+                fs::remove_dir_all(&sdir).map_err(io_cluster)?;
+                engine.persist_to(&sdir).map_err(ClusterError::Node)?;
+                engine
+            };
+            let streaming = StreamingEngine::from_engine(engine, ThreadPool::new(1));
+            let (tx, rx) = bounded::<ShardBatch>(4);
+            let progress = IngestProgress::new();
+            let worker = spawn_ingest_worker(streaming.clone(), rx, progress.clone(), None);
+            shard_handles.push(Shard {
+                engine: streaming,
+                globals: RwLock::new(std::mem::take(&mut globals[i])),
+                tx: Some(tx),
+                worker: Some(worker),
+                progress,
+            });
+        }
+        Ok(ShardedIndex {
+            dim,
+            per_shard_capacity: per_shard_capacity as usize,
+            shards: shard_handles,
+            fanout,
+            router: Mutex::new(Router {
+                next_global: total,
+                used: keep,
+            }),
+            total: AtomicU64::new(total as u64),
+            locals: RwLock::new(locals),
+        })
     }
 }
 
@@ -598,6 +907,101 @@ impl std::fmt::Debug for ShardedIndex {
     }
 }
 
+/// Divides a global candidate budget across `shards`: `b / S` each, the
+/// first `b % S` shards one more, floored at one (a zero budget is not a
+/// valid request, so shards keep a minimal probe when `b < S`).
+fn split_budget(budget: usize, shards: usize) -> Vec<usize> {
+    let per = budget / shards;
+    let extra = budget % shards;
+    (0..shards)
+        .map(|i| (per + usize::from(i < extra)).max(1))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Cluster persistence layout
+// ---------------------------------------------------------------------
+
+/// Top-level cluster manifest file name.
+const CLUSTER_MANIFEST: &str = "MANIFEST";
+/// Cluster manifest magic.
+const CLUSTER_MAGIC: &[u8; 4] = b"PLSC";
+/// Cluster manifest format version.
+const CLUSTER_VERSION: u32 = 1;
+
+/// `dir/shard-<i>`: the per-shard engine directory.
+fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}"))
+}
+
+/// FNV-1a over the manifest bytes (same integrity check the per-engine
+/// manifest uses).
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn encode_cluster_manifest(shards: u32, dim: u32, per_shard_capacity: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28);
+    out.extend_from_slice(CLUSTER_MAGIC);
+    out.extend_from_slice(&CLUSTER_VERSION.to_le_bytes());
+    out.extend_from_slice(&shards.to_le_bytes());
+    out.extend_from_slice(&dim.to_le_bytes());
+    out.extend_from_slice(&per_shard_capacity.to_le_bytes());
+    let crc = fnv1a(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_cluster_manifest(bytes: &[u8]) -> io::Result<(u32, u32, u64)> {
+    let bad = |msg: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("cluster manifest: {msg}"),
+        )
+    };
+    if bytes.len() != 28 {
+        return Err(bad("wrong length"));
+    }
+    let (body, crc) = bytes.split_at(24);
+    if u32::from_le_bytes(crc.try_into().expect("4 bytes")) != fnv1a(body) {
+        return Err(bad("checksum mismatch"));
+    }
+    if &body[..4] != CLUSTER_MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let word = |at: usize| u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes"));
+    if word(4) != CLUSTER_VERSION {
+        return Err(bad("unsupported version"));
+    }
+    let shards = word(8);
+    if shards == 0 {
+        return Err(bad("zero shards"));
+    }
+    let dim = word(12);
+    let per_shard_capacity = u64::from_le_bytes(body[16..24].try_into().expect("8 bytes"));
+    Ok((shards, dim, per_shard_capacity))
+}
+
+/// Writes the cluster manifest durably: temp file, fsync, rename.
+fn write_cluster_manifest(dir: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut f = fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, dir.join(CLUSTER_MANIFEST))
+}
+
+/// Maps a cluster-level persistence I/O error into the shared error type.
+fn io_cluster(e: io::Error) -> ClusterError {
+    ClusterError::Node(PlshError::from(e))
+}
+
 /// SplitMix64 finalizer over the id — the stable routing hash.
 fn route_hash(id: u32) -> u64 {
     let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -618,10 +1022,20 @@ fn route_hash(id: u32) -> u64 {
 fn spawn_ingest_worker(
     engine: StreamingEngine,
     rx: Receiver<ShardBatch>,
-    pending: Arc<AtomicU64>,
+    progress: Arc<IngestProgress>,
     rate: Option<f64>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        // Marks the shard dead on every exit path — the normal
+        // queue-closed return *and* an unwinding panic — so waiters
+        // blocked on the condvar fail fast instead of hanging.
+        struct DeathNotice(Arc<IngestProgress>);
+        impl Drop for DeathNotice {
+            fn drop(&mut self) {
+                self.0.mark_dead();
+            }
+        }
+        let _notice = DeathNotice(progress.clone());
         let mut next_due = Instant::now();
         while let Ok(batch) = rx.recv() {
             if let Some(points_per_sec) = rate {
@@ -635,7 +1049,7 @@ fn spawn_ingest_worker(
             engine
                 .insert_batch(&batch.docs)
                 .expect("routing pre-validated dimensions and capacity");
-            pending.fetch_sub(batch.docs.len() as u64, Ordering::SeqCst);
+            progress.batch_done(batch.docs.len() as u64);
         }
     })
 }
@@ -795,9 +1209,12 @@ mod tests {
         let vs = random_vecs(60, 3);
         let ids = index.insert_batch(&vs).unwrap();
         // Delete immediately — the point may still be queued.
-        assert!(index.delete(ids[7]));
-        assert!(!index.delete(ids[7]), "double delete reports false");
-        assert!(!index.delete(9_999), "unknown id reports false");
+        assert!(index.delete(ids[7]).unwrap());
+        assert!(
+            !index.delete(ids[7]).unwrap(),
+            "double delete reports false"
+        );
+        assert!(!index.delete(9_999).unwrap(), "unknown id reports false");
         index.flush();
         let resp = index.search(&SearchRequest::query(vs[7].clone())).unwrap();
         assert!(resp.hits().iter().all(|h| h.index != ids[7]));
@@ -910,6 +1327,179 @@ mod tests {
                 .unwrap();
             assert!(resp.hits().iter().any(|h| h.index == probe as u32));
         }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("plsh-sharded-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Sorted `(global id, distance bits)` radius answers — the
+    /// bit-identical comparison key used across the equivalence suites.
+    fn answers(index: &ShardedIndex, q: &SparseVector) -> Vec<(u32, u32)> {
+        let mut hits: Vec<(u32, u32)> = index
+            .search(&SearchRequest::query(q.clone()))
+            .unwrap()
+            .hits()
+            .iter()
+            .map(|h| (h.index, h.distance.to_bits()))
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+
+    #[test]
+    fn budget_splits_evenly_with_floor() {
+        assert_eq!(split_budget(50, 4), vec![13, 13, 12, 12]);
+        assert_eq!(split_budget(3, 3), vec![1, 1, 1]);
+        assert_eq!(split_budget(2, 5), vec![1, 1, 1, 1, 1]);
+        assert_eq!(split_budget(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn budgeted_search_honors_the_global_budget() {
+        let index = sharded(5, 1_000);
+        let vs = random_vecs(400, 9);
+        index.insert_batch(&vs).unwrap();
+        index.flush();
+        let budget = 40;
+        let resp = index
+            .search(
+                &SearchRequest::query(vs[0].clone())
+                    .with_max_candidates(budget)
+                    .with_stats(),
+            )
+            .unwrap();
+        let totals = resp.stats.unwrap().totals;
+        assert!(
+            totals.distance_computations <= budget as u64,
+            "aggregate candidates {} exceed the global budget {budget}",
+            totals.distance_computations
+        );
+        // Budgeted hits are a subset of the unbudgeted answer set.
+        let full: Vec<u32> = index
+            .search(&SearchRequest::query(vs[0].clone()))
+            .unwrap()
+            .hits()
+            .iter()
+            .map(|h| h.index)
+            .collect();
+        for h in resp.hits() {
+            assert!(
+                full.contains(&h.index),
+                "budgeted hit {} not in the full answer set",
+                h.index
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_manifest_rejects_corruption() {
+        let good = encode_cluster_manifest(3, 64, 1_000);
+        assert_eq!(decode_cluster_manifest(&good).unwrap(), (3, 64, 1_000));
+        let mut bad_crc = good.clone();
+        bad_crc[8] ^= 1;
+        assert!(decode_cluster_manifest(&bad_crc).is_err());
+        assert!(decode_cluster_manifest(&good[..20]).is_err());
+        assert!(decode_cluster_manifest(&encode_cluster_manifest(0, 64, 10)).is_err());
+    }
+
+    #[test]
+    fn snapshot_flattens_with_purge_accounting() {
+        let index = sharded(3, 1_000);
+        let vs = random_vecs(150, 12);
+        index.insert_batch(&vs).unwrap();
+        index.flush();
+        index.delete(10).unwrap();
+        index.quiesce(); // fold every shard: id 10 gets purged
+        index.delete(20).unwrap(); // stays pending
+        let snap = index.snapshot();
+        assert_eq!(snap.vectors.len(), 150);
+        assert_eq!(snap.static_len, 150, "the flattened corpus is all static");
+        assert!(snap.purged.contains(&10));
+        assert!(snap.deleted.contains(&20));
+        let pool = ThreadPool::new(2);
+        let single = snap.restore(&pool).unwrap();
+        for q in vs.iter().step_by(17) {
+            let mut got: Vec<(u32, u32)> = single
+                .query(q)
+                .into_iter()
+                .map(|n| (n.index, n.distance.to_bits()))
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, answers(&index, q), "flattened snapshot diverged");
+        }
+    }
+
+    #[test]
+    fn persist_recover_round_trip() {
+        let dir = tempdir("roundtrip");
+        let vs = random_vecs(200, 10);
+        let probes: Vec<SparseVector> = vs.iter().step_by(23).cloned().collect();
+        let before: Vec<Vec<(u32, u32)>>;
+        {
+            let index = sharded(3, 1_000);
+            index.insert_batch(&vs[..120]).unwrap();
+            index.flush();
+            index.delete(17).unwrap();
+            index.quiesce(); // merge → purge 17 before the baseline
+            index.persist_to(&dir).unwrap();
+            // Post-baseline traffic flows through the per-shard WALs.
+            index.insert_batch(&vs[120..]).unwrap();
+            index.delete(150).unwrap();
+            index.flush();
+            before = probes.iter().map(|q| answers(&index, q)).collect();
+        }
+        let recovered = ShardedIndex::recover_from(&dir).unwrap();
+        assert_eq!(recovered.len(), 200);
+        assert_eq!(recovered.num_shards(), 3);
+        for (q, want) in probes.iter().zip(&before) {
+            assert_eq!(&answers(&recovered, q), want, "recovery diverged");
+        }
+        // The recovered index keeps journaling: new inserts survive a
+        // second recovery.
+        let extra = random_vecs(30, 11);
+        recovered.insert_batch(&extra).unwrap();
+        recovered.flush();
+        let probe = extra[0].clone();
+        let want = answers(&recovered, &probe);
+        drop(recovered);
+        let again = ShardedIndex::recover_from(&dir).unwrap();
+        assert_eq!(again.len(), 230);
+        assert_eq!(answers(&again, &probe), want);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dead_ingest_worker_fails_fast() {
+        let dir = tempdir("dead-worker");
+        let index = sharded(2, 1_000);
+        let vs = random_vecs(40, 13);
+        index.insert_batch(&vs).unwrap();
+        index.persist_to(&dir).unwrap();
+        // Fail-stop: yank shard 0's data directory out from under it so
+        // its next durable write panics the ingest worker.
+        fs::remove_dir_all(dir.join("shard-0").join("data-0")).unwrap();
+        // Route points until two head for shard 0: the first one's
+        // durable write kills the worker, the second can never land.
+        let mut shard0 = Vec::new();
+        let mut next = index.len() as u32;
+        let filler = random_vecs(1, 14).pop().unwrap();
+        while shard0.len() < 2 {
+            if index.route(next) == 0 {
+                shard0.push(next);
+            }
+            index.insert(filler.clone()).unwrap();
+            next += 1;
+        }
+        let err = index.delete(shard0[1]).unwrap_err();
+        assert_eq!(err, ClusterError::IngestWorkerDied { shard: 0 });
+        // Dropping the index re-raises the worker's panic.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(index)));
+        assert!(panicked.is_err(), "the worker panic must not be swallowed");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

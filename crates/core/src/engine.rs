@@ -30,7 +30,7 @@
 //! sketches for static points, so sketch storage is dropped at merge time.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use plsh_parallel::{EpochPtr, ThreadPool};
@@ -191,6 +191,23 @@ impl DeletionBitmap {
 
     fn count(&self) -> usize {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Set ids below `limit`, ascending (snapshot capture, manifest
+    /// writes).
+    fn set_ids(&self, limit: u32) -> Vec<u32> {
+        let mut ids = Vec::new();
+        for (wi, word) in self.words.iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            while bits != 0 {
+                let id = (wi * 64) as u32 + bits.trailing_zeros();
+                bits &= bits - 1;
+                if id < limit {
+                    ids.push(id);
+                }
+            }
+        }
+        ids
     }
 
     /// Plain-integer snapshot of the words (the merge's purge decision).
@@ -361,6 +378,9 @@ pub struct Engine {
     merges: AtomicU64,
     last_merge: Mutex<MergeReport>,
     scratches: ScratchPool,
+    /// Incremental durability, when attached (see [`crate::persist`]).
+    /// Hooks are called under the write mutex, so WAL order is id order.
+    persister: RwLock<Option<Arc<crate::persist::EnginePersister>>>,
 }
 
 impl Engine {
@@ -391,6 +411,7 @@ impl Engine {
             scratches,
             planes: Arc::new(planes),
             config,
+            persister: RwLock::new(None),
         })
     }
 
@@ -547,6 +568,11 @@ impl Engine {
         }
         let from = w.total;
         if !vs.is_empty() {
+            // Write-ahead: the batch reaches the WAL (and is fsynced)
+            // before it is applied in memory.
+            if let Some(p) = self.persister() {
+                p.log_insert(from, vs);
+            }
             let p = &self.config.params;
             if w.open.is_none() {
                 w.open = Some(DeltaGeneration::new(
@@ -596,6 +622,11 @@ impl Engine {
             return false;
         }
         let gen = Arc::new(open);
+        // Durability before visibility: the immutable segment is on disk
+        // (and the covering WAL retired) before the epoch swap.
+        if let Some(p) = self.persister() {
+            p.on_seal(&gen);
+        }
         self.epoch
             .rcu(|prev| Arc::new(EngineView::with_sealed(prev, gen.clone())));
         true
@@ -666,6 +697,12 @@ impl Engine {
         if self.config.query_strategy.huge_pages {
             statics.advise_huge_pages();
         }
+        // The next static segment goes to disk off to the side, like the
+        // tables themselves; the manifest swap at publish time is what
+        // commits it. `persist_to` holds the merge lock, so the persister
+        // cannot attach or detach between here and publish.
+        let persister = self.persister();
+        let prepared_seq = persister.as_ref().map(|p| p.prepare_static(&static_data));
         let build = t0.elapsed();
 
         // Publish: one swap under the write lock. Everything sealed after
@@ -684,16 +721,29 @@ impl Engine {
             .all(|(a, b)| Arc::ptr_eq(a, b)));
         let remaining = current.sealed[gens.len()..].to_vec();
         let deleted = Arc::new(current.deleted.cloned_without(&purged_now));
+        let static_data = Arc::new(static_data);
         let view = EngineView {
             visible_len: current.visible_len,
-            static_data: Arc::new(static_data),
+            static_data: static_data.clone(),
             statics: Some(Arc::new(statics)),
             sealed: remaining,
-            deleted,
+            deleted: deleted.clone(),
         };
         w.purged.extend_from_slice(&purged_now);
         w.purged.sort_unstable();
         self.epoch.store(Arc::new(view));
+        if let Some(p) = &persister {
+            // Commit the merge durably: manifest swap (the atomic commit
+            // point, with every pending tombstone snapshotted), then
+            // retire the consumed generation files.
+            let seq = prepared_seq.expect("prepared with the same persister");
+            p.publish_static(
+                seq,
+                static_data.num_rows() as u64,
+                &w.purged,
+                deleted.set_ids(w.total),
+            );
+        }
         drop(w);
         let publish = t1.elapsed();
 
@@ -722,7 +772,13 @@ impl Engine {
         if w.purged.binary_search(&id).is_ok() {
             return false;
         }
-        self.epoch.snapshot().deleted.set(id)
+        let newly = self.epoch.snapshot().deleted.set(id);
+        if newly {
+            if let Some(p) = self.persister() {
+                p.log_delete(id);
+            }
+        }
+        newly
     }
 
     /// True iff `id` is tombstoned (pending or already purged).
@@ -787,6 +843,42 @@ impl Engine {
             self.config.params.dim(),
             self.config.capacity,
         )));
+        if let Some(p) = self.persister() {
+            p.on_clear();
+        }
+    }
+
+    /// The attached persister, if durability is on.
+    pub(crate) fn persister(&self) -> Option<Arc<crate::persist::EnginePersister>> {
+        self.persister.read().unwrap().clone()
+    }
+
+    pub(crate) fn set_persister(&self, p: crate::persist::EnginePersister) {
+        *self.persister.write().unwrap() = Some(Arc::new(p));
+    }
+
+    /// Baseline capture + attach for [`crate::persist`]: one hold of the
+    /// merge and write locks, so the baseline is mutually consistent and
+    /// no merge can publish between capture and attachment.
+    pub(crate) fn attach_persister(&self, dir: &std::path::Path) -> Result<()> {
+        let _m = self.merge_lock.lock().unwrap();
+        let w = self.write.lock().unwrap();
+        let view = self.epoch.snapshot();
+        let baseline = crate::persist::Baseline {
+            params: &self.config.params,
+            capacity: self.config.capacity as u64,
+            eta: self.config.eta,
+            seal_min_points: self.config.seal_min_points as u64,
+            static_data: &view.static_data,
+            static_len: view.static_len(),
+            sealed: &view.sealed,
+            open: w.open.as_ref(),
+            purged: &w.purged,
+            pending: view.deleted.set_ids(w.total),
+        };
+        let p = crate::persist::EnginePersister::create(dir, &baseline)?;
+        *self.persister.write().unwrap() = Some(Arc::new(p));
+        Ok(())
     }
 
     fn view_ctx<'a>(&'a self, view: &'a EngineView) -> QueryContext<'a> {

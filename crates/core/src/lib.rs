@@ -18,6 +18,7 @@
 //! | [`query`] | 5.2 | the Q1–Q4 query pipeline with ablation switches |
 //! | [`engine`] | 4, 6 | single-node engine: epoch-swapped static tables + sealed delta generations + deletions + merge |
 //! | [`streaming`] | 4, 6 | shared-read streaming handle: concurrent ingest ‖ query ‖ background merge |
+//! | [`persist`] | — | durable WAL + segment-per-generation persistence and startup recovery |
 //! | [`params`] | 3, 7.2–7.3 | collision math and parameter selection |
 //! | [`model`] | 7.1 | the analytic performance model |
 //!
@@ -48,6 +49,7 @@ pub mod error;
 pub mod hash;
 pub mod model;
 pub mod params;
+pub mod persist;
 pub mod query;
 pub mod rng;
 pub mod search;
@@ -63,6 +65,7 @@ pub use engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergeReport};
 pub use error::{PlshError, Result};
 pub use hash::{Hyperplanes, HyperplanesKind, SketchMatrix};
 pub use params::{ParamCandidate, ParamSelection, PlshParams, PlshParamsBuilder};
+pub use persist::RecoveredState;
 pub use query::{BatchStats, Neighbor, QueryPhaseTimings, QueryStats, QueryStrategy};
 pub use search::{SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
 pub use snapshot::Snapshot;

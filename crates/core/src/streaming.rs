@@ -66,6 +66,23 @@ impl StreamingEngine {
         }
     }
 
+    /// Attaches incremental durability (see [`crate::persist`]): writes a
+    /// baseline of the current contents into `dir`, then keeps the
+    /// directory in sync from every insert, seal, delete, merge, and
+    /// clear this handle (or any clone) performs.
+    pub fn persist_to(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        self.engine.persist_to(dir)
+    }
+
+    /// Recovers an engine from a directory written by
+    /// [`persist_to`](Self::persist_to) and wraps it in a streaming
+    /// handle, with persistence re-attached. Answers are bit-identical to
+    /// a from-scratch build over the recovered rows.
+    pub fn recover_from(dir: impl AsRef<std::path::Path>, pool: ThreadPool) -> Result<Self> {
+        let engine = Engine::recover_from(dir, &pool)?;
+        Ok(Self::from_engine(engine, pool))
+    }
+
     /// The underlying engine (all its `&self` operations are safe to call
     /// concurrently with this handle's).
     pub fn engine(&self) -> &Engine {

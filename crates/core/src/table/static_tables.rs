@@ -177,13 +177,27 @@ impl StaticTables {
             .sum()
     }
 
+    /// Tables below this total footprint skip huge-page advice entirely:
+    /// each per-table array would fall under the kernel's 2 MB huge-page
+    /// granularity anyway (the per-array no-op check in
+    /// `util::advise_huge_pages`), so issuing the hints would only add
+    /// `2·L` wasted `madvise` syscalls to every merge publish path.
+    pub const HUGE_PAGE_MIN_TABLE_BYTES: usize = 8 << 20;
+
     /// Issues transparent-huge-page hints for every table's storage
     /// (the "+large pages" lever of Figure 5 applied to table arrays).
-    pub fn advise_huge_pages(&self) {
-        for t in &self.tables {
-            crate::util::advise_huge_pages(&t.offsets);
-            crate::util::advise_huge_pages(&t.entries);
+    /// Gated behind [`Self::HUGE_PAGE_MIN_TABLE_BYTES`]; returns the
+    /// number of hints actually issued.
+    pub fn advise_huge_pages(&self) -> usize {
+        if self.memory_bytes() < Self::HUGE_PAGE_MIN_TABLE_BYTES {
+            return 0;
         }
+        let mut issued = 0;
+        for t in &self.tables {
+            issued += usize::from(crate::util::advise_huge_pages(&t.offsets));
+            issued += usize::from(crate::util::advise_huge_pages(&t.entries));
+        }
+        issued
     }
 
     /// Builds the next static epoch by **merging** a previous epoch's

@@ -37,7 +37,7 @@ fn main() -> plsh::Result<()> {
     index.add_batch(&corpus.vectors()[..4_500])?;
     index.merge();
     index.add_batch(&corpus.vectors()[4_500..])?;
-    index.delete(42);
+    index.delete(42)?;
     let stats = index.stats();
     println!(
         "live index: {} points ({} static, {} delta, {} deleted)",

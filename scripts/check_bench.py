@@ -11,10 +11,17 @@ script asserts the structural invariants each experiment guarantees, plus
 the design bars:
 
 * throughput — five Figure-5 ablation levels, positive qps/phase times,
-  `answers_match` (the batched pipeline must not change answers).
+  `answers_match` (the batched pipeline must not change answers), and the
+  "+large pages" level not regressing against "+sw prefetch" (all levels
+  share one best-of-REPS protocol, so a regression is real, not a
+  measurement artifact).
 * streaming — background merges fired, query throughput during ingest
   within the 2x bar of quiesced (generous 0.4 floor for noisy shared
   runners), probes found in every batch, epochs always consistent.
+* recovery — the durability experiment: a generation-segmented layout
+  with a live WAL tail at crash time, positive journaled-ingest and
+  replay rates, recovered answers bit-identical to the in-memory twin,
+  and every pre-crash tombstone surviving.
 * scaling — the 1/2/4/8-shard sweep: `answers_match` per shard count and
   multi-shard query qps >= 1.5x the 1-shard configuration. The speedup
   bar expresses cross-shard parallelism (quiesced) or merge-amplification
@@ -35,6 +42,10 @@ import sys
 SIMD_LEVELS = ("scalar", "sse2", "avx2")
 SCALING_SPEEDUP_BAR = 1.5
 STREAMING_DURING_FLOOR = 0.4
+# "+large pages" vs "+sw prefetch": the level adds an madvise hint that is
+# a no-op below the table-size threshold and a win above it, so it must
+# never lose — beyond a 10% allowance for run-to-run noise on shared hosts.
+ABLATION_REGRESSION_FLOOR = 0.9
 
 
 def fail(path, msg):
@@ -65,7 +76,37 @@ def check_throughput(path, d):
             fail(path, f"phase_ns_per_query[{phase!r}] must be positive")
     if d["answers_match"] is not True:
         fail(path, "batched pipeline changed answers")
+    prefetch, large = d["levels"][3], d["levels"][4]
+    if large["qps"] < ABLATION_REGRESSION_FLOOR * prefetch["qps"]:
+        fail(path, f"ablation regression: {large['name']!r} at {large['qps']} qps "
+                   f"vs {prefetch['name']!r} at {prefetch['qps']} qps "
+                   f"(floor {ABLATION_REGRESSION_FLOOR})")
     print(f"{path} OK: batched pipeline {json.dumps(d['batched_pipeline'])}")
+
+
+def check_recovery(path, d):
+    if not (isinstance(d["docs"], int) and d["docs"] > 0):
+        fail(path, f"docs must be positive, got {d['docs']!r}")
+    if d["generation_segments"] < 1:
+        fail(path, "crash layout must include sealed generation segments")
+    if d["wal_points"] < 1:
+        fail(path, "crash layout must include a live WAL tail "
+                   "(recovery must exercise the replay path)")
+    if d["static_points"] + d["wal_points"] > d["docs"]:
+        fail(path, f"layout does not add up: {d['static_points']} static + "
+                   f"{d['wal_points']} WAL > {d['docs']} docs")
+    for key in ("ingest_qps_journaled", "ingest_qps_memory",
+                "recovery_ms", "replay_points_per_sec"):
+        if not d[key] > 0:
+            fail(path, f"{key} must be positive, got {d[key]!r}")
+    if d["tombstones"] < 1:
+        fail(path, "the schedule must issue tombstones before the crash")
+    if d["answers_match"] is not True:
+        fail(path, "recovered answers diverged from the in-memory twin")
+    if d["tombstones_survived"] is not True:
+        fail(path, "a pre-crash tombstone was lost in recovery")
+    print(f"{path} OK: recovered {d['docs']} docs "
+          f"({d['wal_points']} from the WAL) in {d['recovery_ms']} ms")
 
 
 def check_streaming(path, d):
@@ -124,6 +165,7 @@ CHECKS = {
     "throughput": check_throughput,
     "streaming": check_streaming,
     "scaling": check_scaling,
+    "recovery": check_recovery,
 }
 
 

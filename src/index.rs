@@ -151,8 +151,9 @@ impl IndexBuilder {
     /// (hash-routed ingest, overlapping background merges, query fan-out)
     /// behind the same call surface. `capacity` becomes the *per-shard*
     /// capacity, as in the paper's per-node `C`. See
-    /// [`ShardedIndex`] for routing and merge semantics; snapshots are
-    /// not yet supported on sharded indexes.
+    /// [`ShardedIndex`] for routing and merge semantics; snapshots
+    /// flatten into the single-engine format and durable directories get
+    /// one subdirectory per shard.
     pub fn shards(mut self, shards: usize) -> Self {
         self.sharding = Some(Some(shards));
         self
@@ -320,13 +321,18 @@ impl Index {
         Ok(slots)
     }
 
-    /// Tombstones a point; returns `false` if already deleted or out of
+    /// Tombstones a point; `Ok(false)` if already deleted or out of
     /// range. The point disappears from all future queries immediately
     /// and is purged from the tables at the next merge.
-    pub fn delete(&self, id: u32) -> bool {
+    ///
+    /// On a sharded index a point still in flight in its shard's ingest
+    /// queue is waited for (condvar, not polling); if that shard's ingest
+    /// worker has died the wait fails fast with an error instead of
+    /// hanging.
+    pub fn delete(&self, id: u32) -> Result<bool> {
         match &self.backend {
-            Backend::Single(engine) => engine.delete(id),
-            Backend::Sharded(sharded) => sharded.delete(id),
+            Backend::Single(engine) => Ok(engine.delete(id)),
+            Backend::Sharded(sharded) => sharded.delete(id).map_err(PlshError::from),
         }
     }
 
@@ -565,23 +571,59 @@ impl Index {
 
     /// Writes a snapshot of the index (parameters, rows, static/delta
     /// split, tombstones) to any byte sink. Safe to call while other
-    /// threads keep inserting and merging. Not yet supported on sharded
-    /// indexes (errors rather than writing a partial view).
+    /// threads keep inserting and merging. Every backend round-trips: a
+    /// sharded index flattens into the same single-engine format
+    /// (restoring it yields a single-node index with identical answers).
     pub fn save_to<W: Write>(&self, w: &mut W) -> Result<()> {
         Ok(self.snapshot()?.write_to(w)?)
     }
 
-    /// Captures the index's state as an in-memory [`Snapshot`]. Errors on
-    /// a sharded index (per-shard snapshots are not yet wired up).
+    /// Captures the index's state as an in-memory [`Snapshot`]. A sharded
+    /// index drains its shard queues first, then captures every shard and
+    /// flattens the corpus into global-id order
+    /// ([`ShardedIndex::snapshot`]).
     pub fn snapshot(&self) -> Result<Snapshot> {
         match &self.backend {
             Backend::Single(engine) => Ok(Snapshot::capture(engine.engine())),
-            Backend::Sharded(_) => Err(PlshError::InvalidParams(
-                "snapshots of sharded indexes are not supported yet; \
-                 snapshot each shard's engine individually"
-                    .into(),
-            )),
+            Backend::Sharded(sharded) => Ok(sharded.snapshot()),
         }
+    }
+
+    /// Attaches incremental durability: writes a baseline of the current
+    /// contents into `dir` (a WAL-plus-segments directory per engine —
+    /// see [`plsh_core::persist`]; one `shard-<i>/` subdirectory each on
+    /// a sharded index), then keeps the directory in sync from every
+    /// insert, seal, delete, and merge. Recover with
+    /// [`recover_from`](Index::recover_from).
+    pub fn persist_to(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        match &self.backend {
+            Backend::Single(engine) => engine.persist_to(dir),
+            Backend::Sharded(sharded) => sharded.persist_to(dir).map_err(PlshError::from),
+        }
+    }
+
+    /// Recovers an index from a directory written by
+    /// [`persist_to`](Index::persist_to) — single-node or sharded, told
+    /// apart by the manifest magic — replaying segments, then the WAL
+    /// tail, then tombstones, and re-attaching persistence so the
+    /// recovered index keeps journaling. The vectorizer is not part of
+    /// the directory; re-attach one with
+    /// [`with_vectorizer`](Index::with_vectorizer).
+    pub fn recover_from(dir: impl AsRef<std::path::Path>) -> Result<Index> {
+        let dir = dir.as_ref();
+        let manifest = std::fs::read(dir.join("MANIFEST"))
+            .map_err(|e| PlshError::Io(format!("{}: no recoverable index ({e})", dir.display())))?;
+        let backend = if manifest.starts_with(b"PLSC") {
+            Backend::Sharded(Arc::new(
+                ShardedIndex::recover_from(dir).map_err(PlshError::from)?,
+            ))
+        } else {
+            Backend::Single(StreamingEngine::recover_from(dir, ThreadPool::default())?)
+        };
+        Ok(Index {
+            backend,
+            vectorizer: None,
+        })
     }
 
     fn require_vectorizer(&self) -> Result<&Vectorizer> {
@@ -703,7 +745,7 @@ mod tests {
             .collect();
         index.add_batch(&vs).unwrap();
         index.merge();
-        index.delete(3);
+        index.delete(3).unwrap();
         let mut bytes = Vec::new();
         index.save_to(&mut bytes).unwrap();
         let restored = Index::restore_from(&mut bytes.as_slice()).unwrap();
@@ -744,7 +786,7 @@ mod tests {
         let hits = index.query(&vs[5]).unwrap();
         assert!(hits.iter().any(|h| h.index == 5));
         assert_eq!(index.vector(5).as_ref(), Some(&vs[5]));
-        assert!(index.delete(5));
+        assert!(index.delete(5).unwrap());
         assert!(index.query(&vs[5]).unwrap().iter().all(|h| h.index != 5));
         // Maintenance aggregates across shards.
         index.merge();
@@ -752,12 +794,23 @@ mod tests {
         assert_eq!(stats.static_points, 90);
         assert!(stats.merges >= 3, "every shard merged");
         assert!(index.last_merge().merged_points > 0);
-        // Snapshots are explicitly unsupported (no partial views).
+        // Snapshots flatten the sharded corpus and restore to a
+        // single-node index with identical answers.
         let mut sink = Vec::new();
-        assert!(matches!(
-            index.save_to(&mut sink),
-            Err(PlshError::InvalidParams(_))
-        ));
+        index.save_to(&mut sink).unwrap();
+        let restored = Index::restore_from(&mut sink.as_slice()).unwrap();
+        assert_eq!(restored.len(), 90);
+        for q in vs.iter().step_by(13) {
+            let mut a: Vec<u32> = index.query(q).unwrap().iter().map(|h| h.index).collect();
+            let mut b: Vec<u32> = restored.query(q).unwrap().iter().map(|h| h.index).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "flattened snapshot must answer identically");
+        }
+        assert!(
+            restored.query(&vs[5]).unwrap().iter().all(|h| h.index != 5),
+            "tombstones survive the flattened round-trip"
+        );
         assert!(index.backend().is_none());
         assert!(index.sharded_backend().is_some());
     }

@@ -6,10 +6,12 @@
 //! segmented across static tables, sealed delta generations, shards, or
 //! in-flight background merges.
 //!
-//! One documented exception: a [`SearchRequest::with_max_candidates`]
-//! budget applies *per shard* on a sharded backend (each shard truncates
-//! its own ascending-id candidate prefix), so budgeted requests are
-//! compared only across the single-node backends.
+//! Budgeted requests ([`SearchRequest::with_max_candidates`]) compare
+//! bit-identically across the single-node backends; a sharded backend
+//! divides the budget across its shards, so its answers are checked to be
+//! budget-*honoring* instead — every hit a true hit and the aggregate
+//! candidates examined within the global budget — since each shard
+//! truncates its own ascending-id candidate prefix.
 
 use plsh::cluster::{Cluster, ClusterConfig};
 use plsh::core::engine::{Engine, EngineConfig};
@@ -171,9 +173,9 @@ fn all_backends_answer_identically() {
 
     let queries = QuerySet::sample_from_corpus(&corpus, 60, 9);
     let qs = queries.queries().to_vec();
-    // (request, per-shard-budgeted): budgeted requests truncate the
-    // candidate prefix per shard, so they are compared only across the
-    // single-node backends.
+    // (request, budgeted): budgeted requests divide the candidate budget
+    // across shards, so sharded backends are held to budget-honoring
+    // assertions instead of bit-identity.
     let requests = [
         // The batched SIMD pipeline (the default door).
         (SearchRequest::batch(qs.clone()), false),
@@ -214,6 +216,9 @@ fn all_backends_answer_identically() {
     ];
 
     let compare_all = |label: &str| {
+        // The unbudgeted radius answer set: the ground truth budgeted
+        // sharded hits must be a subset of.
+        let full = answers(&engine, &requests[0].0, &pool);
         for (ri, (req, budgeted)) in requests.iter().enumerate() {
             let a = answers(&engine, req, &pool);
             let b = answers(&streaming, req, &pool);
@@ -224,6 +229,36 @@ fn all_backends_answer_identically() {
             );
             assert_eq!(a, c, "{label}: Engine vs Cluster diverged on request {ri}");
             if *budgeted {
+                // The budget is divided across shards (floored at one per
+                // shard), so a sharded backend's *selection* differs from
+                // a single engine's; what must hold is that the budget is
+                // honored globally: every hit is a true radius hit, and
+                // the aggregate candidates examined stay within the
+                // global budget.
+                let budget = req.max_candidates().expect("budgeted request") as u64;
+                for s in &sharded {
+                    let got = sharded_answers(s, req, &pool);
+                    for (qi, hits) in got.iter().enumerate() {
+                        for hit in hits {
+                            assert!(
+                                full[qi].contains(hit),
+                                "{label}: {}-shard budgeted hit {hit:?} for query {qi} \
+                                 is not a true radius hit (request {ri})",
+                                s.num_shards()
+                            );
+                        }
+                    }
+                    let resp = SearchBackend::search(s, &req.clone().with_stats(), &pool).unwrap();
+                    let totals = resp.stats.expect("asked for stats").totals;
+                    let cap = budget * req.queries().len() as u64;
+                    assert!(
+                        totals.distance_computations <= cap,
+                        "{label}: {}-shard backend examined {} candidates, \
+                         budget allows {cap} (request {ri})",
+                        s.num_shards(),
+                        totals.distance_computations
+                    );
+                }
                 continue;
             }
             for s in &sharded {

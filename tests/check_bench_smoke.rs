@@ -1,20 +1,21 @@
-//! Smoke test: `scripts/check_bench.py` must keep validating the three
+//! Smoke test: `scripts/check_bench.py` must keep validating the four
 //! committed benchmark reports.
 //!
 //! The script is the single source of truth for what CI asserts about
-//! `BENCH_query.json`, `BENCH_streaming.json`, and `BENCH_cluster.json`
-//! (it used to live inline in `ci.yml`, where nothing exercised it before
-//! a workflow ran). This test pins the contract down from `cargo test`:
-//! the script exists, parses, and accepts the committed full-scale
-//! reports it ships with.
+//! `BENCH_query.json`, `BENCH_streaming.json`, `BENCH_cluster.json`, and
+//! `BENCH_recovery.json` (it used to live inline in `ci.yml`, where
+//! nothing exercised it before a workflow ran). This test pins the
+//! contract down from `cargo test`: the script exists, parses, and
+//! accepts the committed full-scale reports it ships with.
 
 use std::path::Path;
 use std::process::Command;
 
-const REPORTS: [&str; 3] = [
+const REPORTS: [&str; 4] = [
     "BENCH_query.json",
     "BENCH_streaming.json",
     "BENCH_cluster.json",
+    "BENCH_recovery.json",
 ];
 
 #[test]
@@ -51,7 +52,7 @@ fn check_bench_script_accepts_committed_reports() {
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(
-        stdout.contains("all 3 report(s) OK"),
+        stdout.contains("all 4 report(s) OK"),
         "unexpected script output:\n{stdout}"
     );
 }

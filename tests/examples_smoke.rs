@@ -8,7 +8,8 @@
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
+    "durable_restart",
     "first_story_detection",
     "param_tuning",
     "quickstart",
