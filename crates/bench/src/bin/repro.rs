@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "throughput",
     "scaling",
     "recovery",
+    "faults",
 ];
 
 fn main() {
@@ -132,6 +133,18 @@ fn main() {
                 let r = recovery::run(&fixture);
                 r.print();
                 let path = recovery::output_path();
+                match r.write_json(&path) {
+                    Ok(()) => eprintln!("# wrote {path}"),
+                    Err(e) => {
+                        eprintln!("# FAILED to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "faults" => {
+                let r = faults::run(&fixture);
+                r.print();
+                let path = faults::output_path();
                 match r.write_json(&path) {
                     Ok(()) => eprintln!("# wrote {path}"),
                     Err(e) => {

@@ -5,6 +5,7 @@
 //! reported values alongside, so `repro all` regenerates the whole of
 //! EXPERIMENTS.md's measured columns.
 
+pub mod faults;
 pub mod fig10_latency;
 pub mod fig11_streaming;
 pub mod fig4_creation;

@@ -288,7 +288,7 @@ fn run_one(
     index
         .insert_batch(&f.corpus.vectors()[..preload])
         .expect("preload fits");
-    index.quiesce();
+    index.quiesce().expect("ingest workers alive");
     let merges_before = index.stats().merges;
 
     // Warm the query path.
@@ -306,7 +306,7 @@ fn run_one(
             for batch in docs.chunks(chunk) {
                 index.insert_batch(batch).expect("stream fits capacity");
             }
-            index.flush(); // visibility barrier: queues drained
+            index.flush().expect("ingest workers alive"); // visibility barrier
             let elapsed = t0.elapsed();
             done.store(true, Ordering::Release);
             elapsed
@@ -327,7 +327,7 @@ fn run_one(
     }
     let ingest_elapsed = ingest.join().expect("ingest thread");
     let merges = index.stats().merges - merges_before;
-    index.quiesce();
+    index.quiesce().expect("ingest workers alive");
 
     // Quiesced reference over the same slice, same batch count (min 5).
     let reps = during_batches.max(5);

@@ -75,10 +75,10 @@ impl LevelResult {
 #[derive(Debug, Clone)]
 pub struct Throughput {
     /// The five Figure 5 ablation levels (per-query pipeline), all
-    /// measured best-of-[`REPS`].
+    /// measured best-of-`REPS`.
     pub levels: Vec<LevelResult>,
     /// The batched SIMD pipeline (fully optimized strategy), same
-    /// best-of-[`REPS`] protocol as the levels.
+    /// best-of-`REPS` protocol as the levels.
     pub batched: LevelResult,
     /// Batched-over-optimized speedup from the interleaved A/B passes
     /// (drift-compensated; this is the comparison number, the table rows

@@ -85,15 +85,22 @@ impl Firehose {
     /// (insert → seal → background merge at `η·C`), so the caller's thread
     /// is free to run queries concurrently. Returns a handle that joins
     /// the thread and reports ingest statistics.
+    ///
+    /// If an insert fails (capacity exceeded, engine degraded to
+    /// read-only), the pump stops drawing from the stream, records the
+    /// error in [`IngestStats::error`], and returns — the firehose
+    /// producer unblocks when the pump's receiver drops, so nothing
+    /// hangs.
     pub fn pump_into(self, engine: StreamingEngine) -> IngestPump {
         let handle = std::thread::spawn(move || {
             let t0 = Instant::now();
             let mut stats = IngestStats::default();
             while let Some(batch) = self.next_batch() {
                 let t1 = Instant::now();
-                engine
-                    .insert_batch(&batch.docs)
-                    .expect("firehose ingest must fit node capacity");
+                if let Err(e) = engine.insert_batch(&batch.docs) {
+                    stats.error = Some(e.to_string());
+                    break;
+                }
                 stats.insert_time += t1.elapsed();
                 stats.batches += 1;
                 stats.points += batch.docs.len() as u64;
@@ -129,7 +136,7 @@ impl Drop for Firehose {
 }
 
 /// What an ingest pump did, measured on the ingest thread.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IngestStats {
     /// Batches drained from the firehose.
     pub batches: u64,
@@ -140,6 +147,9 @@ pub struct IngestStats {
     /// Wall time from pump start to stream end (includes waiting on a
     /// paced producer).
     pub elapsed: Duration,
+    /// The insert error that stopped the pump early, if any (rendered;
+    /// the typed error stays with the engine — e.g. its degraded flag).
+    pub error: Option<String>,
 }
 
 impl IngestStats {
@@ -155,23 +165,45 @@ impl IngestStats {
 }
 
 /// Handle to the ingest thread spawned by [`Firehose::pump_into`].
+///
+/// Dropping the pump without [`join`](IngestPump::join)ing it still joins
+/// the thread (the firehose producer has either finished or unblocks when
+/// the pump's receiver drops), so no dangling ingest thread outlives the
+/// handle.
 pub struct IngestPump {
     handle: Option<JoinHandle<IngestStats>>,
 }
 
 impl IngestPump {
-    /// True once the ingest thread has drained the stream.
+    /// True once the ingest thread has drained the stream (or stopped
+    /// early on an insert error — see [`IngestStats::error`]).
     pub fn is_finished(&self) -> bool {
         self.handle.as_ref().is_none_or(JoinHandle::is_finished)
     }
 
-    /// Joins the ingest thread and returns its statistics.
+    /// Joins the ingest thread and returns its statistics. A pump whose
+    /// thread panicked (it shouldn't: insert errors stop it cleanly)
+    /// yields default stats with the panic recorded in
+    /// [`IngestStats::error`].
     pub fn join(mut self) -> IngestStats {
-        self.handle
-            .take()
-            .expect("pump joined once")
-            .join()
-            .expect("ingest thread panicked")
+        let Some(handle) = self.handle.take() else {
+            return IngestStats::default();
+        };
+        handle.join().unwrap_or_else(|payload| IngestStats {
+            error: Some(format!(
+                "ingest thread panicked: {}",
+                plsh_parallel::panic_message(payload.as_ref())
+            )),
+            ..IngestStats::default()
+        })
+    }
+}
+
+impl Drop for IngestPump {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -266,6 +298,7 @@ mod tests {
         }
         let stats = pump.join();
         engine.wait_for_merge();
+        assert!(stats.error.is_none(), "clean pump: {:?}", stats.error);
         assert_eq!(stats.points, 120);
         assert_eq!(stats.batches, 5);
         assert!(stats.insert_qps() > 0.0);
@@ -276,5 +309,52 @@ mod tests {
                 "doc {i}"
             );
         }
+    }
+
+    #[test]
+    fn pump_surfaces_insert_errors_without_hanging() {
+        use plsh_core::engine::EngineConfig;
+        use plsh_core::params::PlshParams;
+        use plsh_parallel::ThreadPool;
+
+        let params = PlshParams::builder(64)
+            .k(4)
+            .m(4)
+            .radius(0.9)
+            .seed(5)
+            .build()
+            .unwrap();
+        // Capacity 30 < 120 docs: the pump must stop at the failed batch
+        // instead of panicking, and the blocked producer must unwind.
+        let engine =
+            StreamingEngine::new(EngineConfig::new(params, 30), ThreadPool::new(1)).unwrap();
+        let pump = Firehose::start(docs(120), 25, 1).pump_into(engine.clone());
+        let stats = pump.join();
+        assert!(
+            stats.error.is_some(),
+            "capacity overflow must surface as an ingest error"
+        );
+        assert_eq!(stats.points, 25, "only the batch that fit landed");
+        assert_eq!(engine.len(), 25);
+    }
+
+    #[test]
+    fn dropping_an_unjoined_pump_joins_the_thread() {
+        use plsh_core::engine::EngineConfig;
+        use plsh_core::params::PlshParams;
+        use plsh_parallel::ThreadPool;
+
+        let params = PlshParams::builder(64)
+            .k(4)
+            .m(4)
+            .radius(0.9)
+            .seed(7)
+            .build()
+            .unwrap();
+        let engine =
+            StreamingEngine::new(EngineConfig::new(params, 200), ThreadPool::new(1)).unwrap();
+        let pump = Firehose::start(docs(60), 20, 1).pump_into(engine.clone());
+        drop(pump); // must block until the stream is fully drained
+        assert_eq!(engine.len(), 60, "drop-join drained the whole stream");
     }
 }

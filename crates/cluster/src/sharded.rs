@@ -67,13 +67,14 @@
 //!     .unwrap();
 //! let v = SparseVector::unit(vec![(0, 1.0), (3, 2.0)]).unwrap();
 //! let ids = index.insert_batch(std::slice::from_ref(&v)).unwrap();
-//! index.flush(); // barrier: every routed point is now query-visible
+//! index.flush().unwrap(); // barrier: every routed point is now query-visible
 //! let resp = index.search(&SearchRequest::query(v)).unwrap();
 //! assert!(resp.hits().iter().any(|h| h.index == ids[0]));
 //! ```
 
 use std::fs;
 use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -83,6 +84,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use plsh_core::engine::{EngineConfig, EngineStats, MergeReport};
 use plsh_core::error::{PlshError, Result as CoreResult};
+use plsh_core::fault;
+use plsh_core::health::{HealthReport, WorkerHealth};
 use plsh_core::model::{MachineProfile, PerformanceModel};
 use plsh_core::params::estimate_candidates;
 use plsh_core::persist;
@@ -93,7 +96,7 @@ use plsh_core::search::{
 use plsh_core::snapshot::Snapshot;
 use plsh_core::sparse::SparseVector;
 use plsh_core::streaming::StreamingEngine;
-use plsh_parallel::ThreadPool;
+use plsh_parallel::{Backoff, ThreadPool, WorkerStatus};
 
 use crate::error::{ClusterError, Result};
 
@@ -181,14 +184,21 @@ impl ShardedIndexBuilder {
                 .map_err(ClusterError::Node)?;
             let (tx, rx) = bounded::<ShardBatch>(self.queue_batches);
             let progress = IngestProgress::new();
-            let worker =
-                spawn_ingest_worker(engine.clone(), rx, progress.clone(), self.ingest_rate);
+            let status = Arc::new(WorkerStatus::new());
+            let worker = spawn_ingest_worker(
+                engine.clone(),
+                rx,
+                progress.clone(),
+                status.clone(),
+                self.ingest_rate,
+            );
             shard_handles.push(Shard {
                 engine,
                 globals: RwLock::new(Vec::new()),
                 tx: Some(tx),
                 worker: Some(worker),
                 progress,
+                status,
             });
         }
         Ok(ShardedIndex {
@@ -222,6 +232,9 @@ struct Shard {
     worker: Option<JoinHandle<()>>,
     /// Drain progress shared with the shard's ingest thread.
     progress: Arc<IngestProgress>,
+    /// Supervision accounting for the ingest thread (restarts, last
+    /// panic, liveness) — surfaced through [`ShardedIndex::health`].
+    status: Arc<WorkerStatus>,
 }
 
 /// Ingest progress shared between a shard's router-side producers and its
@@ -234,8 +247,13 @@ struct IngestProgress {
     /// (monitoring reads stay lock-free).
     pending: AtomicU64,
     /// Cleared when the ingest thread exits — normally at shutdown,
-    /// abnormally on a panic.
+    /// abnormally on a panic that exhausted the restart budget.
     alive: AtomicBool,
+    /// Set when the shard's engine entered degraded read-only mode: the
+    /// worker keeps draining the queue (so producers never block on a
+    /// full channel) but discards the batches, and waiters must not wait
+    /// for discarded points to land.
+    degraded: AtomicBool,
     lock: Mutex<()>,
     advanced: Condvar,
 }
@@ -245,41 +263,61 @@ impl IngestProgress {
         Arc::new(Self {
             pending: AtomicU64::new(0),
             alive: AtomicBool::new(true),
+            degraded: AtomicBool::new(false),
             lock: Mutex::new(()),
             advanced: Condvar::new(),
         })
     }
 
-    /// Worker-side: one batch has landed in the engine.
+    /// Worker-side: one batch has landed in (or been rejected by) the
+    /// engine.
     fn batch_done(&self, points: u64) {
         self.pending.fetch_sub(points, Ordering::SeqCst);
-        drop(self.lock.lock().unwrap());
+        drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
         self.advanced.notify_all();
     }
 
     /// Worker-side, on every exit path (panics included): the thread is
     /// gone, wake everyone still waiting on it.
     fn mark_dead(&self) {
-        let _g = self.lock.lock().unwrap();
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         self.alive.store(false, Ordering::SeqCst);
         self.advanced.notify_all();
     }
 
-    /// Blocks until `done()` holds or the worker dies; `true` means the
-    /// condition was reached. `done` must read state the worker updates
-    /// *before* it notifies (the engine length, the pending counter).
+    /// Worker-side: the shard's engine degraded to read-only; wake
+    /// waiters so they observe the flag instead of sleeping forever on
+    /// points that will never land.
+    fn set_degraded(&self) {
+        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.degraded.store(true, Ordering::SeqCst);
+        self.advanced.notify_all();
+    }
+
+    fn clear_degraded(&self) {
+        self.degraded.store(false, Ordering::SeqCst);
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until `done()` holds or the worker dies or degrades; `true`
+    /// means the condition was reached. `done` must read state the worker
+    /// updates *before* it notifies (the engine length, the pending
+    /// counter).
     fn wait_until(&self, done: impl Fn() -> bool) -> bool {
-        let mut g = self.lock.lock().unwrap();
+        let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if done() {
                 return true;
             }
-            if !self.alive.load(Ordering::SeqCst) {
+            if !self.alive.load(Ordering::SeqCst) || self.degraded.load(Ordering::SeqCst) {
                 // The worker may have completed this very work on its way
                 // out; one final check decides.
                 return done();
             }
-            g = self.advanced.wait(g).unwrap();
+            g = self.advanced.wait(g).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -422,7 +460,7 @@ impl ShardedIndex {
                 }
             }
         }
-        let mut router = self.router.lock().unwrap();
+        let mut router = self.router.lock().unwrap_or_else(|e| e.into_inner());
         if router.next_global as usize + vs.len() > u32::MAX as usize {
             return Err(ClusterError::Node(PlshError::CapacityExceeded {
                 capacity: u32::MAX as usize,
@@ -436,10 +474,28 @@ impl ShardedIndex {
             extra[self.route(gid)] += 1;
         }
         for (shard, add) in extra.iter().enumerate() {
+            if *add == 0 {
+                continue;
+            }
             if router.used[shard] + add > self.per_shard_capacity {
                 return Err(ClusterError::Node(PlshError::CapacityExceeded {
                     capacity: self.per_shard_capacity,
                 }));
+            }
+            // Fail fast instead of queueing onto a worker that can never
+            // land the points.
+            let target = &self.shards[shard];
+            if !target.progress.alive.load(Ordering::SeqCst) {
+                return Err(ClusterError::IngestWorkerDied { shard });
+            }
+            if target.progress.is_degraded() {
+                return Err(ClusterError::Node(PlshError::Degraded(
+                    target
+                        .engine
+                        .engine()
+                        .degraded_reason()
+                        .unwrap_or_else(|| "shard ingest degraded to read-only".into()),
+                )));
             }
         }
         // Apply: assign ids, extend both id maps, then enqueue. The router
@@ -450,12 +506,16 @@ impl ShardedIndex {
         let ids: Vec<u32> = (from..from + vs.len() as u32).collect();
         let mut per_shard: Vec<Vec<SparseVector>> = vec![Vec::new(); self.shards.len()];
         {
-            let mut locals = self.locals.write().unwrap();
+            let mut locals = self.locals.write().unwrap_or_else(|e| e.into_inner());
             for (gid, v) in ids.iter().zip(vs) {
                 let shard = self.route(*gid);
                 let local = (router.used[shard] + per_shard[shard].len()) as u32;
                 locals.push(local);
-                self.shards[shard].globals.write().unwrap().push(*gid);
+                self.shards[shard]
+                    .globals
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(*gid);
                 per_shard[shard].push(v.clone());
             }
         }
@@ -466,17 +526,28 @@ impl ShardedIndex {
             if docs.is_empty() {
                 continue;
             }
-            router.used[shard] += docs.len();
+            let len = docs.len();
+            router.used[shard] += len;
             self.shards[shard]
                 .progress
                 .pending
-                .fetch_add(docs.len() as u64, Ordering::SeqCst);
-            self.shards[shard]
+                .fetch_add(len as u64, Ordering::SeqCst);
+            let sent = self.shards[shard]
                 .tx
                 .as_ref()
                 .expect("ingest queues live as long as the index")
-                .send(ShardBatch { docs })
-                .expect("ingest worker outlives the index");
+                .send(ShardBatch { docs });
+            if sent.is_err() {
+                // The worker died between the pre-check and the send (the
+                // channel is disconnected, so this returns immediately —
+                // it can never block forever on a dead drain). The ids
+                // routed to the dead shard are lost; surface that.
+                self.shards[shard]
+                    .progress
+                    .pending
+                    .fetch_sub(len as u64, Ordering::SeqCst);
+                return Err(ClusterError::IngestWorkerDied { shard });
+            }
         }
         Ok(ids)
     }
@@ -492,33 +563,36 @@ impl ShardedIndex {
     /// identical either way.
     ///
     /// Waits on each shard's ingest condvar (woken per drained batch, so
-    /// a paced firehose sleeps instead of spinning). Panics if a shard's
-    /// ingest worker died with routed points undrained — the barrier can
-    /// never be reached, and the worker's own panic is re-raised when the
-    /// index drops.
-    pub fn flush(&self) {
+    /// a paced firehose sleeps instead of spinning). Returns
+    /// [`ClusterError::IngestWorkerDied`] if a shard's ingest worker died
+    /// with routed points undrained — the barrier can never be reached —
+    /// instead of blocking forever. A *degraded* shard still flushes
+    /// `Ok`: its worker keeps draining (discarding) the queue, and the
+    /// degradation itself is reported by [`health`](Self::health) and by
+    /// every write.
+    pub fn flush(&self) -> Result<()> {
         for (i, shard) in self.shards.iter().enumerate() {
             let drained = shard
                 .progress
                 .wait_until(|| shard.progress.pending.load(Ordering::SeqCst) == 0);
-            assert!(
-                drained,
-                "shard {i} ingest worker died with {} routed points undrained",
-                shard.progress.pending.load(Ordering::SeqCst)
-            );
+            if !drained {
+                return Err(ClusterError::IngestWorkerDied { shard: i });
+            }
             // Seal anything a seal_min_points > 1 config left buffered.
             shard.engine.seal();
         }
+        Ok(())
     }
 
     /// Full quiesce: [`flush`](Self::flush), then fold every shard's
     /// sealed generations into its static tables (waiting out in-flight
     /// background merges first).
-    pub fn quiesce(&self) {
-        self.flush();
+    pub fn quiesce(&self) -> Result<()> {
+        self.flush()?;
         for shard in &self.shards {
             shard.engine.flush();
         }
+        Ok(())
     }
 
     /// Starts a background merge on every shard that has sealed data;
@@ -555,7 +629,7 @@ impl ShardedIndex {
     /// [`ClusterError::IngestWorkerDied`] instead of waiting forever.
     pub fn delete(&self, id: u32) -> Result<bool> {
         let local = {
-            let locals = self.locals.read().unwrap();
+            let locals = self.locals.read().unwrap_or_else(|e| e.into_inner());
             match locals.get(id as usize) {
                 Some(&l) => l,
                 None => return Ok(false),
@@ -567,17 +641,36 @@ impl ShardedIndex {
             .progress
             .wait_until(|| shard.engine.len() > local as usize);
         if !landed {
+            if shard.progress.is_degraded() {
+                // The point was discarded by a degraded shard: it will
+                // never land, and the write path is read-only anyway.
+                return Err(ClusterError::Node(PlshError::Degraded(
+                    shard
+                        .engine
+                        .engine()
+                        .degraded_reason()
+                        .unwrap_or_else(|| "shard ingest degraded to read-only".into()),
+                )));
+            }
             // The ingest worker exited while the point was still in
             // flight: it will never land.
             return Err(ClusterError::IngestWorkerDied { shard: shard_id });
         }
-        Ok(shard.engine.delete(local))
+        shard
+            .engine
+            .engine()
+            .try_delete(local)
+            .map_err(ClusterError::Node)
     }
 
     /// The stored vector for global id `id`, or `None` when the id is
     /// unknown, still in flight, or purged by a past merge.
     pub fn vector(&self, id: u32) -> Option<SparseVector> {
-        let local = *self.locals.read().unwrap().get(id as usize)?;
+        let local = *self
+            .locals
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(id as usize)?;
         self.shards[self.route(id)].engine.engine().vector(local)
     }
 
@@ -637,6 +730,9 @@ impl ShardedIndex {
     ) -> CoreResult<SearchResponse> {
         req.validate(self.dim)?;
         let start = Instant::now();
+        if let Some(deadline) = req.shard_deadline() {
+            return self.search_with_deadline(req, deadline, start);
+        }
         let shard_reqs: Option<Vec<SearchRequest>> = req.max_candidates().map(|budget| {
             split_budget(budget, self.shards.len())
                 .into_iter()
@@ -654,7 +750,7 @@ impl ShardedIndex {
         let globals: Vec<_> = self
             .shards
             .iter()
-            .map(|s| s.globals.read().unwrap())
+            .map(|s| s.globals.read().unwrap_or_else(|e| e.into_inner()))
             .collect();
         merge_partial_responses(
             req.queries().len(),
@@ -668,6 +764,143 @@ impl ShardedIndex {
             },
             rank_top_k_global,
         )
+    }
+
+    /// Deadline-bounded fan-out: one dedicated thread per shard (the
+    /// work-stealing pool cannot abandon a stalled task), a condvar-timed
+    /// wait on the coordinator. Shards that miss the deadline — or whose
+    /// query thread panics — are dropped from the answer and listed in
+    /// [`SearchResponse::timed_out_shards`]; their threads are detached
+    /// and finish (or die) harmlessly against their pinned epoch.
+    fn search_with_deadline(
+        &self,
+        req: &SearchRequest,
+        deadline: Duration,
+        start: Instant,
+    ) -> CoreResult<SearchResponse> {
+        let n = self.shards.len();
+        let nq = req.queries().len();
+        let shard_reqs: Vec<SearchRequest> = match req.max_candidates() {
+            Some(budget) => split_budget(budget, n)
+                .into_iter()
+                .map(|b| req.clone().with_max_candidates(b))
+                .collect(),
+            None => (0..n).map(|_| req.clone()).collect(),
+        };
+        type Slots = (Mutex<Vec<Option<CoreResult<SearchResponse>>>>, Condvar);
+        let slots: Arc<Slots> =
+            Arc::new((Mutex::new((0..n).map(|_| None).collect()), Condvar::new()));
+        for (i, (shard, r)) in self.shards.iter().zip(shard_reqs).enumerate() {
+            let engine = shard.engine.clone();
+            let slots = Arc::clone(&slots);
+            std::thread::spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    fault::point(fault::QUERY_SHARD);
+                    engine.search(&r)
+                }));
+                if let Ok(resp) = outcome {
+                    let (lock, cv) = &*slots;
+                    let mut filled = lock.lock().unwrap_or_else(|e| e.into_inner());
+                    filled[i] = Some(resp);
+                    cv.notify_all();
+                }
+                // A panicked shard leaves its slot None — same as a
+                // timeout: flagged, not fatal.
+            });
+        }
+        let deadline_at = start + deadline;
+        let (lock, cv) = &*slots;
+        let mut filled = lock.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if filled.iter().all(Option::is_some) {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline_at {
+                break;
+            }
+            let (guard, _timeout) = cv
+                .wait_timeout(filled, deadline_at - now)
+                .unwrap_or_else(|e| e.into_inner());
+            filled = guard;
+        }
+        let mut timed_out = Vec::new();
+        let partials: Vec<CoreResult<SearchResponse>> = filled
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| match slot.take() {
+                Some(resp) => resp,
+                None => {
+                    timed_out.push(i as u32);
+                    Ok(SearchResponse {
+                        results: vec![Vec::new(); nq],
+                        stats: None,
+                        phase_timings: None,
+                        epoch: None,
+                        timed_out_shards: Vec::new(),
+                    })
+                }
+            })
+            .collect();
+        drop(filled);
+        let globals: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.globals.read().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let mut resp = merge_partial_responses(
+            nq,
+            req.mode(),
+            start,
+            partials,
+            |shard_id, h| SearchHit {
+                node: shard_id as u32,
+                index: globals[shard_id][h.index as usize],
+                distance: h.distance,
+            },
+            rank_top_k_global,
+        )?;
+        resp.timed_out_shards = timed_out;
+        Ok(resp)
+    }
+
+    /// Aggregate health: every shard engine's report (names prefixed
+    /// `shard<i>.`) plus one ingest-worker entry per shard. `degraded` is
+    /// the OR across shards; `pending_ingest` sums the routed-not-drained
+    /// backlog.
+    pub fn health(&self) -> HealthReport {
+        let mut report = HealthReport::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            let mut child = shard.engine.health();
+            child.pending_ingest = shard.progress.pending.load(Ordering::SeqCst);
+            report.absorb(&format!("shard{i}"), child);
+            report.workers.push(WorkerHealth {
+                name: format!("shard{i}.ingest"),
+                alive: shard.status.alive() && shard.progress.alive.load(Ordering::SeqCst),
+                restarts: shard.status.restarts(),
+                last_panic: shard.status.last_panic(),
+            });
+        }
+        report
+    }
+
+    /// Attempts to lift every degraded shard back to read-write by
+    /// re-syncing its persistence from memory (see
+    /// [`Engine::heal`](plsh_core::engine::Engine::heal)). Returns `true`
+    /// when no shard remains degraded. Ingest workers that exhausted
+    /// their restart budget stay dead — they exit their thread, so only
+    /// reconstruction ([`recover_from`](Self::recover_from)) revives
+    /// them.
+    pub fn heal(&self) -> bool {
+        let mut ok = true;
+        for shard in &self.shards {
+            if shard.engine.heal() {
+                shard.progress.clear_degraded();
+            } else {
+                ok = false;
+            }
+        }
+        ok
     }
 
     /// Captures the whole sharded corpus as one flattened [`Snapshot`] in
@@ -687,7 +920,10 @@ impl ShardedIndex {
     /// captured; inserts racing the capture are truncated to the longest
     /// dense global-id prefix.
     pub fn snapshot(&self) -> Snapshot {
-        self.flush();
+        // Best-effort barrier: a dead or degraded shard cannot drain, so
+        // capture whatever landed (the dense-prefix truncation below
+        // keeps the snapshot consistent regardless).
+        let _ = self.flush();
         let total = self.len();
         let caps: Vec<Snapshot> = self
             .shards
@@ -697,7 +933,7 @@ impl ShardedIndex {
         let globals: Vec<_> = self
             .shards
             .iter()
-            .map(|s| s.globals.read().unwrap())
+            .map(|s| s.globals.read().unwrap_or_else(|e| e.into_inner()))
             .collect();
         let mut rows: Vec<Option<SparseVector>> = vec![None; total];
         let mut deleted = Vec::new();
@@ -753,7 +989,7 @@ impl ShardedIndex {
     /// assignment deterministically.
     pub fn persist_to(&self, dir: impl AsRef<Path>) -> Result<()> {
         let dir = dir.as_ref();
-        self.flush();
+        self.flush()?;
         fs::create_dir_all(dir).map_err(io_cluster)?;
         if dir.join(CLUSTER_MANIFEST).exists() {
             return Err(io_cluster(io::Error::new(
@@ -848,13 +1084,21 @@ impl ShardedIndex {
             let streaming = StreamingEngine::from_engine(engine, ThreadPool::new(1));
             let (tx, rx) = bounded::<ShardBatch>(4);
             let progress = IngestProgress::new();
-            let worker = spawn_ingest_worker(streaming.clone(), rx, progress.clone(), None);
+            let status = Arc::new(WorkerStatus::new());
+            let worker = spawn_ingest_worker(
+                streaming.clone(),
+                rx,
+                progress.clone(),
+                status.clone(),
+                None,
+            );
             shard_handles.push(Shard {
                 engine: streaming,
                 globals: RwLock::new(std::mem::take(&mut globals[i])),
                 tx: Some(tx),
                 worker: Some(worker),
                 progress,
+                status,
             });
         }
         Ok(ShardedIndex {
@@ -885,13 +1129,10 @@ impl Drop for ShardedIndex {
         }
         for shard in &mut self.shards {
             if let Some(handle) = shard.worker.take() {
-                if let Err(payload) = handle.join() {
-                    // Re-raise ingest panics instead of swallowing them;
-                    // a second panic while already unwinding would abort.
-                    if !std::thread::panicking() {
-                        std::panic::resume_unwind(payload);
-                    }
-                }
+                // Workers contain their own panics (supervised restarts)
+                // and mark themselves dead on exhaustion; a join failure
+                // here carries nothing worth re-raising.
+                let _ = handle.join();
             }
         }
     }
@@ -1023,8 +1264,12 @@ fn spawn_ingest_worker(
     engine: StreamingEngine,
     rx: Receiver<ShardBatch>,
     progress: Arc<IngestProgress>,
+    status: Arc<WorkerStatus>,
     rate: Option<f64>,
 ) -> JoinHandle<()> {
+    /// In-place restarts granted per batch before the worker gives up
+    /// and dies (surfacing [`ClusterError::IngestWorkerDied`] to senders).
+    const MAX_RESTARTS: u32 = 3;
     std::thread::spawn(move || {
         // Marks the shard dead on every exit path — the normal
         // queue-closed return *and* an unwinding panic — so waiters
@@ -1036,8 +1281,14 @@ fn spawn_ingest_worker(
             }
         }
         let _notice = DeathNotice(progress.clone());
+        let mut backoff = Backoff::new(
+            Duration::from_millis(1),
+            Duration::from_millis(50),
+            0x7368_6172_6421,
+        );
         let mut next_due = Instant::now();
         while let Ok(batch) = rx.recv() {
+            let len = batch.docs.len() as u64;
             if let Some(points_per_sec) = rate {
                 let now = Instant::now();
                 if next_due > now {
@@ -1046,10 +1297,45 @@ fn spawn_ingest_worker(
                 next_due = next_due.max(now)
                     + Duration::from_secs_f64(batch.docs.len() as f64 / points_per_sec);
             }
-            engine
-                .insert_batch(&batch.docs)
-                .expect("routing pre-validated dimensions and capacity");
-            progress.batch_done(batch.docs.len() as u64);
+            // A degraded shard keeps draining (and discarding) routed
+            // batches so producers blocked on the bounded channel and
+            // flush barriers never hang; the degradation is surfaced by
+            // health() and by every subsequent write.
+            if progress.is_degraded() {
+                progress.batch_done(len);
+                continue;
+            }
+            let mut attempt = 0u32;
+            loop {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    fault::point(fault::INGEST_BATCH);
+                    engine.insert_batch(&batch.docs)
+                }));
+                match outcome {
+                    Ok(Ok(_)) => {
+                        backoff.reset();
+                        break;
+                    }
+                    Ok(Err(_)) => {
+                        // Typed failure — either the engine degraded to
+                        // read-only or routing validation was bypassed.
+                        // Flip the shard degraded and keep draining.
+                        progress.set_degraded();
+                        break;
+                    }
+                    Err(payload) => {
+                        status.record_restart(payload.as_ref());
+                        if attempt >= MAX_RESTARTS {
+                            status.mark_dead();
+                            progress.batch_done(len);
+                            return;
+                        }
+                        attempt += 1;
+                        std::thread::sleep(backoff.next_delay());
+                    }
+                }
+            }
+            progress.batch_done(len);
         }
     })
 }
@@ -1163,7 +1449,7 @@ mod tests {
         let vs = random_vecs(120, 1);
         let ids = index.insert_batch(&vs).unwrap();
         assert_eq!(ids, (0..120).collect::<Vec<u32>>());
-        index.flush();
+        index.flush().unwrap();
         assert_eq!(index.visible_len(), 120);
         for (v, &gid) in vs.iter().zip(&ids) {
             let resp = index.search(&SearchRequest::query(v.clone())).unwrap();
@@ -1187,11 +1473,11 @@ mod tests {
         // 100 points over 2 shards of 30 must fail before anything lands.
         assert!(index.insert_batch(&vs).is_err());
         assert_eq!(index.len(), 0);
-        index.flush();
+        index.flush().unwrap();
         assert_eq!(index.visible_len(), 0);
         // A batch that fits routes fine afterwards.
         index.insert_batch(&vs[..40]).unwrap();
-        index.flush();
+        index.flush().unwrap();
         assert_eq!(index.visible_len(), 40);
     }
 
@@ -1215,7 +1501,7 @@ mod tests {
             "double delete reports false"
         );
         assert!(!index.delete(9_999).unwrap(), "unknown id reports false");
-        index.flush();
+        index.flush().unwrap();
         let resp = index.search(&SearchRequest::query(vs[7].clone())).unwrap();
         assert!(resp.hits().iter().all(|h| h.index != ids[7]));
     }
@@ -1225,7 +1511,7 @@ mod tests {
         let index = sharded(4, 1_000);
         let vs = random_vecs(40, 4);
         let ids = index.insert_batch(&vs).unwrap();
-        index.flush();
+        index.flush().unwrap();
         for (v, &gid) in vs.iter().zip(&ids) {
             assert_eq!(index.vector(gid).as_ref(), Some(v));
         }
@@ -1237,7 +1523,7 @@ mod tests {
         let index = sharded(3, 1_000);
         let vs = random_vecs(150, 5);
         index.insert_batch(&vs).unwrap();
-        index.flush();
+        index.flush().unwrap();
         let resp = index
             .search(&SearchRequest::query(vs[0].clone()).top_k(5))
             .unwrap();
@@ -1262,7 +1548,7 @@ mod tests {
         for chunk in vs.chunks(90) {
             index.insert_batch(chunk).unwrap();
         }
-        index.flush();
+        index.flush().unwrap();
         let started = index.merge_all_in_background();
         assert_eq!(started, 3, "every shard has sealed data to merge");
         // Queries stay correct whatever phase each shard's merge is in.
@@ -1272,7 +1558,7 @@ mod tests {
                 .unwrap();
             assert!(resp.hits().iter().any(|h| h.index == probe as u32));
         }
-        index.quiesce();
+        index.quiesce().unwrap();
         assert_eq!(index.stats().merges, 3);
         for shard in 0..3 {
             assert_eq!(index.shard(shard).engine().delta_len(), 0);
@@ -1290,7 +1576,7 @@ mod tests {
                 for chunk in vs.chunks(100) {
                     index.insert_batch(chunk).unwrap();
                 }
-                index.flush();
+                index.flush().unwrap();
             })
         };
         let reader = {
@@ -1319,7 +1605,7 @@ mod tests {
         };
         writer.join().unwrap();
         reader.join().unwrap();
-        index.quiesce();
+        index.quiesce().unwrap();
         assert_eq!(index.visible_len(), 3_000);
         for probe in [0usize, 1_499, 2_999] {
             let resp = index
@@ -1363,7 +1649,7 @@ mod tests {
         let index = sharded(5, 1_000);
         let vs = random_vecs(400, 9);
         index.insert_batch(&vs).unwrap();
-        index.flush();
+        index.flush().unwrap();
         let budget = 40;
         let resp = index
             .search(
@@ -1411,9 +1697,9 @@ mod tests {
         let index = sharded(3, 1_000);
         let vs = random_vecs(150, 12);
         index.insert_batch(&vs).unwrap();
-        index.flush();
+        index.flush().unwrap();
         index.delete(10).unwrap();
-        index.quiesce(); // fold every shard: id 10 gets purged
+        index.quiesce().unwrap(); // fold every shard: id 10 gets purged
         index.delete(20).unwrap(); // stays pending
         let snap = index.snapshot();
         assert_eq!(snap.vectors.len(), 150);
@@ -1442,14 +1728,14 @@ mod tests {
         {
             let index = sharded(3, 1_000);
             index.insert_batch(&vs[..120]).unwrap();
-            index.flush();
+            index.flush().unwrap();
             index.delete(17).unwrap();
-            index.quiesce(); // merge → purge 17 before the baseline
+            index.quiesce().unwrap(); // merge → purge 17 before the baseline
             index.persist_to(&dir).unwrap();
             // Post-baseline traffic flows through the per-shard WALs.
             index.insert_batch(&vs[120..]).unwrap();
             index.delete(150).unwrap();
-            index.flush();
+            index.flush().unwrap();
             before = probes.iter().map(|q| answers(&index, q)).collect();
         }
         let recovered = ShardedIndex::recover_from(&dir).unwrap();
@@ -1462,7 +1748,7 @@ mod tests {
         // second recovery.
         let extra = random_vecs(30, 11);
         recovered.insert_batch(&extra).unwrap();
-        recovered.flush();
+        recovered.flush().unwrap();
         let probe = extra[0].clone();
         let want = answers(&recovered, &probe);
         drop(recovered);
@@ -1473,17 +1759,19 @@ mod tests {
     }
 
     #[test]
-    fn dead_ingest_worker_fails_fast() {
-        let dir = tempdir("dead-worker");
+    fn persistent_shard_io_failure_degrades_read_only() {
+        let dir = tempdir("degraded-shard");
         let index = sharded(2, 1_000);
         let vs = random_vecs(40, 13);
         index.insert_batch(&vs).unwrap();
         index.persist_to(&dir).unwrap();
         // Fail-stop: yank shard 0's data directory out from under it so
-        // its next durable write panics the ingest worker.
+        // every durable write on that shard fails (retries included) and
+        // the shard engine trips into degraded read-only mode.
         fs::remove_dir_all(dir.join("shard-0").join("data-0")).unwrap();
-        // Route points until two head for shard 0: the first one's
-        // durable write kills the worker, the second can never land.
+        // Route points until two head for shard 0: the first one's WAL
+        // append exhausts its retries and degrades the engine, the
+        // second is discarded by the (still running) worker.
         let mut shard0 = Vec::new();
         let mut next = index.len() as u32;
         let filler = random_vecs(1, 14).pop().unwrap();
@@ -1491,14 +1779,34 @@ mod tests {
             if index.route(next) == 0 {
                 shard0.push(next);
             }
-            index.insert(filler.clone()).unwrap();
-            next += 1;
+            match index.insert(filler.clone()) {
+                Ok(_) => next += 1,
+                Err(ClusterError::Node(PlshError::Degraded(_))) => break,
+                Err(other) => panic!("unexpected ingest error: {other:?}"),
+            }
         }
-        let err = index.delete(shard0[1]).unwrap_err();
-        assert_eq!(err, ClusterError::IngestWorkerDied { shard: 0 });
-        // Dropping the index re-raises the worker's panic.
-        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(index)));
-        assert!(panicked.is_err(), "the worker panic must not be swallowed");
+        // The discarded in-flight point surfaces the degradation, not a
+        // hang and not a dead worker.
+        let err = index.delete(shard0[0]).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Node(PlshError::Degraded(_))),
+            "expected a typed degraded error, got {err:?}"
+        );
+        // Further writes routed at shard 0 fail fast with the same error.
+        let err = index.insert_batch(&random_vecs(8, 15)).unwrap_err();
+        assert!(matches!(err, ClusterError::Node(PlshError::Degraded(_))));
+        // The flush barrier still completes: the worker drains (and
+        // discards) instead of wedging producers.
+        index.flush().unwrap();
+        // Queries keep answering off the pinned epoch.
+        let resp = index.search(&SearchRequest::query(vs[0].clone())).unwrap();
+        assert!(!resp.results[0].is_empty(), "reads must survive degrade");
+        // Health reports the degradation with live workers.
+        let health = index.health();
+        assert!(health.degraded);
+        assert!(health.workers.iter().all(|w| w.alive));
+        // Dropping the index is clean — the worker contained the fault.
+        drop(index);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -1515,7 +1823,7 @@ mod tests {
         for chunk in vs.chunks(10) {
             index.insert_batch(chunk).unwrap();
         }
-        index.flush();
+        index.flush().unwrap();
         // ~40 points per shard at 400/s ⇒ the drain takes a measurable
         // fraction of 100 ms (first batch releases immediately).
         assert!(

@@ -29,7 +29,7 @@
 //! cheap side of that window and, unlike the rebuild, no longer needs
 //! sketches for static points, so sketch storage is dropped at merge time.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,7 @@ use plsh_parallel::{EpochPtr, ThreadPool};
 
 use crate::error::{PlshError, Result};
 use crate::hash::{Hyperplanes, HyperplanesKind};
+use crate::health::HealthReport;
 use crate::params::PlshParams;
 use crate::query::{
     self, BatchStats, Neighbor, QueryContext, QueryScratch, QueryStrategy, ScratchPool,
@@ -381,6 +382,11 @@ pub struct Engine {
     /// Incremental durability, when attached (see [`crate::persist`]).
     /// Hooks are called under the write mutex, so WAL order is id order.
     persister: RwLock<Option<Arc<crate::persist::EnginePersister>>>,
+    /// Sticky read-only flag: set when a persistence operation keeps
+    /// failing through its retry budget. Queries are unaffected; writes
+    /// return [`PlshError::Degraded`] until [`Engine::heal`] succeeds.
+    degraded: AtomicBool,
+    degraded_reason: Mutex<Option<String>>,
 }
 
 impl Engine {
@@ -412,6 +418,8 @@ impl Engine {
             planes: Arc::new(planes),
             config,
             persister: RwLock::new(None),
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(None),
         })
     }
 
@@ -487,7 +495,14 @@ impl Engine {
         let view = self.epoch.snapshot();
         if (id as usize) < view.static_len() {
             // Static ids are the only ones a merge can have purged.
-            if self.write.lock().unwrap().purged.binary_search(&id).is_ok() {
+            if self
+                .write
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .purged
+                .binary_search(&id)
+                .is_ok()
+            {
                 return None;
             }
             return Some(view.static_data.row_vector(id));
@@ -498,7 +513,7 @@ impl Engine {
         // Not in that snapshot: the id is in the open generation, or a
         // concurrent insert sealed it after our pin. Re-check under the
         // write lock, where the epoch cannot advance.
-        let w = self.write.lock().unwrap();
+        let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(open) = w.open.as_ref() {
             if id >= open.base() && id < open.end() {
                 return Some(open.data().row_vector(id - open.base()));
@@ -560,7 +575,10 @@ impl Engine {
                 }
             }
         }
-        let mut w = self.write.lock().unwrap();
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        if self.is_degraded() {
+            return Err(self.degraded_error());
+        }
         if w.total as usize + vs.len() > self.config.capacity {
             return Err(PlshError::CapacityExceeded {
                 capacity: self.config.capacity,
@@ -569,9 +587,14 @@ impl Engine {
         let from = w.total;
         if !vs.is_empty() {
             // Write-ahead: the batch reaches the WAL (and is fsynced)
-            // before it is applied in memory.
+            // before it is applied in memory. A persistent WAL failure
+            // rejects the batch *before* any memory mutation, so the
+            // in-memory prefix stays exactly the durable prefix.
             if let Some(p) = self.persister() {
-                p.log_insert(from, vs);
+                if let Err(e) = p.log_insert(from, vs) {
+                    self.degrade("WAL append", &e);
+                    return Err(self.degraded_error());
+                }
             }
             let p = &self.config.params;
             if w.open.is_none() {
@@ -610,7 +633,7 @@ impl Engine {
     /// to seal. Only needed explicitly when
     /// [`seal_min_points`](EngineConfig::seal_min_points) is raised above 1.
     pub fn seal(&self) -> bool {
-        let mut w = self.write.lock().unwrap();
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         self.seal_locked(&mut w)
     }
 
@@ -623,9 +646,21 @@ impl Engine {
         }
         let gen = Arc::new(open);
         // Durability before visibility: the immutable segment is on disk
-        // (and the covering WAL retired) before the epoch swap.
-        if let Some(p) = self.persister() {
-            p.on_seal(&gen);
+        // (and the covering WAL retired) before the epoch swap. When the
+        // segment write keeps failing the seal is aborted — the generation
+        // stays open, its rows still covered by the WAL — and the engine
+        // degrades. When already degraded the hook is skipped: heal()
+        // resynchronizes the whole directory from memory anyway.
+        if !self.is_degraded() {
+            if let Some(p) = self.persister() {
+                if let Err(e) = p.on_seal(&gen) {
+                    self.degrade("segment seal", &e);
+                    if let Ok(open) = Arc::try_unwrap(gen) {
+                        w.open = Some(open);
+                    }
+                    return false;
+                }
+            }
         }
         self.epoch
             .rcu(|prev| Arc::new(EngineView::with_sealed(prev, gen.clone())));
@@ -651,7 +686,10 @@ impl Engine {
     /// reclaimed — and generations sealed while the merge was building
     /// simply remain sealed in the new epoch.
     pub fn merge_delta(&self, pool: &ThreadPool) {
-        let _m = self.merge_lock.lock().unwrap();
+        let _m = self.merge_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if self.is_degraded() {
+            return; // read-only: merging would commit nothing durably
+        }
         let t0 = Instant::now();
         let p = &self.config.params;
 
@@ -702,7 +740,16 @@ impl Engine {
         // commits it. `persist_to` holds the merge lock, so the persister
         // cannot attach or detach between here and publish.
         let persister = self.persister();
-        let prepared_seq = persister.as_ref().map(|p| p.prepare_static(&static_data));
+        let prepared_seq = match persister.as_ref().map(|p| p.prepare_static(&static_data)) {
+            Some(Ok(seq)) => Some(seq),
+            Some(Err(e)) => {
+                // Nothing published yet: abort the merge with memory and
+                // disk both at the pre-merge state.
+                self.degrade("static segment prepare", &e);
+                return;
+            }
+            None => None,
+        };
         let build = t0.elapsed();
 
         // Publish: one swap under the write lock. Everything sealed after
@@ -711,7 +758,7 @@ impl Engine {
         // bitmap, whose bits they still need for the old buckets). The
         // publish timer starts after lock acquisition: waiting behind an
         // in-flight insert is that insert's cost, not the merge's pause.
-        let mut w = self.write.lock().unwrap();
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         let t1 = Instant::now();
         let current = self.epoch.snapshot();
         debug_assert!(current
@@ -722,6 +769,27 @@ impl Engine {
         let remaining = current.sealed[gens.len()..].to_vec();
         let deleted = Arc::new(current.deleted.cloned_without(&purged_now));
         let static_data = Arc::new(static_data);
+        let mut purged = w.purged.clone();
+        purged.extend_from_slice(&purged_now);
+        purged.sort_unstable();
+        if let Some(p) = &persister {
+            // Commit the merge durably *before* it becomes visible: the
+            // manifest swap is the atomic commit point (with every pending
+            // tombstone snapshotted); the consumed generation files are
+            // retired behind it. A persistent failure aborts the merge —
+            // no epoch swap, no bookkeeping mutation — so memory and disk
+            // both still hold the pre-merge state.
+            let seq = prepared_seq.expect("prepared with the same persister");
+            if let Err(e) = p.publish_static(
+                seq,
+                static_data.num_rows() as u64,
+                &purged,
+                deleted.set_ids(w.total),
+            ) {
+                self.degrade("manifest swap", &e);
+                return;
+            }
+        }
         let view = EngineView {
             visible_len: current.visible_len,
             static_data: static_data.clone(),
@@ -729,26 +797,13 @@ impl Engine {
             sealed: remaining,
             deleted: deleted.clone(),
         };
-        w.purged.extend_from_slice(&purged_now);
-        w.purged.sort_unstable();
+        w.purged = purged;
         self.epoch.store(Arc::new(view));
-        if let Some(p) = &persister {
-            // Commit the merge durably: manifest swap (the atomic commit
-            // point, with every pending tombstone snapshotted), then
-            // retire the consumed generation files.
-            let seq = prepared_seq.expect("prepared with the same persister");
-            p.publish_static(
-                seq,
-                static_data.num_rows() as u64,
-                &w.purged,
-                deleted.set_ids(w.total),
-            );
-        }
         drop(w);
         let publish = t1.elapsed();
 
         self.merges.fetch_add(1, Ordering::Relaxed);
-        *self.last_merge.lock().unwrap() = MergeReport {
+        *self.last_merge.lock().unwrap_or_else(|e| e.into_inner()) = MergeReport {
             merged_points: merge_end as usize - v0.static_len(),
             purged_points: purged_now.len(),
             build,
@@ -758,32 +813,52 @@ impl Engine {
 
     /// Timing and purge counts of the most recent merge.
     pub fn last_merge(&self) -> MergeReport {
-        *self.last_merge.lock().unwrap()
+        *self.last_merge.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Tombstones a point; returns `false` if it was already deleted or out
     /// of range. Takes effect immediately on all future queries; the point
     /// is physically purged from the tables at the next merge.
+    ///
+    /// Infallible convenience over [`try_delete`](Self::try_delete): a
+    /// degraded engine reports `false` (nothing was deleted).
     pub fn delete(&self, id: u32) -> bool {
-        let w = self.write.lock().unwrap();
+        self.try_delete(id).unwrap_or(false)
+    }
+
+    /// Tombstones a point, surfacing degraded-mode rejection as
+    /// [`PlshError::Degraded`] instead of a silent `false`. The tombstone
+    /// reaches the delete log (fsynced) before the bit is set, so a
+    /// persistent log failure rejects the delete with no memory change.
+    pub fn try_delete(&self, id: u32) -> Result<bool> {
+        let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        if self.is_degraded() {
+            return Err(self.degraded_error());
+        }
         if (id as usize) >= w.total as usize {
-            return false;
+            return Ok(false);
         }
         if w.purged.binary_search(&id).is_ok() {
-            return false;
+            return Ok(false);
         }
-        let newly = self.epoch.snapshot().deleted.set(id);
-        if newly {
-            if let Some(p) = self.persister() {
-                p.log_delete(id);
+        let view = self.epoch.snapshot();
+        if view.deleted.is_set(id) {
+            return Ok(false);
+        }
+        if let Some(p) = self.persister() {
+            if let Err(e) = p.log_delete(id) {
+                self.degrade("tombstone append", &e);
+                return Err(self.degraded_error());
             }
         }
-        newly
+        let newly = view.deleted.set(id);
+        drop(w);
+        Ok(newly)
     }
 
     /// True iff `id` is tombstoned (pending or already purged).
     pub fn is_deleted(&self, id: u32) -> bool {
-        let w = self.write.lock().unwrap();
+        let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         if (id as usize) >= w.total as usize {
             return false;
         }
@@ -793,7 +868,11 @@ impl Engine {
     /// Ids purged from the static tables by past merges (still tombstoned;
     /// their row slots remain so ids stay stable). Sorted ascending.
     pub fn purged_ids(&self) -> Vec<u32> {
-        self.write.lock().unwrap().purged.clone()
+        self.write
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .purged
+            .clone()
     }
 
     /// Atomically captures everything a snapshot needs — one write-lock
@@ -802,7 +881,7 @@ impl Engine {
     /// ingest or merge from publishing mid-capture, so the four parts are
     /// mutually consistent.
     pub(crate) fn capture_state(&self) -> (usize, Vec<SparseVector>, Vec<u32>, Vec<u32>) {
-        let w = self.write.lock().unwrap();
+        let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         let view = self.epoch.snapshot();
         let mut vectors = Vec::with_capacity(w.total as usize);
         for id in 0..view.static_len() as u32 {
@@ -833,8 +912,8 @@ impl Engine {
     /// Retires the node's entire contents (Section 6: the rolling window
     /// erases the oldest `M` nodes wholesale).
     pub fn clear(&self) {
-        let _m = self.merge_lock.lock().unwrap();
-        let mut w = self.write.lock().unwrap();
+        let _m = self.merge_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         w.open = None;
         w.total = 0;
         w.purged.clear();
@@ -843,26 +922,33 @@ impl Engine {
             self.config.params.dim(),
             self.config.capacity,
         )));
-        if let Some(p) = self.persister() {
-            p.on_clear();
+        if !self.is_degraded() {
+            if let Some(p) = self.persister() {
+                if let Err(e) = p.on_clear() {
+                    self.degrade("clear commit", &e);
+                }
+            }
         }
     }
 
     /// The attached persister, if durability is on.
     pub(crate) fn persister(&self) -> Option<Arc<crate::persist::EnginePersister>> {
-        self.persister.read().unwrap().clone()
+        self.persister
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     pub(crate) fn set_persister(&self, p: crate::persist::EnginePersister) {
-        *self.persister.write().unwrap() = Some(Arc::new(p));
+        *self.persister.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(p));
     }
 
     /// Baseline capture + attach for [`crate::persist`]: one hold of the
     /// merge and write locks, so the baseline is mutually consistent and
     /// no merge can publish between capture and attachment.
     pub(crate) fn attach_persister(&self, dir: &std::path::Path) -> Result<()> {
-        let _m = self.merge_lock.lock().unwrap();
-        let w = self.write.lock().unwrap();
+        let _m = self.merge_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         let view = self.epoch.snapshot();
         let baseline = crate::persist::Baseline {
             params: &self.config.params,
@@ -877,8 +963,110 @@ impl Engine {
             pending: view.deleted.set_ids(w.total),
         };
         let p = crate::persist::EnginePersister::create(dir, &baseline)?;
-        *self.persister.write().unwrap() = Some(Arc::new(p));
+        *self.persister.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(p));
         Ok(())
+    }
+
+    /// True while the engine is in degraded read-only mode: a persistence
+    /// operation kept failing through its retry budget, so writes are
+    /// rejected with [`PlshError::Degraded`] while queries keep answering
+    /// off the pinned epoch. [`heal`](Self::heal) exits the mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Why the engine degraded, when it did.
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.degraded_reason
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn degrade(&self, ctx: &str, e: &std::io::Error) {
+        let mut r = self
+            .degraded_reason
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if r.is_none() {
+            *r = Some(format!("{ctx}: {e}"));
+        }
+        drop(r);
+        self.degraded.store(true, Ordering::Release);
+    }
+
+    fn degraded_error(&self) -> PlshError {
+        PlshError::Degraded(
+            self.degraded_reason()
+                .unwrap_or_else(|| "persistent I/O failure".to_string()),
+        )
+    }
+
+    /// Attempts to leave degraded read-only mode. With a persister
+    /// attached, the directory is rebuilt from a fresh baseline of the
+    /// current in-memory contents (a new `data-<reset>` lifetime plus a
+    /// manifest swap); memory is the source of truth, so nothing written
+    /// while degraded is lost. Returns `true` when the engine is writable
+    /// again — `false` means the underlying I/O is still failing and the
+    /// call can simply be retried. Idempotent and safe to call anytime.
+    pub fn heal(&self) -> bool {
+        if !self.is_degraded() {
+            return true;
+        }
+        let Some(p) = self.persister() else {
+            self.clear_degraded();
+            return true;
+        };
+        let _m = self.merge_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        let view = self.epoch.snapshot();
+        let baseline = crate::persist::Baseline {
+            params: &self.config.params,
+            capacity: self.config.capacity as u64,
+            eta: self.config.eta,
+            seal_min_points: self.config.seal_min_points as u64,
+            static_data: &view.static_data,
+            static_len: view.static_len(),
+            sealed: &view.sealed,
+            open: w.open.as_ref(),
+            purged: &w.purged,
+            pending: view.deleted.set_ids(w.total),
+        };
+        match p.resync(&baseline) {
+            Ok(()) => {
+                drop(w);
+                self.clear_degraded();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn clear_degraded(&self) {
+        *self
+            .degraded_reason
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = None;
+        self.degraded.store(false, Ordering::Release);
+    }
+
+    /// A point-in-time health snapshot: the degraded flag and reason, how
+    /// many open-generation rows are durable only in the WAL (`wal_lag`),
+    /// and how many transient I/O errors the persister absorbed. Wrappers
+    /// ([`StreamingEngine`](crate::streaming::StreamingEngine), the
+    /// cluster) extend this with their worker liveness.
+    pub fn health(&self) -> HealthReport {
+        let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        let wal_lag_rows = w.open.as_ref().map_or(0, DeltaGeneration::len);
+        drop(w);
+        HealthReport {
+            degraded: self.is_degraded(),
+            degraded_reason: self.degraded_reason(),
+            wal_lag_rows,
+            persist_retries: self.persister().map_or(0, |p| p.io_retries()),
+            pending_ingest: 0,
+            workers: Vec::new(),
+        }
     }
 
     fn view_ctx<'a>(&'a self, view: &'a EngineView) -> QueryContext<'a> {
@@ -985,6 +1173,7 @@ impl Engine {
             stats: req.collects_stats().then_some(stats),
             phase_timings: timings,
             epoch: Some(epoch),
+            timed_out_shards: Vec::new(),
         })
     }
 
@@ -1019,7 +1208,7 @@ impl Engine {
         // the view and the write-side counters are mutually consistent
         // (pinning first could pair a pre-merge bitmap with a post-merge
         // purged list and double-count tombstones).
-        let w = self.write.lock().unwrap();
+        let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         let view = self.epoch.snapshot();
         let open = w.open.as_ref();
         let delta_table_bytes = view

@@ -41,6 +41,12 @@ pub enum PlshError {
     /// message is carried as a string so the error stays `Clone`-able and
     /// comparable like every other variant.
     Io(String),
+    /// The engine entered degraded read-only mode after a persistent
+    /// persistence failure (WAL, segment, or manifest I/O kept failing
+    /// through retries): queries keep answering off the pinned epoch, but
+    /// every write returns this until `Engine::heal` resynchronizes the
+    /// directory. The message is the underlying I/O error.
+    Degraded(String),
 }
 
 impl From<std::io::Error> for PlshError {
@@ -73,6 +79,9 @@ impl fmt::Display for PlshError {
                 write!(f, "no feasible (k, m) parameters: {msg}")
             }
             PlshError::Io(msg) => write!(f, "snapshot I/O failed: {msg}"),
+            PlshError::Degraded(msg) => {
+                write!(f, "engine degraded to read-only (writes rejected): {msg}")
+            }
         }
     }
 }

@@ -46,7 +46,9 @@
 pub mod dedup;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod hash;
+pub mod health;
 pub mod model;
 pub mod params;
 pub mod persist;
@@ -64,13 +66,14 @@ pub(crate) mod util;
 pub use engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergeReport};
 pub use error::{PlshError, Result};
 pub use hash::{Hyperplanes, HyperplanesKind, SketchMatrix};
+pub use health::{HealthReport, WorkerHealth};
 pub use params::{ParamCandidate, ParamSelection, PlshParams, PlshParamsBuilder};
 pub use persist::RecoveredState;
 pub use query::{BatchStats, Neighbor, QueryPhaseTimings, QueryStats, QueryStrategy};
 pub use search::{SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
 pub use snapshot::Snapshot;
 pub use sparse::{CrsMatrix, SparseVector};
-pub use streaming::StreamingEngine;
+pub use streaming::{ShutdownReport, StreamingEngine};
 pub use table::{
     BuildStrategy, BuildTimings, DeltaGeneration, DeltaLayout, DeltaTables, StaticTables,
 };

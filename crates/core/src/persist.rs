@@ -45,21 +45,34 @@
 //!
 //! ## Failure model
 //!
-//! Persistence hooks run under the engine's write mutex and are
-//! *fail-stop*: an unexpected I/O error (disk full, permission change)
-//! panics rather than silently diverging memory from disk — after a torn
-//! write there is no state the engine could honestly report. Simulated
-//! power cuts for the crash-recovery property tests are injected through
-//! the [`fail`] facility, which freezes all persistence I/O after a
-//! budgeted number of low-level operations (the op at the boundary tears).
+//! Persistence hooks run under the engine's write mutex and return
+//! `io::Result`: a failing operation is retried a bounded number of
+//! times with jittered exponential backoff (transient `EIO`/disk-full
+//! blips are absorbed and counted), and a failure that survives the
+//! retry budget bubbles up to the engine, which transitions into
+//! **degraded read-only mode** — queries keep answering off the pinned
+//! epoch, writes return [`PlshError::Degraded`](crate::error::PlshError)
+//! — rather than panicking or silently diverging memory from disk.
+//! [`Engine::heal`](crate::engine::Engine::heal) exits degraded mode by
+//! `EnginePersister::resync`-ing the directory from a fresh baseline.
+//! Every hook is also threaded through the named failpoints of
+//! [`crate::fault`] (`wal.append`, `wal.fsync`, `seal.segment`,
+//! `manifest.swap`, `tomb.append`, `static.prepare`) so the chaos suite
+//! can inject exactly these failures. Simulated power cuts for the
+//! crash-recovery property tests are injected through the separate
+//! [`fail`] facility, which freezes all persistence I/O after a budgeted
+//! number of low-level operations (the op at the boundary tears).
 
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use plsh_parallel::ThreadPool;
+
+use crate::fault;
 
 use crate::engine::{Engine, EngineConfig};
 use crate::error::Result as PlshResult;
@@ -142,6 +155,26 @@ pub mod fail {
 /// at creation time (all subsequent I/O on it no-ops).
 struct PFile {
     file: Option<File>,
+}
+
+impl PFile {
+    /// Truncate back to `len` — drops a half-appended record left behind
+    /// by a failed earlier attempt, so a retry never appends after a torn
+    /// record (replay stops at the first one).
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        match self.file.as_mut() {
+            Some(f) => f.set_len(len),
+            None => Ok(()),
+        }
+    }
+
+    /// Current on-disk length (0 for a frozen handle).
+    fn len(&self) -> io::Result<u64> {
+        match &self.file {
+            Some(f) => f.metadata().map(|m| m.len()),
+            None => Ok(0),
+        }
+    }
 }
 
 fn fio_create(path: &Path) -> io::Result<PFile> {
@@ -577,6 +610,14 @@ struct WalWriter {
     file: PFile,
     base: u32,
     rows: u32,
+    /// Bytes known to hold whole, durable records (the truncation point
+    /// for retries after a failed append).
+    good: u64,
+}
+
+struct TombWriter {
+    file: PFile,
+    good: u64,
 }
 
 struct PersistState {
@@ -584,7 +625,7 @@ struct PersistState {
     manifest: Manifest,
     next_static_seq: u64,
     wal: Option<WalWriter>,
-    tomb: Option<PFile>,
+    tomb: Option<TombWriter>,
 }
 
 /// The durable side of one [`Engine`], attached by
@@ -593,6 +634,60 @@ struct PersistState {
 pub struct EnginePersister {
     dir: PathBuf,
     state: Mutex<PersistState>,
+    /// Transient I/O errors absorbed by retry-with-backoff (health metric).
+    retries: AtomicU64,
+}
+
+/// Seed stream for retry jitter: one counter feeding SplitMix64, so two
+/// engines retrying concurrently don't sleep in lockstep.
+static JITTER_SALT: AtomicU64 = AtomicU64::new(0x5bd1_e995);
+
+fn jittered(delay: Duration) -> Duration {
+    let salt = JITTER_SALT.fetch_add(1, Ordering::Relaxed);
+    let r = crate::rng::SplitMix64::new(salt).next_u64();
+    delay + Duration::from_nanos(r % (delay.as_nanos() as u64 / 2).max(1))
+}
+
+/// Writes the segment/WAL files of a full baseline into `data` (shared
+/// by [`EnginePersister::create`] and [`EnginePersister::resync`]).
+/// Returns the static sequence used (if any) and the open WAL writer.
+fn write_baseline(data: &Path, b: &Baseline<'_>) -> io::Result<(Option<u64>, Option<WalWriter>)> {
+    let static_seq = if b.static_len > 0 { Some(0u64) } else { None };
+    if let Some(seq) = static_seq {
+        let mut rows = Vec::new();
+        put_rows(
+            &mut rows,
+            (0..b.static_len as u32).map(|id| b.static_data.row_vector(id)),
+        );
+        let bytes = encode_segment(STATIC_MAGIC, 0, &mut rows);
+        fio_write_atomic(&static_path(data, seq), &bytes)?;
+    }
+    for g in b.sealed {
+        let mut rows = Vec::new();
+        put_rows(&mut rows, gen_rows(g));
+        let bytes = encode_segment(GEN_MAGIC, g.base() as u64, &mut rows);
+        fio_write_atomic(&gen_path(data, g.base()), &bytes)?;
+    }
+    let wal = match b.open {
+        Some(g) if !g.is_empty() => {
+            let mut payload = Vec::new();
+            payload.push(TAG_INSERT);
+            put_u32(&mut payload, g.base());
+            put_rows(&mut payload, gen_rows(g));
+            let record = encode_record(&payload);
+            let mut f = fio_create(&wal_path(data, g.base()))?;
+            fio_write(&mut f, &record)?;
+            fio_fsync(&mut f)?;
+            Some(WalWriter {
+                file: f,
+                base: g.base(),
+                rows: g.len() as u32,
+                good: record.len() as u64,
+            })
+        }
+        _ => None,
+    };
+    Ok((static_seq, wal))
 }
 
 impl EnginePersister {
@@ -615,40 +710,7 @@ impl EnginePersister {
         let data = data_dir(dir, reset);
         fs::create_dir_all(&data)?;
 
-        let static_seq = if b.static_len > 0 { Some(0u64) } else { None };
-        if let Some(seq) = static_seq {
-            let mut rows = Vec::new();
-            put_rows(
-                &mut rows,
-                (0..b.static_len as u32).map(|id| b.static_data.row_vector(id)),
-            );
-            let bytes = encode_segment(STATIC_MAGIC, 0, &mut rows);
-            fio_write_atomic(&static_path(&data, seq), &bytes)?;
-        }
-        for g in b.sealed {
-            let mut rows = Vec::new();
-            put_rows(&mut rows, gen_rows(g));
-            let bytes = encode_segment(GEN_MAGIC, g.base() as u64, &mut rows);
-            fio_write_atomic(&gen_path(&data, g.base()), &bytes)?;
-        }
-        let wal = match b.open {
-            Some(g) if !g.is_empty() => {
-                let mut payload = Vec::new();
-                payload.push(TAG_INSERT);
-                put_u32(&mut payload, g.base());
-                put_rows(&mut payload, gen_rows(g));
-                let mut f = fio_create(&wal_path(&data, g.base()))?;
-                fio_write(&mut f, &encode_record(&payload))?;
-                fio_fsync(&mut f)?;
-                Some(WalWriter {
-                    file: f,
-                    base: g.base(),
-                    rows: g.len() as u32,
-                })
-            }
-            _ => None,
-        };
-
+        let (static_seq, wal) = write_baseline(&data, b)?;
         let manifest = Manifest {
             params: b.params.clone(),
             capacity: b.capacity,
@@ -671,6 +733,7 @@ impl EnginePersister {
                 wal,
                 tomb: None,
             }),
+            retries: AtomicU64::new(0),
         })
     }
 
@@ -705,6 +768,7 @@ impl EnginePersister {
                 wal: None,
                 tomb: None,
             }),
+            retries: AtomicU64::new(0),
         };
         me.gc(st);
         Ok(me)
@@ -715,7 +779,7 @@ impl EnginePersister {
     /// and generation segments / WALs beyond the recovered contiguous
     /// prefix (or below the static watermark).
     fn gc(&self, st: &RecoveredState) {
-        let s = self.state.lock().unwrap();
+        let s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if let Ok(entries) = fs::read_dir(&self.dir) {
             for e in entries.flatten() {
                 let name = e.file_name();
@@ -750,72 +814,125 @@ impl EnginePersister {
         }
     }
 
-    fn io_panic(e: io::Error) -> ! {
-        panic!("plsh persistence I/O failed (disk state is no longer trustworthy): {e}");
+    /// Runs `op` with a bounded retry budget and jittered exponential
+    /// backoff between attempts: a transient I/O blip is absorbed (and
+    /// counted toward [`Self::io_retries`]), a persistent failure comes
+    /// back as the last error for the engine to degrade on.
+    fn retry<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        const RETRIES: u32 = 4;
+        let mut delay = Duration::from_micros(500);
+        let mut attempt = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(_) if attempt < RETRIES => {
+                    attempt += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(jittered(delay));
+                    delay = (delay * 2).min(Duration::from_millis(10));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Transient I/O errors absorbed by retry since this persister
+    /// attached (a health metric).
+    pub fn io_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// WAL-append one insert batch (called *before* the rows are applied
     /// in memory). Fsyncs: the batch boundary is the durability point.
-    pub(crate) fn log_insert(&self, from: u32, vs: &[SparseVector]) {
-        let mut s = self.state.lock().unwrap();
-        let rotate = match &s.wal {
-            Some(w) => w.base + w.rows != from,
-            None => true,
-        };
-        if rotate {
-            debug_assert!(s.wal.is_none(), "WAL rotation with rows still open");
-            let path = wal_path(&s.data, from);
-            let file = fio_create(&path).unwrap_or_else(|e| Self::io_panic(e));
-            s.wal = Some(WalWriter {
-                file,
-                base: from,
-                rows: 0,
-            });
-        }
+    pub(crate) fn log_insert(&self, from: u32, vs: &[SparseVector]) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = &mut *s;
         let mut payload = Vec::new();
         payload.push(TAG_INSERT);
         put_u32(&mut payload, from);
         put_rows(&mut payload, vs.iter().cloned());
-        let w = s.wal.as_mut().expect("installed above");
-        fio_write(&mut w.file, &encode_record(&payload)).unwrap_or_else(|e| Self::io_panic(e));
-        fio_fsync(&mut w.file).unwrap_or_else(|e| Self::io_panic(e));
+        let record = encode_record(&payload);
+        self.retry(|| {
+            let rotate = match &s.wal {
+                Some(w) => w.base + w.rows != from,
+                None => true,
+            };
+            if rotate {
+                debug_assert!(s.wal.is_none(), "WAL rotation with rows still open");
+                let path = wal_path(&s.data, from);
+                let file = fio_create(&path)?;
+                s.wal = Some(WalWriter {
+                    file,
+                    base: from,
+                    rows: 0,
+                    good: 0,
+                });
+            }
+            let w = s.wal.as_mut().expect("installed above");
+            w.file.truncate_to(w.good)?;
+            fault::io_check(fault::WAL_APPEND)?;
+            fio_write(&mut w.file, &record)?;
+            fault::io_check(fault::WAL_FSYNC)?;
+            fio_fsync(&mut w.file)?;
+            w.good += record.len() as u64;
+            Ok(())
+        })?;
+        let w = s.wal.as_mut().expect("record landed above");
         w.rows += vs.len() as u32;
+        Ok(())
     }
 
     /// A generation sealed: write its immutable segment, retire its WAL.
-    pub(crate) fn on_seal(&self, g: &DeltaGeneration) {
-        let mut s = self.state.lock().unwrap();
+    pub(crate) fn on_seal(&self, g: &DeltaGeneration) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = &mut *s;
         let mut rows = Vec::new();
         put_rows(&mut rows, gen_rows(g));
         let bytes = encode_segment(GEN_MAGIC, g.base() as u64, &mut rows);
-        fio_write_atomic(&gen_path(&s.data, g.base()), &bytes)
-            .unwrap_or_else(|e| Self::io_panic(e));
+        let path = gen_path(&s.data, g.base());
+        self.retry(|| {
+            fault::io_check(fault::SEAL_SEGMENT)?;
+            fio_write_atomic(&path, &bytes)
+        })?;
         if s.wal.as_ref().is_some_and(|w| w.base == g.base()) {
             s.wal = None;
-            fio_remove(&wal_path(&s.data, g.base())).unwrap_or_else(|e| Self::io_panic(e));
+            // Best-effort: a leftover WAL is shadowed by the segment at
+            // recovery and garbage-collected by the next attach.
+            let _ = fio_remove(&wal_path(&s.data, g.base()));
         }
+        Ok(())
     }
 
     /// Append one tombstone to the delete log (fsync per record; deletes
     /// are rare next to inserts).
-    pub(crate) fn log_delete(&self, id: u32) {
-        let mut s = self.state.lock().unwrap();
-        if s.tomb.is_none() {
-            let path = tomb_path(&s.data);
-            s.tomb = Some(fio_append(&path).unwrap_or_else(|e| Self::io_panic(e)));
-        }
+    pub(crate) fn log_delete(&self, id: u32) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = &mut *s;
         let mut payload = vec![TAG_DELETE];
         payload.extend_from_slice(&id.to_le_bytes());
-        let t = s.tomb.as_mut().expect("installed above");
-        fio_write(t, &encode_record(&payload)).unwrap_or_else(|e| Self::io_panic(e));
-        fio_fsync(t).unwrap_or_else(|e| Self::io_panic(e));
+        let record = encode_record(&payload);
+        self.retry(|| {
+            if s.tomb.is_none() {
+                let path = tomb_path(&s.data);
+                let file = fio_append(&path)?;
+                let good = file.len()?;
+                s.tomb = Some(TombWriter { file, good });
+            }
+            let t = s.tomb.as_mut().expect("installed above");
+            t.file.truncate_to(t.good)?;
+            fault::io_check(fault::TOMB_APPEND)?;
+            fio_write(&mut t.file, &record)?;
+            fio_fsync(&mut t.file)?;
+            t.good += record.len() as u64;
+            Ok(())
+        })
     }
 
     /// Write the merged corpus as the next static segment (off to the
     /// side, *before* the merge takes the write lock). Returns the
     /// segment's sequence number for [`Self::publish_static`].
-    pub(crate) fn prepare_static(&self, static_data: &CrsMatrix) -> u64 {
-        let mut s = self.state.lock().unwrap();
+    pub(crate) fn prepare_static(&self, static_data: &CrsMatrix) -> io::Result<u64> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let seq = s.next_static_seq;
         s.next_static_seq += 1;
         let mut rows = Vec::new();
@@ -824,39 +941,51 @@ impl EnginePersister {
             (0..static_data.num_rows() as u32).map(|id| static_data.row_vector(id)),
         );
         let bytes = encode_segment(STATIC_MAGIC, 0, &mut rows);
-        fio_write_atomic(&static_path(&s.data, seq), &bytes).unwrap_or_else(|e| Self::io_panic(e));
-        seq
+        let path = static_path(&s.data, seq);
+        self.retry(|| {
+            fault::io_check(fault::STATIC_PREPARE)?;
+            fio_write_atomic(&path, &bytes)
+        })?;
+        Ok(seq)
     }
 
     /// Commit a merge publish (under the engine's write lock): swap the
     /// manifest — the atomic commit point — then truncate the tombstone
     /// log (its entries are all snapshotted in the manifest now) and
     /// retire the generation segments and WALs the merge consumed, plus
-    /// the previous static segment.
+    /// the previous static segment. In-memory manifest state only moves
+    /// forward if the swap lands, so a failed publish leaves disk *and*
+    /// bookkeeping at the pre-merge state.
     pub(crate) fn publish_static(
         &self,
         seq: u64,
         static_len: u64,
         purged: &[u32],
         pending: Vec<u32>,
-    ) {
-        let mut s = self.state.lock().unwrap();
+    ) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = &mut *s;
         let old_seq = s.manifest.static_seq;
-        s.manifest.static_seq = Some(seq);
-        s.manifest.static_len = static_len;
-        s.manifest.purged = purged.to_vec();
-        s.manifest.pending = pending;
-        let bytes = s.manifest.encode();
-        fio_write_atomic(&self.dir.join(MANIFEST), &bytes).unwrap_or_else(|e| Self::io_panic(e));
+        let mut next = s.manifest.clone();
+        next.static_seq = Some(seq);
+        next.static_len = static_len;
+        next.purged = purged.to_vec();
+        next.pending = pending;
+        let bytes = next.encode();
+        let manifest_path = self.dir.join(MANIFEST);
+        self.retry(|| {
+            fault::io_check(fault::MANIFEST_SWAP)?;
+            fio_write_atomic(&manifest_path, &bytes)
+        })?;
+        s.manifest = next;
 
-        // Tombstones are now captured by the manifest: restart the log.
+        // Post-commit cleanup is best-effort: leftovers are shadowed by
+        // the manifest at recovery and garbage-collected on re-attach.
         s.tomb = None;
-        fio_remove(&tomb_path(&s.data)).unwrap_or_else(|e| Self::io_panic(e));
-
-        // Retire everything the merge folded in.
+        let _ = fio_remove(&tomb_path(&s.data));
         if let Some(old) = old_seq {
             if Some(old) != s.manifest.static_seq {
-                fio_remove(&static_path(&s.data, old)).unwrap_or_else(|e| Self::io_panic(e));
+                let _ = fio_remove(&static_path(&s.data, old));
             }
         }
         if let Ok(entries) = fs::read_dir(&s.data) {
@@ -867,33 +996,77 @@ impl EnginePersister {
                     .or_else(|| parse_numbered(&name, "wal-", ".log"))
                     .is_some_and(|b| b < static_len);
                 if retired {
-                    fio_remove(&e.path()).unwrap_or_else(|err| Self::io_panic(err));
+                    let _ = fio_remove(&e.path());
                 }
             }
         }
+        Ok(())
     }
 
     /// The engine was cleared: commit an empty lifetime. The manifest
     /// rename is the commit point; the old data directory becomes an
     /// orphan that recovery garbage-collects.
-    pub(crate) fn on_clear(&self) {
-        let mut s = self.state.lock().unwrap();
-        let old_data = s.data.clone();
-        s.manifest.reset += 1;
-        s.manifest.static_seq = None;
-        s.manifest.static_len = 0;
-        s.manifest.purged.clear();
-        s.manifest.pending.clear();
+    pub(crate) fn on_clear(&self) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = &mut *s;
+        let reset = s.manifest.reset + 1;
+        let data = data_dir(&self.dir, reset);
+        let mut next = s.manifest.clone();
+        next.reset = reset;
+        next.static_seq = None;
+        next.static_len = 0;
+        next.purged.clear();
+        next.pending.clear();
+        let bytes = next.encode();
+        let manifest_path = self.dir.join(MANIFEST);
+        self.retry(|| {
+            fs::create_dir_all(&data)?;
+            fio_write_atomic(&manifest_path, &bytes)
+        })?;
+        let old_data = std::mem::replace(&mut s.data, data);
+        s.manifest = next;
         s.next_static_seq = 0;
         s.wal = None;
         s.tomb = None;
-        s.data = data_dir(&self.dir, s.manifest.reset);
-        let _ = fs::create_dir_all(&s.data);
-        let bytes = s.manifest.encode();
-        fio_write_atomic(&self.dir.join(MANIFEST), &bytes).unwrap_or_else(|e| Self::io_panic(e));
         if fail::gate() == fail::Gate::Live {
             let _ = fs::remove_dir_all(&old_data);
         }
+        Ok(())
+    }
+
+    /// Rebuilds the directory from a fresh baseline of the engine's
+    /// current in-memory contents — the heal path out of degraded mode.
+    /// Writes a brand-new `data-<reset+1>` lifetime, swaps the manifest
+    /// (the commit point), and removes the old lifetime best-effort (a
+    /// leftover is garbage-collected by the next attach). Idempotent:
+    /// safe to call repeatedly until it succeeds.
+    pub(crate) fn resync(&self, b: &Baseline<'_>) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = &mut *s;
+        let reset = s.manifest.reset + 1;
+        let data = data_dir(&self.dir, reset);
+        fs::create_dir_all(&data)?;
+        let (static_seq, wal) = write_baseline(&data, b)?;
+        let manifest = Manifest {
+            params: b.params.clone(),
+            capacity: b.capacity,
+            eta: b.eta,
+            seal_min_points: b.seal_min_points,
+            reset,
+            static_seq,
+            static_len: b.static_len as u64,
+            purged: b.purged.to_vec(),
+            pending: b.pending.clone(),
+        };
+        fault::io_check(fault::MANIFEST_SWAP)?;
+        fio_write_atomic(&self.dir.join(MANIFEST), &manifest.encode())?;
+        let old_data = std::mem::replace(&mut s.data, data);
+        s.manifest = manifest;
+        s.next_static_seq = static_seq.map_or(0, |q| q + 1);
+        s.wal = wal;
+        s.tomb = None;
+        let _ = fs::remove_dir_all(&old_data);
+        Ok(())
     }
 
     /// The directory this persister writes to.

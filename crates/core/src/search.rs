@@ -67,6 +67,7 @@ pub struct SearchRequest {
     profile: bool,
     max_candidates: Option<usize>,
     per_query_pipeline: bool,
+    shard_deadline: Option<std::time::Duration>,
 }
 
 impl SearchRequest {
@@ -87,6 +88,7 @@ impl SearchRequest {
             profile: false,
             max_candidates: None,
             per_query_pipeline: false,
+            shard_deadline: None,
         }
     }
 
@@ -144,6 +146,16 @@ impl SearchRequest {
         self
     }
 
+    /// Bounds how long a fan-out backend waits on each shard. Shards that
+    /// miss the deadline are dropped from the answer and listed in
+    /// [`SearchResponse::timed_out_shards`], so one stalled shard yields a
+    /// partial, flagged response instead of a hung fan-out. Single-node
+    /// backends ignore the field (there is nothing to detach from).
+    pub fn with_shard_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.shard_deadline = Some(deadline);
+        self
+    }
+
     /// Routes a batch through the per-query pipeline (one independent
     /// Q1–Q4 task per query) instead of the batched SIMD pipeline —
     /// the paper's Figure 5 measurement protocol. Answers are identical;
@@ -191,6 +203,11 @@ impl SearchRequest {
     /// Whether the batch bypasses the batched SIMD pipeline.
     pub fn uses_per_query_pipeline(&self) -> bool {
         self.per_query_pipeline
+    }
+
+    /// The per-shard fan-out deadline, if any.
+    pub fn shard_deadline(&self) -> Option<std::time::Duration> {
+        self.shard_deadline
     }
 
     /// Validates the request against a backend of dimensionality `dim`:
@@ -272,6 +289,11 @@ pub struct SearchResponse {
     /// multi-node backends, where each node pins its own. The invariant
     /// `visible = static + sealed` holds for every pin.
     pub epoch: Option<EpochInfo>,
+    /// Shards that missed the request's
+    /// [`shard_deadline`](SearchRequest::with_shard_deadline) and were
+    /// dropped from the answer. Empty on single-node backends and whenever
+    /// no deadline was set: an empty list means the answer is complete.
+    pub timed_out_shards: Vec<u32>,
 }
 
 impl SearchResponse {
@@ -391,6 +413,7 @@ pub fn merge_partial_responses(
         stats,
         phase_timings: timings,
         epoch: None,
+        timed_out_shards: Vec::new(),
     })
 }
 
@@ -517,6 +540,7 @@ mod tests {
             stats: None,
             phase_timings: None,
             epoch: None,
+            timed_out_shards: Vec::new(),
         };
         assert!(resp.hits().is_empty());
         assert_eq!(resp.total_hits(), 0);

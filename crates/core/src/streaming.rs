@@ -30,16 +30,34 @@
 //! s.wait_for_merge();
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use plsh_parallel::ThreadPool;
+use plsh_parallel::{Backoff, ThreadPool, WorkerStatus};
 
 use crate::engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergeReport};
 use crate::error::Result;
+use crate::fault;
+use crate::health::{HealthReport, WorkerHealth};
 use crate::query::{BatchStats, Neighbor};
 use crate::search::{SearchBackend, SearchRequest, SearchResponse};
 use crate::sparse::SparseVector;
+
+/// What [`StreamingEngine::shutdown`] managed to wind down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Whether the open generation was fully sealed — `false` means rows
+    /// remain buffered (and WAL-covered, if persistence is attached), e.g.
+    /// because the engine is degraded and the seal was aborted.
+    pub drained: bool,
+    /// Whether a background merge was still running at the deadline and
+    /// was detached rather than joined. An abandoned merge keeps running
+    /// harmlessly (its publish is a single atomic swap) — the process just
+    /// stops waiting for it.
+    pub merge_abandoned: bool,
+}
 
 /// A cloneable, thread-safe streaming handle (see the module docs).
 #[derive(Clone)]
@@ -48,6 +66,9 @@ pub struct StreamingEngine {
     pool: ThreadPool,
     /// The in-flight background merge, if any (all clones share it).
     merger: Arc<Mutex<Option<JoinHandle<()>>>>,
+    /// Liveness/restart accounting for the background merge worker (all
+    /// clones share it; surfaced through [`health`](Self::health)).
+    merge_status: Arc<WorkerStatus>,
 }
 
 impl StreamingEngine {
@@ -63,6 +84,7 @@ impl StreamingEngine {
             engine: Arc::new(engine),
             pool,
             merger: Arc::new(Mutex::new(None)),
+            merge_status: Arc::new(WorkerStatus::new()),
         }
     }
 
@@ -148,8 +170,14 @@ impl StreamingEngine {
 
     /// Starts a background merge unless one is already in flight; returns
     /// whether a new merge was started.
+    ///
+    /// The merge runs *supervised*: a panic (the merge build itself, or an
+    /// armed [`crate::fault`] injection) is caught, recorded in
+    /// [`health`](Self::health), and the merge is retried under bounded
+    /// exponential backoff. A merge that keeps panicking through the
+    /// restart budget marks the worker dead instead of spinning forever.
     pub fn merge_in_background(&self) -> bool {
-        let mut slot = self.merger.lock().unwrap();
+        let mut slot = self.merger.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(handle) = slot.take() {
             if !handle.is_finished() {
                 *slot = Some(handle);
@@ -159,15 +187,18 @@ impl StreamingEngine {
         }
         let engine = self.engine.clone();
         let pool = self.pool.clone();
-        *slot = Some(std::thread::spawn(move || engine.merge_delta(&pool)));
+        let status = self.merge_status.clone();
+        *slot = Some(std::thread::spawn(move || {
+            supervised_merge(&engine, &pool, &status);
+        }));
         true
     }
 
-    /// Blocks until the in-flight background merge (if any) has published.
-    /// A merge that panicked re-raises its panic here rather than being
-    /// silently reported as success.
+    /// Blocks until the in-flight background merge (if any) has finished.
+    /// Merge panics never propagate here — they are absorbed by the
+    /// supervisor and reported through [`health`](Self::health).
     pub fn wait_for_merge(&self) {
-        let handle = self.merger.lock().unwrap().take();
+        let handle = self.merger.lock().unwrap_or_else(|e| e.into_inner()).take();
         if let Some(h) = handle {
             join_merge(h);
         }
@@ -188,9 +219,60 @@ impl StreamingEngine {
     pub fn merge_in_flight(&self) -> bool {
         self.merger
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .as_ref()
             .is_some_and(|h| !h.is_finished())
+    }
+
+    /// Winds the handle down for a clean exit: seals (drains) whatever the
+    /// open generation still buffers, then waits up to `deadline` for an
+    /// in-flight background merge, detaching it if it misses. Idempotent;
+    /// the handle stays usable afterwards.
+    pub fn shutdown(&self, deadline: Duration) -> ShutdownReport {
+        let t0 = Instant::now();
+        self.engine.seal();
+        let drained = self.engine.health().wal_lag_rows == 0;
+        let handle = self.merger.lock().unwrap_or_else(|e| e.into_inner()).take();
+        let merge_abandoned = if let Some(h) = handle {
+            while !h.is_finished() && t0.elapsed() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if h.is_finished() {
+                join_merge(h);
+                false
+            } else {
+                drop(h); // detach: stop waiting, let it publish on its own
+                true
+            }
+        } else {
+            false
+        };
+        ShutdownReport {
+            drained,
+            merge_abandoned,
+        }
+    }
+
+    /// Engine health plus the background merge worker's liveness.
+    pub fn health(&self) -> HealthReport {
+        let mut report = self.engine.health();
+        report.workers.push(WorkerHealth {
+            name: "merge".to_string(),
+            alive: self.merge_status.alive(),
+            restarts: self.merge_status.restarts(),
+            last_panic: self.merge_status.last_panic(),
+        });
+        report
+    }
+
+    /// Attempts to leave degraded read-only mode (see [`Engine::heal`]);
+    /// also revives a merge worker that died under persistent faults.
+    pub fn heal(&self) -> bool {
+        let ok = self.engine.heal();
+        if ok {
+            self.merge_status.mark_alive();
+        }
+        ok
     }
 
     /// Stored points (sealed + open).
@@ -228,12 +310,45 @@ impl SearchBackend for StreamingEngine {
     }
 }
 
-/// Joins a background-merge thread, re-raising any panic on the caller —
-/// a swallowed merge panic would otherwise surface later as an unrelated
-/// poisoned-mutex error on the write path.
+/// Joins a background-merge thread. The supervised loop inside the thread
+/// catches every panic, so the join itself cannot fail; a defensive join
+/// error is ignored rather than re-raised (the failure is already recorded
+/// in the worker status).
 fn join_merge(handle: JoinHandle<()>) {
-    if let Err(payload) = handle.join() {
-        std::panic::resume_unwind(payload);
+    let _ = handle.join();
+}
+
+/// The supervised body of a background-merge thread: run the merge under
+/// `catch_unwind`, absorb panics, and retry with bounded exponential
+/// backoff. The [`fault::MERGE_BUILD`] failpoint fires *inside* the
+/// catch but *outside* every engine lock, so an injected panic exercises
+/// the restart path without poisoning the write path.
+fn supervised_merge(engine: &Engine, pool: &ThreadPool, status: &WorkerStatus) {
+    const MAX_RESTARTS: u32 = 3;
+    let mut backoff = Backoff::new(
+        Duration::from_millis(1),
+        Duration::from_millis(50),
+        0x6d65_7267, // "merg"
+    );
+    for attempt in 0..=MAX_RESTARTS {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            fault::point(fault::MERGE_BUILD);
+            engine.merge_delta(pool);
+        }));
+        match outcome {
+            Ok(()) => {
+                status.mark_alive();
+                return;
+            }
+            Err(payload) => {
+                status.record_restart(payload.as_ref());
+                if attempt == MAX_RESTARTS {
+                    status.mark_dead();
+                    return;
+                }
+                std::thread::sleep(backoff.next_delay());
+            }
+        }
     }
 }
 

@@ -18,6 +18,8 @@
 //! * [`EpochPtr`] — an atomically swappable `Arc` with a generation
 //!   counter and lock-free readers, the publication primitive behind the
 //!   streaming engine's epoch-swapped tables.
+//! * [`Backoff`] / [`WorkerStatus`] — bounded-exponential-backoff
+//!   supervision primitives for the long-lived merge and ingest workers.
 //!
 //! The pool is deliberately small and synchronous: `scope`-style entry
 //! points block until all spawned work completes, so callers never deal with
@@ -28,11 +30,13 @@
 mod epoch;
 mod pool;
 mod prefix;
+mod supervisor;
 mod worker_local;
 
 pub use epoch::EpochPtr;
 pub use pool::{current_num_threads_hint, ThreadPool};
 pub use prefix::{exclusive_prefix_sum, exclusive_prefix_sum_in_place, inclusive_prefix_sum};
+pub use supervisor::{panic_message, Backoff, WorkerStatus};
 pub use worker_local::WorkerLocal;
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ fn main() -> plsh::Result<()> {
         .build()?;
     index.persist_to(&dir)?;
     index.add_batch(&corpus.vectors()[..4_000])?;
-    index.merge();
+    index.merge()?;
     for chunk in corpus.vectors()[4_000..6_000].chunks(500) {
         index.add_batch(chunk)?;
     }

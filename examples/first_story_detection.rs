@@ -58,7 +58,7 @@ fn main() -> plsh::Result<()> {
         }
         index.add(tweet.clone())?;
     }
-    index.flush();
+    index.flush()?;
     let elapsed = start.elapsed();
 
     let flagged = true_positive + false_positive;

@@ -87,7 +87,7 @@ fn main() -> plsh::Result<()> {
         .manual_merge()
         .build()?;
     index.add_batch(corpus.vectors())?;
-    index.merge();
+    index.merge()?;
 
     let queries = QuerySet::sample_from_corpus(&corpus, 200, 3);
     let truth = GroundTruth::compute(corpus.vectors(), queries.queries(), 0.9, &pool);

@@ -57,7 +57,7 @@ fn main() -> plsh::Result<()> {
     for d in &docs {
         index.add_text(d)?;
     }
-    index.merge();
+    index.merge()?;
     let stats = index.stats();
     println!(
         "indexed {} documents ({} static, {} delta)\n",

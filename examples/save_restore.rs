@@ -35,7 +35,7 @@ fn main() -> plsh::Result<()> {
         .manual_merge()
         .build()?;
     index.add_batch(&corpus.vectors()[..4_500])?;
-    index.merge();
+    index.merge()?;
     index.add_batch(&corpus.vectors()[4_500..])?;
     index.delete(42)?;
     let stats = index.stats();

@@ -41,7 +41,7 @@ fn main() -> plsh::Result<()> {
     // One streaming node, as before.
     let single = Index::builder(params.clone()).capacity(N).build()?;
     single.add_batch(corpus.vectors())?;
-    single.flush();
+    single.flush()?;
 
     // The same API across four shard-local engines. `capacity` is per
     // shard (the paper's per-node C); `.auto_shards()` would let the
@@ -78,7 +78,7 @@ fn main() -> plsh::Result<()> {
             );
         }
     }
-    sharded.flush(); // barrier: every routed point is now query-visible
+    sharded.flush()?; // barrier: every routed point is now query-visible
     println!(
         "ingested {} points across {} shards in {:.2?} ({} background merges so far)",
         sharded.len(),

@@ -93,7 +93,7 @@ fn main() -> plsh::Result<()> {
         }
     }
     let ingest = pump.join();
-    index.flush();
+    index.flush()?;
     let merge = index.last_merge();
     println!(
         "ingested {} points at {:.0}/s on the ingest thread; {} merges \

@@ -22,6 +22,12 @@ the design bars:
   with a live WAL tail at crash time, positive journaled-ingest and
   replay rates, recovered answers bit-identical to the in-memory twin,
   and every pre-crash tombstone surviving.
+* faults — the chaos soak: faults actually injected, every injected
+  worker panic matched by a supervisor restart, at least one degraded
+  read-only episode with reads still answering, positive recovery time
+  and under-fault throughput (zero means a hang), post-heal answers
+  bit-identical to the unfaulted twin, and the journal written through
+  the faults recovering to those same answers.
 * scaling — the 1/2/4/8-shard sweep: `answers_match` per shard count and
   multi-shard query qps >= 1.5x the 1-shard configuration. The speedup
   bar expresses cross-shard parallelism (quiesced) or merge-amplification
@@ -161,11 +167,44 @@ def check_scaling(path, d):
               f"(speedup bar skipped: single-thread host, measured {speedup}x)")
 
 
+def check_faults(path, d):
+    if not (isinstance(d["docs"], int) and d["docs"] > 0):
+        fail(path, f"docs must be positive, got {d['docs']!r}")
+    if d["faults_injected"] < 1:
+        fail(path, "the chaos soak must actually inject faults")
+    if d["supervisor_restarts"] < d["injected_panics"]:
+        fail(path, f"{d['injected_panics']} injected worker panics but only "
+                   f"{d['supervisor_restarts']} supervisor restarts "
+                   "(a panic escaped supervision)")
+    if d["degraded_episodes"] < 1:
+        fail(path, "the persistent-failure phase must trip degraded "
+                   "read-only mode at least once")
+    if not d["time_to_recover_ms"] > 0:
+        fail(path, f"time_to_recover_ms must be positive, got "
+                   f"{d['time_to_recover_ms']!r}")
+    for key in ("qps_under_fault", "qps_clean"):
+        if not d[key] > 0:
+            fail(path, f"{key} must be positive, got {d[key]!r} "
+                       "(a zero rate means the soak hung or never ran)")
+    if d["reads_survived_degraded"] is not True:
+        fail(path, "queries stopped answering while the engine was degraded")
+    if d["answers_match"] is not True:
+        fail(path, "post-heal answers diverged from the unfaulted twin")
+    if d["recovered_match"] is not True:
+        fail(path, "the journal written through the faults did not recover "
+                   "to the twin's answers")
+    print(f"{path} OK: {d['faults_injected']} faults, "
+          f"{d['supervisor_restarts']} restart(s), "
+          f"{d['degraded_episodes']} degraded episode(s), "
+          f"recovered in {d['time_to_recover_ms']} ms")
+
+
 CHECKS = {
     "throughput": check_throughput,
     "streaming": check_streaming,
     "scaling": check_scaling,
     "recovery": check_recovery,
+    "faults": check_faults,
 }
 
 

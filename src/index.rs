@@ -388,28 +388,55 @@ impl Index {
     /// Merges all sealed delta generations into the next static epoch(s)
     /// on this thread (queries keep running; publication is one swap per
     /// engine). On a sharded index this first drains the shard queues,
-    /// then folds every shard.
-    pub fn merge(&self) {
+    /// then folds every shard — failing fast (instead of hanging) if a
+    /// shard's ingest worker has died with points undrained.
+    pub fn merge(&self) -> Result<()> {
         match &self.backend {
             Backend::Single(engine) => engine.merge_now(),
-            Backend::Sharded(sharded) => sharded.quiesce(),
+            Backend::Sharded(sharded) => sharded.quiesce().map_err(PlshError::from)?,
         }
+        Ok(())
     }
 
     /// Ingest barrier: seals any buffered open generation (draining the
     /// shard queues first on a sharded index, so every prior `add` is
     /// query-visible on return) and blocks until in-flight background
-    /// merges have published.
-    pub fn flush(&self) {
+    /// merges have published. Fails fast with an error (instead of
+    /// hanging) if a shard's ingest worker has died with points
+    /// undrained.
+    pub fn flush(&self) -> Result<()> {
         match &self.backend {
             Backend::Single(engine) => {
                 engine.seal();
                 engine.wait_for_merge();
             }
             Backend::Sharded(sharded) => {
-                sharded.flush();
+                sharded.flush().map_err(PlshError::from)?;
                 sharded.wait_for_merges();
             }
+        }
+        Ok(())
+    }
+
+    /// Liveness and degradation report across the whole index: per-worker
+    /// state (merge threads, shard ingest threads), restart counts, WAL
+    /// lag, persistence retries, and whether any engine has degraded to
+    /// read-only. Never blocks on ingest or merges.
+    pub fn health(&self) -> plsh_core::HealthReport {
+        match &self.backend {
+            Backend::Single(engine) => engine.health(),
+            Backend::Sharded(sharded) => sharded.health(),
+        }
+    }
+
+    /// Attempts to lift a degraded engine (or every degraded shard) back
+    /// to read-write by re-syncing persistence from memory. Returns
+    /// `true` when nothing remains degraded. No-op `true` on a healthy
+    /// index.
+    pub fn heal(&self) -> bool {
+        match &self.backend {
+            Backend::Single(engine) => engine.heal(),
+            Backend::Sharded(sharded) => sharded.heal(),
         }
     }
 
@@ -744,7 +771,7 @@ mod tests {
             .map(|i| SparseVector::unit(vec![(i % 32, 1.0), ((i + 7) % 32, 0.5)]).unwrap())
             .collect();
         index.add_batch(&vs).unwrap();
-        index.merge();
+        index.merge().unwrap();
         index.delete(3).unwrap();
         let mut bytes = Vec::new();
         index.save_to(&mut bytes).unwrap();
@@ -778,7 +805,7 @@ mod tests {
             .collect();
         let ids = index.add_batch(&vs).unwrap();
         assert_eq!(ids, (0..90).collect::<Vec<u32>>());
-        index.flush();
+        index.flush().unwrap();
         assert_eq!(index.len(), 90);
         assert_eq!(index.epoch_info().visible_points, 90);
         assert_eq!(index.capacity(), 1500);
@@ -789,7 +816,7 @@ mod tests {
         assert!(index.delete(5).unwrap());
         assert!(index.query(&vs[5]).unwrap().iter().all(|h| h.index != 5));
         // Maintenance aggregates across shards.
-        index.merge();
+        index.merge().unwrap();
         let stats = index.stats();
         assert_eq!(stats.static_points, 90);
         assert!(stats.merges >= 3, "every shard merged");
@@ -833,7 +860,7 @@ mod tests {
             .build()
             .unwrap();
         sharded.add_batch(&vs).unwrap();
-        sharded.flush();
+        sharded.flush().unwrap();
         for q in vs.iter().step_by(11) {
             let mut a: Vec<u32> = single.query(q).unwrap().iter().map(|h| h.index).collect();
             let mut b: Vec<u32> = sharded.query(q).unwrap().iter().map(|h| h.index).collect();
@@ -856,7 +883,7 @@ mod tests {
             .map(|i| SparseVector::unit(vec![(i % 32, 1.0), ((i + 5) % 32, 0.7)]).unwrap())
             .collect();
         index.add_batch(&vs).unwrap();
-        other.flush();
+        other.flush().unwrap();
         assert_eq!(other.len(), 200);
         assert!(
             other.stats().merges >= 1,

@@ -72,8 +72,8 @@ pub use plsh_cluster::{ShardedIndex, ShardedIndexBuilder, ShardedStats};
 // The unified search surface and the types requests/responses carry.
 pub use plsh_core::search::{SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
 pub use plsh_core::{
-    BatchStats, EpochInfo, Neighbor, PlshParams, QueryPhaseTimings, QueryStats, QueryStrategy,
-    Snapshot, SparseVector,
+    BatchStats, EpochInfo, HealthReport, Neighbor, PlshParams, QueryPhaseTimings, QueryStats,
+    QueryStrategy, ShutdownReport, Snapshot, SparseVector, WorkerHealth,
 };
 
 /// The one error type every `plsh` operation returns — configuration,

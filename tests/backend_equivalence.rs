@@ -161,7 +161,7 @@ fn all_backends_answer_identically() {
             for chunk in corpus.vectors().chunks(64) {
                 s.insert_batch(chunk).unwrap();
             }
-            s.flush();
+            s.flush().unwrap();
             assert_eq!(
                 s.merge_all_in_background(),
                 shards,
@@ -281,7 +281,7 @@ fn all_backends_answer_identically() {
     engine.merge_delta(&pool);
     cluster.merge_all(&pool);
     for s in &sharded {
-        s.quiesce();
+        s.quiesce().unwrap();
         assert_eq!(s.shard(0).engine().delta_len(), 0);
     }
     compare_all("post-merge");

@@ -377,15 +377,15 @@ fn run_sharded_script(index: &ShardedIndex, vs: &[SparseVector]) {
         index.insert_batch(chunk).unwrap();
     }
     let _ = index.delete(SHARDED_DELETES[0]);
-    index.flush();
+    index.flush().unwrap();
     index.merge_all_in_background();
-    index.quiesce();
+    index.quiesce().unwrap();
     let _ = index.delete(SHARDED_DELETES[1]);
     for chunk in vs[60..120].chunks(9) {
         index.insert_batch(chunk).unwrap();
     }
     let _ = index.delete(SHARDED_DELETES[2]);
-    index.flush();
+    index.flush().unwrap();
 }
 
 fn sharded_answers(index: &ShardedIndex, qs: &[SparseVector]) -> Vec<Vec<(u32, u32)>> {
