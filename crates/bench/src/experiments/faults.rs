@@ -331,7 +331,8 @@ impl Faults {
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"experiment\": \"faults\",\n  \"scale\": \"{}\",\n  \
-             \"threads\": {},\n  \"docs\": {},\n  \"queries\": {},\n  \
+             \"threads\": {},\n  \"host_threads\": {},\n  \
+             \"pinned_workers\": {},\n  \"docs\": {},\n  \"queries\": {},\n  \
              \"faults_injected\": {},\n  \"injected_panics\": {},\n  \
              \"supervisor_restarts\": {},\n  \"degraded_episodes\": {},\n  \
              \"time_to_recover_ms\": {:.3},\n  \
@@ -341,6 +342,8 @@ impl Faults {
              \"answers_match\": {},\n  \"recovered_match\": {}\n}}\n",
             self.scale,
             self.threads,
+            plsh_parallel::affinity::host_threads(),
+            plsh_parallel::pinned_worker_count(),
             self.docs,
             self.queries,
             self.faults_injected,

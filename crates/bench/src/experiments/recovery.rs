@@ -242,7 +242,8 @@ impl Recovery {
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"experiment\": \"recovery\",\n  \"scale\": \"{}\",\n  \
-             \"threads\": {},\n  \"docs\": {},\n  \"queries\": {},\n  \
+             \"threads\": {},\n  \"host_threads\": {},\n  \
+             \"pinned_workers\": {},\n  \"docs\": {},\n  \"queries\": {},\n  \
              \"static_points\": {},\n  \"generation_segments\": {},\n  \
              \"wal_points\": {},\n  \"tombstones\": {},\n  \
              \"ingest_qps_journaled\": {:.3},\n  \
@@ -253,6 +254,8 @@ impl Recovery {
              \"answers_match\": {},\n  \"tombstones_survived\": {}\n}}\n",
             self.scale,
             self.threads,
+            plsh_parallel::affinity::host_threads(),
+            plsh_parallel::pinned_worker_count(),
             self.docs,
             self.queries,
             self.static_points,

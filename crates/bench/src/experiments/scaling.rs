@@ -40,7 +40,7 @@ use plsh_core::search::{SearchRequest, SearchResponse};
 use plsh_core::sparse::SparseVector;
 use plsh_parallel::current_num_threads_hint;
 
-use crate::setup::{Fixture, Scale};
+use crate::setup::{percentile_ms, Fixture, Scale};
 
 /// Shard counts swept (the 1-shard row is the baseline every ratio uses).
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -83,6 +83,11 @@ pub struct ScalingPoint {
     pub query_qps_during_ingest: f64,
     /// Query throughput after everything quiesced into static tables.
     pub query_qps_quiesced: f64,
+    /// p99 per-batch query latency while ingesting, milliseconds — tail
+    /// stalls from shard merges show up here before they dent mean qps.
+    pub query_p99_ms_during_ingest: f64,
+    /// p99 per-batch query latency quiesced, milliseconds.
+    pub query_p99_ms_quiesced: f64,
     /// Radius answer sets and k-NN rankings identical to the single
     /// reference engine.
     pub answers_match: bool,
@@ -108,6 +113,11 @@ pub struct ScalingReport {
     pub eta: f64,
     /// Worker threads available to the harness.
     pub threads: usize,
+    /// Hardware threads on the host that produced the report.
+    pub host_threads: usize,
+    /// Pool workers that successfully pinned to a core (0 when pinning
+    /// is disabled or the host is single-core).
+    pub pinned_workers: usize,
     /// Scale preset name.
     pub scale: &'static str,
 }
@@ -244,6 +254,8 @@ pub fn run(f: &Fixture) -> ScalingReport {
         ingest_points: n - preload,
         eta: ETA,
         threads: hint,
+        host_threads: plsh_parallel::affinity::host_threads(),
+        pinned_workers: plsh_parallel::pinned_worker_count(),
         scale: match f.scale {
             Scale::Quick => "quick",
             Scale::Full => "full",
@@ -315,12 +327,15 @@ fn run_one(
 
     // Query thread (this one): batches against whatever epochs are live.
     let mut during_time = Duration::ZERO;
+    let mut during_lat: Vec<Duration> = Vec::new();
     let mut during_queries = 0u64;
     let mut during_batches = 0u64;
     while !done.load(Ordering::Acquire) {
         let t0 = Instant::now();
         let resp = index.search(radius_req).expect("valid request");
-        during_time += t0.elapsed();
+        let lat = t0.elapsed();
+        during_time += lat;
+        during_lat.push(lat);
         during_queries += slice.len() as u64;
         during_batches += 1;
         std::hint::black_box(resp.total_hits());
@@ -333,11 +348,14 @@ fn run_one(
     let reps = during_batches.max(5);
     let _ = index.search(radius_req).expect("valid request");
     let mut quiesced_time = Duration::ZERO;
+    let mut quiesced_lat: Vec<Duration> = Vec::new();
     let mut quiesced_queries = 0u64;
     for _ in 0..reps {
         let t0 = Instant::now();
         let resp = index.search(radius_req).expect("valid request");
-        quiesced_time += t0.elapsed();
+        let lat = t0.elapsed();
+        quiesced_time += lat;
+        quiesced_lat.push(lat);
         quiesced_queries += slice.len() as u64;
         std::hint::black_box(resp.total_hits());
     }
@@ -363,6 +381,8 @@ fn run_one(
         query_batches_during_ingest: during_batches,
         query_qps_during_ingest: qps(during_queries, during_time),
         query_qps_quiesced: qps(quiesced_queries, quiesced_time),
+        query_p99_ms_during_ingest: percentile_ms(&mut during_lat, 99),
+        query_p99_ms_quiesced: percentile_ms(&mut quiesced_lat, 99),
         answers_match,
     }
 }
@@ -375,24 +395,30 @@ impl ScalingReport {
             self.preload_points, self.ingest_points, self.eta, self.threads,
             self.model_predicted_shards
         );
-        println!("| Shards | Threads | Ingest qps | Merges | Query qps (during) | Query qps (quiesced) | Answers match |");
-        println!("|---:|---:|---:|---:|---:|---:|---|");
+        println!("| Shards | Threads | Ingest qps | Merges | Query qps (during) | p99 ms (during) | Query qps (quiesced) | p99 ms (quiesced) | Answers match |");
+        println!("|---:|---:|---:|---:|---:|---:|---:|---:|---|");
         for p in &self.points {
             println!(
-                "| {} | {} | {:.0} | {} | {:.0} ({} batches) | {:.0} | {} |",
+                "| {} | {} | {:.0} | {} | {:.0} ({} batches) | {:.2} | {:.0} | {:.2} | {} |",
                 p.shards,
                 p.threads,
                 p.ingest_qps,
                 p.merges,
                 p.query_qps_during_ingest,
                 p.query_batches_during_ingest,
+                p.query_p99_ms_during_ingest,
                 p.query_qps_quiesced,
+                p.query_p99_ms_quiesced,
                 p.answers_match
             );
         }
         println!(
-            "\nBest multi-shard speedup over 1 shard: {:.2}x during ingest, {:.2}x quiesced (bar: best >= 1.5).\n",
+            "\nBest multi-shard speedup over 1 shard: {:.2}x during ingest, {:.2}x quiesced (bar: best >= 1.5).",
             self.during_speedup_best, self.quiesced_speedup_best
+        );
+        println!(
+            "Host threads: {}; pinned workers: {}.\n",
+            self.host_threads, self.pinned_workers
         );
     }
 
@@ -408,7 +434,9 @@ impl ScalingReport {
                      \"ingest_elapsed_ms\": {:.3}, \"merges\": {}, \
                      \"query_batches_during_ingest\": {}, \
                      \"query_qps_during_ingest\": {:.3}, \
-                     \"query_qps_quiesced\": {:.3}, \"answers_match\": {}}}",
+                     \"query_qps_quiesced\": {:.3}, \
+                     \"query_p99_ms_during_ingest\": {:.4}, \
+                     \"query_p99_ms_quiesced\": {:.4}, \"answers_match\": {}}}",
                     p.shards,
                     p.threads,
                     p.ingest_qps,
@@ -417,13 +445,16 @@ impl ScalingReport {
                     p.query_batches_during_ingest,
                     p.query_qps_during_ingest,
                     p.query_qps_quiesced,
+                    p.query_p99_ms_during_ingest,
+                    p.query_p99_ms_quiesced,
                     p.answers_match
                 )
             })
             .collect();
         format!(
             "{{\n  \"experiment\": \"scaling\",\n  \"scale\": \"{}\",\n  \
-             \"threads\": {},\n  \"preload_points\": {},\n  \
+             \"threads\": {},\n  \"host_threads\": {},\n  \
+             \"pinned_workers\": {},\n  \"preload_points\": {},\n  \
              \"ingest_points\": {},\n  \"eta\": {},\n  \
              \"model_predicted_shards\": {},\n  \"configs\": [\n{}\n  ],\n  \
              \"during_speedup_best\": {:.4},\n  \
@@ -431,6 +462,8 @@ impl ScalingReport {
              \"multi_shard_speedup\": {:.4},\n  \"answers_match\": {}\n}}\n",
             self.scale,
             self.threads,
+            self.host_threads,
+            self.pinned_workers,
             self.preload_points,
             self.ingest_points,
             self.eta,

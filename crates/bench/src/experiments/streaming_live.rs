@@ -21,7 +21,7 @@ use plsh_cluster::firehose::Firehose;
 use plsh_core::engine::EngineConfig;
 use plsh_core::streaming::StreamingEngine;
 
-use crate::setup::{Fixture, Scale};
+use crate::setup::{percentile_ms, Fixture, Scale};
 
 /// Target wall time for draining the ingest half of the corpus, per
 /// scale; sets the firehose pacing so the arrival process resembles a
@@ -66,6 +66,16 @@ pub struct StreamingLive {
     pub query_qps_during_ingest: f64,
     /// Query throughput after ingest + final merge quiesced.
     pub query_qps_quiesced: f64,
+    /// p50 per-batch query latency while ingesting, milliseconds.
+    pub query_p50_ms_during_ingest: f64,
+    /// p99 per-batch query latency while ingesting, milliseconds — the
+    /// interference headline: tail stalls from merge slices show up here
+    /// long before they dent mean qps.
+    pub query_p99_ms_during_ingest: f64,
+    /// p50 per-batch query latency quiesced, milliseconds.
+    pub query_p50_ms_quiesced: f64,
+    /// p99 per-batch query latency quiesced, milliseconds.
+    pub query_p99_ms_quiesced: f64,
     /// Every in-flight query batch found every pre-loaded probe point.
     pub probe_always_found: bool,
     /// Every epoch pinned during ingest satisfied
@@ -73,6 +83,11 @@ pub struct StreamingLive {
     pub epoch_always_consistent: bool,
     /// Worker threads.
     pub threads: usize,
+    /// Hardware threads on the host that produced the report.
+    pub host_threads: usize,
+    /// Pool workers that successfully pinned to a core (0 when pinning
+    /// is disabled or the host is single-core).
+    pub pinned_workers: usize,
     /// Scale preset name.
     pub scale: &'static str,
 }
@@ -124,6 +139,7 @@ pub fn run(f: &Fixture) -> StreamingLive {
 
     // Query thread (this one): batches against whatever epoch is live.
     let mut during_time = Duration::ZERO;
+    let mut during_lat: Vec<Duration> = Vec::new();
     let mut during_queries = 0u64;
     let mut during_batches = 0u64;
     let mut probe_always_found = true;
@@ -133,7 +149,9 @@ pub fn run(f: &Fixture) -> StreamingLive {
         epoch_always_consistent &= info.visible_points == info.static_points + info.sealed_points;
         let t0 = Instant::now();
         let (answers, _) = engine.query_batch(slice);
-        during_time += t0.elapsed();
+        let lat = t0.elapsed();
+        during_time += lat;
+        during_lat.push(lat);
         during_queries += slice.len() as u64;
         during_batches += 1;
         probe_always_found &= check(&answers);
@@ -150,11 +168,14 @@ pub fn run(f: &Fixture) -> StreamingLive {
     let reps = during_batches.max(5);
     let _ = engine.query_batch(slice);
     let mut quiesced_time = Duration::ZERO;
+    let mut quiesced_lat: Vec<Duration> = Vec::new();
     let mut quiesced_queries = 0u64;
     for _ in 0..reps {
         let t0 = Instant::now();
         let (answers, _) = engine.query_batch(slice);
-        quiesced_time += t0.elapsed();
+        let lat = t0.elapsed();
+        quiesced_time += lat;
+        quiesced_lat.push(lat);
         quiesced_queries += slice.len() as u64;
         probe_always_found &= check(&answers);
     }
@@ -178,9 +199,15 @@ pub fn run(f: &Fixture) -> StreamingLive {
         query_batches_during_ingest: during_batches,
         query_qps_during_ingest: qps(during_queries, during_time),
         query_qps_quiesced: qps(quiesced_queries, quiesced_time),
+        query_p50_ms_during_ingest: percentile_ms(&mut during_lat, 50),
+        query_p99_ms_during_ingest: percentile_ms(&mut during_lat, 99),
+        query_p50_ms_quiesced: percentile_ms(&mut quiesced_lat, 50),
+        query_p99_ms_quiesced: percentile_ms(&mut quiesced_lat, 99),
         probe_always_found,
         epoch_always_consistent,
         threads: f.pool.num_threads(),
+        host_threads: plsh_parallel::affinity::host_threads(),
+        pinned_workers: plsh_parallel::pinned_worker_count(),
         scale: match f.scale {
             Scale::Quick => "quick",
             Scale::Full => "full",
@@ -229,8 +256,20 @@ impl StreamingLive {
         );
         println!("| Query qps quiesced | {:.0} |", self.query_qps_quiesced);
         println!(
-            "| During / quiesced | {:.2} (bar: >= 0.5) |",
+            "| Query batch p50 / p99 during ingest | {:.2} ms / {:.2} ms |",
+            self.query_p50_ms_during_ingest, self.query_p99_ms_during_ingest
+        );
+        println!(
+            "| Query batch p50 / p99 quiesced | {:.2} ms / {:.2} ms |",
+            self.query_p50_ms_quiesced, self.query_p99_ms_quiesced
+        );
+        println!(
+            "| During / quiesced | {:.2} (bar: >= 0.85) |",
             self.during_over_quiesced()
+        );
+        println!(
+            "| Host threads / pinned workers | {} / {} |",
+            self.host_threads, self.pinned_workers
         );
         println!(
             "| Probes found in every batch | {} |",
@@ -248,7 +287,8 @@ impl StreamingLive {
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"experiment\": \"streaming\",\n  \"scale\": \"{}\",\n  \
-             \"threads\": {},\n  \"preload_points\": {},\n  \
+             \"threads\": {},\n  \"host_threads\": {},\n  \
+             \"pinned_workers\": {},\n  \"preload_points\": {},\n  \
              \"ingest_points\": {},\n  \"batch_size\": {},\n  \
              \"insert_qps\": {:.3},\n  \"ingest_elapsed_ms\": {:.3},\n  \
              \"merges\": {},\n  \"merge_build_ms\": {:.3},\n  \
@@ -256,11 +296,17 @@ impl StreamingLive {
              \"query_batches_during_ingest\": {},\n  \
              \"query_qps_during_ingest\": {:.3},\n  \
              \"query_qps_quiesced\": {:.3},\n  \
+             \"query_p50_ms_during_ingest\": {:.4},\n  \
+             \"query_p99_ms_during_ingest\": {:.4},\n  \
+             \"query_p50_ms_quiesced\": {:.4},\n  \
+             \"query_p99_ms_quiesced\": {:.4},\n  \
              \"during_over_quiesced\": {:.4},\n  \
              \"probe_always_found\": {},\n  \
              \"epoch_always_consistent\": {}\n}}\n",
             self.scale,
             self.threads,
+            self.host_threads,
+            self.pinned_workers,
             self.preload_points,
             self.ingest_points,
             self.batch_size,
@@ -272,6 +318,10 @@ impl StreamingLive {
             self.query_batches_during_ingest,
             self.query_qps_during_ingest,
             self.query_qps_quiesced,
+            self.query_p50_ms_during_ingest,
+            self.query_p99_ms_during_ingest,
+            self.query_p50_ms_quiesced,
+            self.query_p99_ms_quiesced,
             self.during_over_quiesced(),
             self.probe_always_found,
             self.epoch_always_consistent

@@ -307,6 +307,7 @@ impl Throughput {
         format!(
             "{{\n  \"experiment\": \"throughput\",\n  \"scale\": \"{}\",\n  \
              \"docs\": {},\n  \"queries\": {},\n  \"threads\": {},\n  \
+             \"host_threads\": {},\n  \"pinned_workers\": {},\n  \
              \"simd_level\": \"{}\",\n  \"levels\": [\n    {}\n  ],\n  \
              \"batched_pipeline\": {},\n  \
              \"phase_ns_per_query\": {{\"q2\": {:.1}, \"q3\": {:.1}}},\n  \
@@ -315,6 +316,8 @@ impl Throughput {
             self.docs,
             self.queries,
             self.threads,
+            plsh_parallel::affinity::host_threads(),
+            plsh_parallel::pinned_worker_count(),
             self.simd_level,
             levels.join(",\n    "),
             self.batched.json(),

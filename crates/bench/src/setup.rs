@@ -130,6 +130,17 @@ pub fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Nearest-rank percentile of a set of batch latencies, in fractional
+/// milliseconds (0.0 for an empty sample). Sorts in place.
+pub fn percentile_ms(latencies: &mut [std::time::Duration], pct: u32) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_unstable();
+    let rank = (latencies.len() * pct as usize).div_ceil(100);
+    ms(latencies[rank.saturating_sub(1).min(latencies.len() - 1)])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +165,18 @@ mod tests {
             let hits = e.query(q);
             assert!(hits.iter().any(|h| h.index == src), "query {i}");
         }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        use std::time::Duration;
+        let mut lat: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&mut lat, 99), 99.0);
+        assert_eq!(percentile_ms(&mut lat, 50), 50.0);
+        assert_eq!(percentile_ms(&mut lat, 100), 100.0);
+        let mut one = vec![Duration::from_millis(7)];
+        assert_eq!(percentile_ms(&mut one, 99), 7.0);
+        assert_eq!(percentile_ms(&mut [], 99), 0.0);
     }
 
     #[test]

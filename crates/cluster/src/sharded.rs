@@ -76,7 +76,7 @@ use std::fs;
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -96,7 +96,7 @@ use plsh_core::search::{
 use plsh_core::snapshot::Snapshot;
 use plsh_core::sparse::SparseVector;
 use plsh_core::streaming::StreamingEngine;
-use plsh_parallel::{Backoff, ThreadPool, WorkerStatus};
+use plsh_parallel::{affinity, Backoff, ThreadPool, WorkerStatus};
 
 use crate::error::{ClusterError, Result};
 
@@ -174,16 +174,27 @@ impl ShardedIndexBuilder {
                 predict_shard_count(&profile, &self.node)
             }
         };
+        // Shard-per-core layout: shard i's ingest + merge workers pin to
+        // core i (mod host threads); the query fan-out workers spread over
+        // whatever cores the shards left free. `PLSH_PIN=off` — or a
+        // single-core host, or a kernel that refuses the syscall — turns
+        // all of this into a logged no-op.
+        let fanout = repin_fanout(fanout, shards);
+        let sync = ProgressSync::new();
         let mut shard_handles = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        for i in 0..shards {
+            let pin_core = shard_core(i);
             // Each shard's engine gets a serial pool: cross-shard
             // parallelism comes from the fan-out pool and the per-shard
             // ingest/merge threads, so intra-shard fan-out would only
             // oversubscribe.
             let engine = StreamingEngine::new(self.node.clone(), ThreadPool::new(1))
                 .map_err(ClusterError::Node)?;
+            if let Some(core) = pin_core {
+                engine.pin_merge_to(core);
+            }
             let (tx, rx) = bounded::<ShardBatch>(self.queue_batches);
-            let progress = IngestProgress::new();
+            let progress = IngestProgress::new(sync.clone());
             let status = Arc::new(WorkerStatus::new());
             let worker = spawn_ingest_worker(
                 engine.clone(),
@@ -191,6 +202,7 @@ impl ShardedIndexBuilder {
                 progress.clone(),
                 status.clone(),
                 self.ingest_rate,
+                pin_core,
             );
             shard_handles.push(Shard {
                 engine,
@@ -212,6 +224,7 @@ impl ShardedIndexBuilder {
             }),
             total: AtomicU64::new(0),
             locals: RwLock::new(Vec::new()),
+            ingest_sync: sync,
         })
     }
 }
@@ -237,6 +250,28 @@ struct Shard {
     status: Arc<WorkerStatus>,
 }
 
+/// The one lock/condvar pair every shard's [`IngestProgress`] notifies
+/// through. Sharing it across the index lets cluster-wide waiters
+/// ([`ShardedIndex::wait_for_visible`]) sleep on a single condvar that
+/// *any* shard's drain progress wakes — per-shard waiters simply re-check
+/// their predicate on the (harmless) cross-shard wakeups.
+struct ProgressSync {
+    lock: Mutex<()>,
+    advanced: Condvar,
+}
+
+impl ProgressSync {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            lock: Mutex::new(()),
+            advanced: Condvar::new(),
+        })
+    }
+}
+
+/// Sentinel for "not pinned" in the atomic pinned-core slots.
+const NOT_PINNED: usize = usize::MAX;
+
 /// Ingest progress shared between a shard's router-side producers and its
 /// ingest thread: the queued-point count plus a condvar, so waiters
 /// ([`ShardedIndex::delete`], [`ShardedIndex::flush`]) sleep until the
@@ -254,44 +289,55 @@ struct IngestProgress {
     /// full channel) but discards the batches, and waiters must not wait
     /// for discarded points to land.
     degraded: AtomicBool,
-    lock: Mutex<()>,
-    advanced: Condvar,
+    /// The core the shard's ingest thread actually pinned itself to
+    /// ([`NOT_PINNED`] when pinning is off or the kernel refused).
+    pinned_core: AtomicUsize,
+    /// Index-wide notification channel (shared by every shard).
+    sync: Arc<ProgressSync>,
 }
 
 impl IngestProgress {
-    fn new() -> Arc<Self> {
+    fn new(sync: Arc<ProgressSync>) -> Arc<Self> {
         Arc::new(Self {
             pending: AtomicU64::new(0),
             alive: AtomicBool::new(true),
             degraded: AtomicBool::new(false),
-            lock: Mutex::new(()),
-            advanced: Condvar::new(),
+            pinned_core: AtomicUsize::new(NOT_PINNED),
+            sync,
         })
+    }
+
+    /// The core the ingest worker pinned to, if pinning took effect.
+    fn pinned(&self) -> Option<usize> {
+        match self.pinned_core.load(Ordering::SeqCst) {
+            NOT_PINNED => None,
+            core => Some(core),
+        }
     }
 
     /// Worker-side: one batch has landed in (or been rejected by) the
     /// engine.
     fn batch_done(&self, points: u64) {
         self.pending.fetch_sub(points, Ordering::SeqCst);
-        drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
-        self.advanced.notify_all();
+        drop(self.sync.lock.lock().unwrap_or_else(|e| e.into_inner()));
+        self.sync.advanced.notify_all();
     }
 
     /// Worker-side, on every exit path (panics included): the thread is
     /// gone, wake everyone still waiting on it.
     fn mark_dead(&self) {
-        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = self.sync.lock.lock().unwrap_or_else(|e| e.into_inner());
         self.alive.store(false, Ordering::SeqCst);
-        self.advanced.notify_all();
+        self.sync.advanced.notify_all();
     }
 
     /// Worker-side: the shard's engine degraded to read-only; wake
     /// waiters so they observe the flag instead of sleeping forever on
     /// points that will never land.
     fn set_degraded(&self) {
-        let _g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = self.sync.lock.lock().unwrap_or_else(|e| e.into_inner());
         self.degraded.store(true, Ordering::SeqCst);
-        self.advanced.notify_all();
+        self.sync.advanced.notify_all();
     }
 
     fn clear_degraded(&self) {
@@ -302,22 +348,34 @@ impl IngestProgress {
         self.degraded.load(Ordering::SeqCst)
     }
 
-    /// Blocks until `done()` holds or the worker dies or degrades; `true`
-    /// means the condition was reached. `done` must read state the worker
-    /// updates *before* it notifies (the engine length, the pending
-    /// counter).
-    fn wait_until(&self, done: impl Fn() -> bool) -> bool {
-        let mut g = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+    /// Blocks until `done()` holds or the worker dies; `true` means the
+    /// condition was reached. `done` must read state the worker updates
+    /// *before* it notifies (the engine length, the pending counter).
+    ///
+    /// `bail_on_degraded` decides what a degraded shard means for this
+    /// waiter: a degraded worker still *drains* (and discards) the queue,
+    /// so drain-progress conditions (`pending == 0`) keep advancing and
+    /// must keep waiting — but visibility conditions (`engine.len() >
+    /// local`) can never come true for a discarded point, so those
+    /// waiters bail and re-check once.
+    fn wait_until(&self, done: impl Fn() -> bool, bail_on_degraded: bool) -> bool {
+        let mut g = self.sync.lock.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if done() {
                 return true;
             }
-            if !self.alive.load(Ordering::SeqCst) || self.degraded.load(Ordering::SeqCst) {
+            if !self.alive.load(Ordering::SeqCst)
+                || (bail_on_degraded && self.degraded.load(Ordering::SeqCst))
+            {
                 // The worker may have completed this very work on its way
                 // out; one final check decides.
                 return done();
             }
-            g = self.advanced.wait(g).unwrap_or_else(|e| e.into_inner());
+            g = self
+                .sync
+                .advanced
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 }
@@ -376,6 +434,10 @@ pub struct ShardedIndex {
     total: AtomicU64,
     /// Global id → shard-local id (the shard itself is `route(id)`).
     locals: RwLock<Vec<u32>>,
+    /// The condvar every shard's ingest thread notifies per drained batch
+    /// — the cluster-wide sleep channel for
+    /// [`wait_for_visible`](Self::wait_for_visible).
+    ingest_sync: Arc<ProgressSync>,
 }
 
 impl ShardedIndex {
@@ -572,9 +634,11 @@ impl ShardedIndex {
     /// every write.
     pub fn flush(&self) -> Result<()> {
         for (i, shard) in self.shards.iter().enumerate() {
+            // A degraded worker keeps draining (discarding), so the
+            // barrier is still reachable: wait through degradation.
             let drained = shard
                 .progress
-                .wait_until(|| shard.progress.pending.load(Ordering::SeqCst) == 0);
+                .wait_until(|| shard.progress.pending.load(Ordering::SeqCst) == 0, false);
             if !drained {
                 return Err(ClusterError::IngestWorkerDied { shard: i });
             }
@@ -582,6 +646,47 @@ impl ShardedIndex {
             shard.engine.seal();
         }
         Ok(())
+    }
+
+    /// Query-visibility back-pressure: blocks until at least `min` points
+    /// are visible to queries across the shards, then returns the visible
+    /// count. Sleeps on the cluster-wide ingest condvar (woken once per
+    /// drained batch by any shard) instead of polling
+    /// [`visible_len`](Self::visible_len) in a spin loop.
+    ///
+    /// This is a *liveness* barrier for readers racing a live writer: it
+    /// gives up — returning the current, possibly smaller, count — only
+    /// when every shard's ingest worker has died, since visibility could
+    /// then never advance. It does not time out; with no writer and no
+    /// routed points it waits indefinitely. A degraded shard's worker
+    /// keeps draining (and notifying), so degradation alone never wedges
+    /// it, but discarded points do not count toward `min` — callers
+    /// asserting exact totals should use [`flush`](Self::flush), which
+    /// reports degradation explicitly.
+    pub fn wait_for_visible(&self, min: usize) -> usize {
+        let mut g = self
+            .ingest_sync
+            .lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        loop {
+            let visible = self.visible_len();
+            if visible >= min {
+                return visible;
+            }
+            let all_dead = self
+                .shards
+                .iter()
+                .all(|s| !s.progress.alive.load(Ordering::SeqCst));
+            if all_dead {
+                return visible;
+            }
+            g = self
+                .ingest_sync
+                .advanced
+                .wait(g)
+                .unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     /// Full quiesce: [`flush`](Self::flush), then fold every shard's
@@ -639,7 +744,7 @@ impl ShardedIndex {
         let shard = &self.shards[shard_id];
         let landed = shard
             .progress
-            .wait_until(|| shard.engine.len() > local as usize);
+            .wait_until(|| shard.engine.len() > local as usize, true);
         if !landed {
             if shard.progress.is_degraded() {
                 // The point was discarded by a degraded shard: it will
@@ -879,6 +984,7 @@ impl ShardedIndex {
                 alive: shard.status.alive() && shard.progress.alive.load(Ordering::SeqCst),
                 restarts: shard.status.restarts(),
                 last_panic: shard.status.last_panic(),
+                pinned_core: shard.progress.pinned(),
             });
         }
         report
@@ -1035,7 +1141,7 @@ impl ShardedIndex {
         })?;
         let (num_shards, dim, per_shard_capacity) =
             decode_cluster_manifest(&bytes).map_err(io_cluster)?;
-        let fanout = ThreadPool::default();
+        let fanout = repin_fanout(ThreadPool::default(), num_shards as usize);
         let states = (0..num_shards as usize)
             .map(|i| persist::load_state(shard_dir(dir, i)))
             .collect::<io::Result<Vec<_>>>()
@@ -1066,6 +1172,7 @@ impl ShardedIndex {
             keep[shard] += 1;
             total += 1;
         }
+        let sync = ProgressSync::new();
         let mut shard_handles = Vec::with_capacity(s);
         for (i, st) in states.iter().enumerate() {
             let sdir = shard_dir(dir, i);
@@ -1082,8 +1189,12 @@ impl ShardedIndex {
                 engine
             };
             let streaming = StreamingEngine::from_engine(engine, ThreadPool::new(1));
+            let pin_core = shard_core(i);
+            if let Some(core) = pin_core {
+                streaming.pin_merge_to(core);
+            }
             let (tx, rx) = bounded::<ShardBatch>(4);
-            let progress = IngestProgress::new();
+            let progress = IngestProgress::new(sync.clone());
             let status = Arc::new(WorkerStatus::new());
             let worker = spawn_ingest_worker(
                 streaming.clone(),
@@ -1091,6 +1202,7 @@ impl ShardedIndex {
                 progress.clone(),
                 status.clone(),
                 None,
+                pin_core,
             );
             shard_handles.push(Shard {
                 engine: streaming,
@@ -1112,6 +1224,7 @@ impl ShardedIndex {
             }),
             total: AtomicU64::new(total as u64),
             locals: RwLock::new(locals),
+            ingest_sync: sync,
         })
     }
 }
@@ -1243,6 +1356,27 @@ fn io_cluster(e: io::Error) -> ClusterError {
     ClusterError::Node(PlshError::from(e))
 }
 
+/// The core shard `i`'s ingest and merge workers pin to, or `None` when
+/// pinning is disabled (`PLSH_PIN=off`, a single-core host). Shards wrap
+/// modulo the hardware-thread count when there are more shards than cores.
+fn shard_core(i: usize) -> Option<usize> {
+    affinity::pinning_enabled().then(|| i % affinity::host_threads())
+}
+
+/// Re-creates the query fan-out pool pinned to the cores the shard layout
+/// leaves free, so query workers never contend with pinned ingest/merge
+/// workers for a core. When the shards already cover the machine (or
+/// pinning is off) the pool is returned unchanged: the workers float.
+fn repin_fanout(fanout: ThreadPool, shards: usize) -> ThreadPool {
+    let host = affinity::host_threads();
+    if affinity::pinning_enabled() && shards < host {
+        let spare: Vec<usize> = (shards..host).collect();
+        ThreadPool::with_affinity(fanout.num_threads(), &spare)
+    } else {
+        fanout
+    }
+}
+
 /// SplitMix64 finalizer over the id — the stable routing hash.
 fn route_hash(id: u32) -> u64 {
     let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -1266,6 +1400,7 @@ fn spawn_ingest_worker(
     progress: Arc<IngestProgress>,
     status: Arc<WorkerStatus>,
     rate: Option<f64>,
+    pin_core: Option<usize>,
 ) -> JoinHandle<()> {
     /// In-place restarts granted per batch before the worker gives up
     /// and dies (surfacing [`ClusterError::IngestWorkerDied`] to senders).
@@ -1281,6 +1416,14 @@ fn spawn_ingest_worker(
             }
         }
         let _notice = DeathNotice(progress.clone());
+        // Pin before touching the engine; a refused pin degrades to a
+        // floating worker and the health report says so (`pinned_core:
+        // None`).
+        if let Some(core) = pin_core {
+            if affinity::pin_current_thread(core) {
+                progress.pinned_core.store(core, Ordering::SeqCst);
+            }
+        }
         let mut backoff = Backoff::new(
             Duration::from_millis(1),
             Duration::from_millis(50),
@@ -1585,11 +1728,9 @@ mod tests {
             std::thread::spawn(move || {
                 let mut checked = 0;
                 while checked < 50 {
-                    let visible = index.visible_len();
-                    if visible == 0 {
-                        std::thread::yield_now();
-                        continue;
-                    }
+                    // Condvar back-pressure: sleep until the writer has
+                    // landed something instead of spinning on yield_now.
+                    let visible = index.wait_for_visible(1);
                     let probe = (checked * 37) % visible.min(vs.len());
                     let resp = index
                         .search(&SearchRequest::query(vs[probe].clone()))
@@ -1612,6 +1753,38 @@ mod tests {
                 .search(&SearchRequest::query(vs[probe].clone()))
                 .unwrap();
             assert!(resp.hits().iter().any(|h| h.index == probe as u32));
+        }
+    }
+
+    #[test]
+    fn wait_for_visible_unblocks_and_health_reports_pinning() {
+        let index = sharded(2, 1_000);
+        let vs = random_vecs(30, 21);
+        index.insert_batch(&vs).unwrap();
+        // The barrier returns once the routed points are visible — woken
+        // by the drain condvar, not by polling.
+        assert!(index.wait_for_visible(30) >= 30);
+        // Already-satisfied barriers return immediately.
+        assert!(index.wait_for_visible(1) >= 30);
+        let health = index.health();
+        let ingest: Vec<_> = health
+            .workers
+            .iter()
+            .filter(|w| w.name.ends_with(".ingest") && !w.name.contains("merge"))
+            .collect();
+        assert_eq!(ingest.len(), 2);
+        // Pinning degrades to a no-op when disabled (PLSH_PIN=off or a
+        // single-core host); the report must agree with the gate either
+        // way: pinned cores only when pinning is possible, and always
+        // inside the host's thread range.
+        for w in &ingest {
+            if let Some(core) = w.pinned_core {
+                assert!(affinity::pinning_enabled());
+                assert!(core < affinity::host_threads());
+            }
+        }
+        if !affinity::pinning_enabled() {
+            assert!(ingest.iter().all(|w| w.pinned_core.is_none()));
         }
     }
 

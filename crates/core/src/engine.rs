@@ -76,6 +76,44 @@ pub struct EngineConfig {
     /// probes per query); the coalesced points stay invisible until the
     /// threshold is reached or [`Engine::seal`] is called.
     pub seal_min_points: usize,
+    /// Chunking and back-off knobs of [`Engine::merge_delta_paced`].
+    pub merge_pacing: MergePacing,
+}
+
+/// Pacing knobs of the cooperative (stepped) merge: how much work one
+/// uninterruptible slice performs, and how long the merge backs off when
+/// queries are in flight.
+///
+/// The stepped build runs the same state machine as the monolithic
+/// [`StaticTables::merge_generations`] — identical output — but between
+/// slices it reads the engine's query-pressure gauge and sleeps while
+/// queries are active, so a merge never monopolizes memory bandwidth
+/// against the latency-sensitive read path.
+#[derive(Debug, Clone, Copy)]
+pub struct MergePacing {
+    /// Max buckets one slice of a bucket-addressed phase (previous-epoch
+    /// count/scatter) touches before re-checking query pressure.
+    pub step_buckets: usize,
+    /// Max generation rows one slice of a row-addressed phase (radix
+    /// count / scatter of sealed generations) processes per check.
+    pub step_rows: usize,
+    /// How long the merge sleeps after a slice when queries are active.
+    /// `Duration::ZERO` disables the back-off (steps still run bounded).
+    pub yield_sleep: Duration,
+}
+
+impl Default for MergePacing {
+    fn default() -> Self {
+        Self {
+            // ~16 KB of bucket cursor work / ~1 generation chunk per
+            // slice: big enough to amortize the pressure check, small
+            // enough that a query arriving mid-merge waits at most one
+            // slice (tens of microseconds) for the CPU.
+            step_buckets: 4096,
+            step_rows: 4096,
+            yield_sleep: Duration::from_micros(200),
+        }
+    }
 }
 
 impl EngineConfig {
@@ -92,6 +130,7 @@ impl EngineConfig {
             hyperplanes: HyperplanesKind::Dense,
             vectorized_hashing: true,
             seal_min_points: 1,
+            merge_pacing: MergePacing::default(),
         }
     }
 
@@ -122,6 +161,12 @@ impl EngineConfig {
     /// Sets the minimum open-generation size before auto-sealing.
     pub fn with_seal_min_points(mut self, points: usize) -> Self {
         self.seal_min_points = points.max(1);
+        self
+    }
+
+    /// Overrides the cooperative-merge pacing knobs.
+    pub fn with_merge_pacing(mut self, pacing: MergePacing) -> Self {
+        self.merge_pacing = pacing;
         self
     }
 
@@ -313,6 +358,10 @@ pub struct MergeReport {
     /// saturated few-core host this includes scheduler latency while the
     /// *query* threads keep the CPU.
     pub publish: Duration,
+    /// Time a paced merge spent sleeping for query pressure (excluded
+    /// from `build`, which counts working time only; always zero for
+    /// monolithic merges).
+    pub yielded: Duration,
 }
 
 /// Point and memory accounting for one engine.
@@ -341,6 +390,11 @@ pub struct EngineStats {
     pub sketch_bytes: usize,
     /// Bytes of the dense hyperplane matrix (0 when on-the-fly).
     pub hyperplane_bytes: usize,
+    /// Hardware threads the OS reports for this process (the paper's `T`).
+    pub host_threads: usize,
+    /// Pool workers process-wide currently pinned to a core (0 when
+    /// `PLSH_PIN=off`, on single-threaded hosts, or with no pinned pools).
+    pub pinned_workers: usize,
 }
 
 /// Snapshot of the engine's published epoch (tests, benches, monitoring).
@@ -357,6 +411,37 @@ pub struct EpochInfo {
     /// `static_points + sealed_points` — what queries against this epoch
     /// can see.
     pub visible_points: usize,
+}
+
+/// Whether [`Engine::merge_delta_paced`] actually paces, controlled by
+/// the `PLSH_MERGE_PACING` environment variable (cached on first read):
+/// `off` / `0` / `false` falls back to the monolithic build.
+fn merge_pacing_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| match std::env::var("PLSH_MERGE_PACING") {
+        Ok(v) => {
+            let v = v.trim().to_ascii_lowercase();
+            !(v == "off" || v == "0" || v == "false")
+        }
+        Err(_) => true,
+    })
+}
+
+/// RAII increment of the engine's in-flight query gauge — the shared
+/// query-pressure signal a paced merge polls between slices.
+struct PressureGuard<'a>(&'a AtomicUsize);
+
+impl<'a> PressureGuard<'a> {
+    fn enter(gauge: &'a AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        Self(gauge)
+    }
+}
+
+impl Drop for PressureGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// A single-node PLSH engine.
@@ -376,6 +461,9 @@ pub struct Engine {
     merge_lock: Mutex<()>,
     /// Mirror of `WriteState::total` for lock-free `len()`.
     total: AtomicUsize,
+    /// Queries currently executing — the shared query-pressure signal a
+    /// paced merge reads between slices to decide whether to back off.
+    active_queries: AtomicUsize,
     merges: AtomicU64,
     last_merge: Mutex<MergeReport>,
     scratches: ScratchPool,
@@ -412,6 +500,7 @@ impl Engine {
             }),
             merge_lock: Mutex::new(()),
             total: AtomicUsize::new(0),
+            active_queries: AtomicUsize::new(0),
             merges: AtomicU64::new(0),
             last_merge: Mutex::new(MergeReport::default()),
             scratches,
@@ -686,6 +775,28 @@ impl Engine {
     /// reclaimed — and generations sealed while the merge was building
     /// simply remain sealed in the new epoch.
     pub fn merge_delta(&self, pool: &ThreadPool) {
+        self.merge_delta_inner(pool, None);
+    }
+
+    /// The cooperative variant of [`merge_delta`](Self::merge_delta): the
+    /// table build runs as bounded [`crate::table::MergeStepper`] slices,
+    /// sleeping between slices while queries are in flight (the engine's
+    /// query-pressure gauge), so a background merge yields the machine to
+    /// the read path instead of racing it. Output and publish semantics
+    /// are identical to the monolithic merge — the same state machine runs
+    /// both, just with different slice budgets.
+    ///
+    /// Setting `PLSH_MERGE_PACING=off` (or `0` / `false`) falls back to
+    /// the monolithic build.
+    pub fn merge_delta_paced(&self, pool: &ThreadPool) {
+        if merge_pacing_enabled() {
+            self.merge_delta_inner(pool, Some(self.config.merge_pacing));
+        } else {
+            self.merge_delta_inner(pool, None);
+        }
+    }
+
+    fn merge_delta_inner(&self, pool: &ThreadPool, pacing: Option<MergePacing>) {
         let _m = self.merge_lock.lock().unwrap_or_else(|e| e.into_inner());
         if self.is_degraded() {
             return; // read-only: merging would commit nothing durably
@@ -723,15 +834,37 @@ impl Engine {
         for g in &gens {
             static_data.extend_from(g.data());
         }
-        let statics = StaticTables::merge_generations(
-            v0.statics.as_deref(),
-            p.m(),
-            p.half_bits(),
-            static_data.num_rows(),
-            &gens,
-            &tombstones,
-            pool,
-        );
+        let mut yielded = Duration::ZERO;
+        let statics = match pacing {
+            None => StaticTables::merge_generations(
+                v0.statics.as_deref(),
+                p.m(),
+                p.half_bits(),
+                static_data.num_rows(),
+                &gens,
+                &tombstones,
+                pool,
+            ),
+            Some(pc) => {
+                let mut stepper = crate::table::MergeStepper::new(
+                    v0.statics.as_deref(),
+                    p.m(),
+                    p.half_bits(),
+                    static_data.num_rows(),
+                    &gens,
+                    &tombstones,
+                );
+                while stepper.step(pc.step_buckets, pc.step_rows) {
+                    if !pc.yield_sleep.is_zero() && self.active_queries.load(Ordering::Relaxed) > 0
+                    {
+                        let s0 = Instant::now();
+                        std::thread::sleep(pc.yield_sleep);
+                        yielded += s0.elapsed();
+                    }
+                }
+                stepper.finish()
+            }
+        };
         if self.config.query_strategy.huge_pages {
             statics.advise_huge_pages();
         }
@@ -750,7 +883,9 @@ impl Engine {
             }
             None => None,
         };
-        let build = t0.elapsed();
+        // Build time is working time: pacing sleeps are reported
+        // separately so merge cost stays comparable across both paths.
+        let build = t0.elapsed().saturating_sub(yielded);
 
         // Publish: one swap under the write lock. Everything sealed after
         // our pin survives verbatim; the purged ids' bits are reclaimed in
@@ -808,6 +943,7 @@ impl Engine {
             purged_points: purged_now.len(),
             build,
             publish,
+            yielded,
         };
     }
 
@@ -1098,6 +1234,7 @@ impl Engine {
     /// `pool` drives batch fan-out (single-query requests never touch it).
     pub fn search(&self, req: &SearchRequest, pool: &ThreadPool) -> Result<SearchResponse> {
         req.validate(self.config.params.dim())?;
+        let _pressure = PressureGuard::enter(&self.active_queries);
         let (view, generation) = self.epoch.load();
         let epoch = EpochInfo {
             generation,
@@ -1181,6 +1318,7 @@ impl Engine {
     /// thin convenience over [`search`](Self::search) that skips request
     /// assembly on the hot single-query path.
     pub fn query(&self, q: &SparseVector) -> Vec<Neighbor> {
+        let _pressure = PressureGuard::enter(&self.active_queries);
         let view = self.epoch.snapshot();
         let mut scratch = self.scratches.take(view.visible_len as usize);
         let (hits, _) = query::execute_query(&self.view_ctx(&view), q, &mut scratch);
@@ -1198,8 +1336,15 @@ impl Engine {
         qs: &[SparseVector],
         pool: &ThreadPool,
     ) -> (Vec<Vec<Neighbor>>, BatchStats) {
+        let _pressure = PressureGuard::enter(&self.active_queries);
         let view = self.epoch.snapshot();
         query::execute_batch_pipelined(&self.view_ctx(&view), qs, pool, &self.scratches)
+    }
+
+    /// Queries currently executing — the signal a paced merge backs off
+    /// on. Exposed for tests and monitoring.
+    pub fn active_queries(&self) -> usize {
+        self.active_queries.load(Ordering::Relaxed)
     }
 
     /// Point/memory accounting.
@@ -1235,6 +1380,8 @@ impl Engine {
             delta_table_bytes,
             sketch_bytes,
             hyperplane_bytes: self.planes.memory_bytes(),
+            host_threads: plsh_parallel::affinity::host_threads(),
+            pinned_workers: plsh_parallel::pinned_worker_count(),
         }
     }
 

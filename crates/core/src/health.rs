@@ -24,6 +24,10 @@ pub struct WorkerHealth {
     pub restarts: u64,
     /// Message of the most recent absorbed panic, if any.
     pub last_panic: Option<String>,
+    /// The core this worker pinned itself to, when core/shard pinning is
+    /// active (`None`: pinning disabled, refused by the kernel, or not
+    /// applicable to this worker).
+    pub pinned_core: Option<usize>,
 }
 
 /// A point-in-time health summary of one backend.
@@ -103,6 +107,7 @@ mod tests {
                     alive: true,
                     restarts: 1,
                     last_panic: None,
+                    pinned_core: Some(0),
                 }],
             },
         );
@@ -119,6 +124,7 @@ mod tests {
                     alive: false,
                     restarts: 4,
                     last_panic: Some("boom".into()),
+                    pinned_core: None,
                 }],
             },
         );

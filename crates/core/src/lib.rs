@@ -63,7 +63,7 @@ pub mod streaming;
 pub mod table;
 pub(crate) mod util;
 
-pub use engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergeReport};
+pub use engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergePacing, MergeReport};
 pub use error::{PlshError, Result};
 pub use hash::{Hyperplanes, HyperplanesKind, SketchMatrix};
 pub use health::{HealthReport, WorkerHealth};
@@ -75,5 +75,6 @@ pub use snapshot::Snapshot;
 pub use sparse::{CrsMatrix, SparseVector};
 pub use streaming::{ShutdownReport, StreamingEngine};
 pub use table::{
-    BuildStrategy, BuildTimings, DeltaGeneration, DeltaLayout, DeltaTables, StaticTables,
+    BuildStrategy, BuildTimings, DeltaGeneration, DeltaLayout, DeltaTables, MergeStepper,
+    StaticTables,
 };

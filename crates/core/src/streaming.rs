@@ -31,11 +31,12 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use plsh_parallel::{Backoff, ThreadPool, WorkerStatus};
+use plsh_parallel::{affinity, Backoff, ThreadPool, WorkerStatus};
 
 use crate::engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergeReport};
 use crate::error::Result;
@@ -59,6 +60,42 @@ pub struct ShutdownReport {
     pub merge_abandoned: bool,
 }
 
+/// Sentinel for "no core" in [`MergePin`]'s atomic slots.
+const NOT_PINNED: usize = usize::MAX;
+
+/// Core-affinity request for the background-merge worker (shard-per-core
+/// clusters point it at the owning shard's core). `want` is the requested
+/// core, `got` the core the most recent merge thread actually pinned —
+/// they differ when pinning is disabled or the kernel refused.
+struct MergePin {
+    want: AtomicUsize,
+    got: AtomicUsize,
+}
+
+impl MergePin {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            want: AtomicUsize::new(NOT_PINNED),
+            got: AtomicUsize::new(NOT_PINNED),
+        })
+    }
+
+    /// Worker-thread-side: attempt the requested pin, remember the result.
+    fn apply(&self) {
+        let want = self.want.load(Ordering::SeqCst);
+        if want != NOT_PINNED && affinity::pin_current_thread(want) {
+            self.got.store(want, Ordering::SeqCst);
+        }
+    }
+
+    fn pinned(&self) -> Option<usize> {
+        match self.got.load(Ordering::SeqCst) {
+            NOT_PINNED => None,
+            core => Some(core),
+        }
+    }
+}
+
 /// A cloneable, thread-safe streaming handle (see the module docs).
 #[derive(Clone)]
 pub struct StreamingEngine {
@@ -69,6 +106,9 @@ pub struct StreamingEngine {
     /// Liveness/restart accounting for the background merge worker (all
     /// clones share it; surfaced through [`health`](Self::health)).
     merge_status: Arc<WorkerStatus>,
+    /// Core-affinity request for merge worker threads (all clones share
+    /// it).
+    merge_pin: Arc<MergePin>,
 }
 
 impl StreamingEngine {
@@ -85,7 +125,18 @@ impl StreamingEngine {
             pool,
             merger: Arc::new(Mutex::new(None)),
             merge_status: Arc::new(WorkerStatus::new()),
+            merge_pin: MergePin::new(),
         }
+    }
+
+    /// Requests that every future background-merge worker thread pin
+    /// itself to `core` (shard-per-core clusters pass the owning shard's
+    /// core, so ingest and merge share it and stay off the query cores).
+    /// A no-op when pinning is disabled (`PLSH_PIN=off`, single-core
+    /// host) or the kernel refuses; [`health`](Self::health) reports the
+    /// core actually pinned.
+    pub fn pin_merge_to(&self, core: usize) {
+        self.merge_pin.want.store(core, Ordering::SeqCst);
     }
 
     /// Attaches incremental durability (see [`crate::persist`]): writes a
@@ -188,7 +239,9 @@ impl StreamingEngine {
         let engine = self.engine.clone();
         let pool = self.pool.clone();
         let status = self.merge_status.clone();
+        let pin = self.merge_pin.clone();
         *slot = Some(std::thread::spawn(move || {
+            pin.apply();
             supervised_merge(&engine, &pool, &status);
         }));
         true
@@ -261,6 +314,7 @@ impl StreamingEngine {
             alive: self.merge_status.alive(),
             restarts: self.merge_status.restarts(),
             last_panic: self.merge_status.last_panic(),
+            pinned_core: self.merge_pin.pinned(),
         });
         report
     }
@@ -323,6 +377,12 @@ fn join_merge(handle: JoinHandle<()>) {
 /// backoff. The [`fault::MERGE_BUILD`] failpoint fires *inside* the
 /// catch but *outside* every engine lock, so an injected panic exercises
 /// the restart path without poisoning the write path.
+///
+/// The build itself is the *paced* merge: bounded
+/// [`crate::table::MergeStepper`] slices that sleep while queries are in
+/// flight (`PLSH_MERGE_PACING=off` reverts to the monolithic build), and
+/// any pool fan-out it does perform is submitted at background priority so
+/// foreground query batches always dispatch first.
 fn supervised_merge(engine: &Engine, pool: &ThreadPool, status: &WorkerStatus) {
     const MAX_RESTARTS: u32 = 3;
     let mut backoff = Backoff::new(
@@ -333,7 +393,7 @@ fn supervised_merge(engine: &Engine, pool: &ThreadPool, status: &WorkerStatus) {
     for attempt in 0..=MAX_RESTARTS {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             fault::point(fault::MERGE_BUILD);
-            engine.merge_delta(pool);
+            engine.merge_delta_paced(&pool.background());
         }));
         match outcome {
             Ok(()) => {

@@ -19,4 +19,4 @@ mod static_tables;
 pub use build::BuildStrategy;
 pub use delta::{DeltaLayout, DeltaTables};
 pub use generation::DeltaGeneration;
-pub use static_tables::{BuildTimings, StaticTables};
+pub use static_tables::{BuildTimings, MergeStepper, StaticTables};

@@ -239,76 +239,15 @@ impl StaticTables {
         if let Some(p) = prev {
             debug_assert_eq!((p.m, p.half_bits), (m, half_bits));
         }
-        let buckets = 1usize << (2 * half_bits);
-        let dropped = |id: u32| -> bool {
-            purge
-                .get((id >> 6) as usize)
-                .is_some_and(|w| w & (1u64 << (id & 63)) != 0)
-        };
-
-        let tables = pool.parallel_map(allpairs::pairs(m).enumerate(), |(l, (a, b))| {
-            // Step 1: per-bucket histogram of survivors.
-            let mut counts = vec![0u32; buckets];
-            if let Some(p) = prev {
-                for key in 0..buckets as u32 {
-                    counts[key as usize] =
-                        p.bucket(l, key).iter().filter(|&&id| !dropped(id)).count() as u32;
-                }
-            }
-            for g in gens {
-                let sk = g.sketches();
-                for local in 0..g.len() as u32 {
-                    if dropped(g.base() + local) {
-                        continue;
-                    }
-                    let key = allpairs::compose_key(
-                        sk.half_key(local, a),
-                        sk.half_key(local, b),
-                        half_bits,
-                    );
-                    counts[key as usize] += 1;
-                }
-            }
-
-            // Step 2: offsets via the exclusive prefix sum.
-            let offsets = plsh_parallel::exclusive_prefix_sum(&counts);
-
-            // Step 3: scatter in ascending-id order.
-            let total = *offsets.last().expect("offsets has buckets+1 entries") as usize;
-            let mut entries = vec![0u32; total];
-            let mut cursor: Vec<u32> = offsets[..buckets].to_vec();
-            if let Some(p) = prev {
-                for key in 0..buckets as u32 {
-                    for &id in p.bucket(l, key) {
-                        if !dropped(id) {
-                            entries[cursor[key as usize] as usize] = id;
-                            cursor[key as usize] += 1;
-                        }
-                    }
-                }
-            }
-            for g in gens {
-                let sk = g.sketches();
-                for local in 0..g.len() as u32 {
-                    let id = g.base() + local;
-                    if dropped(id) {
-                        continue;
-                    }
-                    let key = allpairs::compose_key(
-                        sk.half_key(local, a),
-                        sk.half_key(local, b),
-                        half_bits,
-                    );
-                    entries[cursor[key as usize] as usize] = id;
-                    cursor[key as usize] += 1;
-                }
-            }
-            debug_assert!(cursor.iter().zip(&offsets[1..]).all(|(c, o)| c == o));
-            StaticTable {
-                pair: (a, b),
-                offsets,
-                entries,
-            }
+        let ctx = MergeCtx::new(prev, gens, purge, half_bits);
+        let ctx = &ctx;
+        let tables = pool.parallel_map(allpairs::pairs(m).enumerate(), |(l, pair)| {
+            let mut table = TableMerge::new(l, pair, ctx.buckets);
+            // Unbounded budgets: each phase completes in a single advance,
+            // so this runs the exact same code as the stepped merge — the
+            // two are bit-identical by construction.
+            while table.advance(ctx, usize::MAX, usize::MAX) {}
+            table.into_table()
         });
 
         Self {
@@ -316,6 +255,334 @@ impl StaticTables {
             half_bits,
             n: n as u32,
             tables,
+        }
+    }
+}
+
+/// Shared, read-only inputs of one merge: the previous epoch, the sealed
+/// generations, and the purge snapshot.
+struct MergeCtx<'a> {
+    prev: Option<&'a StaticTables>,
+    gens: &'a [Arc<DeltaGeneration>],
+    purge: &'a [u64],
+    /// Whether `purge` has any bit set. When it does not (the common case
+    /// between deletions), counting collapses to bucket lengths and the
+    /// previous epoch's scatter to per-bucket `memcpy`s — the merge's
+    /// dominant cost drops from `L·N` bitmap tests to `L` block copies.
+    has_purge: bool,
+    half_bits: u32,
+    buckets: usize,
+}
+
+impl<'a> MergeCtx<'a> {
+    fn new(
+        prev: Option<&'a StaticTables>,
+        gens: &'a [Arc<DeltaGeneration>],
+        purge: &'a [u64],
+        half_bits: u32,
+    ) -> Self {
+        Self {
+            prev,
+            gens,
+            purge,
+            has_purge: purge.iter().any(|&w| w != 0),
+            half_bits,
+            buckets: 1usize << (2 * half_bits),
+        }
+    }
+
+    #[inline]
+    fn dropped(&self, id: u32) -> bool {
+        self.purge
+            .get((id >> 6) as usize)
+            .is_some_and(|w| w & (1u64 << (id & 63)) != 0)
+    }
+}
+
+/// Where one table's resumable merge currently stands. Phases run in
+/// declaration order; the bucket/row cursors persist across `advance`
+/// calls so work can stop after any bounded slice.
+enum MergePhase {
+    /// Step 1a: filter-count the previous epoch's buckets.
+    CountPrev { next_bucket: usize },
+    /// Step 1b: radix-count each generation's rows by composed key.
+    CountGens { gen: usize, row: usize },
+    /// Step 2: prefix-sum the histogram, allocate entries, seed cursors.
+    Offsets,
+    /// Step 3a: scatter previous-epoch survivors bucket by bucket.
+    ScatterPrev { next_bucket: usize },
+    /// Step 3b: scatter each generation's survivors in sealed order.
+    ScatterGens { gen: usize, row: usize },
+    /// All entries written; `into_table` may consume the state.
+    Done,
+}
+
+/// The resumable merge of a single static table — the `MergeStep` state
+/// machine behind both [`StaticTables::merge_generations`] (unbounded
+/// budgets inside a parallel map) and [`MergeStepper`] (bounded budgets
+/// interleaved with pacing checks).
+struct TableMerge {
+    l: usize,
+    pair: (u32, u32),
+    counts: Vec<u32>,
+    offsets: Vec<u32>,
+    entries: Vec<u32>,
+    cursor: Vec<u32>,
+    phase: MergePhase,
+}
+
+impl TableMerge {
+    fn new(l: usize, pair: (u32, u32), buckets: usize) -> Self {
+        Self {
+            l,
+            pair,
+            counts: vec![0u32; buckets],
+            offsets: Vec::new(),
+            entries: Vec::new(),
+            cursor: Vec::new(),
+            phase: MergePhase::CountPrev { next_bucket: 0 },
+        }
+    }
+
+    /// Runs one bounded slice of work: at most `max_buckets` buckets of a
+    /// bucket-addressed phase or `max_rows` generation rows of a
+    /// row-addressed phase (the Offsets phase is a single indivisible
+    /// slice). Returns `true` while the table still has work left.
+    fn advance(&mut self, ctx: &MergeCtx<'_>, max_buckets: usize, max_rows: usize) -> bool {
+        let max_buckets = max_buckets.max(1);
+        let max_rows = max_rows.max(1);
+        match self.phase {
+            MergePhase::CountPrev { next_bucket } => match ctx.prev {
+                None => self.phase = MergePhase::CountGens { gen: 0, row: 0 },
+                Some(p) => {
+                    let end = next_bucket.saturating_add(max_buckets).min(ctx.buckets);
+                    if ctx.has_purge {
+                        for key in next_bucket..end {
+                            self.counts[key] = p
+                                .bucket(self.l, key as u32)
+                                .iter()
+                                .filter(|&&id| !ctx.dropped(id))
+                                .count() as u32;
+                        }
+                    } else {
+                        for key in next_bucket..end {
+                            self.counts[key] = p.bucket(self.l, key as u32).len() as u32;
+                        }
+                    }
+                    self.phase = if end == ctx.buckets {
+                        MergePhase::CountGens { gen: 0, row: 0 }
+                    } else {
+                        MergePhase::CountPrev { next_bucket: end }
+                    };
+                }
+            },
+            MergePhase::CountGens { mut gen, mut row } => {
+                let (a, b) = self.pair;
+                let mut budget = max_rows;
+                while budget > 0 && gen < ctx.gens.len() {
+                    let g = &ctx.gens[gen];
+                    if row >= g.len() {
+                        gen += 1;
+                        row = 0;
+                        continue;
+                    }
+                    let end = row.saturating_add(budget).min(g.len());
+                    let sk = g.sketches();
+                    for local in row..end {
+                        let local = local as u32;
+                        if ctx.has_purge && ctx.dropped(g.base() + local) {
+                            continue;
+                        }
+                        let key = allpairs::compose_key(
+                            sk.half_key(local, a),
+                            sk.half_key(local, b),
+                            ctx.half_bits,
+                        );
+                        self.counts[key as usize] += 1;
+                    }
+                    budget -= end - row;
+                    row = end;
+                }
+                self.phase = if gen == ctx.gens.len() {
+                    MergePhase::Offsets
+                } else {
+                    MergePhase::CountGens { gen, row }
+                };
+            }
+            MergePhase::Offsets => {
+                self.offsets = plsh_parallel::exclusive_prefix_sum(&self.counts);
+                self.counts = Vec::new();
+                let total = *self.offsets.last().expect("offsets has buckets+1 entries") as usize;
+                self.entries = vec![0u32; total];
+                self.cursor = self.offsets[..ctx.buckets].to_vec();
+                self.phase = MergePhase::ScatterPrev { next_bucket: 0 };
+            }
+            MergePhase::ScatterPrev { next_bucket } => match ctx.prev {
+                None => self.phase = MergePhase::ScatterGens { gen: 0, row: 0 },
+                Some(p) => {
+                    let end = next_bucket.saturating_add(max_buckets).min(ctx.buckets);
+                    if ctx.has_purge {
+                        for key in next_bucket..end {
+                            for &id in p.bucket(self.l, key as u32) {
+                                if !ctx.dropped(id) {
+                                    self.entries[self.cursor[key] as usize] = id;
+                                    self.cursor[key] += 1;
+                                }
+                            }
+                        }
+                    } else {
+                        // No deletions: every bucket survives whole, so the
+                        // previous epoch's run copies as one block.
+                        for key in next_bucket..end {
+                            let src = p.bucket(self.l, key as u32);
+                            let at = self.cursor[key] as usize;
+                            self.entries[at..at + src.len()].copy_from_slice(src);
+                            self.cursor[key] += src.len() as u32;
+                        }
+                    }
+                    self.phase = if end == ctx.buckets {
+                        MergePhase::ScatterGens { gen: 0, row: 0 }
+                    } else {
+                        MergePhase::ScatterPrev { next_bucket: end }
+                    };
+                }
+            },
+            MergePhase::ScatterGens { mut gen, mut row } => {
+                let (a, b) = self.pair;
+                let mut budget = max_rows;
+                while budget > 0 && gen < ctx.gens.len() {
+                    let g = &ctx.gens[gen];
+                    if row >= g.len() {
+                        gen += 1;
+                        row = 0;
+                        continue;
+                    }
+                    let end = row.saturating_add(budget).min(g.len());
+                    let sk = g.sketches();
+                    for local in row..end {
+                        let local = local as u32;
+                        let id = g.base() + local;
+                        if ctx.has_purge && ctx.dropped(id) {
+                            continue;
+                        }
+                        let key = allpairs::compose_key(
+                            sk.half_key(local, a),
+                            sk.half_key(local, b),
+                            ctx.half_bits,
+                        );
+                        self.entries[self.cursor[key as usize] as usize] = id;
+                        self.cursor[key as usize] += 1;
+                    }
+                    budget -= end - row;
+                    row = end;
+                }
+                if gen == ctx.gens.len() {
+                    debug_assert!(self
+                        .cursor
+                        .iter()
+                        .zip(&self.offsets[1..])
+                        .all(|(c, o)| c == o));
+                    self.cursor = Vec::new();
+                    self.phase = MergePhase::Done;
+                } else {
+                    self.phase = MergePhase::ScatterGens { gen, row };
+                }
+            }
+            MergePhase::Done => {}
+        }
+        !matches!(self.phase, MergePhase::Done)
+    }
+
+    fn into_table(self) -> StaticTable {
+        debug_assert!(matches!(self.phase, MergePhase::Done));
+        StaticTable {
+            pair: self.pair,
+            offsets: self.offsets,
+            entries: self.entries,
+        }
+    }
+}
+
+/// A whole-epoch merge broken into resumable, bounded steps — the
+/// cooperative counterpart of [`StaticTables::merge_generations`].
+///
+/// The stepper holds the per-table `MergePhase` state machines and
+/// drives them one bounded slice per [`step`](Self::step) call, so the
+/// caller (the engine's paced merge) can check a query-pressure signal
+/// and yield the CPU between slices. Both drivers execute the identical
+/// `advance` code, so a stepped merge produces tables bit-identical to
+/// the monolithic call — a property the merge-equivalence proptest pins
+/// down.
+pub struct MergeStepper<'a> {
+    ctx: MergeCtx<'a>,
+    m: u32,
+    n: usize,
+    tables: Vec<TableMerge>,
+    current: usize,
+}
+
+impl<'a> MergeStepper<'a> {
+    /// Prepares a stepped merge with the same inputs (and the same
+    /// snapshot semantics) as [`StaticTables::merge_generations`].
+    pub fn new(
+        prev: Option<&'a StaticTables>,
+        m: u32,
+        half_bits: u32,
+        n: usize,
+        gens: &'a [Arc<DeltaGeneration>],
+        purge: &'a [u64],
+    ) -> Self {
+        if let Some(p) = prev {
+            debug_assert_eq!((p.m, p.half_bits), (m, half_bits));
+        }
+        let ctx = MergeCtx::new(prev, gens, purge, half_bits);
+        let tables = allpairs::pairs(m)
+            .enumerate()
+            .map(|(l, pair)| TableMerge::new(l, pair, ctx.buckets))
+            .collect();
+        Self {
+            ctx,
+            m,
+            n,
+            tables,
+            current: 0,
+        }
+    }
+
+    /// Runs one bounded slice of work (at most `max_buckets` buckets or
+    /// `max_rows` generation rows, see `TableMerge::advance`) and
+    /// returns `true` while the merge as a whole still has work left.
+    pub fn step(&mut self, max_buckets: usize, max_rows: usize) -> bool {
+        if self.current >= self.tables.len() {
+            return false;
+        }
+        if !self.tables[self.current].advance(&self.ctx, max_buckets, max_rows) {
+            self.current += 1;
+        }
+        self.current < self.tables.len()
+    }
+
+    /// Whether every table has fully merged.
+    pub fn is_done(&self) -> bool {
+        self.current >= self.tables.len()
+    }
+
+    /// Consumes the stepper into the merged tables.
+    ///
+    /// # Panics
+    /// Panics unless [`is_done`](Self::is_done) — callers must drain
+    /// [`step`](Self::step) first.
+    pub fn finish(self) -> StaticTables {
+        assert!(self.is_done(), "MergeStepper finished with work remaining");
+        StaticTables {
+            m: self.m,
+            half_bits: self.ctx.half_bits,
+            n: self.n as u32,
+            tables: self
+                .tables
+                .into_iter()
+                .map(TableMerge::into_table)
+                .collect(),
         }
     }
 }

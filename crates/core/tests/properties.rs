@@ -6,7 +6,7 @@ use plsh_core::hash::{allpairs, Hyperplanes, SketchMatrix};
 use plsh_core::params::{self, PlshParams};
 use plsh_core::query::QueryStrategy;
 use plsh_core::sparse::{CrsMatrix, SparseVector};
-use plsh_core::table::{BuildStrategy, StaticTables};
+use plsh_core::table::{BuildStrategy, DeltaGeneration, DeltaLayout, MergeStepper, StaticTables};
 use plsh_core::{Engine, EngineConfig, SearchRequest};
 use plsh_parallel::ThreadPool;
 
@@ -188,6 +188,121 @@ proptest! {
         for l in 0..allpairs::num_tables(4) as usize {
             for key in 0..16u32 {
                 prop_assert_eq!(one.bucket(l, key), shared.bucket(l, key));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The incremental merge is bit-identical to the monolithic one for
+    /// *every* slice budget, and the published epoch plus live ingest are
+    /// untouched while the stepper is mid-flight — the correctness core
+    /// of cooperative merge pacing.
+    #[test]
+    fn stepped_merge_is_bit_identical_to_monolithic(
+        n_static in 0usize..120,
+        n_gen1 in 1usize..60,
+        n_gen2 in 0usize..60,
+        victims in proptest::collection::vec(0usize..240, 0..8),
+        max_buckets in 1usize..80,
+        max_rows in 1usize..50,
+        seed in 0u64..500,
+    ) {
+        let pool = ThreadPool::new(1);
+        let (m, half_bits) = (4u32, 3u32);
+        let total = n_static + n_gen1 + n_gen2;
+
+        // Deterministic corpus from the seed.
+        let mut corpus = CrsMatrix::new(DIM);
+        for i in 0..total as u64 {
+            let a = ((i * 7 + seed) % DIM as u64) as u32;
+            let b = ((i * 13 + seed / 3 + 1) % DIM as u64) as u32;
+            let v = if a == b {
+                SparseVector::unit(vec![(a, 1.0)]).unwrap()
+            } else {
+                SparseVector::unit(vec![(a, 1.0), (b, 0.25 + (i % 9) as f32 * 0.1)])
+                    .unwrap()
+            };
+            corpus.push(&v).unwrap();
+        }
+        let planes = Hyperplanes::new_dense(DIM, m * half_bits, seed ^ 0x5eed, &pool);
+        let mut sk_all = SketchMatrix::new(m, half_bits);
+        sk_all.append_from(&corpus, &planes, 0, &pool, true);
+
+        // Static prefix + one or two sealed generations over the rest.
+        let prev =
+            StaticTables::build_prefix(&sk_all, n_static, BuildStrategy::TwoLevelShared, &pool);
+        let mk_gen = |base: usize, end: usize| {
+            let mut g = DeltaGeneration::new(
+                base as u32,
+                DIM,
+                m,
+                half_bits,
+                DeltaLayout::Adaptive,
+                end - base,
+            );
+            let vs: Vec<SparseVector> =
+                (base..end).map(|i| corpus.row_vector(i as u32)).collect();
+            g.append(&vs, &planes, true, &pool).unwrap();
+            std::sync::Arc::new(g)
+        };
+        let mut gens = vec![mk_gen(n_static, n_static + n_gen1)];
+        if n_gen2 > 0 {
+            gens.push(mk_gen(n_static + n_gen1, total));
+        }
+
+        // Arbitrary tombstone snapshot (ids folded into range).
+        let mut purge = vec![0u64; total.div_ceil(64)];
+        for v in &victims {
+            let id = v % total;
+            purge[id >> 6] |= 1 << (id & 63);
+        }
+
+        let prev_opt = (n_static > 0).then_some(&prev);
+        let mono = StaticTables::merge_generations(
+            prev_opt, m, half_bits, total, &gens, &purge, &pool,
+        );
+
+        // Stepped run with the drawn slice budgets, interleaving the two
+        // things a paced merge overlaps with: reads of the published
+        // epoch and appends to a *new* (uninvolved) generation.
+        let witness_key = (seed % 64) as u32;
+        let witness: Vec<u32> = prev.bucket(0, witness_key).to_vec();
+        let mut side = DeltaGeneration::new(
+            total as u32, DIM, m, half_bits, DeltaLayout::Adaptive, 4,
+        );
+        let mut stepper = MergeStepper::new(prev_opt, m, half_bits, total, &gens, &purge);
+        let mut steps = 0usize;
+        while stepper.step(max_buckets, max_rows) {
+            steps += 1;
+            if steps.is_multiple_of(3) {
+                // A "query" between slices: the published epoch is
+                // untouched mid-merge.
+                prop_assert_eq!(prev.bucket(0, witness_key), &witness[..]);
+            }
+            if steps == 5 {
+                // An "insert" between slices: live ingest keeps filing
+                // into a fresh generation while the merge is mid-flight.
+                side.append(
+                    &[corpus.row_vector(0)], &planes, true, &pool,
+                ).unwrap();
+            }
+        }
+        prop_assert!(stepper.is_done());
+        let stepped = stepper.finish();
+
+        prop_assert_eq!(stepped.num_points(), mono.num_points());
+        let buckets = 1u32 << (2 * half_bits);
+        for l in 0..mono.num_tables() {
+            for key in 0..buckets {
+                prop_assert_eq!(
+                    stepped.bucket(l, key),
+                    mono.bucket(l, key),
+                    "diverged at table {} key {} (budgets {}/{})",
+                    l, key, max_buckets, max_rows
+                );
             }
         }
     }

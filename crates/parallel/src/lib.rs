@@ -6,12 +6,18 @@
 //! a task, and idle threads steal tasks from busy ones to keep load balanced.
 //! This crate provides exactly that substrate:
 //!
-//! * [`ThreadPool`] — a fixed-size pool with per-worker deques and
-//!   work-stealing (built on `crossbeam::deque`).
+//! * [`ThreadPool`] — a fixed-size pool of *persistent* workers with a
+//!   shared claim counter per batch and a two-class [`Priority`] scheduler:
+//!   foreground batches (query fan-out) always dispatch ahead of background
+//!   batches (merge steps), and workers abandon background work between
+//!   items when foreground work arrives.
 //! * [`ThreadPool::parallel_for`] — dynamic-chunked index-space parallelism
 //!   used for the histogram/scatter passes of table construction.
 //! * [`ThreadPool::parallel_tasks`] — one-task-per-item parallelism with
-//!   stealing, used for per-query and per-partition work.
+//!   dynamic claiming, used for per-query and per-partition work.
+//! * [`affinity`] — best-effort `sched_setaffinity` core pinning for
+//!   shard-per-core layouts, gated by `PLSH_PIN` and degrading to a logged
+//!   no-op when the host or cgroup refuses.
 //! * [`exclusive_prefix_sum`] and friends — the cumulative-sum step of the radix partition.
 //! * [`WorkerLocal`] — lock-free cache-padded per-worker state slots, the
 //!   zero-contention substrate for reusable query scratch.
@@ -21,12 +27,14 @@
 //! * [`Backoff`] / [`WorkerStatus`] — bounded-exponential-backoff
 //!   supervision primitives for the long-lived merge and ingest workers.
 //!
-//! The pool is deliberately small and synchronous: `scope`-style entry
-//! points block until all spawned work completes, so callers never deal with
-//! futures or detached lifetimes. All closures run on pool threads; panics
+//! The pool is deliberately small and synchronous: every entry point
+//! blocks until all submitted work completes (the submitting thread
+//! participates in execution), so callers never deal with futures or
+//! detached lifetimes and closures may borrow the caller's stack. Panics
 //! are caught per-task and re-thrown on the caller thread after the batch
 //! drains, so a panicking task cannot deadlock the pool.
 
+pub mod affinity;
 mod epoch;
 mod pool;
 mod prefix;
@@ -34,7 +42,7 @@ mod supervisor;
 mod worker_local;
 
 pub use epoch::EpochPtr;
-pub use pool::{current_num_threads_hint, ThreadPool};
+pub use pool::{current_num_threads_hint, pinned_worker_count, Priority, ThreadPool};
 pub use prefix::{exclusive_prefix_sum, exclusive_prefix_sum_in_place, inclusive_prefix_sum};
 pub use supervisor::{panic_message, Backoff, WorkerStatus};
 pub use worker_local::WorkerLocal;

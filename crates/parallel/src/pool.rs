@@ -1,36 +1,48 @@
-//! A small synchronous work-stealing pool.
+//! A synchronous pool with persistent workers and two priority classes.
 //!
 //! Every entry point blocks until the submitted batch of work has fully
 //! completed, so closures may freely borrow from the caller's stack frame.
-//! Internally each batch is executed on `crossbeam::thread::scope` threads;
-//! per-item work is distributed round-robin into per-worker deques and idle
-//! workers steal from their peers, which is exactly the "task queueing with
-//! work stealing" scheme the PLSH paper uses for load balancing across
-//! queries and first-level partitions.
+//! Unlike the first-generation pool (which spawned scoped threads per
+//! batch), workers are spawned once at construction and parked on a
+//! condvar between batches; a submitted batch becomes a shared claim
+//! counter that the submitter *and* the workers drain together, which is
+//! the "task queueing with work stealing" scheme the PLSH paper uses for
+//! load balancing, minus the per-batch thread start/stop cost.
+//!
+//! Batches carry a [`Priority`]. Foreground batches (query fan-out) are
+//! always claimed ahead of background batches (merge steps), and a worker
+//! executing background work re-checks for foreground arrivals between
+//! items, so a long compaction cannot occupy the machine while queries
+//! wait — the interference discipline behind the paper's claim that
+//! streaming PLSH sustains query rates *during* ingestion.
 
+use std::any::Any;
+use std::collections::VecDeque;
+use std::mem::ManuallyDrop;
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
-use crossbeam::deque::{Steal, Stealer, Worker};
+use crate::affinity;
 
-/// A fixed-size pool of worker threads with work stealing.
+/// Scheduling class of a submitted batch.
 ///
-/// The pool is cheap to construct (threads are spawned per batch through
-/// scoped threads, so an idle pool consumes no OS resources) and is `Sync`,
-/// so it can be shared behind a reference by every component of a PLSH node.
-///
-/// # Examples
-///
-/// ```
-/// let pool = plsh_parallel::ThreadPool::new(4);
-/// let mut squares = pool.parallel_map(0..8usize, |i| i * i);
-/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
-/// squares.clear();
-/// ```
-#[derive(Debug, Clone)]
-pub struct ThreadPool {
-    num_threads: usize,
+/// Foreground batches are always dispatched ahead of background batches,
+/// and workers executing a background batch yield to newly arrived
+/// foreground work between items (the background batch's submitter keeps
+/// draining it, so background work still makes progress — it just stops
+/// monopolizing the workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive work: query fan-out, ingest hashing.
+    #[default]
+    Foreground,
+    /// Throughput work that must not crowd out queries: merge steps,
+    /// background rebuilds.
+    Background,
 }
 
 /// Returns a sensible default worker count for this machine.
@@ -44,6 +56,51 @@ pub fn current_num_threads_hint() -> usize {
         .unwrap_or(1)
 }
 
+/// A fixed-size pool of persistent worker threads with priority-aware
+/// work claiming.
+///
+/// `new(n)` spawns `n - 1` long-lived workers; the thread that submits a
+/// batch acts as the n-th executor, so closures never outlive the call
+/// and no result needs to be sent across threads. A pool of one thread
+/// (or zero, which clamps to one) runs everything inline with no
+/// synchronization at all. Clones share the same workers; use
+/// [`background`](Self::background) to obtain a handle that submits at
+/// background priority.
+///
+/// # Examples
+///
+/// ```
+/// let pool = plsh_parallel::ThreadPool::new(4);
+/// let mut squares = pool.parallel_map(0..8usize, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// squares.clear();
+/// ```
+pub struct ThreadPool {
+    num_threads: usize,
+    priority: Priority,
+    shared: Option<Arc<PoolCore>>,
+}
+
+impl Clone for ThreadPool {
+    fn clone(&self) -> Self {
+        Self {
+            num_threads: self.num_threads,
+            priority: self.priority,
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads)
+            .field("priority", &self.priority)
+            .field("persistent", &self.shared.is_some())
+            .finish()
+    }
+}
+
 impl Default for ThreadPool {
     fn default() -> Self {
         Self::new(current_num_threads_hint())
@@ -55,24 +112,127 @@ impl ThreadPool {
     ///
     /// A value of `1` (or `0`, which is clamped to `1`) executes all work
     /// inline on the calling thread with no synchronization overhead; this
-    /// is the baseline of the thread-scaling experiment (Figure 8).
+    /// is the baseline of the thread-scaling experiment (Figure 8). Larger
+    /// values spawn `num_threads - 1` persistent workers (the submitter is
+    /// the remaining executor).
     pub fn new(num_threads: usize) -> Self {
+        Self::with_affinity(num_threads, &[])
+    }
+
+    /// Like [`new`](Self::new), but worker thread `i` pins itself to
+    /// `cores[i % cores.len()]` at startup (round-robin over `cores`).
+    ///
+    /// Pinning is best-effort: it silently degrades to unpinned workers
+    /// when `PLSH_PIN=off`, on a single-threaded host, or when the kernel
+    /// rejects the mask (see the crate's `affinity` module). An empty
+    /// `cores` slice spawns unpinned workers.
+    pub fn with_affinity(num_threads: usize, cores: &[usize]) -> Self {
+        let num_threads = num_threads.max(1);
+        let shared = if num_threads > 1 {
+            Some(Arc::new(PoolCore::spawn(num_threads - 1, cores)))
+        } else {
+            None
+        };
         Self {
-            num_threads: num_threads.max(1),
+            num_threads,
+            priority: Priority::Foreground,
+            shared,
         }
     }
 
-    /// Number of worker threads used for each batch.
+    /// Number of worker threads used for each batch (including the
+    /// submitting thread).
     pub fn num_threads(&self) -> usize {
         self.num_threads
     }
 
-    /// Runs `f` over every item of `items`, one task per item, with work
-    /// stealing between workers.
+    /// The priority class this handle submits at.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// A handle to the same workers that submits at `priority`.
+    pub fn with_priority(&self, priority: Priority) -> ThreadPool {
+        let mut p = self.clone();
+        p.priority = priority;
+        p
+    }
+
+    /// A handle to the same workers that submits at background priority:
+    /// its batches run only when no foreground batch is pending, and
+    /// workers abandon them between items when foreground work arrives.
+    pub fn background(&self) -> ThreadPool {
+        self.with_priority(Priority::Background)
+    }
+
+    /// How many of this pool's workers successfully pinned themselves to
+    /// a core (0 for inline pools or when pinning is disabled).
+    pub fn pinned_workers(&self) -> usize {
+        self.shared
+            .as_ref()
+            .map_or(0, |s| s.inner.pinned.load(Ordering::Relaxed))
+    }
+
+    /// True when this handle executes everything inline on the caller.
+    fn inline(&self) -> bool {
+        self.num_threads <= 1 || self.shared.is_none()
+    }
+
+    /// Submits `n` index-addressed work items and blocks until all have
+    /// executed. The submitting thread participates in execution, so
+    /// progress is guaranteed even if every worker is busy elsewhere.
     ///
-    /// Items are distributed round-robin across per-worker deques; each
-    /// worker drains its own deque and then steals from peers. Use this for
-    /// coarse, variable-cost tasks (a query, a first-level partition).
+    /// This is the single primitive under every public entry point.
+    fn run_batch<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.inline() || n == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let core = self.shared.as_ref().expect("checked by inline()");
+        // SAFETY contract for the type-erased batch: `ctx` borrows `f`,
+        // which lives on this stack frame. `run_batch` must not return
+        // before every claim on the batch has finished, which the
+        // completion wait below guarantees; after `next >= n` no further
+        // `run` call can start, so a stale Arc left in the queue is inert.
+        let batch = Arc::new(BatchCore {
+            run: run_erased::<F>,
+            ctx: &f as *const F as *const (),
+            n,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        core.inner.enqueue(batch.clone(), self.priority);
+        // The submitter drains its own batch non-preemptibly: yielding to
+        // foreground work is the workers' job, while the submitter's only
+        // path to returning is finishing this batch.
+        execute_batch(&batch, None);
+        let mut done = batch.done.lock().expect("pool poisoned");
+        while !*done {
+            done = batch.done_cv.wait(done).expect("pool poisoned");
+        }
+        drop(done);
+        let payload = batch.panic.lock().expect("pool poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `f` over every item of `items`, one task per item.
+    ///
+    /// Items are claimed dynamically by the submitter and the pool's
+    /// workers, so variable-cost tasks (a query, a first-level partition)
+    /// balance automatically.
     pub fn parallel_tasks<T, I, F>(&self, items: I, f: F)
     where
         T: Send,
@@ -83,68 +243,31 @@ impl ThreadPool {
         if items.is_empty() {
             return;
         }
-        if self.num_threads == 1 || items.len() == 1 {
+        if self.inline() || items.len() == 1 {
             for item in items {
                 f(item);
             }
             return;
         }
-
-        let workers: Vec<Worker<T>> = (0..self.num_threads).map(|_| Worker::new_lifo()).collect();
-        for (i, item) in items.into_iter().enumerate() {
-            workers[i % workers.len()].push(item);
-        }
-        let stealers: Vec<Stealer<T>> = workers.iter().map(Worker::stealer).collect();
-        let stealers = &stealers;
-        let f = &f;
-
-        crossbeam::thread::scope(|scope| {
-            for (me, worker) in workers.into_iter().enumerate() {
-                scope.spawn(move |_| {
-                    // Drain the local deque first, then steal round-robin.
-                    while let Some(item) = worker.pop() {
-                        f(item);
-                    }
-                    'steal: loop {
-                        for (other, stealer) in stealers.iter().enumerate() {
-                            if other == me {
-                                continue;
-                            }
-                            loop {
-                                match stealer.steal() {
-                                    Steal::Success(item) => {
-                                        f(item);
-                                        // Go back to the local deque in case
-                                        // the task spawned follow-up work.
-                                        while let Some(item) = worker.pop() {
-                                            f(item);
-                                        }
-                                    }
-                                    Steal::Empty => break,
-                                    Steal::Retry => continue,
-                                }
-                            }
-                        }
-                        // One full pass found every peer empty: done.
-                        if stealers
-                            .iter()
-                            .enumerate()
-                            .all(|(other, s)| other == me || s.is_empty())
-                        {
-                            break 'steal;
-                        }
-                    }
-                });
-            }
-        })
-        .expect("plsh-parallel worker panicked");
+        let mut items: Vec<ManuallyDrop<T>> = items.into_iter().map(ManuallyDrop::new).collect();
+        let n = items.len();
+        let base = ItemsPtr(items.as_mut_ptr());
+        let base = &base;
+        self.run_batch(n, move |i| {
+            // SAFETY: run_batch hands out each index in 0..n exactly once
+            // (a fetch_add claim counter), and a batch always drains fully
+            // — even past a panicking item — so every element is taken
+            // exactly once and the ManuallyDrop vec frees only storage.
+            let item = unsafe { ManuallyDrop::take(&mut *base.0.add(i)) };
+            f(item);
+        });
     }
 
     /// Runs `f` over `items` and collects the results in input order.
     ///
-    /// Like [`parallel_tasks`](Self::parallel_tasks) but each task produces a
-    /// value; per-worker results are gathered locally and merged once at the
-    /// end, so there is no per-item synchronization on the result vector.
+    /// Like [`parallel_tasks`](Self::parallel_tasks) but each task
+    /// produces a value, written straight into its pre-sized output slot
+    /// with no per-item synchronization.
     pub fn parallel_map<T, R, I, F>(&self, items: I, f: F) -> Vec<R>
     where
         T: Send,
@@ -157,7 +280,7 @@ impl ThreadPool {
         if n == 0 {
             return Vec::new();
         }
-        if self.num_threads == 1 || n == 1 {
+        if self.inline() || n == 1 {
             return items.into_iter().map(f).collect();
         }
 
@@ -195,48 +318,36 @@ impl ThreadPool {
             return;
         }
         let grain = grain.max(1);
-        if self.num_threads == 1 || end - start <= grain {
+        if self.inline() || end - start <= grain {
             f(start..end);
             return;
         }
-        let cursor = AtomicUsize::new(start);
-        let cursor = &cursor;
-        let f = &f;
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..self.num_threads {
-                scope.spawn(move |_| loop {
-                    let lo = cursor.fetch_add(grain, Ordering::Relaxed);
-                    if lo >= end {
-                        break;
-                    }
-                    let hi = (lo + grain).min(end);
-                    f(lo..hi);
-                });
-            }
-        })
-        .expect("plsh-parallel worker panicked");
+        let chunks = (end - start).div_ceil(grain);
+        self.run_batch(chunks, |c| {
+            let lo = start + c * grain;
+            let hi = (lo + grain).min(end);
+            f(lo..hi);
+        });
     }
 
-    /// Runs `nthreads` copies of `f`, passing each its worker index.
+    /// Runs `num_threads` copies of `f`, passing each its stripe index in
+    /// `0..num_threads`.
     ///
     /// This is the "thread owns a contiguous slice of the input plus a
     /// private histogram" pattern from the parallel partitioning algorithm
-    /// of Kim et al. \[21\] that PLSH construction Step I1 follows.
+    /// of Kim et al. \[21\] that PLSH construction Step I1 follows. Each
+    /// stripe index runs exactly once; stripes must not synchronize with
+    /// each other (no barriers), since an executor may run several
+    /// stripes back to back.
     pub fn broadcast<F>(&self, f: F)
     where
         F: Fn(usize) + Sync,
     {
-        if self.num_threads == 1 {
+        if self.inline() {
             f(0);
             return;
         }
-        let f = &f;
-        crossbeam::thread::scope(|scope| {
-            for t in 0..self.num_threads {
-                scope.spawn(move |_| f(t));
-            }
-        })
-        .expect("plsh-parallel worker panicked");
+        self.run_batch(self.num_threads, f);
     }
 
     /// Evenly splits `0..len` into one contiguous range per worker.
@@ -265,6 +376,227 @@ pub(crate) fn even_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Type-erased trampoline: recovers the concrete closure from `ctx`.
+///
+/// # Safety
+/// `ctx` must point at a live `F` for the whole time the owning batch has
+/// unclaimed or running items; `run_batch` guarantees this by blocking
+/// until the batch completes.
+unsafe fn run_erased<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
+    (*(ctx as *const F))(i);
+}
+
+/// The shared, type-erased state of one submitted batch.
+///
+/// `next` is the claim counter: an executor claims item `next++` and runs
+/// it; once `next >= n` the batch is exhausted and only bookkeeping
+/// remains. `completed` counts finished items; whoever finishes the last
+/// one latches `done` and wakes the submitter. A panicking item is caught,
+/// its payload stored (first wins), and the batch *still drains fully* so
+/// sibling items — and the owned values behind `parallel_tasks` — are
+/// never leaked; the submitter re-throws after the wait.
+struct BatchCore {
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
+    n: usize,
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `ctx` is only dereferenced through `run` for claimed item
+// indices, and `run_batch` keeps the referent alive until the batch has
+// fully completed. All other fields are Sync primitives.
+unsafe impl Send for BatchCore {}
+unsafe impl Sync for BatchCore {}
+
+impl BatchCore {
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n
+    }
+}
+
+/// Claims and runs items of `batch` until it is exhausted — or, when
+/// `yield_signal` is given (background execution on a worker), until
+/// foreground work shows up, checked between items.
+fn execute_batch(batch: &BatchCore, yield_signal: Option<&AtomicUsize>) {
+    loop {
+        if let Some(fg_pending) = yield_signal {
+            if fg_pending.load(Ordering::Relaxed) > 0 {
+                return;
+            }
+        }
+        let i = batch.next.fetch_add(1, Ordering::Relaxed);
+        if i >= batch.n {
+            return;
+        }
+        // SAFETY: index `i` was claimed exactly once and the batch (hence
+        // `ctx`) is alive: its submitter is blocked until completion.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (batch.run)(batch.ctx, i) }));
+        if let Err(payload) = outcome {
+            let mut slot = batch.panic.lock().expect("pool poisoned");
+            slot.get_or_insert(payload);
+        }
+        if batch.completed.fetch_add(1, Ordering::AcqRel) + 1 == batch.n {
+            let mut done = batch.done.lock().expect("pool poisoned");
+            *done = true;
+            batch.done_cv.notify_all();
+        }
+    }
+}
+
+/// Two-class scheduler state: foreground batches are always dispatched
+/// before background ones.
+struct SchedState {
+    fg: VecDeque<Arc<BatchCore>>,
+    bg: VecDeque<Arc<BatchCore>>,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<SchedState>,
+    work_cv: Condvar,
+    /// Foreground batches enqueued and not yet observed exhausted; while
+    /// nonzero, workers abandon background batches between items. May
+    /// transiently overcount after a foreground batch drains (until a
+    /// worker pops the husk), which only costs one spurious queue visit.
+    fg_pending: AtomicUsize,
+    /// Workers of this pool that successfully pinned to a core.
+    pinned: AtomicUsize,
+}
+
+impl Inner {
+    fn enqueue(&self, batch: Arc<BatchCore>, priority: Priority) {
+        let mut s = self.state.lock().expect("pool poisoned");
+        match priority {
+            Priority::Foreground => {
+                self.fg_pending.fetch_add(1, Ordering::Relaxed);
+                s.fg.push_back(batch);
+            }
+            Priority::Background => s.bg.push_back(batch),
+        }
+        drop(s);
+        self.work_cv.notify_all();
+    }
+
+    /// Pops exhausted batches, then returns the frontmost claimable batch
+    /// (foreground first) with its priority.
+    fn next_runnable(&self, s: &mut SchedState) -> Option<(Arc<BatchCore>, Priority)> {
+        while let Some(b) = s.fg.front() {
+            if b.exhausted() {
+                s.fg.pop_front();
+                self.fg_pending.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                return Some((b.clone(), Priority::Foreground));
+            }
+        }
+        while let Some(b) = s.bg.front() {
+            if b.exhausted() {
+                s.bg.pop_front();
+            } else {
+                return Some((b.clone(), Priority::Background));
+            }
+        }
+        None
+    }
+}
+
+/// The spawned side of a persistent pool: shared scheduler plus worker
+/// join handles. Dropping the last pool handle shuts the workers down.
+struct PoolCore {
+    inner: Arc<Inner>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PoolCore {
+    fn spawn(workers: usize, cores: &[usize]) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(SchedState {
+                fg: VecDeque::new(),
+                bg: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            fg_pending: AtomicUsize::new(0),
+            pinned: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let inner = inner.clone();
+            let pin_to = if cores.is_empty() {
+                None
+            } else {
+                Some(cores[w % cores.len()])
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("plsh-pool-{w}"))
+                .spawn(move || worker_loop(inner, pin_to))
+                .expect("failed to spawn pool worker");
+            handles.push(handle);
+        }
+        Self {
+            inner,
+            handles: Mutex::new(handles),
+        }
+    }
+}
+
+impl Drop for PoolCore {
+    fn drop(&mut self) {
+        {
+            let mut s = self.inner.state.lock().expect("pool poisoned");
+            s.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+        for h in self.handles.lock().expect("pool poisoned").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// How many pool workers process-wide have successfully pinned.
+static WORKERS_PINNED: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide count of pool workers currently pinned to a core.
+pub fn pinned_worker_count() -> usize {
+    WORKERS_PINNED.load(Ordering::Relaxed)
+}
+
+fn worker_loop(inner: Arc<Inner>, pin_to: Option<usize>) {
+    let did_pin = pin_to.is_some_and(affinity::pin_current_thread);
+    if did_pin {
+        inner.pinned.fetch_add(1, Ordering::Relaxed);
+        WORKERS_PINNED.fetch_add(1, Ordering::Relaxed);
+    }
+    loop {
+        let claimed = {
+            let mut s = inner.state.lock().expect("pool poisoned");
+            loop {
+                if let Some(c) = inner.next_runnable(&mut s) {
+                    break Some(c);
+                }
+                if s.shutdown {
+                    break None;
+                }
+                s = inner.work_cv.wait(s).expect("pool poisoned");
+            }
+        };
+        let Some((batch, priority)) = claimed else {
+            if did_pin {
+                // Keep the global pinned gauge honest across pool drops.
+                WORKERS_PINNED.fetch_sub(1, Ordering::Relaxed);
+            }
+            return;
+        };
+        match priority {
+            Priority::Foreground => execute_batch(&batch, None),
+            Priority::Background => execute_batch(&batch, Some(&inner.fg_pending)),
+        }
+    }
+}
+
 /// A send-able raw pointer to a result slot; see `parallel_map`.
 struct SlotPtr<R>(*mut Option<R>);
 
@@ -285,6 +617,16 @@ impl<R> SlotPtr<R> {
 // moves each SlotPtr into exactly one task and joins all tasks before the
 // backing vector is touched again.
 unsafe impl<R: Send> Send for SlotPtr<R> {}
+
+/// A shareable base pointer into the `ManuallyDrop` item buffer of
+/// `parallel_tasks`.
+struct ItemsPtr<T>(*mut ManuallyDrop<T>);
+
+// SAFETY: each element behind the pointer is taken by exactly one claimed
+// index (see `parallel_tasks`), and the buffer outlives the blocking
+// `run_batch` call.
+unsafe impl<T: Send> Send for ItemsPtr<T> {}
+unsafe impl<T: Send> Sync for ItemsPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -309,7 +651,7 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_runs_each_worker_once() {
+    fn broadcast_runs_each_stripe_once() {
         let pool = ThreadPool::new(5);
         let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
         pool.broadcast(|t| {
@@ -341,6 +683,7 @@ mod tests {
     fn pool_zero_threads_clamps_to_one() {
         let pool = ThreadPool::new(0);
         assert_eq!(pool.num_threads(), 1);
+        assert_eq!(pool.pinned_workers(), 0);
     }
 
     #[test]
@@ -358,5 +701,100 @@ mod tests {
             total.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn owned_items_are_consumed_exactly_once() {
+        let pool = ThreadPool::new(3);
+        let drops = Arc::new(AtomicUsize::new(0));
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let items: Vec<Counted> = (0..97).map(|_| Counted(drops.clone())).collect();
+        pool.parallel_tasks(items, drop);
+        assert_eq!(drops.load(Ordering::Relaxed), 97);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_and_batch_drains() {
+        let pool = ThreadPool::new(4);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = ran.clone();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_tasks(0..40usize, |i| {
+                if i == 7 {
+                    panic!("task 7 exploded");
+                }
+                ran2.fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // Every non-panicking sibling still ran: the batch drains fully.
+        assert_eq!(ran.load(Ordering::Relaxed), 39);
+        // And the pool is still usable afterwards.
+        let out = pool.parallel_map(0..8usize, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn background_batches_complete() {
+        let pool = ThreadPool::new(4);
+        let bg = pool.background();
+        assert_eq!(bg.priority(), Priority::Background);
+        let total = AtomicUsize::new(0);
+        bg.parallel_tasks(0..128usize, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 128);
+    }
+
+    #[test]
+    fn foreground_preempts_background_between_items() {
+        // A long-running background batch must not starve a foreground
+        // batch submitted from another thread. The background submitter
+        // keeps draining its own batch, so both finish.
+        let pool = ThreadPool::new(2);
+        let bg_pool = pool.background();
+        let fg_done = Arc::new(AtomicUsize::new(0));
+        let fg_done2 = fg_done.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                bg_pool.parallel_tasks(0..256usize, |_| {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                });
+            });
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                pool.parallel_map(0..32usize, |i| i);
+                fg_done2.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(fg_done.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn nested_submission_does_not_deadlock() {
+        let pool = ThreadPool::new(3);
+        let inner_pool = pool.clone();
+        let total = AtomicUsize::new(0);
+        pool.parallel_tasks(0..6usize, |_| {
+            inner_pool.parallel_for(0, 50, 8, |r| {
+                total.fetch_add(r.len(), Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 6 * 50);
+    }
+
+    #[test]
+    fn clones_share_workers() {
+        let pool = ThreadPool::new(4);
+        let clone = pool.clone();
+        drop(pool);
+        // The clone keeps the workers alive and functional.
+        let out = clone.parallel_map(0..16usize, |i| i * 2);
+        assert_eq!(out[15], 30);
     }
 }

@@ -16,8 +16,11 @@ the design bars:
   share one best-of-REPS protocol, so a regression is real, not a
   measurement artifact).
 * streaming — background merges fired, query throughput during ingest
-  within the 2x bar of quiesced (generous 0.4 floor for noisy shared
-  runners), probes found in every batch, epochs always consistent.
+  at least 0.85x quiesced (the cooperative stepped merge yields to
+  queries, so ingest must no longer halve query throughput; 0.5x on a
+  single-hardware-thread host where the ingest thread itself timeslices
+  against the query thread), per-batch p99 latency recorded for both
+  phases, probes found in every batch, epochs always consistent.
 * recovery — the durability experiment: a generation-segmented layout
   with a live WAL tail at crash time, positive journaled-ingest and
   replay rates, recovered answers bit-identical to the in-memory twin,
@@ -36,6 +39,12 @@ the design bars:
   and the sweep degenerates to an overhead measurement (still checked for
   answer equivalence and merge activity).
 
+Every report also records the measuring host's hardware-thread count and
+how many pool workers actually pinned to a core (`host_threads`,
+`pinned_workers`); the checker cross-checks them — pinning requires at
+least two hardware threads, so a 1-thread host must report zero pinned
+workers.
+
 `--expect-scale quick` (used by CI) additionally asserts the reports came
 from this run's quick corpus rather than a stale committed full-scale
 artifact.
@@ -47,7 +56,14 @@ import sys
 
 SIMD_LEVELS = ("scalar", "sse2", "avx2")
 SCALING_SPEEDUP_BAR = 1.5
-STREAMING_DURING_FLOOR = 0.4
+# The cooperative stepped merge yields to in-flight queries, so ingest
+# must cost queries at most ~15% of quiesced throughput (was 0.5 when the
+# merge ran monolithically and could stall a whole rebuild's worth). On a
+# single hardware thread the ingest thread itself timeslices against the
+# query thread — interference the scheduler, not the merge, imposes — so
+# the bar stays at the old monolithic-merge floor there.
+STREAMING_DURING_FLOOR = 0.85
+STREAMING_DURING_FLOOR_1CPU = 0.5
 # "+large pages" vs "+sw prefetch": the level adds an madvise hint that is
 # a no-op below the table-size threshold and a win above it, so it must
 # never lose — beyond a 10% allowance for run-to-run noise on shared hosts.
@@ -67,6 +83,18 @@ def check_common(path, d, expect_scale):
                    "(stale committed report instead of this run's output?)")
     if not (isinstance(d["threads"], int) and d["threads"] >= 1):
         fail(path, f"threads must be a positive integer, got {d['threads']!r}")
+    for key in ("host_threads", "pinned_workers"):
+        if key not in d:
+            fail(path, f"missing field {key!r} (reports must record the "
+                       "measuring host's topology)")
+    host, pinned = d["host_threads"], d["pinned_workers"]
+    if not (isinstance(host, int) and host >= 1):
+        fail(path, f"host_threads must be a positive integer, got {host!r}")
+    if not (isinstance(pinned, int) and pinned >= 0):
+        fail(path, f"pinned_workers must be a non-negative integer, got {pinned!r}")
+    if host < 2 and pinned != 0:
+        fail(path, f"pinning is gated on >= 2 hardware threads but a "
+                   f"{host}-thread host reports {pinned} pinned worker(s)")
 
 
 def check_throughput(path, d):
@@ -122,14 +150,25 @@ def check_streaming(path, d):
         fail(path, "background merges must have fired")
     if not (d["query_qps_during_ingest"] > 0 and d["query_qps_quiesced"] > 0):
         fail(path, "query throughput must be positive in both phases")
-    if d["during_over_quiesced"] < STREAMING_DURING_FLOOR:
+    floor = (STREAMING_DURING_FLOOR if d["host_threads"] >= 2
+             else STREAMING_DURING_FLOOR_1CPU)
+    if d["during_over_quiesced"] < floor:
         fail(path, f"during/quiesced {d['during_over_quiesced']} below the "
-                   f"{STREAMING_DURING_FLOOR} floor")
+                   f"{floor} floor on a {d['host_threads']}-thread host")
+    for key in ("query_p50_ms_during_ingest", "query_p99_ms_during_ingest",
+                "query_p50_ms_quiesced", "query_p99_ms_quiesced"):
+        if not d.get(key, 0) > 0:
+            fail(path, f"{key} must be positive, got {d.get(key)!r}")
+    for phase in ("during_ingest", "quiesced"):
+        if d[f"query_p99_ms_{phase}"] < d[f"query_p50_ms_{phase}"]:
+            fail(path, f"p99 below p50 in the {phase} phase")
     if d["probe_always_found"] is not True:
         fail(path, "a query batch missed a sealed point")
     if d["epoch_always_consistent"] is not True:
         fail(path, "half-merged epoch observed")
-    print(f"{path} OK: during/quiesced = {d['during_over_quiesced']}")
+    print(f"{path} OK: during/quiesced = {d['during_over_quiesced']}, "
+          f"p99 during/quiesced = {d['query_p99_ms_during_ingest']} / "
+          f"{d['query_p99_ms_quiesced']} ms")
 
 
 def check_scaling(path, d):
@@ -142,6 +181,10 @@ def check_scaling(path, d):
         if not (c["ingest_qps"] > 0 and c["query_qps_during_ingest"] > 0
                 and c["query_qps_quiesced"] > 0):
             fail(path, f"non-positive throughput at {c['shards']} shards: {c}")
+        for key in ("query_p99_ms_during_ingest", "query_p99_ms_quiesced"):
+            if not c.get(key, 0) > 0:
+                fail(path, f"{key} must be positive at {c['shards']} shards, "
+                           f"got {c.get(key)!r}")
         if c["merges"] < 1:
             fail(path, f"no merges fired at {c['shards']} shards "
                        "(the sweep must exercise the merge path)")

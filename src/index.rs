@@ -500,6 +500,8 @@ impl Index {
                     delta_table_bytes: 0,
                     sketch_bytes: 0,
                     hyperplane_bytes: 0,
+                    host_threads: plsh_parallel::affinity::host_threads(),
+                    pinned_workers: plsh_parallel::pinned_worker_count(),
                 };
                 for e in &stats.engines {
                     agg.total_points += e.total_points;

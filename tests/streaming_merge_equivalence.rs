@@ -234,3 +234,80 @@ fn concurrent_queries_see_only_consistent_epochs() {
         }
     }
 }
+
+/// The paced (stepped) background merge — tiny slice budgets, yielding to
+/// live queries between slices — publishes an epoch that answers
+/// bit-identically to a from-scratch monolithic build over the same rows.
+#[test]
+fn paced_background_merge_answers_identically() {
+    use plsh::core::MergePacing;
+    use std::time::Duration;
+
+    let n = 1200usize;
+    // Slices far smaller than the table/bucket counts force the stepper
+    // through many hundreds of pressure checks; the sleep keeps it
+    // yielding whenever our queries are in flight.
+    let pacing = MergePacing {
+        step_buckets: 8,
+        step_rows: 16,
+        yield_sleep: Duration::from_micros(20),
+    };
+    let engine = StreamingEngine::new(
+        EngineConfig::new(params(91), n)
+            .manual_merge()
+            .with_merge_pacing(pacing),
+        ThreadPool::new(2),
+    )
+    .unwrap();
+
+    let vectors: Vec<SparseVector> = (0..n as u32)
+        .map(|i| {
+            SparseVector::unit(vec![
+                (i % DIM, 1.0),
+                ((i * 11 + 3) % DIM, 0.3 + (i % 7) as f32 * 0.1),
+            ])
+            .unwrap()
+        })
+        .collect();
+    for chunk in vectors.chunks(200) {
+        engine.insert_batch(chunk).unwrap();
+    }
+
+    // Race queries against the stepped merge until it publishes.
+    engine.merge_in_background();
+    let mut probed = 0usize;
+    while engine.merge_in_flight() {
+        let probe = probed * 37 % n;
+        assert!(
+            engine
+                .query(&vectors[probe])
+                .iter()
+                .any(|h| h.index == probe as u32),
+            "point {probe} lost mid-merge"
+        );
+        probed += 1;
+    }
+    engine.wait_for_merge();
+    assert_eq!(engine.engine().static_len(), n, "paced merge must publish");
+
+    // Bit-identical to a monolithic from-scratch build.
+    let pool = ThreadPool::new(1);
+    let scratch = Engine::new(EngineConfig::new(params(91), n).manual_merge(), &pool).unwrap();
+    scratch.insert_batch(&vectors, &pool).unwrap();
+    scratch.merge_delta(&pool);
+    for (i, v) in vectors.iter().enumerate() {
+        let mut a: Vec<(u32, u32)> = engine
+            .query(v)
+            .iter()
+            .map(|h| (h.index, h.distance.to_bits()))
+            .collect();
+        let mut b: Vec<(u32, u32)> = scratch
+            .query(v)
+            .iter()
+            .map(|h| (h.index, h.distance.to_bits()))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "answers diverged for point {i}");
+    }
+}
