@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "throughput",
     "scaling",
     "recovery",
+    "serve",
     "faults",
 ];
 
@@ -105,6 +106,18 @@ fn main() {
                 }
             }
             "recall" => recall::run(&fixture).print(),
+            "serve" => {
+                let r = serve::run(&fixture);
+                r.print();
+                let path = serve::output_path();
+                match r.write_json(&path) {
+                    Ok(()) => eprintln!("# wrote {path}"),
+                    Err(e) => {
+                        eprintln!("# FAILED to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "scaling" => {
                 let r = scaling::run(&fixture);
                 r.print();

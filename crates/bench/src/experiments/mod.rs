@@ -17,6 +17,7 @@ pub mod fig9_nodes;
 pub mod recall;
 pub mod recovery;
 pub mod scaling;
+pub mod serve;
 pub mod streaming_live;
 pub mod streaming_overhead;
 pub mod table2;

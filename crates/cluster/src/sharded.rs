@@ -95,7 +95,7 @@ use plsh_core::search::{
 };
 use plsh_core::snapshot::Snapshot;
 use plsh_core::sparse::SparseVector;
-use plsh_core::streaming::StreamingEngine;
+use plsh_core::streaming::{ShutdownReport, StreamingEngine};
 use plsh_parallel::{affinity, Backoff, ThreadPool, WorkerStatus};
 
 use crate::error::{ClusterError, Result};
@@ -725,6 +725,39 @@ impl ShardedIndex {
         }
     }
 
+    /// Deadline-bounded graceful drain, the sharded counterpart of
+    /// [`StreamingEngine::shutdown`]: best-effort wait for the routed
+    /// ingest backlog to drain (a dead worker's backlog can never drain —
+    /// that shard is skipped rather than waited on), then shut each
+    /// shard's engine down within what remains of the deadline. The
+    /// folded report ANDs `drained` and ORs `merge_abandoned`, so
+    /// `drained: false` means at least one shard kept undrained or
+    /// unsealed rows.
+    pub fn shutdown(&self, deadline: Duration) -> ShutdownReport {
+        let end = Instant::now() + deadline;
+        let mut drained = true;
+        for shard in &self.shards {
+            while shard.progress.pending.load(Ordering::SeqCst) > 0
+                && shard.progress.alive.load(Ordering::SeqCst)
+                && Instant::now() < end
+            {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            drained &= shard.progress.pending.load(Ordering::SeqCst) == 0;
+        }
+        let mut merge_abandoned = false;
+        for shard in &self.shards {
+            let remaining = end.saturating_duration_since(Instant::now());
+            let report = shard.engine.shutdown(remaining);
+            drained &= report.drained;
+            merge_abandoned |= report.merge_abandoned;
+        }
+        ShutdownReport {
+            drained,
+            merge_abandoned,
+        }
+    }
+
     /// Tombstones a point by global id; `Ok(false)` if unknown or already
     /// deleted. If the point is still in flight in its shard's ingest
     /// queue, this waits on the shard's ingest condvar (woken per drained
@@ -785,7 +818,15 @@ impl ShardedIndex {
     /// plus queued points, an advisory snapshot that can momentarily lag
     /// an in-flight routing by a batch.
     pub fn stats(&self) -> ShardedStats {
-        let engines: Vec<EngineStats> = self.shards.iter().map(|s| s.engine.stats()).collect();
+        let engines: Vec<EngineStats> = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut e = s.engine.stats();
+                e.pending_ingest = s.progress.pending.load(Ordering::SeqCst);
+                e
+            })
+            .collect();
         let points_per_shard = self
             .shards
             .iter()
@@ -846,9 +887,13 @@ impl ShardedIndex {
         });
         let partials: Vec<CoreResult<SearchResponse>> = match &shard_reqs {
             Some(reqs) => pool.parallel_map(self.shards.iter().zip(reqs), |(shard, r)| {
+                fault::point(fault::QUERY_SHARD);
                 shard.engine.search(r)
             }),
-            None => pool.parallel_map(self.shards.iter(), |shard| shard.engine.search(req)),
+            None => pool.parallel_map(self.shards.iter(), |shard| {
+                fault::point(fault::QUERY_SHARD);
+                shard.engine.search(req)
+            }),
         };
         // Read-lock every shard's local→global map once for the whole
         // translation (queries only ever read these; writers append).

@@ -381,6 +381,10 @@ pub struct EngineStats {
     pub sealed_generations: usize,
     /// Merges performed so far.
     pub merges: u64,
+    /// Ingest rows accepted (queued in a firehose channel) but not yet
+    /// applied — nonzero only on sharded backends, whose ingest workers
+    /// apply asynchronously; a bare engine applies inline.
+    pub pending_ingest: u64,
     /// Bytes in static tables.
     pub static_table_bytes: usize,
     /// Bytes in delta bins.
@@ -1201,6 +1205,7 @@ impl Engine {
             wal_lag_rows,
             persist_retries: self.persister().map_or(0, |p| p.io_retries()),
             pending_ingest: 0,
+            merge_backlog: self.epoch.snapshot().sealed.len(),
             workers: Vec::new(),
         }
     }
@@ -1376,6 +1381,7 @@ impl Engine {
             purged_points: w.purged.len(),
             sealed_generations: view.sealed.len(),
             merges: self.merges.load(Ordering::Relaxed),
+            pending_ingest: 0,
             static_table_bytes: view.statics.as_ref().map_or(0, |s| s.memory_bytes()),
             delta_table_bytes,
             sketch_bytes,

@@ -52,6 +52,11 @@ pub struct HealthReport {
     /// Ingest rows accepted but not yet applied by a worker (sharded
     /// backends; always 0 on a bare engine).
     pub pending_ingest: u64,
+    /// Sealed delta generations waiting for a background merge — the
+    /// merge backlog a `/metrics` scrape wants to watch. Grows while
+    /// ingest outruns the merger; a large value means query-side delta
+    /// probing is doing extra work.
+    pub merge_backlog: usize,
     /// Every supervised background worker.
     pub workers: Vec<WorkerHealth>,
 }
@@ -80,6 +85,7 @@ impl HealthReport {
         self.wal_lag_rows += child.wal_lag_rows;
         self.persist_retries += child.persist_retries;
         self.pending_ingest += child.pending_ingest;
+        self.merge_backlog += child.merge_backlog;
         self.workers.extend(child.workers.into_iter().map(|mut w| {
             w.name = format!("{prefix}.{}", w.name);
             w
@@ -102,6 +108,7 @@ mod tests {
                 wal_lag_rows: 10,
                 persist_retries: 2,
                 pending_ingest: 5,
+                merge_backlog: 1,
                 workers: vec![WorkerHealth {
                     name: "ingest".into(),
                     alive: true,
@@ -119,6 +126,7 @@ mod tests {
                 wal_lag_rows: 3,
                 persist_retries: 0,
                 pending_ingest: 0,
+                merge_backlog: 2,
                 workers: vec![WorkerHealth {
                     name: "ingest".into(),
                     alive: false,
@@ -133,6 +141,7 @@ mod tests {
         assert_eq!(agg.wal_lag_rows, 13);
         assert_eq!(agg.persist_retries, 2);
         assert_eq!(agg.pending_ingest, 5);
+        assert_eq!(agg.merge_backlog, 3);
         assert_eq!(agg.total_restarts(), 5);
         assert!(!agg.healthy());
         assert_eq!(agg.workers[1].name, "shard1.ingest");

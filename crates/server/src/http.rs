@@ -1,0 +1,343 @@
+//! HTTP/1.1 framing: request parsing with hard size caps, Content-Length
+//! bodies, keep-alive, and response serialization.
+//!
+//! This is deliberately a small subset of RFC 9112 — enough for the PLSH
+//! wire surface and its load-shedding semantics, not a general web server:
+//!
+//! * Only `Content-Length` framing. `Transfer-Encoding` is answered with
+//!   501 so a chunked client fails fast instead of desyncing the stream.
+//! * Header block capped at [`MAX_HEAD_BYTES`]; bodies capped by the
+//!   caller's `max_body_bytes`, checked **before** the body is read so an
+//!   oversized upload is rejected without buffering it.
+//! * Keep-alive by default for HTTP/1.1, opt-in via `Connection:
+//!   keep-alive` for 1.0, and any protocol error closes the connection
+//!   after a best-effort 4xx/5xx response.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Cap on the request line + headers, matching common proxy defaults.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Cap on the number of header lines; prevents a slow drip of tiny headers
+/// from pinning a handler thread inside the head cap.
+const MAX_HEADERS: usize = 100;
+
+/// A parsed request. Header names are lower-cased at parse time.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+    /// Whether the connection should be kept open after responding.
+    pub keep_alive: bool,
+}
+
+/// Why [`read_request`] did not produce a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed (or the socket failed / timed out) before a full
+    /// request arrived. Nothing to answer; just drop the connection.
+    ConnectionClosed,
+    /// Protocol violation: answer with `response`, then close.
+    Protocol(Response),
+}
+
+impl HttpError {
+    fn bad_request(msg: &str) -> HttpError {
+        HttpError::Protocol(Response::error(400, msg))
+    }
+}
+
+/// Read one request off `reader`. Blocks until a request, EOF, or the
+/// stream's read timeout.
+pub fn read_request<R: BufRead>(
+    reader: &mut R,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
+    let mut head = String::new();
+    let mut line = String::new();
+    // Request line.
+    match read_crlf_line(reader, &mut line, &mut head) {
+        Ok(0) => return Err(HttpError::ConnectionClosed),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Err(HttpError::bad_request("request line too large"))
+        }
+        Err(_) => return Err(HttpError::ConnectionClosed),
+    }
+    let request_line = line.trim_end_matches(['\r', '\n']).to_string();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => {
+            (m.to_string(), p.to_string(), v.to_string())
+        }
+        _ => return Err(HttpError::bad_request("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::bad_request("unsupported HTTP version"));
+    }
+    let http_11 = version != "HTTP/1.0";
+
+    // Headers.
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = http_11;
+    let mut header_count = 0;
+    loop {
+        line.clear();
+        match read_crlf_line(reader, &mut line, &mut head) {
+            Ok(0) => return Err(HttpError::ConnectionClosed),
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Err(HttpError::bad_request("header block too large"))
+            }
+            Err(_) => return Err(HttpError::ConnectionClosed),
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        header_count += 1;
+        if header_count > MAX_HEADERS {
+            return Err(HttpError::bad_request("too many headers"));
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Err(HttpError::bad_request("malformed header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| HttpError::bad_request("bad Content-Length"))?;
+                if content_length.replace(n).is_some_and(|prev| prev != n) {
+                    return Err(HttpError::bad_request("conflicting Content-Length"));
+                }
+            }
+            "transfer-encoding" => {
+                return Err(HttpError::Protocol(Response::error(
+                    501,
+                    "Transfer-Encoding is not supported; use Content-Length",
+                )));
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Body. The length check happens before any body byte is read, so an
+    // oversized upload costs the client a rejected header block, not the
+    // server `max_body_bytes` of buffering.
+    let len = content_length.unwrap_or(0);
+    if len > max_body_bytes {
+        return Err(HttpError::Protocol(Response::error(
+            413,
+            &format!("body exceeds max_body_bytes={max_body_bytes}"),
+        )));
+    }
+    let mut body = vec![0u8; len];
+    if len > 0 && reader.read_exact(&mut body).is_err() {
+        return Err(HttpError::ConnectionClosed);
+    }
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
+}
+
+/// `read_line` with the cumulative head-size cap folded in. Returns the
+/// number of bytes read (0 on EOF); `InvalidData` when the cap is blown.
+fn read_crlf_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    head: &mut String,
+) -> io::Result<usize> {
+    line.clear();
+    // Bound the single read so one giant line cannot bypass the cap.
+    let budget = MAX_HEAD_BYTES.saturating_sub(head.len()) + 2;
+    let n = reader.take(budget as u64).read_line(line)?;
+    head.push_str(line);
+    if head.len() > MAX_HEAD_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "head too large"));
+    }
+    Ok(n)
+}
+
+/// An outgoing response. `write_to` serializes status line, the few
+/// headers the wire needs, and the body in one buffered write.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: String,
+    /// Emitted as a `Retry-After: <seconds>` header — set on 429/503 shed
+    /// responses so well-behaved clients back off.
+    pub retry_after: Option<u64>,
+    /// Force `Connection: close` even on a keep-alive connection.
+    pub close: bool,
+}
+
+impl Response {
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// A JSON error body: `{"error": "<msg>"}`.
+    pub fn error(status: u16, msg: &str) -> Response {
+        Response::json(
+            status,
+            format!(
+                "{}",
+                crate::json::Json::obj(vec![("error", crate::json::Json::Str(msg.to_string()))])
+            ),
+        )
+    }
+
+    pub fn retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
+    }
+
+    pub fn write_to<W: Write>(&self, w: &mut W, keep_alive: bool) -> io::Result<()> {
+        let close = self.close || !keep_alive;
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        if let Some(secs) = self.retry_after {
+            out.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        out.push_str(if close {
+            "Connection: close\r\n\r\n"
+        } else {
+            "Connection: keep-alive\r\n\r\n"
+        });
+        out.push_str(&self.body);
+        w.write_all(out.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrases for the statuses the server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /search HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req10 = parse("GET /healthz HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req10.keep_alive);
+    }
+
+    #[test]
+    fn malformed_request_line_is_400() {
+        for raw in [
+            "NONSENSE\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET / HTTP/1.1 extra\r\n\r\n",
+            "GET nopath HTTP/1.1\r\n\r\n",
+        ] {
+            match parse(raw) {
+                Err(HttpError::Protocol(resp)) => assert_eq!(resp.status, 400, "{raw:?}"),
+                other => panic!("{raw:?}: expected 400, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_reading_it() {
+        let raw = "POST /ingest HTTP/1.1\r\nContent-Length: 99999\r\n\r\n";
+        match parse(raw) {
+            Err(HttpError::Protocol(resp)) => assert_eq!(resp.status, 413),
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_encoding_is_501() {
+        let raw = "POST /ingest HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        match parse(raw) {
+            Err(HttpError::Protocol(resp)) => assert_eq!(resp.status, 501),
+            other => panic!("expected 501, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_body_closes() {
+        let raw = "POST /search HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(matches!(parse(raw), Err(HttpError::ConnectionClosed)));
+    }
+
+    #[test]
+    fn giant_head_is_rejected() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD_BYTES));
+        match parse(&raw) {
+            Err(HttpError::Protocol(resp)) => assert_eq!(resp.status, 400),
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_serializes_with_retry_after() {
+        let mut buf = Vec::new();
+        Response::error(429, "shed")
+            .retry_after(2)
+            .write_to(&mut buf, true)
+            .unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"error\":\"shed\"}"));
+    }
+}

@@ -1,0 +1,436 @@
+//! Minimal JSON encode/decode for the wire types.
+//!
+//! The container has no crates.io access (the vendored `serde` is a
+//! non-serializing stand-in), so the server carries its own ~300-line
+//! recursive-descent parser and writer. It covers exactly what the wire
+//! needs: the six JSON value kinds, `\uXXXX` escapes, and a depth limit so
+//! a hostile body cannot blow the parser's stack. Numbers are kept as
+//! `f64`, which is lossless for the `u32`/`f32` payloads PLSH exchanges.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Nesting depth at which [`parse`] gives up. Wire payloads are at most
+/// three levels deep (`{"queries": [[[i, w], ...], ...]}`), so 32 leaves
+/// headroom without letting `[[[[...` recurse to a stack overflow.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value. Objects use a `BTreeMap` so encoding is
+/// deterministic — handy for tests that compare whole bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All JSON numbers, integral or not.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup that is `None` for non-objects and missing keys alike.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Integral numbers only: rejects `1.5` rather than truncating it.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for object literals.
+    pub fn obj(entries: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    write!(f, "{n}")
+                } else {
+                    // JSON has no NaN/Inf; null is the conventional fallback.
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Parse `input` as a single JSON value; trailing non-whitespace is an
+/// error. The message names the byte offset so protocol tests can assert
+/// something meaningful.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!(
+                "unexpected byte 0x{:02x} at offset {}",
+                b, self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek();
+                    // Every arm leaves `pos` just past what it consumed.
+                    self.pos += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uDC00..DFFF`; lone or mismatched
+                            // surrogates become U+FFFD rather than an error.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.eat_literal("\\u") {
+                                    let low = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&low) {
+                                        let combined =
+                                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                        char::from_u32(combined).unwrap_or('\u{FFFD}')
+                                    } else {
+                                        '\u{FFFD}'
+                                    }
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(code).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos - 1)),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is passed through unmodified; `input`
+                    // was already validated as a &str.
+                    let start = self.pos;
+                    let s = &self.bytes[start..];
+                    let len = utf8_len(s[0]);
+                    let chunk = std::str::from_utf8(&s[..len.min(s.len())])
+                        .map_err(|_| format!("invalid utf-8 at offset {start}"))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let code =
+            u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape at {}", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n: f64 = text
+            .parse()
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))?;
+        if !n.is_finite() {
+            return Err(format!("non-finite number '{text}'"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        for text in ["null", "true", "false", "0", "-1.5", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(v.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"queries": [[[0, 0.5], [3, 1.0]]], "top_k": 5}"#).unwrap();
+        assert_eq!(v.get("top_k").and_then(Json::as_u64), Some(5));
+        let q = v.get("queries").and_then(Json::as_arr).unwrap();
+        assert_eq!(q[0].as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn escapes_survive_round_trip() {
+        let v = parse(r#""a\"b\\c\nd\u0041e\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAe\u{e9}"));
+        let re = parse(&Json::Str("a\"b\\c\nd".into()).to_string()).unwrap();
+        assert_eq!(re.as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn surrogate_pair_decodes() {
+        let v = parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for text in [
+            "", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "[1] x", "\"\\q\"",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_blocks_deep_nesting() {
+        let deep = "[".repeat(60) + &"]".repeat(60);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn f32_distances_round_trip_exactly() {
+        // The bench harness relies on this: Rust's shortest-repr float
+        // Display means f32 -> JSON -> f64 -> f32 is the identity.
+        for x in [0.123_456_79_f32, 1.0, 0.999_999_9, 3.402_823_5e38] {
+            let json = Json::Num(x as f64).to_string();
+            let back = parse(&json).unwrap().as_f64().unwrap() as f32;
+            assert_eq!(back, x);
+        }
+    }
+}

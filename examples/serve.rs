@@ -1,0 +1,116 @@
+//! Serving over HTTP: boot the wire surface on an ephemeral port, speak
+//! raw HTTP/1.1 at it from a plain `TcpStream` (exactly what `curl`
+//! would send), and drain gracefully.
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+
+use plsh::workload::{CorpusConfig, SyntheticCorpus};
+use plsh::{Index, PlshParams, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One round-trip: write a raw request, read until the server finishes
+/// the response (Content-Length framing keeps this simple).
+fn roundtrip(addr: std::net::SocketAddr, raw: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.read_to_string(&mut response).expect("read");
+    response
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> String {
+    roundtrip(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    roundtrip(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn main() -> plsh::Result<()> {
+    // A small synthetic tweet corpus and an index over it.
+    let corpus = SyntheticCorpus::generate(CorpusConfig {
+        num_docs: 2_000,
+        vocab_size: 5_000,
+        mean_words: 7.2,
+        zipf_exponent: 1.0,
+        duplicate_fraction: 0.2,
+        seed: 11,
+    });
+    let params = PlshParams::builder(corpus.dim())
+        .k(8)
+        .m(8)
+        .radius(0.9)
+        .seed(5)
+        .build()?;
+    let index = Index::builder(params).capacity(4_096).build()?;
+    index.add_batch(corpus.vectors())?;
+
+    // Port 0 = ephemeral; the OS picks, `server.addr()` reports.
+    let server = index
+        .serve_with(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind server");
+    let addr = server.addr();
+    println!("serving on http://{addr}\n");
+
+    // A radius search for the first document, as raw JSON-over-HTTP.
+    let doc = &corpus.vectors()[0];
+    let pairs: Vec<String> = doc
+        .indices()
+        .iter()
+        .zip(doc.values())
+        .map(|(i, v)| format!("[{i},{v}]"))
+        .collect();
+    let query_body = format!("{{\"queries\": [[{}]], \"top_k\": 3}}", pairs.join(","));
+    println!("POST /search → {}", post(addr, "/search", &query_body));
+
+    // Stream in a new document over the wire, then delete it again.
+    let ingest_body = format!("{{\"vectors\": [[{}]]}}", pairs.join(","));
+    let ingest_resp = post(addr, "/ingest", &ingest_body);
+    println!("POST /ingest → {ingest_resp}");
+    let new_id = ingest_resp
+        .rsplit_once("[")
+        .and_then(|(_, tail)| tail.split(']').next())
+        .unwrap_or("2000")
+        .to_string();
+    println!(
+        "POST /delete → {}",
+        post(addr, "/delete", &format!("{{\"id\": {new_id}}}"))
+    );
+
+    // Liveness and telemetry.
+    println!("GET /healthz → {}", get(addr, "/healthz"));
+    println!("GET /metrics → {}", get(addr, "/metrics"));
+
+    // Protocol robustness: an unknown route answers 404, it doesn't wedge.
+    println!("GET /nope → {}", get(addr, "/nope"));
+
+    // Graceful drain: stop accepting, finish queued work, drain the engine.
+    let report = server.shutdown();
+    println!(
+        "\nshutdown: drained={} merge_abandoned={}",
+        report.drained, report.merge_abandoned
+    );
+    Ok(())
+}

@@ -31,6 +31,12 @@ the design bars:
   and under-fault throughput (zero means a hang), post-heal answers
   bit-identical to the unfaulted twin, and the journal written through
   the faults recovering to those same answers.
+* serve — the HTTP wire surface under concurrent client load: positive
+  served qps and client-observed p50/p99 in both phases (during live
+  `/ingest` traffic and quiesced), shed_rate present in [0, 1] (shedding
+  is legal under overload), error_rate exactly 0 (a failed well-formed
+  request is a server bug at any scale), merges fired while serving, and
+  wire answers bit-identical to in-process search.
 * scaling — the 1/2/4/8-shard sweep: `answers_match` per shard count and
   multi-shard query qps >= 1.5x the 1-shard configuration. The speedup
   bar expresses cross-shard parallelism (quiesced) or merge-amplification
@@ -242,8 +248,41 @@ def check_faults(path, d):
           f"recovered in {d['time_to_recover_ms']} ms")
 
 
+def check_serve(path, d):
+    if not (isinstance(d["clients"], int) and d["clients"] >= 1):
+        fail(path, f"clients must be a positive integer, got {d['clients']!r}")
+    if not (d["ingest_points"] > 0 and d["requests_during_ingest"] > 0):
+        fail(path, "the served-ingest phase must have carried traffic: "
+                   f"{d['ingest_points']=} {d['requests_during_ingest']=}")
+    if d["merges_during_ingest"] < 1:
+        fail(path, "background merges must have fired while serving")
+    for phase in ("during_ingest", "quiesced"):
+        if not d[f"qps_{phase}"] > 0:
+            fail(path, f"qps_{phase} must be positive")
+        p50, p99 = d[f"p50_ms_{phase}"], d[f"p99_ms_{phase}"]
+        if not (p99 > 0 and p50 > 0):
+            fail(path, f"latency percentiles must be positive in the "
+                       f"{phase} phase, got p50={p50!r} p99={p99!r}")
+        if p99 < p50:
+            fail(path, f"p99 below p50 in the {phase} phase")
+    for key in ("shed_rate", "error_rate"):
+        if key not in d or not (0.0 <= d[key] <= 1.0):
+            fail(path, f"{key} must be present in [0, 1], got {d.get(key)!r}")
+    # Load shedding is legitimate under overload, but a *failed* request
+    # is a server bug at any scale — the wire surface never errors on
+    # well-formed traffic.
+    if d["error_rate"] != 0:
+        fail(path, f"error_rate must be 0, got {d['error_rate']!r}")
+    if d["answers_match"] is not True:
+        fail(path, "wire answers diverged from in-process search")
+    print(f"{path} OK: {d['qps_during_ingest']} qps during ingest / "
+          f"{d['qps_quiesced']} quiesced, p99 {d['p99_ms_during_ingest']} / "
+          f"{d['p99_ms_quiesced']} ms, shed_rate {d['shed_rate']}")
+
+
 CHECKS = {
     "throughput": check_throughput,
+    "serve": check_serve,
     "streaming": check_streaming,
     "scaling": check_scaling,
     "recovery": check_recovery,

@@ -42,8 +42,9 @@ use plsh_core::query::QueryStrategy;
 use plsh_core::search::{SearchHit, SearchRequest, SearchResponse};
 use plsh_core::snapshot::Snapshot;
 use plsh_core::sparse::SparseVector;
-use plsh_core::streaming::StreamingEngine;
+use plsh_core::streaming::{ShutdownReport, StreamingEngine};
 use plsh_parallel::ThreadPool;
+use plsh_server::{ServeBackend, Server, ServerConfig};
 use plsh_text::Vectorizer;
 
 /// Default node capacity when the builder does not set one (the paper's
@@ -440,6 +441,37 @@ impl Index {
         }
     }
 
+    /// Deadline-bounded graceful drain: seal buffered rows, join (or
+    /// abandon) background merges, and report what made it. On a sharded
+    /// index the shard queues drain first and the report folds across
+    /// shards. See [`plsh_core::streaming::StreamingEngine::shutdown`].
+    pub fn shutdown(&self, deadline: std::time::Duration) -> ShutdownReport {
+        match &self.backend {
+            Backend::Single(engine) => engine.shutdown(deadline),
+            Backend::Sharded(sharded) => sharded.shutdown(deadline),
+        }
+    }
+
+    /// Serves this index over HTTP with default [`ServerConfig`] — the
+    /// one-call path onto the wire surface (`POST /search`, `/ingest`,
+    /// `/delete`, `GET /healthz`, `/metrics`, `POST /ctl/shutdown`).
+    /// Bind port 0 for an ephemeral port; the clone handed to the server
+    /// shares this index's data. See [`plsh_server`] for protocol,
+    /// shedding, and drain semantics.
+    pub fn serve(&self, addr: impl std::net::ToSocketAddrs) -> std::io::Result<Server> {
+        self.serve_with(addr, ServerConfig::default())
+    }
+
+    /// [`serve`](Index::serve) with explicit [`ServerConfig`] (handler
+    /// threads, queue bound, body cap, shedding budgets, drain deadline).
+    pub fn serve_with(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        plsh_server::serve(Arc::new(self.clone()), addr, config)
+    }
+
     /// Stored points (live + deleted; on a sharded index this counts
     /// routed points, including any still in flight in shard queues).
     pub fn len(&self) -> usize {
@@ -496,6 +528,7 @@ impl Index {
                     purged_points: 0,
                     sealed_generations: 0,
                     merges: 0,
+                    pending_ingest: 0,
                     static_table_bytes: 0,
                     delta_table_bytes: 0,
                     sketch_bytes: 0,
@@ -511,6 +544,7 @@ impl Index {
                     agg.purged_points += e.purged_points;
                     agg.sealed_generations += e.sealed_generations;
                     agg.merges += e.merges;
+                    agg.pending_ingest += e.pending_ingest;
                     agg.static_table_bytes += e.static_table_bytes;
                     agg.delta_table_bytes += e.delta_table_bytes;
                     agg.sketch_bytes += e.sketch_bytes;
@@ -663,6 +697,39 @@ impl Index {
                     .into(),
             )
         })
+    }
+}
+
+/// What lets an [`Index`] sit behind the `plsh-server` wire surface —
+/// every endpoint delegates to the matching inherent method, so HTTP
+/// answers are byte-for-byte the in-process answers.
+impl ServeBackend for Index {
+    fn search(&self, req: &SearchRequest) -> Result<SearchResponse> {
+        Index::search(self, req)
+    }
+
+    fn insert_batch(&self, vs: &[SparseVector]) -> Result<Vec<u32>> {
+        Index::add_batch(self, vs)
+    }
+
+    fn delete(&self, id: u32) -> Result<bool> {
+        Index::delete(self, id)
+    }
+
+    fn health(&self) -> plsh_core::HealthReport {
+        Index::health(self)
+    }
+
+    fn stats(&self) -> EngineStats {
+        Index::stats(self)
+    }
+
+    fn epoch_info(&self) -> EpochInfo {
+        Index::epoch_info(self)
+    }
+
+    fn shutdown(&self, deadline: std::time::Duration) -> ShutdownReport {
+        Index::shutdown(self, deadline)
     }
 }
 

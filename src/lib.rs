@@ -61,6 +61,9 @@
 //! * [`cluster`] — the shard-per-core [`ShardedIndex`] scaling backend,
 //!   plus the multi-node coordinator / rolling-insert-window simulation
 //!   (Figures 1 and 9).
+//! * [`server`] — the HTTP/1.1 wire surface ([`Index::serve`]): search /
+//!   ingest / delete / healthz / metrics endpoints, load shedding, and
+//!   graceful drain.
 
 mod index;
 
@@ -68,6 +71,9 @@ pub use index::{Index, IndexBuilder};
 
 // The scaling backend behind `IndexBuilder::shards`.
 pub use plsh_cluster::{ShardedIndex, ShardedIndexBuilder, ShardedStats};
+
+// The wire surface behind `Index::serve`.
+pub use plsh_server::{ServeBackend, Server, ServerConfig};
 
 // The unified search surface and the types requests/responses carry.
 pub use plsh_core::search::{SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
@@ -87,5 +93,6 @@ pub use plsh_baselines as baselines;
 pub use plsh_cluster as cluster;
 pub use plsh_core as core;
 pub use plsh_parallel as parallel;
+pub use plsh_server as server;
 pub use plsh_text as text;
 pub use plsh_workload as workload;

@@ -8,12 +8,13 @@
 use std::path::Path;
 use std::process::Command;
 
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
     "durable_restart",
     "first_story_detection",
     "param_tuning",
     "quickstart",
     "save_restore",
+    "serve",
     "sharded_scaling",
     "streaming_firehose",
 ];
