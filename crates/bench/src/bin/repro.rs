@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "recovery",
     "serve",
     "faults",
+    "soak",
 ];
 
 fn main() {
@@ -158,6 +159,18 @@ fn main() {
                 let r = faults::run(&fixture);
                 r.print();
                 let path = faults::output_path();
+                match r.write_json(&path) {
+                    Ok(()) => eprintln!("# wrote {path}"),
+                    Err(e) => {
+                        eprintln!("# FAILED to write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "soak" => {
+                let r = soak::run(&fixture);
+                r.print();
+                let path = soak::output_path();
                 match r.write_json(&path) {
                     Ok(()) => eprintln!("# wrote {path}"),
                     Err(e) => {

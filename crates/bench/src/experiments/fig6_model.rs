@@ -159,6 +159,8 @@ fn run_dataset(
         static_tables: Some(&tables),
         deltas: &[],
         deleted: None,
+        base: 0,
+        retired_below: 0,
         m: params.m(),
         half_bits: params.half_bits(),
         radius: params.radius() as f32,

@@ -18,6 +18,7 @@ pub mod recall;
 pub mod recovery;
 pub mod scaling;
 pub mod serve;
+pub mod soak;
 pub mod streaming_live;
 pub mod streaming_overhead;
 pub mod table2;

@@ -328,9 +328,9 @@ impl Throughput {
         )
     }
 
-    /// Writes the JSON report to `path`.
+    /// Writes the JSON report to `path` (fsync + atomic rename).
     pub fn write_json(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json())
+        crate::setup::write_json_atomic(path, &self.to_json())
     }
 }
 

@@ -130,6 +130,35 @@ pub fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Durably writes a BENCH report: contents go to a `.tmp` sibling, are
+/// fsynced, renamed over `path`, and the parent directory is fsynced so
+/// the rename itself survives a crash. CI tails and the check scripts
+/// therefore never observe a half-written report.
+pub fn write_json_atomic(path: &str, json: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let target = std::path::Path::new(path);
+    let tmp = target.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, target)?;
+    if let Some(dir) = target.parent() {
+        let dir = if dir.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            dir
+        };
+        // Directory fsync is advisory on some filesystems; a failure to
+        // open the dir must not fail the write that already landed.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// Nearest-rank percentile of a set of batch latencies, in fractional
 /// milliseconds (0.0 for an empty sample). Sorts in place.
 pub fn percentile_ms(latencies: &mut [std::time::Duration], pct: u32) -> f64 {

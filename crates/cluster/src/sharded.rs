@@ -72,6 +72,7 @@
 //! assert!(resp.hits().iter().any(|h| h.index == ids[0]));
 //! ```
 
+use std::collections::VecDeque;
 use std::fs;
 use std::io::{self, Write};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -82,7 +83,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use plsh_core::engine::{EngineConfig, EngineStats, MergeReport};
+use plsh_core::engine::{EngineConfig, EngineStats, MergeReport, WindowSpec};
 use plsh_core::error::{PlshError, Result as CoreResult};
 use plsh_core::fault;
 use plsh_core::health::{HealthReport, WorkerHealth};
@@ -174,6 +175,33 @@ impl ShardedIndexBuilder {
                 predict_shard_count(&profile, &self.node)
             }
         };
+        // The window is cluster-driven: the spec lives on the router and
+        // every shard receives explicit `retire_to` cuts, so the shard
+        // engines are built windowless (an engine-local window would
+        // retire by *local* age and tear the cross-shard cut).
+        let window = self.node.window;
+        match window {
+            Some(WindowSpec::Docs(0)) => {
+                return Err(ClusterError::Topology(
+                    "window must keep at least one document".into(),
+                ));
+            }
+            Some(WindowSpec::Docs(n)) if n as usize >= self.node.capacity * shards => {
+                return Err(ClusterError::Topology(format!(
+                    "window of {n} docs must be smaller than the aggregate capacity ({}): \
+                     the resident span also holds the un-merged deltas",
+                    self.node.capacity * shards
+                )));
+            }
+            Some(WindowSpec::Duration(d)) if d.is_zero() => {
+                return Err(ClusterError::Topology(
+                    "window duration must be positive".into(),
+                ));
+            }
+            _ => {}
+        }
+        let mut node = self.node;
+        node.window = None;
         // Shard-per-core layout: shard i's ingest + merge workers pin to
         // core i (mod host threads); the query fan-out workers spread over
         // whatever cores the shards left free. `PLSH_PIN=off` — or a
@@ -188,7 +216,7 @@ impl ShardedIndexBuilder {
             // parallelism comes from the fan-out pool and the per-shard
             // ingest/merge threads, so intra-shard fan-out would only
             // oversubscribe.
-            let engine = StreamingEngine::new(self.node.clone(), ThreadPool::new(1))
+            let engine = StreamingEngine::new(node.clone(), ThreadPool::new(1))
                 .map_err(ClusterError::Node)?;
             if let Some(core) = pin_core {
                 engine.pin_merge_to(core);
@@ -214,13 +242,17 @@ impl ShardedIndexBuilder {
             });
         }
         Ok(ShardedIndex {
-            dim: self.node.params.dim(),
-            per_shard_capacity: self.node.capacity,
+            dim: node.params.dim(),
+            per_shard_capacity: node.capacity,
+            window,
             shards: shard_handles,
             fanout,
             router: Mutex::new(Router {
                 next_global: 0,
                 used: vec![0; shards],
+                retire_cursor: 0,
+                retired_used: vec![0; shards],
+                births: VecDeque::new(),
             }),
             total: AtomicU64::new(0),
             locals: RwLock::new(Vec::new()),
@@ -230,9 +262,13 @@ impl ShardedIndexBuilder {
 }
 
 /// One batch travelling down a shard's ingest queue (points already in
-/// shard-local id order).
+/// shard-local id order), plus the shard-local retirement watermark the
+/// cluster's window cut implies after this batch — applied by the ingest
+/// thread *after* the docs land, so the watermark can cover ids the batch
+/// itself carries.
 struct ShardBatch {
     docs: Vec<SparseVector>,
+    retire_to: Option<u32>,
 }
 
 /// One shard: a streaming engine plus its ingest queue and id map.
@@ -380,11 +416,30 @@ impl IngestProgress {
     }
 }
 
-/// Routing state, serialized by the router mutex: the global id counter
-/// and per-shard occupancy (for all-or-nothing capacity checks).
+/// Routing state, serialized by the router mutex: the global id counter,
+/// per-shard occupancy (for all-or-nothing capacity checks), and the
+/// sliding-window cut.
+///
+/// The window is cluster-driven: per-shard engines are built *without* a
+/// [`WindowSpec`] and receive explicit [`StreamingEngine::retire_to`]
+/// cuts instead, so every shard retires at the same global stream
+/// position even though global ids interleave across shards.
 struct Router {
     next_global: u32,
     used: Vec<usize>,
+    /// Global id below which the window has retired everything; ids in
+    /// `retire_cursor..next_global` are live. Only moves forward.
+    retire_cursor: u32,
+    /// Per-shard count of ids below `retire_cursor` routed to each shard —
+    /// exactly the shard-local watermark the cut maps to, because local
+    /// ids are assigned in routing order.
+    retired_used: Vec<usize>,
+    /// Batch birth times for a [`WindowSpec::Duration`] window:
+    /// `(inserted_at, end_global)` per routed batch, popped once aged out.
+    /// Lost across [`ShardedIndex::recover_from`] — the recovered
+    /// watermark is preserved and the clock restarts, so the window never
+    /// moves backwards.
+    births: VecDeque<(Instant, u32)>,
 }
 
 /// Aggregate accounting for a sharded index.
@@ -425,6 +480,9 @@ impl ShardedStats {
 pub struct ShardedIndex {
     dim: u32,
     per_shard_capacity: usize,
+    /// The cluster-level sliding window (shard engines are windowless;
+    /// the router ships them explicit cuts — see [`Router`]).
+    window: Option<WindowSpec>,
     shards: Vec<Shard>,
     fanout: ThreadPool,
     router: Mutex<Router>,
@@ -467,6 +525,20 @@ impl ShardedIndex {
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The cluster-level sliding window, if one was configured.
+    pub fn window(&self) -> Option<WindowSpec> {
+        self.window
+    }
+
+    /// Global id below which the sliding window has retired everything
+    /// (0 without a window). Monotone.
+    pub fn retired_below(&self) -> u32 {
+        self.router
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retire_cursor
     }
 
     /// Borrow one shard's streaming engine (tests, experiments).
@@ -539,7 +611,12 @@ impl ShardedIndex {
             if *add == 0 {
                 continue;
             }
-            if router.used[shard] + add > self.per_shard_capacity {
+            // Occupancy counts live rows only: a window's retired prefix
+            // is reclaimed by each shard's merge compaction, so it does
+            // not consume capacity (without a window `retired_used` stays
+            // zero and this is the classic check).
+            let live = router.used[shard] - router.retired_used[shard];
+            if live + add > self.per_shard_capacity {
                 return Err(ClusterError::Node(PlshError::CapacityExceeded {
                     capacity: self.per_shard_capacity,
                 }));
@@ -584,8 +661,46 @@ impl ShardedIndex {
         router.next_global += vs.len() as u32;
         self.total
             .store(router.next_global as u64, Ordering::Release);
+        // Advance the sliding window to the new stream head and translate
+        // the global cut into per-shard local watermarks. The cursor walk
+        // is O(1) amortized per routed id: every global id is visited
+        // exactly once over the index's lifetime.
+        let mut cuts: Vec<Option<u32>> = vec![None; self.shards.len()];
+        if let Some(spec) = self.window {
+            let cut = match spec {
+                WindowSpec::Docs(n) => router.next_global.saturating_sub(n),
+                WindowSpec::Duration(d) => {
+                    let now = Instant::now();
+                    if !vs.is_empty() {
+                        let end = router.next_global;
+                        router.births.push_back((now, end));
+                    }
+                    let mut cut = router.retire_cursor;
+                    while let Some(&(at, end)) = router.births.front() {
+                        if now.duration_since(at) < d {
+                            break;
+                        }
+                        cut = cut.max(end);
+                        router.births.pop_front();
+                    }
+                    cut
+                }
+            };
+            if cut > router.retire_cursor {
+                for g in router.retire_cursor..cut {
+                    let s = route_hash(g) as usize % self.shards.len();
+                    router.retired_used[s] += 1;
+                    cuts[s] = Some(router.retired_used[s] as u32);
+                }
+                router.retire_cursor = cut;
+            }
+        }
         for (shard, docs) in per_shard.into_iter().enumerate() {
-            if docs.is_empty() {
+            // Shards whose watermark advanced but got no docs still
+            // receive an (empty) batch carrying the cut, so the window
+            // edge stays consistent across shards.
+            let retire_to = cuts[shard];
+            if docs.is_empty() && retire_to.is_none() {
                 continue;
             }
             let len = docs.len();
@@ -598,7 +713,7 @@ impl ShardedIndex {
                 .tx
                 .as_ref()
                 .expect("ingest queues live as long as the index")
-                .send(ShardBatch { docs });
+                .send(ShardBatch { docs, retire_to });
             if sent.is_err() {
                 // The worker died between the pre-check and the send (the
                 // channel is disconnected, so this returns immediately —
@@ -1075,7 +1190,17 @@ impl ShardedIndex {
         // capture whatever landed (the dense-prefix truncation below
         // keeps the snapshot consistent regardless).
         let _ = self.flush();
-        let total = self.len();
+        // The flattened snapshot starts at the cluster's window cut:
+        // globals below it are dead by range tombstone, and some of their
+        // rows are already physically gone (a compacted shard cannot
+        // produce them), so the dense range the snapshot format requires
+        // begins at the cut. Dead-but-resident rows on shards whose merge
+        // lags are simply not captured — the restored engine starts past
+        // them with no purge backlog.
+        let (total, cut) = {
+            let router = self.router.lock().unwrap_or_else(|e| e.into_inner());
+            (router.next_global as usize, router.retire_cursor as usize)
+        };
         let caps: Vec<Snapshot> = self
             .shards
             .iter()
@@ -1086,14 +1211,22 @@ impl ShardedIndex {
             .iter()
             .map(|s| s.globals.read().unwrap_or_else(|e| e.into_inner()))
             .collect();
-        let mut rows: Vec<Option<SparseVector>> = vec![None; total];
+        let mut rows: Vec<Option<SparseVector>> = vec![None; total - cut];
         let mut deleted = Vec::new();
         let mut purged = Vec::new();
         for (cap, map) in caps.iter().zip(&globals) {
-            for (local, v) in cap.vectors.iter().enumerate() {
+            // `cap.vectors` holds resident rows only; `cap.base` is the
+            // shard-local id of the first one (nonzero once a windowed
+            // shard has compacted).
+            for (local, v) in cap
+                .vectors
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (cap.base as usize + i, v))
+            {
                 if let Some(&g) = map.get(local) {
-                    if (g as usize) < total {
-                        rows[g as usize] = Some(v.clone());
+                    if (g as usize) >= cut && (g as usize) < total {
+                        rows[g as usize - cut] = Some(v.clone());
                     }
                 }
             }
@@ -1108,17 +1241,22 @@ impl ShardedIndex {
                     .filter_map(|&l| map.get(l as usize).copied()),
             );
         }
-        let keep = rows.iter().position(Option::is_none).unwrap_or(total);
-        rows.truncate(keep);
-        deleted.retain(|&g| (g as usize) < keep);
-        purged.retain(|&g| (g as usize) < keep);
+        let keep = cut + rows.iter().position(Option::is_none).unwrap_or(total - cut);
+        rows.truncate(keep - cut);
+        deleted.retain(|&g| (g as usize) >= cut && (g as usize) < keep);
+        purged.retain(|&g| (g as usize) >= cut && (g as usize) < keep);
         deleted.sort_unstable();
+        deleted.dedup();
         purged.sort_unstable();
         Snapshot {
             params: caps[0].params.clone(),
             capacity: (self.per_shard_capacity * self.shards.len()) as u64,
             eta: caps[0].eta,
-            static_len: keep as u64,
+            static_len: (keep - cut) as u64,
+            // Everything below the cut is compacted away; the restored
+            // engine's id space starts there with no pending retirement.
+            base: cut as u64,
+            retired_below: cut as u64,
             vectors: rows.into_iter().map(|r| r.expect("dense prefix")).collect(),
             deleted,
             purged,
@@ -1158,6 +1296,7 @@ impl ShardedIndex {
             self.shards.len() as u32,
             self.dim,
             self.per_shard_capacity as u64,
+            self.window,
         );
         write_cluster_manifest(dir, &manifest).map_err(io_cluster)?;
         Ok(())
@@ -1184,7 +1323,7 @@ impl ShardedIndex {
                 format!("{}: no recoverable sharded index ({e})", dir.display()),
             ))
         })?;
-        let (num_shards, dim, per_shard_capacity) =
+        let (num_shards, dim, per_shard_capacity, window) =
             decode_cluster_manifest(&bytes).map_err(io_cluster)?;
         let fanout = repin_fanout(ThreadPool::default(), num_shards as usize);
         let states = (0..num_shards as usize)
@@ -1209,7 +1348,10 @@ impl ShardedIndex {
         let mut total = 0u32;
         loop {
             let shard = route_hash(total) as usize % s;
-            if keep[shard] == states[shard].total() {
+            // A shard's durable coverage is its whole id *space* — the
+            // window-compacted prefix included: those ids existed and are
+            // dead, not missing, so the global walk strides through them.
+            if keep[shard] == states[shard].static_base() as usize + states[shard].total() {
                 break;
             }
             locals.push(keep[shard] as u32);
@@ -1221,13 +1363,17 @@ impl ShardedIndex {
         let mut shard_handles = Vec::with_capacity(s);
         for (i, st) in states.iter().enumerate() {
             let sdir = shard_dir(dir, i);
-            let engine = if keep[i] == st.total() {
+            let engine = if keep[i] == st.static_base() as usize + st.total() {
                 persist::recover_engine_from_state(&sdir, st, &fanout)
                     .map_err(ClusterError::Node)?
             } else {
                 // This shard ran ahead of the crashed batch: rebuild the
-                // kept prefix and lay down a fresh baseline.
-                let engine = persist::rebuild_engine(st, Some(keep[i]), &fanout)
+                // kept prefix and lay down a fresh baseline. `keep` counts
+                // id-space positions; the rebuild wants *resident* rows
+                // past the compaction cut (saturating: a truncation point
+                // inside the compacted prefix keeps no rows).
+                let resident = keep[i].saturating_sub(st.static_base() as usize);
+                let engine = persist::rebuild_engine(st, Some(resident), &fanout)
                     .map_err(ClusterError::Node)?;
                 fs::remove_dir_all(&sdir).map_err(io_cluster)?;
                 engine.persist_to(&sdir).map_err(ClusterError::Node)?;
@@ -1258,14 +1404,44 @@ impl ShardedIndex {
                 status,
             });
         }
+        // Re-arm the cluster window cut. Each shard recovered its own
+        // local watermark (manifest + retire log); a crash can land with
+        // shards at different cuts, so pick the smallest global cursor
+        // whose routing covers every recovered watermark and retire the
+        // lagging shards up to it — the recovered index then sits on one
+        // consistent cross-shard window edge (watermarks are monotone, so
+        // this only ever advances a shard). A `Duration` window's birth
+        // clock restarts here: the preserved watermark keeps the window
+        // from moving backwards, and new inserts age out normally.
+        let mut retire_cursor = 0u32;
+        let mut retired_used = vec![0usize; s];
+        let recovered: Vec<u32> = shard_handles
+            .iter()
+            .map(|h| h.engine.engine().retired_below())
+            .collect();
+        if recovered.iter().any(|&r| r > 0) {
+            let mut counts = vec![0u32; s];
+            while counts.iter().zip(&recovered).any(|(&c, &r)| c < r) && retire_cursor < total {
+                counts[route_hash(retire_cursor) as usize % s] += 1;
+                retire_cursor += 1;
+            }
+            for (h, &c) in shard_handles.iter().zip(&counts) {
+                let _ = h.engine.retire_to(c);
+            }
+            retired_used = counts.iter().map(|&c| c as usize).collect();
+        }
         Ok(ShardedIndex {
             dim,
             per_shard_capacity: per_shard_capacity as usize,
+            window,
             shards: shard_handles,
             fanout,
             router: Mutex::new(Router {
                 next_global: total,
                 used: keep,
+                retire_cursor,
+                retired_used,
+                births: VecDeque::new(),
             }),
             total: AtomicU64::new(total as u64),
             locals: RwLock::new(locals),
@@ -1325,8 +1501,13 @@ fn split_budget(budget: usize, shards: usize) -> Vec<usize> {
 const CLUSTER_MANIFEST: &str = "MANIFEST";
 /// Cluster manifest magic.
 const CLUSTER_MAGIC: &[u8; 4] = b"PLSC";
-/// Cluster manifest format version.
-const CLUSTER_VERSION: u32 = 1;
+/// Cluster manifest format version. Version 2 added the sliding-window
+/// spec; version-1 directories decode with no window.
+const CLUSTER_VERSION: u32 = 2;
+/// Window tag bytes in the cluster manifest.
+const CW_NONE: u8 = 0;
+const CW_DOCS: u8 = 1;
+const CW_DURATION: u8 = 2;
 
 /// `dir/shard-<i>`: the per-shard engine directory.
 fn shard_dir(dir: &Path, shard: usize) -> PathBuf {
@@ -1344,29 +1525,42 @@ fn fnv1a(bytes: &[u8]) -> u32 {
     h
 }
 
-fn encode_cluster_manifest(shards: u32, dim: u32, per_shard_capacity: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(28);
+fn encode_cluster_manifest(
+    shards: u32,
+    dim: u32,
+    per_shard_capacity: u64,
+    window: Option<WindowSpec>,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(37);
     out.extend_from_slice(CLUSTER_MAGIC);
     out.extend_from_slice(&CLUSTER_VERSION.to_le_bytes());
     out.extend_from_slice(&shards.to_le_bytes());
     out.extend_from_slice(&dim.to_le_bytes());
     out.extend_from_slice(&per_shard_capacity.to_le_bytes());
+    let (tag, value) = match window {
+        None => (CW_NONE, 0u64),
+        Some(WindowSpec::Docs(n)) => (CW_DOCS, n as u64),
+        Some(WindowSpec::Duration(d)) => (CW_DURATION, d.as_nanos().min(u64::MAX as u128) as u64),
+    };
+    out.push(tag);
+    out.extend_from_slice(&value.to_le_bytes());
     let crc = fnv1a(&out);
     out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
-fn decode_cluster_manifest(bytes: &[u8]) -> io::Result<(u32, u32, u64)> {
+#[allow(clippy::type_complexity)]
+fn decode_cluster_manifest(bytes: &[u8]) -> io::Result<(u32, u32, u64, Option<WindowSpec>)> {
     let bad = |msg: &str| {
         io::Error::new(
             io::ErrorKind::InvalidData,
             format!("cluster manifest: {msg}"),
         )
     };
-    if bytes.len() != 28 {
+    if bytes.len() < 28 {
         return Err(bad("wrong length"));
     }
-    let (body, crc) = bytes.split_at(24);
+    let (body, crc) = bytes.split_at(bytes.len() - 4);
     if u32::from_le_bytes(crc.try_into().expect("4 bytes")) != fnv1a(body) {
         return Err(bad("checksum mismatch"));
     }
@@ -1374,8 +1568,14 @@ fn decode_cluster_manifest(bytes: &[u8]) -> io::Result<(u32, u32, u64)> {
         return Err(bad("bad magic"));
     }
     let word = |at: usize| u32::from_le_bytes(body[at..at + 4].try_into().expect("4 bytes"));
-    if word(4) != CLUSTER_VERSION {
-        return Err(bad("unsupported version"));
+    let version = word(4);
+    let expected_len = match version {
+        1 => 24,
+        2 => 33,
+        _ => return Err(bad("unsupported version")),
+    };
+    if body.len() != expected_len {
+        return Err(bad("wrong length"));
     }
     let shards = word(8);
     if shards == 0 {
@@ -1383,7 +1583,20 @@ fn decode_cluster_manifest(bytes: &[u8]) -> io::Result<(u32, u32, u64)> {
     }
     let dim = word(12);
     let per_shard_capacity = u64::from_le_bytes(body[16..24].try_into().expect("8 bytes"));
-    Ok((shards, dim, per_shard_capacity))
+    let window = if version >= 2 {
+        let value = u64::from_le_bytes(body[25..33].try_into().expect("8 bytes"));
+        match body[24] {
+            CW_NONE => None,
+            CW_DOCS => Some(WindowSpec::Docs(
+                u32::try_from(value).map_err(|_| bad("window size overflows u32"))?,
+            )),
+            CW_DURATION => Some(WindowSpec::Duration(Duration::from_nanos(value))),
+            _ => return Err(bad("unknown window tag")),
+        }
+    } else {
+        None
+    };
+    Ok((shards, dim, per_shard_capacity, window))
 }
 
 /// Writes the cluster manifest durably: temp file, fsync, rename.
@@ -1501,6 +1714,14 @@ fn spawn_ingest_worker(
                 }));
                 match outcome {
                     Ok(Ok(_)) => {
+                        if let Some(cut) = batch.retire_to {
+                            // After the docs: the cut may reference ids
+                            // this very batch carried, and `retire_to`
+                            // clamps to the assigned id range. A failure
+                            // here has already degraded the engine; the
+                            // next write surfaces it.
+                            let _ = engine.retire_to(cut);
+                        }
                         backoff.reset();
                         break;
                     }
@@ -1901,13 +2122,28 @@ mod tests {
 
     #[test]
     fn cluster_manifest_rejects_corruption() {
-        let good = encode_cluster_manifest(3, 64, 1_000);
-        assert_eq!(decode_cluster_manifest(&good).unwrap(), (3, 64, 1_000));
+        let good = encode_cluster_manifest(3, 64, 1_000, None);
+        assert_eq!(
+            decode_cluster_manifest(&good).unwrap(),
+            (3, 64, 1_000, None)
+        );
         let mut bad_crc = good.clone();
         bad_crc[8] ^= 1;
         assert!(decode_cluster_manifest(&bad_crc).is_err());
         assert!(decode_cluster_manifest(&good[..20]).is_err());
-        assert!(decode_cluster_manifest(&encode_cluster_manifest(0, 64, 10)).is_err());
+        assert!(decode_cluster_manifest(&encode_cluster_manifest(0, 64, 10, None)).is_err());
+    }
+
+    #[test]
+    fn cluster_manifest_round_trips_window_specs() {
+        for w in [
+            Some(WindowSpec::Docs(500)),
+            Some(WindowSpec::Duration(Duration::from_millis(1500))),
+            None,
+        ] {
+            let bytes = encode_cluster_manifest(4, 128, 2_000, w);
+            assert_eq!(decode_cluster_manifest(&bytes).unwrap(), (4, 128, 2_000, w));
+        }
     }
 
     #[test]
@@ -2049,5 +2285,132 @@ mod tests {
             "pacing must throttle the per-shard firehose, took {:?}",
             t0.elapsed()
         );
+    }
+    #[test]
+    fn windowed_cluster_retires_a_consistent_cross_shard_cut() {
+        let window = 60u32;
+        let index = ShardedIndex::builder(
+            EngineConfig::new(params(64), 1_000).with_window(WindowSpec::Docs(window)),
+        )
+        .shards(3)
+        .threads(2)
+        .build()
+        .unwrap();
+        assert_eq!(index.window(), Some(WindowSpec::Docs(window)));
+        let vs = random_vecs(200, 31);
+        for chunk in vs.chunks(25) {
+            index.insert_batch(chunk).unwrap();
+        }
+        index.flush().unwrap();
+        let cut = index.retired_below();
+        assert_eq!(
+            cut,
+            200 - window,
+            "cut must trail the stream head by the window"
+        );
+        // The cut is one consistent global position: every shard's local
+        // watermark equals the count of globals below the cut it owns.
+        let mut per_shard = vec![0u32; index.num_shards()];
+        for g in 0..cut {
+            per_shard[index.route(g)] += 1;
+        }
+        for (i, &expect) in per_shard.iter().enumerate() {
+            assert_eq!(
+                index.shard(i).engine().retired_below(),
+                expect,
+                "shard {i} watermark off the global cut"
+            );
+        }
+        // Retired points are gone from answers and lookups; live ones stay.
+        for (i, v) in vs.iter().enumerate() {
+            let hits = answers(&index, v);
+            if (i as u32) < cut {
+                assert!(index.vector(i as u32).is_none(), "retired {i} resolved");
+                assert!(
+                    hits.iter().all(|&(id, _)| id != i as u32),
+                    "retired {i} surfaced"
+                );
+            } else {
+                assert!(hits.iter().any(|&(id, _)| id == i as u32), "live {i} lost");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_cluster_matches_manual_delete_twin() {
+        let window = 50u32;
+        let windowed = ShardedIndex::builder(
+            EngineConfig::new(params(64), 1_000).with_window(WindowSpec::Docs(window)),
+        )
+        .shards(3)
+        .threads(2)
+        .build()
+        .unwrap();
+        let twin = sharded(3, 1_000);
+        let vs = random_vecs(170, 32);
+        for chunk in vs.chunks(23) {
+            windowed.insert_batch(chunk).unwrap();
+            twin.insert_batch(chunk).unwrap();
+            windowed.flush().unwrap();
+            twin.flush().unwrap();
+            for id in 0..windowed.retired_below() {
+                let _ = twin.delete(id);
+            }
+        }
+        windowed.quiesce().unwrap();
+        twin.quiesce().unwrap();
+        for v in &vs {
+            assert_eq!(
+                answers(&windowed, v),
+                answers(&twin, v),
+                "windowed cluster diverged from its delete twin"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_cluster_recovers_its_window_edge() {
+        let dir = tempdir("window-recovery");
+        let window = 40u32;
+        let vs = random_vecs(150, 33);
+        let cut_before;
+        {
+            let index = ShardedIndex::builder(
+                EngineConfig::new(params(64), 1_000).with_window(WindowSpec::Docs(window)),
+            )
+            .shards(3)
+            .threads(2)
+            .build()
+            .unwrap();
+            index.persist_to(&dir).unwrap();
+            for chunk in vs.chunks(19) {
+                index.insert_batch(chunk).unwrap();
+            }
+            index.quiesce().unwrap();
+            cut_before = index.retired_below();
+            assert_eq!(cut_before, 150 - window);
+        }
+        let recovered = ShardedIndex::recover_from(&dir).unwrap();
+        assert_eq!(recovered.window(), Some(WindowSpec::Docs(window)));
+        assert_eq!(recovered.len(), 150);
+        assert_eq!(
+            recovered.retired_below(),
+            cut_before,
+            "recovery must land on the same window edge"
+        );
+        for (i, v) in vs.iter().enumerate() {
+            let hits = answers(&recovered, v);
+            if (i as u32) < cut_before {
+                assert!(hits.iter().all(|&(id, _)| id != i as u32));
+            } else {
+                assert!(hits.iter().any(|&(id, _)| id == i as u32), "live {i} lost");
+            }
+        }
+        // The recovered cluster keeps sliding: new inserts advance the cut.
+        let more = random_vecs(60, 34);
+        recovered.insert_batch(&more).unwrap();
+        recovered.flush().unwrap();
+        assert_eq!(recovered.retired_below(), 210 - window);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

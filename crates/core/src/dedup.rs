@@ -35,6 +35,11 @@ pub struct CandidateSet {
     words: Vec<u64>,
     /// Unique ids in discovery order (also the clear list).
     candidates: Vec<u32>,
+    /// Smallest id the bitvector can represent: bit `i` covers id
+    /// `base + i`. A sliding-window engine compacts its retired prefix
+    /// away, so ids keep growing while the *live span* stays bounded —
+    /// rebasing keeps the bitvector sized to the span, not the lifetime.
+    base: u32,
 }
 
 impl CandidateSet {
@@ -43,7 +48,22 @@ impl CandidateSet {
         Self {
             words: vec![0u64; capacity.div_ceil(64)],
             candidates: Vec::new(),
+            base: 0,
         }
+    }
+
+    /// Re-anchors the bitvector at `base`: subsequent inserts cover ids
+    /// `base..base + capacity`. Must be called on an empty (cleared) set.
+    #[inline]
+    pub fn rebase(&mut self, base: u32) {
+        debug_assert!(self.candidates.is_empty(), "rebase of a non-empty set");
+        self.base = base;
+    }
+
+    /// The id bit 0 covers.
+    #[inline]
+    pub fn base(&self) -> u32 {
+        self.base
     }
 
     /// Capacity in ids.
@@ -65,8 +85,10 @@ impl CandidateSet {
     /// bit, set it if clear.
     #[inline]
     pub fn insert(&mut self, id: u32) -> bool {
-        let word = (id >> 6) as usize;
-        let bit = 1u64 << (id & 63);
+        debug_assert!(id >= self.base, "id {id} below base {}", self.base);
+        let off = id - self.base;
+        let word = (off >> 6) as usize;
+        let bit = 1u64 << (off & 63);
         debug_assert!(word < self.words.len(), "id {id} beyond capacity");
         let w = self.words[word];
         if w & bit != 0 {
@@ -80,8 +102,9 @@ impl CandidateSet {
     /// True iff `id` has been inserted since the last clear.
     #[inline]
     pub fn contains(&self, id: u32) -> bool {
-        let word = (id >> 6) as usize;
-        self.words[word] & (1u64 << (id & 63)) != 0
+        let off = id - self.base;
+        let word = (off >> 6) as usize;
+        self.words[word] & (1u64 << (off & 63)) != 0
     }
 
     /// Number of unique ids inserted.
@@ -112,7 +135,7 @@ impl CandidateSet {
             let mut bits = w;
             while bits != 0 {
                 let b = bits.trailing_zeros();
-                out.push((wi * 64) as u32 + b);
+                out.push(self.base + (wi * 64) as u32 + b);
                 bits &= bits - 1;
             }
         }
@@ -123,7 +146,7 @@ impl CandidateSet {
     /// Clears the set in `O(candidates)` by zeroing only touched words.
     pub fn clear(&mut self) {
         for &id in &self.candidates {
-            self.words[(id >> 6) as usize] = 0;
+            self.words[((id - self.base) >> 6) as usize] = 0;
         }
         self.candidates.clear();
     }
@@ -215,6 +238,26 @@ mod tests {
         s.extract_sorted(&mut out);
         let expect: Vec<u32> = reference.into_iter().collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn rebase_covers_a_sliding_span() {
+        let mut s = CandidateSet::new(128);
+        s.rebase(1_000_000);
+        assert!(s.insert(1_000_000));
+        assert!(s.insert(1_000_127));
+        assert!(!s.insert(1_000_000));
+        assert!(s.contains(1_000_127));
+        assert_eq!(s.candidates(), &[1_000_000, 1_000_127]);
+        let mut out = Vec::new();
+        s.extract_sorted(&mut out);
+        assert_eq!(out, vec![1_000_000, 1_000_127]);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(1_000_000));
+        s.rebase(2_000_000);
+        assert!(s.insert(2_000_001));
+        assert_eq!(s.candidates(), &[2_000_001]);
     }
 
     #[test]

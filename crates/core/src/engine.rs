@@ -78,6 +78,30 @@ pub struct EngineConfig {
     pub seal_min_points: usize,
     /// Chunking and back-off knobs of [`Engine::merge_delta_paced`].
     pub merge_pacing: MergePacing,
+    /// Sliding-window retirement: when set, every insert advances a
+    /// retire-by-age watermark so only the newest window stays live (see
+    /// [`WindowSpec`]). `None` (the default) keeps every point until it is
+    /// explicitly deleted.
+    pub window: Option<WindowSpec>,
+}
+
+/// A sliding-window policy: how much history stays live.
+///
+/// Retirement is a single **range tombstone** — a watermark global id
+/// below which every point is dead — rather than per-id bitmap bits.
+/// Queries filter the watermark for free alongside the deletion bitmap;
+/// the next merge *compacts* the window by rebasing the static structure
+/// at the watermark, reclaiming rows, bucket entries, and bitmap words in
+/// the same radix-partition pass that already purges tombstones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Keep the newest `n` documents live.
+    Docs(u32),
+    /// Keep documents inserted within the trailing duration live. Ages are
+    /// measured from insert time on this node; after a restart the clock
+    /// restarts at recovery (the recovered watermark is preserved, so the
+    /// window never moves backwards).
+    Duration(Duration),
 }
 
 /// Pacing knobs of the cooperative (stepped) merge: how much work one
@@ -131,7 +155,14 @@ impl EngineConfig {
             vectorized_hashing: true,
             seal_min_points: 1,
             merge_pacing: MergePacing::default(),
+            window: None,
         }
+    }
+
+    /// Enables sliding-window retirement (see [`WindowSpec`]).
+    pub fn with_window(mut self, window: WindowSpec) -> Self {
+        self.window = Some(window);
+        self
     }
 
     /// Sets the delta fraction `η`.
@@ -192,6 +223,29 @@ impl EngineConfig {
                 self.eta
             )));
         }
+        match self.window {
+            Some(WindowSpec::Docs(0)) => {
+                return Err(PlshError::InvalidParams(
+                    "window must keep at least one document".into(),
+                ));
+            }
+            Some(WindowSpec::Docs(n)) if n as usize >= self.capacity => {
+                // The resident span (window + un-merged delta + batch in
+                // flight) must fit the capacity, so the window itself has
+                // to leave headroom for the delta.
+                return Err(PlshError::InvalidParams(format!(
+                    "window of {n} docs must be smaller than the capacity ({}): the resident \
+                     span also holds the un-merged delta",
+                    self.capacity
+                )));
+            }
+            Some(WindowSpec::Duration(d)) if d.is_zero() => {
+                return Err(PlshError::InvalidParams(
+                    "window duration must be positive".into(),
+                ));
+            }
+            _ => {}
+        }
         Ok(())
     }
 }
@@ -208,22 +262,29 @@ impl EngineConfig {
 struct DeletionBitmap {
     words: Vec<AtomicU64>,
     count: AtomicUsize,
+    /// Global id bit 0 covers; always the epoch's `static_base`. A merge
+    /// that compacts a retired window publishes a rebased copy, so the
+    /// bitmap stays sized to the live span rather than the id lifetime.
+    base: u32,
 }
 
 impl DeletionBitmap {
-    fn new(capacity: usize) -> Self {
+    fn new(base: u32, capacity: usize) -> Self {
         Self {
             words: (0..capacity.div_ceil(64))
                 .map(|_| AtomicU64::new(0))
                 .collect(),
             count: AtomicUsize::new(0),
+            base,
         }
     }
 
-    /// Sets the bit for `id`; returns `false` if it was already set.
+    /// Sets the bit for `id` (must be `>= base`); returns `false` if it
+    /// was already set.
     fn set(&self, id: u32) -> bool {
-        let bit = 1u64 << (id & 63);
-        let prev = self.words[(id >> 6) as usize].fetch_or(bit, Ordering::Relaxed);
+        let off = id - self.base;
+        let bit = 1u64 << (off & 63);
+        let prev = self.words[(off >> 6) as usize].fetch_or(bit, Ordering::Relaxed);
         if prev & bit != 0 {
             return false;
         }
@@ -231,24 +292,31 @@ impl DeletionBitmap {
         true
     }
 
+    /// True iff the bit for `id` is set; ids below `base` (retired and
+    /// compacted away) report `false` — the watermark, not the bitmap,
+    /// accounts for them.
     fn is_set(&self, id: u32) -> bool {
-        self.words[(id >> 6) as usize].load(Ordering::Relaxed) & (1u64 << (id & 63)) != 0
+        if id < self.base {
+            return false;
+        }
+        let off = id - self.base;
+        self.words[(off >> 6) as usize].load(Ordering::Relaxed) & (1u64 << (off & 63)) != 0
     }
 
     fn count(&self) -> usize {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Set ids below `limit`, ascending (snapshot capture, manifest
-    /// writes).
-    fn set_ids(&self, limit: u32) -> Vec<u32> {
+    /// Set ids in `[lo, limit)`, ascending (snapshot capture, manifest
+    /// writes, live-point accounting).
+    fn set_ids_in(&self, lo: u32, limit: u32) -> Vec<u32> {
         let mut ids = Vec::new();
         for (wi, word) in self.words.iter().enumerate() {
             let mut bits = word.load(Ordering::Relaxed);
             while bits != 0 {
-                let id = (wi * 64) as u32 + bits.trailing_zeros();
+                let id = self.base + (wi * 64) as u32 + bits.trailing_zeros();
                 bits &= bits - 1;
-                if id < limit {
+                if id >= lo && id < limit {
                     ids.push(id);
                 }
             }
@@ -256,7 +324,13 @@ impl DeletionBitmap {
         ids
     }
 
-    /// Plain-integer snapshot of the words (the merge's purge decision).
+    /// Set ids below `limit`, ascending.
+    fn set_ids(&self, limit: u32) -> Vec<u32> {
+        self.set_ids_in(0, limit)
+    }
+
+    /// Plain-integer snapshot of the words, covering ids
+    /// `base..base + capacity` (the merge's purge decision).
     fn snapshot(&self) -> Vec<u64> {
         self.words
             .iter()
@@ -264,46 +338,61 @@ impl DeletionBitmap {
             .collect()
     }
 
-    /// A copy of this bitmap with the bits of `purged` ids reclaimed.
-    fn cloned_without(&self, purged: &[u32]) -> Self {
-        let mut words: Vec<u64> = self
-            .words
-            .iter()
-            .map(|w| w.load(Ordering::Relaxed))
-            .collect();
-        for &id in purged {
-            words[(id >> 6) as usize] &= !(1u64 << (id & 63));
+    /// A copy of this bitmap re-anchored at `new_base` (`>= base`) with
+    /// the bits of `purged` ids reclaimed. Bits below `new_base` belong to
+    /// compacted rows and are dropped wholesale.
+    fn rebased_without(&self, purged: &[u32], new_base: u32) -> Self {
+        debug_assert!(new_base >= self.base);
+        let fresh = Self::new(new_base, self.words.len() * 64);
+        for (wi, word) in self.words.iter().enumerate() {
+            let mut bits = word.load(Ordering::Relaxed);
+            while bits != 0 {
+                let id = self.base + (wi * 64) as u32 + bits.trailing_zeros();
+                bits &= bits - 1;
+                if id >= new_base && purged.binary_search(&id).is_err() {
+                    fresh.set(id);
+                }
+            }
         }
-        let count = words.iter().map(|w| w.count_ones() as usize).sum();
-        Self {
-            words: words.into_iter().map(AtomicU64::new).collect(),
-            count: AtomicUsize::new(count),
-        }
+        fresh
     }
 }
 
 /// One published epoch: everything a query needs, immutable once stored.
 struct EngineView {
-    /// Rows `0..static_len`, consolidated at the last merge.
+    /// Rows of global ids `static_base..static_base + num_rows`,
+    /// consolidated at the last merge.
     static_data: Arc<CrsMatrix>,
-    /// Static tables over those rows (minus purged ids).
+    /// Static tables over those rows (minus purged ids; entries are
+    /// global ids).
     statics: Option<Arc<StaticTables>>,
-    /// Sealed generations, ascending and contiguous from `static_len`.
+    /// Sealed generations, ascending and contiguous from
+    /// `static_base + static rows`.
     sealed: Vec<Arc<DeltaGeneration>>,
-    /// Tombstone bits; swapped for a purged copy at each merge.
+    /// Tombstone bits over `static_base..`; swapped for a purged (and,
+    /// under a window, rebased) copy at each merge.
     deleted: Arc<DeletionBitmap>,
-    /// Cached `static_len + Σ sealed lens`.
+    /// One-past-the-end global id of the sealed prefix.
     visible_len: u32,
+    /// Global id of `static_data` row 0 (0 unless a window compaction has
+    /// retired a prefix).
+    static_base: u32,
+    /// Range tombstone: every id below this watermark is retired. Always
+    /// `>= static_base`; rows in `static_base..retired_below` are dead but
+    /// not yet compacted away (the next merge reclaims them).
+    retired_below: u32,
 }
 
 impl EngineView {
-    fn empty(dim: u32, capacity: usize) -> Self {
+    fn empty(dim: u32, capacity: usize, base: u32) -> Self {
         Self {
             static_data: Arc::new(CrsMatrix::new(dim)),
             statics: None,
             sealed: Vec::new(),
-            deleted: Arc::new(DeletionBitmap::new(capacity)),
-            visible_len: 0,
+            deleted: Arc::new(DeletionBitmap::new(base, capacity)),
+            visible_len: base,
+            static_base: base,
+            retired_below: base,
         }
     }
 
@@ -318,15 +407,43 @@ impl EngineView {
             sealed,
             deleted: prev.deleted.clone(),
             visible_len,
+            static_base: prev.static_base,
+            retired_below: prev.retired_below,
         }
     }
 
+    /// A structurally identical epoch with the retirement watermark
+    /// advanced to `watermark` (a pointer-move publish, like sealing).
+    fn with_watermark(prev: &EngineView, watermark: u32) -> Self {
+        Self {
+            static_data: prev.static_data.clone(),
+            statics: prev.statics.clone(),
+            sealed: prev.sealed.clone(),
+            deleted: prev.deleted.clone(),
+            visible_len: prev.visible_len,
+            static_base: prev.static_base,
+            retired_below: watermark,
+        }
+    }
+
+    /// Rows resident in the static structure.
     fn static_len(&self) -> usize {
         self.static_data.num_rows()
     }
 
+    /// One-past-the-end global id of the static structure.
+    fn static_end(&self) -> u32 {
+        self.static_base + self.static_data.num_rows() as u32
+    }
+
     fn sealed_points(&self) -> usize {
-        self.visible_len as usize - self.static_len()
+        (self.visible_len - self.static_end()) as usize
+    }
+
+    /// Points a query against this epoch can touch (the scratch and
+    /// candidate-bitvector sizing): the resident visible span.
+    fn visible_span(&self) -> usize {
+        (self.visible_len - self.static_base) as usize
     }
 }
 
@@ -335,12 +452,21 @@ struct WriteState {
     /// The generation currently accepting inserts (invisible to queries
     /// until sealed). `None` between seals.
     open: Option<DeltaGeneration>,
-    /// Total ids assigned (static + sealed + open).
+    /// Total ids assigned over the engine's lifetime (retired + static +
+    /// sealed + open); ids are never reused.
     total: u32,
     /// Sorted global ids purged from static epochs by past merges. Their
     /// bitvector bits are reclaimed, they sit in no bucket, but their row
-    /// slots remain so ids stay stable.
+    /// slots remain so ids stay stable. Pruned below the window watermark
+    /// at each compacting merge (retired ids need no per-id record).
     purged: Vec<u32>,
+    /// The write-side copy of the retirement watermark (the epoch carries
+    /// the reader-visible one).
+    retired_below: u32,
+    /// Batch birth times for [`WindowSpec::Duration`]: `(inserted_at,
+    /// one-past-the-end id)` per batch, popped once aged out. Empty for
+    /// doc-count windows.
+    births: std::collections::VecDeque<(Instant, u32)>,
 }
 
 /// Timing of the most recent merge (streaming observability).
@@ -350,6 +476,9 @@ pub struct MergeReport {
     pub merged_points: usize,
     /// Tombstoned ids purged from the tables by this merge.
     pub purged_points: usize,
+    /// Window-retired rows compacted away by this merge (the static
+    /// structure was rebased past them, reclaiming their memory).
+    pub retired_rows_reclaimed: usize,
     /// Off-to-the-side build time (queries keep running throughout).
     pub build: Duration,
     /// Publication window: the write-lock hold for the epoch swap — the
@@ -399,6 +528,18 @@ pub struct EngineStats {
     /// Pool workers process-wide currently pinned to a core (0 when
     /// `PLSH_PIN=off`, on single-threaded hosts, or with no pinned pools).
     pub pinned_workers: usize,
+    /// Points answerable right now: inside the window, not tombstoned.
+    pub live_points: usize,
+    /// Points retired by the sliding window over the engine's lifetime
+    /// (the watermark itself; 0 without a window).
+    pub retired_points: usize,
+    /// Retired points still physically resident — dead rows the next
+    /// compacting merge will reclaim.
+    pub retired_pending_purge: usize,
+    /// Points currently resident beyond what the window spec allows —
+    /// how far retirement lags the configured window (0 without a window;
+    /// transiently nonzero between a batch landing and its retirement).
+    pub window_lag: usize,
 }
 
 /// Snapshot of the engine's published epoch (tests, benches, monitoring).
@@ -412,9 +553,15 @@ pub struct EpochInfo {
     pub sealed_generations: usize,
     /// Points across the sealed generations.
     pub sealed_points: usize,
-    /// `static_points + sealed_points` — what queries against this epoch
-    /// can see.
+    /// `static_points + sealed_points` — the resident span queries
+    /// against this epoch can see (window-compacted prefixes excluded).
     pub visible_points: usize,
+    /// Global id of the oldest resident point (0 unless a window
+    /// compaction has rebased the static structure).
+    pub static_base: u32,
+    /// The retirement watermark: ids below it are dead (equals
+    /// `static_base` without a window).
+    pub retired_below: u32,
 }
 
 /// Whether [`Engine::merge_delta_paced`] actually paces, controlled by
@@ -496,11 +643,13 @@ impl Engine {
         };
         let scratches = ScratchPool::new(p.m(), p.half_bits(), p.dim());
         Ok(Self {
-            epoch: EpochPtr::new(Arc::new(EngineView::empty(p.dim(), config.capacity))),
+            epoch: EpochPtr::new(Arc::new(EngineView::empty(p.dim(), config.capacity, 0))),
             write: Mutex::new(WriteState {
                 open: None,
                 total: 0,
                 purged: Vec::new(),
+                retired_below: 0,
+                births: std::collections::VecDeque::new(),
             }),
             merge_lock: Mutex::new(()),
             total: AtomicUsize::new(0),
@@ -546,13 +695,22 @@ impl Engine {
         // Saturating: between the two loads a concurrent merge may publish
         // a static epoch that already covers points this `len()` read
         // predates.
-        self.len().saturating_sub(self.static_len())
+        self.len()
+            .saturating_sub(self.epoch.snapshot().static_end() as usize)
     }
 
     /// Points visible to queries right now (static + sealed; excludes an
-    /// unsealed open generation).
+    /// unsealed open generation). This is a **global id bound** — ids
+    /// `0..visible_len` have been published — not a resident count: under
+    /// a sliding window the compacted prefix no longer occupies memory.
     pub fn visible_len(&self) -> usize {
         self.epoch.snapshot().visible_len as usize
+    }
+
+    /// The retirement watermark: every id below it is retired (0 without
+    /// a window and before any [`retire_to`](Self::retire_to)).
+    pub fn retired_below(&self) -> u32 {
+        self.epoch.snapshot().retired_below
     }
 
     /// The published epoch's shape; its invariant
@@ -565,28 +723,40 @@ impl Engine {
             static_points: view.static_len(),
             sealed_generations: view.sealed.len(),
             sealed_points: view.sealed_points(),
-            visible_points: view.visible_len as usize,
+            visible_points: view.visible_span(),
+            static_base: view.static_base,
+            retired_below: view.retired_below,
         }
     }
 
-    /// Node capacity `C`.
+    /// Node capacity `C` — a bound on the *resident span* (window + delta
+    /// + open generation), not on lifetime ids.
     pub fn capacity(&self) -> usize {
         self.config.capacity
     }
 
-    /// Remaining insert headroom.
+    /// Remaining insert headroom (resident span left under the capacity).
     pub fn remaining_capacity(&self) -> usize {
-        self.config.capacity - self.len()
+        // Saturating on both subtractions: a concurrent merge can advance
+        // the base between the two loads.
+        let resident = self
+            .len()
+            .saturating_sub(self.epoch.snapshot().static_base as usize);
+        self.config.capacity.saturating_sub(resident)
     }
 
     /// The stored vector for point `id`, or `None` when the id is out of
-    /// range or was purged from the tables by a past merge (purged row
-    /// slots persist so ids stay stable, but their contents are no longer
-    /// part of the index). A tombstoned-but-unpurged id still returns its
-    /// row — the data is retained until the next merge.
+    /// range, below the retirement watermark, or was purged from the
+    /// tables by a past merge (purged row slots persist so ids stay
+    /// stable, but their contents are no longer part of the index). A
+    /// tombstoned-but-unpurged id still returns its row — the data is
+    /// retained until the next merge.
     pub fn vector(&self, id: u32) -> Option<SparseVector> {
         let view = self.epoch.snapshot();
-        if (id as usize) < view.static_len() {
+        if id < view.retired_below {
+            return None;
+        }
+        if id < view.static_end() {
             // Static ids are the only ones a merge can have purged.
             if self
                 .write
@@ -598,7 +768,7 @@ impl Engine {
             {
                 return None;
             }
-            return Some(view.static_data.row_vector(id));
+            return Some(view.static_data.row_vector(id - view.static_base));
         }
         if let Some(v) = Self::view_vector(&view, id) {
             return Some(v);
@@ -617,8 +787,11 @@ impl Engine {
     }
 
     fn view_vector(view: &EngineView, id: u32) -> Option<SparseVector> {
-        if (id as usize) < view.static_len() {
-            return Some(view.static_data.row_vector(id));
+        if id < view.static_base {
+            return None;
+        }
+        if id < view.static_end() {
+            return Some(view.static_data.row_vector(id - view.static_base));
         }
         view.sealed
             .iter()
@@ -672,7 +845,11 @@ impl Engine {
         if self.is_degraded() {
             return Err(self.degraded_error());
         }
-        if w.total as usize + vs.len() > self.config.capacity {
+        // Capacity bounds the *resident span* (compacted prefixes cost
+        // nothing); without a window the base stays 0 and this is the
+        // classic total-vs-capacity check.
+        let resident = (w.total - self.epoch.snapshot().static_base) as usize;
+        if resident + vs.len() > self.config.capacity {
             return Err(PlshError::CapacityExceeded {
                 capacity: self.config.capacity,
             });
@@ -711,11 +888,48 @@ impl Engine {
             }
         }
         let ids: Vec<u32> = (from..from + vs.len() as u32).collect();
-        let sealed_points = w.total as usize
-            - w.open.as_ref().map_or(0, DeltaGeneration::len)
-            - self.epoch.snapshot().static_len();
+        // Advance the window watermark over whatever the batch aged out.
+        // Retirement is one fsynced log record plus a pointer-move epoch
+        // publish; the rows themselves wait for the next merge.
+        if let Some(spec) = self.config.window {
+            let target = match spec {
+                WindowSpec::Docs(n) => w.total.saturating_sub(n),
+                WindowSpec::Duration(d) => {
+                    let now = Instant::now();
+                    if !vs.is_empty() {
+                        let end = w.total;
+                        w.births.push_back((now, end));
+                    }
+                    let mut target = w.retired_below;
+                    while let Some(&(at, end)) = w.births.front() {
+                        if now.duration_since(at) < d {
+                            break;
+                        }
+                        target = target.max(end);
+                        w.births.pop_front();
+                    }
+                    target
+                }
+            };
+            if target > w.retired_below {
+                // The batch itself already landed (and is durable); a
+                // failing retirement degrades the engine like a failing
+                // delete would, surfaced on the *next* write.
+                let _ = self.retire_locked(&mut w, target);
+            }
+        }
+        let view = self.epoch.snapshot();
+        let sealed_points = (w.total - w.open.as_ref().map_or(0, DeltaGeneration::len) as u32)
+            .saturating_sub(view.static_end()) as usize;
+        // A merge is due when the un-merged delta crosses η·C — or, under
+        // a window, when enough retired rows await compaction that a merge
+        // would reclaim η·C worth of memory. Both ride the same background
+        // merge, so the resident span stays ≈ window + η·C + batch.
+        let retire_backlog =
+            (w.retired_below.min(view.visible_len)).saturating_sub(view.static_base) as usize;
+        let threshold = self.config.eta * self.config.capacity as f64;
         let merge_due = self.config.auto_merge
-            && sealed_points as f64 >= self.config.eta * self.config.capacity as f64;
+            && (sealed_points as f64 >= threshold || retire_backlog as f64 >= threshold);
         drop(w);
         Ok((ids, merge_due))
     }
@@ -813,30 +1027,46 @@ impl Engine {
         let v0 = self.epoch.snapshot();
         let gens = v0.sealed.clone();
         let merge_end = v0.visible_len;
+        let old_base = v0.static_base;
+        // Window compaction target: everything below the new base leaves
+        // the static structure wholesale — rows, bucket entries, bitmap
+        // bits — in the same pass that purges per-id tombstones. Clamped
+        // to the merge's coverage; a watermark beyond it (retired rows
+        // still in the open generation) is caught by a later merge.
+        let new_base = v0.retired_below.clamp(old_base, merge_end);
 
         // Purge decision: one bitvector snapshot, applied identically to
-        // all L tables. Only ids below `merge_end` participate (later ids
-        // are not part of this merge).
+        // all L tables. Only surviving ids in `[new_base, merge_end)`
+        // participate (retired ids are dropped by the watermark, later
+        // ids are not part of this merge).
         let tombstones = v0.deleted.snapshot();
         let mut purged_now: Vec<u32> = Vec::new();
         for (wi, &word) in tombstones.iter().enumerate() {
             let mut bits = word;
             while bits != 0 {
-                let id = (wi * 64) as u32 + bits.trailing_zeros();
+                let id = old_base + (wi * 64) as u32 + bits.trailing_zeros();
                 bits &= bits - 1;
-                if id < merge_end {
+                if id >= new_base && id < merge_end {
                     purged_now.push(id);
                 }
             }
         }
-        if gens.is_empty() && purged_now.is_empty() {
-            return; // nothing to fold, nothing to purge: the epoch stands
+        if gens.is_empty() && purged_now.is_empty() && new_base == old_base {
+            return; // nothing to fold, purge, or compact: the epoch stands
         }
 
-        // Build the next epoch off to the side.
-        let mut static_data = (*v0.static_data).clone();
+        // Build the next epoch off to the side: the static suffix
+        // surviving the window, then every sealed row at or beyond the
+        // new base (a straddled generation contributes its suffix).
+        let mut static_data = if new_base == old_base {
+            (*v0.static_data).clone()
+        } else {
+            let mut compacted = CrsMatrix::new(p.dim());
+            compacted.extend_from_range(&v0.static_data, (new_base - old_base) as usize);
+            compacted
+        };
         for g in &gens {
-            static_data.extend_from(g.data());
+            static_data.extend_from_range(g.data(), new_base.saturating_sub(g.base()) as usize);
         }
         let mut yielded = Duration::ZERO;
         let statics = match pacing {
@@ -847,6 +1077,8 @@ impl Engine {
                 static_data.num_rows(),
                 &gens,
                 &tombstones,
+                old_base,
+                new_base,
                 pool,
             ),
             Some(pc) => {
@@ -857,6 +1089,8 @@ impl Engine {
                     static_data.num_rows(),
                     &gens,
                     &tombstones,
+                    old_base,
+                    new_base,
                 );
                 while stepper.step(pc.step_buckets, pc.step_rows) {
                     if !pc.yield_sleep.is_zero() && self.active_queries.load(Ordering::Relaxed) > 0
@@ -877,7 +1111,10 @@ impl Engine {
         // commits it. `persist_to` holds the merge lock, so the persister
         // cannot attach or detach between here and publish.
         let persister = self.persister();
-        let prepared_seq = match persister.as_ref().map(|p| p.prepare_static(&static_data)) {
+        let prepared_seq = match persister
+            .as_ref()
+            .map(|p| p.prepare_static(new_base, &static_data))
+        {
             Some(Ok(seq)) => Some(seq),
             Some(Err(e)) => {
                 // Nothing published yet: abort the merge with memory and
@@ -906,11 +1143,18 @@ impl Engine {
             .zip(&gens)
             .all(|(a, b)| Arc::ptr_eq(a, b)));
         let remaining = current.sealed[gens.len()..].to_vec();
-        let deleted = Arc::new(current.deleted.cloned_without(&purged_now));
+        // The rebased bitmap drops the compacted prefix's bits wholesale
+        // and reclaims the purged ids' bits; bits set after our snapshot
+        // (concurrent deletes) survive because we rebase the *live* bitmap
+        // under the write lock.
+        let deleted = Arc::new(current.deleted.rebased_without(&purged_now, new_base));
         let static_data = Arc::new(static_data);
         let mut purged = w.purged.clone();
         purged.extend_from_slice(&purged_now);
         purged.sort_unstable();
+        // Retired ids need no per-id record: the watermark accounts for
+        // everything below the new base.
+        purged.retain(|&id| id >= new_base);
         if let Some(p) = &persister {
             // Commit the merge durably *before* it becomes visible: the
             // manifest swap is the atomic commit point (with every pending
@@ -921,9 +1165,11 @@ impl Engine {
             let seq = prepared_seq.expect("prepared with the same persister");
             if let Err(e) = p.publish_static(
                 seq,
+                new_base as u64,
                 static_data.num_rows() as u64,
                 &purged,
                 deleted.set_ids(w.total),
+                w.retired_below,
             ) {
                 self.degrade("manifest swap", &e);
                 return;
@@ -935,6 +1181,8 @@ impl Engine {
             statics: Some(Arc::new(statics)),
             sealed: remaining,
             deleted: deleted.clone(),
+            static_base: new_base,
+            retired_below: current.retired_below,
         };
         w.purged = purged;
         self.epoch.store(Arc::new(view));
@@ -943,8 +1191,9 @@ impl Engine {
 
         self.merges.fetch_add(1, Ordering::Relaxed);
         *self.last_merge.lock().unwrap_or_else(|e| e.into_inner()) = MergeReport {
-            merged_points: merge_end as usize - v0.static_len(),
+            merged_points: (merge_end - v0.static_end()) as usize,
             purged_points: purged_now.len(),
+            retired_rows_reclaimed: (new_base - old_base) as usize,
             build,
             publish,
             yielded,
@@ -954,6 +1203,43 @@ impl Engine {
     /// Timing and purge counts of the most recent merge.
     pub fn last_merge(&self) -> MergeReport {
         *self.last_merge.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Advances the retirement watermark: every id below `watermark`
+    /// (clamped to the assigned id range) becomes dead, as one range
+    /// tombstone instead of per-id bits. Returns `true` when the
+    /// watermark moved. Monotonic — a lower watermark is a no-op.
+    ///
+    /// Engines with a [`WindowSpec`] advance the watermark automatically
+    /// on insert; this entry point serves manual retirement and the
+    /// sharded cluster's cross-shard window cut. The watermark is logged
+    /// (fsynced) before it takes effect, like a delete; the dead rows are
+    /// physically reclaimed by the next merge, which rebases the static
+    /// structure at the watermark.
+    pub fn retire_to(&self, watermark: u32) -> Result<bool> {
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        if self.is_degraded() {
+            return Err(self.degraded_error());
+        }
+        let target = watermark.min(w.total);
+        self.retire_locked(&mut w, target)
+    }
+
+    fn retire_locked(&self, w: &mut MutexGuard<'_, WriteState>, target: u32) -> Result<bool> {
+        debug_assert!(target <= w.total);
+        if target <= w.retired_below {
+            return Ok(false);
+        }
+        if let Some(p) = self.persister() {
+            if let Err(e) = p.log_retire(target) {
+                self.degrade("retire watermark append", &e);
+                return Err(self.degraded_error());
+            }
+        }
+        w.retired_below = target;
+        self.epoch
+            .rcu(|prev| Arc::new(EngineView::with_watermark(prev, target)));
+        Ok(true)
     }
 
     /// Tombstones a point; returns `false` if it was already deleted or out
@@ -978,6 +1264,9 @@ impl Engine {
         if (id as usize) >= w.total as usize {
             return Ok(false);
         }
+        if id < w.retired_below {
+            return Ok(false); // already dead under the range tombstone
+        }
         if w.purged.binary_search(&id).is_ok() {
             return Ok(false);
         }
@@ -996,13 +1285,16 @@ impl Engine {
         Ok(newly)
     }
 
-    /// True iff `id` is tombstoned (pending or already purged).
+    /// True iff `id` is dead: tombstoned (pending or already purged) or
+    /// retired by the sliding window.
     pub fn is_deleted(&self, id: u32) -> bool {
         let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         if (id as usize) >= w.total as usize {
             return false;
         }
-        w.purged.binary_search(&id).is_ok() || self.epoch.snapshot().deleted.is_set(id)
+        id < w.retired_below
+            || w.purged.binary_search(&id).is_ok()
+            || self.epoch.snapshot().deleted.is_set(id)
     }
 
     /// Ids purged from the static tables by past merges (still tombstoned;
@@ -1016,37 +1308,60 @@ impl Engine {
     }
 
     /// Atomically captures everything a snapshot needs — one write-lock
-    /// hold, one epoch pin — as `(static_len, rows in id order, pending
-    /// tombstones, purged ids)`. Holding the lock keeps a concurrent
-    /// ingest or merge from publishing mid-capture, so the four parts are
-    /// mutually consistent.
-    pub(crate) fn capture_state(&self) -> (usize, Vec<SparseVector>, Vec<u32>, Vec<u32>) {
+    /// hold, one epoch pin — as `(static_base, static_len, resident rows
+    /// in id order from `static_base`, pending tombstones, purged ids,
+    /// retired_below)`. Holding the lock keeps a concurrent ingest or
+    /// merge from publishing mid-capture, so the parts are mutually
+    /// consistent.
+    pub(crate) fn capture_state(&self) -> (u32, usize, Vec<SparseVector>, Vec<u32>, Vec<u32>, u32) {
         let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
         let view = self.epoch.snapshot();
-        let mut vectors = Vec::with_capacity(w.total as usize);
-        for id in 0..view.static_len() as u32 {
-            vectors.push(view.static_data.row_vector(id));
+        let base = view.static_base;
+        let mut vectors = Vec::with_capacity((w.total - base) as usize);
+        for local in 0..view.static_len() as u32 {
+            vectors.push(view.static_data.row_vector(local));
         }
         for g in view.sealed.iter().map(Arc::as_ref).chain(w.open.as_ref()) {
             for local in 0..g.len() as u32 {
                 vectors.push(g.data().row_vector(local));
             }
         }
-        debug_assert_eq!(vectors.len(), w.total as usize);
+        debug_assert_eq!(vectors.len(), (w.total - base) as usize);
         // Set bits are exactly the pending (unpurged) tombstones: merges
-        // reclaim the bits of everything they purge.
-        let mut deleted = Vec::new();
-        for (wi, word) in view.deleted.words.iter().enumerate() {
-            let mut bits = word.load(Ordering::Relaxed);
-            while bits != 0 {
-                let id = (wi * 64) as u32 + bits.trailing_zeros();
-                bits &= bits - 1;
-                if id < w.total {
-                    deleted.push(id);
-                }
-            }
+        // reclaim the bits of everything they purge or compact away.
+        let deleted = view.deleted.set_ids(w.total);
+        (
+            base,
+            view.static_len(),
+            vectors,
+            deleted,
+            w.purged.clone(),
+            w.retired_below,
+        )
+    }
+
+    /// Fast-forwards an **empty** engine's id space to `base`: the next
+    /// insert receives id `base`, and everything below it is considered
+    /// retired-and-compacted. Recovery of a window-compacted directory
+    /// lands here so recovered ids line up with the ids on disk.
+    pub(crate) fn fast_forward_empty(&self, base: u32) {
+        let _m = self.merge_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let mut w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            w.total == 0 && w.open.is_none(),
+            "fast-forward of a non-empty engine"
+        );
+        if base == 0 {
+            return;
         }
-        (view.static_len(), vectors, deleted, w.purged.clone())
+        w.total = base;
+        w.retired_below = base;
+        self.total.store(base as usize, Ordering::Release);
+        self.epoch.store(Arc::new(EngineView::empty(
+            self.config.params.dim(),
+            self.config.capacity,
+            base,
+        )));
     }
 
     /// Retires the node's entire contents (Section 6: the rolling window
@@ -1057,10 +1372,13 @@ impl Engine {
         w.open = None;
         w.total = 0;
         w.purged.clear();
+        w.retired_below = 0;
+        w.births.clear();
         self.total.store(0, Ordering::Release);
         self.epoch.store(Arc::new(EngineView::empty(
             self.config.params.dim(),
             self.config.capacity,
+            0,
         )));
         if !self.is_degraded() {
             if let Some(p) = self.persister() {
@@ -1095,6 +1413,9 @@ impl Engine {
             capacity: self.config.capacity as u64,
             eta: self.config.eta,
             seal_min_points: self.config.seal_min_points as u64,
+            window: self.config.window,
+            static_base: view.static_base,
+            retired_below: w.retired_below,
             static_data: &view.static_data,
             static_len: view.static_len(),
             sealed: &view.sealed,
@@ -1165,6 +1486,9 @@ impl Engine {
             capacity: self.config.capacity as u64,
             eta: self.config.eta,
             seal_min_points: self.config.seal_min_points as u64,
+            window: self.config.window,
+            static_base: view.static_base,
+            retired_below: w.retired_below,
             static_data: &view.static_data,
             static_len: view.static_len(),
             sealed: &view.sealed,
@@ -1197,7 +1521,9 @@ impl Engine {
     /// cluster) extend this with their worker liveness.
     pub fn health(&self) -> HealthReport {
         let w = self.write.lock().unwrap_or_else(|e| e.into_inner());
+        let view = self.epoch.snapshot();
         let wal_lag_rows = w.open.as_ref().map_or(0, DeltaGeneration::len);
+        let (live_points, retired_pending_purge, window_lag) = self.window_accounting(&w, &view);
         drop(w);
         HealthReport {
             degraded: self.is_degraded(),
@@ -1205,9 +1531,35 @@ impl Engine {
             wal_lag_rows,
             persist_retries: self.persister().map_or(0, |p| p.io_retries()),
             pending_ingest: 0,
-            merge_backlog: self.epoch.snapshot().sealed.len(),
+            merge_backlog: view.sealed.len(),
+            live_points,
+            retired_pending_purge,
+            window_lag,
             workers: Vec::new(),
         }
+    }
+
+    /// Window accounting under the write lock: `(live_points,
+    /// retired_pending_purge, window_lag)`.
+    fn window_accounting(&self, w: &WriteState, view: &EngineView) -> (usize, usize, usize) {
+        let tombstoned = view.deleted.set_ids_in(w.retired_below, w.total).len();
+        let purged_live = w.purged.len() - w.purged.partition_point(|&id| id < w.retired_below);
+        let live = (w.total - w.retired_below) as usize - tombstoned - purged_live;
+        let pending_purge = w.retired_below.saturating_sub(view.static_base) as usize;
+        let lag = match self.config.window {
+            None => 0,
+            Some(WindowSpec::Docs(n)) => ((w.total - w.retired_below).saturating_sub(n)) as usize,
+            Some(WindowSpec::Duration(d)) => {
+                let now = Instant::now();
+                w.births
+                    .iter()
+                    .filter(|(at, _)| now.duration_since(*at) >= d)
+                    .map(|&(_, end)| end)
+                    .max()
+                    .map_or(0, |end| end.saturating_sub(w.retired_below) as usize)
+            }
+        };
+        (live, pending_purge, lag)
     }
 
     fn view_ctx<'a>(&'a self, view: &'a EngineView) -> QueryContext<'a> {
@@ -1224,6 +1576,8 @@ impl Engine {
             m: self.config.params.m(),
             half_bits: self.config.params.half_bits(),
             radius: self.config.params.radius() as f32,
+            base: view.static_base,
+            retired_below: view.retired_below,
             strategy: self.config.query_strategy,
             max_candidates: usize::MAX,
         }
@@ -1246,7 +1600,9 @@ impl Engine {
             static_points: view.static_len(),
             sealed_generations: view.sealed.len(),
             sealed_points: view.sealed_points(),
-            visible_points: view.visible_len as usize,
+            visible_points: view.visible_span(),
+            static_base: view.static_base,
+            retired_below: view.retired_below,
         };
         let mut ctx = self.view_ctx(&view);
         if let Some(s) = req.strategy_override() {
@@ -1272,7 +1628,7 @@ impl Engine {
 
         let qs = req.queries();
         let (answers, stats, timings) = if req.profiles() {
-            let mut scratch = self.scratches.take(view.visible_len as usize);
+            let mut scratch = self.scratches.take(view.visible_span());
             let (answers, timings, totals) = query::profile_batch(&ctx, qs, &mut scratch);
             self.scratches.put(scratch);
             let stats = BatchStats {
@@ -1284,7 +1640,7 @@ impl Engine {
         } else if qs.len() == 1 && !req.uses_per_query_pipeline() {
             // Single-query fast path: no pool round-trip, no batch setup.
             let t0 = Instant::now();
-            let mut scratch = self.scratches.take(view.visible_len as usize);
+            let mut scratch = self.scratches.take(view.visible_span());
             let (hits, totals) = query::execute_query(&ctx, &qs[0], &mut scratch);
             self.scratches.put(scratch);
             let stats = BatchStats {
@@ -1325,7 +1681,7 @@ impl Engine {
     pub fn query(&self, q: &SparseVector) -> Vec<Neighbor> {
         let _pressure = PressureGuard::enter(&self.active_queries);
         let view = self.epoch.snapshot();
-        let mut scratch = self.scratches.take(view.visible_len as usize);
+        let mut scratch = self.scratches.take(view.visible_span());
         let (hits, _) = query::execute_query(&self.view_ctx(&view), q, &mut scratch);
         self.scratches.put(scratch);
         hits
@@ -1373,10 +1729,11 @@ impl Engine {
             .map(|g| g.sketches().memory_bytes())
             .chain(open.map(|g| g.sketches().memory_bytes()))
             .sum();
+        let (live_points, retired_pending_purge, window_lag) = self.window_accounting(&w, &view);
         EngineStats {
             total_points: w.total as usize,
             static_points: view.static_len(),
-            delta_points: w.total as usize - view.static_len(),
+            delta_points: (w.total - view.static_end()) as usize,
             deleted_points: view.deleted.count() + w.purged.len(),
             purged_points: w.purged.len(),
             sealed_generations: view.sealed.len(),
@@ -1388,12 +1745,16 @@ impl Engine {
             hyperplane_bytes: self.planes.memory_bytes(),
             host_threads: plsh_parallel::affinity::host_threads(),
             pinned_workers: plsh_parallel::pinned_worker_count(),
+            live_points,
+            retired_points: w.retired_below as usize,
+            retired_pending_purge,
+            window_lag,
         }
     }
 
     /// A scratch suitable for external query drivers (tests, benches).
     pub fn make_scratch(&self) -> QueryScratch {
-        self.scratches.take(self.len())
+        self.scratches.take(self.epoch.snapshot().visible_span())
     }
 }
 
@@ -1944,5 +2305,117 @@ mod tests {
         for probe in [0usize, 999, 1999] {
             assert!(e.query(&vs[probe]).iter().any(|h| h.index == probe as u32));
         }
+    }
+    #[test]
+    fn windowed_engine_retires_and_compacts() {
+        let pool = ThreadPool::new(1);
+        let e = Engine::new(
+            EngineConfig::new(params(64), 200)
+                .manual_merge()
+                .with_window(WindowSpec::Docs(50)),
+            &pool,
+        )
+        .unwrap();
+        let mut rng = SplitMix64::new(21);
+        let vs: Vec<SparseVector> = (0..120).map(|_| random_vec(&mut rng, 64)).collect();
+        for chunk in vs.chunks(30) {
+            e.insert_batch(chunk, &pool).unwrap();
+        }
+        // Inserts advanced the watermark automatically: only the newest 50
+        // stay live, as one range tombstone (no bitmap bits).
+        assert_eq!(e.retired_below(), 70);
+        assert_eq!(e.stats().live_points, 50);
+        assert_eq!(e.stats().deleted_points, 0);
+        assert!(e.vector(10).is_none(), "retired row must not resolve");
+        assert!(e.vector(100).is_some());
+        for (i, v) in vs.iter().enumerate() {
+            let hits = e.query(v);
+            if i < 70 {
+                assert!(
+                    hits.iter().all(|h| h.index != i as u32),
+                    "retired point {i} surfaced"
+                );
+            } else {
+                assert!(hits.iter().any(|h| h.index == i as u32));
+            }
+        }
+        // The merge compacts: the static structure rebases at the
+        // watermark and the dead prefix stops occupying memory.
+        e.merge_delta(&pool);
+        let info = e.epoch_info();
+        assert_eq!(info.static_base, 70);
+        assert_eq!(info.retired_below, 70);
+        assert_eq!(info.static_points, 50);
+        assert_eq!(e.stats().retired_pending_purge, 0);
+        for (i, v) in vs.iter().enumerate().skip(70) {
+            assert!(
+                e.query(v).iter().any(|h| h.index == i as u32),
+                "live point {i} lost by compaction"
+            );
+        }
+        // Ids keep growing past the compaction; capacity counts residents.
+        let id = e.insert(vs[0].clone(), &pool).unwrap();
+        assert_eq!(id, 120);
+    }
+
+    #[test]
+    fn windowed_answers_match_manual_delete_twin() {
+        let pool = ThreadPool::new(1);
+        let windowed = Engine::new(
+            EngineConfig::new(params(64), 300)
+                .manual_merge()
+                .with_window(WindowSpec::Docs(40)),
+            &pool,
+        )
+        .unwrap();
+        let twin = Engine::new(EngineConfig::new(params(64), 300).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(22);
+        let vs: Vec<SparseVector> = (0..150).map(|_| random_vec(&mut rng, 64)).collect();
+        for (b, chunk) in vs.chunks(17).enumerate() {
+            windowed.insert_batch(chunk, &pool).unwrap();
+            twin.insert_batch(chunk, &pool).unwrap();
+            for id in 0..windowed.retired_below() {
+                twin.delete(id);
+            }
+            if b % 3 == 2 {
+                windowed.merge_delta(&pool);
+                twin.merge_delta(&pool);
+            }
+            for v in &vs[..((b + 1) * 17).min(vs.len())] {
+                let key = |e: &Engine| {
+                    let mut hits: Vec<(u32, u32)> = e
+                        .query(v)
+                        .iter()
+                        .map(|h| (h.index, h.distance.to_bits()))
+                        .collect();
+                    hits.sort_unstable();
+                    hits
+                };
+                assert_eq!(
+                    key(&windowed),
+                    key(&twin),
+                    "windowed engine diverged from its delete twin at batch {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retire_to_is_monotone_and_clamped() {
+        let pool = ThreadPool::new(1);
+        let e = Engine::new(EngineConfig::new(params(64), 100).manual_merge(), &pool).unwrap();
+        let mut rng = SplitMix64::new(23);
+        let vs: Vec<SparseVector> = (0..30).map(|_| random_vec(&mut rng, 64)).collect();
+        e.insert_batch(&vs, &pool).unwrap();
+        assert!(e.retire_to(10).unwrap());
+        assert_eq!(e.retired_below(), 10);
+        // Monotone: a lower watermark is a no-op, not a rollback.
+        assert!(!e.retire_to(5).unwrap());
+        assert_eq!(e.retired_below(), 10);
+        // Clamped to the assigned id range.
+        assert!(e.retire_to(1_000).unwrap());
+        assert_eq!(e.retired_below(), 30);
+        assert!(!e.try_delete(3).unwrap(), "retired id is already dead");
+        assert!(e.query(&vs[0]).is_empty());
     }
 }

@@ -57,6 +57,16 @@ pub struct HealthReport {
     /// ingest outruns the merger; a large value means query-side delta
     /// probing is doing extra work.
     pub merge_backlog: usize,
+    /// Points answerable right now: inside the sliding window (when one
+    /// is configured) and not tombstoned.
+    pub live_points: usize,
+    /// Window-retired rows still physically resident, awaiting the next
+    /// compacting merge. Persistently large means retirement is outrunning
+    /// merges.
+    pub retired_pending_purge: usize,
+    /// Resident points beyond what the window spec allows — how far
+    /// retirement lags the configured window (0 without a window).
+    pub window_lag: usize,
     /// Every supervised background worker.
     pub workers: Vec<WorkerHealth>,
 }
@@ -86,6 +96,9 @@ impl HealthReport {
         self.persist_retries += child.persist_retries;
         self.pending_ingest += child.pending_ingest;
         self.merge_backlog += child.merge_backlog;
+        self.live_points += child.live_points;
+        self.retired_pending_purge += child.retired_pending_purge;
+        self.window_lag += child.window_lag;
         self.workers.extend(child.workers.into_iter().map(|mut w| {
             w.name = format!("{prefix}.{}", w.name);
             w
@@ -109,6 +122,9 @@ mod tests {
                 persist_retries: 2,
                 pending_ingest: 5,
                 merge_backlog: 1,
+                live_points: 100,
+                retired_pending_purge: 7,
+                window_lag: 1,
                 workers: vec![WorkerHealth {
                     name: "ingest".into(),
                     alive: true,
@@ -127,6 +143,9 @@ mod tests {
                 persist_retries: 0,
                 pending_ingest: 0,
                 merge_backlog: 2,
+                live_points: 50,
+                retired_pending_purge: 0,
+                window_lag: 0,
                 workers: vec![WorkerHealth {
                     name: "ingest".into(),
                     alive: false,
@@ -142,6 +161,9 @@ mod tests {
         assert_eq!(agg.persist_retries, 2);
         assert_eq!(agg.pending_ingest, 5);
         assert_eq!(agg.merge_backlog, 3);
+        assert_eq!(agg.live_points, 150);
+        assert_eq!(agg.retired_pending_purge, 7);
+        assert_eq!(agg.window_lag, 1);
         assert_eq!(agg.total_restarts(), 5);
         assert!(!agg.healthy());
         assert_eq!(agg.workers[1].name, "shard1.ingest");

@@ -63,7 +63,9 @@ pub mod streaming;
 pub mod table;
 pub(crate) mod util;
 
-pub use engine::{Engine, EngineConfig, EngineStats, EpochInfo, MergePacing, MergeReport};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, EpochInfo, MergePacing, MergeReport, WindowSpec,
+};
 pub use error::{PlshError, Result};
 pub use hash::{Hyperplanes, HyperplanesKind, SketchMatrix};
 pub use health::{HealthReport, WorkerHealth};

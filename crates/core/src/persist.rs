@@ -74,7 +74,7 @@ use plsh_parallel::ThreadPool;
 
 use crate::fault;
 
-use crate::engine::{Engine, EngineConfig};
+use crate::engine::{Engine, EngineConfig, WindowSpec};
 use crate::error::Result as PlshResult;
 use crate::params::PlshParams;
 use crate::sparse::{CrsMatrix, SparseVector};
@@ -85,6 +85,10 @@ const MANIFEST_MAGIC: &[u8; 4] = b"PLSM";
 const STATIC_MAGIC: &[u8; 4] = b"PLSS";
 const GEN_MAGIC: &[u8; 4] = b"PLSG";
 const VERSION: u32 = 1;
+/// Manifest format version. v2 added the sliding-window fields
+/// (`static_base`, `retired_below`, window spec); v1 manifests are read
+/// back with all three at their no-window defaults.
+const MANIFEST_VERSION: u32 = 2;
 /// No static segment yet (empty engine or everything still in the delta).
 const NO_STATIC: u64 = u64::MAX;
 /// Upper bound on one WAL record's payload — anything larger is framing
@@ -93,6 +97,14 @@ const MAX_RECORD: u32 = 1 << 30;
 
 const TAG_INSERT: u8 = 1;
 const TAG_DELETE: u8 = 2;
+/// Retirement-watermark advance in the tombstone log: the payload is the
+/// new watermark, and replay takes the max (the watermark is monotone).
+const TAG_RETIRE: u8 = 3;
+
+/// Window spec tags in the manifest (`tag | u64 payload`).
+const WINDOW_NONE: u8 = 0;
+const WINDOW_DOCS: u8 = 1;
+const WINDOW_DURATION: u8 = 2;
 
 /// Simulated power cuts for crash-recovery tests.
 ///
@@ -365,6 +377,15 @@ struct Manifest {
     reset: u64,
     static_seq: Option<u64>,
     static_len: u64,
+    /// Global id of static row 0 — everything below it was retired by the
+    /// sliding window and compacted away (0 without a window).
+    static_base: u64,
+    /// Retirement watermark at the time of the snapshot: every id below
+    /// it is dead. Invariant: `static_base <= retired_below`.
+    retired_below: u64,
+    /// The engine's sliding-window spec, so recovery rebuilds a windowed
+    /// engine that keeps retiring on its own.
+    window: Option<WindowSpec>,
     purged: Vec<u32>,
     pending: Vec<u32>,
 }
@@ -373,7 +394,7 @@ impl Manifest {
     fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MANIFEST_MAGIC);
-        put_u32(&mut out, VERSION);
+        put_u32(&mut out, MANIFEST_VERSION);
         put_u32(&mut out, self.params.dim());
         put_u32(&mut out, self.params.k());
         put_u32(&mut out, self.params.m());
@@ -386,6 +407,15 @@ impl Manifest {
         put_u64(&mut out, self.reset);
         put_u64(&mut out, self.static_seq.unwrap_or(NO_STATIC));
         put_u64(&mut out, self.static_len);
+        put_u64(&mut out, self.static_base);
+        put_u64(&mut out, self.retired_below);
+        let (wtag, warg) = match self.window {
+            None => (WINDOW_NONE, 0u64),
+            Some(WindowSpec::Docs(n)) => (WINDOW_DOCS, n as u64),
+            Some(WindowSpec::Duration(d)) => (WINDOW_DURATION, d.as_nanos() as u64),
+        };
+        out.push(wtag);
+        put_u64(&mut out, warg);
         put_u64(&mut out, self.purged.len() as u64);
         for &id in &self.purged {
             put_u32(&mut out, id);
@@ -417,7 +447,7 @@ impl Manifest {
             return Err(bad("not a plsh persistence manifest (bad magic)"));
         }
         let version = get_u32(&mut r)?;
-        if version != VERSION {
+        if !(1..=MANIFEST_VERSION).contains(&version) {
             return Err(bad(format!("unsupported manifest version {version}")));
         }
         let dim = get_u32(&mut r)?;
@@ -446,12 +476,37 @@ impl Manifest {
         if static_seq.is_none() && static_len != 0 {
             return Err(bad("static_len without a static segment"));
         }
+        let (static_base, retired_below, window) = if version >= 2 {
+            let base = get_u64(&mut r)?;
+            let retired = get_u64(&mut r)?;
+            if retired < base {
+                return Err(bad(format!(
+                    "retired_below {retired} below static_base {base}"
+                )));
+            }
+            let mut wtag = [0u8; 1];
+            r.read_exact(&mut wtag)?;
+            let warg = get_u64(&mut r)?;
+            let window = match wtag[0] {
+                WINDOW_NONE => None,
+                WINDOW_DOCS => {
+                    Some(WindowSpec::Docs(u32::try_from(warg).map_err(|_| {
+                        bad(format!("implausible window size {warg}"))
+                    })?))
+                }
+                WINDOW_DURATION => Some(WindowSpec::Duration(Duration::from_nanos(warg))),
+                t => return Err(bad(format!("unknown window tag {t}"))),
+            };
+            (base, retired, window)
+        } else {
+            (0, 0, None)
+        };
         let np = get_u64(&mut r)? as usize;
         let mut purged = Vec::with_capacity(np);
         for _ in 0..np {
             let id = get_u32(&mut r)?;
-            if id as u64 >= static_len {
-                return Err(bad(format!("purged id {id} beyond the static prefix")));
+            if (id as u64) < static_base || id as u64 >= static_base + static_len {
+                return Err(bad(format!("purged id {id} outside the static prefix")));
             }
             purged.push(id);
         }
@@ -468,6 +523,9 @@ impl Manifest {
             reset,
             static_seq,
             static_len,
+            static_base,
+            retired_below,
+            window,
             purged,
             pending,
         })
@@ -598,6 +656,11 @@ pub(crate) struct Baseline<'a> {
     pub capacity: u64,
     pub eta: f64,
     pub seal_min_points: u64,
+    pub window: Option<WindowSpec>,
+    /// Global id of `static_data` row 0 (the compaction cut).
+    pub static_base: u32,
+    /// Retirement watermark at capture time (`>= static_base`).
+    pub retired_below: u32,
     pub static_data: &'a CrsMatrix,
     pub static_len: usize,
     pub sealed: &'a [Arc<DeltaGeneration>],
@@ -659,7 +722,7 @@ fn write_baseline(data: &Path, b: &Baseline<'_>) -> io::Result<(Option<u64>, Opt
             &mut rows,
             (0..b.static_len as u32).map(|id| b.static_data.row_vector(id)),
         );
-        let bytes = encode_segment(STATIC_MAGIC, 0, &mut rows);
+        let bytes = encode_segment(STATIC_MAGIC, b.static_base as u64, &mut rows);
         fio_write_atomic(&static_path(data, seq), &bytes)?;
     }
     for g in b.sealed {
@@ -719,6 +782,9 @@ impl EnginePersister {
             reset,
             static_seq,
             static_len: b.static_len as u64,
+            static_base: b.static_base as u64,
+            retired_below: b.retired_below as u64,
+            window: b.window,
             purged: b.purged.to_vec(),
             pending: b.pending.clone(),
         };
@@ -928,10 +994,38 @@ impl EnginePersister {
         })
     }
 
+    /// Append one retirement-watermark advance to the delete log (fsync
+    /// per record, like a delete — the watermark moves at most once per
+    /// insert batch). Replay takes the max, so repeated advances and the
+    /// manifest's own snapshot compose monotonically.
+    pub(crate) fn log_retire(&self, watermark: u32) -> io::Result<()> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let s = &mut *s;
+        let mut payload = vec![TAG_RETIRE];
+        payload.extend_from_slice(&watermark.to_le_bytes());
+        let record = encode_record(&payload);
+        self.retry(|| {
+            if s.tomb.is_none() {
+                let path = tomb_path(&s.data);
+                let file = fio_append(&path)?;
+                let good = file.len()?;
+                s.tomb = Some(TombWriter { file, good });
+            }
+            let t = s.tomb.as_mut().expect("installed above");
+            t.file.truncate_to(t.good)?;
+            fault::io_check(fault::TOMB_APPEND)?;
+            fio_write(&mut t.file, &record)?;
+            fio_fsync(&mut t.file)?;
+            t.good += record.len() as u64;
+            Ok(())
+        })
+    }
+
     /// Write the merged corpus as the next static segment (off to the
-    /// side, *before* the merge takes the write lock). Returns the
-    /// segment's sequence number for [`Self::publish_static`].
-    pub(crate) fn prepare_static(&self, static_data: &CrsMatrix) -> io::Result<u64> {
+    /// side, *before* the merge takes the write lock). `base` is the
+    /// global id of the corpus's row 0 (the window-compaction cut).
+    /// Returns the segment's sequence number for [`Self::publish_static`].
+    pub(crate) fn prepare_static(&self, base: u32, static_data: &CrsMatrix) -> io::Result<u64> {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let seq = s.next_static_seq;
         s.next_static_seq += 1;
@@ -940,7 +1034,7 @@ impl EnginePersister {
             &mut rows,
             (0..static_data.num_rows() as u32).map(|id| static_data.row_vector(id)),
         );
-        let bytes = encode_segment(STATIC_MAGIC, 0, &mut rows);
+        let bytes = encode_segment(STATIC_MAGIC, base as u64, &mut rows);
         let path = static_path(&s.data, seq);
         self.retry(|| {
             fault::io_check(fault::STATIC_PREPARE)?;
@@ -956,12 +1050,15 @@ impl EnginePersister {
     /// the previous static segment. In-memory manifest state only moves
     /// forward if the swap lands, so a failed publish leaves disk *and*
     /// bookkeeping at the pre-merge state.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn publish_static(
         &self,
         seq: u64,
+        static_base: u64,
         static_len: u64,
         purged: &[u32],
         pending: Vec<u32>,
+        retired_below: u32,
     ) -> io::Result<()> {
         let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let s = &mut *s;
@@ -969,6 +1066,8 @@ impl EnginePersister {
         let mut next = s.manifest.clone();
         next.static_seq = Some(seq);
         next.static_len = static_len;
+        next.static_base = static_base;
+        next.retired_below = (retired_below as u64).max(static_base);
         next.purged = purged.to_vec();
         next.pending = pending;
         let bytes = next.encode();
@@ -994,7 +1093,7 @@ impl EnginePersister {
                 let name = name.to_string_lossy().into_owned();
                 let retired = parse_numbered(&name, "gen-", ".seg")
                     .or_else(|| parse_numbered(&name, "wal-", ".log"))
-                    .is_some_and(|b| b < static_len);
+                    .is_some_and(|b| b < static_base + static_len);
                 if retired {
                     let _ = fio_remove(&e.path());
                 }
@@ -1015,6 +1114,8 @@ impl EnginePersister {
         next.reset = reset;
         next.static_seq = None;
         next.static_len = 0;
+        next.static_base = 0;
+        next.retired_below = 0;
         next.purged.clear();
         next.pending.clear();
         let bytes = next.encode();
@@ -1055,6 +1156,9 @@ impl EnginePersister {
             reset,
             static_seq,
             static_len: b.static_len as u64,
+            static_base: b.static_base as u64,
+            retired_below: b.retired_below as u64,
+            window: b.window,
             purged: b.purged.to_vec(),
             pending: b.pending.clone(),
         };
@@ -1093,6 +1197,9 @@ pub struct RecoveredState {
     /// Tombstones replayed from the delete log (applied after the
     /// manifest's pending list; both are idempotent).
     tomb: Vec<u32>,
+    /// Highest retirement watermark replayed from the delete log (0 when
+    /// the log held none; composed with the manifest's via max).
+    tomb_retire: u32,
     /// Rows that came back from WAL replay rather than sealed segments.
     wal_rows: usize,
 }
@@ -1113,7 +1220,27 @@ impl RecoveredState {
         self.manifest.static_len as usize
     }
 
-    /// Total recovered rows (static prefix + contiguous generations).
+    /// Global id of the first resident row — the sliding window's
+    /// compaction cut at the time of the last durable merge (0 without a
+    /// window).
+    pub fn static_base(&self) -> u32 {
+        self.manifest.static_base as u32
+    }
+
+    /// The recovered retirement watermark: the manifest's snapshot
+    /// composed with every advance replayed from the delete log.
+    pub fn retired_below(&self) -> u32 {
+        (self.manifest.retired_below as u32).max(self.tomb_retire)
+    }
+
+    /// The engine's sliding-window spec, if one was configured.
+    pub fn window(&self) -> Option<WindowSpec> {
+        self.manifest.window
+    }
+
+    /// Total recovered *resident* rows (static prefix + contiguous
+    /// generations); the global id space ends at
+    /// `static_base() + total()`.
     pub fn total(&self) -> usize {
         self.static_len()
             + self
@@ -1121,6 +1248,11 @@ impl RecoveredState {
                 .iter()
                 .map(|(_, rows, _)| rows.len())
                 .sum::<usize>()
+    }
+
+    /// One past the highest recovered global id.
+    fn end(&self) -> u64 {
+        self.manifest.static_base + self.total() as u64
     }
 
     /// Rows recovered from the live WAL (not yet sealed to a segment at
@@ -1153,7 +1285,7 @@ impl RecoveredState {
             .chain(&self.manifest.purged)
             .chain(&self.tomb)
             .copied()
-            .filter(|&id| (id as usize) < self.total())
+            .filter(|&id| (id as u64) >= self.manifest.static_base && (id as u64) < self.end())
             .collect();
         ids.sort_unstable();
         ids.dedup();
@@ -1179,7 +1311,7 @@ pub fn load_state(dir: impl AsRef<Path>) -> io::Result<RecoveredState> {
     let static_rows = match manifest.static_seq {
         Some(seq) => {
             let bytes = fs::read(static_path(&data, seq))?;
-            let rows = decode_segment(STATIC_MAGIC, 0, &bytes)?;
+            let rows = decode_segment(STATIC_MAGIC, manifest.static_base, &bytes)?;
             if rows.len() as u64 != manifest.static_len {
                 return Err(bad(format!(
                     "static segment holds {} rows, manifest says {}",
@@ -1194,7 +1326,7 @@ pub fn load_state(dir: impl AsRef<Path>) -> io::Result<RecoveredState> {
 
     let mut gens: Vec<(u32, Vec<SparseVector>, bool)> = Vec::new();
     let mut wal_rows = 0usize;
-    let mut next = manifest.static_len as u32;
+    let mut next = (manifest.static_base + manifest.static_len) as u32;
     loop {
         let seg = gen_path(&data, next);
         if seg.exists() {
@@ -1248,14 +1380,22 @@ pub fn load_state(dir: impl AsRef<Path>) -> io::Result<RecoveredState> {
     }
 
     let mut tomb = Vec::new();
+    let mut tomb_retire = 0u32;
     replay_log(&tomb_path(&data), |payload| {
-        if payload.len() == 5 && payload[0] == TAG_DELETE {
-            tomb.push(u32::from_le_bytes(
-                payload[1..5].try_into().expect("4 bytes"),
-            ));
-            true
-        } else {
-            false
+        if payload.len() != 5 {
+            return false;
+        }
+        let arg = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes"));
+        match payload[0] {
+            TAG_DELETE => {
+                tomb.push(arg);
+                true
+            }
+            TAG_RETIRE => {
+                tomb_retire = tomb_retire.max(arg);
+                true
+            }
+            _ => false,
         }
     })?;
 
@@ -1264,6 +1404,7 @@ pub fn load_state(dir: impl AsRef<Path>) -> io::Result<RecoveredState> {
         static_rows,
         gens,
         tomb,
+        tomb_retire,
         wal_rows,
     })
 }
@@ -1280,37 +1421,54 @@ pub fn rebuild_engine(
 ) -> PlshResult<Engine> {
     let keep = keep.unwrap_or_else(|| st.total()).min(st.total());
     let m = &st.manifest;
-    let config = EngineConfig::new(m.params.clone(), m.capacity as usize)
+    let base = st.static_base();
+    let mut config = EngineConfig::new(m.params.clone(), m.capacity as usize)
         .with_eta(m.eta)
         .with_seal_min_points(m.seal_min_points as usize);
+    if let Some(w) = m.window {
+        config = config.with_window(w);
+    }
     let engine = Engine::new(config, pool)?;
+    if base > 0 {
+        // Land the id space where the compacted directory left it: the
+        // first recovered row keeps its global id.
+        engine.fast_forward_empty(base);
+    }
     let split = st.static_len().min(keep);
     if split > 0 {
         engine.insert_batch_deferring_merge(&st.static_rows[..split], pool)?;
         engine.seal();
         for &id in &m.purged {
-            if (id as usize) < split {
+            if ((id - base) as usize) < split {
                 engine.delete(id);
             }
         }
         engine.merge_delta(pool);
     }
     let mut at = split;
-    for (base, rows, _) in &st.gens {
+    for (gen_base, rows, _) in &st.gens {
         if at >= keep {
             break;
         }
-        debug_assert_eq!(*base as usize, at.max(st.static_len()));
+        debug_assert_eq!(
+            *gen_base as u64,
+            base as u64 + at.max(st.static_len()) as u64
+        );
         let take = rows.len().min(keep - at);
         engine.insert_batch_deferring_merge(&rows[..take], pool)?;
         engine.seal();
         at += take;
     }
-    for id in m.pending.iter().chain(&st.tomb) {
-        if (*id as usize) < keep {
-            engine.delete(*id);
+    for &id in m.pending.iter().chain(&st.tomb) {
+        if ((id.saturating_sub(base)) as usize) < keep {
+            engine.delete(id);
         }
     }
+    // Re-arm the watermark last, with no merge after it: the recovered
+    // engine's compaction state (static_base) matches the directory's, and
+    // the retired-pending-purge backlog is carried over rather than
+    // silently purged by the rebuild.
+    let _ = engine.retire_to(st.retired_below());
     Ok(engine)
 }
 

@@ -170,6 +170,13 @@ pub struct QueryContext<'a> {
     pub half_bits: u32,
     /// Angular query radius `R`.
     pub radius: f32,
+    /// Global id of `static_data` row 0 — nonzero once a sliding-window
+    /// compaction has rebased the static structure. Also the anchor of the
+    /// `deleted` bitvector and the candidate bitvector.
+    pub base: u32,
+    /// Range tombstone: candidates below this watermark are retired
+    /// (filtered like deletions, but by one comparison instead of a bit).
+    pub retired_below: u32,
     /// Ablation switches.
     pub strategy: QueryStrategy,
     /// Per-query candidate budget: at most this many unique candidates get
@@ -182,18 +189,25 @@ pub struct QueryContext<'a> {
 }
 
 impl<'a> QueryContext<'a> {
-    /// Total points visible to this context (static + sealed generations).
+    /// Resident points visible to this context (static + sealed
+    /// generations) — the span `base..end`, which sizes the candidate
+    /// bitvector and scratch.
     pub fn num_points(&self) -> usize {
-        self.deltas
-            .last()
-            .map_or(self.static_data.num_rows(), |g| g.end() as usize)
+        let end = self.deltas.last().map_or(self.static_end(), |g| g.end());
+        (end - self.base) as usize
+    }
+
+    /// One-past-the-end global id of the static rows.
+    #[inline]
+    fn static_end(&self) -> u32 {
+        self.base + self.static_data.num_rows() as u32
     }
 
     /// Resolves a global id to its row, whichever segment holds it.
     #[inline]
     pub fn row(&self, id: u32) -> (&'a [u32], &'a [f32]) {
-        if (id as usize) < self.static_data.num_rows() {
-            return self.static_data.row(id);
+        if id < self.static_end() {
+            return self.static_data.row(id - self.base);
         }
         // Generations are contiguous and ascending; binary-search the one
         // covering `id` (there are few — merges keep the list short).
@@ -364,6 +378,9 @@ fn candidate_phase(
 
     // ---- Q2: merge buckets and eliminate duplicates.
     if ctx.strategy.bitvector_dedup {
+        // Anchor the (empty) bitvector at this epoch's base so it covers
+        // the resident span, not the lifetime id range.
+        scratch.cand.rebase(ctx.base);
         for l in 0..l_count {
             let key = keys[l];
             if let Some(st) = ctx.static_tables {
@@ -516,8 +533,12 @@ fn filter_candidate(
     out: &mut Vec<Neighbor>,
     stats: &mut QueryStats,
 ) {
+    if id < ctx.retired_below {
+        return; // retired by the sliding window (range tombstone)
+    }
     if let Some(words) = ctx.deleted {
-        if words[(id >> 6) as usize].load(Ordering::Relaxed) & (1u64 << (id & 63)) != 0 {
+        let off = id - ctx.base; // the bitvector is anchored at the base
+        if words[(off >> 6) as usize].load(Ordering::Relaxed) & (1u64 << (off & 63)) != 0 {
             return; // tombstoned (Section 6.2, "Deleting Entries")
         }
     }
@@ -610,6 +631,7 @@ pub fn profile_batch(
     let mut stats = QueryStats::default();
     let mut answers: Vec<Vec<Neighbor>> = Vec::with_capacity(queries.len());
     let mut sorted: Vec<u32> = Vec::new();
+    scratch.cand.rebase(ctx.base);
     for query in queries {
         // Q1 (not separately reported; the paper notes it "takes very
         // little time").
@@ -853,6 +875,8 @@ mod tests {
             m: f.m,
             half_bits: f.half_bits,
             radius: 0.9,
+            base: 0,
+            retired_below: 0,
             strategy,
             max_candidates: usize::MAX,
         }
@@ -980,6 +1004,8 @@ mod tests {
             m: 4,
             half_bits: 3,
             radius: 0.9,
+            base: 0,
+            retired_below: 0,
             strategy: QueryStrategy::optimized(),
             max_candidates: usize::MAX,
         };
@@ -1083,6 +1109,8 @@ mod tests {
             m: f.m,
             half_bits: f.half_bits,
             radius: 0.9,
+            base: 0,
+            retired_below: 0,
             strategy: QueryStrategy::optimized(),
             max_candidates: usize::MAX,
         };

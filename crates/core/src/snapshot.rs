@@ -29,10 +29,13 @@
 //! restored engine reproduces both the answers and the purge accounting of
 //! the original.
 //!
-//! Format (version 2): magic `PLSH` + version, the parameter block, the
-//! engine layout (capacity, eta, static length), the CRS corpus as three
-//! length-prefixed arrays, the pending-tombstone id list, and the
-//! purged-id list.
+//! Format (version 3): magic `PLSH` + version, the parameter block, the
+//! engine layout (capacity, eta, static length, the sliding-window base
+//! and retirement watermark), the CRS corpus as three length-prefixed
+//! arrays, the pending-tombstone id list, and the purged-id list. Rows
+//! are *resident* rows only: everything a sliding-window engine already
+//! compacted away stays gone, and `base` records the global id of the
+//! first stored row so ids survive the round trip.
 
 use std::io::{self, Read, Write};
 
@@ -44,7 +47,7 @@ use crate::params::PlshParams;
 use crate::sparse::SparseVector;
 
 const MAGIC: &[u8; 4] = b"PLSH";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 
 /// Everything needed to reconstruct an [`Engine`].
 #[derive(Debug, Clone, PartialEq)]
@@ -57,7 +60,14 @@ pub struct Snapshot {
     pub eta: f64,
     /// Points in the static structure (the rest live in the delta).
     pub static_len: u64,
-    /// All stored rows, in insertion order.
+    /// Global id of `vectors[0]` — the sliding window's compaction cut at
+    /// capture time (0 for engines without a window).
+    pub base: u64,
+    /// Retirement watermark at capture time (`>= base`): ids below it are
+    /// dead by range tombstone, pending physical purge.
+    pub retired_below: u64,
+    /// All *resident* rows, in insertion order (global ids
+    /// `base..base + vectors.len()`).
     pub vectors: Vec<SparseVector>,
     /// Tombstoned point ids whose bits are still set (not yet purged).
     pub deleted: Vec<u32>,
@@ -70,12 +80,14 @@ impl Snapshot {
     /// inserting and merging: the rows, split point, and tombstone lists
     /// come out of one atomic capture.
     pub fn capture(engine: &Engine) -> Self {
-        let (static_len, vectors, deleted, purged) = engine.capture_state();
+        let (base, static_len, vectors, deleted, purged, retired_below) = engine.capture_state();
         Self {
             params: engine.params().clone(),
             capacity: engine.capacity() as u64,
             eta: engine.config().eta,
             static_len: static_len as u64,
+            base: base as u64,
+            retired_below: retired_below as u64,
             vectors,
             deleted,
             purged,
@@ -93,6 +105,9 @@ impl Snapshot {
             .manual_merge()
             .with_eta(self.eta);
         let engine = Engine::new(config, pool)?;
+        if self.base > 0 {
+            engine.fast_forward_empty(self.base as u32);
+        }
         let split = self.static_len as usize;
         if split > 0 {
             engine.insert_batch(&self.vectors[..split], pool)?;
@@ -107,6 +122,9 @@ impl Snapshot {
         for &id in &self.deleted {
             engine.delete(id);
         }
+        // Watermark last, with no merge behind it, so the restored
+        // engine's compaction state matches the captured one.
+        let _ = engine.retire_to(self.retired_below as u32);
         Ok(engine)
     }
 
@@ -125,6 +143,8 @@ impl Snapshot {
         put_u64(w, self.capacity)?;
         put_f64(w, self.eta)?;
         put_u64(w, self.static_len)?;
+        put_u64(w, self.base)?;
+        put_u64(w, self.retired_below)?;
         // Corpus as CRS: row nnz counts, then flattened indices/values.
         put_u64(w, self.vectors.len() as u64)?;
         for v in &self.vectors {
@@ -179,6 +199,11 @@ impl Snapshot {
         let capacity = get_u64(r)?;
         let eta = get_f64(r)?;
         let static_len = get_u64(r)?;
+        let base = get_u64(r)?;
+        let retired_below = get_u64(r)?;
+        if retired_below < base {
+            return Err(bad("retired_below below the compaction base"));
+        }
 
         let n = get_u64(r)? as usize;
         if n as u64 > capacity {
@@ -186,6 +211,9 @@ impl Snapshot {
         }
         if static_len > n as u64 {
             return Err(bad("static_len exceeds the point count"));
+        }
+        if retired_below > base + n as u64 {
+            return Err(bad("retired_below beyond the stored id range"));
         }
         let mut nnz = Vec::with_capacity(n);
         for _ in 0..n {
@@ -212,7 +240,7 @@ impl Snapshot {
         let mut deleted = Vec::with_capacity(d);
         for _ in 0..d {
             let id = get_u32(r)?;
-            if id as usize >= n {
+            if (id as u64) < base || id as u64 >= base + n as u64 {
                 return Err(bad(format!("tombstone {id} out of range")));
             }
             deleted.push(id);
@@ -223,8 +251,8 @@ impl Snapshot {
             let id = get_u32(r)?;
             // Purging only ever happens to ids merged into the static
             // structure.
-            if id as u64 >= static_len {
-                return Err(bad(format!("purged id {id} beyond the static prefix")));
+            if (id as u64) < base || id as u64 >= base + static_len {
+                return Err(bad(format!("purged id {id} outside the static prefix")));
             }
             purged.push(id);
         }
@@ -233,6 +261,8 @@ impl Snapshot {
             capacity,
             eta,
             static_len,
+            base,
+            retired_below,
             vectors,
             deleted,
             purged,

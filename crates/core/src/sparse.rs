@@ -287,6 +287,24 @@ impl CrsMatrix {
             .extend(other.row_offsets[1..].iter().map(|o| o + base));
     }
 
+    /// Appends the rows of `other` starting at row `from_row` (the
+    /// window-compaction variant of [`extend_from`](Self::extend_from):
+    /// a merge that retires an expired prefix copies only the surviving
+    /// suffix, still one flat-array copy per buffer).
+    pub fn extend_from_range(&mut self, other: &CrsMatrix, from_row: usize) {
+        assert_eq!(self.dim, other.dim, "row spaces must match");
+        let from_row = from_row.min(other.num_rows());
+        let lo = other.row_offsets[from_row];
+        let base = self.cols.len();
+        self.cols.extend_from_slice(&other.cols[lo..]);
+        self.vals.extend_from_slice(&other.vals[lo..]);
+        self.row_offsets.extend(
+            other.row_offsets[from_row + 1..]
+                .iter()
+                .map(|o| o - lo + base),
+        );
+    }
+
     /// Drops every row with index `>= keep`, retaining storage.
     pub fn truncate(&mut self, keep: usize) {
         if keep >= self.num_rows() {
@@ -404,6 +422,29 @@ mod tests {
         assert_eq!(m.row_vector(0), a);
         assert_eq!(m.row_vector(1), b);
         assert!((m.avg_nnz() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crs_extend_from_range_copies_the_suffix() {
+        let rows = [sv(&[(0, 1.0)]), sv(&[(1, 2.0), (3, 1.0)]), sv(&[(2, 4.0)])];
+        let mut src = CrsMatrix::new(8);
+        for r in &rows {
+            src.push(r).unwrap();
+        }
+        let mut dst = CrsMatrix::new(8);
+        dst.push(&rows[2]).unwrap();
+        dst.extend_from_range(&src, 1);
+        assert_eq!(dst.num_rows(), 3);
+        assert_eq!(dst.row_vector(0), rows[2]);
+        assert_eq!(dst.row_vector(1), rows[1]);
+        assert_eq!(dst.row_vector(2), rows[2]);
+        // Degenerate ranges: whole matrix and empty suffix.
+        let mut all = CrsMatrix::new(8);
+        all.extend_from_range(&src, 0);
+        assert_eq!(all.num_rows(), 3);
+        let mut none = CrsMatrix::new(8);
+        none.extend_from_range(&src, 3);
+        assert_eq!(none.num_rows(), 0);
     }
 
     #[test]

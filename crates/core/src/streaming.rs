@@ -195,6 +195,14 @@ impl StreamingEngine {
         self.engine.delete(id)
     }
 
+    /// Advances the sliding-window retirement watermark: every id below
+    /// `watermark` becomes dead as one range tombstone (see
+    /// [`Engine::retire_to`]). Windowed engines advance it automatically
+    /// on insert; this is the manual/cluster entry point.
+    pub fn retire_to(&self, watermark: u32) -> Result<bool> {
+        self.engine.retire_to(watermark)
+    }
+
     /// Answers one [`SearchRequest`] against the current epoch, using the
     /// handle's own pool for batch fan-out. The one typed entry point —
     /// see [`Engine::search`].

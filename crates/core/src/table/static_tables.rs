@@ -223,10 +223,17 @@ impl StaticTables {
     /// plus every generation's rows — purged ids keep their row slot so
     /// ids stay stable; they are simply absent from all buckets).
     ///
-    /// `purge` is a snapshot of the deletion bitvector: one bit per global
-    /// id, set ⇒ the id is dropped from every bucket. Taking it as an
-    /// explicit snapshot keeps the decision consistent across all `L`
-    /// tables even while concurrent `delete` calls keep landing.
+    /// `purge` is a snapshot of the deletion bitvector anchored at
+    /// `purge_base` (bit `i` covers global id `purge_base + i`): set ⇒ the
+    /// id is dropped from every bucket. Taking it as an explicit snapshot
+    /// keeps the decision consistent across all `L` tables even while
+    /// concurrent `delete` calls keep landing.
+    ///
+    /// `retire_below` is the sliding-window compaction cut: every id below
+    /// it (however it reached a bucket) is dropped in the same pass — this
+    /// is how window retirement rides the radix-partition filter for free.
+    /// Pass `retire_below == purge_base` for a merge without compaction.
+    #[allow(clippy::too_many_arguments)]
     pub fn merge_generations(
         prev: Option<&StaticTables>,
         m: u32,
@@ -234,12 +241,14 @@ impl StaticTables {
         n: usize,
         gens: &[Arc<DeltaGeneration>],
         purge: &[u64],
+        purge_base: u32,
+        retire_below: u32,
         pool: &ThreadPool,
     ) -> Self {
         if let Some(p) = prev {
             debug_assert_eq!((p.m, p.half_bits), (m, half_bits));
         }
-        let ctx = MergeCtx::new(prev, gens, purge, half_bits);
+        let ctx = MergeCtx::new(prev, gens, purge, half_bits, purge_base, retire_below);
         let ctx = &ctx;
         let tables = pool.parallel_map(allpairs::pairs(m).enumerate(), |(l, pair)| {
             let mut table = TableMerge::new(l, pair, ctx.buckets);
@@ -265,11 +274,16 @@ struct MergeCtx<'a> {
     prev: Option<&'a StaticTables>,
     gens: &'a [Arc<DeltaGeneration>],
     purge: &'a [u64],
-    /// Whether `purge` has any bit set. When it does not (the common case
-    /// between deletions), counting collapses to bucket lengths and the
-    /// previous epoch's scatter to per-bucket `memcpy`s — the merge's
-    /// dominant cost drops from `L·N` bitmap tests to `L` block copies.
-    has_purge: bool,
+    /// Whether anything at all can be dropped — a purge bit is set or the
+    /// retirement cut advanced. When nothing can (the common case between
+    /// deletions), counting collapses to bucket lengths and the previous
+    /// epoch's scatter to per-bucket `memcpy`s — the merge's dominant cost
+    /// drops from `L·N` bitmap tests to `L` block copies.
+    filters: bool,
+    /// Global id bit 0 of `purge` covers (the epoch's static base).
+    purge_base: u32,
+    /// Window compaction cut: ids below this are dropped from every bucket.
+    retire_below: u32,
     half_bits: u32,
     buckets: usize,
 }
@@ -280,12 +294,17 @@ impl<'a> MergeCtx<'a> {
         gens: &'a [Arc<DeltaGeneration>],
         purge: &'a [u64],
         half_bits: u32,
+        purge_base: u32,
+        retire_below: u32,
     ) -> Self {
+        debug_assert!(retire_below >= purge_base);
         Self {
             prev,
             gens,
             purge,
-            has_purge: purge.iter().any(|&w| w != 0),
+            filters: retire_below > purge_base || purge.iter().any(|&w| w != 0),
+            purge_base,
+            retire_below,
             half_bits,
             buckets: 1usize << (2 * half_bits),
         }
@@ -293,9 +312,13 @@ impl<'a> MergeCtx<'a> {
 
     #[inline]
     fn dropped(&self, id: u32) -> bool {
+        if id < self.retire_below {
+            return true; // retired by the window cut
+        }
+        let off = id - self.purge_base;
         self.purge
-            .get((id >> 6) as usize)
-            .is_some_and(|w| w & (1u64 << (id & 63)) != 0)
+            .get((off >> 6) as usize)
+            .is_some_and(|w| w & (1u64 << (off & 63)) != 0)
     }
 }
 
@@ -356,7 +379,7 @@ impl TableMerge {
                 None => self.phase = MergePhase::CountGens { gen: 0, row: 0 },
                 Some(p) => {
                     let end = next_bucket.saturating_add(max_buckets).min(ctx.buckets);
-                    if ctx.has_purge {
+                    if ctx.filters {
                         for key in next_bucket..end {
                             self.counts[key] = p
                                 .bucket(self.l, key as u32)
@@ -390,7 +413,7 @@ impl TableMerge {
                     let sk = g.sketches();
                     for local in row..end {
                         let local = local as u32;
-                        if ctx.has_purge && ctx.dropped(g.base() + local) {
+                        if ctx.filters && ctx.dropped(g.base() + local) {
                             continue;
                         }
                         let key = allpairs::compose_key(
@@ -421,7 +444,7 @@ impl TableMerge {
                 None => self.phase = MergePhase::ScatterGens { gen: 0, row: 0 },
                 Some(p) => {
                     let end = next_bucket.saturating_add(max_buckets).min(ctx.buckets);
-                    if ctx.has_purge {
+                    if ctx.filters {
                         for key in next_bucket..end {
                             for &id in p.bucket(self.l, key as u32) {
                                 if !ctx.dropped(id) {
@@ -462,7 +485,7 @@ impl TableMerge {
                     for local in row..end {
                         let local = local as u32;
                         let id = g.base() + local;
-                        if ctx.has_purge && ctx.dropped(id) {
+                        if ctx.filters && ctx.dropped(id) {
                             continue;
                         }
                         let key = allpairs::compose_key(
@@ -524,6 +547,7 @@ pub struct MergeStepper<'a> {
 impl<'a> MergeStepper<'a> {
     /// Prepares a stepped merge with the same inputs (and the same
     /// snapshot semantics) as [`StaticTables::merge_generations`].
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         prev: Option<&'a StaticTables>,
         m: u32,
@@ -531,11 +555,13 @@ impl<'a> MergeStepper<'a> {
         n: usize,
         gens: &'a [Arc<DeltaGeneration>],
         purge: &'a [u64],
+        purge_base: u32,
+        retire_below: u32,
     ) -> Self {
         if let Some(p) = prev {
             debug_assert_eq!((p.m, p.half_bits), (m, half_bits));
         }
-        let ctx = MergeCtx::new(prev, gens, purge, half_bits);
+        let ctx = MergeCtx::new(prev, gens, purge, half_bits, purge_base, retire_below);
         let tables = allpairs::pairs(m)
             .enumerate()
             .map(|(l, pair)| TableMerge::new(l, pair, ctx.buckets))
@@ -936,6 +962,8 @@ mod tests {
             300,
             &gens,
             &no_purge,
+            0,
+            0,
             &pool,
         );
         assert_eq!(merged.num_points(), 300);
@@ -955,8 +983,17 @@ mod tests {
         for id in victims {
             purge[(id >> 6) as usize] |= 1 << (id & 63);
         }
-        let purged =
-            StaticTables::merge_generations(Some(&prev), m, half_bits, 300, &gens, &purge, &pool);
+        let purged = StaticTables::merge_generations(
+            Some(&prev),
+            m,
+            half_bits,
+            300,
+            &gens,
+            &purge,
+            0,
+            0,
+            &pool,
+        );
         for l in 0..rebuilt.num_tables() {
             for key in 0..buckets {
                 let expect: Vec<u32> = rebuilt
@@ -970,7 +1007,8 @@ mod tests {
         }
 
         // First merge (no previous epoch): generations only.
-        let first = StaticTables::merge_generations(None, m, half_bits, 300, &gens, &purge, &pool);
+        let first =
+            StaticTables::merge_generations(None, m, half_bits, 300, &gens, &purge, 0, 0, &pool);
         for l in 0..first.num_tables() {
             for key in 0..buckets {
                 let expect: Vec<u32> = rebuilt

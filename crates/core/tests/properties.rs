@@ -262,7 +262,7 @@ proptest! {
 
         let prev_opt = (n_static > 0).then_some(&prev);
         let mono = StaticTables::merge_generations(
-            prev_opt, m, half_bits, total, &gens, &purge, &pool,
+            prev_opt, m, half_bits, total, &gens, &purge, 0, 0, &pool,
         );
 
         // Stepped run with the drawn slice budgets, interleaving the two
@@ -273,7 +273,7 @@ proptest! {
         let mut side = DeltaGeneration::new(
             total as u32, DIM, m, half_bits, DeltaLayout::Adaptive, 4,
         );
-        let mut stepper = MergeStepper::new(prev_opt, m, half_bits, total, &gens, &purge);
+        let mut stepper = MergeStepper::new(prev_opt, m, half_bits, total, &gens, &purge, 0, 0);
         let mut steps = 0usize;
         while stepper.step(max_buckets, max_rows) {
             steps += 1;

@@ -227,6 +227,12 @@ pub fn encode_health(report: &HealthReport) -> Json {
         ("persist_retries", Json::Num(report.persist_retries as f64)),
         ("pending_ingest", Json::Num(report.pending_ingest as f64)),
         ("merge_backlog", Json::Num(report.merge_backlog as f64)),
+        ("live_points", Json::Num(report.live_points as f64)),
+        (
+            "retired_pending_purge",
+            Json::Num(report.retired_pending_purge as f64),
+        ),
+        ("window_lag", Json::Num(report.window_lag as f64)),
         ("workers", workers),
     ])
 }
@@ -302,11 +308,20 @@ mod tests {
             persist_retries: 1,
             pending_ingest: 7,
             merge_backlog: 2,
+            live_points: 40,
+            retired_pending_purge: 5,
+            window_lag: 1,
             workers: vec![],
         };
         let j = encode_health(&report);
         assert_eq!(j.get("degraded").and_then(Json::as_bool), Some(true));
         assert_eq!(j.get("merge_backlog").and_then(Json::as_u64), Some(2));
         assert_eq!(j.get("pending_ingest").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("live_points").and_then(Json::as_u64), Some(40));
+        assert_eq!(
+            j.get("retired_pending_purge").and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(j.get("window_lag").and_then(Json::as_u64), Some(1));
     }
 }

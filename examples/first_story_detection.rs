@@ -1,18 +1,31 @@
-//! First-story detection over a synthetic tweet stream.
+//! First-story detection over a synthetic tweet stream — on a sliding
+//! window.
 //!
 //! The paper's Related Work discusses Petrović et al. \[28\], who used LSH
 //! on Twitter to flag tweets "highly dissimilar to all preceding tweets" —
-//! new stories. This example reproduces that application on top of the
-//! [`plsh::Index`] client: each arriving tweet first queries the index;
-//! if nothing lies within the radius, it is a first story. Either way it
-//! is then inserted.
+//! new stories. A production first-story detector never compares against
+//! *all* preceding tweets, though: only the recent past matters, and the
+//! index must not grow without bound. This example reproduces that
+//! application on top of the [`plsh::Index`] client with a **retire-by-age
+//! window**: `Index::builder(..).with_window(WindowSpec::Docs(W))` keeps
+//! exactly the last `W` tweets answerable, retires older ids with a range
+//! tombstone as the stream advances, and reclaims their memory in the
+//! background merges — no manual delete calls.
+//!
+//! Each arriving tweet first queries the index; if nothing lies within the
+//! radius, it is a first story. Either way it is then inserted. A
+//! duplicate whose original has already slid out of the window is
+//! *correctly* re-flagged: within the window it is news again.
 //!
 //! ```text
 //! cargo run --release --example first_story_detection
 //! ```
 
 use plsh::workload::{CorpusConfig, SyntheticCorpus};
-use plsh::{Index, PlshParams};
+use plsh::{Index, PlshParams, WindowSpec};
+
+/// Only the last WINDOW tweets are comparable — and resident.
+const WINDOW: u32 = 2_500;
 
 fn main() -> plsh::Result<()> {
     // A stream where ~35% of tweets are near-duplicates of earlier ones
@@ -33,43 +46,68 @@ fn main() -> plsh::Result<()> {
         .delta(0.1)
         .seed(7)
         .build()?;
+    // Rule of thumb: capacity ≈ 3 × window. The capacity bounds the
+    // *resident span* (live window + retired rows awaiting compaction),
+    // so the stream can run forever in a fraction of the corpus size.
     let index = Index::builder(params)
-        .capacity(corpus.len())
+        .capacity(3 * WINDOW as usize)
         .eta(0.05)
+        .with_window(WindowSpec::Docs(WINDOW))
         .build()?;
 
     let mut true_positive = 0usize; // flagged new, genuinely fresh
-    let mut false_positive = 0usize; // flagged new, actually a duplicate
-    let mut false_negative = 0usize; // duplicate correctly suppressed
+    let mut false_positive = 0usize; // flagged new, duplicate of a LIVE original
+    let mut false_negative = 0usize; // in-window duplicate correctly suppressed
     let mut true_negative = 0usize; // fresh, but a neighbor already existed
+    let mut resurfaced = 0usize; // duplicate of an EXPIRED original, re-flagged
+    let mut resurfaced_suppressed = 0usize; // ...or still caught by a live echo
     let start = std::time::Instant::now();
 
     for id in 0..corpus.len() as u32 {
         let tweet = corpus.vector(id);
-        // Query BEFORE inserting: is anything already similar?
+        // Query BEFORE inserting: is anything similar still in the window?
         let hits = index.query(tweet)?;
         let is_first_story = hits.is_empty();
-        let actually_fresh = corpus.duplicate_of(id).is_none();
-        match (is_first_story, actually_fresh) {
-            (true, true) => true_positive += 1,
-            (true, false) => false_positive += 1,
-            (false, true) => true_negative += 1, // fresh but echoes old vocab
-            (false, false) => false_negative += 1,
+        // The window edge at this instant: ids below it are retired.
+        let watermark = id.saturating_sub(WINDOW);
+        match corpus.duplicate_of(id) {
+            None if is_first_story => true_positive += 1,
+            None => true_negative += 1, // fresh but echoes old vocab
+            // The original is still live in the window: a detector must
+            // suppress this retweet.
+            Some(src) if src >= watermark => {
+                if is_first_story {
+                    false_positive += 1;
+                } else {
+                    false_negative += 1;
+                }
+            }
+            // The original slid out of the window: the story legitimately
+            // resurfaces as news (unless another live echo catches it).
+            Some(_) => {
+                if is_first_story {
+                    resurfaced += 1;
+                } else {
+                    resurfaced_suppressed += 1;
+                }
+            }
         }
         index.add(tweet.clone())?;
     }
     index.flush()?;
     let elapsed = start.elapsed();
+    let stats = index.stats();
 
-    let flagged = true_positive + false_positive;
+    let flagged = true_positive + false_positive + resurfaced;
     println!(
-        "processed {} tweets in {:.2?} (query + insert + background merges)",
+        "processed {} tweets in {:.2?} on a {}-tweet sliding window",
         corpus.len(),
-        elapsed
+        elapsed,
+        WINDOW
     );
     println!(
-        "merges performed: {} (delta threshold 5% of capacity)",
-        index.stats().merges
+        "index at end: {} live / {} retired ({} awaiting compaction), {} merges",
+        stats.live_points, stats.retired_points, stats.retired_pending_purge, stats.merges
     );
     println!();
     println!("flagged as first stories: {flagged}");
@@ -77,19 +115,32 @@ fn main() -> plsh::Result<()> {
         "  of which genuinely fresh:      {true_positive} ({:.1}% precision)",
         100.0 * true_positive as f64 / flagged.max(1) as f64
     );
-    println!("  near-duplicates missed by LSH: {false_positive}");
+    println!("  in-window duplicates missed:   {false_positive}");
+    println!("  resurfaced (original expired): {resurfaced}");
     println!(
-        "duplicates correctly suppressed: {false_negative} of {}",
+        "in-window duplicates correctly suppressed: {false_negative} of {}",
         false_negative + false_positive
     );
+    println!("expired-original duplicates still caught by a live echo: {resurfaced_suppressed}");
     println!("fresh tweets that still had a neighbor (shared rare words): {true_negative}");
 
-    // Sanity for the example: detection must be much better than chance.
+    // Sanity for the example: detection must be much better than chance,
+    // and the window must actually bound residency.
     let dup_suppression = false_negative as f64 / (false_negative + false_positive).max(1) as f64;
     assert!(
         dup_suppression > 0.8,
-        "expected >80% of duplicates suppressed, got {:.1}%",
+        "expected >80% of in-window duplicates suppressed, got {:.1}%",
         dup_suppression * 100.0
+    );
+    assert_eq!(
+        stats.retired_points,
+        corpus.len() - WINDOW as usize,
+        "window watermark must sit exactly WINDOW behind the stream head"
+    );
+    assert_eq!(stats.live_points + stats.deleted_points, WINDOW as usize);
+    assert!(
+        resurfaced > 0,
+        "an 8k stream over a 2.5k window must see some stories resurface"
     );
     Ok(())
 }

@@ -37,6 +37,14 @@ the design bars:
   is legal under overload), error_rate exactly 0 (a failed well-formed
   request is a server bug at any scale), merges fired while serving, and
   wire answers bit-identical to in-process search.
+* soak — the long-haul sliding-window run: several window-lengths of
+  stream through a windowed engine, RSS flat after warm-up (<= 1.25x —
+  a per-doc leak over 8 window turnovers would read 2-3x), live points
+  pinned at exactly the window size once filled, the watermark monotone
+  and landing exactly at `docs_streamed - window`, the resident span
+  never exceeding capacity, query throughput never collapsing, and zero
+  leaks after the quiescing merge (no sealed generation, no retired row
+  still resident).
 * scaling — the 1/2/4/8-shard sweep: `answers_match` per shard count and
   multi-shard query qps >= 1.5x the 1-shard configuration. The speedup
   bar expresses cross-shard parallelism (quiesced) or merge-amplification
@@ -74,6 +82,14 @@ STREAMING_DURING_FLOOR_1CPU = 0.5
 # a no-op below the table-size threshold and a win above it, so it must
 # never lose — beyond a 10% allowance for run-to-run noise on shared hosts.
 ABLATION_REGRESSION_FLOOR = 0.9
+# The soak's flat-memory bar: RSS at the last interval over RSS at the
+# end of warm-up. The run streams ~8 window-lengths, so a genuine
+# per-document leak reads as 2-3x here; 1.25 absorbs allocator high-water
+# drift without masking growth.
+SOAK_RSS_GROWTH_CEIL = 1.25
+# Query throughput may wobble with merge phase, but must never collapse:
+# the slowest post-warmup interval stays within 4x of the median.
+SOAK_QPS_COLLAPSE_FLOOR = 0.25
 
 
 def fail(path, msg):
@@ -280,6 +296,85 @@ def check_serve(path, d):
           f"{d['p99_ms_quiesced']} ms, shed_rate {d['shed_rate']}")
 
 
+def check_soak(path, d):
+    window, capacity = d["window"], d["capacity"]
+    if not (isinstance(window, int) and window > 0):
+        fail(path, f"window must be a positive integer, got {window!r}")
+    if capacity <= window:
+        fail(path, f"capacity {capacity} must exceed the window {window} "
+                   "(it bounds the resident span: live window + retired "
+                   "rows awaiting compaction)")
+    if d["docs_streamed"] < 4 * window:
+        fail(path, f"a soak must stream >= 4 window-lengths, got "
+                   f"{d['docs_streamed']} over window {window}")
+    n = d["intervals"]
+    if n < 8:
+        fail(path, f"need >= 8 measurement intervals, got {n}")
+    series = ("docs", "rss_mb", "table_mb", "live_points",
+              "retired_pending_purge", "insert_qps", "query_qps")
+    for key in series:
+        if len(d[key]) != n:
+            fail(path, f"series {key!r} has {len(d[key])} entries, "
+                       f"expected {n}")
+    if d["docs"] != sorted(d["docs"]) or len(set(d["docs"])) != n:
+        fail(path, "docs series must be strictly increasing")
+    warmup = d["warmup_intervals"]
+    if not (0 < warmup < n):
+        fail(path, f"warmup_intervals {warmup!r} must split the run")
+    for i in range(n):
+        if d["docs"][i] >= window and d["live_points"][i] != window:
+            fail(path, f"interval {i}: window filled ({d['docs'][i]} docs) "
+                       f"but live_points is {d['live_points'][i]}, "
+                       f"expected exactly {window}")
+        span = d["live_points"][i] + d["retired_pending_purge"][i]
+        if span > capacity:
+            fail(path, f"interval {i}: resident span {span} exceeds "
+                       f"capacity {capacity}")
+        for key in ("insert_qps", "query_qps"):
+            if not d[key][i] > 0:
+                fail(path, f"interval {i}: {key} must be positive, "
+                           f"got {d[key][i]!r} (the soak stalled)")
+    if d["watermark_monotone"] is not True:
+        fail(path, "the retirement watermark moved backwards")
+    if d["span_always_bounded"] is not True:
+        fail(path, "the resident span exceeded capacity during the soak")
+    # The flat-ceiling headline.
+    if not d["rss_warmup_mb"] > 0:
+        fail(path, f"rss_warmup_mb must be positive (is /proc/self/statm "
+                   f"readable on the measuring host?), got {d['rss_warmup_mb']!r}")
+    if d["rss_growth"] > SOAK_RSS_GROWTH_CEIL:
+        fail(path, f"memory grew {d['rss_growth']}x after warm-up "
+                   f"({d['rss_warmup_mb']} -> {d['rss_final_mb']} MB; "
+                   f"ceiling {SOAK_RSS_GROWTH_CEIL}x) — the window is leaking")
+    # Steady qps: no post-warmup collapse.
+    tail = sorted(d["query_qps"][warmup:])
+    median = tail[len(tail) // 2]
+    if tail[0] < SOAK_QPS_COLLAPSE_FLOOR * median:
+        fail(path, f"query qps collapsed: slowest post-warmup interval "
+                   f"{tail[0]} vs median {median} "
+                   f"(floor {SOAK_QPS_COLLAPSE_FLOOR}x)")
+    # Zero-leak facts after the quiescing merge.
+    if d["final_live"] != window:
+        fail(path, f"final_live {d['final_live']} != window {window}")
+    expected = d["docs_streamed"] - window
+    if d["expected_retired"] != expected or d["final_retired"] != expected:
+        fail(path, f"watermark must land exactly at docs - window = "
+                   f"{expected}, got final_retired {d['final_retired']} "
+                   f"(expected_retired {d['expected_retired']})")
+    if d["final_sealed_generations"] != 0:
+        fail(path, f"{d['final_sealed_generations']} sealed generation(s) "
+                   "leaked past the quiescing merge")
+    if d["final_retired_pending_purge"] != 0:
+        fail(path, f"{d['final_retired_pending_purge']} retired row(s) "
+                   "still resident after the quiescing merge "
+                   "(compaction skipped the expired prefix)")
+    if d["merges"] < 1:
+        fail(path, "background merges must have fired during the soak")
+    print(f"{path} OK: {d['docs_streamed']} docs through a {window}-doc "
+          f"window, RSS growth {d['rss_growth']}x "
+          f"(ceiling {SOAK_RSS_GROWTH_CEIL}x), zero leaks after quiesce")
+
+
 CHECKS = {
     "throughput": check_throughput,
     "serve": check_serve,
@@ -287,6 +382,7 @@ CHECKS = {
     "scaling": check_scaling,
     "recovery": check_recovery,
     "faults": check_faults,
+    "soak": check_soak,
 }
 
 

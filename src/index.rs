@@ -35,7 +35,7 @@ use std::io::{Read, Write};
 use std::sync::Arc;
 
 use plsh_cluster::ShardedIndex;
-use plsh_core::engine::{EngineConfig, EngineStats, EpochInfo, MergeReport};
+use plsh_core::engine::{EngineConfig, EngineStats, EpochInfo, MergeReport, WindowSpec};
 use plsh_core::error::{PlshError, Result};
 use plsh_core::params::PlshParams;
 use plsh_core::query::QueryStrategy;
@@ -95,6 +95,7 @@ pub struct IndexBuilder {
     /// `None` = single node; `Some(None)` = model-driven shard count;
     /// `Some(Some(s))` = fixed shard count.
     sharding: Option<Option<usize>>,
+    window: Option<WindowSpec>,
 }
 
 impl IndexBuilder {
@@ -168,6 +169,19 @@ impl IndexBuilder {
         self
     }
 
+    /// Enables sliding-window retirement: only the newest
+    /// [`WindowSpec::Docs`]`(n)` documents — or those younger than
+    /// [`WindowSpec::Duration`] — stay live; older points are retired by a
+    /// single range-tombstone watermark and physically reclaimed by the
+    /// next merge. On a sharded index the window is a consistent
+    /// cross-shard cut at the global stream position. The window must
+    /// leave capacity headroom for the un-merged delta (a good rule of
+    /// thumb: `capacity ≈ 3 × window`).
+    pub fn with_window(mut self, window: WindowSpec) -> Self {
+        self.window = Some(window);
+        self
+    }
+
     /// Builds the index (generates hyperplanes, spins up the pool).
     pub fn build(self) -> Result<Index> {
         if let Some(v) = &self.vectorizer {
@@ -191,6 +205,9 @@ impl IndexBuilder {
         }
         if let Some(p) = self.seal_min_points {
             config = config.with_seal_min_points(p);
+        }
+        if let Some(w) = self.window {
+            config = config.with_window(w);
         }
         let backend = match self.sharding {
             None => {
@@ -231,6 +248,7 @@ impl Index {
             seal_min_points: None,
             vectorizer: None,
             sharding: None,
+            window: None,
         }
     }
 
@@ -526,6 +544,10 @@ impl Index {
                     delta_points: 0,
                     deleted_points: 0,
                     purged_points: 0,
+                    live_points: 0,
+                    retired_points: 0,
+                    retired_pending_purge: 0,
+                    window_lag: 0,
                     sealed_generations: 0,
                     merges: 0,
                     pending_ingest: 0,
@@ -542,6 +564,10 @@ impl Index {
                     agg.delta_points += e.delta_points;
                     agg.deleted_points += e.deleted_points;
                     agg.purged_points += e.purged_points;
+                    agg.live_points += e.live_points;
+                    agg.retired_points += e.retired_points;
+                    agg.retired_pending_purge += e.retired_pending_purge;
+                    agg.window_lag += e.window_lag;
                     agg.sealed_generations += e.sealed_generations;
                     agg.merges += e.merges;
                     agg.pending_ingest += e.pending_ingest;
@@ -568,6 +594,8 @@ impl Index {
                     sealed_generations: 0,
                     sealed_points: 0,
                     visible_points: 0,
+                    static_base: 0,
+                    retired_below: 0,
                 };
                 for i in 0..sharded.num_shards() {
                     let info = sharded.shard(i).epoch_info();
@@ -576,6 +604,11 @@ impl Index {
                     agg.sealed_generations += info.sealed_generations;
                     agg.sealed_points += info.sealed_points;
                     agg.visible_points += info.visible_points;
+                    // Per-shard id spaces are disjoint; sum the retired
+                    // spans so the aggregate reads as "rows compacted /
+                    // retired across the cluster".
+                    agg.static_base += info.static_base;
+                    agg.retired_below += info.retired_below;
                 }
                 agg
             }

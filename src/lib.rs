@@ -79,7 +79,7 @@ pub use plsh_server::{ServeBackend, Server, ServerConfig};
 pub use plsh_core::search::{SearchBackend, SearchHit, SearchMode, SearchRequest, SearchResponse};
 pub use plsh_core::{
     BatchStats, EpochInfo, HealthReport, Neighbor, PlshParams, QueryPhaseTimings, QueryStats,
-    QueryStrategy, ShutdownReport, Snapshot, SparseVector, WorkerHealth,
+    QueryStrategy, ShutdownReport, Snapshot, SparseVector, WindowSpec, WorkerHealth,
 };
 
 /// The one error type every `plsh` operation returns — configuration,

@@ -1,21 +1,22 @@
-//! Smoke test: `scripts/check_bench.py` must keep validating the four
+//! Smoke test: `scripts/check_bench.py` must keep validating the five
 //! committed benchmark reports.
 //!
 //! The script is the single source of truth for what CI asserts about
-//! `BENCH_query.json`, `BENCH_streaming.json`, `BENCH_cluster.json`, and
-//! `BENCH_recovery.json` (it used to live inline in `ci.yml`, where
-//! nothing exercised it before a workflow ran). This test pins the
-//! contract down from `cargo test`: the script exists, parses, and
-//! accepts the committed full-scale reports it ships with.
+//! `BENCH_query.json`, `BENCH_streaming.json`, `BENCH_cluster.json`,
+//! `BENCH_recovery.json`, and `BENCH_soak.json` (it used to live inline
+//! in `ci.yml`, where nothing exercised it before a workflow ran). This
+//! test pins the contract down from `cargo test`: the script exists,
+//! parses, and accepts the committed full-scale reports it ships with.
 
 use std::path::Path;
 use std::process::Command;
 
-const REPORTS: [&str; 4] = [
+const REPORTS: [&str; 5] = [
     "BENCH_query.json",
     "BENCH_streaming.json",
     "BENCH_cluster.json",
     "BENCH_recovery.json",
+    "BENCH_soak.json",
 ];
 
 #[test]
@@ -52,7 +53,7 @@ fn check_bench_script_accepts_committed_reports() {
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(
-        stdout.contains("all 4 report(s) OK"),
+        stdout.contains("all 5 report(s) OK"),
         "unexpected script output:\n{stdout}"
     );
 }
